@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure end-to-end (build →
+profile → analyze → instrument → aggregate) inside ``benchmark.pedantic``
+with a single round, prints the paper-shaped table, and asserts the
+qualitative claims — who wins, by roughly what factor, where the
+crossovers fall.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

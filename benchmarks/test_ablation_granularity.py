@@ -1,0 +1,70 @@
+"""Ablation: Encore's fine-grained regions vs whole-function granularity.
+
+Paper Section 2.2 argues against prior function-level approaches
+(Relax / de Kruijf et al.): "although there is plenty of opportunity
+present, only a few of these regions actually span an entire function."
+Running the same pipeline with one-region-per-function candidates shows
+how much recoverable coverage fine-grained partitioning unlocks.
+"""
+
+from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
+from repro.workloads import all_workloads
+
+SUBSET = [
+    "164.gzip", "181.mcf", "172.mgrid", "183.equake",
+    "cjpeg", "g721decode", "mpeg2dec", "rawcaudio",
+]
+
+
+def sweep_granularity():
+    rows = {}
+    for name in SUBSET:
+        rows[name] = {}
+        for granularity in ("interval", "function"):
+            spec = next(s for s in all_workloads() if s.name == name)
+            built = spec.build()
+            report = compile_for_encore(
+                built.module,
+                EncoreConfig(granularity=granularity),
+                args=built.args,
+            )
+            fr = report.region_status_fractions()
+            rows[name][granularity] = {
+                "idem_regions": fr[RegionStatus.IDEMPOTENT],
+                "coverage": report.coverage(100).recoverable,
+                "overhead": report.estimated_overhead(),
+            }
+    return rows
+
+
+def test_function_granularity_baseline(once):
+    rows = once(sweep_granularity)
+    print()
+    print(f"{'benchmark':<12} {'interval cov':>13} {'function cov':>13} "
+          f"{'interval idem%':>15} {'function idem%':>15}")
+    for name, by_g in rows.items():
+        print(f"{name:<12} {by_g['interval']['coverage']:>13.1%} "
+              f"{by_g['function']['coverage']:>13.1%} "
+              f"{by_g['interval']['idem_regions']:>15.1%} "
+              f"{by_g['function']['idem_regions']:>15.1%}")
+
+    n = len(rows)
+    mean_interval = sum(r["interval"]["coverage"] for r in rows.values()) / n
+    mean_function = sum(r["function"]["coverage"] for r in rows.values()) / n
+
+    # Fine-grained regions recover substantially more execution on
+    # average ...
+    assert mean_interval > mean_function + 0.10, (mean_interval, mean_function)
+    # ... and, critically, they are *robust*: function granularity is
+    # all-or-nothing — a single WAR-through-call or unknown block
+    # forfeits the entire program (gzip/mcf-class codes drop to ~0),
+    # while fine-grained partitioning always salvages the clean regions.
+    min_interval = min(r["interval"]["coverage"] for r in rows.values())
+    min_function = min(r["function"]["coverage"] for r in rows.values())
+    assert min_interval > 0.5, min_interval
+    assert min_function < 0.05, min_function
+    # "Only a few regions span an entire function": whole-function
+    # candidates are rarely idempotent.
+    mean_fn_idem = sum(r["function"]["idem_regions"] for r in rows.values()) / n
+    mean_iv_idem = sum(r["interval"]["idem_regions"] for r in rows.values()) / n
+    assert mean_fn_idem < mean_iv_idem

@@ -1,0 +1,83 @@
+"""Ablation: the gamma / eta selection heuristics (paper Section 3.4.2).
+
+gamma filters regions by coverage-to-cost; eta gates region merging.
+Expected behaviour: raising gamma sheds overhead at the price of
+recoverable coverage; disabling merging (or demanding huge merge
+returns) leaves smaller regions with worse coverage-per-entry.
+"""
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.workloads import build_workload
+
+WORKLOADS = ["164.gzip", "183.equake", "g721decode", "256.bzip2"]
+
+
+def sweep_gamma(gammas=(0.0, 2.0, 10.0, 50.0)):
+    rows = {}
+    for gamma in gammas:
+        total_cov = 0.0
+        total_ovh = 0.0
+        for name in WORKLOADS:
+            built = build_workload(name)
+            report = compile_for_encore(
+                built.module,
+                EncoreConfig(gamma=gamma, auto_tune=False),
+                args=built.args,
+            )
+            total_cov += report.coverage(100).recoverable
+            total_ovh += report.estimated_overhead()
+        rows[gamma] = {
+            "coverage": total_cov / len(WORKLOADS),
+            "overhead": total_ovh / len(WORKLOADS),
+        }
+    return rows
+
+
+def sweep_eta(etas=(0.01, 0.25, 1e9)):
+    rows = {}
+    for eta in etas:
+        sizes = []
+        for name in WORKLOADS:
+            built = build_workload(name)
+            report = compile_for_encore(
+                built.module, EncoreConfig(eta=eta), args=built.args
+            )
+            for region in report.selected_regions:
+                if region.dyn_instructions > 0:
+                    sizes.append(region.activation_length)
+        rows[eta] = sum(sizes) / max(len(sizes), 1)
+    return rows
+
+
+def test_gamma_trades_coverage_for_overhead(once):
+    rows = once(sweep_gamma)
+    print()
+    print(f"{'gamma':>8} {'coverage':>10} {'overhead':>10}")
+    for gamma, row in rows.items():
+        print(f"{gamma:>8} {row['coverage']:>10.2%} {row['overhead']:>10.2%}")
+
+    gammas = sorted(rows)
+    coverages = [rows[g]["coverage"] for g in gammas]
+    overheads = [rows[g]["overhead"] for g in gammas]
+    # Monotone: tighter gamma never raises overhead or coverage.
+    for earlier, later in zip(overheads, overheads[1:]):
+        assert later <= earlier + 1e-9
+    for earlier, later in zip(coverages, coverages[1:]):
+        assert later <= earlier + 1e-9
+    # And the sweep actually moves both knobs.
+    assert overheads[0] > overheads[-1]
+    assert coverages[0] > coverages[-1]
+
+
+def test_eta_controls_region_granularity(benchmark):
+    rows = benchmark.pedantic(sweep_eta, rounds=1, iterations=1)
+    print()
+    print(f"{'eta':>12} {'mean activation length':>24}")
+    for eta, size in rows.items():
+        print(f"{eta:>12} {size:>24.1f}")
+
+    etas = sorted(rows)
+    # Small eta -> eager merging -> larger regions than an impossible
+    # merge threshold.
+    assert rows[etas[0]] >= rows[etas[-1]]
+    assert rows[etas[0]] > 1.0

@@ -1,0 +1,35 @@
+"""Figure 1: fraction of dynamic traces that are inherently idempotent.
+
+Paper shape: small traces are frequently idempotent, the fraction drops
+sharply past ~50 instructions, and the "Idempotence Target" headroom
+(nearly-idempotent traces) sits well above the fully-idempotent curve at
+every size.
+"""
+
+from repro.experiments import fig1_traces
+
+
+def test_fig1_trace_idempotence(once):
+    data = once(fig1_traces.run)
+    print()
+    print(fig1_traces.render(data))
+
+    sizes = list(data.window_sizes)
+    fully = data.fully
+    target = data.target
+
+    # Monotone-ish decay: tiny windows beat big ones decisively.
+    assert fully[sizes[0]] > fully[sizes[-1]]
+    assert fully[10] >= 2 * fully[1000]
+
+    # The paper's sharp drop moving from a handful of instructions to 50+.
+    assert fully[10] - fully[50] > 0.05 or fully[10] > 0.5
+
+    # Nearly-idempotent headroom (Encore's target) dominates everywhere.
+    for size in sizes:
+        assert target[size] >= fully[size]
+    assert target[100] > fully[100]
+
+    # Some meaningful idempotence exists even at 1000 instructions for
+    # the streaming codes, but it is a minority overall.
+    assert 0.0 <= fully[1000] < 0.5

@@ -1,0 +1,46 @@
+"""Figure 5: inherent region idempotence vs Pmin.
+
+Paper shape: ~49% of regions idempotent without pruning, ~75% at
+Pmin=0.0, with nearly all the benefit arriving at 0.0 and only small
+further gains at 0.1/0.25.  FP and media codes sit above the integer
+codes; Unknown segments come from library calls.
+"""
+
+from repro.experiments import fig5_idempotence
+from repro.workloads import SUITE_SPEC_FP, SUITE_SPEC_INT, workloads_in_suite
+
+
+def _mean_idem(data, pmin):
+    values = [by_pmin[pmin]["idempotent"] for by_pmin in data.fractions.values()]
+    return sum(values) / len(values)
+
+
+def test_fig5_region_idempotence(once):
+    data = once(fig5_idempotence.run)
+    print()
+    print(fig5_idempotence.render(data))
+
+    unpruned = _mean_idem(data, None)
+    p0 = _mean_idem(data, 0.0)
+    p1 = _mean_idem(data, 0.1)
+    p25 = _mean_idem(data, 0.25)
+
+    # Paper: 49% unpruned -> 75% at Pmin=0.0.  Match the band and the
+    # big-jump-then-plateau shape.
+    assert 0.35 <= unpruned <= 0.65, unpruned
+    assert 0.55 <= p0 <= 0.85, p0
+    assert p0 - unpruned >= 0.08, "pruning dead code must be the main win"
+    assert p25 >= p1 >= p0, "idempotence grows monotonically with Pmin"
+    assert (p25 - p0) < (p0 - unpruned) + 0.10, "most benefit at Pmin=0.0"
+
+    # Suite ordering: FP more idempotent than INT (paper Section 5.1).
+    int_names = [s.name for s in workloads_in_suite(SUITE_SPEC_INT)]
+    fp_names = [s.name for s in workloads_in_suite(SUITE_SPEC_FP)]
+    int_mean = sum(data.fractions[n][0.0]["idempotent"] for n in int_names) / len(int_names)
+    fp_mean = sum(data.fractions[n][0.0]["idempotent"] for n in fp_names) / len(fp_names)
+    assert fp_mean > int_mean
+
+    # Unknown segments exist (library calls) but are a clear minority.
+    unknowns = [by_pmin[0.0]["unknown"] for by_pmin in data.fractions.values()]
+    assert any(u > 0 for u in unknowns)
+    assert sum(unknowns) / len(unknowns) < 0.25

@@ -1,0 +1,49 @@
+"""Figure 6: breakdown of dynamic execution time.
+
+Paper shape: despite comparable *static* idempotence, the FP and media
+suites spend far more of their *runtime* in Encore-recoverable code
+(idempotent + cheaply checkpointed) than the integer suite; a few
+benchmarks concede visible "w/o Encore Checkpointing" segments.
+"""
+
+from repro.experiments import fig6_breakdown
+from repro.workloads import (
+    SUITE_MEDIABENCH,
+    SUITE_SPEC_FP,
+    SUITE_SPEC_INT,
+    workloads_in_suite,
+)
+
+
+def _suite_mean(data, suite, key):
+    names = [s.name for s in workloads_in_suite(suite)]
+    return sum(data.breakdown[n][key] for n in names) / len(names)
+
+
+def test_fig6_dynamic_breakdown(once):
+    data = once(fig6_breakdown.run)
+    print()
+    print(fig6_breakdown.render(data))
+
+    for name, row in data.breakdown.items():
+        total = row["idempotent"] + row["checkpointed"] + row["unprotected"]
+        assert abs(total - 1.0) < 1e-6, name
+
+    def recoverable(suite):
+        return _suite_mean(suite=suite, data=data, key="idempotent") + _suite_mean(
+            suite=suite, data=data, key="checkpointed"
+        )
+
+    # FP and media runtimes are more Encore-recoverable than INT.
+    assert recoverable(SUITE_SPEC_FP) > recoverable(SUITE_SPEC_INT)
+    assert recoverable(SUITE_MEDIABENCH) > recoverable(SUITE_SPEC_INT)
+    # And strongly so overall: the mean recoverable fraction is high.
+    overall = sum(
+        row["idempotent"] + row["checkpointed"] for row in data.breakdown.values()
+    ) / len(data.breakdown)
+    assert overall > 0.75
+
+    # Idempotent runtime dominates somewhere (mgrid/djpeg-class codes).
+    assert any(row["idempotent"] > 0.8 for row in data.breakdown.values())
+    # And some benchmark concedes coverage (bzip2-class codes).
+    assert any(row["unprotected"] > 0.1 for row in data.breakdown.values())

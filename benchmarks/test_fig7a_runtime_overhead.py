@@ -1,0 +1,43 @@
+"""Figure 7a: runtime overhead under static vs optimistic alias analysis.
+
+Paper shape: every benchmark stays within (well under) the ~20%
+budget, the suite average lands in the low-to-mid teens, and a more
+powerful (optimistic) alias analysis lowers the overhead for the
+benchmarks whose checkpoints come from unprovable aliasing.
+"""
+
+from repro.experiments import fig7_overheads
+
+
+def test_fig7a_runtime_overhead(once):
+    data = once(fig7_overheads.run)
+    print()
+    print(fig7_overheads.render(data))
+
+    static = {n: v["static"] for n, v in data.overheads.items()}
+    optimistic = {n: v["optimistic"] for n, v in data.overheads.items()}
+    measured = {n: v["measured"] for n, v in data.overheads.items()}
+
+    # Budget respected everywhere (paper: tuned to ~20%).
+    for name, value in static.items():
+        assert value <= 0.21, (name, value)
+
+    # Mean overhead in the paper's ballpark (14%): ours is mid-single to
+    # low-double digits; assert the band rather than the point.
+    mean_static = sum(static.values()) / len(static)
+    assert 0.02 <= mean_static <= 0.20, mean_static
+
+    # The optimistic bound helps overall and dramatically for some
+    # benchmarks (where checkpointing is alias-analysis-forced).
+    mean_opt = sum(optimistic[n] for n in static) / len(static)
+    assert mean_opt <= mean_static + 1e-9
+    assert any(
+        static[n] > 1.5 * optimistic[n] + 1e-9 and static[n] > 0.03
+        for n in static
+    ), "some benchmark must show a big static->optimistic win"
+
+    # The profile-based estimate tracks the measured instrumented run.
+    for name in static:
+        if measured[name] > 0.01:
+            ratio = measured[name] / max(static[name], 1e-9)
+            assert 0.7 <= ratio <= 1.3, (name, ratio)

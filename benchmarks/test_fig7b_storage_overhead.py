@@ -1,0 +1,32 @@
+"""Figure 7b: checkpoint storage bytes per region.
+
+Paper shape: on the order of tens of bytes per region (the paper
+reports a 24-byte average) — memory checkpoints store data + address,
+register checkpoints one word — orders of magnitude below full-system
+checkpointing footprints.
+"""
+
+from repro.experiments import fig7_overheads
+
+
+def test_fig7b_storage_overhead(once):
+    data = once(fig7_overheads.run, measure=False)
+    print()
+    print(fig7_overheads.render(data))
+
+    totals = [v["total"] for v in data.storage.values()]
+    mean_total = sum(totals) / len(totals)
+
+    # Tens of bytes, not kilobytes: the paper's order of magnitude.
+    assert 1.0 <= mean_total <= 100.0, mean_total
+    assert max(totals) < 500.0
+
+    # Both contributions exist somewhere: memory (data+address) and
+    # register words.
+    assert any(v["memory"] > 0 for v in data.storage.values())
+    assert any(v["register"] > 0 for v in data.storage.values())
+
+    # Memory checkpoints store two words per site, register one: where
+    # both exist, totals decompose exactly.
+    for name, v in data.storage.items():
+        assert abs(v["total"] - (v["memory"] + v["register"])) < 1e-9, name

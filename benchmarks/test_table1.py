@@ -1,0 +1,22 @@
+"""Table 1: Encore's measured envelope vs conventional checkpointing."""
+
+from repro.experiments import table1
+
+
+def test_table1_envelope(once):
+    data = once(table1.run)
+    print()
+    print(table1.render(data))
+
+    # The paper's Encore column: intervals of 100-1000 instructions.
+    # Our selected regions must land in (or around) that band; a few
+    # naturally-large level-1 intervals (un-merged single loops) may
+    # exceed it.
+    assert data.interval_mean < 2_000
+    assert data.interval_max <= 50_000
+    assert data.interval_min >= 1
+
+    # Storage: ~10-100 B per region, orders of magnitude under the
+    # architectural (0.5-1 MB) and enterprise (0.5-1 GB) schemes.
+    assert data.storage_mean < 200
+    assert data.storage_max < 1_000

@@ -1,0 +1,105 @@
+"""Table 1, measured: Encore vs working conventional-recovery baselines.
+
+The paper's Table 1 contrasts Encore with enterprise full-system
+checkpointing and architectural log-based recovery on qualitative
+attributes.  With all three mechanisms implemented on the same
+interpreter the comparison becomes quantitative — with one scale
+caveat: our programs' entire memory footprints are kilobytes, so the
+paper's GB-vs-bytes storage gap appears here as a *scaling law*
+(full-system storage tracks the memory footprint; Encore's tracks its
+few checkpoint sites, independent of footprint) rather than as raw
+orders of magnitude.
+"""
+
+from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
+from repro.ir.types import WORD_BYTES
+from repro.runtime import DetectionModel, Interpreter, run_campaign
+from repro.runtime.baselines import run_baseline_campaign
+from repro.workloads import build_workload
+
+WORKLOADS = ["mpeg2dec", "g721decode"]
+TRIALS = 40
+LATENCY = 10
+
+
+def _measure(name):
+    row = {}
+
+    built = build_workload(name)
+    footprint_words = sum(obj.size for obj in built.module.globals.values())
+    report = compile_for_encore(built.module, EncoreConfig(), args=built.args)
+    interp = Interpreter(report.module)
+    interp.run(built.entry, built.args)
+    peak = max(interp.peak_ckpt_words.values()) if interp.peak_ckpt_words else 0
+    campaign = run_campaign(
+        report.module, args=built.args, output_objects=built.output_objects,
+        detector=DetectionModel(dmax=LATENCY), trials=TRIALS, seed=19,
+    )
+    row["encore"] = {
+        "covered": campaign.covered_fraction,
+        "storage_bytes": peak * WORD_BYTES,
+        "overhead": report.estimated_overhead(),
+    }
+    row["footprint_bytes"] = footprint_words * WORD_BYTES
+    row["idempotent_runtime"] = report.dynamic_breakdown()["idempotent"]
+
+    for scheme, interval in (("full", 2000), ("log", 2000)):
+        built = build_workload(name)
+        baseline = run_baseline_campaign(
+            built.module, scheme, interval=interval,
+            args=built.args, output_objects=built.output_objects,
+            trials=TRIALS, latency=LATENCY, seed=19,
+        )
+        golden = Interpreter(built.module).run(built.entry, built.args)
+        overhead = baseline.stats.words_copied / max(golden.events, 1)
+        if scheme == "log":
+            overhead += 2 * baseline.stats.log_entries / max(golden.events, 1)
+        row[scheme] = {
+            "covered": baseline.covered_fraction,
+            "storage_bytes": baseline.stats.peak_storage_bytes,
+            "overhead": overhead,
+        }
+    return row
+
+
+def run_comparison():
+    return {name: _measure(name) for name in WORKLOADS}
+
+
+def test_table1_measured_comparison(once):
+    rows = once(run_comparison)
+    print()
+    for name, row in rows.items():
+        print(f"--- {name} (memory footprint {row['footprint_bytes']}B)")
+        print(f"{'scheme':<8} {'covered':>9} {'storage':>10} {'ckpt ovh':>9}")
+        for scheme in ("encore", "full", "log"):
+            cell = row[scheme]
+            print(f"{scheme:<8} {cell['covered']:>9.1%} "
+                  f"{cell['storage_bytes']:>9}B {cell['overhead']:>9.1%}")
+
+    for name, row in rows.items():
+        # Full-system storage is the footprint: it scales with memory,
+        # not with program behaviour (the GB column of Table 1 at scale).
+        assert row["full"]["storage_bytes"] >= 0.8 * row["footprint_bytes"], name
+        # Conventional schemes pay checkpoint work proportional to the
+        # state they copy/log; Encore pays only for its few sites.
+        assert row["encore"]["overhead"] < row["full"]["overhead"], name
+        # Guaranteed-recovery schemes land at near-total coverage;
+        # Encore is probabilistic but in the same band.
+        assert row["full"]["covered"] > 0.9, name
+        assert row["log"]["covered"] > 0.9, name
+        assert row["encore"]["covered"] > 0.75, name
+
+    # The scaling law: on an idempotence-dominated workload Encore's
+    # storage is negligible and footprint-independent, while the
+    # baselines still pay for the whole state.
+    streaming = rows["mpeg2dec"]
+    assert streaming["idempotent_runtime"] > 0.9
+    assert streaming["encore"]["storage_bytes"] * 10 < streaming["full"]["storage_bytes"]
+    # Encore storage is driven by checkpoint sites, not footprint: the
+    # WAR-heavy codec needs orders of magnitude more Encore storage than
+    # the idempotent one despite comparable memory footprints.
+    assert (
+        rows["g721decode"]["encore"]["storage_bytes"]
+        > 10 * rows["mpeg2dec"]["encore"]["storage_bytes"]
+    )

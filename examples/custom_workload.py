@@ -1,0 +1,89 @@
+"""Protect your own application: authoring a workload with the Kit API.
+
+Shows the full authoring-to-protection path a downstream user follows:
+write an image-blur pipeline with the structured-control Kit, inspect
+which regions Encore finds and why, and verify the instrumented program
+produces identical output.
+
+Run with:  python examples/custom_workload.py
+"""
+
+import copy
+
+from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
+from repro.runtime import Interpreter
+from repro.workloads import Kit, int_data, new_workload
+
+
+def build_blur_pipeline():
+    """A 3-stage image pipeline: blur (idempotent), gamma table rebuild
+    (WAR on the table), and histogram equalization (WAR on counts)."""
+    module, kit = new_workload("blur_pipeline")
+    b = kit.b
+    width = 96
+    src = module.add_global("src", width, init=int_data("blur.src", width, 0, 255))
+    dst = module.add_global("dst", width)
+    gamma = module.add_global("gamma", 32, init=[i * 8 for i in range(32)])
+    hist = module.add_global("hist", 32)
+    b.block("entry")
+
+    # Stage 1: 3-tap blur, reads src / writes dst — inherently idempotent.
+    def blur(i):
+        left = b.load(src, kit.clamp(b.sub(i, 1), 0, width - 1))
+        mid = b.load(src, i)
+        right = b.load(src, kit.clamp(b.add(i, 1), 0, width - 1))
+        total = b.add(b.add(left, right), b.mul(mid, 2))
+        b.store(dst, i, b.lshr(total, 2))
+
+    kit.counted(width, blur, "blur")
+
+    # Stage 2: in-place gamma-table sharpening — a WAR on every entry.
+    def sharpen(k):
+        old = b.load(gamma, k)                  # read ...
+        b.store(gamma, k, b.lshr(b.mul(old, 9), 3))  # ... then overwrite
+
+    kit.counted(32, sharpen, "sharpen")
+
+    # Stage 3: histogram of gamma-corrected output (WAR on the buckets).
+    def count(i):
+        v = b.load(dst, i)
+        bucket = b.lshr(v, 3)
+        g = b.load(gamma, kit.clamp(bucket, 0, 31))
+        cell = b.and_(g, 31)
+        cur = b.load(hist, cell)
+        b.store(hist, cell, b.add(cur, 1))
+
+    kit.counted(width, count, "histeq")
+    b.ret(b.load(hist, 0))
+    return module
+
+
+def main() -> None:
+    module = build_blur_pipeline()
+    golden = Interpreter(copy.deepcopy(module)).run(
+        "main", output_objects=["dst", "gamma", "hist"]
+    )
+    report = compile_for_encore(module, EncoreConfig(), clone=True)
+
+    print("region analysis:")
+    for region in sorted(report.candidate_regions, key=lambda r: -r.dyn_instructions):
+        mark = "*" if region.selected else " "
+        print(f" {mark} {region.header:<16} {region.status.value:<16} "
+              f"{region.dyn_instructions:>6} dyn instrs, "
+              f"{len(region.checkpoint_sites)} checkpoint site(s)")
+    print("   (* = selected for protection)")
+
+    idem = [r for r in report.selected_regions if r.status is RegionStatus.IDEMPOTENT]
+    print(f"\n{len(idem)} selected regions need no memory checkpoints at all;")
+    print(f"estimated overhead {report.estimated_overhead():.1%}, "
+          f"storage {report.instrumentation.mean_region_bytes:.0f} B/region")
+
+    result = Interpreter(report.module).run(
+        "main", output_objects=["dst", "gamma", "hist"]
+    )
+    assert result.output == golden.output and result.value == golden.value
+    print("instrumented pipeline output verified identical to golden run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Dial in reliability vs overhead: the end-user knobs of Encore.
+
+The paper pitches Encore as "programmable heuristics that allow the
+end-user to dial in the desired degree of fault-tolerance and therefore
+only incur as much runtime overhead as they are able to budget."  This
+example sweeps the overhead budget and the Pmin pruning threshold for
+one benchmark and prints the resulting frontier.
+
+Run with:  python examples/tuning_reliability_budget.py [benchmark]
+"""
+
+import sys
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.workloads import build_workload
+
+BUDGETS = (0.02, 0.05, 0.10, 0.20, 0.40)
+PMINS = (None, 0.0, 0.1, 0.25)
+DMAX = 100
+
+
+def sweep_budget(benchmark: str) -> None:
+    print(f"overhead budget sweep ({benchmark}, Pmin=0.0, Dmax={DMAX}):")
+    print(f"{'budget':>8} {'est ovh':>9} {'coverage':>10} {'regions':>8}")
+    for budget in BUDGETS:
+        built = build_workload(benchmark)
+        report = compile_for_encore(
+            built.module,
+            EncoreConfig(overhead_budget=budget),
+            args=built.args,
+        )
+        print(f"{budget:>8.0%} {report.estimated_overhead():>9.1%} "
+              f"{report.coverage(DMAX).recoverable:>10.1%} "
+              f"{len(report.selected_regions):>8}")
+
+
+def sweep_pmin(benchmark: str) -> None:
+    print(f"\nPmin pruning sweep ({benchmark}, 20% budget):")
+    print(f"{'Pmin':>8} {'idem regions':>13} {'est ovh':>9} {'coverage':>10}")
+    for pmin in PMINS:
+        built = build_workload(benchmark)
+        report = compile_for_encore(
+            built.module, EncoreConfig(pmin=pmin), args=built.args
+        )
+        from repro.encore import RegionStatus
+
+        idem = report.region_status_fractions()[RegionStatus.IDEMPOTENT]
+        label = "none" if pmin is None else f"{pmin:g}"
+        print(f"{label:>8} {idem:>13.1%} {report.estimated_overhead():>9.1%} "
+              f"{report.coverage(DMAX).recoverable:>10.1%}")
+
+
+def main(benchmark: str = "183.equake") -> None:
+    sweep_budget(benchmark)
+    sweep_pmin(benchmark)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "183.equake")

@@ -1,0 +1,16 @@
+"""repro — a reproduction of Encore (MICRO 2011).
+
+Encore: low-cost, fine-grained transient fault recovery via compiler-
+constructed, statistically idempotent code regions.
+
+Public entry points:
+
+* :mod:`repro.ir` — the compiler IR workloads are written in.
+* :mod:`repro.encore` — the Encore pipeline (analysis, region formation,
+  instrumentation, coverage model).
+* :mod:`repro.runtime` — interpreter, fault injection, and recovery.
+* :mod:`repro.workloads` — the benchmark suite.
+* :mod:`repro.experiments` — regenerators for every paper table/figure.
+"""
+
+__version__ = "1.0.0"

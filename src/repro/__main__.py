@@ -1,0 +1,5 @@
+"""``python -m repro`` — the Encore command-line tool."""
+
+from repro.cli import main
+
+raise SystemExit(main())

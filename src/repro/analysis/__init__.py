@@ -1,0 +1,29 @@
+"""Compiler analyses used by the Encore passes."""
+
+from repro.analysis.alias import AddrKey, AliasAnalysis, PointsToAnalysis, UNKNOWN_INDEX
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.cfg import CFGView, post_order, reverse_graph, topological_order
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.intervals import Interval, IntervalHierarchy, partition_into_intervals
+from repro.analysis.liveness import LivenessAnalysis
+from repro.analysis.loops import Loop, LoopForest
+
+__all__ = [
+    "AddrKey",
+    "AliasAnalysis",
+    "CFGView",
+    "CallGraph",
+    "DominatorTree",
+    "Interval",
+    "IntervalHierarchy",
+    "LivenessAnalysis",
+    "Loop",
+    "LoopForest",
+    "PointsToAnalysis",
+    "UNKNOWN_INDEX",
+    "build_call_graph",
+    "partition_into_intervals",
+    "post_order",
+    "reverse_graph",
+    "topological_order",
+]

@@ -1,0 +1,325 @@
+"""Alias analysis: address abstraction, points-to, and may/must queries.
+
+The Encore idempotence equations operate on *address sets* (RS/GA/EA)
+whose membership tests are alias queries (paper Section 3.1: "the set
+subtraction operation ... is supplied with standard, conservative, static
+memory alias analysis techniques").  Two analysis modes mirror paper
+Figure 7a:
+
+``static``
+    Conservative: a reference through a pointer may alias anything its
+    points-to set allows (TOP aliases everything); a non-constant index
+    may alias any word of the same object.  Guarding (must-alias)
+    requires a statically-identical concrete address.
+
+``optimistic``
+    An approximate lower bound for a perfect (dynamic) disambiguator:
+    syntactically distinct references are assumed not to alias, while
+    identical references must alias.  This is intentionally unsound — the
+    paper uses it only to bound achievable overhead reduction.
+
+``profiled``
+    The paper's footnote-2 future work, implemented: a dynamic memory
+    profile (:mod:`repro.profiling.memprofile`) refines the static
+    answers statistically — untracked pointers shrink to the objects
+    they actually touched, and two references whose observed address
+    sets are disjoint are assumed not to alias.  Best-effort, like Pmin
+    pruning.
+
+Pointer provenance is recovered by a flow-insensitive, module-level
+points-to analysis using allocation-site abstraction for heap objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Optional, Set, Tuple, Union
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Constant, MemoryObject, MemRef, VirtualRegister
+
+
+class _UnknownIndex:
+    """Sentinel: a word index that cannot be resolved statically."""
+
+    _instance: Optional["_UnknownIndex"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unknown-index>"
+
+
+UNKNOWN_INDEX = _UnknownIndex()
+
+SymIndex = Tuple[str, str]  # ("sym", register name) — optimistic mode only
+IndexAbstraction = Union[int, SymIndex, _UnknownIndex]
+
+
+@dataclasses.dataclass(frozen=True)
+class AddrKey:
+    """Abstract address: a set of possible base objects plus a word index.
+
+    ``objs`` is a frozenset of object names, or ``None`` meaning TOP (any
+    object).  ``index`` is a concrete word offset, a symbolic token
+    (optimistic mode), or :data:`UNKNOWN_INDEX`.  In profiled mode,
+    imprecise keys additionally carry the ``observed`` set of concrete
+    (object, index) addresses the originating site touched in training.
+    """
+
+    objs: Optional[FrozenSet[str]]
+    index: IndexAbstraction
+    observed: Optional[FrozenSet[Tuple[str, int]]] = None
+
+    def concrete_address(self) -> Optional[Tuple[str, int]]:
+        """The single (object, index) this key names, if exact."""
+        if (
+            self.objs is not None
+            and len(self.objs) == 1
+            and isinstance(self.index, int)
+        ):
+            return (next(iter(self.objs)), self.index)
+        return None
+
+    def __str__(self) -> str:
+        objs = "?" if self.objs is None else "|".join(sorted(self.objs))
+        return f"{objs}[{self.index}]"
+
+
+class PointsToAnalysis:
+    """Flow-insensitive, module-level points-to sets for pointer registers.
+
+    Each pointer register in each function maps to a set of object names
+    (globals, stack objects, or ``heap:<fn>:<block>:<idx>`` allocation
+    sites) or ``None`` for TOP.  Interprocedural flow is handled by
+    propagating argument sets into parameters and TOP out of returns of
+    external calls.
+    """
+
+    TOP = None
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        # (func name, register) -> frozenset of object names or None (TOP)
+        self._sets: Dict[Tuple[str, VirtualRegister], Optional[Set[str]]] = {}
+        self._solve()
+
+    def lookup(self, func_name: str, reg: VirtualRegister) -> Optional[FrozenSet[str]]:
+        value = self._sets.get((func_name, reg))
+        if value is None:
+            return None
+        return frozenset(value)
+
+    # -- solver ---------------------------------------------------------
+
+    def _get(self, key) -> Optional[Set[str]]:
+        return self._sets.get(key, set())
+
+    def _join_into(self, key, addition: Optional[Set[str]]) -> bool:
+        """Union ``addition`` into the set at ``key``; return True on change."""
+        current = self._sets.get(key, set())
+        if current is None:
+            return False  # already TOP
+        if addition is None:
+            self._sets[key] = None
+            return True
+        new = current | addition
+        if new != current:
+            self._sets[key] = new
+            return True
+        return False
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for func in self.module:
+                changed |= self._process_function(func)
+
+    def _process_function(self, func: Function) -> bool:
+        changed = False
+        fname = func.name
+        for block in func:
+            for i, inst in enumerate(block):
+                op = inst.opcode
+                if op == "addrof":
+                    base = inst.ref.base
+                    if isinstance(base, MemoryObject):
+                        changed |= self._join_into((fname, inst.dest), {base.name})
+                    else:
+                        changed |= self._join_into(
+                            (fname, inst.dest), self._get((fname, base))
+                        )
+                elif op == "alloc":
+                    site = f"heap:{fname}:{block.label}:{i}"
+                    changed |= self._join_into((fname, inst.dest), {site})
+                elif op == "mov":
+                    src = inst.src
+                    if isinstance(src, VirtualRegister) and _is_ptr(src):
+                        changed |= self._join_into(
+                            (fname, inst.dest), self._get((fname, src))
+                        )
+                elif op == "select":
+                    for src in (inst.if_true, inst.if_false):
+                        if isinstance(src, VirtualRegister) and _is_ptr(src):
+                            changed |= self._join_into(
+                                (fname, inst.dest), self._get((fname, src))
+                            )
+                elif op == "load":
+                    if _is_ptr(inst.dest):
+                        # Pointers materialized from memory are untracked.
+                        changed |= self._join_into((fname, inst.dest), None)
+                elif op == "call":
+                    callee = self.module.get_function(inst.callee)
+                    if callee is not None:
+                        for param, arg in zip(callee.params, inst.args):
+                            if isinstance(arg, VirtualRegister) and _is_ptr(arg):
+                                changed |= self._join_into(
+                                    (callee.name, param), self._get((fname, arg))
+                                )
+                        if inst.dest is not None and _is_ptr(inst.dest):
+                            changed |= self._join_into((fname, inst.dest), None)
+                    else:
+                        if inst.dest is not None and _is_ptr(inst.dest):
+                            changed |= self._join_into((fname, inst.dest), None)
+        return changed
+
+
+def _is_ptr(reg: VirtualRegister) -> bool:
+    from repro.ir.types import Type
+
+    return reg.type is Type.PTR
+
+
+class AliasAnalysis:
+    """May/must alias queries over :class:`AddrKey` abstractions."""
+
+    def __init__(
+        self,
+        module: Module,
+        mode: str = "static",
+        memory_profile=None,
+    ) -> None:
+        if mode not in ("static", "optimistic", "profiled"):
+            raise ValueError(f"unknown alias mode {mode!r}")
+        if mode == "profiled" and memory_profile is None:
+            raise ValueError("profiled mode requires a memory_profile")
+        self.module = module
+        self.mode = mode
+        self.memory_profile = memory_profile
+        self.points_to = PointsToAnalysis(module)
+
+    # -- key construction -------------------------------------------------
+
+    def key(self, func_name: str, ref: MemRef, site=None) -> AddrKey:
+        """Abstract ``ref`` (as written in function ``func_name``).
+
+        ``site`` is the instruction's ``(function, block, index)``
+        location, used by profiled mode to look up training-run
+        observations.
+        """
+        direct = isinstance(ref.base, MemoryObject)
+        if direct:
+            objs: Optional[FrozenSet[str]] = frozenset([ref.base.name])
+        else:
+            objs = self.points_to.lookup(func_name, ref.base)
+        # The word index is only absolute for direct references; through
+        # a pointer the base offset is unknown, so even a constant index
+        # cannot be placed within the object.
+        if direct and isinstance(ref.index, Constant):
+            index: IndexAbstraction = int(ref.index.value)
+        elif self.mode == "optimistic":
+            if isinstance(ref.index, Constant):
+                index = ("sym", f"{ref.base.name}+{int(ref.index.value)}")
+            else:
+                index = ("sym", ref.index.name)
+        else:
+            index = UNKNOWN_INDEX
+        observed = None
+        if (
+            self.mode == "profiled"
+            and site is not None
+            and (objs is None or not isinstance(index, int))
+        ):
+            observed = self.memory_profile.observed_addresses(site)
+            if objs is None:
+                refined = self.memory_profile.observed_objects(site)
+                if refined is not None:
+                    objs = refined
+        return AddrKey(objs, index, observed)
+
+    # -- queries -----------------------------------------------------------
+
+    def may_alias(self, a: AddrKey, b: AddrKey) -> bool:
+        if self.mode == "optimistic":
+            return self.must_alias(a, b)
+        if self.mode == "profiled":
+            verdict = self._observed_overlap(a, b)
+            if verdict is not None:
+                return verdict
+        if a.objs is None or b.objs is None:
+            return True
+        if not (a.objs & b.objs):
+            return False
+        return self._index_may_equal(a.index, b.index)
+
+    def must_alias(self, a: AddrKey, b: AddrKey) -> bool:
+        if self.mode == "optimistic":
+            # Perfect-disambiguator approximation: identical references
+            # (same object set, same index expression) must alias.
+            return a == b and a.objs is not None
+        if self.mode == "profiled":
+            for x, y in ((a, b), (b, a)):
+                if x.observed is not None and len(x.observed) == 1:
+                    only = next(iter(x.observed))
+                    if y.observed is not None and y.observed == x.observed:
+                        return True
+                    if y.concrete_address() == only:
+                        return True
+        if a.objs is None or b.objs is None:
+            return False
+        if len(a.objs) != 1 or a.objs != b.objs:
+            return False
+        return (
+            isinstance(a.index, int)
+            and isinstance(b.index, int)
+            and a.index == b.index
+        )
+
+    @staticmethod
+    def _observed_overlap(a: AddrKey, b: AddrKey) -> Optional[bool]:
+        """Decide aliasing from training observations when both sides
+        are pinned down; None defers to the static rules."""
+        a_set = a.observed
+        if a_set is None:
+            concrete = a.concrete_address()
+            a_set = frozenset([concrete]) if concrete else None
+        b_set = b.observed
+        if b_set is None:
+            concrete = b.concrete_address()
+            b_set = frozenset([concrete]) if concrete else None
+        if a_set is None or b_set is None:
+            return None
+        if a.observed is None and b.observed is None:
+            return None  # both fully static: use the exact rules
+        return bool(a_set & b_set)
+
+    @staticmethod
+    def _index_may_equal(a: IndexAbstraction, b: IndexAbstraction) -> bool:
+        if isinstance(a, int) and isinstance(b, int):
+            return a == b
+        return True  # any unknown/symbolic index may equal anything
+
+    # -- set-level helpers used by the idempotence equations ---------------
+
+    def key_in_must(self, key: AddrKey, keys: Set[AddrKey]) -> bool:
+        """True when some member of ``keys`` must-aliases ``key``."""
+        return any(self.must_alias(key, other) for other in keys)
+
+    def key_in_may(self, key: AddrKey, keys: Set[AddrKey]) -> bool:
+        """True when some member of ``keys`` may-alias ``key``."""
+        return any(self.may_alias(key, other) for other in keys)

@@ -1,0 +1,112 @@
+"""Call-graph construction with SCC detection (Tarjan).
+
+Used by the inliner for bottom-up processing order and available to any
+interprocedural analysis that needs recursion detection beyond the
+summary builder's on-the-fly cycle check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.ir.module import Module
+
+
+@dataclasses.dataclass
+class CallGraph:
+    """Edges between module functions, plus externals per caller."""
+
+    callees: Dict[str, Set[str]]          # function -> module functions called
+    external_callees: Dict[str, Set[str]]  # function -> opaque callees
+    sccs: List[List[str]]                  # bottom-up (callees before callers)
+
+    def callers_of(self, name: str) -> List[str]:
+        return sorted(
+            caller for caller, cals in self.callees.items() if name in cals
+        )
+
+    def is_recursive(self, name: str) -> bool:
+        """Part of a cycle (including direct self-recursion)."""
+        for scc in self.sccs:
+            if name in scc:
+                return len(scc) > 1 or name in self.callees.get(name, ())
+        return False
+
+    def calls_external(self, name: str) -> bool:
+        return bool(self.external_callees.get(name))
+
+    def bottom_up(self) -> List[str]:
+        """Functions ordered callees-first (SCC members grouped)."""
+        return [name for scc in self.sccs for name in scc]
+
+
+def build_call_graph(module: Module) -> CallGraph:
+    callees: Dict[str, Set[str]] = {}
+    externals: Dict[str, Set[str]] = {}
+    for func in module:
+        inside: Set[str] = set()
+        outside: Set[str] = set()
+        for block in func:
+            for inst in block:
+                if inst.opcode != "call":
+                    continue
+                if module.get_function(inst.callee) is not None:
+                    inside.add(inst.callee)
+                else:
+                    outside.add(inst.callee)
+        callees[func.name] = inside
+        externals[func.name] = outside
+    sccs = _tarjan_sccs(callees)
+    return CallGraph(callees, externals, sccs)
+
+
+def _tarjan_sccs(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's algorithm, iterative; emits SCCs callees-first."""
+    index_counter = [0]
+    indices: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+
+    for root in adjacency:
+        if root in indices:
+            continue
+        work = [(root, iter(sorted(adjacency.get(root, ()))))]
+        indices[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for child in it:
+                if child not in adjacency:
+                    continue
+                if child not in indices:
+                    indices[child] = lowlink[child] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                scc: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                result.append(sorted(scc))
+    return result

@@ -1,0 +1,125 @@
+"""Control-flow-graph utilities shared by all analyses.
+
+:class:`CFGView` snapshots a function's control flow as plain label
+graphs (successor/predecessor maps restricted to reachable blocks) so
+analyses do not have to re-derive edges, and provides the standard
+traversal orders (post-order, reverse post-order, topological order on
+acyclic subgraphs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.function import Function
+
+
+class CFGView:
+    """An immutable snapshot of a function's reachable CFG."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.entry = func.entry_label
+        reachable = func.reachable_labels()
+        # Preserve function block order for determinism.
+        self.labels: List[str] = [l for l in func.blocks if l in reachable]
+        self.succs: Dict[str, Tuple[str, ...]] = {
+            label: tuple(s for s in func.successors(label) if s in reachable)
+            for label in self.labels
+        }
+        self.preds: Dict[str, List[str]] = {label: [] for label in self.labels}
+        for label in self.labels:
+            for succ in self.succs[label]:
+                self.preds[succ].append(label)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.succs
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    # -- traversals -----------------------------------------------------
+
+    def post_order(self, root: Optional[str] = None) -> List[str]:
+        """Iterative DFS post-order from ``root`` (default: entry)."""
+        return post_order(self.succs, root or self.entry)
+
+    def reverse_post_order(self, root: Optional[str] = None) -> List[str]:
+        order = self.post_order(root)
+        order.reverse()
+        return order
+
+    def exit_labels(self) -> List[str]:
+        return [l for l in self.labels if not self.succs[l]]
+
+
+def post_order(succs: Dict[str, Sequence[str]], root: str) -> List[str]:
+    """Iterative DFS post-order over an adjacency map."""
+    order: List[str] = []
+    visited: Set[str] = set()
+    # Stack of (node, iterator-index) pairs emulating recursion.
+    stack: List[list] = [[root, 0]]
+    visited.add(root)
+    while stack:
+        node, idx = stack[-1]
+        children = succs.get(node, ())
+        if idx < len(children):
+            stack[-1][1] += 1
+            child = children[idx]
+            if child not in visited and child in succs:
+                visited.add(child)
+                stack.append([child, 0])
+        else:
+            order.append(node)
+            stack.pop()
+    return order
+
+
+def reachable_from(succs: Dict[str, Sequence[str]], root: str) -> Set[str]:
+    """All nodes reachable from ``root`` in the adjacency map."""
+    seen: Set[str] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in seen or node not in succs:
+            continue
+        seen.add(node)
+        stack.extend(succs[node])
+    return seen
+
+
+def reverse_graph(succs: Dict[str, Sequence[str]]) -> Dict[str, List[str]]:
+    """Reverse an adjacency map."""
+    rev: Dict[str, List[str]] = {node: [] for node in succs}
+    for node, children in succs.items():
+        for child in children:
+            if child in rev:
+                rev[child].append(node)
+    return rev
+
+
+def topological_order(
+    succs: Dict[str, Sequence[str]], roots: Iterable[str]
+) -> List[str]:
+    """Topological order of an acyclic adjacency map (Kahn's algorithm).
+
+    Raises ``ValueError`` if the graph has a cycle — callers collapse
+    loops before requesting a topological order.
+    """
+    indegree: Dict[str, int] = {node: 0 for node in succs}
+    for node, children in succs.items():
+        for child in children:
+            if child in indegree:
+                indegree[child] += 1
+    worklist = [r for r in roots if indegree.get(r, 1) == 0]
+    order: List[str] = []
+    while worklist:
+        node = worklist.pop()
+        order.append(node)
+        for child in succs.get(node, ()):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                worklist.append(child)
+    if len(order) != len(succs):
+        raise ValueError("graph has a cycle; collapse loops first")
+    return order

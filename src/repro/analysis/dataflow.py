@@ -1,0 +1,80 @@
+"""A small generic worklist solver for iterative dataflow problems."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Hashable, Iterable, Mapping, Sequence, Set, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+def solve_backward_union(
+    nodes: Sequence[str],
+    succs: Mapping[str, Sequence[str]],
+    gen: Mapping[str, Set[T]],
+    kill: Mapping[str, Set[T]],
+) -> Dict[str, Set[T]]:
+    """Solve ``in[n] = gen[n] ∪ (∪_{s∈succ(n)} in[s] − kill[n])``.
+
+    The classic backward may-analysis shape (liveness and friends).
+    Returns the ``in`` sets at fixpoint.
+    """
+    in_sets: Dict[str, Set[T]] = {n: set(gen.get(n, set())) for n in nodes}
+    worklist = list(nodes)
+    in_work = set(nodes)
+    preds: Dict[str, list] = {n: [] for n in nodes}
+    for n in nodes:
+        for s in succs.get(n, ()):
+            if s in preds:
+                preds[s].append(n)
+    while worklist:
+        node = worklist.pop()
+        in_work.discard(node)
+        out: Set[T] = set()
+        for s in succs.get(node, ()):
+            if s in in_sets:
+                out |= in_sets[s]
+        new_in = set(gen.get(node, set())) | (out - kill.get(node, set()))
+        if new_in != in_sets[node]:
+            in_sets[node] = new_in
+            for p in preds[node]:
+                if p not in in_work:
+                    worklist.append(p)
+                    in_work.add(p)
+    return in_sets
+
+
+def solve_forward_union(
+    nodes: Sequence[str],
+    preds: Mapping[str, Sequence[str]],
+    gen: Mapping[str, Set[T]],
+    kill: Mapping[str, Set[T]],
+    boundary: Iterable[str] = (),
+) -> Dict[str, Set[T]]:
+    """Solve ``out[n] = gen[n] ∪ (∪_{p∈pred(n)} out[p] − kill[n])``.
+
+    ``boundary`` nodes start (and stay seeded) with empty incoming state.
+    Returns the ``out`` sets at fixpoint.
+    """
+    out_sets: Dict[str, Set[T]] = {n: set(gen.get(n, set())) for n in nodes}
+    succs: Dict[str, list] = {n: [] for n in nodes}
+    for n in nodes:
+        for p in preds.get(n, ()):
+            if p in succs:
+                succs[p].append(n)
+    worklist = list(nodes)
+    in_work = set(nodes)
+    while worklist:
+        node = worklist.pop()
+        in_work.discard(node)
+        incoming: Set[T] = set()
+        for p in preds.get(node, ()):
+            if p in out_sets:
+                incoming |= out_sets[p]
+        new_out = set(gen.get(node, set())) | (incoming - kill.get(node, set()))
+        if new_out != out_sets[node]:
+            out_sets[node] = new_out
+            for s in succs[node]:
+                if s not in in_work:
+                    worklist.append(s)
+                    in_work.add(s)
+    return out_sets

@@ -1,0 +1,99 @@
+"""Dominator-tree construction (Cooper–Harvey–Kennedy iterative algorithm).
+
+Encore needs dominance for two things: verifying that candidate regions
+are SEME (the header must dominate every member block) and canonicalizing
+natural loops (back edges are edges whose target dominates their source).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.cfg import CFGView
+
+
+class DominatorTree:
+    """Immediate-dominator map plus dominance queries for one function."""
+
+    def __init__(self, cfg: CFGView) -> None:
+        self.cfg = cfg
+        self.idom: Dict[str, Optional[str]] = _compute_idoms(cfg)
+        self._dom_depth: Dict[str, int] = {}
+        for label in cfg.labels:
+            self._dom_depth[label] = self._depth(label)
+
+    def _depth(self, label: str) -> int:
+        depth = 0
+        node: Optional[str] = label
+        while node is not None and node != self.cfg.entry:
+            node = self.idom[node]
+            depth += 1
+        return depth
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when ``a`` dominates ``b`` (every node dominates itself)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            if node == self.cfg.entry:
+                return False
+            node = self.idom[node]
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def children(self, label: str) -> List[str]:
+        """Dominator-tree children of ``label``."""
+        return [
+            l
+            for l in self.cfg.labels
+            if l != self.cfg.entry and self.idom[l] == label
+        ]
+
+    def dominated_set(self, label: str) -> Set[str]:
+        """All blocks dominated by ``label`` (including itself)."""
+        result = {label}
+        worklist = [label]
+        while worklist:
+            node = worklist.pop()
+            for child in self.children(node):
+                if child not in result:
+                    result.add(child)
+                    worklist.append(child)
+        return result
+
+
+def _compute_idoms(cfg: CFGView) -> Dict[str, Optional[str]]:
+    order = cfg.reverse_post_order()
+    index = {label: i for i, label in enumerate(order)}
+    idom: Dict[str, Optional[str]] = {label: None for label in cfg.labels}
+    idom[cfg.entry] = cfg.entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == cfg.entry:
+                continue
+            processed = [p for p in cfg.preds[label] if idom[p] is not None]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for pred in processed[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom[label] != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    idom[cfg.entry] = None
+    return idom

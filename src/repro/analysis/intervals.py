@@ -1,0 +1,173 @@
+"""Interval partitioning (Allen–Cocke) and the recursive interval hierarchy.
+
+Encore forms candidate recovery regions from intervals (paper Section
+3.3): an interval is a loop plus the acyclic tails dangling from it, or
+simply a SEME subgraph with a single dominating header.  Two properties
+the paper relies on are preserved here:
+
+1. every interval is single-entry (all edges from outside target the
+   header), hence SEME; and
+2. partitioning applies recursively — the interval graph of one level is
+   itself partitioned, yielding progressively coarser candidate regions
+   until the graph no longer shrinks (the *limit graph*).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.cfg import CFGView
+
+
+@dataclasses.dataclass
+class Interval:
+    """One interval at some level of the hierarchy.
+
+    ``header`` and ``members`` are node ids of the level below (labels at
+    level 1, interval ids at higher levels).  ``block_set`` flattens the
+    interval to the basic-block labels it covers, and ``header_block`` is
+    the basic-block header after flattening.
+    """
+
+    id: int
+    level: int
+    header: str
+    members: List[str]
+    block_set: Set[str]
+    header_block: str
+
+    def __repr__(self) -> str:
+        return (
+            f"<Interval L{self.level}#{self.id} header={self.header_block} "
+            f"blocks={len(self.block_set)}>"
+        )
+
+
+def partition_into_intervals(
+    succs: Dict[str, Sequence[str]],
+    preds: Dict[str, Sequence[str]],
+    entry: str,
+) -> List[List[str]]:
+    """Partition a rooted graph into intervals; each is ``[header, *rest]``.
+
+    Nodes unreachable from ``entry`` are ignored.
+    """
+    assigned: Set[str] = set()
+    header_worklist: List[str] = [entry]
+    queued: Set[str] = {entry}
+    intervals: List[List[str]] = []
+
+    while header_worklist:
+        header = header_worklist.pop(0)
+        if header in assigned:
+            continue
+        interval = [header]
+        in_interval = {header}
+        assigned.add(header)
+        changed = True
+        while changed:
+            changed = False
+            for node, node_preds in preds.items():
+                if node in assigned or node == entry:
+                    continue
+                if not node_preds:
+                    continue
+                if all(p in in_interval for p in node_preds):
+                    interval.append(node)
+                    in_interval.add(node)
+                    assigned.add(node)
+                    changed = True
+        # New headers: unassigned nodes with at least one pred inside.
+        for node in interval:
+            for succ in succs.get(node, ()):
+                if succ not in assigned and succ not in queued:
+                    header_worklist.append(succ)
+                    queued.add(succ)
+        intervals.append(interval)
+    return intervals
+
+
+class IntervalHierarchy:
+    """The recursive interval decomposition of a function's CFG.
+
+    ``levels[k]`` holds the intervals produced by the (k+1)-th application
+    of interval partitioning; level 0 intervals group basic blocks, level
+    1 intervals group level-0 intervals, and so on until the interval
+    graph stops shrinking.
+    """
+
+    def __init__(self, cfg: CFGView) -> None:
+        self.cfg = cfg
+        self.levels: List[List[Interval]] = []
+        self._build()
+
+    def _build(self) -> None:
+        # Level-0 graph: the CFG itself.
+        succs: Dict[str, Sequence[str]] = {l: list(s) for l, s in self.cfg.succs.items()}
+        preds: Dict[str, Sequence[str]] = {l: list(p) for l, p in self.cfg.preds.items()}
+        entry = self.cfg.entry
+        # node id -> (block_set, header_block) for the current graph level
+        node_info: Dict[str, tuple] = {
+            label: ({label}, label) for label in self.cfg.labels
+        }
+        next_id = 0
+        level = 1
+        while True:
+            raw = partition_into_intervals(succs, preds, entry)
+            intervals: List[Interval] = []
+            node_to_interval: Dict[str, int] = {}
+            for members in raw:
+                block_set: Set[str] = set()
+                for member in members:
+                    block_set |= node_info[member][0]
+                header_block = node_info[members[0]][1]
+                iv = Interval(
+                    id=next_id,
+                    level=level,
+                    header=members[0],
+                    members=list(members),
+                    block_set=block_set,
+                    header_block=header_block,
+                )
+                intervals.append(iv)
+                for member in members:
+                    node_to_interval[member] = iv.id
+                next_id += 1
+            self.levels.append(intervals)
+            if len(intervals) == len(succs):
+                break  # limit graph reached, no shrinkage
+            # Build the derived (interval) graph for the next round.
+            new_succs: Dict[str, List[str]] = {str(iv.id): [] for iv in intervals}
+            for node, children in succs.items():
+                src = str(node_to_interval[node])
+                for child in children:
+                    dst = str(node_to_interval[child])
+                    if dst != src and dst not in new_succs[src]:
+                        new_succs[src].append(dst)
+            new_preds: Dict[str, List[str]] = {n: [] for n in new_succs}
+            for node, children in new_succs.items():
+                for child in children:
+                    new_preds[child].append(node)
+            entry_interval = node_to_interval[entry]
+            succs = new_succs
+            preds = new_preds
+            entry = str(entry_interval)
+            node_info = {
+                str(iv.id): (iv.block_set, iv.header_block) for iv in intervals
+            }
+            level += 1
+            if len(intervals) == 1:
+                break
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def all_intervals(self) -> List[Interval]:
+        return [iv for level in self.levels for iv in level]
+
+    def intervals_at(self, level: int) -> List[Interval]:
+        """Intervals at 1-based ``level`` (clamped to the deepest level)."""
+        index = min(level, self.depth) - 1
+        return self.levels[index]

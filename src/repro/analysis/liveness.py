@@ -1,0 +1,61 @@
+"""Register liveness analysis.
+
+Encore checkpoints, at region entry, every register that is live-in to
+the region *and* overwritten somewhere inside it (paper Section 3.2) —
+the register analogue of a WAR violation.  This module provides the
+underlying per-block live-in sets and the region-level query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.dataflow import solve_backward_union
+from repro.ir.function import Function
+from repro.ir.values import VirtualRegister
+
+
+class LivenessAnalysis:
+    """Per-block ``use``/``def``/``live_in`` register sets for a function."""
+
+    def __init__(self, func: Function, cfg: CFGView = None) -> None:
+        self.func = func
+        self.cfg = cfg or CFGView(func)
+        self.use: Dict[str, Set[VirtualRegister]] = {}
+        self.defs: Dict[str, Set[VirtualRegister]] = {}
+        for label in self.cfg.labels:
+            block = func.blocks[label]
+            used: Set[VirtualRegister] = set()
+            defined: Set[VirtualRegister] = set()
+            for inst in block:
+                for reg in inst.uses():
+                    if reg not in defined:
+                        used.add(reg)
+                defined.update(inst.defs())
+            self.use[label] = used
+            self.defs[label] = defined
+        self.live_in: Dict[str, Set[VirtualRegister]] = solve_backward_union(
+            self.cfg.labels, self.cfg.succs, self.use, self.defs
+        )
+
+    def live_out(self, label: str) -> Set[VirtualRegister]:
+        out: Set[VirtualRegister] = set()
+        for succ in self.cfg.succs[label]:
+            out |= self.live_in[succ]
+        return out
+
+    def region_live_in_overwritten(
+        self, region_blocks: Iterable[str], header: str
+    ) -> List[VirtualRegister]:
+        """Registers live-in at ``header`` that some region block overwrites.
+
+        These are exactly the registers Encore must checkpoint on region
+        entry to make re-execution safe with respect to register state.
+        """
+        region = set(region_blocks)
+        overwritten: Set[VirtualRegister] = set()
+        for label in region:
+            overwritten |= self.defs.get(label, set())
+        live = self.live_in.get(header, set())
+        return sorted(live & overwritten, key=lambda r: r.name)

@@ -1,0 +1,162 @@
+"""Natural-loop discovery and the loop-nesting forest.
+
+Encore treats loops hierarchically (paper Section 3.1.2): each loop is
+summarized and then handled as a pseudo basic block by enclosing
+analyses.  A loop is *canonical* when it is a natural loop — single
+header that dominates the whole body, entered only through the header.
+Irreducible cycles cannot be put in this form; per the paper (footnote
+3) Encore refuses to instrument regions containing them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.dominators import DominatorTree
+
+
+@dataclasses.dataclass
+class Loop:
+    """A natural loop: ``header`` plus the set of body ``blocks``.
+
+    ``latches`` are in-loop predecessors of the header (back-edge
+    sources); ``exiting`` are in-loop blocks with a successor outside the
+    loop; ``exits`` are the out-of-loop successor blocks.  ``parent`` and
+    ``children`` express the nesting forest; ``depth`` is 1 for outermost
+    loops.
+    """
+
+    header: str
+    blocks: Set[str]
+    latches: Set[str]
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = dataclasses.field(default_factory=list)
+    depth: int = 1
+
+    def exiting_blocks(self, cfg: CFGView) -> List[str]:
+        return [
+            label
+            for label in sorted(self.blocks)
+            if any(s not in self.blocks for s in cfg.succs[label])
+        ]
+
+    def exit_blocks(self, cfg: CFGView) -> List[str]:
+        exits = []
+        for label in sorted(self.blocks):
+            for succ in cfg.succs[label]:
+                if succ not in self.blocks and succ not in exits:
+                    exits.append(succ)
+        return exits
+
+    def contains_loop(self, other: "Loop") -> bool:
+        return other is not self and other.blocks <= self.blocks
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={len(self.blocks)} depth={self.depth}>"
+
+
+class LoopForest:
+    """All natural loops of a function, organized by nesting."""
+
+    def __init__(self, cfg: CFGView, domtree: Optional[DominatorTree] = None) -> None:
+        self.cfg = cfg
+        self.domtree = domtree or DominatorTree(cfg)
+        self.loops: List[Loop] = _find_natural_loops(cfg, self.domtree)
+        self.irreducible: bool = _has_irreducible_cycles(cfg, self.domtree)
+        _build_nesting(self.loops)
+        self._header_index: Dict[str, Loop] = {l.header: l for l in self.loops}
+
+    def loop_with_header(self, header: str) -> Optional[Loop]:
+        return self._header_index.get(header)
+
+    def innermost_loop_of(self, label: str) -> Optional[Loop]:
+        """The innermost loop containing ``label`` (or None)."""
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if label in loop.blocks:
+                if best is None or loop.depth > best.depth:
+                    best = loop
+        return best
+
+    def top_level_loops(self) -> List[Loop]:
+        return [l for l in self.loops if l.parent is None]
+
+    def inner_to_outer(self) -> List[Loop]:
+        """Loops ordered innermost-first (analysis order, paper §3.1.2)."""
+        return sorted(self.loops, key=lambda l: -l.depth)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+
+def _find_natural_loops(cfg: CFGView, domtree: DominatorTree) -> List[Loop]:
+    # Back edge: tail -> head where head dominates tail.
+    bodies: Dict[str, Set[str]] = {}
+    latches: Dict[str, Set[str]] = {}
+    for tail in cfg.labels:
+        for head in cfg.succs[tail]:
+            if domtree.dominates(head, tail):
+                body = bodies.setdefault(head, {head})
+                latches.setdefault(head, set()).add(tail)
+                # Walk predecessors backward from the latch up to the header.
+                worklist = [tail]
+                while worklist:
+                    node = worklist.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    worklist.extend(cfg.preds[node])
+    return [
+        Loop(header=h, blocks=bodies[h], latches=latches[h])
+        for h in sorted(bodies)
+    ]
+
+
+def _build_nesting(loops: List[Loop]) -> None:
+    # Smaller loops nest inside larger ones; ties cannot occur because two
+    # distinct natural loops with the same block set share a header and
+    # would have been merged.
+    by_size = sorted(loops, key=lambda l: len(l.blocks))
+    for i, inner in enumerate(by_size):
+        for outer in by_size[i + 1:]:
+            if inner.blocks <= outer.blocks and inner is not outer:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+    for loop in by_size:
+        depth = 1
+        node = loop.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        loop.depth = depth
+
+
+def _has_irreducible_cycles(cfg: CFGView, domtree: DominatorTree) -> bool:
+    """Detect retreating edges that are not back edges (irreducibility)."""
+    color: Dict[str, int] = {}
+    WHITE, GREY, BLACK = 0, 1, 2
+    for label in cfg.labels:
+        color[label] = WHITE
+    stack: List[Tuple[str, int]] = [(cfg.entry, 0)]
+    color[cfg.entry] = GREY
+    frames: List[List] = [[cfg.entry, 0]]
+    while frames:
+        node, idx = frames[-1]
+        children = cfg.succs[node]
+        if idx < len(children):
+            frames[-1][1] += 1
+            child = children[idx]
+            if color[child] == WHITE:
+                color[child] = GREY
+                frames.append([child, 0])
+            elif color[child] == GREY:
+                # Retreating edge: reducible iff the target dominates source.
+                if not domtree.dominates(child, node):
+                    return True
+        else:
+            color[node] = BLACK
+            frames.pop()
+    return False

@@ -1,0 +1,208 @@
+"""The ``encore`` command-line tool.
+
+Operates on textual IR files (the format of :mod:`repro.ir.printer`),
+so a downstream user can protect a program without writing Python:
+
+* ``analyze``  — print the candidate-region table for a module;
+* ``protect``  — run the full Encore pipeline and write the
+  instrumented module (plus a report) out;
+* ``run``      — execute a module and print its result;
+* ``inject``   — run an SFI campaign against a module.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.frontend import compile_source
+from repro.ir import module_to_text, parse_module, verify_module
+from repro.opt import optimize_module
+from repro.runtime import DetectionModel, Interpreter, run_campaign
+
+
+def _load(path: str):
+    """Load a module from textual IR (.ir) or MC source (anything else)."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".mc") or text.lstrip().startswith(("global", "extern", "int", "float", "void")):
+        return compile_source(text)
+    module = parse_module(text)
+    verify_module(module)
+    return module
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pmin", type=float, default=0.0,
+                        help="pruning threshold (use --no-pruning to disable)")
+    parser.add_argument("--no-pruning", action="store_true",
+                        help="disable Pmin pruning entirely")
+    parser.add_argument("--budget", type=float, default=0.20,
+                        help="overhead budget fraction (default 0.20)")
+    parser.add_argument("--alias", choices=["static", "optimistic", "profiled"],
+                        default="static")
+    parser.add_argument("--gamma", type=float, default=1.0)
+    parser.add_argument("--eta", type=float, default=0.25)
+
+
+def _config_from(args) -> EncoreConfig:
+    return EncoreConfig(
+        pmin=None if args.no_pruning else args.pmin,
+        overhead_budget=args.budget,
+        alias_mode=args.alias,
+        gamma=args.gamma,
+        eta=args.eta,
+    )
+
+
+def _int_args(tokens: List[str]) -> List[int]:
+    return [int(token) for token in tokens]
+
+
+def cmd_analyze(args) -> int:
+    module = _load(args.module)
+    report = compile_for_encore(
+        module, _config_from(args), args=_int_args(args.args), instrument=False
+    )
+    print(f"{'region':<24} {'status':<16} {'sel':<4} {'dyn':>9} "
+          f"{'act.len':>9} {'ckpts':>6} {'regs':>5}")
+    for region in sorted(
+        report.candidate_regions, key=lambda r: -r.dyn_instructions
+    ):
+        print(f"{region.func + '/' + region.header:<24} "
+              f"{region.status.value:<16} "
+              f"{'yes' if region.selected else 'no':<4} "
+              f"{region.dyn_instructions:>9} "
+              f"{region.activation_length:>9.1f} "
+              f"{sum(len(s.refs) for s in region.checkpoint_sites):>6} "
+              f"{len(region.live_in_checkpoints):>5}")
+    print(f"\nestimated overhead: {report.estimated_overhead():.2%}")
+    print(f"recoverable at Dmax=100: {report.coverage(100).recoverable:.2%}")
+    return 0
+
+
+def cmd_protect(args) -> int:
+    module = _load(args.module)
+    report = compile_for_encore(
+        module, _config_from(args), args=_int_args(args.args), clone=False
+    )
+    output = args.output or args.module.replace(".ir", "") + ".encore.ir"
+    with open(output, "w") as handle:
+        handle.write(module_to_text(report.module))
+        handle.write("\n")
+    inst = report.instrumentation
+    print(f"wrote {output}")
+    print(f"protected {inst.instrumented_regions} regions "
+          f"({inst.checkpoint_mem_sites} memory checkpoint sites, "
+          f"{inst.checkpoint_reg_sites} register checkpoints)")
+    print(f"estimated overhead: {report.estimated_overhead():.2%}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _load(args.module)
+    result = Interpreter(module).run(
+        args.function, _int_args(args.args), output_objects=args.outputs or ()
+    )
+    print(f"result: {result.value}")
+    print(f"dynamic instructions: {result.events} "
+          f"(instrumentation: {result.instrumentation_cost}, "
+          f"overhead {result.overhead:.2%})")
+    for name, cells in result.output.items():
+        preview = ", ".join(str(c) for c in cells[:8])
+        suffix = ", ..." if len(cells) > 8 else ""
+        print(f"  @{name} = [{preview}{suffix}]")
+    return 0
+
+
+def cmd_inject(args) -> int:
+    module = _load(args.module)
+    campaign = run_campaign(
+        module,
+        function=args.function,
+        args=_int_args(args.args),
+        output_objects=args.outputs or (),
+        detector=DetectionModel(dmax=args.dmax),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    for outcome, fraction in campaign.summary().items():
+        print(f"{outcome:<24} {fraction:.1%}")
+    print(f"{'TOTAL covered':<24} {campaign.covered_fraction:.1%}")
+    if campaign.mean_wasted_work:
+        print(f"mean wasted work per recovery: "
+              f"{campaign.mean_wasted_work:.0f} instructions")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    module = compile_source(open(args.source).read())
+    if args.optimize:
+        optimize_module(module)
+    verify_module(module)
+    output = args.output or args.source.rsplit(".", 1)[0] + ".ir"
+    with open(output, "w") as handle:
+        handle.write(module_to_text(module))
+        handle.write("\n")
+    print(f"wrote {output} ({module.instruction_count()} instructions, "
+          f"{len(module.functions)} functions)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Encore: low-cost transient fault recovery (MICRO 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser("compile", help="compile MC source to IR")
+    compile_p.add_argument("source", help="MC (.mc) source file")
+    compile_p.add_argument("-o", "--output", default=None)
+    compile_p.add_argument("--optimize", action="store_true",
+                           help="run the optimizer pass mix")
+    compile_p.set_defaults(handler=cmd_compile)
+
+    analyze = sub.add_parser("analyze", help="print the region table")
+    analyze.add_argument("module", help="textual IR file")
+    analyze.add_argument("--args", nargs="*", default=[], help="main() args")
+    _add_config_flags(analyze)
+    analyze.set_defaults(handler=cmd_analyze)
+
+    protect = sub.add_parser("protect", help="instrument a module")
+    protect.add_argument("module")
+    protect.add_argument("-o", "--output", default=None)
+    protect.add_argument("--args", nargs="*", default=[])
+    _add_config_flags(protect)
+    protect.set_defaults(handler=cmd_protect)
+
+    run = sub.add_parser("run", help="execute a module")
+    run.add_argument("module")
+    run.add_argument("--function", default="main")
+    run.add_argument("--args", nargs="*", default=[])
+    run.add_argument("--outputs", nargs="*", default=[])
+    run.set_defaults(handler=cmd_run)
+
+    inject = sub.add_parser("inject", help="fault-injection campaign")
+    inject.add_argument("module")
+    inject.add_argument("--function", default="main")
+    inject.add_argument("--args", nargs="*", default=[])
+    inject.add_argument("--outputs", nargs="*", default=[])
+    inject.add_argument("--trials", type=int, default=100)
+    inject.add_argument("--dmax", type=int, default=100)
+    inject.add_argument("--seed", type=int, default=0)
+    inject.set_defaults(handler=cmd_inject)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

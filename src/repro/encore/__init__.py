@@ -1,0 +1,71 @@
+"""Encore: the paper's primary contribution.
+
+Partition a program into SEME regions, analyze their (statistical)
+idempotence, and instrument the cheap-to-recover ones with lightweight
+checkpoints and recovery blocks so a low-cost fault detector can roll
+execution back without hardware support.
+"""
+
+from repro.encore.address_sets import (
+    AccessInfo,
+    AccessSummaryBuilder,
+    FunctionSummary,
+)
+from repro.encore.coverage_model import (
+    CoverageBreakdown,
+    FullSystemCoverage,
+    alpha,
+    alpha_numeric,
+    full_system_coverage,
+    region_coverage,
+)
+from repro.encore.idempotence import (
+    IdempotenceAnalyzer,
+    IdempotenceResult,
+    LoopSummary,
+    RegionStatus,
+)
+from repro.encore.instrumentation import (
+    InstrumentationReport,
+    RegionStorage,
+    entry_label,
+    instrument_module,
+    recovery_label,
+)
+from repro.encore.pipeline import (
+    EncoreCompiler,
+    EncoreConfig,
+    EncoreReport,
+    compile_for_encore,
+)
+from repro.encore.regions import Region, RegionBuilder
+from repro.encore.selection import RegionSelector, SelectionConfig
+
+__all__ = [
+    "AccessInfo",
+    "AccessSummaryBuilder",
+    "CoverageBreakdown",
+    "EncoreCompiler",
+    "EncoreConfig",
+    "EncoreReport",
+    "FullSystemCoverage",
+    "FunctionSummary",
+    "IdempotenceAnalyzer",
+    "IdempotenceResult",
+    "InstrumentationReport",
+    "LoopSummary",
+    "Region",
+    "RegionBuilder",
+    "RegionSelector",
+    "RegionStatus",
+    "RegionStorage",
+    "SelectionConfig",
+    "alpha",
+    "alpha_numeric",
+    "compile_for_encore",
+    "entry_label",
+    "full_system_coverage",
+    "instrument_module",
+    "recovery_label",
+    "region_coverage",
+]

@@ -1,0 +1,203 @@
+"""Access summaries: the raw material of the RS/GA/EA equations.
+
+For every basic block (and, hierarchically, every collapsed loop and
+analyzable call) the idempotence analysis needs three pieces of
+information (paper Section 3.1):
+
+* ``may_stores`` — every store that may execute, *with the originating
+  instruction attached* so offending stores can be collected into the
+  region's checkpoint set CP;
+* ``must_defs`` — addresses guaranteed to be overwritten (feeding the
+  guarded-address sets, Equation 2); and
+* ``exposed_uses`` — addresses read by a load not preceded (within the
+  node) by a must-aliasing store: the local exposed addresses
+  EA_local of Equation 3.
+
+Calls to functions inside the module are folded in via bottom-up
+function summaries (callee stack objects are frame-private and filtered
+out); calls to externals poison the node as *unknown*, which later maps
+to the paper's "Unknown" region classification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.alias import AddrKey, AliasAnalysis
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+
+# A may-store entry: the store (or call) instruction plus the abstract
+# address it may write.
+MayStore = Tuple[Instruction, AddrKey]
+
+
+@dataclasses.dataclass
+class AccessInfo:
+    """Memory side-effects of one node (block, collapsed loop, or call)."""
+
+    may_stores: List[MayStore] = dataclasses.field(default_factory=list)
+    must_defs: List[AddrKey] = dataclasses.field(default_factory=list)
+    exposed_uses: List[AddrKey] = dataclasses.field(default_factory=list)
+    unknown: bool = False
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """Whole-function memory side-effects, used at call sites.
+
+    ``analyzable`` is False for recursive or external-calling functions;
+    call sites then mark their region unknown.  Keys referring only to
+    the callee's own stack objects are excluded — each activation gets
+    fresh frame storage, so they cannot carry WAR hazards to the caller.
+    """
+
+    name: str
+    may_store_keys: List[AddrKey] = dataclasses.field(default_factory=list)
+    must_defs: List[AddrKey] = dataclasses.field(default_factory=list)
+    exposed_uses: List[AddrKey] = dataclasses.field(default_factory=list)
+    analyzable: bool = True
+
+
+class AccessSummaryBuilder:
+    """Builds per-block :class:`AccessInfo` and bottom-up function summaries.
+
+    When a profile and ``pmin`` are supplied, function summaries honor the
+    same statistical pruning as the region analysis (paper Section 3.4.1):
+    blocks at or below the execution-probability threshold contribute no
+    effects, so a cold error path with a library call no longer poisons
+    every caller of the function.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        alias: AliasAnalysis,
+        profile=None,
+        pmin: Optional[float] = None,
+    ) -> None:
+        self.module = module
+        self.alias = alias
+        self.profile = profile
+        self.pmin = pmin
+        self._summaries: Dict[str, FunctionSummary] = {}
+        self._in_progress: Set[str] = set()
+
+    def _is_pruned(self, func_name: str, label: str) -> bool:
+        if self.profile is None or self.pmin is None:
+            return False
+        return self.profile.is_pruned(func_name, label, self.pmin)
+
+    # -- function summaries ------------------------------------------------
+
+    def function_summary(self, name: str) -> FunctionSummary:
+        if name in self._summaries:
+            return self._summaries[name]
+        if name in self._in_progress or self.module.is_external(name):
+            # Recursion or an external: unanalyzable.
+            summary = FunctionSummary(name, analyzable=False)
+            self._summaries[name] = summary
+            return summary
+        self._in_progress.add(name)
+        func = self.module.function(name)
+        summary = self._summarize_function(func)
+        self._in_progress.discard(name)
+        self._summaries[name] = summary
+        return summary
+
+    def _summarize_function(self, func: Function) -> FunctionSummary:
+        """Flow-insensitive whole-function summary (conservative).
+
+        Must-defs would require a path-sensitive join across exits; a
+        sound and simple choice is the empty set (nothing is guaranteed
+        written), with may/exposed unions over all blocks.
+        """
+        summary = FunctionSummary(func.name)
+        stack_names = set(func.stack_objects)
+        for block in func:
+            if self._is_pruned(func.name, block.label):
+                continue
+            info = self.block_access_info(func, block)
+            if info.unknown:
+                summary.analyzable = False
+            for _inst, key in info.may_stores:
+                if not _is_frame_private(key, stack_names):
+                    summary.may_store_keys.append(key)
+            for key in info.exposed_uses:
+                if not _is_frame_private(key, stack_names):
+                    summary.exposed_uses.append(key)
+        if not summary.analyzable:
+            summary.may_store_keys = []
+            summary.exposed_uses = []
+        return summary
+
+    # -- block access info ---------------------------------------------------
+
+    def block_access_info(
+        self, func: Function, block: BasicBlock, skip_instrumentation: bool = True
+    ) -> AccessInfo:
+        """Extract the in-order memory effects of one basic block."""
+        info = AccessInfo()
+        local_must: List[AddrKey] = []
+        for index, inst in enumerate(block.instructions):
+            if inst.is_instrumentation and skip_instrumentation:
+                continue
+            site = (func.name, block.label, index)
+            if inst.opcode == "load":
+                key = self.alias.key(func.name, inst.ref, site=site)
+                if not self.alias.key_in_must(key, set(local_must)):
+                    info.exposed_uses.append(key)
+            elif inst.opcode == "store":
+                key = self.alias.key(func.name, inst.ref, site=site)
+                info.may_stores.append((inst, key))
+                if _is_must_key(key):
+                    info.must_defs.append(key)
+                    local_must.append(key)
+            elif inst.opcode == "call":
+                self._fold_call(func, inst, info, local_must)
+            # Alloc creates a fresh object: no WAR hazard by construction.
+        return info
+
+    def _fold_call(self, func, inst, info: AccessInfo, local_must) -> None:
+        summary = self.function_summary(inst.callee)
+        if not summary.analyzable:
+            info.unknown = True
+            return
+        for key in summary.exposed_uses:
+            if not self.alias.key_in_must(key, set(local_must)):
+                info.exposed_uses.append(key)
+        for key in summary.may_store_keys:
+            info.may_stores.append((inst, key))
+        for key in summary.must_defs:
+            if _is_must_key(key):
+                info.must_defs.append(key)
+                local_must.append(key)
+
+
+def _is_must_key(key: AddrKey) -> bool:
+    """A key precise enough to *guarantee* the write hits one address.
+
+    Statically that means a single non-heap object with a known index;
+    in profiled mode a site observed writing exactly one address also
+    qualifies (statistical guarding, in the Pmin spirit).
+    """
+    if key.observed is not None and len(key.observed) == 1:
+        obj, _ = next(iter(key.observed))
+        if not obj.startswith("heap:"):
+            return True
+    return (
+        key.objs is not None
+        and len(key.objs) == 1
+        and not next(iter(key.objs)).startswith("heap:")
+        and isinstance(key.index, (int, tuple))
+    )
+
+
+def _is_frame_private(key: AddrKey, stack_names: Set[str]) -> bool:
+    """True when every object ``key`` can touch is a callee stack object."""
+    if key.objs is None:
+        return False
+    return all(name in stack_names for name in key.objs)

@@ -1,0 +1,156 @@
+"""The analytical recoverability-coverage model (paper Section 4.2).
+
+A fault at hot-path instruction ``s`` of a region of dynamic length
+``n`` is recoverable iff it is detected before control leaves the
+region: ``s + l < n`` for detection latency ``l``.  With uniform fault
+sites over ``[0, n]`` and uniform detection latencies over
+``[0, Dmax]``, the latency scaling factor integrates to Equation 7:
+
+    alpha = 1 - Dmax / (2 n)    when n >= Dmax
+    alpha = n / (2 Dmax)        when n <  Dmax
+
+``alpha_numeric`` evaluates Equation 6 by quadrature for arbitrary
+latency/site densities, used to validate the closed form and for the
+detection-distribution ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.encore.idempotence import RegionStatus
+from repro.encore.regions import Region
+
+
+def alpha(n: float, dmax: float) -> float:
+    """Closed-form latency scaling factor (Equation 7)."""
+    if n <= 0:
+        return 0.0
+    if dmax <= 0:
+        return 1.0
+    if n >= dmax:
+        return 1.0 - dmax / (2.0 * n)
+    return n / (2.0 * dmax)
+
+
+def alpha_numeric(
+    n: float,
+    dmax: float,
+    latency_pdf: Optional[Callable[[float], float]] = None,
+    site_pdf: Optional[Callable[[float], float]] = None,
+    steps: int = 400,
+) -> float:
+    """Equation 6 by midpoint quadrature.
+
+    ``latency_pdf`` defaults to uniform on [0, Dmax]; ``site_pdf`` to
+    uniform on [0, n].  Computes P(s + l < n).
+    """
+    if n <= 0:
+        return 0.0
+    if dmax <= 0:
+        return 1.0
+    if latency_pdf is None:
+        latency_pdf = lambda l: 1.0 / dmax if 0 <= l <= dmax else 0.0
+    if site_pdf is None:
+        site_pdf = lambda s: 1.0 / n if 0 <= s <= n else 0.0
+    ds = n / steps
+    total = 0.0
+    for i in range(steps):
+        s = (i + 0.5) * ds
+        upper = min(n - s, dmax)
+        if upper <= 0:
+            continue
+        dl = upper / steps
+        inner = 0.0
+        for j in range(steps):
+            l = (j + 0.5) * dl
+            inner += latency_pdf(l) * dl
+        total += site_pdf(s) * inner * ds
+    return total
+
+
+@dataclasses.dataclass
+class CoverageBreakdown:
+    """Fractions of application execution, for one detection latency.
+
+    All fields are fractions of total *unmasked-fault-relevant* dynamic
+    instructions (i.e., of application execution time); the full-system
+    view of Figure 8 composes these with the hardware masking rate.
+    """
+
+    dmax: float
+    recoverable_idempotent: float
+    recoverable_checkpointed: float
+    not_recoverable: float
+
+    @property
+    def recoverable(self) -> float:
+        return self.recoverable_idempotent + self.recoverable_checkpointed
+
+
+def region_coverage(
+    regions: Iterable[Region],
+    total_app_instructions: int,
+    dmax: float,
+) -> CoverageBreakdown:
+    """Aggregate per-region alpha-weighted coverage (paper Section 4.2.1).
+
+    Each *selected* region contributes its share of dynamic execution,
+    scaled by alpha for its activation length; unselected execution and
+    the alpha-complement are unrecoverable.
+    """
+    idem = 0.0
+    ckpt = 0.0
+    covered = 0.0
+    for region in regions:
+        if not region.selected or total_app_instructions <= 0:
+            continue
+        frac = region.dyn_instructions / total_app_instructions
+        scale = alpha(region.activation_length, dmax)
+        covered += frac
+        if region.status is RegionStatus.IDEMPOTENT:
+            idem += frac * scale
+        else:
+            ckpt += frac * scale
+    not_recoverable = max(0.0, 1.0 - idem - ckpt)
+    return CoverageBreakdown(
+        dmax=dmax,
+        recoverable_idempotent=idem,
+        recoverable_checkpointed=ckpt,
+        not_recoverable=not_recoverable,
+    )
+
+
+@dataclasses.dataclass
+class FullSystemCoverage:
+    """Figure 8 stack for one benchmark and one detection latency."""
+
+    dmax: float
+    masked: float
+    recoverable_idempotent: float
+    recoverable_checkpointed: float
+    not_recoverable: float
+
+    @property
+    def total_covered(self) -> float:
+        return self.masked + self.recoverable_idempotent + self.recoverable_checkpointed
+
+
+def full_system_coverage(
+    breakdown: CoverageBreakdown, masking_rate: float
+) -> FullSystemCoverage:
+    """Compose software recoverability with the hardware masking rate.
+
+    Of all injected faults, ``masking_rate`` are architecturally masked;
+    the remainder land in live state and are recovered in proportion to
+    the software coverage breakdown.
+    """
+    live = 1.0 - masking_rate
+    return FullSystemCoverage(
+        dmax=breakdown.dmax,
+        masked=masking_rate,
+        recoverable_idempotent=live * breakdown.recoverable_idempotent,
+        recoverable_checkpointed=live * breakdown.recoverable_checkpointed,
+        not_recoverable=live * breakdown.not_recoverable,
+    )

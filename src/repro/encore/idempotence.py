@@ -1,0 +1,585 @@
+"""Path-insensitive idempotence analysis (paper Section 3.1).
+
+For a SEME region the analysis computes, per node, the three sets of
+Equations 1–3 and applies the violation test of Equation 4:
+
+* ``RS`` (reachable stores)  — stores that could execute at-or-after the
+  node, computed bottom-up over the region DAG (Equation 1);
+* ``GA`` (guarded addresses) — addresses guaranteed overwritten on every
+  path from the region entry to the node (Equation 2);
+* ``EA`` (exposed addresses) — addresses possibly read by an unguarded
+  load on some path from the entry to the node (Equation 3).
+
+A region is idempotent iff ``EA(bb) ∩ RS(bb) = ∅`` for every node
+(Equation 4); the stores participating in non-empty intersections form
+the checkpoint set CP used by the instrumentation pass.
+
+Loops are handled hierarchically (Section 3.1.2): each natural loop is
+summarized once — with ``RS`` widened to *all* stores in the loop to
+capture cross-iteration WARs, ``GA`` intersected over exiting blocks and
+``EA`` unioned over exiting blocks after a fixpoint that propagates
+exposure across back edges — and then treated as a pseudo basic block by
+enclosing regions.
+
+Profile-guided pruning (Section 3.4.1): blocks whose execution
+probability is at or below ``Pmin`` are removed from every child set, so
+statistically-dead paths cannot spoil idempotence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.alias import AddrKey, AliasAnalysis
+from repro.analysis.cfg import CFGView, topological_order
+from repro.analysis.loops import Loop, LoopForest
+from repro.encore.address_sets import AccessInfo, AccessSummaryBuilder, MayStore
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.values import Constant, MemRef
+from repro.profiling.profile_data import ProfileData
+
+
+class RegionStatus(enum.Enum):
+    """Classification used throughout the evaluation (paper Figure 5)."""
+
+    IDEMPOTENT = "idempotent"
+    NON_IDEMPOTENT = "non-idempotent"
+    UNKNOWN = "unknown"
+
+
+@dataclasses.dataclass
+class CheckpointSite:
+    """One instruction whose memory effects must be checkpointed.
+
+    For an offending store, ``refs`` is the store's own address.  For a
+    call whose callee carries the WAR, ``refs`` are the concrete
+    addresses the callee may clobber — checkpointed just before the call
+    (the natural lift of the paper's "checkpoint just prior to s" once
+    calls are summarized as pseudo-instructions).  ``checkpointable`` is
+    False when an offending address cannot be named statically.
+    """
+
+    inst: Instruction
+    refs: List[MemRef]
+    checkpointable: bool
+
+
+@dataclasses.dataclass
+class IdempotenceResult:
+    """Outcome of analyzing one region."""
+
+    status: RegionStatus
+    checkpoint_sites: List[CheckpointSite]
+    checkpointable: bool
+    rs: Dict[str, List[MayStore]]
+    ga: Dict[str, Set[AddrKey]]
+    ea: Dict[str, Set[AddrKey]]
+
+    @property
+    def checkpoint_stores(self) -> List[Instruction]:
+        """The offending instructions (stores or calls) in the CP set."""
+        return [site.inst for site in self.checkpoint_sites]
+
+    @property
+    def is_idempotent(self) -> bool:
+        return self.status is RegionStatus.IDEMPOTENT
+
+
+@dataclasses.dataclass
+class LoopSummary:
+    """Loop-wide meta-information (paper Section 3.1.2).
+
+    ``access`` plays the role of a pseudo-basic-block's AccessInfo:
+    ``may_stores`` = AS_l (every store in the loop), ``must_defs`` =
+    GA_l (intersection over exiting blocks), ``exposed_uses`` = EA_l
+    (union over exiting blocks).  ``violating`` collects the offending
+    stores found inside the loop, including nested loops.
+    """
+
+    loop: Loop
+    access: AccessInfo
+    violating: List[MayStore]
+    unknown: bool
+    pruned: bool = False
+
+
+def _node_for(label: str, loop_of: Dict[str, str]) -> str:
+    return loop_of.get(label, label)
+
+
+class IdempotenceAnalyzer:
+    """Analyzes SEME regions of a module for (statistical) idempotence."""
+
+    def __init__(
+        self,
+        module: Module,
+        alias: Optional[AliasAnalysis] = None,
+        profile: Optional[ProfileData] = None,
+        pmin: Optional[float] = None,
+    ) -> None:
+        self.module = module
+        self.alias = alias or AliasAnalysis(module)
+        self.profile = profile
+        self.pmin = pmin
+        self.summaries = AccessSummaryBuilder(
+            module, self.alias, profile=profile, pmin=pmin
+        )
+        self._cfg_cache: Dict[str, CFGView] = {}
+        self._forest_cache: Dict[str, LoopForest] = {}
+        self._loop_cache: Dict[Tuple[str, str], LoopSummary] = {}
+        self._block_info_cache: Dict[Tuple[str, str], AccessInfo] = {}
+
+    # -- shared per-function structures ------------------------------------
+
+    def cfg(self, func_name: str) -> CFGView:
+        if func_name not in self._cfg_cache:
+            self._cfg_cache[func_name] = CFGView(self.module.function(func_name))
+        return self._cfg_cache[func_name]
+
+    def forest(self, func_name: str) -> LoopForest:
+        if func_name not in self._forest_cache:
+            self._forest_cache[func_name] = LoopForest(self.cfg(func_name))
+        return self._forest_cache[func_name]
+
+    def is_pruned(self, func_name: str, label: str) -> bool:
+        if self.profile is None or self.pmin is None:
+            return False
+        return self.profile.is_pruned(func_name, label, self.pmin)
+
+    def block_info(self, func_name: str, label: str) -> AccessInfo:
+        key = (func_name, label)
+        if key not in self._block_info_cache:
+            func = self.module.function(func_name)
+            self._block_info_cache[key] = self.summaries.block_access_info(
+                func, func.blocks[label]
+            )
+        return self._block_info_cache[key]
+
+    # -- public API -----------------------------------------------------------
+
+    def analyze_region(
+        self, func_name: str, blocks: FrozenSet[str], header: str
+    ) -> IdempotenceResult:
+        """Analyze the SEME region ``blocks`` (entered at ``header``)."""
+        live_blocks = {
+            b for b in blocks
+            if b in self.cfg(func_name) and not self.is_pruned(func_name, b)
+        }
+        if header not in live_blocks:
+            # The whole region is statistically dead: trivially recoverable.
+            return IdempotenceResult(
+                RegionStatus.IDEMPOTENT, [], True, {}, {}, {}
+            )
+
+        graph = self._collapsed_graph(func_name, live_blocks, header)
+        if graph is None:
+            return IdempotenceResult(
+                RegionStatus.UNKNOWN, [], False, {}, {}, {}
+            )
+        nodes, succs, infos, inner_violations, unknown = graph
+
+        try:
+            order = topological_order(succs, [n for n in nodes])
+        except ValueError:
+            return IdempotenceResult(RegionStatus.UNKNOWN, [], False, {}, {}, {})
+
+        preds: Dict[str, List[str]] = {n: [] for n in nodes}
+        for n, children in succs.items():
+            for c in children:
+                preds[c].append(n)
+
+        rs = self._compute_rs(order, succs, infos)
+        ga = self._compute_ga(order, preds, infos, self._entry_node(header, nodes))
+        ea = self._compute_ea(order, preds, infos, ga)
+
+        pairs: List[MayStore] = list(inner_violations)
+        flagged = {(id(inst), key) for inst, key in pairs}
+        for node in order:
+            exposed = ea[node]
+            if not exposed:
+                continue
+            for inst, key in rs[node]:
+                if (id(inst), key) in flagged:
+                    continue
+                if any(self.alias.may_alias(e, key) for e in exposed):
+                    pairs.append((inst, key))
+                    flagged.add((id(inst), key))
+
+        sites = self._build_sites(pairs)
+        if unknown:
+            status = RegionStatus.UNKNOWN
+        elif sites:
+            status = RegionStatus.NON_IDEMPOTENT
+        else:
+            status = RegionStatus.IDEMPOTENT
+        checkpointable = status is not RegionStatus.UNKNOWN and all(
+            site.checkpointable for site in sites
+        )
+        return IdempotenceResult(status, sites, checkpointable, rs, ga, ea)
+
+    def _build_sites(self, pairs: List[MayStore]) -> List[CheckpointSite]:
+        """Group offending (instruction, address) pairs into checkpoint sites."""
+        order: List[Instruction] = []
+        keys_for: Dict[int, List[AddrKey]] = {}
+        for inst, key in pairs:
+            if id(inst) not in keys_for:
+                keys_for[id(inst)] = []
+                order.append(inst)
+            if key not in keys_for[id(inst)]:
+                keys_for[id(inst)].append(key)
+        sites: List[CheckpointSite] = []
+        for inst in order:
+            if inst.opcode == "store":
+                sites.append(CheckpointSite(inst, [inst.ref], True))
+                continue
+            refs: List[MemRef] = []
+            resolvable = inst.opcode == "call"
+            if resolvable:
+                for key in keys_for[id(inst)]:
+                    ref = self._ref_for_key(key)
+                    if ref is None:
+                        resolvable = False
+                        break
+                    if ref not in refs:
+                        refs.append(ref)
+            sites.append(
+                CheckpointSite(inst, refs if resolvable else [], resolvable)
+            )
+        return sites
+
+    def _ref_for_key(self, key: AddrKey) -> Optional[MemRef]:
+        """Reconstruct a concrete memory reference for an abstract key."""
+        if key.objs is None or len(key.objs) != 1:
+            return None
+        if not isinstance(key.index, int):
+            return None
+        obj = self.module.globals.get(next(iter(key.objs)))
+        if obj is None:
+            return None
+        if not 0 <= key.index < obj.size:
+            return None
+        return MemRef(obj, Constant(key.index))
+
+    # -- graph construction -----------------------------------------------------
+
+    def _entry_node(self, header: str, nodes: Set[str]) -> str:
+        loop_node = f"loop:{header}"
+        return loop_node if loop_node in nodes else header
+
+    def _collapsed_graph(
+        self, func_name: str, live_blocks: Set[str], header: str
+    ):
+        """Build the region DAG with maximal contained loops collapsed.
+
+        Returns ``(nodes, succs, infos, inner_violations, unknown)`` or
+        ``None`` when a loop straddles the region boundary (the region is
+        then unanalyzable).
+        """
+        cfg = self.cfg(func_name)
+        forest = self.forest(func_name)
+        unknown = False
+
+        # Collapse maximal loops fully inside the region: rollback targets
+        # the region entry, so a contained loop is replayed from iteration
+        # zero and its cross-iteration WARs matter — the conservative loop
+        # summary (RS = AS_l) applies, exactly as in paper Section 3.1.2.
+        # Loops that are only partially inside are not collapsed; entries
+        # through the region header from outside start a fresh activation
+        # (the entry trampoline re-executes SetRecoveryPtr), so the
+        # remaining in-region subgraph is acyclic for such regions.  Any
+        # true in-region cycle that survives makes the topological sort
+        # below fail and the region is classified unknown.
+        region_loops: List[Loop] = []
+        for loop in forest.top_level_loops():
+            region_loops.extend(
+                self._maximal_loops_in(func_name, loop, live_blocks)
+            )
+
+        loop_of: Dict[str, str] = {}
+        for loop in region_loops:
+            node = f"loop:{loop.header}"
+            for label in loop.blocks:
+                if label in live_blocks:
+                    loop_of[label] = node
+
+        infos: Dict[str, AccessInfo] = {}
+        inner_violations: List[MayStore] = []
+        nodes: Set[str] = set()
+        for label in live_blocks:
+            node = _node_for(label, loop_of)
+            nodes.add(node)
+        for loop in region_loops:
+            if loop.header not in live_blocks:
+                continue
+            summary = self._loop_summary(func_name, loop)
+            node = f"loop:{loop.header}"
+            infos[node] = summary.access
+            inner_violations.extend(summary.violating)
+            unknown = unknown or summary.unknown
+        for label in live_blocks:
+            if label in loop_of:
+                continue
+            info = self.block_info(func_name, label)
+            infos[label] = info
+            unknown = unknown or info.unknown
+
+        succs: Dict[str, List[str]] = {n: [] for n in nodes}
+        for label in live_blocks:
+            src = _node_for(label, loop_of)
+            for dst_label in cfg.succs[label]:
+                if dst_label not in live_blocks:
+                    continue
+                dst = _node_for(dst_label, loop_of)
+                if dst == src:
+                    continue
+                if dst not in succs[src]:
+                    succs[src].append(dst)
+        return nodes, succs, infos, inner_violations, unknown
+
+    def _maximal_loops_in(
+        self, func_name: str, loop: Loop, live_blocks: Set[str]
+    ) -> List[Loop]:
+        """Maximal loops whose (non-pruned) blocks all lie in the region.
+
+        Partially-contained loops are skipped (recursion still collapses
+        their fully-contained children); whether the leftover structure
+        is analyzable is decided by the topological-order check.
+        """
+        hot = {b for b in loop.blocks if not self.is_pruned(func_name, b)}
+        if loop.header in live_blocks and hot <= live_blocks:
+            return [loop]
+        result: List[Loop] = []
+        for child in loop.children:
+            result.extend(self._maximal_loops_in(func_name, child, live_blocks))
+        return result
+
+    # -- the three set computations -----------------------------------------------
+
+    def _compute_rs(
+        self,
+        order: Sequence[str],
+        succs: Dict[str, List[str]],
+        infos: Dict[str, AccessInfo],
+    ) -> Dict[str, List[MayStore]]:
+        """Equation 1, bottom-up over the DAG (post-order = reversed topo)."""
+        rs: Dict[str, List[MayStore]] = {}
+        for node in reversed(order):
+            entries: List[MayStore] = list(infos[node].may_stores)
+            seen = {id(inst) for inst, _ in entries}
+            for succ in succs[node]:
+                for inst, key in rs[succ]:
+                    if id(inst) not in seen:
+                        entries.append((inst, key))
+                        seen.add(id(inst))
+            rs[node] = entries
+        return rs
+
+    def _compute_ga(
+        self,
+        order: Sequence[str],
+        preds: Dict[str, List[str]],
+        infos: Dict[str, AccessInfo],
+        entry: str,
+    ) -> Dict[str, Set[AddrKey]]:
+        """Equation 2: guarded addresses, intersected over predecessors."""
+        ga: Dict[str, Set[AddrKey]] = {}
+        for node in order:
+            if node == entry or not preds[node]:
+                ga[node] = set()
+                continue
+            acc: Optional[Set[AddrKey]] = None
+            for p in preds[node]:
+                contribution = ga[p] | set(infos[p].must_defs)
+                acc = contribution if acc is None else (acc & contribution)
+            ga[node] = acc or set()
+        return ga
+
+    def _compute_ea(
+        self,
+        order: Sequence[str],
+        preds: Dict[str, List[str]],
+        infos: Dict[str, AccessInfo],
+        ga: Dict[str, Set[AddrKey]],
+    ) -> Dict[str, Set[AddrKey]]:
+        """Equation 3: exposed addresses accumulated along forward paths."""
+        ea: Dict[str, Set[AddrKey]] = {}
+        for node in order:
+            exposed: Set[AddrKey] = set()
+            for p in preds[node]:
+                exposed |= ea[p]
+            local = {
+                key
+                for key in infos[node].exposed_uses
+                if not self.alias.key_in_must(key, ga[node])
+            }
+            ea[node] = exposed | local
+        return ea
+
+    # -- loop summaries ----------------------------------------------------------
+
+    def _loop_summary(self, func_name: str, loop: Loop) -> LoopSummary:
+        cache_key = (func_name, loop.header)
+        cached = self._loop_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        summary = self._analyze_loop(func_name, loop)
+        self._loop_cache[cache_key] = summary
+        return summary
+
+    def _analyze_loop(self, func_name: str, loop: Loop) -> LoopSummary:
+        cfg = self.cfg(func_name)
+        live = {
+            b for b in loop.blocks
+            if b in cfg and not self.is_pruned(func_name, b)
+        }
+        if loop.header not in live:
+            return LoopSummary(loop, AccessInfo(), [], False, pruned=True)
+
+        # Child loops become pseudo blocks; analyze them first.
+        loop_of: Dict[str, str] = {}
+        infos: Dict[str, AccessInfo] = {}
+        violating: List[MayStore] = []
+        unknown = False
+        for child in loop.children:
+            child_summary = self._loop_summary(func_name, child)
+            if child_summary.pruned:
+                for label in child.blocks:
+                    live.discard(label)
+                continue
+            node = f"loop:{child.header}"
+            for label in child.blocks:
+                if label in live:
+                    loop_of[label] = node
+            infos[node] = child_summary.access
+            violating.extend(child_summary.violating)
+            unknown = unknown or child_summary.unknown
+
+        nodes: Set[str] = set()
+        for label in live:
+            nodes.add(_node_for(label, loop_of))
+        for label in live:
+            if label not in loop_of:
+                info = self.block_info(func_name, label)
+                infos[label] = info
+                unknown = unknown or info.unknown
+
+        entry = _node_for(loop.header, loop_of)
+        # Full cyclic edges (for the EA fixpoint) and acyclic edges
+        # (back edges to the header removed, for GA ordering).
+        cyc_succs: Dict[str, List[str]] = {n: [] for n in nodes}
+        acy_succs: Dict[str, List[str]] = {n: [] for n in nodes}
+        for label in live:
+            src = _node_for(label, loop_of)
+            for dst_label in cfg.succs[label]:
+                if dst_label not in live:
+                    continue
+                dst = _node_for(dst_label, loop_of)
+                if dst == src:
+                    continue
+                if dst not in cyc_succs[src]:
+                    cyc_succs[src].append(dst)
+                if dst != entry and dst not in acy_succs[src]:
+                    acy_succs[src].append(dst)
+
+        try:
+            order = topological_order(acy_succs, [entry])
+        except ValueError:
+            # Irreducible structure inside the loop body.
+            return LoopSummary(loop, AccessInfo(unknown=True), [], True)
+
+        acy_preds: Dict[str, List[str]] = {n: [] for n in nodes}
+        for n, children in acy_succs.items():
+            for c in children:
+                acy_preds[c].append(n)
+        cyc_preds: Dict[str, List[str]] = {n: [] for n in nodes}
+        for n, children in cyc_succs.items():
+            for c in children:
+                cyc_preds[c].append(n)
+
+        ga = self._compute_ga(order, acy_preds, infos, entry)
+        ea = self._compute_ea_fixpoint(nodes, cyc_preds, infos, ga, order)
+
+        # RS inside a loop is the set of ALL stores in the loop —
+        # everything is reachable across iterations (paper Section 3.1.2).
+        all_stores: List[MayStore] = []
+        seen_insts = set()
+        for node in nodes:
+            for inst, key in infos[node].may_stores:
+                if id(inst) not in seen_insts:
+                    all_stores.append((inst, key))
+                    seen_insts.add(id(inst))
+
+        flagged = {(id(inst), key) for inst, key in violating}
+        for node in nodes:
+            exposed = ea[node]
+            if not exposed:
+                continue
+            for inst, key in all_stores:
+                if (id(inst), key) in flagged:
+                    continue
+                if any(self.alias.may_alias(e, key) for e in exposed):
+                    violating.append((inst, key))
+                    flagged.add((id(inst), key))
+
+        exiting = [
+            _node_for(label, loop_of)
+            for label in loop.exiting_blocks(cfg)
+            if label in live
+        ]
+        if exiting:
+            ga_l: Optional[Set[AddrKey]] = None
+            ea_l: Set[AddrKey] = set()
+            for x in exiting:
+                leave = ga[x] | set(infos[x].must_defs)
+                ga_l = leave if ga_l is None else (ga_l & leave)
+                ea_l |= ea[x]
+        else:
+            ga_l = set()
+            ea_l = set()
+            for node in nodes:
+                ea_l |= ea[node]
+
+        access = AccessInfo(
+            may_stores=all_stores,
+            must_defs=sorted(ga_l or set(), key=str),
+            exposed_uses=sorted(ea_l, key=str),
+            unknown=unknown,
+        )
+        return LoopSummary(loop, access, violating, unknown)
+
+    def _compute_ea_fixpoint(
+        self,
+        nodes: Set[str],
+        preds: Dict[str, List[str]],
+        infos: Dict[str, AccessInfo],
+        ga: Dict[str, Set[AddrKey]],
+        order: Sequence[str],
+    ) -> Dict[str, Set[AddrKey]]:
+        """EA over a cyclic graph: iterate Equation 3 to fixpoint.
+
+        Back edges let exposure discovered late in an iteration flow to
+        the blocks of the next iteration, capturing cross-iteration
+        exposed reads.
+        """
+        ea: Dict[str, Set[AddrKey]] = {n: set() for n in nodes}
+        local: Dict[str, Set[AddrKey]] = {}
+        for node in nodes:
+            local[node] = {
+                key
+                for key in infos[node].exposed_uses
+                if not self.alias.key_in_must(key, ga[node])
+            }
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                new = set(local[node])
+                for p in preds[node]:
+                    new |= ea[p]
+                if new != ea[node]:
+                    ea[node] = new
+                    changed = True
+        return ea

@@ -1,0 +1,185 @@
+"""Rollback-recovery instrumentation (paper Section 3.2).
+
+For every selected region this pass:
+
+1. creates a *recovery block* that restores all state checkpointed since
+   region entry and jumps back to the region header;
+2. prepends to the header a ``SetRecoveryPtr`` (the paper's "simple
+   store that updates a dedicated memory location with the address of
+   the corresponding recovery block") followed by one ``CheckpointReg``
+   per overwritten live-in register; and
+3. inserts a ``CheckpointMem`` (data + address, two stores' worth of
+   dynamic cost) immediately before every offending store in the
+   region's checkpoint set CP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Tuple
+
+from repro.encore.idempotence import RegionStatus
+from repro.encore.regions import Region
+from repro.ir.instructions import (
+    CheckpointMem,
+    CheckpointReg,
+    Jump,
+    RestoreCheckpoints,
+    SetRecoveryPtr,
+)
+from repro.ir.module import Module
+from repro.ir.types import WORD_BYTES
+
+
+@dataclasses.dataclass
+class RegionStorage:
+    """Static checkpoint-buffer footprint of one region (Figure 7b)."""
+
+    region_id: int
+    memory_bytes: int
+    register_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.memory_bytes + self.register_bytes
+
+
+@dataclasses.dataclass
+class InstrumentationReport:
+    """What the instrumentation pass did."""
+
+    instrumented_regions: int = 0
+    recovery_blocks: List[str] = dataclasses.field(default_factory=list)
+    checkpoint_mem_sites: int = 0
+    checkpoint_reg_sites: int = 0
+    storage: List[RegionStorage] = dataclasses.field(default_factory=list)
+
+    @property
+    def mean_region_bytes(self) -> float:
+        if not self.storage:
+            return 0.0
+        return sum(s.total_bytes for s in self.storage) / len(self.storage)
+
+    @property
+    def mean_memory_bytes(self) -> float:
+        if not self.storage:
+            return 0.0
+        return sum(s.memory_bytes for s in self.storage) / len(self.storage)
+
+    @property
+    def mean_register_bytes(self) -> float:
+        if not self.storage:
+            return 0.0
+        return sum(s.register_bytes for s in self.storage) / len(self.storage)
+
+
+def recovery_label(region: Region) -> str:
+    return f"__encore_rec_{region.id}"
+
+
+def entry_label(region: Region) -> str:
+    return f"__encore_entry_{region.id}"
+
+
+def _retarget(term, old: str, new: str) -> None:
+    """Rewrite a terminator's successor labels from ``old`` to ``new``."""
+    if term.opcode == "jmp" and term.target == old:
+        term.target = new
+    elif term.opcode == "br":
+        if term.if_true == old:
+            term.if_true = new
+        if term.if_false == old:
+            term.if_false = new
+
+
+def instrument_module(
+    module: Module, regions: Iterable[Region]
+) -> InstrumentationReport:
+    """Instrument ``module`` in place for the selected ``regions``.
+
+    Regions must be disjoint per function (guaranteed by the selector,
+    which partitions each function's CFG).  Returns a report with static
+    storage accounting.
+    """
+    report = InstrumentationReport()
+    for region in regions:
+        if not region.selected:
+            continue
+        func = module.function(region.func)
+        if region.header not in func.blocks:
+            continue
+        label = recovery_label(region)
+        tramp_label = entry_label(region)
+        if label in func.blocks or tramp_label in func.blocks:
+            raise ValueError(f"region {region.id} already instrumented")
+
+        # 1. Recovery block: restore checkpoints, then re-enter through the
+        # trampoline (which resets the checkpoint buffer and re-saves the
+        # just-restored live-in registers).
+        rec_block = func.add_block(label)
+        rec_block.append(RestoreCheckpoints(region.id))
+        rec_block.append(Jump(tramp_label))
+        report.recovery_blocks.append(label)
+
+        # 2. Entry trampoline on every edge into the region from outside:
+        # publish the recovery block and save overwritten live-in
+        # registers once per region activation (loop back edges inside
+        # the region do not re-pay this cost).  Rewrite entry edges
+        # before creating the trampoline so its own jump stays intact.
+        for block in func:
+            if block.label in region.blocks or block.label == label:
+                continue
+            term = block.terminator
+            if term is not None:
+                _retarget(term, region.header, tramp_label)
+        entry_was_header = func.entry_label == region.header
+        tramp = func.add_block(tramp_label)
+        tramp.append(SetRecoveryPtr(region.id, label))
+        for reg in region.live_in_checkpoints:
+            tramp.append(CheckpointReg(region.id, reg))
+        tramp.append(Jump(region.header))
+        if entry_was_header:
+            func.set_entry(tramp_label)
+        report.checkpoint_reg_sites += len(region.live_in_checkpoints)
+
+        # 3. Memory checkpoints just before each offending instruction —
+        # the store's own address, or the concrete addresses a callee may
+        # clobber when the offender is a call.
+        mem_sites = 0
+        for site in region.idem.checkpoint_sites:
+            if not site.checkpointable:
+                raise ValueError(
+                    f"region {region.id} has non-checkpointable offender "
+                    f"{site.inst}"
+                )
+            block = _block_containing(func, site.inst)
+            index = _index_of(block, site.inst)
+            for offset, ref in enumerate(site.refs):
+                block.insert(index + offset, CheckpointMem(region.id, ref))
+            mem_sites += len(site.refs)
+        report.checkpoint_mem_sites += mem_sites
+
+        report.storage.append(
+            RegionStorage(
+                region_id=region.id,
+                memory_bytes=2 * WORD_BYTES * mem_sites,
+                register_bytes=WORD_BYTES * len(region.live_in_checkpoints),
+            )
+        )
+        report.instrumented_regions += 1
+    return report
+
+
+def _block_containing(func, inst):
+    for block in func:
+        for candidate in block:
+            if candidate is inst:
+                return block
+    raise ValueError(f"instruction {inst} not found in {func.name}")
+
+
+def _index_of(block, inst) -> int:
+    for i, candidate in enumerate(block.instructions):
+        if candidate is inst:
+            return i
+    raise ValueError(f"instruction {inst} not found in block {block.label}")

@@ -1,0 +1,242 @@
+"""The end-to-end Encore compiler pipeline (paper Figure 3).
+
+``EncoreCompiler`` strings together the passes exactly as the paper's
+high-level vision describes: profile the application, partition each
+function's CFG into SEME interval regions, analyze (and re-analyze
+after merging) their idempotence under the configured ``Pmin``, select
+regions under the gamma/eta/budget heuristics, and instrument the
+module with checkpoints and recovery blocks.  The resulting
+:class:`EncoreReport` carries everything the evaluation figures need.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.alias import AliasAnalysis
+from repro.encore.coverage_model import (
+    CoverageBreakdown,
+    FullSystemCoverage,
+    full_system_coverage,
+    region_coverage,
+)
+from repro.encore.idempotence import IdempotenceAnalyzer, RegionStatus
+from repro.encore.instrumentation import InstrumentationReport, instrument_module
+from repro.encore.regions import Region, RegionBuilder
+from repro.encore.selection import RegionSelector, SelectionConfig
+from repro.ir.module import Module
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import profile_module
+
+
+@dataclasses.dataclass
+class EncoreConfig:
+    """Every knob of the pipeline in one place."""
+
+    pmin: Optional[float] = 0.0
+    gamma: float = 1.0
+    eta: float = 0.25
+    overhead_budget: float = 0.20
+    auto_tune: bool = True
+    alias_mode: str = "static"
+    merge_regions: bool = True
+    max_region_length: float = 2500.0
+    #: "interval" is Encore's fine-grained partitioning; "function" is
+    #: the whole-function granularity of prior work (Section 2.2's
+    #: comparison with Relax), exposed for the baseline ablation.
+    granularity: str = "interval"
+
+    def selection(self) -> SelectionConfig:
+        return SelectionConfig(
+            gamma=self.gamma,
+            eta=self.eta,
+            overhead_budget=self.overhead_budget,
+            auto_tune=self.auto_tune,
+            max_region_length=self.max_region_length,
+        )
+
+
+@dataclasses.dataclass
+class EncoreReport:
+    """Everything the pipeline learned about one application."""
+
+    module: Module
+    config: EncoreConfig
+    profile: ProfileData
+    base_regions: List[Region]
+    candidate_regions: List[Region]
+    selected_regions: List[Region]
+    instrumentation: InstrumentationReport
+    total_app_instructions: int
+
+    # -- region statistics (Figure 5) -----------------------------------
+
+    def region_status_counts(self) -> Dict[RegionStatus, int]:
+        counts = {status: 0 for status in RegionStatus}
+        for region in self.base_regions:
+            counts[region.status] += 1
+        return counts
+
+    def region_status_fractions(self) -> Dict[RegionStatus, float]:
+        counts = self.region_status_counts()
+        total = max(sum(counts.values()), 1)
+        return {status: count / total for status, count in counts.items()}
+
+    # -- dynamic execution breakdown (Figure 6) ------------------------------
+
+    def dynamic_breakdown(self) -> Dict[str, float]:
+        total = max(self.total_app_instructions, 1)
+        idem = 0.0
+        ckpt = 0.0
+        for region in self.selected_regions:
+            frac = region.dyn_instructions / total
+            if region.status is RegionStatus.IDEMPOTENT:
+                idem += frac
+            else:
+                ckpt += frac
+        return {
+            "idempotent": min(idem, 1.0),
+            "checkpointed": min(ckpt, 1.0),
+            "unprotected": max(0.0, 1.0 - idem - ckpt),
+        }
+
+    # -- overheads (Figure 7) ---------------------------------------------------
+
+    def estimated_overhead(self) -> float:
+        """Dynamic instrumentation instructions / application instructions."""
+        total = max(self.total_app_instructions, 1)
+        selector = self._selector
+        return sum(
+            selector.estimated_overhead(region, total)
+            for region in self.selected_regions
+        )
+
+    # -- coverage (Figure 8) --------------------------------------------------------
+
+    def coverage(self, dmax: float) -> CoverageBreakdown:
+        return region_coverage(
+            self.selected_regions, self.total_app_instructions, dmax
+        )
+
+    def full_system(self, dmax: float, masking_rate: float) -> FullSystemCoverage:
+        return full_system_coverage(self.coverage(dmax), masking_rate)
+
+    # Populated by the compiler; not part of the dataclass signature.
+    _selector: RegionSelector = dataclasses.field(default=None, repr=False)
+
+
+class EncoreCompiler:
+    """Runs the full Encore pipeline over one module."""
+
+    def __init__(self, module: Module, config: Optional[EncoreConfig] = None) -> None:
+        self.module = module
+        self.config = config or EncoreConfig()
+
+    def compile(
+        self,
+        profile: Optional[ProfileData] = None,
+        function: str = "main",
+        args: Sequence = (),
+        instrument: bool = True,
+        externals=None,
+    ) -> EncoreReport:
+        """Profile (if needed), analyze, select, and instrument in place."""
+        config = self.config
+        if profile is None:
+            profile = profile_module(
+                self.module, function=function, args=args, externals=externals
+            )
+        memory_profile = None
+        if config.alias_mode == "profiled":
+            from repro.profiling.memprofile import collect_memory_profile
+
+            memory_profile = collect_memory_profile(
+                self.module, function=function, args=args, externals=externals
+            )
+        alias = AliasAnalysis(
+            self.module, mode=config.alias_mode, memory_profile=memory_profile
+        )
+        analyzer = IdempotenceAnalyzer(
+            self.module, alias=alias, profile=profile, pmin=config.pmin
+        )
+        builder = RegionBuilder(self.module, profile)
+        selector = RegionSelector(
+            self.module, analyzer, builder, profile, config.selection()
+        )
+
+        if config.granularity == "function":
+            base_regions = builder.function_regions()
+        else:
+            base_regions = builder.base_regions()
+        for region in base_regions:
+            selector.analyze(region)
+
+        total_app = self._total_app_instructions(profile)
+
+        if config.granularity == "function":
+            candidates = [
+                builder.make_region(r.func, r.blocks, r.header, r.level)
+                for r in base_regions
+            ]
+        elif config.merge_regions:
+            candidates: List[Region] = []
+            for func_name in self.module.functions:
+                if not self.module.function(func_name).blocks:
+                    continue
+                candidates.extend(selector.merge_candidates(func_name))
+        else:
+            candidates = [
+                builder.make_region(r.func, r.blocks, r.header, r.level)
+                for r in base_regions
+            ]
+        for region in candidates:
+            selector.analyze(region)
+
+        selected = selector.select(candidates, total_app)
+
+        if instrument:
+            report_inst = instrument_module(self.module, selected)
+        else:
+            report_inst = InstrumentationReport()
+
+        report = EncoreReport(
+            module=self.module,
+            config=config,
+            profile=profile,
+            base_regions=base_regions,
+            candidate_regions=candidates,
+            selected_regions=selected,
+            instrumentation=report_inst,
+            total_app_instructions=total_app,
+        )
+        report._selector = selector
+        return report
+
+    def _total_app_instructions(self, profile: ProfileData) -> int:
+        total = 0
+        for (func_name, label), count in profile.block_counts.items():
+            func = self.module.get_function(func_name)
+            if func is None or label not in func.blocks:
+                continue
+            length = sum(
+                1 for inst in func.blocks[label] if not inst.is_instrumentation
+            )
+            total += count * length
+        return total
+
+
+def compile_for_encore(
+    module: Module,
+    config: Optional[EncoreConfig] = None,
+    clone: bool = True,
+    **kwargs,
+) -> EncoreReport:
+    """Convenience wrapper: optionally deep-copy, then run the pipeline.
+
+    With ``clone=True`` (the default) the input module is left pristine
+    and the instrumented copy is returned inside the report.
+    """
+    target = copy.deepcopy(module) if clone else module
+    return EncoreCompiler(target, config).compile(**kwargs)

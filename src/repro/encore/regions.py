@@ -1,0 +1,237 @@
+"""Candidate recovery regions formed from the interval hierarchy.
+
+Paper Section 3.3: candidate regions are intervals — SEME by
+construction — and interval partitioning applies recursively, so coarser
+candidates are available by walking up the hierarchy.  Each
+:class:`Region` carries the profile-derived quantities the selection
+heuristics consume: entry count, dynamic instruction mass, hot-path
+length (the compile-time surrogate for coverage), and later its
+idempotence verdict and checkpoint requirements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.intervals import Interval, IntervalHierarchy
+from repro.encore.idempotence import IdempotenceResult, RegionStatus
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import VirtualRegister
+from repro.profiling.profile_data import ProfileData
+
+
+@dataclasses.dataclass
+class Region:
+    """One candidate recovery region (a SEME subgraph of one function)."""
+
+    id: int
+    func: str
+    header: str
+    blocks: FrozenSet[str]
+    level: int
+    idem: Optional[IdempotenceResult] = None
+    live_in_checkpoints: List[VirtualRegister] = dataclasses.field(default_factory=list)
+    entries: int = 0
+    dyn_instructions: int = 0
+    hot_path: List[str] = dataclasses.field(default_factory=list)
+    hot_path_length: int = 0
+    selected: bool = False
+
+    @property
+    def status(self) -> RegionStatus:
+        if self.idem is None:
+            return RegionStatus.UNKNOWN
+        return self.idem.status
+
+    @property
+    def checkpoint_stores(self):
+        return self.idem.checkpoint_stores if self.idem is not None else []
+
+    @property
+    def checkpoint_sites(self):
+        return self.idem.checkpoint_sites if self.idem is not None else []
+
+    @property
+    def activation_length(self) -> float:
+        """Expected dynamic instructions per region activation (``n``)."""
+        if self.entries <= 0:
+            return float(self.hot_path_length)
+        return self.dyn_instructions / self.entries
+
+    def __repr__(self) -> str:
+        return (
+            f"<Region #{self.id} {self.func}/{self.header} L{self.level} "
+            f"{len(self.blocks)} blocks {self.status.value}>"
+        )
+
+
+class RegionBuilder:
+    """Builds candidate regions from interval hierarchies plus a profile."""
+
+    def __init__(self, module: Module, profile: Optional[ProfileData] = None) -> None:
+        self.module = module
+        self.profile = profile
+        self._ids = itertools.count()
+        self._hierarchies: Dict[str, IntervalHierarchy] = {}
+        self._cfgs: Dict[str, CFGView] = {}
+        self._block_lengths: Dict[Tuple[str, str], int] = {}
+
+    def cfg(self, func_name: str) -> CFGView:
+        if func_name not in self._cfgs:
+            self._cfgs[func_name] = CFGView(self.module.function(func_name))
+        return self._cfgs[func_name]
+
+    def hierarchy(self, func_name: str) -> IntervalHierarchy:
+        if func_name not in self._hierarchies:
+            self._hierarchies[func_name] = IntervalHierarchy(self.cfg(func_name))
+        return self._hierarchies[func_name]
+
+    def block_length(self, func_name: str, label: str) -> int:
+        key = (func_name, label)
+        if key not in self._block_lengths:
+            func = self.module.function(func_name)
+            count = sum(
+                1 for inst in func.blocks[label] if not inst.is_instrumentation
+            )
+            self._block_lengths[key] = count
+        return self._block_lengths[key]
+
+    # -- construction ----------------------------------------------------
+
+    def base_regions(self, func_name: Optional[str] = None) -> List[Region]:
+        """Level-1 interval regions (the finest candidates)."""
+        names = [func_name] if func_name else list(self.module.functions)
+        regions: List[Region] = []
+        for name in names:
+            if not self.module.function(name).blocks:
+                continue
+            for interval in self.hierarchy(name).levels[0]:
+                regions.append(self.region_from_interval(name, interval))
+        return regions
+
+    def function_regions(self, func_name: Optional[str] = None) -> List[Region]:
+        """One region per function: the whole-function granularity of
+        earlier work (Relax / de Kruijf et al.), which the paper argues
+        leaves most idempotence unexploited ("only a few of these
+        regions actually span an entire function", Section 1)."""
+        names = [func_name] if func_name else list(self.module.functions)
+        regions: List[Region] = []
+        for name in names:
+            func = self.module.function(name)
+            if not func.blocks:
+                continue
+            regions.append(
+                self.make_region(
+                    name,
+                    frozenset(func.reachable_labels()),
+                    func.entry_label,
+                    level=99,
+                )
+            )
+        return regions
+
+    def region_from_interval(self, func_name: str, interval: Interval) -> Region:
+        return self.make_region(
+            func_name,
+            frozenset(interval.block_set),
+            interval.header_block,
+            level=interval.level,
+        )
+
+    def make_region(
+        self, func_name: str, blocks: FrozenSet[str], header: str, level: int = 1
+    ) -> Region:
+        region = Region(
+            id=next(self._ids),
+            func=func_name,
+            header=header,
+            blocks=blocks,
+            level=level,
+        )
+        self._attach_profile(region)
+        return region
+
+    def is_seme(self, region: Region) -> bool:
+        """Verify the SEME property: all outside edges target the header."""
+        cfg = self.cfg(region.func)
+        for label in region.blocks:
+            if label == region.header:
+                continue
+            if label not in cfg:
+                continue
+            for pred in cfg.preds[label]:
+                if pred not in region.blocks:
+                    return False
+        return True
+
+    # -- profile attachment ----------------------------------------------------
+
+    def _attach_profile(self, region: Region) -> None:
+        func = region.func
+        if self.profile is not None:
+            region.entries = self._external_entries(region)
+            region.dyn_instructions = sum(
+                self.profile.block_count(func, label)
+                * self.block_length(func, label)
+                for label in region.blocks
+            )
+        region.hot_path = self._hot_path(region)
+        region.hot_path_length = sum(
+            self.block_length(func, label) for label in region.hot_path
+        )
+
+    def _external_entries(self, region: Region) -> int:
+        """How often control entered the region from outside it.
+
+        Encore's entry instrumentation (recovery-pointer update plus
+        register checkpoints) sits on the entry edges, so loop back
+        edges inside the region do not re-pay it.  Function entry counts
+        as an external entry when the region header is the entry block.
+        """
+        func = region.func
+        cfg = self.cfg(func)
+        if region.header not in cfg:
+            return 0
+        entries = 0
+        if region.header == cfg.entry:
+            entries += self.profile.function_entries(func)
+        for pred in cfg.preds[region.header]:
+            if pred not in region.blocks:
+                entries += self.profile.edge_count(func, pred, region.header)
+        header_count = self.profile.block_count(func, region.header)
+        if entries == 0 and header_count > 0:
+            entries = 1  # executed, but entry edges untracked: one entry
+        return min(entries, header_count) if header_count else entries
+
+    def _hot_path(self, region: Region) -> List[str]:
+        """Follow the most-probable successors from the header.
+
+        Stops when execution leaves the region or would revisit a block
+        (one trip through any loop).  Without a profile the first
+        successor is taken — a deterministic static stand-in.
+        """
+        cfg = self.cfg(region.func)
+        if region.header not in cfg:
+            return []
+        path = [region.header]
+        visited = {region.header}
+        current = region.header
+        while True:
+            candidates = [s for s in cfg.succs[current] if s in region.blocks]
+            if not candidates:
+                break
+            if self.profile is not None:
+                nxt = self.profile.hottest_successor(region.func, current, candidates)
+            else:
+                nxt = candidates[0]
+            if nxt is None or nxt in visited:
+                break
+            path.append(nxt)
+            visited.add(nxt)
+            current = nxt
+        return path

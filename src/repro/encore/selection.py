@@ -1,0 +1,254 @@
+"""Region selection and merging heuristics (paper Section 3.4.2).
+
+Two knobs trade reliability for performance:
+
+* ``gamma`` — a region is a candidate for instrumentation only when
+  ``Coverage/Cost > gamma``.  Coverage is the hot-path length through
+  the region; cost is the ratio of checkpointing instructions to
+  hot-path instructions.
+* ``eta`` — two adjacent regions are merged only when
+  ``dCoverage/dCost > eta`` with ``dCoverage`` defined by Equation 5
+  (preferring merges of similarly-sized regions).
+
+On top of the raw thresholds the selector supports the paper's
+budget-driven tuning ("values for gamma and eta were empirically
+derived for each application to target ... ~20%"): candidate regions
+are ranked by recoverable-work-per-overhead and greedily accepted while
+the estimated dynamic-instruction overhead stays within the budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.liveness import LivenessAnalysis
+from repro.encore.idempotence import IdempotenceAnalyzer, RegionStatus
+from repro.encore.regions import Region, RegionBuilder
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.profiling.profile_data import ProfileData
+
+_EPSILON = 1e-9
+
+
+@dataclasses.dataclass
+class SelectionConfig:
+    """Heuristic knobs (paper Section 3.4)."""
+
+    gamma: float = 1.0
+    eta: float = 0.25
+    overhead_budget: float = 0.20
+    auto_tune: bool = True
+    max_merge_levels: int = 8
+    #: Cap on a merged region's expected dynamic length per activation.
+    #: Table 1 gives Encore's typical interval length as 100-1000
+    #: instructions; the cap sits somewhat above that band (it bounds
+    #: wasted re-execution work and checkpoint-buffer growth, both of
+    #: which grow with region size) while letting hot loops whose bodies
+    #: slightly exceed it merge to amortize detection latency.
+    max_region_length: float = 2500.0
+
+
+class RegionSelector:
+    """Forms, merges, analyzes, and selects recovery regions."""
+
+    def __init__(
+        self,
+        module: Module,
+        analyzer: IdempotenceAnalyzer,
+        builder: RegionBuilder,
+        profile: Optional[ProfileData] = None,
+        config: Optional[SelectionConfig] = None,
+    ) -> None:
+        self.module = module
+        self.analyzer = analyzer
+        self.builder = builder
+        self.profile = profile
+        self.config = config or SelectionConfig()
+        self._liveness: Dict[str, LivenessAnalysis] = {}
+        self._inst_block: Dict[int, Tuple[str, str]] = {}
+        for func in module:
+            for block in func:
+                for inst in block:
+                    self._inst_block[id(inst)] = (func.name, block.label)
+
+    # -- shared analyses -------------------------------------------------
+
+    def liveness(self, func_name: str) -> LivenessAnalysis:
+        if func_name not in self._liveness:
+            func = self.module.function(func_name)
+            self._liveness[func_name] = LivenessAnalysis(
+                func, self.analyzer.cfg(func_name)
+            )
+        return self._liveness[func_name]
+
+    def analyze(self, region: Region) -> Region:
+        """Fill in the idempotence verdict and register checkpoints."""
+        if region.idem is None:
+            region.idem = self.analyzer.analyze_region(
+                region.func, region.blocks, region.header
+            )
+            region.live_in_checkpoints = self.liveness(
+                region.func
+            ).region_live_in_overwritten(region.blocks, region.header)
+        return region
+
+    # -- cost / coverage -----------------------------------------------------
+
+    def coverage(self, region: Region) -> float:
+        """Expected dynamic instructions protected per region activation.
+
+        The paper uses the hot-path length as its compile-time coverage
+        surrogate; with a profile available the expected per-activation
+        length is the dynamic refinement of the same quantity, and the
+        static hot-path length is the fallback.
+        """
+        return float(max(region.activation_length, 1.0))
+
+    def cost(self, region: Region) -> float:
+        """Checkpoint instructions per protected instruction.
+
+        Counts the recovery-pointer update, one store per live-in
+        register checkpoint, and two stores (data + address) per
+        expected execution of each offending store within one region
+        activation.
+        """
+        self.analyze(region)
+        per_entry = 1.0 + len(region.live_in_checkpoints)
+        if self.profile is not None and region.entries > 0:
+            for site in region.idem.checkpoint_sites:
+                loc = self._inst_block.get(id(site.inst))
+                if loc is None:
+                    continue
+                count = self.profile.block_count(loc[0], loc[1])
+                per_entry += 2.0 * len(site.refs) * count / region.entries
+        else:
+            hot = set(region.hot_path)
+            for site in region.idem.checkpoint_sites:
+                loc = self._inst_block.get(id(site.inst))
+                if loc is not None and (not hot or loc[1] in hot):
+                    per_entry += 2.0 * len(site.refs)
+        return per_entry / self.coverage(region)
+
+    def estimated_overhead(self, region: Region, total_app: int) -> float:
+        """Expected dynamic instrumentation instructions / app instructions."""
+        if total_app <= 0:
+            return 0.0
+        self.analyze(region)
+        entries = region.entries
+        dyn = entries * (1.0 + len(region.live_in_checkpoints))
+        for site in region.idem.checkpoint_sites:
+            loc = self._inst_block.get(id(site.inst))
+            if loc is None:
+                continue
+            count = (
+                self.profile.block_count(loc[0], loc[1])
+                if self.profile is not None
+                else entries
+            )
+            dyn += 2.0 * len(site.refs) * count
+        return dyn / total_app
+
+    # -- merging (Equation 5) -------------------------------------------------
+
+    def merge_candidates(self, func_name: str) -> List[Region]:
+        """Walk the interval hierarchy upward, fusing regions when
+        ``dCoverage/dCost > eta``."""
+        hierarchy = self.builder.hierarchy(func_name)
+        current: Dict[str, Region] = {}
+        for interval in hierarchy.levels[0]:
+            region = self.builder.region_from_interval(func_name, interval)
+            current[min(interval.block_set)] = region
+        max_level = min(hierarchy.depth, self.config.max_merge_levels)
+        for level_index in range(1, max_level):
+            for interval in hierarchy.levels[level_index]:
+                inside = [
+                    key
+                    for key, region in current.items()
+                    if region.blocks <= interval.block_set
+                ]
+                if len(inside) < 2:
+                    continue
+                children = [current[k] for k in inside]
+                if any(not c.blocks for c in children):
+                    continue
+                merged = self.builder.make_region(
+                    func_name,
+                    frozenset(interval.block_set),
+                    interval.header_block,
+                    level=interval.level,
+                )
+                if not self.builder.is_seme(merged):
+                    continue
+                if self._should_merge(merged, children):
+                    for key in inside:
+                        del current[key]
+                    current[min(merged.blocks)] = merged
+        return list(current.values())
+
+    def _should_merge(self, merged: Region, children: List[Region]) -> bool:
+        self.analyze(merged)
+        if merged.status is RegionStatus.UNKNOWN or not merged.idem.checkpointable:
+            return False
+        if (
+            merged.entries > 0
+            and merged.activation_length > self.config.max_region_length
+        ):
+            return False
+        for child in children:
+            self.analyze(child)
+        d_coverage = self.coverage(merged) / max(
+            max(self.coverage(c) for c in children), _EPSILON
+        )
+        child_cost = sum(
+            self.cost(c) * self.coverage(c) for c in children
+        ) / max(sum(self.coverage(c) for c in children), _EPSILON)
+        d_cost = max(self.cost(merged) - child_cost, _EPSILON)
+        return d_coverage / d_cost > self.config.eta
+
+    # -- selection -----------------------------------------------------------
+
+    def select(
+        self, regions: Iterable[Region], total_app_instructions: int
+    ) -> List[Region]:
+        """Apply gamma and (optionally) the overhead budget; mark winners."""
+        candidates: List[Region] = []
+        for region in regions:
+            self.analyze(region)
+            region.selected = False
+            if region.status is RegionStatus.UNKNOWN:
+                continue
+            if not region.idem.checkpointable:
+                continue
+            ratio = self.coverage(region) / max(self.cost(region), _EPSILON)
+            if ratio <= self.config.gamma:
+                continue
+            candidates.append(region)
+
+        if not self.config.auto_tune:
+            for region in candidates:
+                region.selected = True
+            return candidates
+
+        def rank(region: Region) -> float:
+            overhead = self.estimated_overhead(region, total_app_instructions)
+            work = region.dyn_instructions / max(total_app_instructions, 1)
+            return work / max(overhead, _EPSILON)
+
+        chosen: List[Region] = []
+        budget = self.config.overhead_budget
+        spent = 0.0
+        for region in sorted(candidates, key=rank, reverse=True):
+            overhead = self.estimated_overhead(region, total_app_instructions)
+            if region.dyn_instructions == 0:
+                # Free to protect (never executed in the profile run).
+                region.selected = True
+                chosen.append(region)
+                continue
+            if spent + overhead <= budget:
+                region.selected = True
+                chosen.append(region)
+                spent += overhead
+        return chosen

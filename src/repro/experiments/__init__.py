@@ -1,0 +1,38 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Run them all with ``python -m repro.experiments all`` or individually
+(``python -m repro.experiments fig8``).  Each module exposes ``run()``
+returning structured data and ``render()`` producing the paper-shaped
+text table.
+"""
+
+from repro.experiments import (
+    fig1_traces,
+    fig5_idempotence,
+    fig6_breakdown,
+    fig7_overheads,
+    fig8_coverage,
+    table1,
+)
+from repro.experiments.harness import PipelineCache, default_config
+
+EXPERIMENTS = {
+    "fig1": fig1_traces,
+    "table1": table1,
+    "fig5": fig5_idempotence,
+    "fig6": fig6_breakdown,
+    "fig7": fig7_overheads,
+    "fig8": fig8_coverage,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "PipelineCache",
+    "default_config",
+    "fig1_traces",
+    "fig5_idempotence",
+    "fig6_breakdown",
+    "fig7_overheads",
+    "fig8_coverage",
+    "table1",
+]

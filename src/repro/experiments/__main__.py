@@ -1,0 +1,64 @@
+"""CLI entry point: ``python -m repro.experiments <experiment> [names...]``.
+
+Examples::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig8
+    python -m repro.experiments fig6 172.mgrid cjpeg
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(EXPERIMENTS)) + ", all"
+        print(f"usage: python -m repro.experiments <{names}> "
+              f"[--csv DIR] [benchmark...]")
+        return 0
+    csv_dir = None
+    if "--csv" in argv:
+        index = argv.index("--csv")
+        try:
+            csv_dir = argv[index + 1]
+        except IndexError:
+            print("--csv requires a directory argument")
+            return 2
+        del argv[index:index + 2]
+    which = argv[0]
+    benchmarks = argv[1:] or None
+    keys = (
+        ["fig1", "table1", "fig5", "fig6", "fig7", "fig8"]
+        if which == "all"
+        else [which]
+    )
+    for key in keys:
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {key!r}; choices: {sorted(EXPERIMENTS)}")
+            return 2
+    for key in keys:
+        module = EXPERIMENTS[key]
+        if csv_dir is None:
+            module.main(benchmarks)
+            print()
+            continue
+        import os
+
+        os.makedirs(csv_dir, exist_ok=True)
+        data = module.run(benchmarks)
+        print(module.render(data))
+        print()
+        path = os.path.join(csv_dir, f"{key}.csv")
+        with open(path, "w") as handle:
+            handle.write(module.to_csv(data))
+        print(f"[wrote {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Figure 1: inherent idempotence of dynamic instruction traces vs size.
+
+For every workload we capture the dynamic memory-access trace, sample
+windows of each size, and measure the fraction that contain no dynamic
+WAR ("Fully Idempotent").  The "Idempotence Target" series — the
+headroom Encore aims to expose through pruning and selective
+checkpointing — is the fraction of windows with at most a couple of
+offending addresses (the paper's "nearly idempotent" observation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import Table, fmt_pct
+from repro.runtime.traces import capture_trace, trace_idempotence_profile
+from repro.workloads import all_workloads
+
+WINDOW_SIZES = (10, 25, 50, 100, 200, 500, 1000)
+
+
+@dataclasses.dataclass
+class Fig1Data:
+    window_sizes: Sequence[int]
+    fully: Dict[int, float]
+    target: Dict[int, float]
+    per_benchmark: Dict[str, Dict[int, float]]
+
+
+def run(
+    names: Optional[Sequence[str]] = None,
+    window_sizes: Sequence[int] = WINDOW_SIZES,
+    samples_per_size: int = 120,
+) -> Fig1Data:
+    specs = all_workloads()
+    if names is not None:
+        wanted = set(names)
+        specs = [s for s in specs if s.name in wanted]
+    fully_acc = {w: [] for w in window_sizes}
+    target_acc = {w: [] for w in window_sizes}
+    per_benchmark: Dict[str, Dict[int, float]] = {}
+    for spec in specs:
+        built = spec.build()
+        trace = capture_trace(
+            built.module, built.entry, built.args, externals=built.externals
+        )
+        stats = trace_idempotence_profile(
+            trace, window_sizes=window_sizes, samples_per_size=samples_per_size
+        )
+        per_benchmark[spec.name] = {s.window: s.fully_idempotent for s in stats}
+        for s in stats:
+            fully_acc[s.window].append(s.fully_idempotent)
+            target_acc[s.window].append(s.nearly_idempotent)
+    fully = {w: sum(v) / len(v) for w, v in fully_acc.items() if v}
+    target = {w: sum(v) / len(v) for w, v in target_acc.items() if v}
+    return Fig1Data(window_sizes, fully, target, per_benchmark)
+
+
+def render(data: Fig1Data) -> str:
+    table = Table(
+        "Figure 1: % of dynamic traces that are idempotent, by trace size",
+        ["Trace size", "Fully Idempotent", "Idempotence Target"],
+    )
+    for w in data.window_sizes:
+        table.add_row(w, fmt_pct(data.fully[w]), fmt_pct(data.target[w]))
+    return table.render()
+
+
+def to_csv(data: Fig1Data) -> str:
+    from repro.experiments.reporting import rows_to_csv
+
+    rows = [
+        (w, data.fully[w], data.target[w]) for w in data.window_sizes
+    ]
+    return rows_to_csv(
+        ["trace_size", "fully_idempotent", "idempotence_target"], rows
+    )
+
+
+def main(names: Optional[Sequence[str]] = None) -> str:
+    output = render(run(names))
+    print(output)
+    return output

@@ -1,0 +1,105 @@
+"""Figure 5: inherent region idempotence as a function of Pmin.
+
+For each benchmark and each Pmin in {∅, 0.0, 0.1, 0.25}, the fraction
+of base candidate regions that are inherently idempotent,
+non-idempotent, and unknown.  Expected shape (paper Section 5.1): the
+idempotent fraction grows with pruning, most of the benefit arrives at
+Pmin = 0.0, and the unpruned overall mean sits near 49% vs ~75% pruned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.encore import EncoreConfig, RegionStatus
+from repro.experiments.harness import PipelineCache
+from repro.experiments.reporting import Table, fmt_pct, suite_order_with_means
+
+PMIN_VALUES: Tuple[Optional[float], ...] = (None, 0.0, 0.1, 0.25)
+
+
+@dataclasses.dataclass
+class Fig5Data:
+    # benchmark -> pmin -> {"idempotent": f, "non_idempotent": f, "unknown": f}
+    fractions: Dict[str, Dict[Optional[float], Dict[str, float]]]
+    pmin_values: Sequence[Optional[float]]
+
+
+def run(
+    names: Optional[Sequence[str]] = None,
+    pmin_values: Sequence[Optional[float]] = PMIN_VALUES,
+) -> Fig5Data:
+    cache = PipelineCache()
+    fractions: Dict[str, Dict[Optional[float], Dict[str, float]]] = {}
+    for pmin in pmin_values:
+        config = EncoreConfig(pmin=pmin)
+        for result in cache.run_all(config, names):
+            fr = result.report.region_status_fractions()
+            fractions.setdefault(result.spec.name, {})[pmin] = {
+                "idempotent": fr[RegionStatus.IDEMPOTENT],
+                "non_idempotent": fr[RegionStatus.NON_IDEMPOTENT],
+                "unknown": fr[RegionStatus.UNKNOWN],
+            }
+    return Fig5Data(fractions, pmin_values)
+
+
+def _label(pmin: Optional[float]) -> str:
+    return "none" if pmin is None else f"{pmin:g}"
+
+
+def render(data: Fig5Data) -> str:
+    columns = ["Benchmark"]
+    for pmin in data.pmin_values:
+        columns.append(f"Idem(P={_label(pmin)})")
+    columns.append("NonIdem(P=0.0)")
+    columns.append("Unknown(P=0.0)")
+
+    per_benchmark = {}
+    metrics = [f"idem_{_label(p)}" for p in data.pmin_values] + ["non", "unk"]
+    for name, by_pmin in data.fractions.items():
+        row = {}
+        for pmin in data.pmin_values:
+            row[f"idem_{_label(pmin)}"] = by_pmin[pmin]["idempotent"]
+        row["non"] = by_pmin[0.0]["non_idempotent"]
+        row["unk"] = by_pmin[0.0]["unknown"]
+        per_benchmark[name] = row
+
+    table = Table(
+        "Figure 5: inherent region idempotence vs Pmin "
+        "(columns: idempotent fraction at each Pmin; breakdown at Pmin=0.0)",
+        columns,
+    )
+    for label, values, is_mean in suite_order_with_means(per_benchmark, metrics):
+        if is_mean:
+            table.add_rule()
+        cells = [label]
+        for pmin in data.pmin_values:
+            cells.append(fmt_pct(values[f"idem_{_label(pmin)}"]))
+        cells.append(fmt_pct(values["non"]))
+        cells.append(fmt_pct(values["unk"]))
+        table.add_row(*cells)
+        if is_mean:
+            table.add_rule()
+    return table.render()
+
+
+def to_csv(data: Fig5Data) -> str:
+    from repro.experiments.reporting import rows_to_csv
+
+    rows = []
+    for name, by_pmin in data.fractions.items():
+        for pmin, fr in by_pmin.items():
+            rows.append(
+                (name, _label(pmin), fr["idempotent"],
+                 fr["non_idempotent"], fr["unknown"])
+            )
+    return rows_to_csv(
+        ["benchmark", "pmin", "idempotent", "non_idempotent", "unknown"], rows
+    )
+
+
+def main(names: Optional[Sequence[str]] = None) -> str:
+    output = render(run(names))
+    print(output)
+    return output

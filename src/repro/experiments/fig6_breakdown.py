@@ -1,0 +1,70 @@
+"""Figure 6: breakdown of dynamic execution time.
+
+Per benchmark, the fraction of application dynamic instructions spent
+in (a) inherently idempotent selected regions, (b) non-idempotent
+regions instrumented with Encore checkpointing, and (c) regions too
+costly to protect ("w/o Encore checkpointing" — lost coverage).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.encore import EncoreConfig
+from repro.experiments.harness import PipelineCache
+from repro.experiments.reporting import Table, fmt_pct, suite_order_with_means
+
+METRICS = ("idempotent", "checkpointed", "unprotected")
+
+
+@dataclasses.dataclass
+class Fig6Data:
+    # benchmark -> {"idempotent": f, "checkpointed": f, "unprotected": f}
+    breakdown: Dict[str, Dict[str, float]]
+
+
+def run(names: Optional[Sequence[str]] = None) -> Fig6Data:
+    cache = PipelineCache()
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for result in cache.run_all(EncoreConfig(), names):
+        breakdown[result.spec.name] = result.report.dynamic_breakdown()
+    return Fig6Data(breakdown)
+
+
+def render(data: Fig6Data) -> str:
+    table = Table(
+        "Figure 6: dynamic execution breakdown "
+        "(Idempotent / w/ Encore Checkpointing / w/o Encore Checkpointing)",
+        ["Benchmark", "Idempotent", "w/ Checkpointing", "w/o Checkpointing"],
+    )
+    for label, values, is_mean in suite_order_with_means(data.breakdown, METRICS):
+        if is_mean:
+            table.add_rule()
+        table.add_row(
+            label,
+            fmt_pct(values["idempotent"]),
+            fmt_pct(values["checkpointed"]),
+            fmt_pct(values["unprotected"]),
+        )
+        if is_mean:
+            table.add_rule()
+    return table.render()
+
+
+def to_csv(data: Fig6Data) -> str:
+    from repro.experiments.reporting import rows_to_csv
+
+    rows = [
+        (name, row["idempotent"], row["checkpointed"], row["unprotected"])
+        for name, row in data.breakdown.items()
+    ]
+    return rows_to_csv(
+        ["benchmark", "idempotent", "w_checkpointing", "wo_checkpointing"], rows
+    )
+
+
+def main(names: Optional[Sequence[str]] = None) -> str:
+    output = render(run(names))
+    print(output)
+    return output

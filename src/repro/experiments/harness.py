@@ -1,0 +1,76 @@
+"""Shared experiment plumbing: build → profile → compile, with caching.
+
+Experiments frequently need the same (workload, configuration) pipeline
+result; :class:`PipelineCache` memoizes them for the lifetime of one
+experiment run so the Figure 5 Pmin sweep and the Figure 7 alias-mode
+comparison don't recompute each other's work.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.encore import EncoreConfig, EncoreReport, compile_for_encore
+from repro.workloads import WorkloadSpec, all_workloads
+from repro.workloads.synth import BuiltWorkload
+
+
+def config_key(config: EncoreConfig) -> tuple:
+    return (
+        config.pmin,
+        config.gamma,
+        config.eta,
+        config.overhead_budget,
+        config.auto_tune,
+        config.alias_mode,
+        config.merge_regions,
+        config.max_region_length,
+        config.granularity,
+    )
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    spec: WorkloadSpec
+    built: BuiltWorkload
+    report: EncoreReport
+
+
+class PipelineCache:
+    """Memoized (workload, config) -> pipeline report."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, tuple], PipelineResult] = {}
+
+    def run(self, spec: WorkloadSpec, config: EncoreConfig) -> PipelineResult:
+        key = (spec.name, config_key(config))
+        if key not in self._cache:
+            built = spec.build()
+            report = compile_for_encore(
+                built.module,
+                copy.deepcopy(config),
+                clone=False,
+                function=built.entry,
+                args=built.args,
+                externals=built.externals,
+            )
+            self._cache[key] = PipelineResult(spec, built, report)
+        return self._cache[key]
+
+    def run_all(
+        self,
+        config: EncoreConfig,
+        names: Optional[Sequence[str]] = None,
+    ) -> List[PipelineResult]:
+        specs = all_workloads()
+        if names is not None:
+            wanted = set(names)
+            specs = [s for s in specs if s.name in wanted]
+        return [self.run(spec, config) for spec in specs]
+
+
+def default_config(**overrides) -> EncoreConfig:
+    """The paper's evaluation configuration: Pmin=0.0, ~20% budget."""
+    return EncoreConfig(**overrides)

@@ -1,0 +1,107 @@
+"""Shared table formatting for the experiment harnesses.
+
+Every experiment renders its results the way the paper presents them:
+benchmarks in suite order (SPEC2K-INT, SPEC2K-FP, MEDIABENCH) with a
+per-suite Mean row after each group, matching the figures' layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.workloads import all_workloads, suites
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f}%"
+
+
+def fmt_num(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}"
+
+
+@dataclasses.dataclass
+class Table:
+    """A simple fixed-width text table."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def add_rule(self) -> None:
+        self.rows.append(["---"])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            if row == ["---"]:
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, ""]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            if row == ["---"]:
+                lines.append("-" * len(header))
+                continue
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def suite_order_with_means(
+    per_benchmark: Dict[str, Dict[str, float]],
+    metrics: Sequence[str],
+) -> List[tuple]:
+    """Order benchmark rows by suite and append per-suite mean rows.
+
+    Returns ``(label, values, is_mean)`` tuples where ``values`` maps
+    metric name to value.
+    """
+    rows: List[tuple] = []
+    for suite in suites():
+        members = [
+            spec.name for spec in all_workloads()
+            if spec.suite == suite and spec.name in per_benchmark
+        ]
+        for name in members:
+            rows.append((name, per_benchmark[name], False))
+        if members:
+            mean = {
+                metric: sum(per_benchmark[m][metric] for m in members) / len(members)
+                for metric in metrics
+            }
+            rows.append((f"{suite} Mean", mean, True))
+    all_names = [s.name for s in all_workloads() if s.name in per_benchmark]
+    if all_names:
+        overall = {
+            metric: sum(per_benchmark[n][metric] for n in all_names) / len(all_names)
+            for metric in metrics
+        }
+        rows.append(("Overall Mean", overall, True))
+    return rows
+
+
+def csv_escape(cell) -> str:
+    text = str(cell)
+    if any(ch in text for ch in ",\"\n"):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def rows_to_csv(header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as CSV text (header first)."""
+    lines = [",".join(csv_escape(c) for c in header)]
+    for row in rows:
+        lines.append(",".join(csv_escape(c) for c in row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,96 @@
+"""Table 1: Encore vs. conventional checkpointing schemes.
+
+The enterprise and architectural columns are the paper's published
+characteristics; the Encore column is *measured* from this
+implementation — interval lengths from selected-region activation
+lengths and storage from the instrumentation report — so the table
+doubles as a sanity check that our regions land in the paper's
+100-1000-instruction / 10-100-byte envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.encore import EncoreConfig
+from repro.experiments.harness import PipelineCache
+from repro.experiments.reporting import Table
+
+
+@dataclasses.dataclass
+class Table1Data:
+    interval_min: float
+    interval_max: float
+    interval_mean: float
+    storage_min: float
+    storage_max: float
+    storage_mean: float
+
+
+def run(names: Optional[Sequence[str]] = None) -> Table1Data:
+    cache = PipelineCache()
+    lengths: List[float] = []
+    storages: List[float] = []
+    for result in cache.run_all(EncoreConfig(), names):
+        for region in result.report.selected_regions:
+            if region.dyn_instructions > 0:
+                lengths.append(region.activation_length)
+        for s in result.report.instrumentation.storage:
+            storages.append(s.total_bytes)
+    if not lengths:
+        lengths = [0.0]
+    if not storages:
+        storages = [0.0]
+    return Table1Data(
+        interval_min=min(lengths),
+        interval_max=max(lengths),
+        interval_mean=sum(lengths) / len(lengths),
+        storage_min=min(storages),
+        storage_max=max(storages),
+        storage_mean=sum(storages) / len(storages),
+    )
+
+
+def render(data: Table1Data) -> str:
+    table = Table(
+        "Table 1: Comparison with conventional checkpointing schemes",
+        ["Attribute", "Enterprise Recovery", "Architectural Recovery", "Encore (measured)"],
+    )
+    table.add_row(
+        "Interval Length",
+        "~hours",
+        "100-500K instructions",
+        f"{data.interval_min:.0f}-{data.interval_max:.0f} instructions "
+        f"(mean {data.interval_mean:.0f}; paper: 100-1000)",
+    )
+    table.add_row(
+        "Storage Space",
+        "0.5 - 1 GB",
+        "0.5 - 1 MB",
+        f"{data.storage_min:.0f}-{data.storage_max:.0f} B per region "
+        f"(mean {data.storage_mean:.0f} B; paper: ~10-100 B)",
+    )
+    table.add_row("Checkpoint Time", "~minutes", "~ms", "~ns (a handful of stores)")
+    table.add_row("Scope", "Full System", "Processor", "Processor")
+    table.add_row("Guaranteed Recovery", "Yes", "Yes", "No")
+    table.add_row("Extra Hardware", "Sometimes", "Yes", "No")
+    return table.render()
+
+
+def to_csv(data: Table1Data) -> str:
+    from repro.experiments.reporting import rows_to_csv
+
+    rows = [
+        ("interval_length_instructions", data.interval_min,
+         data.interval_mean, data.interval_max),
+        ("storage_bytes_per_region", data.storage_min,
+         data.storage_mean, data.storage_max),
+    ]
+    return rows_to_csv(["attribute", "min", "mean", "max"], rows)
+
+
+def main(names: Optional[Sequence[str]] = None) -> str:
+    output = render(run(names))
+    print(output)
+    return output

@@ -1,0 +1,47 @@
+"""MC: a mini-C frontend compiling to the repro IR.
+
+The paper's workloads are C programs; MC provides the corresponding
+authoring path here — write C-like source, compile it to IR, optimize
+it, and protect it with Encore::
+
+    from repro.frontend import compile_source
+
+    module = compile_source('''
+        global int hist[16];
+        int main() {
+            int i;
+            for (i = 0; i < 64; i = i + 1) {
+                hist[i % 16] = hist[i % 16] + 1;
+            }
+            return hist[0];
+        }
+    ''')
+"""
+
+from repro.frontend.ast_nodes import Program
+from repro.frontend.codegen import CodegenError, compile_program
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.parser import MCSyntaxError, parse_source
+
+from repro.ir import Module, verify_module
+
+
+def compile_source(source: str, name: str = "mc", verify: bool = True) -> Module:
+    """Compile MC source text to a verified IR module."""
+    module = compile_program(parse_source(source), name)
+    if verify:
+        verify_module(module)
+    return module
+
+
+__all__ = [
+    "CodegenError",
+    "LexError",
+    "MCSyntaxError",
+    "Program",
+    "Token",
+    "compile_program",
+    "compile_source",
+    "parse_source",
+    "tokenize",
+]

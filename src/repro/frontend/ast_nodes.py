@@ -1,0 +1,157 @@
+"""AST node definitions for the MC language."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclasses.dataclass
+class Node:
+    line: int = dataclasses.field(default=0, kw_only=True)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class IntLiteral(Node):
+    value: int
+
+
+@dataclasses.dataclass
+class FloatLiteral(Node):
+    value: float
+
+
+@dataclasses.dataclass
+class VarRef(Node):
+    name: str
+
+
+@dataclasses.dataclass
+class IndexRef(Node):
+    name: str
+    index: "Expr"
+
+
+@dataclasses.dataclass
+class Unary(Node):
+    op: str  # "-", "!", "~"
+    operand: "Expr"
+
+
+@dataclasses.dataclass
+class Binary(Node):
+    op: str  # + - * / % << >> < <= > >= == != & ^ | && ||
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclasses.dataclass
+class CallExpr(Node):
+    callee: str
+    args: List["Expr"]
+
+
+Expr = Union[IntLiteral, FloatLiteral, VarRef, IndexRef, Unary, Binary, CallExpr]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class VarDecl(Node):
+    type: str  # "int" | "float"
+    name: str
+    size: Optional[int] = None  # None: scalar; int: local array
+    init: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Assign(Node):
+    target: Union[VarRef, IndexRef]
+    value: Expr
+
+
+@dataclasses.dataclass
+class ExprStmt(Node):
+    expr: Expr
+
+
+@dataclasses.dataclass
+class If(Node):
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class While(Node):
+    cond: Expr
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class For(Node):
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class Return(Node):
+    value: Optional[Expr]
+
+
+@dataclasses.dataclass
+class Break(Node):
+    pass
+
+
+@dataclasses.dataclass
+class Continue(Node):
+    pass
+
+
+Stmt = Union[VarDecl, Assign, ExprStmt, If, While, For, Return, Break, Continue]
+
+
+# -- top level ------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class GlobalDecl(Node):
+    type: str
+    name: str
+    size: Optional[int] = None
+    init: Optional[List[Number]] = None
+
+
+@dataclasses.dataclass
+class ExternDecl(Node):
+    name: str
+
+
+@dataclasses.dataclass
+class Param(Node):
+    type: str
+    name: str
+
+
+@dataclasses.dataclass
+class FuncDecl(Node):
+    return_type: str  # "int" | "float" | "void"
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+
+
+@dataclasses.dataclass
+class Program(Node):
+    globals: List[GlobalDecl]
+    externs: List[ExternDecl]
+    functions: List[FuncDecl]

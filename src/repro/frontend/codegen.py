@@ -1,0 +1,452 @@
+"""Code generation: MC AST -> repro IR.
+
+Scalars live in virtual registers (the IR is not SSA, so assignment is
+an in-place ``mov``); global scalars live in size-1 memory objects;
+arrays are memory objects (module globals or frame-local stack
+objects).  ``int`` maps to i64 words, ``float`` to f64; mixed arithmetic
+promotes to float with explicit conversions, exactly what a C compiler
+would emit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.frontend import ast_nodes as ast
+from repro.ir import IRBuilder, Module, Type, VirtualRegister
+from repro.ir.values import Constant, MemoryObject
+
+
+class CodegenError(Exception):
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+# A binding in the symbol table.
+@dataclasses.dataclass
+class _Binding:
+    kind: str  # "reg" | "global_scalar" | "array"
+    type: str  # "int" | "float"
+    reg: Optional[VirtualRegister] = None
+    obj: Optional[MemoryObject] = None
+
+
+# An evaluated expression: IR operand + MC type.
+Value = Tuple[object, str]
+
+_INT_BINOPS = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+               "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr"}
+_FLOAT_BINOPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+_INT_PREDS = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+              ">": "sgt", ">=": "sge"}
+_FLOAT_PREDS = {"==": "feq", "!=": "fne", "<": "flt", "<=": "fle",
+                ">": "fgt", ">=": "fge"}
+
+
+class _FunctionCodegen:
+    def __init__(
+        self,
+        module: Module,
+        decl: ast.FuncDecl,
+        signatures: Dict[str, ast.FuncDecl],
+        global_scope: Dict[str, _Binding],
+    ) -> None:
+        self.module = module
+        self.decl = decl
+        self.signatures = signatures
+        self.scopes: List[Dict[str, _Binding]] = [dict(global_scope)]
+        self.loop_stack: List[Tuple[str, str]] = []  # (break, continue)
+        self._labels = itertools.count()
+        self._locals = itertools.count()
+        params = []
+        self._param_bindings = {}
+        for param in decl.params:
+            reg = VirtualRegister(
+                param.name, Type.F64 if param.type == "float" else Type.I64
+            )
+            params.append(reg)
+            self._param_bindings[param.name] = _Binding(
+                "reg", param.type, reg=reg
+            )
+        self.func = module.add_function(decl.name, params=params)
+        self.b = IRBuilder(self.func)
+
+    # -- scope management ---------------------------------------------------
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def lookup(self, name: str, line: int) -> _Binding:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise CodegenError(f"undefined variable {name!r}", line)
+
+    def declare(self, name: str, binding: _Binding, line: int) -> None:
+        if name in self.scopes[-1]:
+            raise CodegenError(f"redeclaration of {name!r}", line)
+        self.scopes[-1][name] = binding
+
+    def label(self, stem: str) -> str:
+        return f"{stem}_{next(self._labels)}"
+
+    # -- entry point ------------------------------------------------------------
+
+    def generate(self) -> None:
+        self.b.block("entry")
+        self.push_scope()
+        for name, binding in self._param_bindings.items():
+            self.declare(name, binding, self.decl.line)
+        self.gen_body(self.decl.body)
+        self.pop_scope()
+        self._terminate_open_blocks()
+
+    def _terminate_open_blocks(self) -> None:
+        for block in self.func:
+            if not block.is_terminated:
+                current = self.b.position_at(block.label)
+                if self.decl.return_type == "void":
+                    self.b.ret()
+                elif self.decl.return_type == "float":
+                    self.b.ret(0.0)
+                else:
+                    self.b.ret(0)
+
+    # -- statements ----------------------------------------------------------------
+
+    def gen_body(self, stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if self.b.current_block.is_terminated:
+                # Dead code after return/break/continue: emit into a
+                # fresh unreachable block so codegen stays simple.
+                self.b.block(self.label("dead"))
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        handler = getattr(self, f"_gen_{type(stmt).__name__.lower()}", None)
+        if handler is None:
+            raise CodegenError(f"unsupported statement {type(stmt).__name__}")
+        handler(stmt)
+
+    def _gen_vardecl(self, stmt: ast.VarDecl) -> None:
+        if stmt.size is not None:
+            unique = f"{stmt.name}__a{next(self._locals)}"
+            obj = self.func.add_stack_object(unique, stmt.size)
+            self.declare(
+                stmt.name, _Binding("array", stmt.type, obj=obj), stmt.line
+            )
+            if stmt.init is not None:
+                raise CodegenError(
+                    "local array initializers are not supported", stmt.line
+                )
+            return
+        reg = VirtualRegister(
+            f"{stmt.name}__{next(self._locals)}",
+            Type.F64 if stmt.type == "float" else Type.I64,
+        )
+        self.declare(stmt.name, _Binding("reg", stmt.type, reg=reg), stmt.line)
+        if stmt.init is not None:
+            value = self.coerce(self.gen_expr(stmt.init), stmt.type, stmt.line)
+            self.b.mov(value, reg)
+        else:
+            self.b.mov(0.0 if stmt.type == "float" else 0, reg)
+
+    def _gen_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            binding = self.lookup(target.name, stmt.line)
+            value = self.coerce(self.gen_expr(stmt.value), binding.type, stmt.line)
+            if binding.kind == "reg":
+                self.b.mov(value, binding.reg)
+            elif binding.kind == "global_scalar":
+                self.b.store(binding.obj, 0, value)
+            else:
+                raise CodegenError(
+                    f"cannot assign to array {target.name!r}", stmt.line
+                )
+            return
+        binding = self.lookup(target.name, stmt.line)
+        if binding.kind != "array" and binding.kind != "global_scalar":
+            raise CodegenError(f"{target.name!r} is not indexable", stmt.line)
+        index, _ = self._int_value(self.gen_expr(target.index), stmt.line)
+        value = self.coerce(self.gen_expr(stmt.value), binding.type, stmt.line)
+        self.b.store(binding.obj, index, value)
+
+    def _gen_exprstmt(self, stmt: ast.ExprStmt) -> None:
+        self.gen_expr(stmt.expr, allow_void=True)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        cond = self.truthy(self.gen_expr(stmt.cond), stmt.line)
+        then_l = self.label("then")
+        else_l = self.label("else") if stmt.else_body else None
+        join_l = self.label("join")
+        self.b.br(cond, then_l, else_l or join_l)
+        self.b.block(then_l)
+        self.push_scope()
+        self.gen_body(stmt.then_body)
+        self.pop_scope()
+        if not self.b.current_block.is_terminated:
+            self.b.jmp(join_l)
+        if else_l is not None:
+            self.b.block(else_l)
+            self.push_scope()
+            self.gen_body(stmt.else_body)
+            self.pop_scope()
+            if not self.b.current_block.is_terminated:
+                self.b.jmp(join_l)
+        self.b.block(join_l)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        head_l = self.label("while_head")
+        body_l = self.label("while_body")
+        exit_l = self.label("while_exit")
+        self.b.jmp(head_l)
+        self.b.block(head_l)
+        cond = self.truthy(self.gen_expr(stmt.cond), stmt.line)
+        self.b.br(cond, body_l, exit_l)
+        self.b.block(body_l)
+        self.loop_stack.append((exit_l, head_l))
+        self.push_scope()
+        self.gen_body(stmt.body)
+        self.pop_scope()
+        self.loop_stack.pop()
+        if not self.b.current_block.is_terminated:
+            self.b.jmp(head_l)
+        self.b.block(exit_l)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        head_l = self.label("for_head")
+        body_l = self.label("for_body")
+        step_l = self.label("for_step")
+        exit_l = self.label("for_exit")
+        self.b.jmp(head_l)
+        self.b.block(head_l)
+        if stmt.cond is not None:
+            cond = self.truthy(self.gen_expr(stmt.cond), stmt.line)
+            self.b.br(cond, body_l, exit_l)
+        else:
+            self.b.jmp(body_l)
+        self.b.block(body_l)
+        self.loop_stack.append((exit_l, step_l))
+        self.push_scope()
+        self.gen_body(stmt.body)
+        self.pop_scope()
+        self.loop_stack.pop()
+        if not self.b.current_block.is_terminated:
+            self.b.jmp(step_l)
+        self.b.block(step_l)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.b.jmp(head_l)
+        self.b.block(exit_l)
+        self.pop_scope()
+
+    def _gen_return(self, stmt: ast.Return) -> None:
+        if self.decl.return_type == "void":
+            if stmt.value is not None:
+                raise CodegenError("void function returning a value", stmt.line)
+            self.b.ret()
+            return
+        if stmt.value is None:
+            raise CodegenError("non-void function must return a value", stmt.line)
+        value = self.coerce(
+            self.gen_expr(stmt.value), self.decl.return_type, stmt.line
+        )
+        self.b.ret(value)
+
+    def _gen_break(self, stmt: ast.Break) -> None:
+        if not self.loop_stack:
+            raise CodegenError("break outside a loop", stmt.line)
+        self.b.jmp(self.loop_stack[-1][0])
+
+    def _gen_continue(self, stmt: ast.Continue) -> None:
+        if not self.loop_stack:
+            raise CodegenError("continue outside a loop", stmt.line)
+        self.b.jmp(self.loop_stack[-1][1])
+
+    # -- expressions ------------------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr, allow_void: bool = False) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return (expr.value, "int")
+        if isinstance(expr, ast.FloatLiteral):
+            return (expr.value, "float")
+        if isinstance(expr, ast.VarRef):
+            binding = self.lookup(expr.name, expr.line)
+            if binding.kind == "reg":
+                return (binding.reg, binding.type)
+            if binding.kind == "global_scalar":
+                return (self.b.load(binding.obj, 0), binding.type)
+            raise CodegenError(
+                f"array {expr.name!r} used without an index", expr.line
+            )
+        if isinstance(expr, ast.IndexRef):
+            binding = self.lookup(expr.name, expr.line)
+            if binding.kind not in ("array", "global_scalar"):
+                raise CodegenError(f"{expr.name!r} is not indexable", expr.line)
+            index, _ = self._int_value(self.gen_expr(expr.index), expr.line)
+            return (self.b.load(binding.obj, index), binding.type)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._gen_call(expr, allow_void)
+        raise CodegenError(f"unsupported expression {type(expr).__name__}")
+
+    def _gen_unary(self, expr: ast.Unary) -> Value:
+        operand, mc_type = self.gen_expr(expr.operand)
+        if expr.op == "-":
+            if mc_type == "float":
+                return (self.b.unop("fneg", operand), "float")
+            return (self.b.unop("neg", operand), "int")
+        if expr.op == "!":
+            truth = self.truthy((operand, mc_type), expr.line)
+            return (self.b.xor(truth, 1), "int")
+        if expr.op == "~":
+            if mc_type != "int":
+                raise CodegenError("~ requires an int operand", expr.line)
+            return (self.b.unop("not", operand), "int")
+        raise CodegenError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    def _gen_binary(self, expr: ast.Binary) -> Value:
+        if expr.op in ("&&", "||"):
+            return self._gen_logical(expr)
+        lhs = self.gen_expr(expr.lhs)
+        rhs = self.gen_expr(expr.rhs)
+        if expr.op in _INT_PREDS:
+            if lhs[1] == "float" or rhs[1] == "float":
+                flhs = self.coerce(lhs, "float", expr.line)
+                frhs = self.coerce(rhs, "float", expr.line)
+                return (self.b.cmp(_FLOAT_PREDS[expr.op], flhs, frhs), "int")
+            return (self.b.cmp(_INT_PREDS[expr.op], lhs[0], rhs[0]), "int")
+        if expr.op in ("%", "&", "|", "^", "<<", ">>"):
+            if lhs[1] == "float" or rhs[1] == "float":
+                raise CodegenError(
+                    f"{expr.op!r} requires int operands", expr.line
+                )
+            return (self.b.binop(_INT_BINOPS[expr.op], lhs[0], rhs[0]), "int")
+        if lhs[1] == "float" or rhs[1] == "float":
+            flhs = self.coerce(lhs, "float", expr.line)
+            frhs = self.coerce(rhs, "float", expr.line)
+            return (self.b.binop(_FLOAT_BINOPS[expr.op], flhs, frhs), "float")
+        return (self.b.binop(_INT_BINOPS[expr.op], lhs[0], rhs[0]), "int")
+
+    def _gen_logical(self, expr: ast.Binary) -> Value:
+        """Short-circuit && / || with proper control flow."""
+        result = self.b.fresh("bool")
+        rhs_l = self.label("sc_rhs")
+        done_l = self.label("sc_done")
+        lhs_truth = self.truthy(self.gen_expr(expr.lhs), expr.line)
+        if expr.op == "&&":
+            self.b.mov(0, result)
+            self.b.br(lhs_truth, rhs_l, done_l)
+        else:
+            self.b.mov(1, result)
+            self.b.br(lhs_truth, done_l, rhs_l)
+        self.b.block(rhs_l)
+        rhs_truth = self.truthy(self.gen_expr(expr.rhs), expr.line)
+        self.b.mov(rhs_truth, result)
+        self.b.jmp(done_l)
+        self.b.block(done_l)
+        return (result, "int")
+
+    def _gen_call(self, expr: ast.CallExpr, allow_void: bool) -> Value:
+        callee = self.signatures.get(expr.callee)
+        if callee is not None:
+            if len(expr.args) != len(callee.params):
+                raise CodegenError(
+                    f"{expr.callee}() expects {len(callee.params)} args, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            args = [
+                self.coerce(self.gen_expr(arg), param.type, expr.line)
+                for arg, param in zip(expr.args, callee.params)
+            ]
+            if callee.return_type == "void":
+                if not allow_void:
+                    raise CodegenError(
+                        f"void call {expr.callee}() used as a value", expr.line
+                    )
+                self.b.call(expr.callee, args, returns=False)
+                return (0, "int")
+            dest = self.b.call(expr.callee, args)
+            return (dest, callee.return_type)
+        if self.module.is_external(expr.callee) or expr.callee in self.module.externals:
+            args = [self.gen_expr(arg)[0] for arg in expr.args]
+            if expr.callee not in self.module.externals:
+                raise CodegenError(
+                    f"call to undeclared function {expr.callee!r}", expr.line
+                )
+            dest = self.b.call(expr.callee, args)
+            return (dest, "int")
+        raise CodegenError(
+            f"call to undeclared function {expr.callee!r}", expr.line
+        )
+
+    # -- conversions ----------------------------------------------------------------------
+
+    def coerce(self, value: Value, target: str, line: int):
+        operand, mc_type = value
+        if mc_type == target:
+            return operand
+        if target == "float":
+            if isinstance(operand, (int, float)):
+                return float(operand)
+            return self.b.unop("sitofp", operand)
+        if target == "int":
+            if isinstance(operand, (int, float)):
+                return int(operand)
+            return self.b.unop("fptosi", operand)
+        raise CodegenError(f"cannot convert {mc_type} to {target}", line)
+
+    def truthy(self, value: Value, line: int):
+        operand, mc_type = value
+        if mc_type == "float":
+            return self.b.cmp("fne", operand, 0.0)
+        return self.b.cmp("ne", operand, 0)
+
+    def _int_value(self, value: Value, line: int) -> Value:
+        if value[1] != "int":
+            raise CodegenError("array index must be an int", line)
+        return value
+
+
+def compile_program(program: ast.Program, name: str = "mc") -> Module:
+    """Lower a parsed MC program to a repro IR module."""
+    module = Module(name)
+    global_scope: Dict[str, _Binding] = {}
+    for decl in program.globals:
+        size = decl.size if decl.size is not None else 1
+        init = list(decl.init) if decl.init is not None else None
+        if init is not None and len(init) > size:
+            raise CodegenError(
+                f"initializer for {decl.name!r} longer than the object",
+                decl.line,
+            )
+        if init is not None and decl.type == "float":
+            init = [float(v) for v in init]
+        obj = module.add_global(decl.name, size, init=init)
+        kind = "array" if decl.size is not None else "global_scalar"
+        global_scope[decl.name] = _Binding(kind, decl.type, obj=obj)
+    for decl in program.externs:
+        module.declare_external(decl.name)
+
+    signatures = {}
+    for func in program.functions:
+        if func.name in signatures:
+            raise CodegenError(f"duplicate function {func.name!r}", func.line)
+        signatures[func.name] = func
+    for func in program.functions:
+        _FunctionCodegen(module, func, signatures, global_scope).generate()
+    return module

@@ -1,0 +1,83 @@
+"""Lexer for MC, the mini-C frontend language.
+
+MC covers the C subset the paper's workloads live in: ints and floats,
+global/local arrays, functions, and structured control flow.  The lexer
+produces a flat token stream with line/column positions for error
+reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterator, List, Optional
+
+KEYWORDS = frozenset(
+    ["int", "float", "void", "global", "extern", "if", "else", "while",
+     "for", "return", "break", "continue"]
+)
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str  # "int", "float", "ident", "keyword", "op", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MC source; raises :class:`LexError` on bad characters."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LexError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        text = match.group(0)
+        kind = match.lastgroup
+        column = pos - line_start + 1
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,327 @@
+"""Recursive-descent parser for MC.
+
+Grammar (C subset)::
+
+    program     := (global | extern | function)*
+    global      := 'global' type IDENT ('[' INT ']')? ('=' ginit)? ';'
+    ginit       := number | '{' number (',' number)* '}'
+    extern      := 'extern' IDENT ';'
+    function    := ('int'|'float'|'void') IDENT '(' params ')' block
+    params      := (type IDENT (',' type IDENT)*)?
+    block       := '{' stmt* '}'
+    stmt        := decl | if | while | for | jump | block | simple ';'
+    decl        := type IDENT ('[' INT ']')? ('=' expr)? ';'
+    simple      := lvalue '=' expr | expr
+    jump        := 'return' expr? ';' | 'break' ';' | 'continue' ';'
+
+Expression precedence (loosest to tightest): ``||``, ``&&``, ``|``,
+``^``, ``&``, equality, relational, shifts, additive, multiplicative,
+unary (- ! ~), postfix (call, index), primary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, tokenize
+
+
+class MCSyntaxError(Exception):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.line}:{token.column}: {message} (got {token})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind in ("op", "keyword")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise MCSyntaxError(f"expected {text!r}", self.current)
+        return self.advance()
+
+    def expect_kind(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise MCSyntaxError(f"expected {kind}", self.current)
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        externs: List[ast.ExternDecl] = []
+        functions: List[ast.FuncDecl] = []
+        while self.current.kind != "eof":
+            if self.check("global"):
+                globals_.append(self.parse_global())
+            elif self.check("extern"):
+                externs.append(self.parse_extern())
+            else:
+                functions.append(self.parse_function())
+        return ast.Program(globals_, externs, functions)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.expect("global").line
+        type_name = self.parse_type()
+        name = self.expect_kind("ident").text
+        size = None
+        if self.accept("["):
+            size = int(self.expect_kind("int").text)
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            init = self.parse_global_init()
+        self.expect(";")
+        return ast.GlobalDecl(type_name, name, size, init, line=line)
+
+    def parse_global_init(self) -> List[ast.Number]:
+        if self.accept("{"):
+            values = [self.parse_number()]
+            while self.accept(","):
+                values.append(self.parse_number())
+            self.expect("}")
+            return values
+        return [self.parse_number()]
+
+    def parse_number(self) -> ast.Number:
+        negative = self.accept("-")
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            value: ast.Number = int(token.text)
+        elif token.kind == "float":
+            self.advance()
+            value = float(token.text)
+        else:
+            raise MCSyntaxError("expected a numeric literal", token)
+        return -value if negative else value
+
+    def parse_extern(self) -> ast.ExternDecl:
+        line = self.expect("extern").line
+        name = self.expect_kind("ident").text
+        self.expect(";")
+        return ast.ExternDecl(name, line=line)
+
+    def parse_type(self) -> str:
+        token = self.current
+        if token.text in ("int", "float"):
+            self.advance()
+            return token.text
+        raise MCSyntaxError("expected a type", token)
+
+    def parse_function(self) -> ast.FuncDecl:
+        token = self.current
+        if token.text not in ("int", "float", "void"):
+            raise MCSyntaxError("expected a function declaration", token)
+        self.advance()
+        name = self.expect_kind("ident").text
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.check(")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect_kind("ident").text
+                params.append(ast.Param(ptype, pname, line=self.current.line))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FuncDecl(token.text, name, params, body, line=token.line)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self.parse_statement())
+        return stmts
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.text in ("int", "float"):
+            return self.parse_decl()
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("while"):
+            return self.parse_while()
+        if self.check("for"):
+            return self.parse_for()
+        if self.accept("return"):
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value, line=token.line)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break(line=token.line)
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue(line=token.line)
+        if self.check("{"):
+            # Anonymous block: flatten into an If(1) for simplicity.
+            body = self.parse_block()
+            return ast.If(ast.IntLiteral(1, line=token.line), body, [], line=token.line)
+        stmt = self.parse_simple()
+        self.expect(";")
+        return stmt
+
+    def parse_decl(self) -> ast.VarDecl:
+        line = self.current.line
+        type_name = self.parse_type()
+        name = self.expect_kind("ident").text
+        size = None
+        if self.accept("["):
+            size = int(self.expect_kind("int").text)
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.VarDecl(type_name, name, size, init, line=line)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.parse_statement_as_block()
+        else_body: List[ast.Stmt] = []
+        if self.accept("else"):
+            else_body = self.parse_statement_as_block()
+        return ast.If(cond, then_body, else_body, line=line)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return ast.While(cond, self.parse_statement_as_block(), line=line)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("for").line
+        self.expect("(")
+        init = None if self.check(";") else self.parse_simple_or_decl()
+        self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.check(")") else self.parse_simple()
+        self.expect(")")
+        return ast.For(init, cond, step, self.parse_statement_as_block(), line=line)
+
+    def parse_statement_as_block(self) -> List[ast.Stmt]:
+        if self.check("{"):
+            return self.parse_block()
+        return [self.parse_statement()]
+
+    def parse_simple_or_decl(self) -> ast.Stmt:
+        if self.current.text in ("int", "float"):
+            # A declaration inside for(...) has no trailing ';' here, so
+            # parse it manually.
+            line = self.current.line
+            type_name = self.parse_type()
+            name = self.expect_kind("ident").text
+            init = self.parse_expr() if self.accept("=") else None
+            return ast.VarDecl(type_name, name, None, init, line=line)
+        return self.parse_simple()
+
+    def parse_simple(self) -> ast.Stmt:
+        line = self.current.line
+        expr = self.parse_expr()
+        if self.accept("="):
+            if not isinstance(expr, (ast.VarRef, ast.IndexRef)):
+                raise MCSyntaxError("invalid assignment target", self.current)
+            value = self.parse_expr()
+            return ast.Assign(expr, value, line=line)
+        return ast.ExprStmt(expr, line=line)
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_level(0)
+
+    def _parse_level(self, level: int) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        expr = self._parse_level(level + 1)
+        while self.current.kind == "op" and self.current.text in self._LEVELS[level]:
+            op = self.advance().text
+            rhs = self._parse_level(level + 1)
+            expr = ast.Binary(op, expr, rhs, line=self.current.line)
+        return expr
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(token.text, self.parse_unary(), line=token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(int(token.text), line=token.line)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(float(token.text), line=token.line)
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("("):
+                args: List[ast.Expr] = []
+                if not self.check(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return ast.CallExpr(token.text, args, line=token.line)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return ast.IndexRef(token.text, index, line=token.line)
+            return ast.VarRef(token.text, line=token.line)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise MCSyntaxError("expected an expression", token)
+
+
+def parse_source(source: str) -> ast.Program:
+    return Parser(tokenize(source)).parse_program()

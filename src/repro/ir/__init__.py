@@ -1,0 +1,78 @@
+"""The repro compiler IR.
+
+A small register-based (non-SSA) intermediate representation with
+word-addressed memory objects, designed to carry exactly the information
+the Encore analyses need: a CFG of basic blocks, load/store instructions
+whose address operands expose base object and index, virtual registers
+for liveness, and calls (analyzable or opaque).
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AddrOf,
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    CheckpointMem,
+    CheckpointReg,
+    Compare,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    RestoreCheckpoints,
+    Ret,
+    Select,
+    SetRecoveryPtr,
+    Store,
+    UnaryOp,
+)
+from repro.ir.module import Module
+from repro.ir.parser import ParseError, parse_module
+from repro.ir.printer import function_to_text, module_to_text
+from repro.ir.types import Type, WORD_BYTES, wrap_int
+from repro.ir.values import Constant, MemoryObject, MemRef, Operand, VirtualRegister
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "AddrOf",
+    "Alloc",
+    "BasicBlock",
+    "BinOp",
+    "Branch",
+    "Call",
+    "CheckpointMem",
+    "CheckpointReg",
+    "Compare",
+    "Constant",
+    "Function",
+    "IRBuilder",
+    "Instruction",
+    "Jump",
+    "Load",
+    "MemRef",
+    "MemoryObject",
+    "Module",
+    "Move",
+    "Operand",
+    "ParseError",
+    "RestoreCheckpoints",
+    "Ret",
+    "Select",
+    "SetRecoveryPtr",
+    "Store",
+    "Type",
+    "UnaryOp",
+    "VerificationError",
+    "VirtualRegister",
+    "WORD_BYTES",
+    "function_to_text",
+    "module_to_text",
+    "parse_module",
+    "verify_function",
+    "verify_module",
+    "wrap_int",
+]

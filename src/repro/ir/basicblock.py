@@ -1,0 +1,71 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import Instruction
+
+
+class BasicBlock:
+    """A labelled sequence of instructions with at most one terminator.
+
+    Blocks are owned by a :class:`~repro.ir.function.Function`; successor
+    and predecessor relationships are derived from the terminator labels
+    by the function's CFG accessors rather than stored here.
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.instructions: List[Instruction] = []
+
+    # -- construction -------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise ValueError(
+                f"cannot append to terminated block {self.label!r} ({inst})"
+            )
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert ``inst`` before position ``index`` (used by instrumentation)."""
+        self.instructions.insert(index, inst)
+        return inst
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successor_labels(self) -> tuple:
+        term = self.terminator
+        return term.successors() if term is not None else ()
+
+    def body(self) -> Iterator[Instruction]:
+        """All instructions except the terminator."""
+        for inst in self.instructions:
+            if not inst.is_terminator:
+                yield inst
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self.instructions)} insts)>"
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {inst}" for inst in self.instructions)
+        return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""IRBuilder: the convenience API used to author IR programs.
+
+The builder keeps an insertion point (a basic block) and emits
+instructions into it, generating fresh virtual-register names for
+results.  Python ints/floats passed as operands are promoted to
+:class:`Constant`; ``(object, index)`` pairs are promoted to
+:class:`MemRef`.
+
+Typical usage::
+
+    module = Module("demo")
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    total = b.mov(0)
+    ...
+    b.ret(total)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AddrOf,
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    Compare,
+    Jump,
+    Load,
+    Move,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from repro.ir.types import Type
+from repro.ir.values import Constant, MemoryObject, MemRef, Operand, VirtualRegister
+
+OperandLike = Union[Operand, int, float]
+MemRefLike = Union[MemRef, MemoryObject, tuple]
+
+
+class IRBuilder:
+    """Stateful helper that emits instructions into a function's blocks."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self._insert_block: Optional[BasicBlock] = None
+        self._name_counter = itertools.count()
+
+    # -- operand coercion ----------------------------------------------
+
+    def _coerce(self, value: OperandLike) -> Operand:
+        if isinstance(value, (VirtualRegister, Constant)):
+            return value
+        if isinstance(value, bool):
+            return Constant(int(value))
+        if isinstance(value, int):
+            return Constant(value)
+        if isinstance(value, float):
+            return Constant(value, Type.F64)
+        raise TypeError(f"cannot use {value!r} as an operand")
+
+    def _coerce_ref(self, ref: MemRefLike, index: OperandLike = 0) -> MemRef:
+        if isinstance(ref, MemRef):
+            return ref
+        if isinstance(ref, tuple):
+            base, index = ref
+            return self._coerce_ref(base, index)
+        if isinstance(ref, (MemoryObject, VirtualRegister)):
+            return MemRef(ref, self._coerce(index))
+        raise TypeError(f"cannot use {ref!r} as a memory reference")
+
+    def fresh(self, prefix: str = "t", type: Type = Type.I64) -> VirtualRegister:
+        """Return a fresh virtual register with a unique name."""
+        return VirtualRegister(f"{prefix}{next(self._name_counter)}", type)
+
+    # -- insertion point -----------------------------------------------
+
+    def block(self, label: str) -> BasicBlock:
+        """Create block ``label`` and position the builder at its end."""
+        block = self.func.add_block(label)
+        self._insert_block = block
+        return block
+
+    def position_at(self, label: str) -> BasicBlock:
+        """Move the insertion point to existing block ``label``."""
+        self._insert_block = self.func.blocks[label]
+        return self._insert_block
+
+    @property
+    def current_block(self) -> BasicBlock:
+        if self._insert_block is None:
+            raise ValueError("builder has no insertion point; call block() first")
+        return self._insert_block
+
+    def _emit(self, inst):
+        self.current_block.append(inst)
+        return inst
+
+    # -- arithmetic ------------------------------------------------------
+
+    def binop(
+        self, op: str, lhs: OperandLike, rhs: OperandLike,
+        dest: Optional[VirtualRegister] = None,
+    ) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self._emit(BinOp(op, dest, self._coerce(lhs), self._coerce(rhs)))
+        return dest
+
+    def add(self, lhs, rhs, dest=None):
+        return self.binop("add", lhs, rhs, dest)
+
+    def sub(self, lhs, rhs, dest=None):
+        return self.binop("sub", lhs, rhs, dest)
+
+    def mul(self, lhs, rhs, dest=None):
+        return self.binop("mul", lhs, rhs, dest)
+
+    def sdiv(self, lhs, rhs, dest=None):
+        return self.binop("sdiv", lhs, rhs, dest)
+
+    def srem(self, lhs, rhs, dest=None):
+        return self.binop("srem", lhs, rhs, dest)
+
+    def and_(self, lhs, rhs, dest=None):
+        return self.binop("and", lhs, rhs, dest)
+
+    def or_(self, lhs, rhs, dest=None):
+        return self.binop("or", lhs, rhs, dest)
+
+    def xor(self, lhs, rhs, dest=None):
+        return self.binop("xor", lhs, rhs, dest)
+
+    def shl(self, lhs, rhs, dest=None):
+        return self.binop("shl", lhs, rhs, dest)
+
+    def lshr(self, lhs, rhs, dest=None):
+        return self.binop("lshr", lhs, rhs, dest)
+
+    def fadd(self, lhs, rhs, dest=None):
+        return self.binop("fadd", lhs, rhs, dest)
+
+    def fsub(self, lhs, rhs, dest=None):
+        return self.binop("fsub", lhs, rhs, dest)
+
+    def fmul(self, lhs, rhs, dest=None):
+        return self.binop("fmul", lhs, rhs, dest)
+
+    def fdiv(self, lhs, rhs, dest=None):
+        return self.binop("fdiv", lhs, rhs, dest)
+
+    def unop(self, op: str, src: OperandLike, dest=None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self._emit(UnaryOp(op, dest, self._coerce(src)))
+        return dest
+
+    def cmp(self, pred: str, lhs: OperandLike, rhs: OperandLike, dest=None):
+        dest = dest or self.fresh("c")
+        self._emit(Compare(pred, dest, self._coerce(lhs), self._coerce(rhs)))
+        return dest
+
+    def select(self, cond, if_true, if_false, dest=None):
+        dest = dest or self.fresh()
+        self._emit(
+            Select(
+                dest,
+                self._coerce(cond),
+                self._coerce(if_true),
+                self._coerce(if_false),
+            )
+        )
+        return dest
+
+    def mov(self, src: OperandLike, dest=None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self._emit(Move(dest, self._coerce(src)))
+        return dest
+
+    # -- memory ----------------------------------------------------------
+
+    def load(self, ref: MemRefLike, index: OperandLike = 0, dest=None):
+        dest = dest or self.fresh("v")
+        self._emit(Load(dest, self._coerce_ref(ref, index)))
+        return dest
+
+    def store(self, ref: MemRefLike, index_or_value, value=None) -> None:
+        """``store(ref, value)`` or ``store(base, index, value)``."""
+        if value is None:
+            mem = self._coerce_ref(ref)
+            val = index_or_value
+        else:
+            mem = self._coerce_ref(ref, index_or_value)
+            val = value
+        self._emit(Store(mem, self._coerce(val)))
+
+    def addrof(self, ref: MemRefLike, index: OperandLike = 0, dest=None):
+        dest = dest or self.fresh("p", Type.PTR)
+        self._emit(AddrOf(dest, self._coerce_ref(ref, index)))
+        return dest
+
+    def alloc(self, size: OperandLike, dest=None) -> VirtualRegister:
+        dest = dest or self.fresh("p", Type.PTR)
+        self._emit(Alloc(dest, self._coerce(size)))
+        return dest
+
+    # -- control flow ------------------------------------------------------
+
+    def br(self, cond: OperandLike, if_true: str, if_false: str) -> None:
+        self._emit(Branch(self._coerce(cond), if_true, if_false))
+
+    def jmp(self, target: str) -> None:
+        self._emit(Jump(target))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[OperandLike] = (),
+        dest: Optional[VirtualRegister] = None,
+        returns: bool = True,
+    ) -> Optional[VirtualRegister]:
+        if returns and dest is None:
+            dest = self.fresh("r")
+        coerced = [self._coerce(a) for a in args]
+        self._emit(Call(dest if returns else None, callee, coerced))
+        return dest if returns else None
+
+    def ret(self, value: Optional[OperandLike] = None) -> None:
+        self._emit(Ret(self._coerce(value) if value is not None else None))

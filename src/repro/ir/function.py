@@ -1,0 +1,112 @@
+"""Functions: named CFGs of basic blocks with parameters and stack objects."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.values import MemoryObject, VirtualRegister
+
+
+class Function:
+    """A function: an entry block, a dict of blocks, and frame-local state.
+
+    ``params`` are the virtual registers bound to call arguments.
+    ``stack_objects`` are frame-lifetime memory objects (fresh storage per
+    activation).  Blocks are kept in insertion order; the first block added
+    is the entry block.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[VirtualRegister] = (),
+    ) -> None:
+        self.name = name
+        self.params: List[VirtualRegister] = list(params)
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.stack_objects: Dict[str, MemoryObject] = {}
+        self._entry_label: Optional[str] = None
+
+    # -- construction -------------------------------------------------
+
+    def add_block(self, label: str) -> BasicBlock:
+        if label in self.blocks:
+            raise ValueError(f"duplicate block label {label!r} in {self.name}")
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        if self._entry_label is None:
+            self._entry_label = label
+        return block
+
+    def add_stack_object(self, name: str, size: int, init=None) -> MemoryObject:
+        if name in self.stack_objects:
+            raise ValueError(f"duplicate stack object {name!r} in {self.name}")
+        obj = MemoryObject(name, size, kind="stack", init=init)
+        self.stack_objects[name] = obj
+        return obj
+
+    def set_entry(self, label: str) -> None:
+        if label not in self.blocks:
+            raise KeyError(label)
+        self._entry_label = label
+
+    # -- CFG accessors ------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if self._entry_label is None:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        return self.blocks[self._entry_label]
+
+    @property
+    def entry_label(self) -> str:
+        if self._entry_label is None:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        return self._entry_label
+
+    def successors(self, label: str) -> Tuple[str, ...]:
+        return self.blocks[label].successor_labels()
+
+    def predecessor_map(self) -> Dict[str, List[str]]:
+        """Label -> list of predecessor labels (deterministic order)."""
+        preds: Dict[str, List[str]] = {label: [] for label in self.blocks}
+        for label, block in self.blocks.items():
+            for succ in block.successor_labels():
+                if succ in preds:
+                    preds[succ].append(label)
+        return preds
+
+    def reachable_labels(self) -> Set[str]:
+        """Labels reachable from the entry block via terminator edges."""
+        seen: Set[str] = set()
+        stack = [self.entry_label]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(s for s in self.successors(label) if s not in seen)
+        return seen
+
+    def exit_labels(self) -> List[str]:
+        """Blocks terminated by a return."""
+        return [
+            label
+            for label, block in self.blocks.items()
+            if block.terminator is not None and block.terminator.opcode == "ret"
+        ]
+
+    # -- iteration ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks.values())
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"

@@ -1,0 +1,447 @@
+"""Instruction set of the repro IR.
+
+Ordinary instructions (arithmetic, memory, control) model the application
+program.  Instrumentation instructions (``SetRecoveryPtr``,
+``CheckpointReg``, ``CheckpointMem``, ``RestoreCheckpoints``) are inserted
+by the Encore passes and are never written by workloads directly; they
+carry a ``dynamic_cost`` that charges the paper's per-instruction overhead
+model (a memory checkpoint costs two stores — data plus address — while a
+register checkpoint and the recovery-pointer update cost one store each).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.values import (
+    Constant,
+    MemRef,
+    Operand,
+    VirtualRegister,
+    memref_registers,
+    operand_registers,
+)
+
+INT_BINARY_OPS = frozenset(
+    ["add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "lshr", "ashr",
+     "min", "max"]
+)
+FLOAT_BINARY_OPS = frozenset(["fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"])
+BINARY_OPS = INT_BINARY_OPS | FLOAT_BINARY_OPS
+
+COMPARE_PREDICATES = frozenset(
+    ["eq", "ne", "slt", "sle", "sgt", "sge", "feq", "fne", "flt", "fle", "fgt", "fge"]
+)
+
+UNARY_OPS = frozenset(["neg", "not", "fneg", "sitofp", "fptosi", "fsqrt", "fabs"])
+
+
+class Instruction:
+    """Base class for all IR instructions."""
+
+    opcode: str = "?"
+    is_terminator: bool = False
+    is_instrumentation: bool = False
+    dynamic_cost: int = 1
+
+    def uses(self) -> Tuple[VirtualRegister, ...]:
+        """Registers read by this instruction."""
+        return ()
+
+    def defs(self) -> Tuple[VirtualRegister, ...]:
+        """Registers written by this instruction."""
+        return ()
+
+    def loads(self) -> Tuple[MemRef, ...]:
+        """Memory references read by this instruction."""
+        return ()
+
+    def stores(self) -> Tuple[MemRef, ...]:
+        """Memory references written by this instruction."""
+        return ()
+
+    def successors(self) -> Tuple[str, ...]:
+        """Labels of blocks this (terminator) instruction can branch to."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self}>"
+
+
+class BinOp(Instruction):
+    """``dest = op lhs, rhs`` for an integer or float binary operation."""
+
+    opcode = "binop"
+
+    def __init__(self, op: str, dest: VirtualRegister, lhs: Operand, rhs: Operand) -> None:
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.dest = dest
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def uses(self):
+        return operand_registers(self.lhs) + operand_registers(self.rhs)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.op} {self.lhs}, {self.rhs}"
+
+
+class UnaryOp(Instruction):
+    """``dest = op src``."""
+
+    opcode = "unop"
+
+    def __init__(self, op: str, dest: VirtualRegister, src: Operand) -> None:
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.dest = dest
+        self.src = src
+
+    def uses(self):
+        return operand_registers(self.src)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.op} {self.src}"
+
+
+class Compare(Instruction):
+    """``dest = cmp.pred lhs, rhs`` producing 0 or 1."""
+
+    opcode = "cmp"
+
+    def __init__(self, pred: str, dest: VirtualRegister, lhs: Operand, rhs: Operand) -> None:
+        if pred not in COMPARE_PREDICATES:
+            raise ValueError(f"unknown compare predicate {pred!r}")
+        self.pred = pred
+        self.dest = dest
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def uses(self):
+        return operand_registers(self.lhs) + operand_registers(self.rhs)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = cmp.{self.pred} {self.lhs}, {self.rhs}"
+
+
+class Select(Instruction):
+    """``dest = cond ? if_true : if_false``."""
+
+    opcode = "select"
+
+    def __init__(
+        self,
+        dest: VirtualRegister,
+        cond: Operand,
+        if_true: Operand,
+        if_false: Operand,
+    ) -> None:
+        self.dest = dest
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self):
+        return (
+            operand_registers(self.cond)
+            + operand_registers(self.if_true)
+            + operand_registers(self.if_false)
+        )
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = select {self.cond}, {self.if_true}, {self.if_false}"
+
+
+class Move(Instruction):
+    """``dest = src`` register/constant copy."""
+
+    opcode = "mov"
+
+    def __init__(self, dest: VirtualRegister, src: Operand) -> None:
+        self.dest = dest
+        self.src = src
+
+    def uses(self):
+        return operand_registers(self.src)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = mov {self.src}"
+
+
+class AddrOf(Instruction):
+    """``dest = &base[index]`` — materialize a pointer into a register."""
+
+    opcode = "addrof"
+
+    def __init__(self, dest: VirtualRegister, ref: MemRef) -> None:
+        self.dest = dest
+        self.ref = ref
+
+    def uses(self):
+        return memref_registers(self.ref)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = addrof {self.ref}"
+
+
+class Load(Instruction):
+    """``dest = load ref``."""
+
+    opcode = "load"
+
+    def __init__(self, dest: VirtualRegister, ref: MemRef) -> None:
+        self.dest = dest
+        self.ref = ref
+
+    def uses(self):
+        return memref_registers(self.ref)
+
+    def defs(self):
+        return (self.dest,)
+
+    def loads(self):
+        return (self.ref,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = load {self.ref}"
+
+
+class Store(Instruction):
+    """``store ref, value``."""
+
+    opcode = "store"
+
+    def __init__(self, ref: MemRef, value: Operand) -> None:
+        self.ref = ref
+        self.value = value
+
+    def uses(self):
+        return memref_registers(self.ref) + operand_registers(self.value)
+
+    def stores(self):
+        return (self.ref,)
+
+    def __str__(self) -> str:
+        return f"store {self.ref}, {self.value}"
+
+
+class Alloc(Instruction):
+    """``dest = alloc size`` — create a fresh heap object at run time.
+
+    Models ``malloc``: used by workloads that allocate once on their first
+    invocation (the 175.vpr ``try_swap`` pattern from paper Figure 2c).
+    """
+
+    opcode = "alloc"
+
+    def __init__(self, dest: VirtualRegister, size: Operand) -> None:
+        self.dest = dest
+        self.size = size
+
+    def uses(self):
+        return operand_registers(self.size)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = alloc {self.size}"
+
+
+class Branch(Instruction):
+    """``br cond, if_true, if_false`` — conditional two-way branch."""
+
+    opcode = "br"
+    is_terminator = True
+
+    def __init__(self, cond: Operand, if_true: str, if_false: str) -> None:
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self):
+        return operand_registers(self.cond)
+
+    def successors(self):
+        return (self.if_true, self.if_false)
+
+    def __str__(self) -> str:
+        return f"br {self.cond}, {self.if_true}, {self.if_false}"
+
+
+class Jump(Instruction):
+    """``jmp target`` — unconditional branch."""
+
+    opcode = "jmp"
+    is_terminator = True
+
+    def __init__(self, target: str) -> None:
+        self.target = target
+
+    def successors(self):
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"jmp {self.target}"
+
+
+class Call(Instruction):
+    """``dest = call callee(args...)``.
+
+    ``callee`` names either a function in the enclosing module or an
+    opaque external routine.  External callees cannot be analyzed for
+    idempotence and poison the enclosing region as *unknown* (the Unknown
+    segment of paper Figure 5).
+    """
+
+    opcode = "call"
+
+    def __init__(
+        self,
+        dest: Optional[VirtualRegister],
+        callee: str,
+        args: Sequence[Operand] = (),
+    ) -> None:
+        self.dest = dest
+        self.callee = callee
+        self.args = list(args)
+
+    def uses(self):
+        regs: List[VirtualRegister] = []
+        for arg in self.args:
+            regs.extend(operand_registers(arg))
+        return tuple(regs)
+
+    def defs(self):
+        return (self.dest,) if self.dest is not None else ()
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        if self.dest is not None:
+            return f"{self.dest} = call {self.callee}({args})"
+        return f"call {self.callee}({args})"
+
+
+class Ret(Instruction):
+    """``ret [value]``."""
+
+    opcode = "ret"
+    is_terminator = True
+
+    def __init__(self, value: Optional[Operand] = None) -> None:
+        self.value = value
+
+    def uses(self):
+        if self.value is None:
+            return ()
+        return operand_registers(self.value)
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+# ---------------------------------------------------------------------------
+# Encore instrumentation instructions (paper Section 3.2)
+# ---------------------------------------------------------------------------
+
+
+class SetRecoveryPtr(Instruction):
+    """Region-header hook: publish the recovery block for region ``region_id``.
+
+    The paper instruments each region header with "a simple store that
+    updates a dedicated memory location with the address of the
+    corresponding recovery block"; cost is one store.
+    """
+
+    opcode = "set_recovery_ptr"
+    is_instrumentation = True
+    dynamic_cost = 1
+
+    def __init__(self, region_id: int, recovery_label: str) -> None:
+        self.region_id = region_id
+        self.recovery_label = recovery_label
+
+    def __str__(self) -> str:
+        return f"set_recovery_ptr r{self.region_id}, {self.recovery_label}"
+
+
+class CheckpointReg(Instruction):
+    """Save a live-in register at region entry (one store)."""
+
+    opcode = "ckpt_reg"
+    is_instrumentation = True
+    dynamic_cost = 1
+
+    def __init__(self, region_id: int, reg: VirtualRegister) -> None:
+        self.region_id = region_id
+        self.reg = reg
+
+    def uses(self):
+        return (self.reg,)
+
+    def __str__(self) -> str:
+        return f"ckpt_reg r{self.region_id}, {self.reg}"
+
+
+class CheckpointMem(Instruction):
+    """Save one memory word (data plus address) just before an offending store.
+
+    Costs two dynamic stores, matching the paper's memory-checkpoint model
+    where "both data and address must be stored to enable proper recovery".
+    """
+
+    opcode = "ckpt_mem"
+    is_instrumentation = True
+    dynamic_cost = 2
+
+    def __init__(self, region_id: int, ref: MemRef) -> None:
+        self.region_id = region_id
+        self.ref = ref
+
+    def uses(self):
+        return memref_registers(self.ref)
+
+    def loads(self):
+        return (self.ref,)
+
+    def __str__(self) -> str:
+        return f"ckpt_mem r{self.region_id}, {self.ref}"
+
+
+class RestoreCheckpoints(Instruction):
+    """Recovery-block body: restore all state checkpointed since region entry.
+
+    Only executed when the detector redirects control into the recovery
+    block, so its cost does not contribute to fault-free runtime overhead.
+    """
+
+    opcode = "restore"
+    is_instrumentation = True
+    dynamic_cost = 1
+
+    def __init__(self, region_id: int) -> None:
+        self.region_id = region_id
+
+    def __str__(self) -> str:
+        return f"restore r{self.region_id}"

@@ -1,0 +1,67 @@
+"""Modules: top-level containers of functions and global memory objects."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.values import MemoryObject, VirtualRegister
+
+
+class Module:
+    """A compilation unit: functions plus global memory objects.
+
+    ``externals`` names routines the module may call but that are opaque
+    to analysis (system/library calls in the paper's terminology); regions
+    containing calls to them are classified *unknown*.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, MemoryObject] = {}
+        self.externals: set = set()
+
+    # -- construction -------------------------------------------------
+
+    def add_function(
+        self, name: str, params: Sequence[VirtualRegister] = ()
+    ) -> Function:
+        if name in self.functions:
+            raise ValueError(f"duplicate function {name!r}")
+        func = Function(name, params)
+        self.functions[name] = func
+        return func
+
+    def add_global(self, name: str, size: int, init=None) -> MemoryObject:
+        if name in self.globals:
+            raise ValueError(f"duplicate global {name!r}")
+        obj = MemoryObject(name, size, kind="global", init=init)
+        self.globals[name] = obj
+        return obj
+
+    def declare_external(self, name: str) -> None:
+        self.externals.add(name)
+
+    # -- lookup -------------------------------------------------------
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def get_function(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def is_external(self, callee: str) -> bool:
+        return callee not in self.functions
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name} ({len(self.functions)} functions, "
+            f"{len(self.globals)} globals)>"
+        )

@@ -1,0 +1,47 @@
+"""Textual rendering of IR modules and functions.
+
+The format round-trips through :mod:`repro.ir.parser`: globals carry
+their initializers, functions list their stack objects, and every
+instruction prints in the grammar the parser accepts.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import MemoryObject
+
+
+def _object_decl(keyword: str, obj: MemoryObject) -> str:
+    decl = f"{keyword} @{obj.name}[{obj.size}]"
+    if obj.init is not None:
+        init = ", ".join(repr(v) for v in obj.init)
+        decl += f" = [{init}]"
+    return decl
+
+
+def function_to_text(func: Function) -> str:
+    params = ", ".join(str(p) for p in func.params)
+    lines = [f"func {func.name}({params}) {{"]
+    for obj in func.stack_objects.values():
+        lines.append(f"  {_object_decl('stack', obj)}")
+    # The entry block prints first: the parser (and the reader) take the
+    # first block as the entry, and instrumentation can re-point it.
+    ordered = [func.entry] + [b for b in func if b.label != func.entry_label]
+    for block in ordered:
+        lines.append(f"{block.label}:")
+        lines.extend(f"  {inst}" for inst in block)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_text(module: Module) -> str:
+    lines = [f"module {module.name}"]
+    for name in sorted(module.externals):
+        lines.append(f"extern {name}")
+    for obj in module.globals.values():
+        lines.append(_object_decl("global", obj))
+    for func in module:
+        lines.append("")
+        lines.append(function_to_text(func))
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Scalar types for the repro IR.
+
+The IR is deliberately small: 64-bit signed integers, IEEE doubles, and
+pointers (object, word-offset pairs).  ``VOID`` is only used as the result
+type of calls to procedures that return nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+WORD_BYTES = 4
+"""Architectural word size in bytes (ARM926-class 32-bit target).
+
+Checkpoint storage accounting (paper Figure 7b) is denominated in these
+words: a register checkpoint stores one word, a memory checkpoint stores
+two (data plus address).
+"""
+
+INT_BITS = 64
+INT_MASK = (1 << INT_BITS) - 1
+INT_SIGN = 1 << (INT_BITS - 1)
+
+
+class Type(enum.Enum):
+    """The scalar value types a register or constant can carry."""
+
+    I64 = "i64"
+    F64 = "f64"
+    PTR = "ptr"
+    VOID = "void"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def wrap_int(value: int) -> int:
+    """Wrap ``value`` into the signed 64-bit range the interpreter models."""
+    value &= INT_MASK
+    if value & INT_SIGN:
+        value -= 1 << INT_BITS
+    return value

@@ -1,0 +1,119 @@
+"""Value-level entities of the repro IR: registers, constants, memory.
+
+Instructions operate on *operands*, which are either virtual registers or
+constants.  Memory is modelled as a set of named, word-addressed
+:class:`MemoryObject` instances; a :class:`MemRef` names one word within an
+object, either directly (``base`` is a :class:`MemoryObject`) or through a
+pointer register (``base`` is a :class:`VirtualRegister` of pointer type),
+in which case the statically-known base object is unknown and alias
+analysis must be conservative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.ir.types import Type
+
+
+@dataclasses.dataclass(frozen=True)
+class VirtualRegister:
+    """A virtual register.  The IR is not SSA: registers may be reassigned."""
+
+    name: str
+    type: Type = Type.I64
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Constant:
+    """An immediate operand."""
+
+    value: Union[int, float]
+    type: Type = Type.I64
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Operand = Union[VirtualRegister, Constant]
+
+
+class MemoryObject:
+    """A named, statically-declared region of word-addressed memory.
+
+    ``kind`` distinguishes globals (module lifetime), stack objects
+    (function-frame lifetime) and heap objects (created by ``Alloc``
+    instructions at run time).  ``size`` is in words.
+    """
+
+    __slots__ = ("name", "size", "kind", "init")
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        kind: str = "global",
+        init: Optional[list] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"memory object {name!r} must have positive size")
+        if kind not in ("global", "stack", "heap"):
+            raise ValueError(f"unknown memory object kind {kind!r}")
+        if init is not None and len(init) > size:
+            raise ValueError(f"initializer for {name!r} longer than object")
+        self.name = name
+        self.size = size
+        self.kind = kind
+        self.init = list(init) if init is not None else None
+
+    def __repr__(self) -> str:
+        return f"MemoryObject({self.name!r}, size={self.size}, kind={self.kind!r})"
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class MemRef:
+    """A reference to one word of memory: ``base[index]``.
+
+    ``base`` is a :class:`MemoryObject` for direct references, or a
+    pointer-typed :class:`VirtualRegister` for indirect references.
+    ``index`` is a word offset (constant or register).
+    """
+
+    base: Union[MemoryObject, VirtualRegister]
+    index: Operand = Constant(0)
+
+    @property
+    def is_direct(self) -> bool:
+        """True when the accessed object is statically known."""
+        return isinstance(self.base, MemoryObject)
+
+    @property
+    def has_constant_index(self) -> bool:
+        return isinstance(self.index, Constant)
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+
+def operand_registers(operand: Operand) -> tuple:
+    """Registers read by evaluating ``operand`` (zero or one of them)."""
+    if isinstance(operand, VirtualRegister):
+        return (operand,)
+    return ()
+
+
+def memref_registers(ref: MemRef) -> tuple:
+    """Registers read by evaluating the address of ``ref``."""
+    regs = []
+    if isinstance(ref.base, VirtualRegister):
+        regs.append(ref.base)
+    if isinstance(ref.index, VirtualRegister):
+        regs.append(ref.index)
+    return tuple(regs)

@@ -1,0 +1,98 @@
+"""Structural verification of IR modules.
+
+The verifier catches authoring mistakes early: missing terminators,
+branches to unknown labels, use of undefined registers (checked
+flow-insensitively: a register must be defined somewhere in the function
+or be a parameter), stores through non-pointer registers, and calls to
+undeclared targets.  Encore's own recovery blocks are intentionally
+unreachable from normal control flow, so reachability is *not* an error.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import Type
+from repro.ir.values import MemoryObject, VirtualRegister
+
+
+class VerificationError(Exception):
+    """Raised when a module fails structural verification."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def verify_function(func: Function, module: Module) -> List[str]:
+    """Return a list of verification errors for ``func`` (empty if clean)."""
+    errors: List[str] = []
+    if not func.blocks:
+        return [f"{func.name}: function has no blocks"]
+
+    defined = set(func.params)
+    for block in func:
+        for inst in block:
+            defined.update(inst.defs())
+
+    for block in func:
+        term = block.terminator
+        if term is None:
+            errors.append(f"{func.name}/{block.label}: missing terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.is_terminator and inst is not block.instructions[-1]:
+                errors.append(
+                    f"{func.name}/{block.label}: terminator {inst} not last"
+                )
+            for succ in inst.successors():
+                if succ not in func.blocks:
+                    errors.append(
+                        f"{func.name}/{block.label}: branch to unknown label "
+                        f"{succ!r}"
+                    )
+            for reg in inst.uses():
+                if reg not in defined:
+                    errors.append(
+                        f"{func.name}/{block.label}: use of undefined register "
+                        f"{reg} in {inst}"
+                    )
+            for ref in list(inst.loads()) + list(inst.stores()):
+                base = ref.base
+                if isinstance(base, VirtualRegister):
+                    if base.type is not Type.PTR:
+                        errors.append(
+                            f"{func.name}/{block.label}: indirect access through "
+                            f"non-pointer register {base} in {inst}"
+                        )
+                elif isinstance(base, MemoryObject):
+                    known = (
+                        base.name in module.globals
+                        and module.globals[base.name] is base
+                    ) or (
+                        base.name in func.stack_objects
+                        and func.stack_objects[base.name] is base
+                    )
+                    if not known:
+                        errors.append(
+                            f"{func.name}/{block.label}: access to undeclared "
+                            f"memory object {base} in {inst}"
+                        )
+            if inst.opcode == "call":
+                callee = inst.callee
+                if callee not in module.functions and callee not in module.externals:
+                    errors.append(
+                        f"{func.name}/{block.label}: call to undeclared target "
+                        f"{callee!r}"
+                    )
+    return errors
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``; raise :class:`VerificationError`."""
+    errors: List[str] = []
+    for func in module:
+        errors.extend(verify_function(func, module))
+    if errors:
+        raise VerificationError(errors)

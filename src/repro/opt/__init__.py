@@ -1,0 +1,64 @@
+"""Optimization passes: the "-O" substrate the paper's toolchain provides.
+
+``optimize_module`` iterates constant folding, block-local copy
+propagation, dead-code elimination, and CFG simplification to a
+fixpoint — the clean-up mix a real compiler applies before a pass like
+Encore sees the code.  Passes never run on instrumented functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.module import Module
+from repro.opt.copyprop import propagate_block, propagate_function
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.fold import fold_binop, fold_compare, fold_function, fold_unop
+from repro.opt.inline import inline_functions
+from repro.opt.simplifycfg import simplify_cfg
+
+
+def optimize_function(func, max_rounds: int = 10) -> int:
+    """Run the pass mix to a fixpoint on one function."""
+    total = 0
+    for _ in range(max_rounds):
+        changed = fold_function(func)
+        changed += propagate_function(func)
+        changed += eliminate_dead_code(func)
+        changed += simplify_cfg(func)
+        total += changed
+        if changed == 0:
+            break
+    return total
+
+
+def optimize_module(
+    module: Module, max_rounds: int = 10, inline: bool = True
+) -> Dict[str, int]:
+    """Optimize every function; returns per-function rewrite counts.
+
+    With ``inline=True`` small leaf functions are inlined first, then
+    the per-function pass mix cleans up the spliced code.
+    """
+    counts: Dict[str, int] = {}
+    if inline:
+        counts["<inline>"] = inline_functions(module)
+    for name, func in module.functions.items():
+        if func.blocks:
+            counts[name] = optimize_function(func, max_rounds)
+    return counts
+
+
+__all__ = [
+    "eliminate_dead_code",
+    "fold_binop",
+    "fold_compare",
+    "fold_function",
+    "fold_unop",
+    "inline_functions",
+    "optimize_function",
+    "optimize_module",
+    "propagate_block",
+    "propagate_function",
+    "simplify_cfg",
+]

@@ -1,0 +1,85 @@
+"""Block-local copy and constant propagation.
+
+Within one basic block, a ``dest = mov src`` makes ``dest`` an alias of
+``src`` until either register is redefined; subsequent uses of ``dest``
+are rewritten to ``src``.  Constants propagate the same way, feeding the
+folding pass.  Staying block-local keeps the pass trivially sound in a
+non-SSA IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Move
+from repro.ir.values import Constant, MemRef, Operand, VirtualRegister
+
+
+def _rewrite_operand(operand, env: Dict[VirtualRegister, Operand]):
+    if isinstance(operand, VirtualRegister) and operand in env:
+        return env[operand]
+    return operand
+
+
+def _rewrite_ref(ref: MemRef, env) -> MemRef:
+    base = ref.base
+    if isinstance(base, VirtualRegister) and base in env:
+        replacement = env[base]
+        if isinstance(replacement, VirtualRegister):
+            base = replacement
+    index = _rewrite_operand(ref.index, env)
+    if base is ref.base and index is ref.index:
+        return ref
+    return MemRef(base, index)
+
+
+def _invalidate(env: Dict[VirtualRegister, Operand], reg: VirtualRegister) -> None:
+    env.pop(reg, None)
+    for key in [k for k, v in env.items() if v == reg]:
+        env.pop(key)
+
+
+def propagate_block(block: BasicBlock) -> int:
+    """Propagate copies/constants through one block; returns #rewrites."""
+    env: Dict[VirtualRegister, Operand] = {}
+    rewrites = 0
+    for inst in block.instructions:
+        # Rewrite uses first (before this instruction's defs invalidate).
+        # CheckpointReg's operand must remain a register, so it only
+        # accepts register-to-register copies.
+        for attr in ("lhs", "rhs", "src", "cond", "if_true", "if_false",
+                     "value", "size", "reg"):
+            if hasattr(inst, attr):
+                old = getattr(inst, attr)
+                if isinstance(old, VirtualRegister):
+                    new = _rewrite_operand(old, env)
+                    if attr == "reg" and not isinstance(new, VirtualRegister):
+                        continue
+                    if new is not old:
+                        setattr(inst, attr, new)
+                        rewrites += 1
+        if hasattr(inst, "ref"):
+            new_ref = _rewrite_ref(inst.ref, env)
+            if new_ref is not inst.ref:
+                inst.ref = new_ref
+                rewrites += 1
+        if hasattr(inst, "args"):
+            for i, arg in enumerate(inst.args):
+                new = _rewrite_operand(arg, env)
+                if new is not arg:
+                    inst.args[i] = new
+                    rewrites += 1
+        # Update the environment with this instruction's effect.
+        for dest in inst.defs():
+            _invalidate(env, dest)
+        if isinstance(inst, Move):
+            src = inst.src
+            if isinstance(src, (Constant, VirtualRegister)) and src != inst.dest:
+                env[inst.dest] = src
+    return rewrites
+
+
+def propagate_function(func: Function) -> int:
+    return sum(propagate_block(block) for block in func)

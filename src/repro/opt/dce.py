@@ -1,0 +1,57 @@
+"""Dead-code elimination for pure instructions.
+
+Removes side-effect-free instructions (arithmetic, compares, moves,
+address materialization, loads from memory are *kept* — a load can trap
+on a bad index, and removing it would change the program's symptom
+behaviour under fault injection) whose destination is dead.  Liveness is
+recomputed per iteration until a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.liveness import LivenessAnalysis
+from repro.ir.function import Function
+from repro.ir.values import VirtualRegister
+
+#: Opcodes safe to delete when their destination is dead.
+_PURE_OPCODES = frozenset(["binop", "unop", "cmp", "select", "mov", "addrof"])
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Delete dead pure instructions; returns the number removed."""
+    removed_total = 0
+    while True:
+        removed = _one_round(func)
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def _one_round(func: Function) -> int:
+    cfg = CFGView(func)
+    liveness = LivenessAnalysis(func, cfg)
+    removed = 0
+    for label in cfg.labels:
+        block = func.blocks[label]
+        live: Set[VirtualRegister] = set(liveness.live_out(label))
+        keep = []
+        for inst in reversed(block.instructions):
+            defs = inst.defs()
+            dead = (
+                inst.opcode in _PURE_OPCODES
+                and defs
+                and all(d not in live for d in defs)
+            )
+            if dead:
+                removed += 1
+                continue
+            keep.append(inst)
+            for d in defs:
+                live.discard(d)
+            live.update(inst.uses())
+        keep.reverse()
+        block.instructions = keep
+    return removed

@@ -1,0 +1,192 @@
+"""Constant folding and algebraic simplification.
+
+The paper's workloads are "compiled with standard -O3 optimizations";
+this package provides the corresponding clean-up passes for our IR so
+workloads reach the Encore passes in optimized form.  Folding must
+mirror the interpreter's semantics exactly (64-bit wrapping,
+truncate-toward-zero division); anything that would trap at run time
+(division by zero) is left in place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Compare, Move, Select, UnaryOp
+from repro.ir.types import Type, wrap_int
+from repro.ir.values import Constant, Operand, VirtualRegister
+
+
+def fold_binop(op: str, lhs: Union[int, float], rhs: Union[int, float]):
+    """Evaluate a binary op on constants; None when it must stay runtime."""
+    try:
+        if op == "add":
+            return wrap_int(int(lhs) + int(rhs))
+        if op == "sub":
+            return wrap_int(int(lhs) - int(rhs))
+        if op == "mul":
+            return wrap_int(int(lhs) * int(rhs))
+        if op == "sdiv":
+            if int(rhs) == 0:
+                return None
+            return wrap_int(int(int(lhs) / int(rhs)))
+        if op == "srem":
+            if int(rhs) == 0:
+                return None
+            return wrap_int(int(lhs) - int(int(lhs) / int(rhs)) * int(rhs))
+        if op == "and":
+            return wrap_int(int(lhs) & int(rhs))
+        if op == "or":
+            return wrap_int(int(lhs) | int(rhs))
+        if op == "xor":
+            return wrap_int(int(lhs) ^ int(rhs))
+        if op == "shl":
+            return wrap_int(int(lhs) << (int(rhs) & 63))
+        if op == "lshr":
+            return wrap_int((int(lhs) & ((1 << 64) - 1)) >> (int(rhs) & 63))
+        if op == "ashr":
+            return wrap_int(int(lhs) >> (int(rhs) & 63))
+        if op == "min":
+            return min(int(lhs), int(rhs))
+        if op == "max":
+            return max(int(lhs), int(rhs))
+        if op == "fadd":
+            return float(lhs) + float(rhs)
+        if op == "fsub":
+            return float(lhs) - float(rhs)
+        if op == "fmul":
+            return float(lhs) * float(rhs)
+        if op == "fdiv":
+            if float(rhs) == 0.0:
+                return None
+            return float(lhs) / float(rhs)
+        if op == "fmin":
+            return min(float(lhs), float(rhs))
+        if op == "fmax":
+            return max(float(lhs), float(rhs))
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return None
+
+
+def fold_compare(pred: str, lhs, rhs) -> Optional[int]:
+    try:
+        if pred in ("eq", "feq"):
+            return int(lhs == rhs)
+        if pred in ("ne", "fne"):
+            return int(lhs != rhs)
+        if pred in ("slt", "flt"):
+            return int(lhs < rhs)
+        if pred in ("sle", "fle"):
+            return int(lhs <= rhs)
+        if pred in ("sgt", "fgt"):
+            return int(lhs > rhs)
+        if pred in ("sge", "fge"):
+            return int(lhs >= rhs)
+    except TypeError:
+        return None
+    return None
+
+
+def fold_unop(op: str, src) -> Optional[Union[int, float]]:
+    try:
+        if op == "neg":
+            return wrap_int(-int(src))
+        if op == "not":
+            return wrap_int(~int(src))
+        if op == "fneg":
+            return -float(src)
+        if op == "sitofp":
+            return float(int(src))
+        if op == "fptosi":
+            return wrap_int(int(float(src)))
+        if op == "fsqrt":
+            if float(src) < 0:
+                return None
+            return math.sqrt(float(src))
+        if op == "fabs":
+            return abs(float(src))
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return None
+
+
+def _const_of(value: Union[int, float]) -> Constant:
+    if isinstance(value, float):
+        return Constant(value, Type.F64)
+    return Constant(value)
+
+
+def _algebraic(op: str, lhs: Operand, rhs: Operand) -> Optional[Operand]:
+    """Strength-reduce identities: x+0, x-0, x*1, x*0, x&0, x|0, x^0, x<<0."""
+    lc = lhs.value if isinstance(lhs, Constant) else None
+    rc = rhs.value if isinstance(rhs, Constant) else None
+    if op == "add":
+        if rc == 0:
+            return lhs
+        if lc == 0:
+            return rhs
+    elif op == "sub" and rc == 0:
+        return lhs
+    elif op == "mul":
+        if rc == 1:
+            return lhs
+        if lc == 1:
+            return rhs
+        if rc == 0 or lc == 0:
+            return Constant(0)
+    elif op in ("and",):
+        if rc == 0 or lc == 0:
+            return Constant(0)
+    elif op in ("or", "xor"):
+        if rc == 0:
+            return lhs
+        if lc == 0:
+            return rhs
+    elif op in ("shl", "lshr", "ashr") and rc == 0:
+        return lhs
+    return None
+
+
+def fold_function(func: Function) -> int:
+    """One pass of constant folding over ``func``; returns #rewrites.
+
+    Folded instructions become ``Move`` of a constant so downstream
+    copy propagation and DCE can finish the job without this pass
+    having to rewrite uses.
+    """
+    rewrites = 0
+    for block in func:
+        for i, inst in enumerate(block.instructions):
+            replacement = None
+            if isinstance(inst, BinOp):
+                if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant):
+                    value = fold_binop(inst.op, inst.lhs.value, inst.rhs.value)
+                    if value is not None:
+                        replacement = Move(inst.dest, _const_of(value))
+                if replacement is None:
+                    simpler = _algebraic(inst.op, inst.lhs, inst.rhs)
+                    if simpler is not None:
+                        replacement = Move(inst.dest, simpler)
+            elif isinstance(inst, Compare):
+                if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant):
+                    value = fold_compare(inst.pred, inst.lhs.value, inst.rhs.value)
+                    if value is not None:
+                        replacement = Move(inst.dest, Constant(value))
+            elif isinstance(inst, UnaryOp):
+                if isinstance(inst.src, Constant):
+                    value = fold_unop(inst.op, inst.src.value)
+                    if value is not None:
+                        replacement = Move(inst.dest, _const_of(value))
+            elif isinstance(inst, Select):
+                if isinstance(inst.cond, Constant):
+                    chosen = inst.if_true if inst.cond.value else inst.if_false
+                    replacement = Move(inst.dest, chosen)
+            if replacement is not None and not (
+                isinstance(inst, Move)
+            ):
+                block.instructions[i] = replacement
+                rewrites += 1
+    return rewrites

@@ -1,0 +1,219 @@
+"""Function inlining.
+
+Small helper functions (clamps, min/max, fixed-point helpers) fragment
+Encore's regions: a fault striking inside a seven-instruction callee is
+almost never detected before the callee returns, so the callee's own
+region contributes nearly nothing, while the caller's region would have
+covered the same work for free.  A real -O3 inlines these helpers; this
+pass does the same for the repro IR.
+
+Mechanics: the call site's block is split at the call; the callee's
+blocks are cloned with renamed labels and registers, parameters become
+moves of the argument operands, and every ``ret`` becomes a move into
+the call's destination plus a jump to the split-off continuation.
+Callee stack objects are re-declared in the caller with fresh names —
+semantically fine because inlined activations are not recursive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AddrOf,
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    Compare,
+    Jump,
+    Load,
+    Move,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from repro.ir.module import Module
+from repro.ir.values import Constant, MemoryObject, MemRef, VirtualRegister
+
+_counter = itertools.count()
+
+
+def _is_inlinable(func: Function, module: Module, max_size: int) -> bool:
+    if func.instruction_count() > max_size:
+        return False
+    for block in func:
+        for inst in block:
+            if inst.is_instrumentation:
+                return False
+            if inst.opcode == "call":
+                # Only leaf-ish candidates: calls to externals or other
+                # functions complicate size/recursion reasoning.
+                return False
+    return True
+
+
+class _Renamer:
+    """Clones callee instructions into the caller's namespace."""
+
+    def __init__(
+        self,
+        caller: Function,
+        callee: Function,
+        args: List,
+        tag: str,
+    ) -> None:
+        self.caller = caller
+        self.callee = callee
+        self.tag = tag
+        self.reg_map: Dict[VirtualRegister, VirtualRegister] = {}
+        self.obj_map: Dict[str, MemoryObject] = {}
+        for param, arg in zip(callee.params, args):
+            # Parameters get fresh caller registers seeded by moves.
+            self.reg_map[param] = self._fresh(param)
+        for name, obj in callee.stack_objects.items():
+            clone_name = f"{name}__{tag}"
+            self.obj_map[name] = self.caller.add_stack_object(
+                clone_name, obj.size, init=obj.init
+            )
+
+    def _fresh(self, reg: VirtualRegister) -> VirtualRegister:
+        return VirtualRegister(f"{reg.name}__{self.tag}", reg.type)
+
+    def reg(self, reg: VirtualRegister) -> VirtualRegister:
+        if reg not in self.reg_map:
+            self.reg_map[reg] = self._fresh(reg)
+        return self.reg_map[reg]
+
+    def operand(self, operand):
+        if isinstance(operand, VirtualRegister):
+            return self.reg(operand)
+        return operand
+
+    def ref(self, ref: MemRef) -> MemRef:
+        base = ref.base
+        if isinstance(base, VirtualRegister):
+            base = self.reg(base)
+        elif isinstance(base, MemoryObject) and base.name in self.callee.stack_objects:
+            base = self.obj_map[base.name]
+        return MemRef(base, self.operand(ref.index))
+
+    def label(self, label: str) -> str:
+        return f"{label}__{self.tag}"
+
+    def instruction(self, inst, ret_dest, continue_label: str):
+        """Clone one callee instruction; rets become move+jump."""
+        if isinstance(inst, Ret):
+            cloned: List = []
+            if ret_dest is not None:
+                value = (
+                    self.operand(inst.value) if inst.value is not None else Constant(0)
+                )
+                cloned.append(Move(ret_dest, value))
+            cloned.append(Jump(continue_label))
+            return cloned
+        if isinstance(inst, BinOp):
+            return [BinOp(inst.op, self.reg(inst.dest),
+                          self.operand(inst.lhs), self.operand(inst.rhs))]
+        if isinstance(inst, UnaryOp):
+            return [UnaryOp(inst.op, self.reg(inst.dest), self.operand(inst.src))]
+        if isinstance(inst, Compare):
+            return [Compare(inst.pred, self.reg(inst.dest),
+                            self.operand(inst.lhs), self.operand(inst.rhs))]
+        if isinstance(inst, Select):
+            return [Select(self.reg(inst.dest), self.operand(inst.cond),
+                           self.operand(inst.if_true), self.operand(inst.if_false))]
+        if isinstance(inst, Move):
+            return [Move(self.reg(inst.dest), self.operand(inst.src))]
+        if isinstance(inst, Load):
+            return [Load(self.reg(inst.dest), self.ref(inst.ref))]
+        if isinstance(inst, Store):
+            return [Store(self.ref(inst.ref), self.operand(inst.value))]
+        if isinstance(inst, AddrOf):
+            return [AddrOf(self.reg(inst.dest), self.ref(inst.ref))]
+        if isinstance(inst, Alloc):
+            return [Alloc(self.reg(inst.dest), self.operand(inst.size))]
+        if isinstance(inst, Branch):
+            return [Branch(self.operand(inst.cond),
+                           self.label(inst.if_true), self.label(inst.if_false))]
+        if isinstance(inst, Jump):
+            return [Jump(self.label(inst.target))]
+        raise ValueError(f"cannot inline instruction {inst}")
+
+
+def _inline_one_call(
+    module: Module,
+    caller: Function,
+    block_label: str,
+    call_index: int,
+) -> None:
+    block = caller.blocks[block_label]
+    call = block.instructions[call_index]
+    callee = module.function(call.callee)
+    tag = f"inl{next(_counter)}"
+    renamer = _Renamer(caller, callee, call.args, tag)
+
+    continue_label = f"{block_label}__{tag}_cont"
+    continuation = caller.add_block(continue_label)
+    continuation.instructions = block.instructions[call_index + 1:]
+    block.instructions = block.instructions[:call_index]
+
+    # Seed parameter registers, then enter the inlined entry block.
+    for param, arg in zip(callee.params, call.args):
+        block.instructions.append(Move(renamer.reg(param), arg))
+    block.instructions.append(Jump(renamer.label(callee.entry_label)))
+
+    for clone_label, callee_block in callee.blocks.items():
+        new_block = caller.add_block(renamer.label(clone_label))
+        for inst in callee_block.instructions:
+            new_block.instructions.extend(
+                renamer.instruction(inst, call.dest, continue_label)
+            )
+
+
+def inline_functions(
+    module: Module, max_size: int = 40, max_rounds: int = 4
+) -> int:
+    """Inline small leaf functions into their callers; returns #sites.
+
+    Callers are visited bottom-up over the call graph's SCCs (recursive
+    cycles are never candidates), so a helper's helper is inlined before
+    the helper itself is considered; a few extra rounds catch functions
+    that only become leaves once their callees disappear.
+    """
+    from repro.analysis.callgraph import build_call_graph
+
+    total = 0
+    for _ in range(max_rounds):
+        graph = build_call_graph(module)
+        inlinable: Set[str] = {
+            name
+            for name, func in module.functions.items()
+            if func.blocks
+            and not graph.is_recursive(name)
+            and _is_inlinable(func, module, max_size)
+        }
+        sites: List = []
+        for caller_name in graph.bottom_up():
+            caller = module.function(caller_name)
+            if not caller.blocks:
+                continue
+            for block in list(caller):
+                for index, inst in enumerate(block.instructions):
+                    if (
+                        inst.opcode == "call"
+                        and inst.callee in inlinable
+                        and inst.callee != caller.name
+                    ):
+                        sites.append((caller, block.label, index))
+                        break  # indices shift after splicing: one per block pass
+        if not sites:
+            break
+        for caller, label, index in sites:
+            _inline_one_call(module, caller, label, index)
+        total += len(sites)
+    return total

@@ -1,0 +1,86 @@
+"""CFG simplification: constant branches, block merging, unreachable code.
+
+Three classic clean-ups, iterated to a fixpoint:
+
+* a ``br`` on a constant condition becomes a ``jmp`` (threading);
+* a block ending in ``jmp t`` where ``t`` has exactly one predecessor
+  (and is not the entry or a loop header of itself) is merged with ``t``;
+* blocks unreachable from the entry are deleted.
+
+The pass refuses to run on instrumented functions — Encore's recovery
+blocks are intentionally unreachable from normal control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Jump
+from repro.ir.values import Constant
+
+
+def _has_instrumentation(func: Function) -> bool:
+    return any(
+        inst.is_instrumentation for block in func for inst in block
+    )
+
+
+def simplify_cfg(func: Function) -> int:
+    """Simplify ``func``'s CFG in place; returns the number of rewrites."""
+    if _has_instrumentation(func):
+        return 0
+    total = 0
+    while True:
+        changed = _thread_constant_branches(func)
+        changed += _merge_straightline(func)
+        changed += _remove_unreachable(func)
+        total += changed
+        if changed == 0:
+            return total
+
+
+def _thread_constant_branches(func: Function) -> int:
+    changed = 0
+    for block in func:
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.cond, Constant):
+            target = term.if_true if term.cond.value else term.if_false
+            block.instructions[-1] = Jump(target)
+            changed += 1
+        elif isinstance(term, Branch) and term.if_true == term.if_false:
+            block.instructions[-1] = Jump(term.if_true)
+            changed += 1
+    return changed
+
+
+def _merge_straightline(func: Function) -> int:
+    changed = 0
+    preds = func.predecessor_map()
+    for label in list(func.blocks):
+        block = func.blocks.get(label)
+        if block is None:
+            continue
+        term = block.terminator
+        if not isinstance(term, Jump):
+            continue
+        target = term.target
+        if target == label or target == func.entry_label:
+            continue
+        if preds.get(target, []) != [label]:
+            continue
+        successor = func.blocks[target]
+        block.instructions.pop()  # drop the jmp
+        block.instructions.extend(successor.instructions)
+        del func.blocks[target]
+        preds = func.predecessor_map()
+        changed += 1
+    return changed
+
+
+def _remove_unreachable(func: Function) -> int:
+    reachable = func.reachable_labels()
+    dead = [label for label in func.blocks if label not in reachable]
+    for label in dead:
+        del func.blocks[label]
+    return len(dead)

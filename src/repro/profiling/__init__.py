@@ -1,0 +1,18 @@
+"""Profiling support: training-run execution counts for Encore heuristics."""
+
+from repro.profiling.memprofile import (
+    MemoryAccessProfile,
+    SiteObservation,
+    collect_memory_profile,
+)
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import profile_and_result, profile_module
+
+__all__ = [
+    "MemoryAccessProfile",
+    "ProfileData",
+    "SiteObservation",
+    "collect_memory_profile",
+    "profile_and_result",
+    "profile_module",
+]

@@ -1,0 +1,110 @@
+"""Dynamic memory-access profiling (the paper's footnote-2 future work).
+
+"Extending Encore to use more aggressive dynamic memory profiling is a
+promising area of future work."  This module records, per static memory
+instruction (identified by its stable ``(function, block, index)``
+site), the concrete objects and word addresses it touched during a
+training run.  The ``profiled`` alias mode uses these observations to
+statistically refine the conservative static answers — in the same
+best-effort spirit as Pmin pruning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.ir.module import Module
+from repro.runtime.interpreter import Interpreter, StepEvent
+
+Site = Tuple[str, str, int]  # (function, block label, instruction index)
+Address = Tuple[str, int]
+
+
+@dataclasses.dataclass
+class SiteObservation:
+    """What one static memory instruction touched during profiling."""
+
+    objects: Optional[Set[str]] = dataclasses.field(default_factory=set)
+    addresses: Optional[Set[Address]] = dataclasses.field(default_factory=set)
+
+    def record(self, addr: Address, max_objects: int, max_addresses: int) -> None:
+        if self.objects is not None:
+            self.objects.add(addr[0])
+            if len(self.objects) > max_objects:
+                self.objects = None  # too polymorphic: back to TOP
+        if self.addresses is not None:
+            self.addresses.add(addr)
+            if len(self.addresses) > max_addresses:
+                self.addresses = None
+
+
+class MemoryAccessProfile:
+    """Observed object/address sets per memory-instruction site."""
+
+    def __init__(self, max_objects: int = 8, max_addresses: int = 64) -> None:
+        self.max_objects = max_objects
+        self.max_addresses = max_addresses
+        self._sites: Dict[Site, SiteObservation] = {}
+
+    def record(self, site: Site, addr: Address) -> None:
+        obs = self._sites.get(site)
+        if obs is None:
+            obs = SiteObservation()
+            self._sites[site] = obs
+        obs.record(addr, self.max_objects, self.max_addresses)
+
+    def observed_objects(self, site: Site) -> Optional[FrozenSet[str]]:
+        """Objects the site touched, or None when unknown/overflowed."""
+        obs = self._sites.get(site)
+        if obs is None or obs.objects is None:
+            return None
+        return frozenset(obs.objects)
+
+    def observed_addresses(self, site: Site) -> Optional[FrozenSet[Address]]:
+        """Exact addresses touched, or None when unknown/overflowed."""
+        obs = self._sites.get(site)
+        if obs is None or obs.addresses is None:
+            return None
+        return frozenset(obs.addresses)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+
+def collect_memory_profile(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    max_steps: int = 20_000_000,
+    externals=None,
+    max_objects: int = 8,
+    max_addresses: int = 64,
+) -> MemoryAccessProfile:
+    """Execute once, recording every memory instruction's touched addresses.
+
+    Run-time instance names are normalized back to static object names:
+    per-frame stack instances (``buf@f3``) fold to their declaration and
+    heap objects (``heap:f:bb#7``) to their allocation site, matching
+    the abstractions the alias analysis uses.
+    """
+    profile = MemoryAccessProfile(max_objects, max_addresses)
+
+    def normalize(name: str) -> str:
+        if "@f" in name:
+            return name.split("@f", 1)[0]
+        if name.startswith("heap:") and "#" in name:
+            return name.split("#", 1)[0]
+        return name
+
+    def hook(interp: Interpreter, event: StepEvent) -> None:
+        if event.inst.is_instrumentation:
+            return
+        site = (event.func, event.block, event.inst_index)
+        for obj, idx in list(event.loads) + list(event.stores):
+            profile.record(site, (normalize(obj), idx))
+
+    Interpreter(
+        module, max_steps=max_steps, post_step=hook, externals=externals
+    ).run(function, args)
+    return profile

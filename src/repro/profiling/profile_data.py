@@ -1,0 +1,134 @@
+"""Profile data: block/edge execution counts gathered from a training run.
+
+Encore consumes profiles in three places (paper Sections 3.4.1–3.4.2):
+
+* ``Pmin`` pruning — blocks whose execution probability (executions per
+  enclosing-function invocation, clamped to [0, 1]) is at or below the
+  threshold are excluded from the idempotence equations;
+* region *coverage* — the dynamic length of the hot path through a
+  region, used as the compile-time surrogate for recoverability; and
+* region *cost* — checkpoint instructions relative to hot-path length.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, Optional, Tuple
+
+BlockKey = Tuple[str, str]  # (function, label)
+EdgeKey = Tuple[str, str, str]  # (function, src label, dst label)
+
+
+@dataclasses.dataclass
+class ProfileData:
+    """Execution counts from one or more training runs."""
+
+    block_counts: Dict[BlockKey, int] = dataclasses.field(default_factory=dict)
+    edge_counts: Dict[EdgeKey, int] = dataclasses.field(default_factory=dict)
+    call_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+    total_instructions: int = 0
+
+    # -- recording -------------------------------------------------------
+
+    def record_block(self, func: str, label: str, count: int = 1) -> None:
+        key = (func, label)
+        self.block_counts[key] = self.block_counts.get(key, 0) + count
+
+    def record_edge(self, func: str, src: str, dst: str, count: int = 1) -> None:
+        key = (func, src, dst)
+        self.edge_counts[key] = self.edge_counts.get(key, 0) + count
+
+    def record_call(self, func: str, count: int = 1) -> None:
+        self.call_counts[func] = self.call_counts.get(func, 0) + count
+
+    def merge(self, other: "ProfileData") -> None:
+        for key, count in other.block_counts.items():
+            self.block_counts[key] = self.block_counts.get(key, 0) + count
+        for key, count in other.edge_counts.items():
+            self.edge_counts[key] = self.edge_counts.get(key, 0) + count
+        for func, count in other.call_counts.items():
+            self.call_counts[func] = self.call_counts.get(func, 0) + count
+        self.total_instructions += other.total_instructions
+
+    # -- queries -----------------------------------------------------------
+
+    def block_count(self, func: str, label: str) -> int:
+        return self.block_counts.get((func, label), 0)
+
+    def edge_count(self, func: str, src: str, dst: str) -> int:
+        return self.edge_counts.get((func, src, dst), 0)
+
+    def function_entries(self, func: str) -> int:
+        return self.call_counts.get(func, 0)
+
+    def block_probability(self, func: str, label: str) -> float:
+        """P(block executes | enclosing function invoked), clamped to 1.
+
+        Blocks inside loops execute more often than the function itself;
+        for pruning purposes only the "is this ever reached" shape
+        matters, so the ratio is clamped to 1.0.
+        """
+        entries = self.function_entries(func)
+        if entries == 0:
+            return 0.0
+        return min(1.0, self.block_count(func, label) / entries)
+
+    def is_pruned(self, func: str, label: str, pmin: Optional[float]) -> bool:
+        """Apply the Pmin heuristic (``None`` disables pruning).
+
+        ``pmin == 0.0`` prunes exactly the blocks never executed during
+        profiling, matching the paper's description of that setting.
+        """
+        if pmin is None:
+            return False
+        return self.block_probability(func, label) <= pmin
+
+    def edge_probability(self, func: str, src: str, dst: str) -> float:
+        """P(src -> dst | src executed)."""
+        src_count = self.block_count(func, src)
+        if src_count == 0:
+            return 0.0
+        return self.edge_count(func, src, dst) / src_count
+
+    def hottest_successor(
+        self, func: str, src: str, candidates: Iterable[str]
+    ) -> Optional[str]:
+        best = None
+        best_count = -1
+        for dst in candidates:
+            count = self.edge_count(func, src, dst)
+            if count > best_count:
+                best = dst
+                best_count = count
+        return best
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize so a training profile can ship alongside a binary."""
+        return json.dumps({
+            "blocks": [
+                [func, label, count]
+                for (func, label), count in sorted(self.block_counts.items())
+            ],
+            "edges": [
+                [func, src, dst, count]
+                for (func, src, dst), count in sorted(self.edge_counts.items())
+            ],
+            "calls": sorted(self.call_counts.items()),
+            "total_instructions": self.total_instructions,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileData":
+        raw = json.loads(text)
+        profile = cls()
+        for func, label, count in raw["blocks"]:
+            profile.block_counts[(func, label)] = count
+        for func, src, dst, count in raw["edges"]:
+            profile.edge_counts[(func, src, dst)] = count
+        for func, count in raw["calls"]:
+            profile.call_counts[func] = count
+        profile.total_instructions = raw["total_instructions"]
+        return profile

@@ -1,0 +1,69 @@
+"""Profiling runs: execute a module and collect a :class:`ProfileData`."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.ir.module import Module
+from repro.profiling.profile_data import ProfileData
+from repro.runtime.interpreter import ExecResult, Interpreter, StepEvent
+
+
+class _ProfilingHook:
+    """Post-step hook that counts block entries and intra-frame edges."""
+
+    def __init__(self, profile: ProfileData) -> None:
+        self.profile = profile
+        # frame id -> label of the block the frame last executed in
+        self._last_block: Dict[int, str] = {}
+
+    def __call__(self, interp: Interpreter, event: StepEvent) -> None:
+        if event.inst_index == 0:
+            self.profile.record_block(event.func, event.block)
+            prev = self._last_block.get(event.frame_id)
+            if prev is not None and prev != event.block:
+                self.profile.record_edge(event.func, prev, event.block)
+            elif prev == event.block:
+                # Self-loop edge (single-block loop).
+                self.profile.record_edge(event.func, prev, event.block)
+            if prev is None:
+                self.profile.record_call(event.func)
+        self._last_block[event.frame_id] = event.block
+        self.profile.total_instructions += 1
+
+
+def profile_module(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    runs: int = 1,
+    max_steps: int = 20_000_000,
+    externals=None,
+) -> ProfileData:
+    """Execute ``function`` ``runs`` times and return the merged profile."""
+    profile = ProfileData()
+    for _ in range(runs):
+        hook = _ProfilingHook(profile)
+        interp = Interpreter(
+            module, max_steps=max_steps, post_step=hook, externals=externals
+        )
+        interp.run(function, args)
+    return profile
+
+
+def profile_and_result(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    max_steps: int = 20_000_000,
+    externals=None,
+):
+    """One profiling run returning both the profile and the exec result."""
+    profile = ProfileData()
+    hook = _ProfilingHook(profile)
+    interp = Interpreter(
+        module, max_steps=max_steps, post_step=hook, externals=externals
+    )
+    result = interp.run(function, args, output_objects=output_objects)
+    return profile, result

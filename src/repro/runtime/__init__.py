@@ -1,0 +1,88 @@
+"""Run-time substrate: interpreter, memory, fault injection, recovery."""
+
+from repro.runtime.baselines import (
+    BaselineCampaign,
+    BaselineStats,
+    FullCheckpointRecovery,
+    LogBasedRecovery,
+    run_baseline_campaign,
+)
+from repro.runtime.detection import (
+    DetectionModel,
+    FUTURE_DETECTOR,
+    SHOESTRING_LIKE,
+    SPECULATIVE_HW,
+)
+from repro.runtime.interpreter import (
+    ExecResult,
+    ExecutionLimit,
+    Interpreter,
+    StepEvent,
+    Trap,
+    bitflip,
+)
+from repro.runtime.masking import ARM926_STRUCTURES, MaskingModel
+from repro.runtime.memory import MachineMemory, MemoryError_, Pointer
+from repro.runtime.sfi import (
+    CampaignResult,
+    TrialResult,
+    golden_run,
+    run_campaign,
+    run_trial,
+)
+from repro.runtime.symptoms import (
+    InvariantProfile,
+    SymptomCampaignResult,
+    SymptomTrial,
+    run_symptom_campaign,
+    run_symptom_trial,
+    train_invariants,
+)
+from repro.runtime.traces import (
+    DynamicTrace,
+    TraceIdempotenceStats,
+    capture_trace,
+    trace_idempotence_profile,
+    window_is_idempotent,
+    window_war_addresses,
+)
+
+__all__ = [
+    "ARM926_STRUCTURES",
+    "BaselineCampaign",
+    "BaselineStats",
+    "CampaignResult",
+    "DetectionModel",
+    "DynamicTrace",
+    "ExecResult",
+    "ExecutionLimit",
+    "FUTURE_DETECTOR",
+    "FullCheckpointRecovery",
+    "Interpreter",
+    "InvariantProfile",
+    "LogBasedRecovery",
+    "MachineMemory",
+    "MaskingModel",
+    "MemoryError_",
+    "Pointer",
+    "SHOESTRING_LIKE",
+    "SPECULATIVE_HW",
+    "StepEvent",
+    "SymptomCampaignResult",
+    "SymptomTrial",
+    "TraceIdempotenceStats",
+    "Trap",
+    "TrialResult",
+    "bitflip",
+    "capture_trace",
+    "golden_run",
+    "run_baseline_campaign",
+    "run_campaign",
+    "run_symptom_campaign",
+    "run_symptom_trial",
+    "run_trial",
+    "trace_idempotence_profile",
+    "train_invariants",
+    "window_is_idempotent",
+    "window_war_addresses",
+]

@@ -1,0 +1,304 @@
+"""The conventional recovery schemes Encore is compared against (Table 1).
+
+Two working baselines, built on the same interpreter:
+
+* :class:`FullCheckpointRecovery` — enterprise-style: periodically
+  suspend and snapshot *everything* (all memory objects, all frames'
+  registers, and the control position).  Rollback restores the whole
+  snapshot.  Recovery is guaranteed, storage is the full footprint, and
+  checkpoint time scales with system size.
+* :class:`LogBasedRecovery` — architectural-style (SafetyNet / ReVive):
+  snapshot registers+control at interval boundaries, then log the old
+  value of every store.  Rollback unrolls the log and restores the
+  register snapshot.  Guaranteed recovery at finer intervals and lower
+  (but still store-proportional) storage, at the cost of logging every
+  store — the "extra hardware" row of Table 1.
+
+Both expose the same driver API as Encore's SFI path, so
+``benchmarks/test_table1_baselines.py`` can measure interval length,
+storage, checkpoint cost, and recovery success for all three schemes on
+identical workloads — regenerating Table 1's qualitative rows as
+quantitative measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Sequence, Tuple
+
+from repro.ir.module import Module
+from repro.ir.types import WORD_BYTES
+from repro.runtime.interpreter import (
+    ExecutionLimit,
+    Interpreter,
+    StepEvent,
+    Trap,
+    bitflip,
+)
+
+
+@dataclasses.dataclass
+class BaselineStats:
+    """What one run of a baseline mechanism cost."""
+
+    checkpoints_taken: int = 0
+    words_copied: int = 0       # total words written into checkpoint storage
+    peak_storage_words: int = 0
+    log_entries: int = 0
+
+    @property
+    def peak_storage_bytes(self) -> int:
+        return self.peak_storage_words * WORD_BYTES
+
+
+class FullCheckpointRecovery:
+    """Enterprise-style periodic full-system snapshots.
+
+    Attach to an interpreter via ``hook`` (as ``post_step``); call
+    :meth:`rollback` when a fault is detected.
+    """
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.stats = BaselineStats()
+        self._snapshot = None
+        self._next_at = 0
+
+    # -- hook -----------------------------------------------------------
+
+    def hook(self, interp: Interpreter, event: StepEvent) -> None:
+        if event.index >= self._next_at:
+            self._take_snapshot(interp)
+            self._next_at = event.index + self.interval
+
+    def _take_snapshot(self, interp: Interpreter) -> None:
+        memory = {
+            name: list(cells) for name, cells in interp.memory._cells.items()
+        }
+        frames = [
+            (frame.id, frame.func.name, dict(frame.regs), frame.block, frame.ip,
+             dict(frame.stack_instances), frame.ret_dest)
+            for frame in interp.frames
+        ]
+        counters = (interp.events, interp.cost, interp.app_cost,
+                    interp.instrumentation_cost)
+        self._snapshot = (memory, frames, counters)
+        words = sum(len(cells) for cells in memory.values()) + sum(
+            len(f[2]) for f in frames
+        )
+        self.stats.checkpoints_taken += 1
+        self.stats.words_copied += words
+        self.stats.peak_storage_words = max(self.stats.peak_storage_words, words)
+
+    # -- recovery ----------------------------------------------------------
+
+    def rollback(self, interp: Interpreter) -> bool:
+        """Restore the last snapshot; True on success."""
+        if self._snapshot is None:
+            return False
+        memory, frames, counters = self._snapshot
+        interp.memory._cells = {
+            name: list(cells) for name, cells in memory.items()
+        }
+        interp.memory._sizes = {
+            name: len(cells) for name, cells in memory.items()
+        }
+        rebuilt = []
+        for frame_id, func_name, regs, block, ip, stacks, ret_dest in frames:
+            frame = interp.frames[0].__class__(frame_id, interp.module.function(func_name))
+            frame.regs = dict(regs)
+            frame.block = block
+            frame.ip = ip
+            frame.stack_instances = dict(stacks)
+            frame.ret_dest = ret_dest
+            rebuilt.append(frame)
+        interp.frames[:] = rebuilt
+        return True
+
+
+class LogBasedRecovery:
+    """Architectural-style store logging between register snapshots."""
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.stats = BaselineStats()
+        self._log: List[Tuple[str, int, object]] = []
+        self._reg_snapshot = None
+        self._next_at = 0
+
+    def pre_hook(self, interp: Interpreter, event: StepEvent) -> None:
+        """``pre_step``: capture old values of the words about to change."""
+        inst = event.inst
+        for ref in inst.stores():
+            try:
+                name, index = interp._resolve(interp.current_frame, ref)
+                old = interp.memory.read(name, index)
+            except Trap:
+                continue
+            self._log.append((name, index, old))
+            self.stats.log_entries += 1
+
+    def post_hook(self, interp: Interpreter, event: StepEvent) -> None:
+        if event.index >= self._next_at:
+            self._checkpoint(interp)
+            self._next_at = event.index + self.interval
+
+    def _checkpoint(self, interp: Interpreter) -> None:
+        frames = [
+            (frame.id, frame.func.name, dict(frame.regs), frame.block, frame.ip,
+             dict(frame.stack_instances), frame.ret_dest)
+            for frame in interp.frames
+        ]
+        self._reg_snapshot = frames
+        reg_words = sum(len(f[2]) for f in frames)
+        # Log entries store address+data: two words each.
+        current = reg_words + 2 * len(self._log)
+        self.stats.peak_storage_words = max(self.stats.peak_storage_words, current)
+        self.stats.checkpoints_taken += 1
+        self.stats.words_copied += reg_words
+        self._log.clear()
+
+    def rollback(self, interp: Interpreter) -> bool:
+        if self._reg_snapshot is None:
+            return False
+        current = self._reg_snapshot and sum(
+            len(f[2]) for f in self._reg_snapshot
+        ) + 2 * len(self._log)
+        self.stats.peak_storage_words = max(self.stats.peak_storage_words, current)
+        for name, index, old in reversed(self._log):
+            if interp.memory.exists(name):
+                interp.memory.write(name, index, old)
+        self._log.clear()
+        rebuilt = []
+        for frame_id, func_name, regs, block, ip, stacks, ret_dest in self._reg_snapshot:
+            frame = interp.frames[0].__class__(frame_id, interp.module.function(func_name))
+            frame.regs = dict(regs)
+            frame.block = block
+            frame.ip = ip
+            frame.stack_instances = dict(stacks)
+            frame.ret_dest = ret_dest
+            rebuilt.append(frame)
+        interp.frames[:] = rebuilt
+        return True
+
+
+@dataclasses.dataclass
+class BaselineTrial:
+    outcome: str  # recovered | sdc | unrecoverable | masked
+    fault_event: int
+
+
+@dataclasses.dataclass
+class BaselineCampaign:
+    trials: List[BaselineTrial]
+    stats: BaselineStats
+    interval: int
+
+    def fraction(self, outcome: str) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.outcome == outcome) / len(self.trials)
+
+    @property
+    def covered_fraction(self) -> float:
+        return self.fraction("recovered") + self.fraction("masked")
+
+
+def run_baseline_campaign(
+    module: Module,
+    scheme: str,
+    interval: int,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    trials: int = 50,
+    latency: int = 10,
+    seed: int = 0,
+    externals=None,
+) -> BaselineCampaign:
+    """SFI against a conventional scheme (``full`` or ``log``).
+
+    Detection is assumed (fixed latency); the scheme's rollback restores
+    the last snapshot.  With single-threaded deterministic programs
+    these schemes give guaranteed recovery as long as the snapshot
+    precedes the fault — the Table 1 "Guaranteed Recovery: Yes" rows.
+    """
+    if scheme not in ("full", "log"):
+        raise ValueError(f"unknown baseline scheme {scheme!r}")
+    golden = Interpreter(module, externals=externals).run(
+        function, args, output_objects=output_objects
+    )
+    rng = random.Random(seed)
+    results: List[BaselineTrial] = []
+    last_stats = BaselineStats()
+    for _ in range(trials):
+        mechanism = (
+            FullCheckpointRecovery(interval)
+            if scheme == "full"
+            else LogBasedRecovery(interval)
+        )
+        site = rng.randrange(max(golden.events, 1))
+        bit = rng.randrange(0, 32)
+        state = {"injected": False, "site": None, "rolled": False}
+
+        def post(interp, event, mechanism=mechanism, state=state):
+            if scheme == "full":
+                mechanism.hook(interp, event)
+            else:
+                mechanism.post_hook(interp, event)
+            if not state["injected"] and event.index >= site and event.inst.defs():
+                dest = event.inst.defs()[0]
+                frame = interp.current_frame
+                frame.regs[dest] = bitflip(frame.regs.get(dest, 0), bit)
+                state["injected"] = True
+                state["site"] = event.index
+            elif (
+                state["injected"]
+                and not state["rolled"]
+                and event.index >= state["site"] + latency
+            ):
+                state["rolled"] = mechanism.rollback(interp)
+
+        pre = mechanism.pre_hook if scheme == "log" else None
+        interp = Interpreter(
+            module,
+            max_steps=max(golden.events * 6, 10_000),
+            pre_step=pre,
+            post_step=post,
+            externals=externals,
+        )
+        try:
+            result = interp.run(function, args, output_objects=output_objects)
+        except Trap:
+            # A trap IS a detection symptom: roll back to the last
+            # snapshot and resume (guaranteed recovery in action).
+            state["rolled"] = mechanism.rollback(interp)
+            try:
+                result = interp.resume(output_objects=output_objects)
+            except (Trap, ExecutionLimit):
+                results.append(
+                    BaselineTrial("unrecoverable", state["site"] or -1)
+                )
+                last_stats = mechanism.stats
+                continue
+        except ExecutionLimit:
+            results.append(BaselineTrial("unrecoverable", state["site"] or -1))
+            last_stats = mechanism.stats
+            continue
+        correct = (
+            result.output == golden.output and result.value == golden.value
+        )
+        if correct and state["rolled"]:
+            outcome = "recovered"
+        elif correct:
+            outcome = "masked"
+        else:
+            outcome = "sdc"
+        results.append(BaselineTrial(outcome, state["site"] or -1))
+        last_stats = mechanism.stats
+    return BaselineCampaign(results, last_stats, interval)

@@ -1,0 +1,85 @@
+"""Fault-detection models.
+
+Encore pairs with symptom-based detectors (ReStore, Shoestring) that
+notice a fault some number of dynamic instructions after it corrupts
+state.  The paper's analytical model assumes detection latency uniform
+on ``[0, Dmax]``; the SFI campaigns and the detection ablation also
+support fixed and geometric latencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectionModel:
+    """A latency distribution over dynamic instructions.
+
+    ``kind``:
+      * ``uniform`` — latency ~ U[0, dmax] (the paper's assumption);
+      * ``fixed``   — latency = dmax exactly;
+      * ``geometric`` — latency ~ Geom(p) with mean dmax/2, truncated at
+        ``dmax`` (a heavier-tailed symptom model).
+
+    ``coverage`` is the probability that the detector notices the fault
+    at all; undetected faults become silent data corruptions.
+    """
+
+    dmax: int = 100
+    kind: str = "uniform"
+    coverage: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in ("uniform", "fixed", "geometric"):
+            raise ValueError(f"unknown detection model {self.kind!r}")
+        if self.dmax < 0:
+            raise ValueError("dmax must be non-negative")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage must be in [0, 1]")
+
+    def sample_latency(self, rng: random.Random) -> Optional[int]:
+        """Sample a detection latency, or None when the fault escapes."""
+        if rng.random() >= self.coverage:
+            return None
+        if self.dmax == 0:
+            return 0
+        if self.kind == "uniform":
+            return rng.randint(0, self.dmax)
+        if self.kind == "fixed":
+            return self.dmax
+        # Geometric with mean dmax/2, truncated at dmax.
+        mean = max(self.dmax / 2.0, 1.0)
+        p = min(1.0 / mean, 1.0)
+        latency = 0
+        while rng.random() >= p and latency < self.dmax:
+            latency += 1
+        return latency
+
+    def pdf(self, latency: float) -> float:
+        """Density used by the numerical alpha integration."""
+        if latency < 0 or latency > self.dmax:
+            return 0.0
+        if self.kind == "uniform":
+            return 1.0 / self.dmax if self.dmax > 0 else 0.0
+        if self.kind == "fixed":
+            # Dirac at dmax: approximate with a narrow box for quadrature.
+            width = max(self.dmax * 0.01, 1e-6)
+            return 1.0 / width if latency >= self.dmax - width else 0.0
+        mean = max(self.dmax / 2.0, 1.0)
+        lam = 1.0 / mean
+        norm = 1.0 - math.exp(-lam * self.dmax)
+        return lam * math.exp(-lam * latency) / max(norm, 1e-12)
+
+
+SHOESTRING_LIKE = DetectionModel(dmax=100, kind="uniform")
+"""Latency consistent with Shoestring/ReStore (paper Figure 8, middle)."""
+
+SPECULATIVE_HW = DetectionModel(dmax=1000, kind="uniform")
+"""The long-latency regime (paper Figure 8, left column)."""
+
+FUTURE_DETECTOR = DetectionModel(dmax=10, kind="uniform")
+"""The constrained-latency regime (paper Figure 8, right column)."""

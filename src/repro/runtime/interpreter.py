@@ -1,0 +1,634 @@
+"""An interpreter for the repro IR.
+
+Executes modules instruction by instruction, exposing exactly the hooks
+the reproduction needs:
+
+* dynamic-instruction events (for profiling, trace capture and fault
+  injection — ``pre_step``/``post_step`` callbacks receive resolved
+  memory addresses);
+* two step counters: ``events`` counts executed instructions (fault
+  sites are drawn from this index), while ``cost`` charges each
+  instruction's ``dynamic_cost`` so Encore instrumentation overhead is
+  measured in the paper's dynamic-instruction currency;
+* Encore recovery semantics: ``SetRecoveryPtr`` publishes the active
+  region in a frame-local slot (the paper reserves a region of the stack
+  for recovery state, so the pointer survives calls to instrumented
+  callees), ``CheckpointReg``/``CheckpointMem`` push undo records, and
+  :meth:`Interpreter.trigger_recovery` performs the detector-initiated
+  redirect to the recovery block;
+* traps (out-of-bounds accesses, division by zero) surface as
+  :class:`Trap` outcomes — the "highly visible symptoms" that low-cost
+  detectors key on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.types import wrap_int
+from repro.ir.values import Constant, MemoryObject, MemRef, VirtualRegister
+from repro.runtime.memory import MachineMemory, MemoryError_, Pointer, Word
+
+
+class ExecutionLimit(Exception):
+    """The step budget was exhausted (runaway execution)."""
+
+
+class Trap(Exception):
+    """A run-time fault symptom (bad memory access, div-by-zero, ...)."""
+
+    def __init__(self, reason: str, event_index: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.event_index = event_index
+
+
+@dataclasses.dataclass
+class StepEvent:
+    """Description of one executed instruction, passed to hooks."""
+
+    index: int
+    func: str
+    block: str
+    inst_index: int
+    inst: Instruction
+    frame_id: int
+    loads: List[Tuple[str, int]]
+    stores: List[Tuple[str, int]]
+
+
+@dataclasses.dataclass
+class ExecResult:
+    """Outcome of a completed (non-trapping) execution."""
+
+    value: Optional[Word]
+    events: int
+    cost: int
+    app_cost: int
+    instrumentation_cost: int
+    output: Dict[str, List[Word]]
+
+    @property
+    def overhead(self) -> float:
+        """Instrumentation cost as a fraction of application cost."""
+        if self.app_cost == 0:
+            return 0.0
+        return self.instrumentation_cost / self.app_cost
+
+
+class _Frame:
+    __slots__ = (
+        "id",
+        "func",
+        "regs",
+        "block",
+        "ip",
+        "stack_instances",
+        "ret_dest",
+        "region_ckpts",
+        "recovery_ptr",
+    )
+
+    def __init__(self, frame_id: int, func: Function) -> None:
+        self.id = frame_id
+        self.func = func
+        self.regs: Dict[VirtualRegister, Word] = {}
+        self.block = func.entry_label
+        self.ip = 0
+        self.stack_instances: Dict[str, str] = {}
+        self.ret_dest: Optional[VirtualRegister] = None
+        # region id -> list of undo records pushed since region entry
+        self.region_ckpts: Dict[int, List[tuple]] = {}
+        # Frame-local recovery slot: (region id, recovery block label).
+        self.recovery_ptr: Optional[Tuple[int, str]] = None
+
+
+Hook = Callable[["Interpreter", StepEvent], None]
+ExternalFn = Callable[[Sequence[Word]], Word]
+
+
+class Interpreter:
+    """Executes one module.  Create a fresh instance per run."""
+
+    def __init__(
+        self,
+        module: Module,
+        max_steps: int = 20_000_000,
+        pre_step: Optional[Hook] = None,
+        post_step: Optional[Hook] = None,
+        externals: Optional[Dict[str, ExternalFn]] = None,
+    ) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.pre_step = pre_step
+        self.post_step = post_step
+        self.externals: Dict[str, ExternalFn] = dict(externals or {})
+        self.memory = MachineMemory()
+        for obj in module.globals.values():
+            self.memory.materialize(obj)
+        self.frames: List[_Frame] = []
+        self.events = 0
+        self.cost = 0
+        self.app_cost = 0
+        self.instrumentation_cost = 0
+        self._frame_counter = 0
+        self._pending_redirect: Optional[str] = None
+        self._finished = False
+        self._return_value: Optional[Word] = None
+        # Peak undo-log footprint per region id, in words (registers
+        # cost one word, memory entries two) — the measured counterpart
+        # of Table 1's checkpoint-storage column.
+        self.peak_ckpt_words: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        function: str = "main",
+        args: Sequence[Word] = (),
+        output_objects: Sequence[str] = (),
+    ) -> ExecResult:
+        """Execute ``function`` to completion and snapshot ``output_objects``."""
+        self._push_frame(self.module.function(function), args, ret_dest=None)
+        return self.resume(output_objects)
+
+    def resume(self, output_objects: Sequence[str] = ()) -> ExecResult:
+        """Continue execution (e.g. after an externally-handled trap)."""
+        while not self._finished:
+            self._step()
+        return ExecResult(
+            value=self._return_value,
+            events=self.events,
+            cost=self.cost,
+            app_cost=self.app_cost,
+            instrumentation_cost=self.instrumentation_cost,
+            output=self.memory.snapshot(output_objects),
+        )
+
+    @property
+    def current_frame(self) -> _Frame:
+        return self.frames[-1]
+
+    def corrupt_register(self, frame_id: int, reg: VirtualRegister, value: Word) -> None:
+        """Overwrite a register (fault-injection entry point)."""
+        for frame in self.frames:
+            if frame.id == frame_id:
+                frame.regs[reg] = value
+                return
+        raise KeyError(f"no live frame {frame_id}")
+
+    def trigger_recovery(self, immediate: bool = False) -> bool:
+        """Detector hook: redirect control to the active recovery block.
+
+        Returns True when a recovery block was entered; False when no
+        recovery pointer is live for the current frame (the fault escaped
+        its region — unrecoverable by Encore).
+
+        With ``immediate=False`` (for calls from a post-step hook) the
+        redirect is applied after the current step completes; with
+        ``immediate=True`` (for calls from a trap handler, outside any
+        step) control moves right away so ``resume`` re-enters at the
+        recovery block instead of re-executing the trapping instruction.
+        """
+        if not self.frames:
+            return False
+        frame = self.frames[-1]
+        if frame.recovery_ptr is None:
+            return False
+        _region_id, label = frame.recovery_ptr
+        if label not in frame.func.blocks:
+            return False
+        if immediate:
+            frame.block = label
+            frame.ip = 0
+        else:
+            self._pending_redirect = label
+        return True
+
+    # ------------------------------------------------------------------
+    # frame management
+    # ------------------------------------------------------------------
+
+    def _push_frame(
+        self,
+        func: Function,
+        args: Sequence[Word],
+        ret_dest: Optional[VirtualRegister],
+    ) -> None:
+        if len(args) != len(func.params):
+            raise TypeError(
+                f"{func.name} expects {len(func.params)} args, got {len(args)}"
+            )
+        self._frame_counter += 1
+        frame = _Frame(self._frame_counter, func)
+        frame.ret_dest = ret_dest
+        for param, arg in zip(func.params, args):
+            frame.regs[param] = arg
+        for name, obj in func.stack_objects.items():
+            instance = self.memory.materialize(obj, f"{name}@f{frame.id}")
+            frame.stack_instances[name] = instance
+        self.frames.append(frame)
+
+    def _pop_frame(self, value: Optional[Word]) -> None:
+        frame = self.frames.pop()
+        for instance in frame.stack_instances.values():
+            self.memory.release(instance)
+        if not self.frames:
+            self._finished = True
+            self._return_value = value
+        elif frame.ret_dest is not None:
+            self.frames[-1].regs[frame.ret_dest] = value if value is not None else 0
+
+    # ------------------------------------------------------------------
+    # value plumbing
+    # ------------------------------------------------------------------
+
+    def _eval(self, frame: _Frame, operand) -> Word:
+        if isinstance(operand, Constant):
+            return operand.value
+        return frame.regs.get(operand, 0)
+
+    def _resolve(self, frame: _Frame, ref: MemRef) -> Tuple[str, int]:
+        index = self._eval(frame, ref.index)
+        if isinstance(index, float):
+            index = int(index)
+        base = ref.base
+        if isinstance(base, MemoryObject):
+            if base.kind == "stack":
+                name = frame.stack_instances.get(base.name)
+                if name is None:
+                    raise Trap(
+                        f"stack object {base.name} not in frame", self.events
+                    )
+            else:
+                name = base.name
+            return name, index
+        value = frame.regs.get(base)
+        if not isinstance(value, Pointer):
+            raise Trap(f"indirect access through non-pointer {base}", self.events)
+        return value.obj, value.offset + index
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+
+    def _step(self) -> None:
+        if self.events >= self.max_steps:
+            raise ExecutionLimit(f"exceeded {self.max_steps} dynamic instructions")
+        frame = self.frames[-1]
+        block = frame.func.blocks[frame.block]
+        if frame.ip >= len(block.instructions):
+            raise Trap(f"fell off end of block {frame.block}", self.events)
+        inst = block.instructions[frame.ip]
+
+        event = StepEvent(
+            index=self.events,
+            func=frame.func.name,
+            block=frame.block,
+            inst_index=frame.ip,
+            inst=inst,
+            frame_id=frame.id,
+            loads=[],
+            stores=[],
+        )
+        if self.pre_step is not None:
+            self.pre_step(self, event)
+
+        self._execute(frame, inst, event)
+
+        self.events += 1
+        self.cost += inst.dynamic_cost
+        if inst.is_instrumentation:
+            self.instrumentation_cost += inst.dynamic_cost
+        else:
+            self.app_cost += inst.dynamic_cost
+
+        if self.post_step is not None:
+            self.post_step(self, event)
+
+        if self._pending_redirect is not None and self.frames:
+            self.frames[-1].block = self._pending_redirect
+            self.frames[-1].ip = 0
+            self._pending_redirect = None
+
+    # ------------------------------------------------------------------
+    # instruction semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, frame: _Frame, inst: Instruction, event: StepEvent) -> None:
+        op = inst.opcode
+        handler = _DISPATCH.get(op)
+        if handler is None:
+            raise Trap(f"unknown opcode {op}", self.events)
+        handler(self, frame, inst, event)
+
+    def _advance(self, frame: _Frame) -> None:
+        frame.ip += 1
+
+    # -- arithmetic -----------------------------------------------------
+
+    def _do_binop(self, frame: _Frame, inst, event) -> None:
+        lhs = self._eval(frame, inst.lhs)
+        rhs = self._eval(frame, inst.rhs)
+        frame.regs[inst.dest] = self._apply_binop(inst.op, lhs, rhs)
+        self._advance(frame)
+
+    def _apply_binop(self, op: str, lhs: Word, rhs: Word) -> Word:
+        if isinstance(lhs, Pointer) or isinstance(rhs, Pointer):
+            return self._pointer_binop(op, lhs, rhs)
+        if op == "add":
+            return wrap_int(int(lhs) + int(rhs))
+        if op == "sub":
+            return wrap_int(int(lhs) - int(rhs))
+        if op == "mul":
+            return wrap_int(int(lhs) * int(rhs))
+        if op == "sdiv":
+            if int(rhs) == 0:
+                raise Trap("integer division by zero", self.events)
+            return wrap_int(int(int(lhs) / int(rhs)))  # trunc toward zero
+        if op == "srem":
+            if int(rhs) == 0:
+                raise Trap("integer remainder by zero", self.events)
+            return wrap_int(int(lhs) - int(int(lhs) / int(rhs)) * int(rhs))
+        if op == "and":
+            return wrap_int(int(lhs) & int(rhs))
+        if op == "or":
+            return wrap_int(int(lhs) | int(rhs))
+        if op == "xor":
+            return wrap_int(int(lhs) ^ int(rhs))
+        if op == "shl":
+            return wrap_int(int(lhs) << (int(rhs) & 63))
+        if op == "lshr":
+            return wrap_int((int(lhs) & ((1 << 64) - 1)) >> (int(rhs) & 63))
+        if op == "ashr":
+            return wrap_int(int(lhs) >> (int(rhs) & 63))
+        if op == "min":
+            return min(int(lhs), int(rhs))
+        if op == "max":
+            return max(int(lhs), int(rhs))
+        if op == "fadd":
+            return float(lhs) + float(rhs)
+        if op == "fsub":
+            return float(lhs) - float(rhs)
+        if op == "fmul":
+            return float(lhs) * float(rhs)
+        if op == "fdiv":
+            if float(rhs) == 0.0:
+                raise Trap("float division by zero", self.events)
+            return float(lhs) / float(rhs)
+        if op == "fmin":
+            return min(float(lhs), float(rhs))
+        if op == "fmax":
+            return max(float(lhs), float(rhs))
+        raise Trap(f"unhandled binop {op}", self.events)
+
+    def _pointer_binop(self, op: str, lhs: Word, rhs: Word) -> Word:
+        if op == "add":
+            if isinstance(lhs, Pointer) and isinstance(rhs, (int, float)):
+                return lhs.advanced(int(rhs))
+            if isinstance(rhs, Pointer) and isinstance(lhs, (int, float)):
+                return rhs.advanced(int(lhs))
+        if op == "sub" and isinstance(lhs, Pointer):
+            if isinstance(rhs, (int, float)):
+                return lhs.advanced(-int(rhs))
+            if isinstance(rhs, Pointer) and rhs.obj == lhs.obj:
+                return lhs.offset - rhs.offset
+        raise Trap(f"invalid pointer arithmetic: {op}", self.events)
+
+    def _do_unop(self, frame: _Frame, inst, event) -> None:
+        src = self._eval(frame, inst.src)
+        op = inst.op
+        if isinstance(src, Pointer):
+            raise Trap(f"unary {op} on pointer", self.events)
+        if op == "neg":
+            value: Word = wrap_int(-int(src))
+        elif op == "not":
+            value = wrap_int(~int(src))
+        elif op == "fneg":
+            value = -float(src)
+        elif op == "sitofp":
+            value = float(int(src))
+        elif op == "fptosi":
+            value = wrap_int(int(float(src)))
+        elif op == "fsqrt":
+            if float(src) < 0:
+                raise Trap("sqrt of negative", self.events)
+            value = math.sqrt(float(src))
+        elif op == "fabs":
+            value = abs(float(src))
+        else:
+            raise Trap(f"unhandled unop {op}", self.events)
+        frame.regs[inst.dest] = value
+        self._advance(frame)
+
+    def _do_cmp(self, frame: _Frame, inst, event) -> None:
+        lhs = self._eval(frame, inst.lhs)
+        rhs = self._eval(frame, inst.rhs)
+        pred = inst.pred
+        if isinstance(lhs, Pointer) or isinstance(rhs, Pointer):
+            if pred == "eq":
+                result = int(lhs == rhs)
+            elif pred == "ne":
+                result = int(lhs != rhs)
+            else:
+                raise Trap(f"pointer compare {pred}", self.events)
+        elif pred in ("eq", "feq"):
+            result = int(lhs == rhs)
+        elif pred in ("ne", "fne"):
+            result = int(lhs != rhs)
+        elif pred in ("slt", "flt"):
+            result = int(lhs < rhs)
+        elif pred in ("sle", "fle"):
+            result = int(lhs <= rhs)
+        elif pred in ("sgt", "fgt"):
+            result = int(lhs > rhs)
+        elif pred in ("sge", "fge"):
+            result = int(lhs >= rhs)
+        else:
+            raise Trap(f"unhandled predicate {pred}", self.events)
+        frame.regs[inst.dest] = result
+        self._advance(frame)
+
+    def _do_select(self, frame: _Frame, inst, event) -> None:
+        cond = self._eval(frame, inst.cond)
+        chosen = inst.if_true if _truthy(cond) else inst.if_false
+        frame.regs[inst.dest] = self._eval(frame, chosen)
+        self._advance(frame)
+
+    def _do_mov(self, frame: _Frame, inst, event) -> None:
+        frame.regs[inst.dest] = self._eval(frame, inst.src)
+        self._advance(frame)
+
+    def _do_addrof(self, frame: _Frame, inst, event) -> None:
+        name, index = self._resolve(frame, inst.ref)
+        frame.regs[inst.dest] = Pointer(name, index)
+        self._advance(frame)
+
+    # -- memory -----------------------------------------------------------
+
+    def _do_load(self, frame: _Frame, inst, event) -> None:
+        name, index = self._resolve(frame, inst.ref)
+        try:
+            value = self.memory.read(name, index)
+        except MemoryError_ as exc:
+            raise Trap(str(exc), self.events) from None
+        event.loads.append((name, index))
+        frame.regs[inst.dest] = value
+        self._advance(frame)
+
+    def _do_store(self, frame: _Frame, inst, event) -> None:
+        name, index = self._resolve(frame, inst.ref)
+        value = self._eval(frame, inst.value)
+        try:
+            self.memory.write(name, index, value)
+        except MemoryError_ as exc:
+            raise Trap(str(exc), self.events) from None
+        event.stores.append((name, index))
+        self._advance(frame)
+
+    def _do_alloc(self, frame: _Frame, inst, event) -> None:
+        size = self._eval(frame, inst.size)
+        if isinstance(size, float):
+            size = int(size)
+        site = f"heap:{frame.func.name}:{frame.block}"
+        try:
+            name = self.memory.allocate_heap(int(size), site)
+        except MemoryError_ as exc:
+            raise Trap(str(exc), self.events) from None
+        frame.regs[inst.dest] = Pointer(name, 0)
+        self._advance(frame)
+
+    # -- control ------------------------------------------------------------
+
+    def _do_br(self, frame: _Frame, inst, event) -> None:
+        cond = self._eval(frame, inst.cond)
+        target = inst.if_true if _truthy(cond) else inst.if_false
+        frame.block = target
+        frame.ip = 0
+
+    def _do_jmp(self, frame: _Frame, inst, event) -> None:
+        frame.block = inst.target
+        frame.ip = 0
+
+    def _do_call(self, frame: _Frame, inst, event) -> None:
+        args = [self._eval(frame, a) for a in inst.args]
+        callee = self.module.get_function(inst.callee)
+        self._advance(frame)
+        if callee is not None:
+            self._push_frame(callee, args, ret_dest=inst.dest)
+            return
+        handler = self.externals.get(inst.callee, _default_external)
+        result = handler(args)
+        if inst.dest is not None:
+            frame.regs[inst.dest] = result if result is not None else 0
+
+    def _do_ret(self, frame: _Frame, inst, event) -> None:
+        value = self._eval(frame, inst.value) if inst.value is not None else None
+        self._pop_frame(value)
+
+    # -- Encore instrumentation ----------------------------------------------
+
+    def _do_set_recovery_ptr(self, frame: _Frame, inst, event) -> None:
+        frame.recovery_ptr = (inst.region_id, inst.recovery_label)
+        frame.region_ckpts[inst.region_id] = []
+        self._advance(frame)
+
+    def _do_ckpt_reg(self, frame: _Frame, inst, event) -> None:
+        frame.region_ckpts.setdefault(inst.region_id, []).append(
+            ("reg", inst.reg, frame.regs.get(inst.reg, 0))
+        )
+        self._track_ckpt(frame, inst.region_id)
+        self._advance(frame)
+
+    def _do_ckpt_mem(self, frame: _Frame, inst, event) -> None:
+        name, index = self._resolve(frame, inst.ref)
+        try:
+            value = self.memory.read(name, index)
+        except MemoryError_ as exc:
+            raise Trap(str(exc), self.events) from None
+        event.loads.append((name, index))
+        frame.region_ckpts.setdefault(inst.region_id, []).append(
+            ("mem", name, index, value)
+        )
+        self._track_ckpt(frame, inst.region_id)
+        self._advance(frame)
+
+    def _track_ckpt(self, frame: _Frame, region_id: int) -> None:
+        words = sum(
+            2 if record[0] == "mem" else 1
+            for record in frame.region_ckpts.get(region_id, ())
+        )
+        if words > self.peak_ckpt_words.get(region_id, 0):
+            self.peak_ckpt_words[region_id] = words
+
+    def _do_restore(self, frame: _Frame, inst, event) -> None:
+        records = frame.region_ckpts.get(inst.region_id, [])
+        for record in reversed(records):
+            if record[0] == "reg":
+                _, reg, value = record
+                frame.regs[reg] = value
+            else:
+                _, name, index, value = record
+                if self.memory.exists(name):
+                    self.memory.write(name, index, value)
+                    event.stores.append((name, index))
+        frame.region_ckpts[inst.region_id] = []
+        self._advance(frame)
+
+
+def _truthy(value: Word) -> bool:
+    if isinstance(value, Pointer):
+        return True
+    return bool(value)
+
+
+def _default_external(args: Sequence[Word]) -> Word:
+    return 0
+
+
+_DISPATCH = {
+    "binop": Interpreter._do_binop,
+    "unop": Interpreter._do_unop,
+    "cmp": Interpreter._do_cmp,
+    "select": Interpreter._do_select,
+    "mov": Interpreter._do_mov,
+    "addrof": Interpreter._do_addrof,
+    "load": Interpreter._do_load,
+    "store": Interpreter._do_store,
+    "alloc": Interpreter._do_alloc,
+    "br": Interpreter._do_br,
+    "jmp": Interpreter._do_jmp,
+    "call": Interpreter._do_call,
+    "ret": Interpreter._do_ret,
+    "set_recovery_ptr": Interpreter._do_set_recovery_ptr,
+    "ckpt_reg": Interpreter._do_ckpt_reg,
+    "ckpt_mem": Interpreter._do_ckpt_mem,
+    "restore": Interpreter._do_restore,
+}
+
+
+def bitflip(value: Word, bit: int) -> Word:
+    """Flip one bit of a run-time value (the transient-fault model).
+
+    Integers flip a bit of their 64-bit two's-complement pattern; floats
+    flip a bit of their IEEE-754 representation; pointers flip a bit of
+    their offset (modelling a corrupted index computation).
+    """
+    if isinstance(value, Pointer):
+        return Pointer(value.obj, value.offset ^ (1 << (bit % 16)))
+    if isinstance(value, float):
+        packed = struct.pack("<d", value)
+        as_int = int.from_bytes(packed, "little") ^ (1 << (bit % 64))
+        result = struct.unpack("<d", as_int.to_bytes(8, "little"))[0]
+        if math.isnan(result) or math.isinf(result):
+            return 0.0 if value == 0 else -value
+        return result
+    return wrap_int(int(value) ^ (1 << (bit % 64)))

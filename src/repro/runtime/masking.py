@@ -1,0 +1,90 @@
+"""Hardware fault-masking model (substitute for the paper's Verilog SFI).
+
+The paper derives per-benchmark masking rates from Monte-Carlo fault
+injection into a Verilog ARM926 model, reporting ~91% average masking
+(Figure 8 shows per-benchmark masked fractions between roughly 89% and
+93%).  We cannot run RTL, so this module reproduces the *consumed*
+quantity — a per-benchmark masking rate — from a structural model:
+
+* a transient strikes one of several microarchitectural structures with
+  probability proportional to its area share;
+* each structure has an intrinsic logical-masking probability (derated
+  latches, ECC-like don't-care bits, unused issue slots);
+* an architectural-derating term varies with workload character (the
+  fraction of dynamic values that are dead or control-independent),
+  seeded deterministically per benchmark so results are reproducible.
+
+The Monte-Carlo estimate converges to the closed-form rate; both are
+exposed so tests can verify the sampling machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Tuple
+
+#: (structure, area share, masking probability) — calibrated so that the
+#: weighted average lands at the paper's ~91% with workload jitter.
+ARM926_STRUCTURES: Tuple[Tuple[str, float, float], ...] = (
+    ("register_file", 0.22, 0.88),
+    ("alu_datapath", 0.18, 0.90),
+    ("pipeline_latches", 0.17, 0.93),
+    ("control_logic", 0.13, 0.86),
+    ("load_store_unit", 0.12, 0.92),
+    ("fetch_decode", 0.10, 0.94),
+    ("misc_glue", 0.08, 0.97),
+)
+
+
+@dataclasses.dataclass
+class MaskingModel:
+    """Per-benchmark hardware masking rates."""
+
+    structures: Tuple[Tuple[str, float, float], ...] = ARM926_STRUCTURES
+    workload_jitter: float = 0.015
+
+    def base_rate(self) -> float:
+        """Area-weighted average masking probability of the structure mix."""
+        total_area = sum(area for _, area, _ in self.structures)
+        return sum(area * mask for _, area, mask in self.structures) / total_area
+
+    def rate_for(self, benchmark: str) -> float:
+        """Deterministic per-benchmark masking rate (base + jitter).
+
+        The jitter stands in for workload-dependent architectural
+        derating; it is seeded by the benchmark name so every run of the
+        evaluation sees the same rates.
+        """
+        rng = random.Random(f"masking:{benchmark}")
+        jitter = rng.uniform(-self.workload_jitter, self.workload_jitter)
+        rate = self.base_rate() + jitter
+        return min(max(rate, 0.0), 1.0)
+
+    def monte_carlo_rate(
+        self, benchmark: str, trials: int = 10_000, seed: int = 0
+    ) -> float:
+        """Estimate the masking rate by sampling fault strikes.
+
+        Each trial picks a structure by area, then decides masking by
+        the structure's probability adjusted by the benchmark jitter.
+        """
+        target = self.rate_for(benchmark)
+        adjustment = target - self.base_rate()
+        rng = random.Random(f"mc:{benchmark}:{seed}")
+        areas = [area for _, area, _ in self.structures]
+        total_area = sum(areas)
+        masked = 0
+        for _ in range(trials):
+            pick = rng.uniform(0.0, total_area)
+            acc = 0.0
+            for _, area, mask in self.structures:
+                acc += area
+                if pick <= acc:
+                    if rng.random() < min(max(mask + adjustment, 0.0), 1.0):
+                        masked += 1
+                    break
+        return masked / trials
+
+    def rates(self, benchmarks: List[str]) -> Dict[str, float]:
+        return {name: self.rate_for(name) for name in benchmarks}

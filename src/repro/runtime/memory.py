@@ -1,0 +1,101 @@
+"""Run-time memory model: word-addressed objects and pointer values."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from repro.ir.values import MemoryObject
+
+Word = Union[int, float]
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or otherwise invalid memory access (a trap symptom)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Pointer:
+    """A run-time pointer value: a memory object instance plus word offset."""
+
+    obj: str
+    offset: int = 0
+
+    def advanced(self, delta: int) -> "Pointer":
+        return Pointer(self.obj, self.offset + delta)
+
+    def __str__(self) -> str:
+        return f"&{self.obj}+{self.offset}"
+
+
+class MachineMemory:
+    """All live memory objects of one execution.
+
+    Objects are instantiated from their static declarations: globals once
+    at start-up, stack objects per function activation (names mangled
+    with the frame id), heap objects on ``alloc``.  Every cell holds one
+    word (int or float); uninitialized cells read as 0.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, List[Word]] = {}
+        self._sizes: Dict[str, int] = {}
+        self._heap_counter = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def materialize(self, obj: MemoryObject, instance_name: Optional[str] = None) -> str:
+        name = instance_name or obj.name
+        cells: List[Word] = [0] * obj.size
+        if obj.init is not None:
+            cells[: len(obj.init)] = list(obj.init)
+        self._cells[name] = cells
+        self._sizes[name] = obj.size
+        return name
+
+    def allocate_heap(self, size: int, site: str) -> str:
+        if size <= 0:
+            raise MemoryError_(f"alloc of non-positive size {size} at {site}")
+        self._heap_counter += 1
+        name = f"{site}#{self._heap_counter}"
+        self._cells[name] = [0] * size
+        self._sizes[name] = size
+        return name
+
+    def release(self, name: str) -> None:
+        self._cells.pop(name, None)
+        self._sizes.pop(name, None)
+
+    # -- access -----------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._cells
+
+    def size_of(self, name: str) -> int:
+        return self._sizes[name]
+
+    def read(self, name: str, index: int) -> Word:
+        try:
+            cells = self._cells[name]
+        except KeyError:
+            raise MemoryError_(f"read from dead object {name!r}") from None
+        if not 0 <= index < len(cells):
+            raise MemoryError_(
+                f"read out of bounds: {name}[{index}] (size {len(cells)})"
+            )
+        return cells[index]
+
+    def write(self, name: str, index: int, value: Word) -> None:
+        try:
+            cells = self._cells[name]
+        except KeyError:
+            raise MemoryError_(f"write to dead object {name!r}") from None
+        if not 0 <= index < len(cells):
+            raise MemoryError_(
+                f"write out of bounds: {name}[{index}] (size {len(cells)})"
+            )
+        cells[index] = value
+
+    def snapshot(self, names) -> Dict[str, List[Word]]:
+        """Copy the contents of the named objects (for output comparison)."""
+        return {name: list(self._cells[name]) for name in names if name in self._cells}

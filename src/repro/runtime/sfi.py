@@ -1,0 +1,271 @@
+"""Statistical fault injection (SFI) campaigns (paper Section 4).
+
+Each trial injects one transient fault — a bit flip in the destination
+register of a uniformly-chosen dynamic instruction — into an execution
+of the (Encore-instrumented) program, samples a detection latency from
+the configured detector model, performs the Encore rollback when the
+detector fires, and classifies the final outcome against a golden run:
+
+* ``masked``       — the fault never affected the output (architectural
+  masking) and no recovery was needed;
+* ``recovered``    — the detector fired, rollback re-executed the
+  region, and the output matches the golden run;
+* ``detected_unrecoverable`` — the detector fired but no recovery
+  pointer was live for the faulting context (control had left the
+  region), or execution trapped/hung without a usable recovery block;
+* ``sdc``          — silent data corruption: the run completed with a
+  wrong result.
+
+These empirical outcomes validate the analytical coverage model of
+Section 4.2 (see ``benchmarks/test_sfi_validation.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.module import Module
+from repro.runtime.detection import DetectionModel
+from repro.runtime.interpreter import (
+    ExecResult,
+    ExecutionLimit,
+    Interpreter,
+    StepEvent,
+    Trap,
+    bitflip,
+)
+
+OUTCOMES = ("masked", "recovered", "detected_unrecoverable", "sdc")
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """One SFI trial."""
+
+    outcome: str
+    fault_event: int
+    detect_latency: Optional[int]
+    recovery_attempts: int
+    trapped: bool = False
+    hang: bool = False
+    #: Extra dynamic instructions executed relative to the golden run —
+    #: the re-execution "wasted work" of rollback recovery (paper §2.1).
+    wasted_work: int = 0
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Aggregated SFI campaign statistics."""
+
+    trials: List[TrialResult]
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for t in self.trials if t.outcome == outcome)
+
+    def fraction(self, outcome: str) -> float:
+        if not self.trials:
+            return 0.0
+        return self.count(outcome) / len(self.trials)
+
+    @property
+    def covered_fraction(self) -> float:
+        """Masked plus recovered: the faults the system tolerates."""
+        return self.fraction("masked") + self.fraction("recovered")
+
+    @property
+    def mean_wasted_work(self) -> float:
+        """Mean re-executed instructions across recovered trials."""
+        recovered = [t for t in self.trials if t.outcome == "recovered"
+                     and t.recovery_attempts > 0]
+        if not recovered:
+            return 0.0
+        return sum(t.wasted_work for t in recovered) / len(recovered)
+
+    def summary(self) -> Dict[str, float]:
+        return {outcome: self.fraction(outcome) for outcome in OUTCOMES}
+
+
+class _FaultInjector:
+    """Post-step hook driving one trial: inject fault(s), then detect.
+
+    ``faults`` is a list of ``(site, bit, latency)`` triples; the paper's
+    single-event-upset model uses one, and the multi-fault extension
+    study injects several.  Each fault arms its own detection deadline;
+    detection rolls back through the current recovery pointer.
+    """
+
+    def __init__(self, faults) -> None:
+        self.pending = sorted(faults, key=lambda f: f[0])
+        self.fault_events: list = []
+        self.deadlines: list = []  # (detect_at, handled?)
+        self.recovery_attempts = 0
+        self.recovery_failed = False
+
+    @property
+    def fault_event(self) -> Optional[int]:
+        return self.fault_events[0] if self.fault_events else None
+
+    def __call__(self, interp: Interpreter, event: StepEvent) -> None:
+        if self.pending and event.index >= self.pending[0][0]:
+            if event.inst.defs():
+                site, bit, latency = self.pending.pop(0)
+                dest = event.inst.defs()[0]
+                frame = interp.current_frame
+                frame.regs[dest] = bitflip(frame.regs.get(dest, 0), bit)
+                self.fault_events.append(event.index)
+                if latency is not None:
+                    self.deadlines.append(event.index + latency)
+                return
+        while self.deadlines and event.index >= self.deadlines[0]:
+            self.deadlines.pop(0)
+            self.recovery_attempts += 1
+            if not interp.trigger_recovery():
+                self.recovery_failed = True
+                raise _AbortTrial()
+
+
+class _AbortTrial(Exception):
+    """Detection fired with no live recovery pointer: restart required."""
+
+
+def golden_run(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    max_steps: int = 5_000_000,
+    externals=None,
+) -> ExecResult:
+    return Interpreter(module, max_steps=max_steps, externals=externals).run(
+        function, args, output_objects=output_objects
+    )
+
+
+def run_trial(
+    module: Module,
+    golden: ExecResult,
+    site: int,
+    bit: int,
+    latency: Optional[int],
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    max_steps_factor: int = 4,
+    externals=None,
+) -> TrialResult:
+    """Execute one fault-injection trial and classify its outcome.
+
+    ``site``/``bit``/``latency`` may be scalars (one fault, the paper's
+    model) or equal-length lists for the multi-fault extension.
+    """
+    if isinstance(site, int):
+        faults = [(site, bit, latency)]
+    else:
+        faults = list(zip(site, bit, latency))
+    injector = _FaultInjector(faults)
+    max_steps = max(golden.events * max_steps_factor, 10_000)
+    interp = Interpreter(
+        module, max_steps=max_steps, post_step=injector, externals=externals
+    )
+    trapped = False
+    hang = False
+    result: Optional[ExecResult] = None
+    try:
+        result = interp.run(function, args, output_objects=output_objects)
+    except _AbortTrial:
+        pass
+    except Trap:
+        # A symptom the detector sees immediately: try to roll back.
+        trapped = True
+        injector.detected = True
+        injector.recovery_attempts += 1
+        if interp.trigger_recovery(immediate=True):
+            try:
+                result = interp.resume(output_objects=output_objects)
+            except (Trap, ExecutionLimit, _AbortTrial):
+                result = None
+        else:
+            injector.recovery_failed = True
+    except ExecutionLimit:
+        hang = True
+
+    fault_event = injector.fault_event if injector.fault_event is not None else -1
+    if result is None:
+        return TrialResult(
+            outcome="detected_unrecoverable",
+            fault_event=fault_event,
+            detect_latency=latency,
+            recovery_attempts=injector.recovery_attempts,
+            trapped=trapped,
+            hang=hang,
+        )
+    wasted = max(0, result.events - golden.events)
+    correct = result.output == golden.output and result.value == golden.value
+    if correct:
+        outcome = "recovered" if injector.recovery_attempts else "masked"
+    elif not injector.fault_events:
+        # The fault site was never reached (shorter dynamic path): the
+        # "injection" hit dead time — architecturally masked.
+        outcome = "masked" if result.output == golden.output else "sdc"
+    else:
+        outcome = "sdc"
+    return TrialResult(
+        outcome=outcome,
+        fault_event=fault_event,
+        detect_latency=latency,
+        recovery_attempts=injector.recovery_attempts,
+        trapped=trapped,
+        hang=hang,
+        wasted_work=wasted,
+    )
+
+
+def run_campaign(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    detector: Optional[DetectionModel] = None,
+    trials: int = 200,
+    seed: int = 0,
+    faults_per_trial: int = 1,
+    externals=None,
+) -> CampaignResult:
+    """A full SFI campaign with uniformly-distributed fault sites.
+
+    ``faults_per_trial > 1`` leaves the paper's single-event-upset model
+    for the multi-fault extension study: several independent transients
+    strike one execution, each with its own detection latency.
+    """
+    detector = detector or DetectionModel()
+    rng = random.Random(seed)
+    golden = golden_run(
+        module, function, args, output_objects, externals=externals
+    )
+    results: List[TrialResult] = []
+    for _ in range(trials):
+        sites = sorted(
+            rng.randrange(max(golden.events, 1)) for _ in range(faults_per_trial)
+        )
+        bits = [rng.randrange(0, 32) for _ in range(faults_per_trial)]
+        latencies = [detector.sample_latency(rng) for _ in range(faults_per_trial)]
+        if faults_per_trial == 1:
+            site, bit, latency = sites[0], bits[0], latencies[0]
+        else:
+            site, bit, latency = sites, bits, latencies
+        results.append(
+            run_trial(
+                module,
+                golden,
+                site,
+                bit,
+                latency,
+                function=function,
+                args=args,
+                output_objects=output_objects,
+                externals=externals,
+            )
+        )
+    return CampaignResult(results)

@@ -1,0 +1,295 @@
+"""Symptom-based fault detection (the ReStore / Shoestring lineage).
+
+The paper assumes a low-cost detector with some latency distribution;
+this module builds an actual one, so detection latency becomes a
+*measured* quantity instead of an assumption:
+
+* :class:`InvariantProfile` learns, from a training run, the value
+  range each instruction site produces (a likely-invariant detector in
+  the style of the paper's cited symptom-based work);
+* :class:`SymptomMonitor` watches execution and reports the first site
+  whose result leaves its learned range (widened by a slack factor to
+  suppress borderline noise).  Hardware traps — the other classic
+  symptom — are handled by the interpreter already;
+* :func:`run_symptom_campaign` runs SFI end-to-end with the real
+  detector: inject, watch for the symptom, roll back through Encore,
+  and record the *observed* detection latency of every trial.
+
+Because the detector is trained on the same input it guards, a clean
+run raises no symptoms and every alarm during a campaign is
+fault-induced.  A rollback that fails to silence the symptom (the fault
+escaped its region) is retried a bounded number of times and then
+declared unrecoverable — the watchdog role a real deployment needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.module import Module
+from repro.runtime.interpreter import (
+    ExecResult,
+    ExecutionLimit,
+    Interpreter,
+    StepEvent,
+    Trap,
+    bitflip,
+)
+from repro.runtime.memory import Pointer
+
+Site = Tuple[str, str, int]
+
+
+@dataclasses.dataclass
+class ValueRange:
+    lo: float
+    hi: float
+
+    def widen(self, slack: float) -> "ValueRange":
+        span = max(self.hi - self.lo, 1.0)
+        return ValueRange(self.lo - slack * span, self.hi + slack * span)
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+class InvariantProfile:
+    """Learned per-site result ranges (likely invariants)."""
+
+    def __init__(self, slack: float = 1.0) -> None:
+        self.slack = slack
+        self._ranges: Dict[Site, ValueRange] = {}
+        self._widened: Dict[Site, ValueRange] = {}
+
+    def observe(self, site: Site, value) -> None:
+        if isinstance(value, Pointer) or isinstance(value, bool):
+            return
+        if not isinstance(value, (int, float)):
+            return
+        v = float(value)
+        current = self._ranges.get(site)
+        if current is None:
+            self._ranges[site] = ValueRange(v, v)
+        else:
+            current.lo = min(current.lo, v)
+            current.hi = max(current.hi, v)
+
+    def finalize(self) -> None:
+        self._widened = {
+            site: rng.widen(self.slack) for site, rng in self._ranges.items()
+        }
+
+    def violates(self, site: Site, value) -> bool:
+        if isinstance(value, (Pointer, bool)) or not isinstance(value, (int, float)):
+            return False
+        rng = self._widened.get(site)
+        if rng is None:
+            return False  # site never trained: no invariant to violate
+        return not rng.contains(float(value))
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+
+def train_invariants(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    slack: float = 1.0,
+    max_steps: int = 5_000_000,
+    externals=None,
+) -> InvariantProfile:
+    """Learn value-range invariants from one training execution."""
+    profile = InvariantProfile(slack)
+
+    def hook(interp: Interpreter, event: StepEvent) -> None:
+        defs = event.inst.defs()
+        if not defs or event.inst.is_instrumentation:
+            return
+        site = (event.func, event.block, event.inst_index)
+        frame = interp.current_frame
+        profile.observe(site, frame.regs.get(defs[0]))
+
+    Interpreter(
+        module, max_steps=max_steps, post_step=hook, externals=externals
+    ).run(function, args)
+    profile.finalize()
+    return profile
+
+
+@dataclasses.dataclass
+class SymptomTrial:
+    outcome: str  # masked | recovered | detected_unrecoverable | sdc
+    fault_event: int
+    detection_latency: Optional[int]  # observed, in dynamic instructions
+    recoveries: int
+    trapped: bool = False
+
+
+@dataclasses.dataclass
+class SymptomCampaignResult:
+    trials: List[SymptomTrial]
+
+    def fraction(self, outcome: str) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.outcome == outcome) / len(self.trials)
+
+    @property
+    def covered_fraction(self) -> float:
+        return self.fraction("masked") + self.fraction("recovered")
+
+    def observed_latencies(self) -> List[int]:
+        return [
+            t.detection_latency
+            for t in self.trials
+            if t.detection_latency is not None
+        ]
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = self.observed_latencies()
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of non-masked faults the symptom detector noticed."""
+        active = [t for t in self.trials if t.outcome != "masked"]
+        if not active:
+            return 0.0
+        noticed = [t for t in active if t.detection_latency is not None or t.trapped]
+        return len(noticed) / len(active)
+
+
+class _SymptomDriver:
+    """Hook: inject one fault, then watch invariants for the symptom."""
+
+    def __init__(
+        self, invariants: InvariantProfile, site: int, bit: int, max_recoveries: int
+    ) -> None:
+        self.invariants = invariants
+        self.site = site
+        self.bit = bit
+        self.max_recoveries = max_recoveries
+        self.fault_event: Optional[int] = None
+        self.first_detection: Optional[int] = None
+        self.recoveries = 0
+
+    def __call__(self, interp: Interpreter, event: StepEvent) -> None:
+        if self.fault_event is None:
+            if event.index >= self.site and event.inst.defs():
+                dest = event.inst.defs()[0]
+                frame = interp.current_frame
+                frame.regs[dest] = bitflip(frame.regs.get(dest, 0), self.bit)
+                self.fault_event = event.index
+            return
+        defs = event.inst.defs()
+        if not defs or event.inst.is_instrumentation:
+            return
+        vsite = (event.func, event.block, event.inst_index)
+        value = interp.current_frame.regs.get(defs[0])
+        if self.invariants.violates(vsite, value):
+            if self.first_detection is None:
+                self.first_detection = event.index
+            if self.recoveries >= self.max_recoveries:
+                raise _GiveUp()
+            self.recoveries += 1
+            if not interp.trigger_recovery():
+                raise _GiveUp()
+
+
+class _GiveUp(Exception):
+    """Symptom persists after bounded recoveries: restart required."""
+
+
+def run_symptom_trial(
+    module: Module,
+    invariants: InvariantProfile,
+    golden: ExecResult,
+    site: int,
+    bit: int,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    max_recoveries: int = 8,
+    externals=None,
+) -> SymptomTrial:
+    driver = _SymptomDriver(invariants, site, bit, max_recoveries)
+    interp = Interpreter(
+        module,
+        max_steps=max(golden.events * 6, 10_000),
+        post_step=driver,
+        externals=externals,
+    )
+    trapped = False
+    result: Optional[ExecResult] = None
+    try:
+        result = interp.run(function, args, output_objects=output_objects)
+    except Trap as trap:
+        trapped = True
+        if driver.first_detection is None and driver.fault_event is not None:
+            driver.first_detection = trap.event_index
+        driver.recoveries += 1
+        if interp.trigger_recovery(immediate=True):
+            try:
+                result = interp.resume(output_objects=output_objects)
+            except (Trap, ExecutionLimit, _GiveUp):
+                result = None
+    except (_GiveUp, ExecutionLimit):
+        result = None
+
+    fault_event = driver.fault_event if driver.fault_event is not None else -1
+    latency = (
+        driver.first_detection - driver.fault_event
+        if driver.first_detection is not None and driver.fault_event is not None
+        else None
+    )
+    if result is None:
+        return SymptomTrial(
+            "detected_unrecoverable", fault_event, latency, driver.recoveries,
+            trapped=trapped,
+        )
+    correct = result.output == golden.output and result.value == golden.value
+    if correct:
+        outcome = "recovered" if driver.recoveries else "masked"
+    else:
+        outcome = "sdc"
+    return SymptomTrial(outcome, fault_event, latency, driver.recoveries, trapped)
+
+
+def run_symptom_campaign(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    trials: int = 100,
+    seed: int = 0,
+    slack: float = 1.0,
+    invariants: Optional[InvariantProfile] = None,
+    externals=None,
+) -> SymptomCampaignResult:
+    """SFI with the trained invariant detector doing the detecting."""
+    if invariants is None:
+        invariants = train_invariants(
+            module, function, args, slack=slack, externals=externals
+        )
+    golden = Interpreter(module, externals=externals).run(
+        function, args, output_objects=output_objects
+    )
+    rng = random.Random(seed)
+    results: List[SymptomTrial] = []
+    for _ in range(trials):
+        site = rng.randrange(max(golden.events, 1))
+        bit = rng.randrange(4, 32)  # upper bits: architecturally visible
+        results.append(
+            run_symptom_trial(
+                module, invariants, golden, site, bit,
+                function=function, args=args, output_objects=output_objects,
+                externals=externals,
+            )
+        )
+    return SymptomCampaignResult(results)

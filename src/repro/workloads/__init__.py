@@ -1,0 +1,108 @@
+"""The benchmark suite: 23 SPEC2000/Mediabench-like IR programs.
+
+The registry mirrors the paper's evaluation set.  Each entry builds a
+fresh module (workloads are mutated by instrumentation, so callers get
+their own copy per ``build()`` call).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads import mediabench, spec_fp, spec_int
+from repro.workloads.synth import BuiltWorkload, Kit, float_data, int_data, new_workload
+
+SUITE_SPEC_INT = "SPEC2K-INT"
+SUITE_SPEC_FP = "SPEC2K-FP"
+SUITE_MEDIABENCH = "MEDIABENCH"
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry for one benchmark."""
+
+    name: str
+    suite: str
+    builder: Callable[[], BuiltWorkload]
+
+    def build(self, variant: str = "train") -> BuiltWorkload:
+        from repro.workloads.synth import set_data_variant
+
+        previous = set_data_variant(variant)
+        try:
+            built = self.builder()
+        finally:
+            set_data_variant(previous)
+        assert built.name == self.name, (built.name, self.name)
+        return built
+
+
+_REGISTRY: List[WorkloadSpec] = [
+    WorkloadSpec("164.gzip", SUITE_SPEC_INT, spec_int.gzip),
+    WorkloadSpec("175.vpr", SUITE_SPEC_INT, spec_int.vpr),
+    WorkloadSpec("181.mcf", SUITE_SPEC_INT, spec_int.mcf),
+    WorkloadSpec("197.parser", SUITE_SPEC_INT, spec_int.parser),
+    WorkloadSpec("256.bzip2", SUITE_SPEC_INT, spec_int.bzip2),
+    WorkloadSpec("300.twolf", SUITE_SPEC_INT, spec_int.twolf),
+    WorkloadSpec("172.mgrid", SUITE_SPEC_FP, spec_fp.mgrid),
+    WorkloadSpec("173.applu", SUITE_SPEC_FP, spec_fp.applu),
+    WorkloadSpec("177.mesa", SUITE_SPEC_FP, spec_fp.mesa),
+    WorkloadSpec("179.art", SUITE_SPEC_FP, spec_fp.art),
+    WorkloadSpec("183.equake", SUITE_SPEC_FP, spec_fp.equake),
+    WorkloadSpec("cjpeg", SUITE_MEDIABENCH, mediabench.cjpeg),
+    WorkloadSpec("djpeg", SUITE_MEDIABENCH, mediabench.djpeg),
+    WorkloadSpec("epic", SUITE_MEDIABENCH, mediabench.epic),
+    WorkloadSpec("unepic", SUITE_MEDIABENCH, mediabench.unepic),
+    WorkloadSpec("g721decode", SUITE_MEDIABENCH, mediabench.g721decode),
+    WorkloadSpec("g721encode", SUITE_MEDIABENCH, mediabench.g721encode),
+    WorkloadSpec("mpeg2dec", SUITE_MEDIABENCH, mediabench.mpeg2dec),
+    WorkloadSpec("mpeg2enc", SUITE_MEDIABENCH, mediabench.mpeg2enc),
+    WorkloadSpec("pegwitdec", SUITE_MEDIABENCH, mediabench.pegwitdec),
+    WorkloadSpec("pegwitenc", SUITE_MEDIABENCH, mediabench.pegwitenc),
+    WorkloadSpec("rawcaudio", SUITE_MEDIABENCH, mediabench.rawcaudio),
+    WorkloadSpec("rawdaudio", SUITE_MEDIABENCH, mediabench.rawdaudio),
+]
+
+_BY_NAME: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _REGISTRY}
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """Every benchmark, in the paper's presentation order."""
+    return list(_REGISTRY)
+
+
+def workloads_in_suite(suite: str) -> List[WorkloadSpec]:
+    return [spec for spec in _REGISTRY if spec.suite == suite]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    return _BY_NAME[name]
+
+
+def build_workload(name: str, variant: str = "train") -> BuiltWorkload:
+    """Build a benchmark; ``variant`` selects the input data set
+    ("train" is what profiles are gathered on; "ref" is unseen data)."""
+    return _BY_NAME[name].build(variant)
+
+
+def suites() -> List[str]:
+    return [SUITE_SPEC_INT, SUITE_SPEC_FP, SUITE_MEDIABENCH]
+
+
+__all__ = [
+    "BuiltWorkload",
+    "Kit",
+    "SUITE_MEDIABENCH",
+    "SUITE_SPEC_FP",
+    "SUITE_SPEC_INT",
+    "WorkloadSpec",
+    "all_workloads",
+    "build_workload",
+    "float_data",
+    "get_workload",
+    "int_data",
+    "new_workload",
+    "suites",
+    "workloads_in_suite",
+]

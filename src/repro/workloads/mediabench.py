@@ -1,0 +1,498 @@
+"""Mediabench-like workloads.
+
+Media kernels stream blocks of data through transform pipelines with
+separate input/output buffers — the friendliest possible structure for
+idempotence — with compact predictor/cipher state cells providing small,
+cheap-to-checkpoint WARs (the pattern behind the paper's near-total
+coverage on mpeg2dec and rawcaudio).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synth import (
+    BuiltWorkload,
+    Kit,
+    add_report_function,
+    add_service_function,
+    float_data,
+    indirect_handle,
+    int_data,
+    new_workload,
+)
+
+_STEP_SIZES = [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31]
+
+
+def cjpeg() -> BuiltWorkload:
+    """cjpeg: blocked forward DCT, quantization, and symbol histogram."""
+    module, kit = new_workload("cjpeg")
+    add_service_function(module, tiers=("never", "uncommon"))
+    b = kit.b
+    blocks, bsize = 12, 16
+    n = blocks * bsize
+    img = module.add_global("image", n, init=int_data("cjpeg.img", n, 0, 255))
+    qtable = module.add_global("qtable", bsize, init=[(i % 8) + 4 for i in range(bsize)])
+    coeff = module.add_global("coeff", n)
+    hist = module.add_global("hist", 32)
+    b.block("entry")
+    coeff_handle = indirect_handle(kit, module, coeff, "coeff_desc")
+
+    def encode_block(blk):
+        base = b.mul(blk, bsize)
+
+        def fdct(k):
+            # Toy 2-point butterflies standing in for the 8x8 DCT.
+            idx = b.add(base, k)
+            partner = b.add(base, b.xor(k, 1))
+            a = b.load(img, idx)
+            c = b.load(img, partner)
+            even = b.add(a, c)
+            odd = b.sub(a, c)
+            mixed = b.select(b.and_(k, 1), odd, even)
+            q = b.load(qtable, k)
+            b.store(coeff_handle, idx, b.sdiv(mixed, q))
+
+        kit.counted(bsize, fdct, "fdct")
+
+        def entropy(k):
+            v = b.load(coeff, b.add(base, k))
+            mag = b.binop("max", v, b.sub(0, v))
+            bucket = b.and_(mag, 31)
+            cnt = b.load(hist, bucket)        # histogram WAR
+            b.store(hist, bucket, b.add(cnt, 1))
+
+        kit.counted(bsize, entropy, "entropy")
+        b.call("service", [blk], returns=False)
+
+    kit.counted(blocks, encode_block, "blocks")
+    b.ret(b.load(hist, 0))
+    return BuiltWorkload("cjpeg", module, (), ("coeff", "hist"))
+
+
+def djpeg() -> BuiltWorkload:
+    """djpeg: dequantize + inverse transform into a fresh pixel buffer."""
+    module, kit = new_workload("djpeg")
+    b = kit.b
+    blocks, bsize = 12, 16
+    n = blocks * bsize
+    coeff = module.add_global("coeff", n, init=int_data("djpeg.c", n, -64, 63))
+    qtable = module.add_global("qtable", bsize, init=[(i % 8) + 4 for i in range(bsize)])
+    pixels = module.add_global("pixels", n)
+    b.block("entry")
+
+    def decode_block(blk):
+        base = b.mul(blk, bsize)
+
+        def idct(k):
+            idx = b.add(base, k)
+            v = b.load(coeff, idx)
+            q = b.load(qtable, k)
+            raw = b.mul(v, q)
+            partner = b.load(coeff, b.add(base, b.xor(k, 1)))
+            raw = b.add(raw, b.lshr(partner, 1))
+            b.store(pixels, idx, kit.clamp(b.add(raw, 128), 0, 255))
+
+        kit.counted(bsize, idct, "idct")
+
+    kit.counted(blocks, decode_block, "blocks")
+    b.ret(b.load(pixels, 0))
+    return BuiltWorkload("djpeg", module, (), ("pixels",))
+
+
+def epic() -> BuiltWorkload:
+    """epic: wavelet pyramid decomposition with per-level output arrays."""
+    module, kit = new_workload("epic")
+    b = kit.b
+    n = 128
+    img = module.add_global("image", n, init=int_data("epic.img", n, 0, 255))
+    low = module.add_global("low", n // 2)
+    high = module.add_global("high", n // 2)
+    low2 = module.add_global("low2", n // 4)
+    high2 = module.add_global("high2", n // 4)
+    quant = module.add_global("quantized", n // 2)
+    b.block("entry")
+
+    def level1(i):
+        a = b.load(img, b.shl(i, 1))
+        c = b.load(img, b.add(b.shl(i, 1), 1))
+        b.store(low, i, b.lshr(b.add(a, c), 1))
+        b.store(high, i, b.sub(a, c))
+
+    kit.counted(n // 2, level1, "level1")
+
+    def level2(i):
+        a = b.load(low, b.shl(i, 1))
+        c = b.load(low, b.add(b.shl(i, 1), 1))
+        b.store(low2, i, b.lshr(b.add(a, c), 1))
+        b.store(high2, i, b.sub(a, c))
+
+    kit.counted(n // 4, level2, "level2")
+
+    def quantize(i):
+        v = b.load(high, i)
+        b.store(quant, i, b.binop("ashr", v, 2))
+
+    kit.counted(n // 2, quantize, "quant")
+    b.ret(b.load(low2, 0))
+    return BuiltWorkload("epic", module, (), ("low2", "high2", "quantized"))
+
+
+def unepic() -> BuiltWorkload:
+    """unepic: inverse wavelet reconstruction (pure scatter, idempotent)."""
+    module, kit = new_workload("unepic")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    n = 128
+    low = module.add_global("low", n // 2, init=int_data("unepic.l", n // 2, 0, 255))
+    high = module.add_global("high", n // 2, init=int_data("unepic.h", n // 2, -32, 31))
+    img = module.add_global("image", n)
+    chk = module.add_global("checksum", 1)
+    b.block("entry")
+    img_handle = indirect_handle(kit, module, img, "img_desc")
+
+    def reconstruct(i):
+        lo = b.load(low, i)
+        hi = b.load(high, i)
+        a = b.add(lo, b.binop("ashr", hi, 1))
+        c = b.sub(a, hi)
+        b.store(img_handle, b.shl(i, 1), kit.clamp(a, 0, 255))
+        b.store(img_handle, b.add(b.shl(i, 1), 1), kit.clamp(c, 0, 255))
+        kit.checksum_into(chk, 0, a)
+        b.call("service", [i], returns=False)
+
+    kit.counted(n // 2, reconstruct, "recon")
+    b.ret(b.load(chk, 0))
+    return BuiltWorkload("unepic", module, (), ("image", "checksum"))
+
+
+def _adpcm_tables(module):
+    module.add_global("step_table", 16, init=list(_STEP_SIZES))
+
+
+def g721encode() -> BuiltWorkload:
+    """g721encode: ADPCM encoder with predictor state in memory.
+
+    The per-sample predictor update (read valprev/index, write them
+    back) is the classic small fixed-address WAR that Encore checkpoints
+    for a couple of stores per region.
+    """
+    module, kit = new_workload("g721encode")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    n = 192
+    _adpcm_tables(module)
+    steps = module.globals["step_table"]
+    pcm = module.add_global("pcm", n, init=int_data("g721.pcm", n, -2048, 2047))
+    codes = module.add_global("codes", n)
+    state = module.add_global("state", 2)  # [valprev, index]
+    b.block("entry")
+    codes_handle = indirect_handle(kit, module, codes, "codes_desc")
+
+    def encode_sample(i):
+        sample = b.load(pcm, i)
+        valprev = b.load(state, 0)          # predictor state: read ...
+        index = b.load(state, 1)
+        step = b.load(steps, kit.clamp(index, 0, 15))
+        diff = b.sub(sample, valprev)
+        sign = b.cmp("slt", diff, 0)
+        mag = b.select(sign, b.sub(0, diff), diff)
+        code = kit.clamp(b.sdiv(mag, b.binop("max", step, 1)), 0, 7)
+        delta = b.mul(code, step)
+        signed_delta = b.select(sign, b.sub(0, delta), delta)
+        newval = kit.clamp(b.add(valprev, signed_delta), -2048, 2047)
+        newidx = kit.clamp(b.add(index, b.sub(code, 2)), 0, 15)
+        b.store(state, 0, newval)           # ... then overwritten: WARs
+        b.store(state, 1, newidx)
+        packed = b.or_(b.shl(sign, 3), code)
+        b.store(codes_handle, i, packed)    # output stream via struct field
+        b.call("service", [i], returns=False)
+
+    kit.counted(n, encode_sample, "samples")
+    b.ret(b.load(state, 0))
+    return BuiltWorkload("g721encode", module, (), ("codes", "state"))
+
+
+def g721decode() -> BuiltWorkload:
+    """g721decode: the matching ADPCM decoder (same state WAR shape)."""
+    module, kit = new_workload("g721decode")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    n = 192
+    _adpcm_tables(module)
+    steps = module.globals["step_table"]
+    codes = module.add_global("codes", n, init=int_data("g721.codes", n, 0, 15))
+    pcm = module.add_global("pcm", n)
+    state = module.add_global("state", 2)
+    b.block("entry")
+    pcm_handle = indirect_handle(kit, module, pcm, "pcm_desc")
+
+    def decode_sample(i):
+        packed = b.load(codes, i)
+        sign = b.lshr(packed, 3)
+        code = b.and_(packed, 7)
+        valprev = b.load(state, 0)
+        index = b.load(state, 1)
+        step = b.load(steps, kit.clamp(index, 0, 15))
+        # Full dequantizer: dq = step*code/4 + step/8 (per G.721 RECONSTRUCT).
+        dq = b.binop("ashr", b.mul(step, code), 2)
+        dq = b.add(dq, b.binop("ashr", step, 3))
+        signed_delta = b.select(sign, b.sub(0, dq), dq)
+        newval = kit.clamp(b.add(valprev, signed_delta), -2048, 2047)
+        newidx = kit.clamp(b.add(index, b.sub(code, 2)), 0, 15)
+        # Tone/transition detector and output synthesis filter (register
+        # arithmetic mirroring the predictor's pole/zero update).
+        tone = b.cmp("sgt", dq, b.mul(step, 3))
+        smoothed = b.add(b.mul(newval, 3), valprev)
+        smoothed = b.binop("ashr", smoothed, 2)
+        gained = b.binop("ashr", b.mul(smoothed, 7), 3)
+        output = b.select(tone, smoothed, gained)
+        output = kit.clamp(output, -2048, 2047)
+        b.store(state, 0, newval)
+        b.store(state, 1, newidx)
+        b.store(pcm_handle, i, output)
+        b.call("service", [i], returns=False)
+
+    kit.counted(n, decode_sample, "samples")
+    b.ret(b.load(state, 0))
+    return BuiltWorkload("g721decode", module, (), ("pcm", "state"))
+
+
+def mpeg2dec() -> BuiltWorkload:
+    """mpeg2dec: motion compensation plus residual add into a new frame."""
+    module, kit = new_workload("mpeg2dec")
+    b = kit.b
+    w, mbs, mbsize = 96, 8, 12
+    ref = module.add_global("ref_frame", w, init=int_data("mpeg2.ref", w, 0, 255))
+    resid = module.add_global("residual", mbs * mbsize,
+                              init=int_data("mpeg2.res", mbs * mbsize, -32, 31))
+    mvs = module.add_global("mvs", mbs, init=int_data("mpeg2.mv", mbs, 0, 7))
+    cur = module.add_global("cur_frame", mbs * mbsize)
+    b.block("entry")
+
+    def macroblock(m):
+        mv = b.load(mvs, m)
+        base = b.mul(m, mbsize)
+
+        def pel(k):
+            dst = b.add(base, k)
+            src = kit.clamp(b.add(dst, mv), 0, w - 1)
+            predicted = b.load(ref, src)
+            r = b.load(resid, dst)
+            b.store(cur, dst, kit.clamp(b.add(predicted, r), 0, 255))
+
+        kit.counted(mbsize, pel, "pels")
+
+    def picture(p):
+        kit.counted(mbs, macroblock, "mbs")
+
+    kit.counted(4, picture, "pics")
+    b.ret(b.load(cur, 0))
+    return BuiltWorkload("mpeg2dec", module, (), ("cur_frame",))
+
+
+def mpeg2enc() -> BuiltWorkload:
+    """mpeg2enc: SAD motion search (read-only) plus a rate-control WAR."""
+    module, kit = new_workload("mpeg2enc")
+    add_service_function(module, tiers=("never", "rare"))
+    b = kit.b
+    w, mbs, mbsize, search = 96, 6, 8, 4
+    ref = module.add_global("ref_frame", w, init=int_data("mpeg2e.ref", w, 0, 255))
+    cur = module.add_global("cur_frame", mbs * mbsize,
+                            init=int_data("mpeg2e.cur", mbs * mbsize, 0, 255))
+    best_mv = module.add_global("best_mv", mbs)
+    recon = module.add_global("recon", mbs * mbsize)
+    rate = module.add_global("rate", 1)
+    b.block("entry")
+    recon_handle = indirect_handle(kit, module, recon, "recon_desc")
+
+    def motion_search(m):
+        base = b.mul(m, mbsize)
+        best_sad = b.mov(1 << 20)
+        best = b.mov(0)
+
+        def candidate(mv):
+            sad = b.mov(0)
+
+            def diff(k):
+                a = b.load(cur, b.add(base, k))
+                src = kit.clamp(b.add(b.add(base, k), mv), 0, w - 1)
+                c = b.load(ref, src)
+                d = b.sub(a, c)
+                d = b.binop("max", d, b.sub(0, d))
+                b.add(sad, d, sad)
+
+            kit.counted(mbsize, diff, "sad")
+            better = b.cmp("slt", sad, best_sad)
+            b.select(better, sad, best_sad, dest=best_sad)
+            b.select(better, mv, best, dest=best)
+
+        kit.counted(search, candidate, "cands")
+        b.store(best_mv, m, best)
+
+        def reconstruct(k):
+            src = kit.clamp(b.add(b.add(base, k), best), 0, w - 1)
+            b.store(recon_handle, b.add(base, k), b.load(ref, src))
+
+        kit.counted(mbsize, reconstruct, "recon")
+        bits = b.load(rate, 0)          # rate control: WAR on one cell
+        b.store(rate, 0, b.add(bits, best_sad))
+        b.call("service", [m], returns=False)
+
+    kit.counted(mbs, motion_search, "mbs")
+    add_report_function(module, "rate", external_name="bitstream_flush")
+    b.call("report", [], returns=False)
+    b.ret(b.load(rate, 0))
+    return BuiltWorkload("mpeg2enc", module, (), ("best_mv", "recon", "rate"))
+
+
+def pegwitenc() -> BuiltWorkload:
+    """pegwitenc: block cipher rounds mixing a state block in place."""
+    module, kit = new_workload("pegwitenc")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    n, rounds = 96, 4
+    plain = module.add_global("plain", n, init=int_data("pegwit.p", n, 0, 255))
+    key = module.add_global("key", 8, init=int_data("pegwit.k", 8, 1, 255))
+    cipher = module.add_global("cipher", n)
+    stateblk = module.add_global("stateblk", 8, init=[17] * 8)
+    b.block("entry")
+    cipher_handle = indirect_handle(kit, module, cipher, "cipher_desc")
+
+    def encrypt_word(i):
+        p = b.load(plain, i)
+        slot = b.and_(i, 7)
+        s = b.load(stateblk, slot)      # cipher state: read ...
+        k = b.load(key, slot)
+        mixed = b.xor(p, s)
+        mixed = b.add(b.mul(mixed, 17), k)
+        mixed = b.and_(mixed, 0xFFFF)
+
+        def one_round(r):
+            nonlocal_mix = b.load(stateblk, b.and_(b.add(slot, r), 7))
+            b.xor(mixed, nonlocal_mix, mixed)
+            b.and_(b.mul(mixed, 5), 0xFFFF, mixed)
+
+        kit.counted(rounds, one_round, "rounds")
+        b.store(stateblk, slot, mixed)  # ... then overwritten: WAR
+        b.store(cipher_handle, i, mixed)
+        b.call("service", [i], returns=False)
+
+    kit.counted(n, encrypt_word, "words")
+    b.ret(b.load(cipher, 0))
+    return BuiltWorkload("pegwitenc", module, (), ("cipher", "stateblk"))
+
+
+def pegwitdec() -> BuiltWorkload:
+    """pegwitdec: the matching decryption (same in-place state WAR)."""
+    module, kit = new_workload("pegwitdec")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    n, rounds = 96, 4
+    cipher = module.add_global("cipher", n, init=int_data("pegwitd.c", n, 0, 0xFFFF))
+    key = module.add_global("key", 8, init=int_data("pegwit.k", 8, 1, 255))
+    plain = module.add_global("plain", n)
+    stateblk = module.add_global("stateblk", 8, init=[17] * 8)
+    b.block("entry")
+    plain_handle = indirect_handle(kit, module, plain, "plain_desc")
+
+    def decrypt_word(i):
+        c = b.load(cipher, i)
+        slot = b.and_(i, 7)
+        s = b.load(stateblk, slot)
+        k = b.load(key, slot)
+        mixed = b.xor(c, k)
+
+        def one_round(r):
+            other = b.load(stateblk, b.and_(b.add(slot, r), 7))
+            b.xor(mixed, other, mixed)
+            b.and_(b.add(mixed, 3), 0xFFFF, mixed)
+
+        kit.counted(rounds, one_round, "rounds")
+        b.store(stateblk, slot, b.xor(mixed, s))
+        b.store(plain_handle, i, b.and_(mixed, 255))
+        b.call("service", [i], returns=False)
+
+    kit.counted(n, decrypt_word, "words")
+    b.ret(b.load(plain, 0))
+    return BuiltWorkload("pegwitdec", module, (), ("plain", "stateblk"))
+
+
+def rawcaudio() -> BuiltWorkload:
+    """rawcaudio: IMA-ADPCM audio encoder (tiny state, long stream)."""
+    module, kit = new_workload("rawcaudio")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    n = 256
+    _adpcm_tables(module)
+    steps = module.globals["step_table"]
+    audio = module.add_global("audio", n, init=int_data("rawc.a", n, -512, 511))
+    nibbles = module.add_global("nibbles", n)
+    state = module.add_global("state", 2)
+    b.block("entry")
+    nib_handle = indirect_handle(kit, module, nibbles, "nib_desc")
+
+    def encode(i):
+        s = b.load(audio, i)
+        pred = b.load(state, 0)
+        idx = b.load(state, 1)
+        step = b.load(steps, kit.clamp(idx, 0, 15))
+        diff = b.sub(s, pred)
+        neg = b.cmp("slt", diff, 0)
+        mag = b.select(neg, b.sub(0, diff), diff)
+        nib = kit.clamp(b.sdiv(mag, b.binop("max", step, 1)), 0, 7)
+        delta = b.mul(nib, step)
+        pred2 = b.select(neg, b.sub(pred, delta), b.add(pred, delta))
+        b.store(state, 0, kit.clamp(pred2, -512, 511))
+        b.store(state, 1, kit.clamp(b.add(idx, b.sub(nib, 2)), 0, 15))
+        b.store(nib_handle, i, b.or_(b.shl(neg, 3), nib))
+        b.call("service", [i], returns=False)
+
+    kit.counted(n, encode, "samples")
+    b.ret(b.load(state, 0))
+    return BuiltWorkload("rawcaudio", module, (), ("nibbles", "state"))
+
+
+def rawdaudio() -> BuiltWorkload:
+    """rawdaudio: IMA-ADPCM audio decoder."""
+    module, kit = new_workload("rawdaudio")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    n = 256
+    _adpcm_tables(module)
+    steps = module.globals["step_table"]
+    nibbles = module.add_global("nibbles", n, init=int_data("rawd.n", n, 0, 15))
+    audio = module.add_global("audio", n)
+    state = module.add_global("state", 2)
+    b.block("entry")
+    audio_handle = indirect_handle(kit, module, audio, "audio_desc")
+
+    def decode(i):
+        packed = b.load(nibbles, i)
+        neg = b.lshr(packed, 3)
+        nib = b.and_(packed, 7)
+        pred = b.load(state, 0)
+        idx = b.load(state, 1)
+        step = b.load(steps, kit.clamp(idx, 0, 15))
+        # IMA reference reconstruction: vpdiff = step/8 + nibble-weighted
+        # step halves (the bit-serial loop unrolled into register ops).
+        vpdiff = b.binop("ashr", step, 3)
+        b4 = b.and_(b.lshr(nib, 2), 1)
+        b2 = b.and_(b.lshr(nib, 1), 1)
+        b1 = b.and_(nib, 1)
+        vpdiff = b.add(vpdiff, b.mul(b4, step))
+        vpdiff = b.add(vpdiff, b.mul(b2, b.binop("ashr", step, 1)))
+        vpdiff = b.add(vpdiff, b.mul(b1, b.binop("ashr", step, 2)))
+        pred2 = b.select(neg, b.sub(pred, vpdiff), b.add(pred, vpdiff))
+        clamped = kit.clamp(pred2, -512, 511)
+        # Output upsample/scale stage (register-only post-processing).
+        wide = b.shl(clamped, 4)
+        dither = b.and_(b.mul(i, 11), 15)
+        sample_out = b.add(wide, dither)
+        b.store(state, 0, clamped)
+        b.store(state, 1, kit.clamp(b.add(idx, b.sub(nib, 2)), 0, 15))
+        b.store(audio_handle, i, sample_out)
+        b.call("service", [i], returns=False)
+
+    kit.counted(n, decode, "samples")
+    b.ret(b.load(state, 0))
+    return BuiltWorkload("rawdaudio", module, (), ("audio", "state"))

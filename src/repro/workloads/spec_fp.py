@@ -1,0 +1,303 @@
+"""SPEC2000-floating-point-like workloads.
+
+The FP codes stream through arrays with separate read and write sets —
+the memory behaviour behind the paper's observation that SPEC2K-FP (and
+media) applications spend far more runtime in idempotent regions than
+the integer codes.  The few WARs that remain sit in reduction cells and
+in-place relaxation sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synth import (
+    BuiltWorkload,
+    Kit,
+    add_report_function,
+    add_service_function,
+    float_data,
+    indirect_handle,
+    int_data,
+    new_workload,
+)
+
+
+def mgrid() -> BuiltWorkload:
+    """172.mgrid: multigrid V-cycles of a 1-D Poisson smoother.
+
+    Every kernel (smooth, restrict, prolongate) reads one array and
+    writes another: the whole hot region is inherently idempotent,
+    matching mgrid's near-perfect coverage in the paper.
+    """
+    module, kit = new_workload("172.mgrid")
+    b = kit.b
+    n = 66
+    fine = module.add_global("fine", n, init=float_data("mgrid.f", n))
+    fine2 = module.add_global("fine2", n)
+    coarse = module.add_global("coarse", n // 2 + 1)
+    resid = module.add_global("residual", 1)
+    b.block("entry")
+
+    def vcycle(cycle):
+        def smooth(i):
+            left = b.load(fine, b.sub(i, 1))
+            mid = b.load(fine, i)
+            right = b.load(fine, b.add(i, 1))
+            acc = b.fadd(left, right)
+            acc = b.fadd(acc, b.fmul(mid, 2.0))
+            b.store(fine2, i, b.fmul(acc, 0.25))
+
+        kit.counted(n - 1, smooth, "smooth", start=1)
+
+        def restrict(i):
+            src = b.shl(i, 1)
+            a = b.load(fine2, src)
+            c = b.load(fine2, b.add(src, 1))
+            b.store(coarse, i, b.fmul(b.fadd(a, c), 0.5))
+
+        kit.counted(n // 2, restrict, "restrict")
+
+        def prolongate(i):
+            half = b.lshr(i, 1)
+            v = b.load(coarse, half)
+            b.store(fine, i, v)  # writes fine, reads coarse: idempotent
+
+        kit.counted(n, prolongate, "prolong")
+
+    kit.counted(8, vcycle, "vcycle")
+    # One residual reduction at the end (register accumulator).
+    total = b.mov(0.0)
+
+    def reduce(i):
+        v = b.load(fine, i)
+        b.fadd(total, b.fmul(v, v), total)
+
+    kit.counted(n, reduce, "reduce")
+    b.store(resid, 0, total)
+    b.ret(b.unop("fptosi", total))
+    return BuiltWorkload("172.mgrid", module, (), ("fine", "coarse", "residual"))
+
+
+def applu() -> BuiltWorkload:
+    """173.applu: SSOR-style lower/upper sweeps over a grid.
+
+    Sweeps write a fresh array per direction (idempotent); the
+    convergence check accumulates into a norm cell (a WAR the compiler
+    must checkpoint).
+    """
+    module, kit = new_workload("173.applu")
+    add_service_function(module, tiers=("never",), external_on="never")
+    b = kit.b
+    n = 64
+    u = module.add_global("u", n, init=float_data("applu.u", n))
+    rhs = module.add_global("rhs", n, init=float_data("applu.r", n))
+    lower = module.add_global("lower", n)
+    upper = module.add_global("upper", n)
+    norm = module.add_global("norm", 1)
+    b.block("entry")
+
+    def ssor_iteration(it):
+        def lower_sweep(i):
+            prev = b.load(u, b.binop("max", b.sub(i, 1), 0))
+            cur = b.load(u, i)
+            f = b.load(rhs, i)
+            v = b.fadd(b.fmul(prev, 0.3), b.fmul(cur, 0.5))
+            b.store(lower, i, b.fadd(v, f))
+
+        kit.counted(n, lower_sweep, "lsweep")
+
+        def upper_sweep(i):
+            idx = b.sub(n - 1, i)
+            nxt = b.load(lower, b.binop("min", b.add(idx, 1), n - 1))
+            cur = b.load(lower, idx)
+            b.store(upper, idx, b.fadd(b.fmul(nxt, 0.3), b.fmul(cur, 0.6)))
+
+        kit.counted(n, upper_sweep, "usweep")
+
+        def commit(i):
+            b.store(u, i, b.load(upper, i))
+
+        kit.counted(n, commit, "commit")
+
+        # Norm accumulation: load-modify-store on a single cell.
+        cur = b.load(norm, 0)
+        sample = b.load(u, b.and_(it, n - 1))
+        b.store(norm, 0, b.fadd(cur, b.unop("fabs", sample)))
+        b.call("service", [it], returns=False)
+
+    kit.counted(10, ssor_iteration, "ssor")
+    result = b.load(norm, 0)
+    b.ret(b.unop("fptosi", result))
+    return BuiltWorkload("173.applu", module, (), ("u", "norm"))
+
+
+def mesa() -> BuiltWorkload:
+    """177.mesa: transform + rasterize with a depth-buffered framebuffer.
+
+    Vertex transform writes fresh arrays; the pixel loop's z-test is a
+    conditional WAR on the depth buffer (read z, maybe overwrite z and
+    color) — mesa is the benchmark the paper notes could not reach its
+    overhead target without losing coverage.
+    """
+    module, kit = new_workload("177.mesa")
+    add_service_function(module, tiers=("never", "rare"), external_on="never")
+    b = kit.b
+    verts = 48
+    width = 32
+    vx = module.add_global("vx", verts, init=float_data("mesa.x", verts, 0.0, 31.0))
+    vz = module.add_global("vz", verts, init=float_data("mesa.z", verts, 0.1, 9.9))
+    tx = module.add_global("tx", verts)
+    zbuf = module.add_global("zbuf", width, init=[100.0] * width)
+    color = module.add_global("color", width)
+    b.block("entry")
+    color_handle = indirect_handle(kit, module, color, "color_desc")
+
+    def transform(i):
+        x = b.load(vx, i)
+        z = b.load(vz, i)
+        # Perspective divide and viewport scale (registers only).
+        projected = b.fdiv(b.fmul(x, 16.0), b.fadd(z, 1.0))
+        b.store(tx, i, projected)
+
+    kit.counted(verts, transform, "xform")
+
+    def rasterize(i):
+        px = b.load(tx, i)
+        col = b.unop("fptosi", px)
+        col = kit.clamp(col, 0, width - 1)
+        z = b.load(vz, i)
+        old = b.load(zbuf, col)  # depth test: read ...
+
+        def write_pixel():
+            b.store(zbuf, col, z)        # ... conditionally overwrite: WAR
+            b.store(color_handle, col, b.fmul(z, 8.0))
+
+        kit.if_then(b.cmp("flt", z, old), write_pixel, "ztest")
+        b.call("service", [i], returns=False)
+
+    def frame(f):
+        kit.counted(verts, rasterize, "raster")
+
+    kit.counted(6, frame, "frames")
+    add_report_function(module, "color", external_name="gl_flush")
+    b.call("report", [], returns=False)
+    b.ret(0)
+    return BuiltWorkload("177.mesa", module, (), ("zbuf", "color"))
+
+
+def art() -> BuiltWorkload:
+    """179.art: adaptive-resonance network match/learn phases.
+
+    The match phase is a read-only weights scan writing activations
+    (idempotent); the rarer learn phase updates the winner's weights in
+    place (WARs on a slice of the weight matrix).
+    """
+    module, kit = new_workload("179.art")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    f1, f2 = 24, 12
+    weights = module.add_global(
+        "weights", f1 * f2, init=float_data("art.w", f1 * f2, 0.0, 1.0)
+    )
+    inputs = module.add_global("inputs", f1, init=float_data("art.in", f1, 0.0, 1.0))
+    act = module.add_global("act", f2)
+    winner_cell = module.add_global("winner", 1)
+    b.block("entry")
+
+    def present(pattern):
+        def score(jnode):
+            total = b.mov(0.0)
+
+            def dot(i):
+                w = b.load(weights, b.add(b.mul(jnode, f1), i))
+                x = b.load(inputs, i)
+                b.fadd(total, b.fmul(w, x), total)
+
+            kit.counted(f1, dot, "dot")
+            b.store(act, jnode, total)
+
+        kit.counted(f2, score, "score")
+
+        # Winner search: register-only max scan, then memory commit.
+        best = b.mov(0)
+        best_val = b.mov(-1.0)
+
+        def find(jnode):
+            v = b.load(act, jnode)
+            better = b.cmp("fgt", v, best_val)
+            b.select(better, jnode, best, dest=best)
+            b.select(better, v, best_val, dest=best_val)
+
+        kit.counted(f2, find, "winner")
+        b.store(winner_cell, 0, best)
+
+        def learn():
+            def update(i):
+                idx = b.add(b.mul(best, f1), i)
+                w = b.load(weights, idx)       # WAR: weight read ...
+                x = b.load(inputs, i)
+                blended = b.fadd(b.fmul(w, 0.9), b.fmul(x, 0.1))
+                b.store(weights, idx, blended)  # ... then overwritten
+            kit.counted(f1, update, "learn")
+
+        # Learning happens on a minority of presentations (cold-ish path).
+        kit.if_then(b.cmp("eq", b.and_(pattern, 7), 0), learn, "resonate")
+        b.call("service", [pattern], returns=False)
+
+    kit.counted(24, present, "present")
+    b.ret(b.load(winner_cell, 0))
+    return BuiltWorkload("179.art", module, (), ("act", "weights", "winner"))
+
+
+def equake() -> BuiltWorkload:
+    """183.equake: sparse matrix-vector products in a time loop.
+
+    The CSR sweep reads the matrix and x and writes y (idempotent); the
+    time integrator copies y back into x through a fresh commit loop and
+    accumulates energy into a single cell (the lone WAR).
+    """
+    module, kit = new_workload("183.equake")
+    add_service_function(module, tiers=("never", "rare"))
+    b = kit.b
+    n = 40
+    nnz_per_row = 4
+    nnz = n * nnz_per_row
+    cols = module.add_global("cols", nnz, init=int_data("equake.c", nnz, 0, n - 1))
+    vals = module.add_global(
+        "vals", nnz, init=float_data("equake.v", nnz, -1.0, 1.0)
+    )
+    x = module.add_global("x", n, init=float_data("equake.x", n))
+    y = module.add_global("y", n)
+    energy = module.add_global("energy", 1)
+    b.block("entry")
+
+    def timestep(t):
+        def row(i):
+            total = b.mov(0.0)
+
+            def term(k):
+                idx = b.add(b.mul(i, nnz_per_row), k)
+                j = b.load(cols, idx)
+                a = b.load(vals, idx)
+                xv = b.load(x, j)
+                b.fadd(total, b.fmul(a, xv), total)
+
+            kit.counted(nnz_per_row, term, "nz")
+            b.store(y, i, total)
+
+        kit.counted(n, row, "rows")
+
+        def commit(i):
+            yv = b.load(y, i)
+            b.store(x, i, b.fmul(yv, 0.99))  # x read only in the sweep above
+
+        kit.counted(n, commit, "commit")
+        e = b.load(energy, 0)              # WAR on the energy cell
+        sample = b.load(x, b.and_(t, n - 1))
+        b.store(energy, 0, b.fadd(e, b.unop("fabs", sample)))
+        b.call("service", [t], returns=False)
+
+    kit.counted(12, timestep, "time")
+    add_report_function(module, "energy")
+    b.call("report", [], returns=False)
+    b.ret(b.unop("fptosi", b.load(energy, 0)))
+    return BuiltWorkload("183.equake", module, (), ("x", "energy"))

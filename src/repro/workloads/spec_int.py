@@ -1,0 +1,421 @@
+"""SPEC2000-integer-like workloads.
+
+Each program mirrors the control-flow and memory-access character of its
+namesake benchmark — the properties that drive Encore's results: WAR
+density, hot-path skew, loop nesting, init-once cold paths, and pointer
+indirection.  Inputs are deterministic pseudo-random data seeded by the
+workload name, so every run (profiling, SFI golden, experiments) sees
+identical behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder, VirtualRegister
+from repro.workloads.synth import (
+    BuiltWorkload,
+    Kit,
+    add_report_function,
+    add_service_function,
+    indirect_handle,
+    int_data,
+    new_workload,
+)
+
+INPUT = 256  # shared base input size keeps runtimes balanced
+
+
+def gzip() -> BuiltWorkload:
+    """164.gzip: LZ77-style compressor.
+
+    Hash-chain insertion is a load-then-store WAR on the head table; the
+    match-scan inner loop is read-only; literal/match emission writes an
+    output stream (idempotent).
+    """
+    module, kit = new_workload("164.gzip")
+    add_service_function(module, tiers=("never", "rare"), external_on="never")
+    b = kit.b
+    inp = module.add_global("input", INPUT, init=int_data("gzip.in", INPUT, 0, 63))
+    heads = module.add_global("hash_head", 64, init=[-1] * 64)
+    out = module.add_global("out", INPUT * 2)
+    chk = module.add_global("checksum", 1)
+    b.block("entry")
+    out_handle = indirect_handle(kit, module, out, "out_desc")
+    out_pos = b.fresh("outpos")
+    b.mov(0, out_pos)
+
+    def compress_position(i):
+        sym = b.load(inp, i)
+        nxt_i = b.add(i, 1)
+        in_range = b.cmp("slt", nxt_i, INPUT)
+        nxt = b.select(in_range, b.load(inp, kit.clamp(nxt_i, 0, INPUT - 1)), 0)
+        h = b.and_(b.xor(b.mul(sym, 5), nxt), 63)
+        prev = b.load(heads, h)      # read the chain head ...
+        b.store(heads, h, i)         # ... then overwrite it: WAR
+
+        def emit_match():
+            # Scan backwards from prev for a match run (read-only).
+            length = b.fresh("mlen")
+            b.mov(0, length)
+            j = b.fresh("j")
+            b.mov(prev, j)
+
+            window_floor = b.binop("max", b.sub(prev, 16), 0)
+
+            def still_matching():
+                in_bounds = b.cmp("sge", j, window_floor)
+                short = b.cmp("slt", length, 8)
+                return b.and_(in_bounds, short)
+
+            def scan():
+                a = b.load(inp, kit.clamp(j, 0, INPUT - 1))
+                same = b.cmp("eq", a, sym)
+                b.add(length, same, length)
+                b.sub(j, 1, j)
+
+            kit.while_loop(still_matching, scan, "match")
+            token = b.or_(b.shl(length, 8), sym)
+            b.store(out_handle, out_pos, token)
+            b.add(out_pos, 1, out_pos)
+
+        def emit_literal():
+            b.store(out_handle, out_pos, sym)
+            b.add(out_pos, 1, out_pos)
+
+        found = b.cmp("sge", prev, 0)
+        kit.if_else(found, emit_match, emit_literal, "emit")
+        kit.checksum_into(chk, 0, sym)
+        b.call("service", [i], returns=False)
+
+    kit.counted(INPUT, compress_position, "pos")
+    add_report_function(module, "checksum")
+    b.call("report", [], returns=False)
+    b.ret(b.load(chk, 0))
+    return BuiltWorkload("164.gzip", module, (), ("out", "checksum", "hash_head"))
+
+
+def vpr() -> BuiltWorkload:
+    """175.vpr: placement by simulated annealing (the try_swap pattern).
+
+    ``try_swap`` allocates its scratch buffers the first time it is
+    called (paper Figure 2c: the shaded cold blocks); afterwards the hot
+    path reads the placement, evaluates a swap with the LCG (a WAR on
+    the PRNG cell), and conditionally commits it (WARs on the placement
+    array and the cost cell).
+    """
+    module, kit0 = new_workload("175.vpr")
+    add_service_function(module, tiers=("never", "uncommon"), external_on="never")
+    cells = 64
+    place = module.add_global(
+        "placement", cells, init=list(range(cells))
+    )
+    cost_cell = module.add_global("cost", 1, init=[1000])
+    rng_state = module.add_global("rng", 1, init=[12345])
+    init_flag = module.add_global("init_done", 1)
+    scratch_ptr = module.add_global("scratch_ptr", 1)
+    chk = module.add_global("checksum", 1)
+
+    # -- try_swap ---------------------------------------------------------
+    swap_fn = module.add_function("try_swap", params=[VirtualRegister("trial")])
+    sb = IRBuilder(swap_fn)
+    kit = Kit(sb)
+    sb.block("entry")
+    done = sb.load(init_flag, 0)
+
+    def cold_init():
+        # Executed exactly once: the statistically-dead path.
+        p = sb.alloc(cells)
+        sb.store(scratch_ptr, 0, 1)  # mark the handle live
+        kit.counted(cells, lambda i: sb.store(p, i, 0), "scratchinit")
+        sb.store(init_flag, 0, 1)
+
+    kit.if_then(sb.cmp("eq", done, 0), cold_init, "coldinit")
+
+    r1 = kit.lcg(rng_state)
+    a = sb.and_(r1, cells - 1)
+    r2 = kit.lcg(rng_state)
+    c = sb.and_(r2, cells - 1)
+    pa = sb.load(place, a)
+    pc = sb.load(place, c)
+    # Delta cost: how far each cell moves (reads only).
+    delta = sb.sub(pa, pc)
+    delta = sb.mul(delta, sb.sub(a, c))
+
+    def accept():
+        sb.store(place, a, pc)  # WAR: placement read above, written here
+        sb.store(place, c, pa)
+        cur = sb.load(cost_cell, 0)
+        sb.store(cost_cell, 0, sb.add(cur, delta))
+
+    kit.if_then(sb.cmp("slt", delta, 0), accept, "accept")
+    sb.call("service", [swap_fn.params[0]], returns=False)
+    kit.checksum_into(chk, 0, sb.add(pa, pc))
+    sb.ret(delta)
+
+    # -- main -------------------------------------------------------------------
+    b = kit0.b
+    b.block("entry")
+    kit0.counted(300, lambda t: b.call("try_swap", [t]), "anneal")
+    b.ret(b.load(cost_cell, 0))
+    return BuiltWorkload(
+        "175.vpr", module, (), ("placement", "cost", "checksum")
+    )
+
+
+def mcf() -> BuiltWorkload:
+    """181.mcf: network-simplex flavored pointer chasing.
+
+    Arc scans read node potentials through data-dependent indices; the
+    price-update pass is a WAR on the potential array; flow commits
+    write a separate array (idempotent).
+    """
+    module, kit = new_workload("181.mcf")
+    add_service_function(module, tiers=("never", "rare"))
+    b = kit.b
+    nodes, arcs = 48, 160
+    arc_tail = module.add_global("arc_tail", arcs, init=int_data("mcf.t", arcs, 0, nodes - 1))
+    arc_head = module.add_global("arc_head", arcs, init=int_data("mcf.h", arcs, 0, nodes - 1))
+    arc_cost = module.add_global("arc_cost", arcs, init=int_data("mcf.c", arcs, 1, 99))
+    potential = module.add_global("potential", nodes, init=int_data("mcf.p", nodes, 0, 499))
+    flow = module.add_global("flow", arcs)
+    objective = module.add_global("objective", 1)
+    b.block("entry")
+    flow_handle = indirect_handle(kit, module, flow, "flow_desc")
+
+    def simplex_iteration(round_):
+        def scan_arc(j):
+            t = b.load(arc_tail, j)
+            h = b.load(arc_head, j)
+            cost = b.load(arc_cost, j)
+            pt = b.load(potential, t)     # data-dependent index loads
+            ph = b.load(potential, h)
+            reduced = b.add(b.sub(cost, pt), ph)
+            # Admissibility scoring: degree estimates and a capacity
+            # heuristic (register arithmetic, as in the real pricing loop).
+            cur_flow = b.load(flow, j)
+            residual = b.sub(99, cur_flow)
+            score = b.mul(reduced, residual)
+            score = b.binop("ashr", score, 3)
+            spread = b.sub(pt, ph)
+            spread = b.binop("max", spread, b.sub(ph, pt))
+            score = b.add(score, spread)
+            penalty = b.and_(b.mul(t, 7), 15)
+            score = b.sub(score, penalty)
+            admissible = b.and_(
+                b.cmp("slt", reduced, 0), b.cmp("sgt", residual, 0)
+            )
+
+            def pivot():
+                b.store(flow_handle, j, round_)   # commit via struct field
+                cur = b.load(potential, t)        # WAR on potentials
+                b.store(potential, t, b.add(cur, 1))
+                obj = b.load(objective, 0)        # WAR on the objective
+                b.store(objective, 0, b.add(obj, score))
+
+            kit.if_then(admissible, pivot, "pivot")
+            b.call("service", [j], returns=False)
+
+        kit.counted(arcs, scan_arc, "arcs")
+
+    kit.counted(12, simplex_iteration, "rounds")
+    add_report_function(module, "objective")
+    b.call("report", [], returns=False)
+    b.ret(b.load(objective, 0))
+    return BuiltWorkload("181.mcf", module, (), ("flow", "potential", "objective"))
+
+
+def parser() -> BuiltWorkload:
+    """197.parser: dictionary lookups plus an explicit parse stack.
+
+    Binary search is read-only; stack pushes/pops are WARs on the
+    stack-pointer cell; the token classifier is a control-heavy if/else
+    chain (many small basic blocks).
+    """
+    module, kit = new_workload("197.parser")
+    add_service_function(module, tiers=("never", "uncommon"), external_on="never")
+    b = kit.b
+    dict_size = 64
+    sorted_dict = module.add_global(
+        "dictionary", dict_size, init=sorted(int_data("parser.d", dict_size, 0, 999))
+    )
+    text = module.add_global("text", INPUT, init=int_data("parser.t", INPUT, 0, 999))
+    stack = module.add_global("stack", 64)
+    sp_cell = module.add_global("sp", 1)
+    counts = module.add_global("counts", 4)
+    b.block("entry")
+    stack_handle = indirect_handle(kit, module, stack, "stack_desc")
+
+    def parse_token(i):
+        tok = b.load(text, i)
+        # Binary search (read-only inner loop).
+        lo = b.fresh("lo")
+        hi = b.fresh("hi")
+        found = b.fresh("found")
+        b.mov(0, lo)
+        b.mov(dict_size - 1, hi)
+        b.mov(0, found)
+
+        def searching():
+            return b.cmp("sle", lo, hi)
+
+        def probe():
+            mid = b.lshr(b.add(lo, hi), 1)
+            entry = b.load(sorted_dict, mid)
+
+            def go_low():
+                b.mov(b.sub(mid, 1), hi)
+
+            def go_high_or_hit():
+                def hit():
+                    b.mov(1, found)
+                    b.mov(b.add(hi, 1), lo)  # terminate search
+
+                def go_high():
+                    b.mov(b.add(mid, 1), lo)
+
+                kit.if_else(b.cmp("eq", entry, tok), hit, go_high, "hit")
+
+            kit.if_else(b.cmp("sgt", entry, tok), go_low, go_high_or_hit, "cmp")
+
+        kit.while_loop(searching, probe, "bsearch")
+
+        def push():
+            sp = b.load(sp_cell, 0)            # WAR on the stack pointer
+            bounded = kit.clamp(sp, 0, 63)
+            b.store(stack_handle, bounded, tok)
+            b.store(sp_cell, 0, kit.clamp(b.add(sp, 1), 0, 63))
+            cur = b.load(counts, 0)
+            b.store(counts, 0, b.add(cur, 1))
+
+        def reduce():
+            sp = b.load(sp_cell, 0)
+            b.store(sp_cell, 0, kit.clamp(b.sub(sp, 1), 0, 63))
+            cur = b.load(counts, 1)
+            b.store(counts, 1, b.add(cur, 1))
+
+        kit.if_else(found, push, reduce, "action")
+        b.call("service", [tok], returns=False)
+        parity = b.and_(tok, 1)
+        kit.if_else(
+            parity,
+            lambda: kit.checksum_into(counts, 2, tok),
+            lambda: kit.checksum_into(counts, 3, tok),
+            "classify",
+        )
+
+    kit.counted(INPUT, parse_token, "tokens")
+    add_report_function(module, "counts")
+    b.call("report", [], returns=False)
+    b.ret(b.load(counts, 0))
+    return BuiltWorkload("197.parser", module, (), ("counts", "sp", "stack"))
+
+
+def bzip2() -> BuiltWorkload:
+    """256.bzip2: histogram counting sort (BWT front-end flavor).
+
+    Frequency counting and the in-place prefix sum are dense WARs on a
+    small table; the permutation write-out does load-use-increment on
+    the same table (more WARs) while writing the output idempotently.
+    """
+    module, kit = new_workload("256.bzip2")
+    add_service_function(module, tiers=("never",))
+    b = kit.b
+    syms = 32
+    inp = module.add_global("input", INPUT, init=int_data("bzip2.in", INPUT, 0, syms - 1))
+    freq = module.add_global("freq", syms)
+    out = module.add_global("out", INPUT)
+    chk = module.add_global("checksum", 1)
+    b.block("entry")
+    out_handle = indirect_handle(kit, module, out, "out_desc")
+
+    def count(i):
+        sym = b.load(inp, i)
+        cur = b.load(freq, sym)       # WAR: freq read ...
+        b.store(freq, sym, b.add(cur, 1))
+        b.call("service", [i], returns=False)  # ... then written
+
+    kit.counted(INPUT, count, "count")
+
+    run = b.fresh("running")
+    b.mov(0, run)
+
+    def prefix(sidx):
+        cnt = b.load(freq, sidx)
+        b.store(freq, sidx, run)      # in-place prefix sum: WAR
+        b.add(run, cnt, run)
+
+    kit.counted(syms, prefix, "prefix")
+
+    def scatter(i):
+        sym = b.load(inp, i)
+        pos = b.load(freq, sym)       # WAR: slot read ...
+        b.store(out_handle, kit.clamp(pos, 0, INPUT - 1), sym)
+        b.store(freq, sym, b.add(pos, 1))  # ... then bumped
+        kit.checksum_into(chk, 0, pos)
+
+    kit.counted(INPUT, scatter, "scatter")
+    b.ret(b.load(chk, 0))
+    return BuiltWorkload("256.bzip2", module, (), ("out", "freq", "checksum"))
+
+
+def twolf() -> BuiltWorkload:
+    """300.twolf: standard-cell annealing (accept/reject structure).
+
+    Like vpr but without the malloc cold path: wirelength evaluation
+    reads the pin tables, the Metropolis test consults the LCG (WAR),
+    and accepted moves update positions and the cost cell (WARs).
+    """
+    module, kit = new_workload("300.twolf")
+    add_service_function(module, tiers=("never", "rare", "uncommon"))
+    b = kit.b
+    cells = 48
+    xs = module.add_global("cell_x", cells, init=int_data("twolf.x", cells, 0, 127))
+    ys = module.add_global("cell_y", cells, init=int_data("twolf.y", cells, 0, 127))
+    nets = module.add_global("nets", cells, init=int_data("twolf.n", cells, 0, cells - 1))
+    rng_state = module.add_global("rng", 1, init=[777])
+    wirelen = module.add_global("wirelen", 1, init=[5000])
+    chk = module.add_global("checksum", 1)
+    b.block("entry")
+
+    def attempt(trial):
+        r = kit.lcg(rng_state)
+        cell = b.and_(r, cells - 1)
+        peer = b.load(nets, cell)
+        x1 = b.load(xs, cell)
+        y1 = b.load(ys, cell)
+        x2 = b.load(xs, peer)
+        y2 = b.load(ys, peer)
+        dx = b.sub(x1, x2)
+        dx = b.binop("max", dx, b.sub(x2, x1))
+        dy = b.sub(y1, y2)
+        dy = b.binop("max", dy, b.sub(y2, y1))
+        halfp = b.add(dx, dy)
+        # Half-perimeter wirelength over the cell's fanout (read-only
+        # inner scan, like the real new_dbox cost evaluation).
+        wl = b.mov(0)
+
+        def fanout(k):
+            other = b.load(nets, b.and_(b.add(cell, k), cells - 1))
+            ox = b.load(xs, other)
+            d = b.sub(x1, ox)
+            d = b.binop("max", d, b.sub(ox, x1))
+            b.add(wl, d, wl)
+
+        kit.counted(4, fanout, "fanout")
+        halfp = b.add(halfp, b.binop("ashr", wl, 2))
+
+        def accept():
+            nx = b.and_(b.add(x1, b.lshr(r, 8)), 127)
+            b.store(xs, cell, nx)                 # WAR on positions
+            cur = b.load(wirelen, 0)
+            b.store(wirelen, 0, b.sub(cur, 1))    # WAR on the cost cell
+
+        def reject():
+            kit.checksum_into(chk, 0, halfp)
+
+        threshold = b.and_(b.lshr(r, 4), 63)
+        kit.if_else(b.cmp("sgt", halfp, threshold), accept, reject, "metro")
+        b.call("service", [trial], returns=False)
+
+    kit.counted(400, attempt, "anneal")
+    b.ret(b.load(wirelen, 0))
+    return BuiltWorkload("300.twolf", module, (), ("cell_x", "wirelen", "checksum"))

@@ -1,0 +1,324 @@
+"""Workload-authoring toolkit.
+
+The benchmark programs in this package are written directly in the repro
+IR.  :class:`Kit` wraps an :class:`IRBuilder` with structured-control
+combinators (counted loops, if/then/else) and deterministic data
+generators so each workload reads as its algorithm rather than as basic-
+block bookkeeping.
+
+Design note: the combinators always leave the builder positioned at the
+join/exit block, so they nest arbitrarily — a workload body can open
+loops inside conditionals inside loops and the CFG stays well-formed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ir import IRBuilder, Module, VirtualRegister
+from repro.ir.values import Operand
+
+
+@dataclasses.dataclass
+class BuiltWorkload:
+    """A ready-to-run benchmark program."""
+
+    name: str
+    module: Module
+    args: Sequence = ()
+    output_objects: Sequence[str] = ()
+    externals: Optional[Dict[str, Callable]] = None
+    entry: str = "main"
+
+
+class Kit:
+    """Structured-control sugar over an :class:`IRBuilder`."""
+
+    def __init__(self, builder: IRBuilder) -> None:
+        self.b = builder
+        self._labels = itertools.count()
+
+    def label(self, stem: str) -> str:
+        return f"{stem}_{next(self._labels)}"
+
+    # -- loops ------------------------------------------------------------
+
+    def counted(
+        self,
+        count,
+        body: Callable[[VirtualRegister], None],
+        stem: str = "loop",
+        start: int = 0,
+        step: int = 1,
+    ) -> VirtualRegister:
+        """``for i in range(start, count, step): body(i)``.
+
+        Returns the induction register (holding ``count`` afterwards).
+        """
+        b = self.b
+        i = b.fresh("i")
+        b.mov(start, i)
+        header = self.label(f"{stem}_head")
+        body_l = self.label(f"{stem}_body")
+        exit_l = self.label(f"{stem}_exit")
+        b.jmp(header)
+        b.block(header)
+        cond = b.cmp("slt", i, count)
+        b.br(cond, body_l, exit_l)
+        b.block(body_l)
+        body(i)
+        b.add(i, step, i)
+        b.jmp(header)
+        b.block(exit_l)
+        return i
+
+    def while_loop(
+        self,
+        cond_fn: Callable[[], VirtualRegister],
+        body: Callable[[], None],
+        stem: str = "while",
+    ) -> None:
+        """``while cond_fn(): body()`` — cond_fn emits the test each trip."""
+        b = self.b
+        header = self.label(f"{stem}_head")
+        body_l = self.label(f"{stem}_body")
+        exit_l = self.label(f"{stem}_exit")
+        b.jmp(header)
+        b.block(header)
+        cond = cond_fn()
+        b.br(cond, body_l, exit_l)
+        b.block(body_l)
+        body()
+        b.jmp(header)
+        b.block(exit_l)
+
+    # -- conditionals -------------------------------------------------------
+
+    def if_then(
+        self, cond, then_fn: Callable[[], None], stem: str = "if"
+    ) -> None:
+        b = self.b
+        then_l = self.label(f"{stem}_then")
+        join_l = self.label(f"{stem}_join")
+        b.br(cond, then_l, join_l)
+        b.block(then_l)
+        then_fn()
+        b.jmp(join_l)
+        b.block(join_l)
+
+    def if_else(
+        self,
+        cond,
+        then_fn: Callable[[], None],
+        else_fn: Callable[[], None],
+        stem: str = "if",
+    ) -> None:
+        b = self.b
+        then_l = self.label(f"{stem}_then")
+        else_l = self.label(f"{stem}_else")
+        join_l = self.label(f"{stem}_join")
+        b.br(cond, then_l, else_l)
+        b.block(then_l)
+        then_fn()
+        b.jmp(join_l)
+        b.block(else_l)
+        else_fn()
+        b.jmp(join_l)
+        b.block(join_l)
+
+    # -- common idioms --------------------------------------------------------
+
+    def lcg(self, state_obj, index: int = 0) -> VirtualRegister:
+        """Advance a linear-congruential PRNG held in memory.
+
+        This is a deliberate load-modify-store (WAR) site: PRNG state is
+        one of the classic idempotence violators the paper's Figure 2c
+        discussion alludes to.
+        """
+        b = self.b
+        state = b.load(state_obj, index)
+        mixed = b.mul(state, 1103515245)
+        mixed = b.add(mixed, 12345)
+        mixed = b.and_(mixed, (1 << 31) - 1)
+        b.store(state_obj, index, mixed)
+        return mixed
+
+    def checksum_into(self, out_obj, out_index, value) -> None:
+        """``out[out_index] = (out[out_index] * 31 + value) mod 2^31``."""
+        b = self.b
+        cur = b.load(out_obj, out_index)
+        mixed = b.mul(cur, 31)
+        mixed = b.add(mixed, value)
+        mixed = b.and_(mixed, (1 << 31) - 1)
+        b.store(out_obj, out_index, mixed)
+
+    def clamp(self, value, lo: int, hi: int) -> VirtualRegister:
+        b = self.b
+        bounded = b.binop("max", value, lo)
+        return b.binop("min", bounded, hi)
+
+
+#: The active input variant, in the SPEC train/ref tradition: profiles
+#: are gathered on "train" data, and evaluation may use different "ref"
+#: data to probe how the statistical (profile-derived) decisions hold up.
+_DATA_VARIANT = "train"
+
+
+def set_data_variant(variant: str) -> str:
+    """Switch the input data set; returns the previous variant."""
+    global _DATA_VARIANT
+    previous = _DATA_VARIANT
+    _DATA_VARIANT = variant
+    return previous
+
+
+def _seed(prefix: str, name: str) -> str:
+    # "train" keeps the legacy seeds so existing goldens are unchanged.
+    if _DATA_VARIANT == "train":
+        return f"{prefix}:{name}"
+    return f"{prefix}:{_DATA_VARIANT}:{name}"
+
+
+def int_data(name: str, size: int, lo: int = 0, hi: int = 255) -> List[int]:
+    """Deterministic pseudo-random initializer for a memory object."""
+    rng = random.Random(_seed("data", name))
+    return [rng.randint(lo, hi) for _ in range(size)]
+
+
+def float_data(name: str, size: int, lo: float = -1.0, hi: float = 1.0) -> List[float]:
+    rng = random.Random(_seed("fdata", name))
+    return [rng.uniform(lo, hi) for _ in range(size)]
+
+
+def new_workload(name: str) -> tuple:
+    """Start a workload module: returns ``(module, kit)`` with main open."""
+    module = Module(name)
+    func = module.add_function("main")
+    builder = IRBuilder(func)
+    kit = Kit(builder)
+    return module, kit
+
+
+def indirect_handle(kit: Kit, module: Module, target, desc_name: str):
+    """Access ``target`` through a pointer loaded from a descriptor cell.
+
+    Mirrors compiled C, where buffers live behind struct fields: the
+    pointer is stored into ``desc_name`` and immediately loaded back, so
+    every later access goes through a register whose points-to set is
+    TOP.  Conservative static alias analysis must then assume the
+    accesses may alias anything — the source of the paper's gap between
+    the Static and Optimistic alias-analysis overheads (Figure 7a).
+    """
+    from repro.ir import Type
+
+    b = kit.b
+    desc = module.add_global(desc_name, 1)
+    p = b.addrof(target, 0)
+    b.store(desc, 0, p)
+    return b.load(desc, 0, dest=b.fresh("hbuf", Type.PTR))
+
+
+def add_report_function(
+    module: Module,
+    stats_obj_name: str,
+    name: str = "report",
+    external_name: str = "sys_write",
+) -> None:
+    """Add an end-of-run summary routine that performs real output I/O.
+
+    ``report()`` scans a stats/output object and hands each word to an
+    opaque library call — the "system and library function calls for
+    which relevant alias analysis information could not be easily
+    obtained" behind the paper's persistent *Unknown* region segments
+    (Figure 5).  It runs once, so the coverage it forfeits is tiny.
+    """
+    module.declare_external(external_name)
+    fn = module.add_function(name)
+    b = IRBuilder(fn)
+    kit = Kit(b)
+    b.block("entry")
+    obj = module.globals[stats_obj_name]
+
+    def emit(i):
+        word = b.load(obj, i)
+        b.call(external_name, [word], returns=False)
+
+    kit.counted(min(obj.size, 8), emit, "emit")
+    b.ret(0)
+
+
+def add_service_function(
+    module: Module,
+    name: str = "service",
+    tiers: Sequence[str] = ("never",),
+    external_on: Optional[str] = None,
+    external_name: Optional[str] = None,
+) -> None:
+    """Add a bookkeeping helper with statistically-cold side-effect paths.
+
+    Real applications carry error handlers, reallocation slow paths, and
+    periodic maintenance that execute on a small fraction of invocations
+    — exactly the code Encore's Pmin pruning targets (paper Section
+    3.4.1 and the try_swap example of Figure 2c).  ``service(req)``
+    reproduces the three tiers:
+
+    * ``never``    — an error path guarded by a condition that cannot
+      fire (pruned at Pmin = 0.0);
+    * ``rare``     — taken on ~1.6% of invocations (pruned at 0.1);
+    * ``uncommon`` — taken on 20% of invocations (pruned at 0.25).
+
+    Each tier performs a read-modify-write on a stats cell (a WAR that
+    spoils idempotence while unpruned).  ``external_on`` optionally puts
+    an opaque library call on one tier, producing the paper's *Unknown*
+    classification until that tier is pruned away ("always" keeps the
+    call on the hot path, so the region stays unknown at every Pmin).
+    """
+    for tier in tiers:
+        if tier not in ("never", "rare", "uncommon"):
+            raise ValueError(f"unknown tier {tier!r}")
+    if external_on is not None and external_on not in tuple(tiers) + ("always",):
+        raise ValueError(f"external_on={external_on!r} is not an active tier")
+
+    stats = module.add_global(f"{name}_stats", 4)
+    ext = external_name or f"{name}_syscall"
+    if external_on is not None:
+        module.declare_external(ext)
+    fn = module.add_function(name, params=[VirtualRegister("req")])
+    b = IRBuilder(fn)
+    kit = Kit(b)
+    b.block("entry")
+    req = fn.params[0]
+
+    def tier_body(cell: int, with_external: bool):
+        def body():
+            count = b.load(stats, cell)          # WAR on the stats cell
+            b.store(stats, cell, b.add(count, 1))
+            if with_external:
+                b.call(ext, [req], returns=False)
+        return body
+
+    if "never" in tiers:
+        sentinel = b.load(stats, 3)  # never written above 0
+        kit.if_then(
+            b.cmp("sgt", sentinel, 1_000_000),
+            tier_body(0, external_on == "never"),
+            "err",
+        )
+    if "rare" in tiers:
+        kit.if_then(
+            b.cmp("eq", b.and_(req, 63), 17),
+            tier_body(1, external_on == "rare"),
+            "rare",
+        )
+    if "uncommon" in tiers:
+        kit.if_then(
+            b.cmp("eq", b.srem(req, 5), 3),
+            tier_body(2, external_on == "uncommon"),
+            "uncommon",
+        )
+    if external_on == "always":
+        b.call(ext, [req], returns=False)
+    b.ret(0)

@@ -1,0 +1,197 @@
+"""Shared IR program fixtures used across the test suite."""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder, Module
+
+
+def build_linear_sum():
+    """Straight-line program: out[0] = 3*7 + 5."""
+    module = Module("linear")
+    out = module.add_global("out", 4)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    product = b.mul(3, 7)
+    total = b.add(product, 5)
+    b.store(out, 0, total)
+    b.ret(total)
+    return module, out
+
+
+def build_diamond(take_then=1):
+    """If/else writing 100 or 200 to out[0] depending on an argument."""
+    module = Module("diamond")
+    out = module.add_global("out", 2)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    cond = b.cmp("eq", take_then, 1)
+    b.br(cond, "then", "else_")
+    b.block("then")
+    b.store(out, 0, 100)
+    b.jmp("join")
+    b.block("else_")
+    b.store(out, 0, 200)
+    b.jmp("join")
+    b.block("join")
+    result = b.load(out, 0)
+    b.ret(result)
+    return module, out
+
+
+def build_counted_loop(n=10):
+    """Loop writing i*i into arr[i] for i in range(n); returns the sum."""
+    module = Module("loop")
+    arr = module.add_global("arr", max(n, 1))
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    i = b.fresh("i")
+    total = b.fresh("sum")
+    b.block("entry")
+    b.mov(0, i)
+    b.mov(0, total)
+    b.jmp("header")
+    b.block("header")
+    cond = b.cmp("slt", i, n)
+    b.br(cond, "body", "exit")
+    b.block("body")
+    sq = b.mul(i, i)
+    b.store(arr, i, sq)
+    b.add(total, sq, total)
+    b.add(i, 1, i)
+    b.jmp("header")
+    b.block("exit")
+    b.ret(total)
+    return module, arr
+
+
+def build_nested_loops(n=4, m=3):
+    """Nested loops writing i*m+j into a matrix."""
+    module = Module("nested")
+    mat = module.add_global("mat", n * m)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    i = b.fresh("i")
+    j = b.fresh("j")
+    b.block("entry")
+    b.mov(0, i)
+    b.jmp("outer_header")
+    b.block("outer_header")
+    oc = b.cmp("slt", i, n)
+    b.br(oc, "outer_body", "exit")
+    b.block("outer_body")
+    b.mov(0, j)
+    b.jmp("inner_header")
+    b.block("inner_header")
+    ic = b.cmp("slt", j, m)
+    b.br(ic, "inner_body", "outer_latch")
+    b.block("inner_body")
+    row = b.mul(i, m)
+    idx = b.add(row, j)
+    val = b.add(idx, 0)
+    b.store(mat, idx, val)
+    b.add(j, 1, j)
+    b.jmp("inner_header")
+    b.block("outer_latch")
+    b.add(i, 1, i)
+    b.jmp("outer_header")
+    b.block("exit")
+    b.ret(0)
+    return module, mat
+
+
+def build_call_program():
+    """main calls square(x) twice and stores the results."""
+    module = Module("calls")
+    out = module.add_global("out", 2)
+    square = module.add_function("square", params=[_param("x")])
+    sb = IRBuilder(square)
+    sb.block("entry")
+    result = sb.mul(square.params[0], square.params[0])
+    sb.ret(result)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    a = b.call("square", [5])
+    b.store(out, 0, a)
+    c = b.call("square", [9])
+    b.store(out, 1, c)
+    total = b.add(a, c)
+    b.ret(total)
+    return module, out
+
+
+def build_figure4_region():
+    """The paper's Figure 4 example region, reconstructed.
+
+    Four potential WAR dependencies exist, but only the (Load B, Store B)
+    pair — instructions 7 and 10 in the paper — can violate idempotence:
+    the other loads are guarded by dominating stores to the same address.
+
+    Layout (A=mem[0], B=mem[1], C=mem[2]):
+
+        bb1: store A            -> bb2 | bb3
+        bb2: store B; store C   -> bb4
+        bb3: load A (#4, guarded); store C   -> bb5
+        bb4: load B (guarded by bb2)         -> bb6
+        bb5: load B (*7, EXPOSED); load C (@8, guarded) -> bb6
+        bb6: store A (#9); store B (*10)     -> bb7 | bb8
+        bb7: load C (+11, guarded)           -> bb8
+        bb8: store C (@12); ret
+    """
+    module = Module("figure4")
+    mem = module.add_global("mem", 3)
+    func = module.add_function("main", params=[_param("p")])
+    b = IRBuilder(func)
+    A, B, C = 0, 1, 2
+    p = func.params[0]
+
+    b.block("bb1")
+    b.store(mem, A, 11)  # 1: Store A
+    c1 = b.cmp("sgt", p, 0)
+    b.br(c1, "bb2", "bb3")
+
+    b.block("bb2")
+    b.store(mem, B, 22)  # 2: Store B
+    b.store(mem, C, 33)  # 3: Store C
+    b.jmp("bb4")
+
+    b.block("bb3")
+    va = b.load(mem, A)  # 4: Load A (guarded by 1)
+    vc3 = b.add(va, 1)
+    b.store(mem, C, vc3)  # 5: Store C
+    b.jmp("bb5")
+
+    b.block("bb4")
+    vb4 = b.load(mem, B)  # 6: Load B (guarded by 2)
+    b.add(vb4, 0)
+    b.jmp("bb6")
+
+    b.block("bb5")
+    vb5 = b.load(mem, B)  # 7: Load B  — EXPOSED (no store to B on this path)
+    vc5 = b.load(mem, C)  # 8: Load C (guarded by 5)
+    b.add(vb5, vc5)
+    b.jmp("bb6")
+
+    b.block("bb6")
+    b.store(mem, A, 99)  # 9: Store A
+    b.store(mem, B, 88)  # 10: Store B — the single offending store
+    c6 = b.cmp("slt", p, 10)
+    b.br(c6, "bb7", "bb8")
+
+    b.block("bb7")
+    vc7 = b.load(mem, C)  # 11: Load C (guarded)
+    b.add(vc7, 0)
+    b.jmp("bb8")
+
+    b.block("bb8")
+    b.store(mem, C, 77)  # 12: Store C
+    b.ret(0)
+    return module, mem
+
+
+def _param(name):
+    from repro.ir import VirtualRegister
+
+    return VirtualRegister(name)

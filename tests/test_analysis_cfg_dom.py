@@ -1,0 +1,126 @@
+"""Tests for CFG traversals and dominator-tree construction."""
+
+import pytest
+
+from repro.analysis import CFGView, DominatorTree, post_order, topological_order
+from repro.analysis.cfg import reachable_from, reverse_graph
+from repro.ir import IRBuilder, Module
+from helpers import build_counted_loop, build_diamond, build_figure4_region, build_nested_loops
+
+
+def cfg_of(module, fn="main"):
+    return CFGView(module.function(fn))
+
+
+class TestCFGView:
+    def test_diamond_edges(self):
+        module, _ = build_diamond()
+        cfg = cfg_of(module)
+        assert set(cfg.succs["entry"]) == {"then", "else_"}
+        assert sorted(cfg.preds["join"]) == ["else_", "then"]
+        assert cfg.entry == "entry"
+
+    def test_unreachable_excluded(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.ret(0)
+        b.block("orphan")
+        b.ret(1)
+        cfg = CFGView(func)
+        assert "orphan" not in cfg
+        assert len(cfg) == 1
+
+    def test_post_order_children_before_parents(self):
+        module, _ = build_diamond()
+        cfg = cfg_of(module)
+        order = cfg.post_order()
+        assert order.index("join") < order.index("then")
+        assert order.index("then") < order.index("entry")
+        assert order[-1] == "entry"
+
+    def test_reverse_post_order_is_topological_for_dag(self):
+        module, _ = build_diamond()
+        cfg = cfg_of(module)
+        rpo = cfg.reverse_post_order()
+        pos = {l: i for i, l in enumerate(rpo)}
+        for src, dsts in cfg.succs.items():
+            for dst in dsts:
+                assert pos[src] < pos[dst]
+
+    def test_exit_labels(self):
+        module, _ = build_counted_loop()
+        cfg = cfg_of(module)
+        assert cfg.exit_labels() == ["exit"]
+
+
+class TestGraphHelpers:
+    def test_reverse_graph(self):
+        g = {"a": ["b", "c"], "b": ["c"], "c": []}
+        rev = reverse_graph(g)
+        assert sorted(rev["c"]) == ["a", "b"]
+        assert rev["a"] == []
+
+    def test_reachable_from(self):
+        g = {"a": ["b"], "b": [], "c": ["a"]}
+        assert reachable_from(g, "a") == {"a", "b"}
+
+    def test_topological_order_rejects_cycles(self):
+        g = {"a": ["b"], "b": ["a"]}
+        with pytest.raises(ValueError):
+            topological_order(g, ["a"])
+
+    def test_post_order_on_cycle_terminates(self):
+        g = {"a": ["b"], "b": ["a", "c"], "c": []}
+        order = post_order(g, "a")
+        assert set(order) == {"a", "b", "c"}
+
+
+class TestDominators:
+    def test_diamond_dominators(self):
+        module, _ = build_diamond()
+        cfg = cfg_of(module)
+        dom = DominatorTree(cfg)
+        assert dom.idom["then"] == "entry"
+        assert dom.idom["else_"] == "entry"
+        assert dom.idom["join"] == "entry"
+        assert dom.dominates("entry", "join")
+        assert not dom.dominates("then", "join")
+
+    def test_loop_dominators(self):
+        module, _ = build_counted_loop()
+        cfg = cfg_of(module)
+        dom = DominatorTree(cfg)
+        assert dom.idom["header"] == "entry"
+        assert dom.idom["body"] == "header"
+        assert dom.idom["exit"] == "header"
+        assert dom.dominates("header", "body")
+
+    def test_every_block_dominated_by_entry(self):
+        module, _ = build_figure4_region()
+        cfg = cfg_of(module)
+        dom = DominatorTree(cfg)
+        for label in cfg.labels:
+            assert dom.dominates("bb1", label)
+
+    def test_figure4_join_dominator(self):
+        module, _ = build_figure4_region()
+        dom = DominatorTree(cfg_of(module))
+        # bb6 joins the two arms; its idom is the fork point bb1.
+        assert dom.idom["bb6"] == "bb1"
+        assert dom.idom["bb8"] == "bb6"
+
+    def test_dominated_set(self):
+        module, _ = build_nested_loops()
+        dom = DominatorTree(cfg_of(module))
+        inner = dom.dominated_set("inner_header")
+        assert "inner_body" in inner
+        assert "outer_header" not in inner
+
+    def test_strict_dominance(self):
+        module, _ = build_diamond()
+        dom = DominatorTree(cfg_of(module))
+        assert dom.strictly_dominates("entry", "join")
+        assert not dom.strictly_dominates("join", "join")
+        assert dom.dominates("join", "join")

@@ -1,0 +1,208 @@
+"""Tests for liveness analysis and the alias/points-to machinery."""
+
+from repro.analysis import AliasAnalysis, CFGView, LivenessAnalysis, UNKNOWN_INDEX
+from repro.ir import Constant, IRBuilder, MemRef, Module, Type, VirtualRegister
+from helpers import build_counted_loop, build_figure4_region
+
+
+class TestLiveness:
+    def test_loop_counter_live_in_at_header(self):
+        module, _ = build_counted_loop()
+        func = module.function("main")
+        live = LivenessAnalysis(func)
+        reg_names = {r.name for r in live.live_in["header"]}
+        # Both the counter and accumulator flow around the loop.
+        assert any(n.startswith("i") for n in reg_names)
+        assert any(n.startswith("sum") for n in reg_names)
+
+    def test_entry_has_no_live_in_registers(self):
+        module, _ = build_counted_loop()
+        live = LivenessAnalysis(module.function("main"))
+        assert live.live_in["entry"] == set()
+
+    def test_region_live_in_overwritten(self):
+        module, _ = build_counted_loop()
+        func = module.function("main")
+        live = LivenessAnalysis(func)
+        regs = live.region_live_in_overwritten({"header", "body"}, "header")
+        names = {r.name for r in regs}
+        # i and sum are live into the loop and redefined inside it.
+        assert any(n.startswith("i") for n in names)
+        assert any(n.startswith("sum") for n in names)
+
+    def test_use_before_def_within_block(self):
+        module = Module()
+        func = module.add_function("main", params=[VirtualRegister("x")])
+        b = IRBuilder(func)
+        b.block("entry")
+        y = b.add(func.params[0], 1)  # uses x before any def of x
+        b.mov(0, func.params[0])  # then kills x
+        b.ret(y)
+        live = LivenessAnalysis(func)
+        assert VirtualRegister("x") in live.use["entry"]
+
+    def test_def_shadows_later_use(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        x = b.mov(1)
+        b.add(x, 1)
+        b.ret(0)
+        live = LivenessAnalysis(func)
+        assert x not in live.use["entry"]
+        assert x in live.defs["entry"]
+
+    def test_live_out_union_of_successors(self):
+        module, _ = build_counted_loop()
+        func = module.function("main")
+        live = LivenessAnalysis(func)
+        out = live.live_out("entry")
+        assert out == live.live_in["header"]
+
+
+class TestAliasStatic:
+    def test_same_object_same_index_must_alias(self):
+        module, mem = build_figure4_region()
+        aa = AliasAnalysis(module, mode="static")
+        k1 = aa.key("main", MemRef(mem, Constant(1)))
+        k2 = aa.key("main", MemRef(mem, Constant(1)))
+        assert aa.must_alias(k1, k2)
+        assert aa.may_alias(k1, k2)
+
+    def test_same_object_different_index_no_alias(self):
+        module, mem = build_figure4_region()
+        aa = AliasAnalysis(module)
+        k1 = aa.key("main", MemRef(mem, Constant(0)))
+        k2 = aa.key("main", MemRef(mem, Constant(1)))
+        assert not aa.may_alias(k1, k2)
+        assert not aa.must_alias(k1, k2)
+
+    def test_different_objects_no_alias(self):
+        module = Module()
+        a = module.add_global("a", 4)
+        b_ = module.add_global("b", 4)
+        module.add_function("main")
+        aa = AliasAnalysis(module)
+        k1 = aa.key("main", MemRef(a, Constant(0)))
+        k2 = aa.key("main", MemRef(b_, Constant(0)))
+        assert not aa.may_alias(k1, k2)
+
+    def test_unknown_index_may_alias_same_object(self):
+        module = Module()
+        a = module.add_global("a", 4)
+        module.add_function("main")
+        aa = AliasAnalysis(module)
+        sym = aa.key("main", MemRef(a, VirtualRegister("i")))
+        conc = aa.key("main", MemRef(a, Constant(2)))
+        assert sym.index is UNKNOWN_INDEX
+        assert aa.may_alias(sym, conc)
+        assert not aa.must_alias(sym, conc)
+
+    def test_pointer_through_addrof_tracks_object(self):
+        module = Module()
+        a = module.add_global("a", 4)
+        b_ = module.add_global("b", 4)
+        func = module.add_function("main")
+        ib = IRBuilder(func)
+        ib.block("entry")
+        p = ib.addrof(a, 0)
+        ib.store(p, 0, 1)
+        ib.ret(0)
+        aa = AliasAnalysis(module)
+        kp = aa.key("main", MemRef(p, Constant(0)))
+        assert kp.objs == frozenset(["a"])
+        kb = aa.key("main", MemRef(b_, Constant(0)))
+        assert not aa.may_alias(kp, kb)
+
+    def test_untracked_pointer_is_top(self):
+        module = Module()
+        a = module.add_global("a", 4)
+        module.declare_external("get_ptr")
+        func = module.add_function("main")
+        ib = IRBuilder(func)
+        ib.block("entry")
+        p = ib.call("get_ptr", [], dest=VirtualRegister("p", Type.PTR))
+        ib.store(p, 0, 1)
+        ib.ret(0)
+        aa = AliasAnalysis(module)
+        kp = aa.key("main", MemRef(p, Constant(0)))
+        assert kp.objs is None  # TOP
+        ka = aa.key("main", MemRef(a, Constant(0)))
+        assert aa.may_alias(kp, ka)
+        assert not aa.must_alias(kp, ka)
+
+    def test_alloc_site_abstraction(self):
+        module = Module()
+        func = module.add_function("main")
+        ib = IRBuilder(func)
+        ib.block("entry")
+        p = ib.alloc(8)
+        ib.store(p, 0, 1)
+        ib.ret(0)
+        aa = AliasAnalysis(module)
+        kp = aa.key("main", MemRef(p, Constant(0)))
+        assert kp.objs is not None
+        assert any(name.startswith("heap:main:") for name in kp.objs)
+
+    def test_interprocedural_pointer_argument(self):
+        module = Module()
+        a = module.add_global("a", 4)
+        q = VirtualRegister("q", Type.PTR)
+        callee = module.add_function("write_to", params=[q])
+        cb = IRBuilder(callee)
+        cb.block("entry")
+        cb.store(q, 0, 9)
+        cb.ret(0)
+        func = module.add_function("main")
+        ib = IRBuilder(func)
+        ib.block("entry")
+        p = ib.addrof(a, 0)
+        ib.call("write_to", [p])
+        ib.ret(0)
+        aa = AliasAnalysis(module)
+        kq = aa.key("write_to", MemRef(q, Constant(0)))
+        assert kq.objs == frozenset(["a"])
+
+
+class TestAliasOptimistic:
+    def test_symbolic_indices_assumed_distinct(self):
+        module = Module()
+        a = module.add_global("a", 16)
+        module.add_function("main")
+        aa = AliasAnalysis(module, mode="optimistic")
+        ki = aa.key("main", MemRef(a, VirtualRegister("i")))
+        kj = aa.key("main", MemRef(a, VirtualRegister("j")))
+        assert not aa.may_alias(ki, kj)
+
+    def test_identical_symbolic_reference_must_alias(self):
+        module = Module()
+        a = module.add_global("a", 16)
+        module.add_function("main")
+        aa = AliasAnalysis(module, mode="optimistic")
+        k1 = aa.key("main", MemRef(a, VirtualRegister("i")))
+        k2 = aa.key("main", MemRef(a, VirtualRegister("i")))
+        assert aa.must_alias(k1, k2)
+        assert aa.may_alias(k1, k2)
+
+    def test_optimistic_never_flags_top(self):
+        module = Module()
+        a = module.add_global("a", 4)
+        module.declare_external("get_ptr")
+        func = module.add_function("main")
+        ib = IRBuilder(func)
+        ib.block("entry")
+        p = ib.call("get_ptr", [], dest=VirtualRegister("p", Type.PTR))
+        ib.store(p, 0, 1)
+        ib.ret(0)
+        aa = AliasAnalysis(module, mode="optimistic")
+        kp = aa.key("main", MemRef(p, Constant(0)))
+        ka = aa.key("main", MemRef(a, Constant(0)))
+        assert not aa.may_alias(kp, ka)
+
+    def test_mode_validation(self):
+        module = Module()
+        import pytest
+
+        with pytest.raises(ValueError):
+            AliasAnalysis(module, mode="psychic")

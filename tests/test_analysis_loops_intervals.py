@@ -1,0 +1,169 @@
+"""Tests for natural-loop discovery and interval partitioning."""
+
+from repro.analysis import CFGView, IntervalHierarchy, LoopForest, partition_into_intervals
+from repro.ir import IRBuilder, Module
+from helpers import build_counted_loop, build_diamond, build_figure4_region, build_nested_loops
+
+
+class TestLoops:
+    def test_simple_loop_found(self):
+        module, _ = build_counted_loop()
+        forest = LoopForest(CFGView(module.function("main")))
+        assert len(forest) == 1
+        loop = forest.loops[0]
+        assert loop.header == "header"
+        assert loop.blocks == {"header", "body"}
+        assert loop.latches == {"body"}
+        assert not forest.irreducible
+
+    def test_acyclic_has_no_loops(self):
+        module, _ = build_diamond()
+        forest = LoopForest(CFGView(module.function("main")))
+        assert len(forest) == 0
+
+    def test_nested_loops_nesting(self):
+        module, _ = build_nested_loops()
+        forest = LoopForest(CFGView(module.function("main")))
+        assert len(forest) == 2
+        inner = forest.loop_with_header("inner_header")
+        outer = forest.loop_with_header("outer_header")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.depth == 2 and outer.depth == 1
+        assert inner.blocks < outer.blocks
+
+    def test_inner_to_outer_ordering(self):
+        module, _ = build_nested_loops()
+        forest = LoopForest(CFGView(module.function("main")))
+        ordered = forest.inner_to_outer()
+        assert ordered[0].header == "inner_header"
+        assert ordered[1].header == "outer_header"
+
+    def test_exiting_and_exit_blocks(self):
+        module, _ = build_counted_loop()
+        cfg = CFGView(module.function("main"))
+        loop = LoopForest(cfg).loops[0]
+        assert loop.exiting_blocks(cfg) == ["header"]
+        assert loop.exit_blocks(cfg) == ["exit"]
+
+    def test_innermost_loop_of(self):
+        module, _ = build_nested_loops()
+        forest = LoopForest(CFGView(module.function("main")))
+        assert forest.innermost_loop_of("inner_body").header == "inner_header"
+        assert forest.innermost_loop_of("outer_latch").header == "outer_header"
+        assert forest.innermost_loop_of("entry") is None
+
+    def test_irreducible_graph_detected(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.br(1, "a", "b")
+        b.block("a")
+        b.br(1, "b", "exit")
+        b.block("b")
+        b.br(1, "a", "exit")
+        b.block("exit")
+        b.ret(0)
+        forest = LoopForest(CFGView(func))
+        assert forest.irreducible
+
+    def test_self_loop(self):
+        module = Module()
+        arr = module.add_global("arr", 8)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(0, i)
+        b.jmp("spin")
+        b.block("spin")
+        b.store(arr, i, i)
+        b.add(i, 1, i)
+        c = b.cmp("slt", i, 8)
+        b.br(c, "spin", "exit")
+        b.block("exit")
+        b.ret(0)
+        forest = LoopForest(CFGView(func))
+        assert len(forest) == 1
+        assert forest.loops[0].blocks == {"spin"}
+        assert forest.loops[0].latches == {"spin"}
+
+
+class TestIntervalPartitioning:
+    def test_diamond_single_interval(self):
+        module, _ = build_diamond()
+        cfg = CFGView(module.function("main"))
+        raw = partition_into_intervals(cfg.succs, cfg.preds, cfg.entry)
+        assert len(raw) == 1
+        assert raw[0][0] == "entry"
+        assert set(raw[0]) == set(cfg.labels)
+
+    def test_loop_interval_structure(self):
+        module, _ = build_counted_loop()
+        cfg = CFGView(module.function("main"))
+        raw = partition_into_intervals(cfg.succs, cfg.preds, cfg.entry)
+        headers = [iv[0] for iv in raw]
+        assert "entry" in headers and "header" in headers
+        by_header = {iv[0]: set(iv) for iv in raw}
+        # The loop interval contains the loop body and the dangling exit.
+        assert by_header["header"] >= {"header", "body", "exit"}
+
+    def test_intervals_are_single_entry(self):
+        module, _ = build_figure4_region()
+        cfg = CFGView(module.function("main"))
+        raw = partition_into_intervals(cfg.succs, cfg.preds, cfg.entry)
+        for members in raw:
+            header, member_set = members[0], set(members)
+            for node in members:
+                if node == header:
+                    continue
+                for pred in cfg.preds[node]:
+                    assert pred in member_set, (
+                        f"{node} entered from outside interval {header}"
+                    )
+
+    def test_every_node_in_exactly_one_interval(self):
+        module, _ = build_nested_loops()
+        cfg = CFGView(module.function("main"))
+        raw = partition_into_intervals(cfg.succs, cfg.preds, cfg.entry)
+        seen = [n for iv in raw for n in iv]
+        assert sorted(seen) == sorted(cfg.labels)
+
+
+class TestIntervalHierarchy:
+    def test_hierarchy_converges_to_single_interval(self):
+        module, _ = build_nested_loops()
+        hierarchy = IntervalHierarchy(CFGView(module.function("main")))
+        assert hierarchy.depth >= 1
+        top = hierarchy.levels[-1]
+        # Reducible graphs collapse to one interval at the limit.
+        assert len(top) == 1
+        assert top[0].block_set == set(CFGView(module.function("main")).labels)
+
+    def test_level_zero_intervals_cover_cfg(self):
+        module, _ = build_figure4_region()
+        cfg = CFGView(module.function("main"))
+        hierarchy = IntervalHierarchy(cfg)
+        covered = set()
+        for iv in hierarchy.levels[0]:
+            covered |= iv.block_set
+        assert covered == set(cfg.labels)
+
+    def test_interval_headers_are_blocks(self):
+        module, _ = build_counted_loop()
+        hierarchy = IntervalHierarchy(CFGView(module.function("main")))
+        for iv in hierarchy.all_intervals():
+            assert iv.header_block in iv.block_set
+
+    def test_intervals_at_clamps(self):
+        module, _ = build_diamond()
+        hierarchy = IntervalHierarchy(CFGView(module.function("main")))
+        assert hierarchy.intervals_at(99) == hierarchy.levels[-1]
+        assert hierarchy.intervals_at(1) == hierarchy.levels[0]
+
+    def test_nested_loop_levels_grow(self):
+        module, _ = build_nested_loops()
+        hierarchy = IntervalHierarchy(CFGView(module.function("main")))
+        sizes = [max(len(iv.block_set) for iv in level) for level in hierarchy.levels]
+        assert sizes == sorted(sizes)  # coarser regions at higher levels

@@ -1,0 +1,105 @@
+"""Tests for the conventional-recovery baselines (Table 1 comparators)."""
+
+import pytest
+
+from repro.runtime.baselines import (
+    BaselineStats,
+    FullCheckpointRecovery,
+    LogBasedRecovery,
+    run_baseline_campaign,
+)
+from repro.runtime import Interpreter
+from repro.workloads import build_workload
+from helpers import build_counted_loop
+
+
+class TestFullCheckpoint:
+    def test_snapshot_and_rollback_restore_everything(self):
+        module, _ = build_counted_loop(30)
+        mech = FullCheckpointRecovery(interval=40)
+        captured = {}
+
+        def hook(interp, event):
+            mech.hook(interp, event)
+            if event.index == 100:
+                # Corrupt memory directly, then roll back.
+                interp.memory.write("arr", 2, 999_999)
+                captured["rolled"] = mech.rollback(interp)
+
+        result = Interpreter(module, post_step=hook).run(
+            "main", output_objects=["arr"]
+        )
+        assert captured["rolled"]
+        assert result.output["arr"] == [i * i for i in range(30)]
+        assert mech.stats.checkpoints_taken >= 2
+        assert mech.stats.peak_storage_words > 0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            FullCheckpointRecovery(0)
+        with pytest.raises(ValueError):
+            LogBasedRecovery(-5)
+
+    def test_rollback_without_snapshot_fails(self):
+        module, _ = build_counted_loop(5)
+        mech = FullCheckpointRecovery(interval=10)
+        interp = Interpreter(module)
+        interp.run("main")
+        # Never hooked: no snapshot exists.
+        assert not mech.rollback(interp)
+
+
+class TestLogBased:
+    def test_log_unroll_restores_memory(self):
+        module, _ = build_counted_loop(20)
+        mech = LogBasedRecovery(interval=500)
+        captured = {}
+
+        def post(interp, event):
+            mech.post_hook(interp, event)
+            if event.index == 60:
+                interp.memory.write("arr", 1, 424242)
+                captured["rolled"] = mech.rollback(interp)
+
+        result = Interpreter(
+            module, pre_step=mech.pre_hook, post_step=post
+        ).run("main", output_objects=["arr"])
+        assert captured["rolled"]
+        assert result.output["arr"] == [i * i for i in range(20)]
+        assert mech.stats.log_entries > 0
+
+    def test_storage_scales_with_stores(self):
+        module, _ = build_counted_loop(40)
+        mech = LogBasedRecovery(interval=10_000)  # never re-checkpoints
+        Interpreter(
+            module, pre_step=mech.pre_hook, post_step=mech.post_hook
+        ).run("main")
+        # 40 logged stores, two words each (address + data).
+        assert mech.stats.log_entries == 40
+
+
+class TestBaselineCampaigns:
+    def test_full_scheme_guarantees_recovery(self):
+        built = build_workload("rawdaudio")
+        campaign = run_baseline_campaign(
+            built.module, "full", interval=500,
+            args=built.args, output_objects=built.output_objects,
+            trials=25, latency=5, seed=4,
+        )
+        # Guaranteed recovery: everything detected is recovered.
+        assert campaign.covered_fraction > 0.9
+        assert campaign.fraction("recovered") > 0.5
+
+    def test_log_scheme_guarantees_recovery(self):
+        built = build_workload("rawdaudio")
+        campaign = run_baseline_campaign(
+            built.module, "log", interval=500,
+            args=built.args, output_objects=built.output_objects,
+            trials=25, latency=5, seed=4,
+        )
+        assert campaign.covered_fraction > 0.9
+
+    def test_unknown_scheme_rejected(self):
+        built = build_workload("rawdaudio")
+        with pytest.raises(ValueError):
+            run_baseline_campaign(built.module, "psychic", 100)

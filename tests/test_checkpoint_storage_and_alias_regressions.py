@@ -1,0 +1,130 @@
+"""Runtime checkpoint-buffer measurement and alias soundness regressions."""
+
+import pytest
+
+from repro.analysis import AliasAnalysis
+from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.ir import Constant, IRBuilder, MemRef, Module, WORD_BYTES
+from repro.runtime import Interpreter
+from repro.workloads import build_workload
+from helpers import build_counted_loop
+
+
+class TestRuntimeCheckpointStorage:
+    def test_peak_buffer_tracked(self):
+        built = build_workload("g721decode")
+        report = compile_for_encore(built.module, EncoreConfig(), args=built.args)
+        interp = Interpreter(report.module)
+        interp.run(built.entry, built.args)
+        assert interp.peak_ckpt_words, "no checkpoints were recorded"
+        # Table 1's envelope: runtime buffers stay in the tens-of-bytes
+        # to low-kilobyte range, orders below architectural schemes.
+        peak_bytes = max(interp.peak_ckpt_words.values()) * WORD_BYTES
+        assert peak_bytes < 100_000
+
+    def test_idempotent_region_buffers_tiny(self):
+        module, _ = build_counted_loop(50)
+        report = compile_for_encore(module, EncoreConfig(), clone=True)
+        interp = Interpreter(report.module)
+        interp.run("main")
+        # Only entry register checkpoints: a few words at most.
+        for words in interp.peak_ckpt_words.values():
+            assert words <= 8
+
+    def test_buffer_resets_per_activation(self):
+        # Per-sample state checkpoints accumulate within one activation
+        # (the whole loop) but reset across runs of the region.
+        built = build_workload("rawdaudio")
+        report = compile_for_encore(built.module, EncoreConfig(), args=built.args)
+        a = Interpreter(report.module)
+        a.run(built.entry, built.args)
+        c = Interpreter(report.module)
+        c.run(built.entry, built.args)
+        assert a.peak_ckpt_words == c.peak_ckpt_words
+
+
+class TestAliasSoundnessRegressions:
+    def test_indirect_constant_index_not_absolute(self):
+        """Regression: `p = &arr[4]; store p[0]` must NOT must-alias
+        arr[0] — the pointer's base offset is unknown statically."""
+        module = Module()
+        arr = module.add_global("arr", 8)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        p = b.addrof(arr, 4)
+        store_ref = MemRef(p, Constant(0))
+        direct_ref = MemRef(arr, Constant(0))
+        b.store(store_ref, 1)
+        b.ret(0)
+        aa = AliasAnalysis(module)
+        k_ind = aa.key("main", store_ref)
+        k_dir = aa.key("main", direct_ref)
+        assert not aa.must_alias(k_ind, k_dir)
+        assert aa.may_alias(k_ind, k_dir)  # same object: may overlap
+
+    def test_indirect_store_does_not_guard_direct_load(self):
+        """The unsound pre-fix behaviour: a store through &arr[4] with
+        constant index 0 'guarding' a load of arr[0] would wrongly make
+        this region idempotent."""
+        module = Module()
+        arr = module.add_global("arr", 8, init=[9] * 8)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        from repro.ir import Type
+
+        b.block("entry")
+        p = b.addrof(arr, 4)
+        b.store(p, 0, 77)        # actually writes arr[4]
+        v = b.load(arr, 0)       # NOT guarded: different word
+        b.store(arr, 0, b.add(v, 1))  # genuine WAR on arr[0]
+        b.ret(v)
+        analyzer = IdempotenceAnalyzer(module)
+        result = analyzer.analyze_region(
+            "main", frozenset(func.reachable_labels()), "entry"
+        )
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_points_to_refined_store_checkpointable_at_runtime(self):
+        """A store through a tracked pointer resolves its real address
+        dynamically when checkpointed, so recovery restores correctly."""
+        import copy
+
+        module = Module()
+        arr = module.add_global("arr", 8, init=[5] * 8)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        p = b.addrof(arr, 3)
+        v = b.load(arr, 3)
+        b.store(p, 0, b.add(v, 1))   # WAR via pointer
+        b.ret(b.load(arr, 3))
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["arr"]
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(auto_tune=False, gamma=0.0), clone=True
+        )
+        from repro.runtime import bitflip
+
+        state = {"done": False, "rec": False}
+
+        def hook(interp, event):
+            if not state["done"] and event.inst.opcode == "load":
+                dest = event.inst.dest
+                frame = interp.current_frame
+                frame.regs[dest] = bitflip(frame.regs.get(dest, 0), 4)
+                state["done"] = True
+                state["site"] = event.index
+            elif state["done"] and not state["rec"] and (
+                event.index >= state["site"] + 2
+            ):
+                state["rec"] = interp.trigger_recovery()
+
+        result = Interpreter(report.module, post_step=hook).run(
+            "main", output_objects=["arr"]
+        )
+        assert state["rec"]
+        assert result.output == golden.output
+        assert result.value == golden.value

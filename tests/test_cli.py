@@ -1,0 +1,86 @@
+"""End-to-end tests for the ``python -m repro`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+from repro.ir import module_to_text
+from helpers import build_counted_loop, build_figure4_region
+
+
+@pytest.fixture
+def loop_ir(tmp_path):
+    module, _ = build_counted_loop(15)
+    path = tmp_path / "loop.ir"
+    path.write_text(module_to_text(module) + "\n")
+    return path
+
+
+@pytest.fixture
+def figure4_ir(tmp_path):
+    module, _ = build_figure4_region()
+    path = tmp_path / "fig4.ir"
+    path.write_text(module_to_text(module) + "\n")
+    return path
+
+
+class TestAnalyze:
+    def test_prints_region_table(self, loop_ir, capsys):
+        assert main(["analyze", str(loop_ir)]) == 0
+        out = capsys.readouterr().out
+        assert "estimated overhead" in out
+        assert "recoverable at Dmax=100" in out
+        assert "idempotent" in out
+
+    def test_with_args(self, figure4_ir, capsys):
+        assert main(["analyze", str(figure4_ir), "--args", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "main/" in out
+
+
+class TestProtect:
+    def test_writes_instrumented_module(self, loop_ir, tmp_path, capsys):
+        out_path = tmp_path / "protected.ir"
+        assert main(["protect", str(loop_ir), "-o", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "set_recovery_ptr" in text
+        assert "__encore_rec_" in text
+        out = capsys.readouterr().out
+        assert "protected" in out
+
+    def test_protected_module_runs(self, loop_ir, tmp_path, capsys):
+        out_path = tmp_path / "protected.ir"
+        main(["protect", str(loop_ir), "-o", str(out_path)])
+        capsys.readouterr()
+        assert main(["run", str(out_path), "--outputs", "arr"]) == 0
+        out = capsys.readouterr().out
+        assert "result:" in out
+        assert "@arr" in out
+        assert "overhead" in out
+
+    def test_budget_flag_zero_budget(self, loop_ir, tmp_path, capsys):
+        out_path = tmp_path / "p.ir"
+        assert main([
+            "protect", str(loop_ir), "-o", str(out_path), "--budget", "0.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "protected 0 regions" in out or "protected" in out
+
+
+class TestRunAndInject:
+    def test_run_prints_result(self, loop_ir, capsys):
+        assert main(["run", str(loop_ir)]) == 0
+        out = capsys.readouterr().out
+        expected = sum(i * i for i in range(15))
+        assert f"result: {expected}" in out
+
+    def test_inject_unprotected_vs_protected(self, loop_ir, tmp_path, capsys):
+        out_path = tmp_path / "protected.ir"
+        main(["protect", str(loop_ir), "-o", str(out_path)])
+        capsys.readouterr()
+        assert main([
+            "inject", str(out_path), "--outputs", "arr",
+            "--trials", "25", "--dmax", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL covered" in out
+        assert "recovered" in out

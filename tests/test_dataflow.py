@@ -1,0 +1,57 @@
+"""Unit tests for the generic worklist dataflow solvers."""
+
+from repro.analysis.dataflow import solve_backward_union, solve_forward_union
+
+
+class TestBackwardUnion:
+    def test_linear_liveness_shape(self):
+        # a -> b -> c ; gen at c propagates backward unless killed.
+        nodes = ["a", "b", "c"]
+        succs = {"a": ["b"], "b": ["c"], "c": []}
+        gen = {"c": {"x"}}
+        kill = {"b": {"x"}}
+        result = solve_backward_union(nodes, succs, gen, kill)
+        assert result["c"] == {"x"}
+        assert result["b"] == set()   # killed at b
+        assert result["a"] == set()
+
+    def test_join_over_branches(self):
+        nodes = ["top", "l", "r", "join"]
+        succs = {"top": ["l", "r"], "l": ["join"], "r": ["join"], "join": []}
+        gen = {"l": {"a"}, "r": {"b"}, "join": {"c"}}
+        result = solve_backward_union(nodes, succs, gen, {})
+        assert result["top"] == {"a", "b", "c"}
+
+    def test_cycle_reaches_fixpoint(self):
+        nodes = ["h", "b"]
+        succs = {"h": ["b"], "b": ["h"]}
+        gen = {"b": {"x"}}
+        result = solve_backward_union(nodes, succs, gen, {})
+        assert result["h"] == {"x"}
+        assert result["b"] == {"x"}
+
+
+class TestForwardUnion:
+    def test_reaching_shape(self):
+        nodes = ["a", "b", "c"]
+        preds = {"a": [], "b": ["a"], "c": ["b"]}
+        gen = {"a": {"d1"}}
+        kill = {"b": {"d1"}}
+        result = solve_forward_union(nodes, preds, gen, kill)
+        assert result["a"] == {"d1"}
+        assert result["b"] == set()
+        assert result["c"] == set()
+
+    def test_merge_at_join(self):
+        nodes = ["top", "l", "r", "join"]
+        preds = {"top": [], "l": ["top"], "r": ["top"], "join": ["l", "r"]}
+        gen = {"l": {"x"}, "r": {"y"}}
+        result = solve_forward_union(nodes, preds, gen, {})
+        assert result["join"] == {"x", "y"}
+
+    def test_loop_fixpoint(self):
+        nodes = ["h", "b"]
+        preds = {"h": ["b"], "b": ["h"]}
+        gen = {"h": {"x"}}
+        result = solve_forward_union(nodes, preds, gen, {})
+        assert result["b"] == {"x"}

@@ -1,0 +1,394 @@
+"""Tests for the RS/GA/EA idempotence analysis (paper Section 3.1)."""
+
+import pytest
+
+from repro.analysis import AliasAnalysis
+from repro.encore import IdempotenceAnalyzer, RegionStatus
+from repro.ir import IRBuilder, Module
+from repro.profiling import profile_module
+from helpers import build_counted_loop, build_figure4_region, build_nested_loops
+
+
+def analyze_whole_function(module, fn="main", **kw):
+    analyzer = IdempotenceAnalyzer(module, **kw)
+    func = module.function(fn)
+    blocks = frozenset(func.reachable_labels())
+    return analyzer.analyze_region(fn, blocks, func.entry_label)
+
+
+class TestFigure4:
+    """The paper's worked example: exactly one offending store."""
+
+    def test_region_is_non_idempotent(self):
+        module, _ = build_figure4_region()
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_single_offending_store_is_instruction_10(self):
+        module, _ = build_figure4_region()
+        result = analyze_whole_function(module)
+        assert len(result.checkpoint_stores) == 1
+        offender = result.checkpoint_stores[0]
+        assert offender.opcode == "store"
+        # Instruction 10 stores 88 to B (mem[1]).
+        assert offender.value.value == 88
+        assert offender.ref.index.value == 1
+
+    def test_checkpointable(self):
+        module, _ = build_figure4_region()
+        result = analyze_whole_function(module)
+        assert result.checkpointable
+
+    def test_exposed_address_is_b_at_bb5(self):
+        module, _ = build_figure4_region()
+        result = analyze_whole_function(module)
+        exposed_bb5 = result.ea["bb5"]
+        assert len(exposed_bb5) == 1
+        key = next(iter(exposed_bb5))
+        assert key.objs == frozenset(["mem"]) and key.index == 1
+
+    def test_guarded_addresses_grow_along_paths(self):
+        module, _ = build_figure4_region()
+        result = analyze_whole_function(module)
+        assert result.ga["bb1"] == set()
+        ga_bb2 = {(next(iter(k.objs)), k.index) for k in result.ga["bb2"]}
+        assert ("mem", 0) in ga_bb2  # A stored in bb1
+        ga_bb8 = {k.index for k in result.ga["bb8"]}
+        assert {0, 1, 2} <= ga_bb8  # A, B, C all guaranteed by bb6/joins
+
+    def test_reachable_stores_at_entry_include_all(self):
+        module, _ = build_figure4_region()
+        result = analyze_whole_function(module)
+        indices = sorted(key.index for _, key in result.rs["bb1"])
+        # Stores 1,2,3,5,9,10,12 -> addresses 0,1,2 repeatedly.
+        assert indices.count(0) == 2  # A stored twice (1 and 9)
+        assert indices.count(1) == 2  # B stored twice (2 and 10)
+        assert indices.count(2) == 3  # C stored thrice (3, 5, 12)
+
+
+class TestAcyclicPatterns:
+    def _region(self, emit):
+        module = Module()
+        mem = module.add_global("mem", 8)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        emit(b, mem)
+        return module
+
+    def test_store_only_region_is_idempotent(self):
+        def emit(b, mem):
+            b.block("entry")
+            b.store(mem, 0, 1)
+            b.store(mem, 1, 2)
+            b.ret(0)
+
+        result = analyze_whole_function(self._region(emit))
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_load_then_store_same_address_violates(self):
+        def emit(b, mem):
+            b.block("entry")
+            v = b.load(mem, 0)
+            b.store(mem, 0, b.add(v, 1))
+            b.ret(0)
+
+        result = analyze_whole_function(self._region(emit))
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+        assert len(result.checkpoint_stores) == 1
+
+    def test_store_then_load_same_address_is_fine(self):
+        def emit(b, mem):
+            b.block("entry")
+            b.store(mem, 0, 5)
+            v = b.load(mem, 0)
+            b.ret(v)
+
+        result = analyze_whole_function(self._region(emit))
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_load_and_store_different_addresses_fine(self):
+        def emit(b, mem):
+            b.block("entry")
+            v = b.load(mem, 0)
+            b.store(mem, 1, v)
+            b.ret(0)
+
+        result = analyze_whole_function(self._region(emit))
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_parallel_branches_no_false_war(self):
+        # Load on one arm, store on the other: no path executes both
+        # in load-then-store order starting from the load.
+        def emit(b, mem):
+            b.block("entry")
+            c = b.cmp("eq", 1, 1)
+            b.br(c, "left", "right")
+            b.block("left")
+            b.load(mem, 0)
+            b.jmp("join")
+            b.block("right")
+            b.store(mem, 0, 9)
+            b.jmp("join")
+            b.block("join")
+            b.ret(0)
+
+        result = analyze_whole_function(self._region(emit))
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_guard_must_hold_on_all_paths(self):
+        # Store guards the load on one path only: still exposed.
+        def emit(b, mem):
+            b.block("entry")
+            c = b.cmp("eq", 1, 1)
+            b.br(c, "guarded", "unguarded")
+            b.block("guarded")
+            b.store(mem, 0, 1)
+            b.jmp("join")
+            b.block("unguarded")
+            b.mov(0)
+            b.jmp("join")
+            b.block("join")
+            v = b.load(mem, 0)
+            b.store(mem, 0, b.add(v, 1))
+            b.ret(0)
+
+        result = analyze_whole_function(self._region(emit))
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_symbolic_index_conservative(self):
+        # load mem[i]; store mem[j]: static analysis must assume overlap.
+        def emit(b, mem):
+            b.block("entry")
+            i = b.mov(2)
+            j = b.mov(3)
+            v = b.load(mem, i)
+            b.store(mem, j, v)
+            b.ret(0)
+
+        result = analyze_whole_function(self._region(emit))
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_symbolic_index_optimistic_mode(self):
+        def emit(b, mem):
+            b.block("entry")
+            i = b.mov(2)
+            j = b.mov(3)
+            v = b.load(mem, i)
+            b.store(mem, j, v)
+            b.ret(0)
+
+        module = self._region(emit)
+        alias = AliasAnalysis(module, mode="optimistic")
+        result = analyze_whole_function(module, alias=alias)
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_external_call_makes_region_unknown(self):
+        def emit(b, mem):
+            b.block("entry")
+            b.call("libc_mystery", [])
+            b.ret(0)
+
+        module = self._region(emit)
+        module.declare_external("libc_mystery")
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.UNKNOWN
+        assert not result.checkpointable
+
+
+class TestLoops:
+    def test_accumulator_loop_violates(self):
+        # sum[0] += arr[i] in a loop: load of sum then store of sum.
+        module = Module()
+        arr = module.add_global("arr", 8, init=list(range(8)))
+        acc = module.add_global("acc", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(0, i)
+        b.jmp("header")
+        b.block("header")
+        c = b.cmp("slt", i, 8)
+        b.br(c, "body", "exit")
+        b.block("body")
+        v = b.load(arr, i)
+        cur = b.load(acc, 0)
+        b.store(acc, 0, b.add(cur, v))
+        b.add(i, 1, i)
+        b.jmp("header")
+        b.block("exit")
+        b.ret(0)
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+        # Only the store to acc offends; arr is never written.
+        stores = result.checkpoint_stores
+        assert len(stores) == 1
+        assert stores[0].ref.base.name == "acc"
+
+    def test_write_only_loop_idempotent(self):
+        module, _ = build_counted_loop(8)
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_cross_iteration_war_detected(self):
+        # Each iteration reads arr[i-1] (written by the previous one) and
+        # writes arr[i]: exposed-load-then-store across iterations.
+        module = Module()
+        arr = module.add_global("arr", 9, init=[1])
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(1, i)
+        b.jmp("header")
+        b.block("header")
+        c = b.cmp("slt", i, 9)
+        b.br(c, "body", "exit")
+        b.block("body")
+        prev = b.sub(i, 1)
+        v = b.load(arr, prev)
+        b.store(arr, i, b.add(v, 1))
+        b.add(i, 1, i)
+        b.jmp("header")
+        b.block("exit")
+        b.ret(0)
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_nested_write_only_loops_idempotent(self):
+        module, _ = build_nested_loops()
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_loop_summary_meta(self):
+        module, _ = build_counted_loop(8)
+        analyzer = IdempotenceAnalyzer(module)
+        forest = analyzer.forest("main")
+        summary = analyzer._loop_summary("main", forest.loops[0])
+        # AS_l: the single store to arr.
+        assert len(summary.access.may_stores) == 1
+        assert not summary.violating
+        assert not summary.unknown
+
+
+class TestProfilePruning:
+    def _cold_path_module(self):
+        """Hot path is idempotent; a cold path carries the only WAR."""
+        module = Module()
+        mem = module.add_global("mem", 4)
+        flag = module.add_global("flag", 1)  # 0 -> hot path only
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        f = b.load(flag, 0)
+        b.br(f, "cold", "hot")
+        b.block("cold")
+        v = b.load(mem, 0)
+        b.store(mem, 0, b.add(v, 1))  # WAR on the cold path
+        b.jmp("join")
+        b.block("hot")
+        b.store(mem, 1, 7)
+        b.jmp("join")
+        b.block("join")
+        b.ret(0)
+        return module
+
+    def test_unpruned_analysis_sees_cold_war(self):
+        module = self._cold_path_module()
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_pmin_zero_prunes_unexecuted_cold_path(self):
+        module = self._cold_path_module()
+        profile = profile_module(module)
+        assert profile.block_count("main", "cold") == 0
+        analyzer = IdempotenceAnalyzer(module, profile=profile, pmin=0.0)
+        func = module.function("main")
+        result = analyzer.analyze_region(
+            "main", frozenset(func.reachable_labels()), "entry"
+        )
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_pmin_none_disables_pruning(self):
+        module = self._cold_path_module()
+        profile = profile_module(module)
+        analyzer = IdempotenceAnalyzer(module, profile=profile, pmin=None)
+        func = module.function("main")
+        result = analyzer.analyze_region(
+            "main", frozenset(func.reachable_labels()), "entry"
+        )
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_fully_pruned_region_trivially_idempotent(self):
+        module = self._cold_path_module()
+        profile = profile_module(module)
+        analyzer = IdempotenceAnalyzer(module, profile=profile, pmin=0.0)
+        result = analyzer.analyze_region("main", frozenset({"cold"}), "cold")
+        assert result.status is RegionStatus.IDEMPOTENT
+
+
+class TestCalls:
+    def test_analyzable_callee_effects_propagate(self):
+        # Callee reads then writes a global: WAR visible at the call site.
+        module = Module()
+        g = module.add_global("g", 1)
+        callee = module.add_function("bump")
+        cb = IRBuilder(callee)
+        cb.block("entry")
+        v = cb.load(g, 0)
+        cb.store(g, 0, cb.add(v, 1))
+        cb.ret(0)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.call("bump", [])
+        b.ret(0)
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+        # The offender is the call; the callee's concrete target address
+        # is checkpointed just before the call.
+        assert result.checkpointable
+        site = result.checkpoint_sites[0]
+        assert site.inst.opcode == "call"
+        assert len(site.refs) == 1
+        assert site.refs[0].base.name == "g"
+
+    def test_callee_stack_objects_are_frame_private(self):
+        module = Module()
+        callee = module.add_function("scratch")
+        buf = callee.add_stack_object("buf", 2)
+        cb = IRBuilder(callee)
+        cb.block("entry")
+        v = cb.load(buf, 0)
+        cb.store(buf, 0, cb.add(v, 1))
+        cb.ret(0)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.call("scratch", [])
+        b.ret(0)
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_recursion_is_unknown(self):
+        module = Module()
+        from repro.ir import VirtualRegister
+
+        n = VirtualRegister("n")
+        f = module.add_function("f", params=[n])
+        fb = IRBuilder(f)
+        fb.block("entry")
+        c = fb.cmp("sle", n, 0)
+        fb.br(c, "base", "rec")
+        fb.block("base")
+        fb.ret(0)
+        fb.block("rec")
+        fb.call("f", [fb.sub(n, 1)])
+        fb.ret(0)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.call("f", [3])
+        b.ret(0)
+        result = analyze_whole_function(module)
+        assert result.status is RegionStatus.UNKNOWN

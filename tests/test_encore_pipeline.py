@@ -1,0 +1,284 @@
+"""Tests for region formation, selection, instrumentation, and the pipeline."""
+
+import copy
+
+import pytest
+
+from repro.encore import (
+    EncoreCompiler,
+    EncoreConfig,
+    RegionStatus,
+    alpha,
+    alpha_numeric,
+    compile_for_encore,
+    recovery_label,
+)
+from repro.encore.regions import RegionBuilder
+from repro.ir import IRBuilder, Module, verify_module
+from repro.profiling import profile_module
+from repro.runtime import Interpreter
+from helpers import (
+    build_counted_loop,
+    build_diamond,
+    build_figure4_region,
+    build_nested_loops,
+)
+
+
+class TestRegionBuilder:
+    def test_base_regions_cover_function(self):
+        module, _ = build_nested_loops()
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        regions = builder.base_regions("main")
+        covered = set()
+        for region in regions:
+            covered |= region.blocks
+        assert covered == module.function("main").reachable_labels()
+
+    def test_regions_are_seme(self):
+        for build in (build_diamond, build_counted_loop, build_figure4_region):
+            module = build()[0]
+            builder = RegionBuilder(module, profile_module(module, args=_args(module)))
+            for region in builder.base_regions("main"):
+                assert builder.is_seme(region), region
+
+    def test_profile_attaches_entries_and_mass(self):
+        module, _ = build_counted_loop(10)
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        regions = builder.base_regions("main")
+        loop_region = next(r for r in regions if r.header == "header")
+        # Entries count region activations (entry edges from outside), not
+        # loop iterations: the loop is entered once from the preamble.
+        assert loop_region.entries == 1
+        assert loop_region.dyn_instructions > 0
+
+    def test_hot_path_follows_profile(self):
+        module, _ = build_diamond(take_then=1)
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        region = builder.base_regions("main")[0]
+        assert "then" in region.hot_path
+        assert "else_" not in region.hot_path
+
+    def test_activation_length(self):
+        module, _ = build_counted_loop(10)
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        region = next(r for r in builder.base_regions("main") if r.header == "header")
+        # One activation covers the whole loop execution.
+        assert region.activation_length == pytest.approx(region.dyn_instructions)
+
+
+def _args(module):
+    func = module.function("main")
+    return [5] * len(func.params)
+
+
+class TestAlphaModel:
+    def test_closed_form_matches_paper_cases(self):
+        assert alpha(1000, 1000) == pytest.approx(0.5)
+        assert alpha(2000, 1000) == pytest.approx(0.75)
+        assert alpha(500, 1000) == pytest.approx(0.25)
+
+    def test_boundaries(self):
+        assert alpha(0, 100) == 0.0
+        assert alpha(100, 0) == 1.0
+        assert alpha(10**9, 10) == pytest.approx(1.0, abs=1e-6)
+
+    def test_continuity_at_n_equals_dmax(self):
+        left = alpha(999.999, 1000)
+        right = alpha(1000.001, 1000)
+        assert abs(left - right) < 1e-3
+
+    def test_numeric_integration_agrees_with_closed_form(self):
+        for n, dmax in [(100, 1000), (1000, 1000), (5000, 1000), (50, 10)]:
+            assert alpha_numeric(n, dmax) == pytest.approx(
+                alpha(n, dmax), rel=0.02
+            )
+
+    def test_shorter_latency_improves_coverage(self):
+        n = 200
+        assert alpha(n, 10) > alpha(n, 100) > alpha(n, 1000)
+
+
+class TestPipelineEndToEnd:
+    def test_instrumented_module_verifies_and_matches_output(self):
+        module, _ = build_figure4_region()
+        original = Interpreter(copy.deepcopy(module)).run(
+            "main", [5], output_objects=["mem"]
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(), args=[5], clone=True
+        )
+        verify_module(report.module)
+        instrumented = Interpreter(report.module).run(
+            "main", [5], output_objects=["mem"]
+        )
+        assert instrumented.output == original.output
+        assert instrumented.value == original.value
+
+    def test_clone_leaves_original_untouched(self):
+        module, _ = build_figure4_region()
+        before = module.instruction_count()
+        compile_for_encore(module, args=[5], clone=True)
+        assert module.instruction_count() == before
+
+    def test_inplace_instruments(self):
+        module, _ = build_figure4_region()
+        before = module.instruction_count()
+        report = compile_for_encore(module, args=[5], clone=False)
+        assert report.module is module
+        if report.instrumentation.instrumented_regions:
+            assert module.instruction_count() > before
+
+    def test_figure4_gets_exactly_one_mem_checkpoint(self):
+        module, _ = build_figure4_region()
+        report = compile_for_encore(
+            module, EncoreConfig(pmin=None, auto_tune=False, gamma=0.0), args=[5]
+        )
+        assert report.instrumentation.checkpoint_mem_sites == 1
+
+    def test_selected_regions_are_marked(self):
+        module, _ = build_counted_loop(20)
+        report = compile_for_encore(module)
+        assert report.selected_regions
+        assert all(r.selected for r in report.selected_regions)
+
+    def test_idempotent_loop_needs_no_mem_checkpoints(self):
+        module, _ = build_counted_loop(20)
+        report = compile_for_encore(module)
+        assert report.instrumentation.checkpoint_mem_sites == 0
+        assert any(
+            r.status is RegionStatus.IDEMPOTENT for r in report.selected_regions
+        )
+
+    def test_instrumented_loop_output_unchanged(self):
+        module, arr = build_counted_loop(20)
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["arr"]
+        )
+        report = compile_for_encore(module, clone=True)
+        result = Interpreter(report.module).run("main", output_objects=["arr"])
+        assert result.output == golden.output
+        assert result.value == golden.value
+
+    def test_overhead_estimate_within_budget(self):
+        module, _ = build_counted_loop(50)
+        report = compile_for_encore(module, EncoreConfig(overhead_budget=0.20))
+        assert report.estimated_overhead() <= 0.20 + 1e-6
+
+    def test_measured_overhead_close_to_estimate(self):
+        module, _ = build_counted_loop(100)
+        report = compile_for_encore(module, clone=True)
+        result = Interpreter(report.module).run("main")
+        measured = result.overhead
+        estimated = report.estimated_overhead()
+        assert measured == pytest.approx(estimated, rel=0.35, abs=0.02)
+
+    def test_region_status_fractions_sum_to_one(self):
+        module, _ = build_figure4_region()
+        report = compile_for_encore(module, args=[5])
+        fractions = report.region_status_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_dynamic_breakdown_sums_to_one(self):
+        module, _ = build_counted_loop(30)
+        report = compile_for_encore(module)
+        breakdown = report.dynamic_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["idempotent"] > 0.5  # the loop dominates
+
+    def test_coverage_monotone_in_latency(self):
+        module, _ = build_counted_loop(50)
+        report = compile_for_encore(module)
+        c10 = report.coverage(10).recoverable
+        c100 = report.coverage(100).recoverable
+        c1000 = report.coverage(1000).recoverable
+        assert c10 >= c100 >= c1000
+
+    def test_full_system_composition(self):
+        module, _ = build_counted_loop(50)
+        report = compile_for_encore(module)
+        fs = report.full_system(100, masking_rate=0.91)
+        assert fs.masked == pytest.approx(0.91)
+        total = (
+            fs.masked
+            + fs.recoverable_idempotent
+            + fs.recoverable_checkpointed
+            + fs.not_recoverable
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestRecoveryExecution:
+    """Inject a fault, trigger detection, and confirm rollback heals it."""
+
+    def _fault_and_recover(self, module, args, outputs, fault_at, detect_after):
+        """Corrupt the dest register at event ``fault_at``; recover later."""
+        from repro.runtime import bitflip
+
+        state = {"fault_done": False, "recovered": False}
+
+        def hook(interp, event):
+            if event.index >= fault_at and not state["fault_done"]:
+                if event.inst.defs():
+                    dest = event.inst.defs()[0]
+                    frame = interp.current_frame
+                    frame.regs[dest] = bitflip(frame.regs.get(dest, 0), 5)
+                    state["fault_done"] = True
+                    state["fault_index"] = event.index
+            elif (
+                state["fault_done"]
+                and not state["recovered"]
+                and event.index >= state["fault_index"] + detect_after
+            ):
+                state["recovered"] = interp.trigger_recovery()
+
+        interp = Interpreter(module, post_step=hook)
+        result = interp.run("main", args, output_objects=outputs)
+        return result, state
+
+    def test_recovery_restores_loop_output(self):
+        module, _ = build_counted_loop(30)
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["arr"]
+        )
+        report = compile_for_encore(module, clone=True)
+        assert report.selected_regions
+        # Fault early in the loop, detect a few instructions later.
+        result, state = self._fault_and_recover(
+            report.module, (), ["arr"], fault_at=30, detect_after=3
+        )
+        assert state["fault_done"] and state["recovered"]
+        assert result.output == golden.output
+        assert result.value == golden.value
+
+    def test_recovery_in_figure4(self):
+        module, _ = build_figure4_region()
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", [5], output_objects=["mem"]
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(auto_tune=False, gamma=0.0), args=[5], clone=True
+        )
+        assert report.instrumentation.instrumented_regions >= 1
+        result, state = self._fault_and_recover(
+            report.module, [5], ["mem"], fault_at=4, detect_after=2
+        )
+        assert state["recovered"]
+        assert result.output == golden.output
+
+    def test_recovery_block_labels_present(self):
+        module, _ = build_counted_loop(10)
+        report = compile_for_encore(module, clone=True)
+        func = report.module.function("main")
+        for region in report.selected_regions:
+            assert recovery_label(region) in func.blocks
+
+    def test_unrecoverable_when_no_region_active(self):
+        module, _ = build_counted_loop(10)
+        interp = Interpreter(module)  # uninstrumented: no recovery ptr
+        interp.run("main")
+        assert not interp.trigger_recovery()

@@ -1,0 +1,161 @@
+"""Tests for the experiment harnesses (run on a small workload subset)."""
+
+import pytest
+
+from repro.encore import EncoreConfig
+from repro.experiments import (
+    EXPERIMENTS,
+    fig1_traces,
+    fig5_idempotence,
+    fig6_breakdown,
+    fig7_overheads,
+    fig8_coverage,
+    table1,
+)
+from repro.experiments.harness import PipelineCache, config_key
+from repro.experiments.reporting import Table, fmt_num, fmt_pct, suite_order_with_means
+
+SUBSET = ["164.gzip", "172.mgrid", "rawdaudio"]
+
+
+class TestReporting:
+    def test_fmt_helpers(self):
+        assert fmt_pct(0.1234) == "12.3%"
+        assert fmt_pct(1.0, 2) == "100.00%"
+        assert fmt_num(3.14159, 2) == "3.14"
+
+    def test_table_rendering(self):
+        table = Table("Title", ["A", "B"])
+        table.add_row("x", 1)
+        table.add_rule()
+        table.add_row("longer-label", 22)
+        text = table.render()
+        assert "Title" in text
+        assert "longer-label" in text
+        lines = text.splitlines()
+        assert any(set(line) == {"-"} for line in lines)
+
+    def test_suite_order_with_means(self):
+        per = {
+            "164.gzip": {"m": 0.2},
+            "172.mgrid": {"m": 0.4},
+            "cjpeg": {"m": 0.6},
+        }
+        rows = suite_order_with_means(per, ["m"])
+        labels = [r[0] for r in rows]
+        assert labels.index("164.gzip") < labels.index("172.mgrid") < labels.index("cjpeg")
+        assert "SPEC2K-INT Mean" in labels
+        assert labels[-1] == "Overall Mean"
+        overall = rows[-1][1]["m"]
+        assert overall == pytest.approx((0.2 + 0.4 + 0.6) / 3)
+
+
+class TestHarness:
+    def test_cache_memoizes(self):
+        cache = PipelineCache()
+        from repro.workloads import get_workload
+
+        spec = get_workload("rawdaudio")
+        a = cache.run(spec, EncoreConfig())
+        c = cache.run(spec, EncoreConfig())
+        assert a is c
+
+    def test_config_key_distinguishes(self):
+        assert config_key(EncoreConfig()) != config_key(EncoreConfig(pmin=0.1))
+        assert config_key(EncoreConfig()) == config_key(EncoreConfig())
+
+    def test_run_all_subset(self):
+        cache = PipelineCache()
+        results = cache.run_all(EncoreConfig(), SUBSET)
+        assert [r.spec.name for r in results] == SUBSET
+
+
+class TestExperimentModules:
+    def test_fig1_runs_on_subset(self):
+        data = fig1_traces.run(SUBSET, window_sizes=(10, 100), samples_per_size=20)
+        assert set(data.fully) == {10, 100}
+        text = fig1_traces.render(data)
+        assert "Figure 1" in text
+
+    def test_table1_runs_on_subset(self):
+        data = table1.run(SUBSET)
+        assert data.interval_mean > 0
+        assert "Encore (measured)" in table1.render(data)
+
+    def test_fig5_runs_on_subset(self):
+        data = fig5_idempotence.run(SUBSET, pmin_values=(None, 0.0))
+        for name in SUBSET:
+            total = sum(data.fractions[name][0.0].values())
+            assert total == pytest.approx(1.0)
+        assert "Figure 5" in fig5_idempotence.render(data)
+
+    def test_fig6_runs_on_subset(self):
+        data = fig6_breakdown.run(SUBSET)
+        assert set(data.breakdown) == set(SUBSET)
+        assert "Figure 6" in fig6_breakdown.render(data)
+
+    def test_fig7_runs_on_subset(self):
+        data = fig7_overheads.run(SUBSET, measure=False)
+        for name in SUBSET:
+            assert 0.0 <= data.overheads[name]["static"] <= 0.30
+            assert data.storage[name]["total"] >= 0.0
+        assert "Figure 7a" in fig7_overheads.render(data)
+
+    def test_fig8_runs_on_subset(self):
+        data = fig8_coverage.run(SUBSET, latencies=(100, 10))
+        for name in SUBSET:
+            assert data.coverage[name][10]["total"] >= data.coverage[name][100]["total"] - 1e-9
+        assert "Figure 8" in fig8_coverage.render(data)
+
+    def test_registry_lists_all_experiments(self):
+        assert set(EXPERIMENTS) == {"fig1", "table1", "fig5", "fig6", "fig7", "fig8"}
+
+    def test_cli_help_and_dispatch(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--help"]) == 0
+        assert main(["nonsense"]) == 2
+        assert main(["table1", "rawdaudio"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+
+class TestCSVExport:
+    def test_every_experiment_exports_csv(self):
+        import csv as csv_module
+        import io
+
+        modules = {
+            "fig1": lambda: fig1_traces.run(
+                SUBSET, window_sizes=(10, 100), samples_per_size=10
+            ),
+            "table1": lambda: table1.run(SUBSET),
+            "fig5": lambda: fig5_idempotence.run(SUBSET, pmin_values=(0.0,)),
+            "fig6": lambda: fig6_breakdown.run(SUBSET),
+            "fig7": lambda: fig7_overheads.run(SUBSET, measure=False),
+            "fig8": lambda: fig8_coverage.run(SUBSET, latencies=(100,)),
+        }
+        for key, runner in modules.items():
+            data = runner()
+            text = EXPERIMENTS[key].to_csv(data)
+            rows = list(csv_module.reader(io.StringIO(text)))
+            assert len(rows) >= 2, key  # header + data
+            width = len(rows[0])
+            assert all(len(r) == width for r in rows), key
+
+    def test_csv_escaping(self):
+        from repro.experiments.reporting import csv_escape, rows_to_csv
+
+        assert csv_escape("plain") == "plain"
+        assert csv_escape('has,comma') == '"has,comma"'
+        assert csv_escape('has"quote') == '"has""quote"'
+        text = rows_to_csv(["a", "b"], [(1, "x,y")])
+        assert text == 'a,b\n1,"x,y"\n'
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1", "--csv", str(tmp_path), "rawdaudio"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "table1.csv").exists()

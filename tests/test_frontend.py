@@ -1,0 +1,354 @@
+"""Tests for the MC mini-C frontend: lexer, parser, codegen, execution."""
+
+import pytest
+
+from repro.frontend import (
+    CodegenError,
+    LexError,
+    MCSyntaxError,
+    compile_source,
+    parse_source,
+    tokenize,
+)
+from repro.runtime import Interpreter, Trap
+
+
+def run_mc(source, args=(), outputs=(), function="main"):
+    module = compile_source(source)
+    return Interpreter(module).run(function, args, output_objects=outputs)
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("int x = 42 + 3.5; // comment")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("keyword", "int") in kinds
+        assert ("ident", "x") in kinds
+        assert ("int", "42") in kinds
+        assert ("float", "3.5") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // line\n/* block\nmultiline */ b")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        by_text = {t.text: (t.line, t.column) for t in tokens if t.kind == "ident"}
+        assert by_text["a"] == (1, 1)
+        assert by_text["b"] == (2, 1)
+        assert by_text["c"] == (3, 3)
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b >> 2 && c")
+        texts = [t.text for t in tokens if t.kind == "op"]
+        assert texts == ["<=", ">>", "&&"]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+
+class TestParser:
+    def test_program_structure(self):
+        program = parse_source(
+            """
+            global int data[4] = {1, 2, 3, 4};
+            global float scale = 1.5;
+            extern sys_write;
+            int helper(int x) { return x * 2; }
+            int main() { return helper(21); }
+            """
+        )
+        assert [g.name for g in program.globals] == ["data", "scale"]
+        assert program.globals[0].init == [1, 2, 3, 4]
+        assert program.externs[0].name == "sys_write"
+        assert [f.name for f in program.functions] == ["helper", "main"]
+
+    def test_syntax_errors(self):
+        with pytest.raises(MCSyntaxError):
+            parse_source("int main( { return 0; }")
+        with pytest.raises(MCSyntaxError):
+            parse_source("int main() { return 0 }")
+        with pytest.raises(MCSyntaxError):
+            parse_source("int main() { 1 = 2; }")
+
+    def test_negative_global_init(self):
+        program = parse_source("global int bias = -7;")
+        assert program.globals[0].init == [-7]
+
+
+class TestExecution:
+    def test_arithmetic_and_return(self):
+        assert run_mc("int main() { return (2 + 3) * 4 - 6 / 2; }").value == 17
+
+    def test_c_division_semantics(self):
+        assert run_mc("int main() { return -7 / 2; }").value == -3
+        assert run_mc("int main() { return -7 % 2; }").value == -1
+
+    def test_variables_and_assignment(self):
+        source = """
+        int main() {
+            int x = 5;
+            int y;
+            y = x * x;
+            x = y - x;
+            return x + y;
+        }
+        """
+        assert run_mc(source).value == 45
+
+    def test_global_scalar_and_array(self):
+        source = """
+        global int counter;
+        global int table[8] = {1, 1, 2, 3, 5, 8, 13, 21};
+        int main() {
+            counter = table[6] + table[7];
+            return counter;
+        }
+        """
+        result = run_mc(source, outputs=("counter",))
+        assert result.value == 34
+        assert result.output["counter"] == [34]
+
+    def test_for_loop(self):
+        source = """
+        global int squares[10];
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                squares[i] = i * i;
+                total = total + squares[i];
+            }
+            return total;
+        }
+        """
+        result = run_mc(source, outputs=("squares",))
+        assert result.value == sum(i * i for i in range(10))
+        assert result.output["squares"] == [i * i for i in range(10)]
+
+    def test_while_break_continue(self):
+        source = """
+        int main() {
+            int i = 0;
+            int total = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 20) { break; }
+                if (i % 2 == 0) { continue; }
+                total = total + i;
+            }
+            return total;
+        }
+        """
+        assert run_mc(source).value == sum(i for i in range(1, 21) if i % 2)
+
+    def test_nested_functions_and_recursion(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(12); }
+        """
+        assert run_mc(source).value == 144
+
+    def test_float_arithmetic_and_promotion(self):
+        source = """
+        float scale(float x, int k) { return x * k; }
+        int main() {
+            float f = scale(2.5, 4);
+            return f + 0.5;
+        }
+        """
+        assert run_mc(source).value == 10
+
+    def test_short_circuit_and(self):
+        # The second operand would trap (division by zero) if evaluated.
+        source = """
+        int main() {
+            int zero = 0;
+            if (zero != 0 && 10 / zero > 1) { return 1; }
+            return 2;
+        }
+        """
+        assert run_mc(source).value == 2
+
+    def test_short_circuit_or(self):
+        source = """
+        int main() {
+            int zero = 0;
+            if (1 == 1 || 10 / zero > 1) { return 7; }
+            return 0;
+        }
+        """
+        assert run_mc(source).value == 7
+
+    def test_logical_not_and_bitops(self):
+        assert run_mc("int main() { return !0 + !5; }").value == 1
+        assert run_mc("int main() { return (12 & 10) | (1 << 4) ^ 1; }").value == 25
+        assert run_mc("int main() { return ~0; }").value == -1
+
+    def test_local_array(self):
+        source = """
+        int main() {
+            int buf[4];
+            int i;
+            for (i = 0; i < 4; i = i + 1) { buf[i] = i + 10; }
+            return buf[0] + buf[3];
+        }
+        """
+        assert run_mc(source).value == 23
+
+    def test_scoping_and_shadowing(self):
+        source = """
+        int main() {
+            int x = 1;
+            if (1) {
+                int x = 100;
+                x = x + 1;
+            }
+            return x;
+        }
+        """
+        assert run_mc(source).value == 1
+
+    def test_void_function(self):
+        source = """
+        global int log[4];
+        void note(int v) { log[0] = v; }
+        int main() {
+            note(9);
+            return log[0];
+        }
+        """
+        assert run_mc(source).value == 9
+
+    def test_extern_call(self):
+        source = """
+        extern sys_rand;
+        int main() { return sys_rand(3); }
+        """
+        module = compile_source(source)
+        result = Interpreter(
+            module, externals={"sys_rand": lambda args: args[0] * 11}
+        ).run("main")
+        assert result.value == 33
+
+    def test_out_of_bounds_traps(self):
+        source = """
+        global int small[2];
+        int main() { return small[5]; }
+        """
+        with pytest.raises(Trap):
+            run_mc(source)
+
+    def test_missing_return_defaults(self):
+        assert run_mc("int main() { int x = 3; }").value == 0
+
+
+class TestCodegenErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CodegenError, match="undefined variable"):
+            compile_source("int main() { return ghost; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(CodegenError, match="undeclared function"):
+            compile_source("int main() { return mystery(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CodegenError, match="expects 1 args"):
+            compile_source(
+                "int f(int x) { return x; } int main() { return f(1, 2); }"
+            )
+
+    def test_void_in_expression(self):
+        with pytest.raises(CodegenError, match="used as a value"):
+            compile_source(
+                "void f() { return; } int main() { return f() + 1; }"
+            )
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CodegenError, match="requires int"):
+            compile_source("int main() { return 1.5 % 2; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(CodegenError, match="redeclaration"):
+            compile_source("int main() { int x = 1; int x = 2; return x; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CodegenError, match="break outside"):
+            compile_source("int main() { break; return 0; }")
+
+
+class TestPipelineIntegration:
+    SOURCE = """
+    global int input[32] = {5, 3, 8, 1, 9, 2, 7, 4, 6, 0,
+                            5, 3, 8, 1, 9, 2, 7, 4, 6, 0,
+                            5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 1, 2};
+    global int hist[10];
+    global int state;
+
+    int main() {
+        int i;
+        for (i = 0; i < 32; i = i + 1) {
+            int v = input[i];
+            hist[v] = hist[v] + 1;
+            state = state * 31 + v;
+        }
+        return state;
+    }
+    """
+
+    def test_mc_program_protected_and_recovers(self):
+        import copy
+
+        from repro.encore import EncoreConfig, compile_for_encore
+        from repro.runtime import DetectionModel, run_campaign
+
+        module = compile_source(self.SOURCE)
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=("hist", "state")
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(overhead_budget=0.5), clone=True
+        )
+        assert report.selected_regions
+        clean = Interpreter(report.module).run(
+            "main", output_objects=("hist", "state")
+        )
+        assert clean.output == golden.output
+
+        campaign = run_campaign(
+            report.module,
+            output_objects=("hist", "state"),
+            detector=DetectionModel(dmax=5),
+            trials=30,
+            seed=3,
+        )
+        assert campaign.fraction("recovered") > 0.3
+
+    def test_mc_program_optimizes(self):
+        import copy
+
+        from repro.opt import optimize_module
+
+        module = compile_source(self.SOURCE)
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=("hist",)
+        )
+        optimize_module(module)
+        result = Interpreter(module).run("main", output_objects=("hist",))
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+    def test_mc_module_roundtrips_through_ir_text(self):
+        from repro.ir import module_to_text, parse_module
+
+        module = compile_source(self.SOURCE)
+        text = module_to_text(module)
+        reparsed = parse_module(text)
+        a = Interpreter(module).run("main")
+        c = Interpreter(reparsed).run("main")
+        assert a.value == c.value

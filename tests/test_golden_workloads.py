@@ -1,0 +1,51 @@
+"""Golden-output regression for the workload suite.
+
+The experiment numbers in EXPERIMENTS.md are only comparable across
+sessions if the workloads themselves are frozen; this test pins every
+benchmark's return value, dynamic length, and an output digest.  If a
+workload is intentionally changed, regenerate the goldens (see the
+module docstring of the JSON-producing snippet in the repo history) and
+re-baseline EXPERIMENTS.md.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import Interpreter
+from repro.workloads import all_workloads
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_workloads.json")
+
+with open(GOLDEN_PATH) as _handle:
+    GOLDENS = json.load(_handle)
+
+
+def _digest(output):
+    digest = 0
+    for name in sorted(output):
+        for v in output[name]:
+            word = int(v * 1024) if isinstance(v, float) else int(v)
+            digest = (digest * 1000003 + (word & 0xFFFFFFFF)) % (2**61 - 1)
+    return digest
+
+
+def test_golden_file_covers_all_workloads():
+    assert set(GOLDENS) == {spec.name for spec in all_workloads()}
+
+
+@pytest.mark.parametrize(
+    "name", sorted(GOLDENS), ids=sorted(GOLDENS)
+)
+def test_workload_matches_golden(name):
+    spec = next(s for s in all_workloads() if s.name == name)
+    built = spec.build()
+    result = Interpreter(built.module).run(
+        built.entry, built.args, output_objects=built.output_objects
+    )
+    golden = GOLDENS[name]
+    value = result.value if isinstance(result.value, int) else round(result.value, 6)
+    assert value == golden["value"], "return value drifted"
+    assert result.events == golden["events"], "dynamic length drifted"
+    assert _digest(result.output) == golden["output_digest"], "output drifted"

@@ -1,0 +1,187 @@
+"""Tests for the function-inlining pass."""
+
+import copy
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import IRBuilder, Module, VirtualRegister, verify_module
+from repro.opt import inline_functions, optimize_module
+from repro.runtime import Interpreter
+
+
+def run(module, args=(), outputs=(), fn="main"):
+    return Interpreter(copy.deepcopy(module)).run(fn, args, output_objects=outputs)
+
+
+class TestInlining:
+    def test_simple_leaf_inlined(self):
+        module = Module()
+        x = VirtualRegister("x")
+        square = module.add_function("square", params=[x])
+        sb = IRBuilder(square)
+        sb.block("entry")
+        sb.ret(sb.mul(x, x))
+        main = module.add_function("main")
+        b = IRBuilder(main)
+        b.block("entry")
+        r = b.call("square", [7])
+        b.ret(r)
+        before = run(module)
+        assert inline_functions(module) == 1
+        verify_module(module)
+        after = run(module)
+        assert after.value == before.value == 49
+        # No call remains in main.
+        assert all(
+            inst.opcode != "call"
+            for block in module.function("main")
+            for inst in block
+        )
+
+    def test_branchy_callee(self):
+        source = """
+        int clamp(int v, int lo, int hi) {
+            if (v < lo) { return lo; }
+            if (v > hi) { return hi; }
+            return v;
+        }
+        int main() {
+            return clamp(99, 0, 15) + clamp(-3, 0, 15) + clamp(7, 0, 15);
+        }
+        """
+        module = compile_source(source)
+        before = run(module)
+        count = inline_functions(module)
+        assert count == 3
+        verify_module(module)
+        assert run(module).value == before.value == 15 + 0 + 7
+
+    def test_callee_in_loop(self):
+        source = """
+        global int out[32];
+        int mix(int a, int b) { return (a * 17 + b) & 255; }
+        int main() {
+            int acc = 1;
+            for (int i = 0; i < 32; i = i + 1) {
+                acc = mix(acc, i);
+                out[i] = acc;
+            }
+            return acc;
+        }
+        """
+        module = compile_source(source)
+        before = run(module, outputs=("out",))
+        optimize_module(module)  # inline + clean up the splice
+        verify_module(module)
+        after = run(module, outputs=("out",))
+        assert after.value == before.value
+        assert after.output == before.output
+        # After cleanup the call/ret overhead is gone.
+        assert after.events <= before.events
+
+    def test_recursion_not_inlined(self):
+        source = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main() { return fact(6); }
+        """
+        module = compile_source(source)
+        inline_functions(module)
+        verify_module(module)
+        assert run(module).value == 720
+        # fact still calls itself.
+        assert any(
+            inst.opcode == "call"
+            for block in module.function("fact")
+            for inst in block
+        )
+
+    def test_large_functions_kept(self):
+        module = Module()
+        out = module.add_global("out", 64)
+        big = module.add_function("big")
+        bb = IRBuilder(big)
+        bb.block("entry")
+        for i in range(64):
+            bb.store(out, i, i)
+        bb.ret(0)
+        main = module.add_function("main")
+        b = IRBuilder(main)
+        b.block("entry")
+        b.call("big", [])
+        b.ret(0)
+        assert inline_functions(module, max_size=40) == 0
+
+    def test_callee_with_stack_objects(self):
+        module = Module()
+        x = VirtualRegister("x")
+        leaf = module.add_function("leaf", params=[x])
+        buf = leaf.add_stack_object("buf", 2)
+        lb = IRBuilder(leaf)
+        lb.block("entry")
+        lb.store(buf, 0, x)
+        v = lb.load(buf, 0)
+        lb.ret(lb.add(v, 1))
+        main = module.add_function("main")
+        b = IRBuilder(main)
+        b.block("entry")
+        a = b.call("leaf", [4])
+        c = b.call("leaf", [10])
+        b.ret(b.add(a, c))
+        before = run(module)
+        assert inline_functions(module) >= 2
+        verify_module(module)
+        assert run(module).value == before.value == 5 + 11
+
+    def test_chain_inlines_over_rounds(self):
+        source = """
+        int base(int x) { return x + 1; }
+        int middle(int x) { return base(x) * 2; }
+        int main() { return middle(10); }
+        """
+        module = compile_source(source)
+        inline_functions(module)
+        verify_module(module)
+        assert run(module).value == 22
+        # After rounds, main no longer calls anything.
+        assert all(
+            inst.opcode != "call"
+            for block in module.function("main")
+            for inst in block
+        )
+
+    def test_inlining_improves_encore_coverage(self):
+        from repro.encore import EncoreConfig, compile_for_encore
+
+        source = open("examples/mc/adpcm.mc").read()
+        plain = compile_source(source)
+        inlined = compile_source(source)
+        inline_functions(inlined)
+        optimize_module(inlined, inline=False)
+        verify_module(inlined)
+
+        report_plain = compile_for_encore(plain, EncoreConfig())
+        report_inlined = compile_for_encore(inlined, EncoreConfig())
+        cov_plain = report_plain.coverage(100).recoverable
+        cov_inlined = report_inlined.coverage(100).recoverable
+        # With clamp() inlined the hot loop covers its work directly.
+        assert cov_inlined > cov_plain + 0.10, (cov_plain, cov_inlined)
+
+    def test_workload_semantics_preserved(self):
+        from repro.workloads import build_workload
+
+        for name in ("175.vpr", "164.gzip"):
+            built = build_workload(name)
+            before = Interpreter(copy.deepcopy(built.module)).run(
+                built.entry, built.args, output_objects=built.output_objects
+            )
+            inline_functions(built.module)
+            verify_module(built.module)
+            after = Interpreter(built.module).run(
+                built.entry, built.args, output_objects=built.output_objects
+            )
+            assert after.value == before.value, name
+            assert after.output == before.output, name

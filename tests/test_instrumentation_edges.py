@@ -1,0 +1,195 @@
+"""Edge-case tests for the instrumentation pass and recovery runtime."""
+
+import copy
+
+import pytest
+
+from repro.analysis import CFGView, LoopForest
+from repro.encore import (
+    EncoreConfig,
+    compile_for_encore,
+    entry_label,
+    instrument_module,
+    recovery_label,
+)
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.encore.regions import RegionBuilder
+from repro.ir import IRBuilder, Module, verify_module
+from repro.profiling import profile_module
+from repro.runtime import Interpreter
+from helpers import build_counted_loop
+
+
+def _multi_entry_module():
+    """A region whose header is reached from two different outside blocks."""
+    module = Module()
+    out = module.add_global("out", 4)
+    sel = module.add_global("sel", 1, init=[1])
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    s = b.load(sel, 0)
+    b.br(s, "pre_a", "pre_b")
+    b.block("pre_a")
+    b.store(out, 0, 1)
+    b.jmp("shared")
+    b.block("pre_b")
+    b.store(out, 0, 2)
+    b.jmp("shared")
+    b.block("shared")
+    v = b.load(out, 0)
+    b.store(out, 1, b.add(v, 10))
+    b.ret(v)
+    return module, func
+
+
+class TestTrampolineEdges:
+    def test_all_entry_edges_retargeted(self):
+        module, func = _multi_entry_module()
+        profile = profile_module(module)
+        analyzer = IdempotenceAnalyzer(module, profile=profile, pmin=0.0)
+        builder = RegionBuilder(module, profile)
+        region = builder.make_region("main", frozenset({"shared"}), "shared")
+        from repro.encore.selection import RegionSelector
+
+        selector = RegionSelector(module, analyzer, builder, profile)
+        selector.analyze(region)
+        region.selected = True
+        instrument_module(module, [region])
+        verify_module(module)
+        tramp = entry_label(region)
+        # Both predecessors now jump to the trampoline.
+        for label in ("pre_a", "pre_b"):
+            term = module.function("main").blocks[label].terminator
+            assert term.target == tramp
+        # And execution still works through either arm.
+        assert Interpreter(copy.deepcopy(module)).run("main").value == 1
+
+    def test_double_instrumentation_rejected(self):
+        module, _ = build_counted_loop(5)
+        report = compile_for_encore(module, EncoreConfig(), clone=False)
+        with pytest.raises(ValueError, match="already instrumented"):
+            instrument_module(module, report.selected_regions)
+
+    def test_unselected_regions_skipped(self):
+        module, _ = build_counted_loop(5)
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        regions = builder.base_regions("main")
+        for region in regions:
+            region.selected = False
+        report = instrument_module(module, regions)
+        assert report.instrumented_regions == 0
+        assert module.function("main").blocks.keys() >= {"entry", "header"}
+
+    def test_recovery_label_namespacing(self):
+        module, _ = build_counted_loop(5)
+        report = compile_for_encore(module, EncoreConfig(), clone=True)
+        for region in report.selected_regions:
+            assert recovery_label(region).startswith("__encore_rec_")
+            assert entry_label(region).startswith("__encore_entry_")
+
+
+class TestRepeatedActivations:
+    def test_checkpoint_buffer_resets_per_activation(self):
+        """Two sequential activations of the same region: a rollback in
+        the second must not restore values from the first."""
+        module = Module()
+        acc = module.add_global("acc", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        outer = b.fresh("outer")
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(0, outer)
+        b.jmp("outer_head")
+        b.block("outer_head")
+        oc = b.cmp("slt", outer, 2)
+        b.br(oc, "inner_pre", "exit")
+        b.block("inner_pre")
+        b.mov(0, i)
+        b.jmp("inner_head")
+        b.block("inner_head")
+        ic = b.cmp("slt", i, 5)
+        b.br(ic, "inner_body", "outer_latch")
+        b.block("inner_body")
+        v = b.load(acc, 0)
+        b.store(acc, 0, b.add(v, 1))
+        b.add(i, 1, i)
+        b.jmp("inner_head")
+        b.block("outer_latch")
+        b.add(outer, 1, outer)
+        b.jmp("outer_head")
+        b.block("exit")
+        b.ret(b.load(acc, 0))
+
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["acc"]
+        )
+        assert golden.value == 10
+        report = compile_for_encore(
+            module, EncoreConfig(overhead_budget=0.9), clone=True
+        )
+        inner = [
+            r for r in report.selected_regions if "inner_head" in r.blocks
+        ]
+        assert inner, "inner loop must be protected for this test"
+
+        # Fault late (second activation), detect shortly after.
+        state = {"injected": False, "recovered": False, "site": None}
+
+        def hook(interp, event):
+            if (
+                not state["injected"]
+                and event.index >= 60
+                and event.inst.opcode == "binop"
+            ):
+                from repro.runtime import bitflip
+
+                dest = event.inst.dest
+                frame = interp.current_frame
+                frame.regs[dest] = bitflip(frame.regs.get(dest, 0), 6)
+                state["injected"] = True
+                state["site"] = event.index
+            elif (
+                state["injected"]
+                and not state["recovered"]
+                and event.index >= state["site"] + 2
+            ):
+                state["recovered"] = interp.trigger_recovery()
+
+        result = Interpreter(report.module, post_step=hook).run(
+            "main", output_objects=["acc"]
+        )
+        if state["recovered"]:
+            assert result.output == golden.output
+            assert result.value == golden.value
+
+
+class TestLoopForestEdges:
+    def test_two_back_edges_same_header_merge(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(0, i)
+        b.jmp("head")
+        b.block("head")
+        c = b.cmp("slt", i, 10)
+        b.br(c, "body", "exit")
+        b.block("body")
+        b.add(i, 1, i)
+        parity = b.and_(i, 1)
+        b.br(parity, "latch_a", "latch_b")
+        b.block("latch_a")
+        b.jmp("head")
+        b.block("latch_b")
+        b.jmp("head")
+        b.block("exit")
+        b.ret(i)
+        forest = LoopForest(CFGView(func))
+        assert len(forest) == 1
+        loop = forest.loops[0]
+        assert loop.latches == {"latch_a", "latch_b"}
+        assert loop.blocks == {"head", "body", "latch_a", "latch_b"}

@@ -1,0 +1,218 @@
+"""Unit tests for the IR value/instruction/block/function/module layers."""
+
+import pytest
+
+from repro.ir import (
+    BinOp,
+    Branch,
+    Call,
+    Constant,
+    IRBuilder,
+    Jump,
+    Load,
+    MemRef,
+    MemoryObject,
+    Module,
+    Ret,
+    Store,
+    Type,
+    VirtualRegister,
+    function_to_text,
+    module_to_text,
+    wrap_int,
+)
+
+
+class TestTypes:
+    def test_wrap_int_identity_in_range(self):
+        assert wrap_int(42) == 42
+        assert wrap_int(-42) == -42
+
+    def test_wrap_int_overflow_wraps(self):
+        assert wrap_int(2**63) == -(2**63)
+        assert wrap_int(2**64) == 0
+        assert wrap_int(2**63 - 1) == 2**63 - 1
+
+    def test_wrap_int_negative_overflow(self):
+        assert wrap_int(-(2**63) - 1) == 2**63 - 1
+
+
+class TestValues:
+    def test_registers_hashable_and_equal_by_name(self):
+        assert VirtualRegister("x") == VirtualRegister("x")
+        assert len({VirtualRegister("x"), VirtualRegister("x")}) == 1
+
+    def test_register_types_distinguish(self):
+        assert VirtualRegister("x") != VirtualRegister("x", Type.PTR)
+
+    def test_memory_object_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            MemoryObject("bad", 0)
+
+    def test_memory_object_rejects_long_init(self):
+        with pytest.raises(ValueError):
+            MemoryObject("bad", 2, init=[1, 2, 3])
+
+    def test_memory_object_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            MemoryObject("bad", 4, kind="register")
+
+    def test_memref_direct_and_indirect(self):
+        obj = MemoryObject("arr", 8)
+        direct = MemRef(obj, Constant(3))
+        assert direct.is_direct and direct.has_constant_index
+        ptr = VirtualRegister("p", Type.PTR)
+        indirect = MemRef(ptr, VirtualRegister("i"))
+        assert not indirect.is_direct and not indirect.has_constant_index
+
+
+class TestInstructions:
+    def test_binop_rejects_unknown_op(self):
+        r = VirtualRegister("r")
+        with pytest.raises(ValueError):
+            BinOp("bogus", r, Constant(1), Constant(2))
+
+    def test_uses_and_defs(self):
+        a, b_, c = (VirtualRegister(n) for n in "abc")
+        inst = BinOp("add", c, a, b_)
+        assert set(inst.uses()) == {a, b_}
+        assert inst.defs() == (c,)
+
+    def test_store_reports_memref_and_registers(self):
+        obj = MemoryObject("m", 4)
+        idx = VirtualRegister("i")
+        val = VirtualRegister("v")
+        store = Store(MemRef(obj, idx), val)
+        assert store.stores() == (MemRef(obj, idx),)
+        assert set(store.uses()) == {idx, val}
+        assert store.defs() == ()
+
+    def test_load_reports_memref(self):
+        obj = MemoryObject("m", 4)
+        dest = VirtualRegister("d")
+        load = Load(dest, MemRef(obj, Constant(0)))
+        assert load.loads() == (MemRef(obj, Constant(0)),)
+        assert load.defs() == (dest,)
+
+    def test_branch_successors(self):
+        br = Branch(Constant(1), "a", "b")
+        assert br.successors() == ("a", "b")
+        assert br.is_terminator
+        assert Jump("c").successors() == ("c",)
+        assert Ret().successors() == ()
+
+    def test_call_uses_all_register_args(self):
+        a, b_ = VirtualRegister("a"), VirtualRegister("b")
+        call = Call(None, "f", [a, Constant(1), b_])
+        assert set(call.uses()) == {a, b_}
+        assert call.defs() == ()
+
+    def test_instrumentation_costs(self):
+        from repro.ir import CheckpointMem, CheckpointReg, SetRecoveryPtr
+
+        obj = MemoryObject("m", 4)
+        assert CheckpointMem(0, MemRef(obj, Constant(0))).dynamic_cost == 2
+        assert CheckpointReg(0, VirtualRegister("r")).dynamic_cost == 1
+        assert SetRecoveryPtr(0, "rec").dynamic_cost == 1
+        assert CheckpointMem(0, MemRef(obj, Constant(0))).is_instrumentation
+
+
+class TestBlocksAndFunctions:
+    def test_append_after_terminator_fails(self):
+        module = Module()
+        func = module.add_function("f")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.ret(0)
+        with pytest.raises(ValueError):
+            b.mov(1)
+
+    def test_duplicate_block_label_rejected(self):
+        module = Module()
+        func = module.add_function("f")
+        func.add_block("entry")
+        with pytest.raises(ValueError):
+            func.add_block("entry")
+
+    def test_entry_is_first_block(self):
+        module = Module()
+        func = module.add_function("f")
+        func.add_block("start")
+        func.add_block("other")
+        assert func.entry_label == "start"
+
+    def test_predecessor_map(self):
+        module = Module()
+        func = module.add_function("f")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.br(1, "left", "right")
+        b.block("left")
+        b.jmp("join")
+        b.block("right")
+        b.jmp("join")
+        b.block("join")
+        b.ret(0)
+        preds = func.predecessor_map()
+        assert sorted(preds["join"]) == ["left", "right"]
+        assert preds["entry"] == []
+
+    def test_reachable_labels_excludes_orphans(self):
+        module = Module()
+        func = module.add_function("f")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.ret(0)
+        b.block("orphan")
+        b.ret(1)
+        assert func.reachable_labels() == {"entry"}
+
+    def test_exit_labels(self):
+        module = Module()
+        func = module.add_function("f")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.br(1, "a", "b")
+        b.block("a")
+        b.ret(0)
+        b.block("b")
+        b.ret(1)
+        assert sorted(func.exit_labels()) == ["a", "b"]
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add_function("f")
+        with pytest.raises(ValueError):
+            module.add_function("f")
+
+    def test_duplicate_global_rejected(self):
+        module = Module()
+        module.add_global("g", 4)
+        with pytest.raises(ValueError):
+            module.add_global("g", 4)
+
+    def test_external_declarations(self):
+        module = Module()
+        module.add_function("f")
+        module.declare_external("puts")
+        assert not module.is_external("f")
+        assert module.is_external("puts")
+        assert module.is_external("undeclared")
+
+    def test_printer_round_trips_structure(self):
+        module = Module("demo")
+        module.add_global("g", 4)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        r = b.add(1, 2)
+        b.store(module.globals["g"], 0, r)
+        b.ret(r)
+        text = module_to_text(module)
+        assert "module demo" in text
+        assert "global @g[4]" in text
+        assert "entry:" in text
+        assert "ret" in text
+        assert "func main" in function_to_text(func)

@@ -1,0 +1,148 @@
+"""Round-trip tests for the textual IR parser."""
+
+import pytest
+
+from repro.ir import ParseError, module_to_text, parse_module, verify_module
+from repro.runtime import Interpreter
+from helpers import (
+    build_call_program,
+    build_counted_loop,
+    build_diamond,
+    build_figure4_region,
+    build_linear_sum,
+    build_nested_loops,
+)
+
+
+def roundtrip(module):
+    text = module_to_text(module)
+    reparsed = parse_module(text)
+    assert module_to_text(reparsed) == text
+    verify_module(reparsed)
+    return reparsed
+
+
+class TestRoundTrip:
+    def test_fixtures_roundtrip_and_run_identically(self):
+        cases = [
+            (build_linear_sum, (), ("out",)),
+            (build_diamond, (), ("out",)),
+            (build_counted_loop, (), ("arr",)),
+            (build_nested_loops, (), ("mat",)),
+            (build_call_program, (), ("out",)),
+            (build_figure4_region, (5,), ("mem",)),
+        ]
+        for build, args, outputs in cases:
+            module = build()[0]
+            reparsed = roundtrip(module)
+            original = Interpreter(module).run(
+                "main", args, output_objects=outputs
+            )
+            again = Interpreter(reparsed).run(
+                "main", args, output_objects=outputs
+            )
+            assert again.value == original.value, build.__name__
+            assert again.output == original.output, build.__name__
+            assert again.events == original.events, build.__name__
+
+    def test_workloads_roundtrip(self):
+        from repro.workloads import build_workload
+
+        for name in ("164.gzip", "172.mgrid", "g721decode", "175.vpr"):
+            built = build_workload(name)
+            reparsed = roundtrip(built.module)
+            original = Interpreter(built.module).run(
+                built.entry, built.args, output_objects=built.output_objects
+            )
+            again = Interpreter(reparsed).run(
+                built.entry, built.args, output_objects=built.output_objects
+            )
+            assert again.output == original.output, name
+
+    def test_instrumented_module_roundtrips(self):
+        from repro.encore import EncoreConfig, compile_for_encore
+
+        module, _ = build_counted_loop(10)
+        report = compile_for_encore(module, EncoreConfig(), clone=True)
+        reparsed = roundtrip(report.module)
+        a = Interpreter(report.module).run("main", output_objects=["arr"])
+        c = Interpreter(reparsed).run("main", output_objects=["arr"])
+        assert a.output == c.output
+        assert c.instrumentation_cost == a.instrumentation_cost
+
+    def test_initializers_preserved(self):
+        from repro.ir import IRBuilder, Module
+
+        module = Module("init")
+        module.add_global("data", 4, init=[1, -2, 3])
+        module.add_global("fdata", 2, init=[0.5, -1.25])
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        x = b.load(module.globals["data"], 1)
+        y = b.load(module.globals["fdata"], 1)
+        b.ret(x)
+        reparsed = roundtrip(module)
+        assert reparsed.globals["data"].init == [1, -2, 3]
+        assert reparsed.globals["fdata"].init == [0.5, -1.25]
+
+    def test_stack_objects_preserved(self):
+        from repro.ir import IRBuilder, Module
+
+        module = Module("stacky")
+        func = module.add_function("main")
+        buf = func.add_stack_object("buf", 3, init=[9])
+        b = IRBuilder(func)
+        b.block("entry")
+        v = b.load(buf, 0)
+        b.ret(v)
+        reparsed = roundtrip(module)
+        obj = reparsed.function("main").stack_objects["buf"]
+        assert obj.kind == "stack" and obj.size == 3 and obj.init == [9]
+
+    def test_pointer_type_inference(self):
+        from repro.ir import IRBuilder, Module, Type
+
+        module = Module("ptrs")
+        arr = module.add_global("arr", 4)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        p = b.addrof(arr, 1)
+        b.store(p, 0, 42)
+        q = b.alloc(2)
+        b.store(q, 1, 7)
+        v = b.load(arr, 1)
+        b.ret(v)
+        reparsed = roundtrip(module)
+        assert Interpreter(reparsed).run("main").value == 42
+
+
+class TestParseErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_module("")
+
+    def test_missing_module_header(self):
+        with pytest.raises(ParseError, match="module header"):
+            parse_module("func f() {\nentry:\n  ret\n}")
+
+    def test_unknown_instruction(self):
+        text = "module m\n\nfunc main() {\nentry:\n  %x = frobnicate 1\n  ret\n}"
+        with pytest.raises(ParseError, match="unknown instruction"):
+            parse_module(text)
+
+    def test_unknown_memory_object(self):
+        text = "module m\n\nfunc main() {\nentry:\n  %x = load @ghost[0]\n  ret\n}"
+        with pytest.raises(ParseError, match="unknown memory object"):
+            parse_module(text)
+
+    def test_instruction_outside_block(self):
+        text = "module m\n\nfunc main() {\n  %x = mov 1\n}"
+        with pytest.raises(ParseError, match="outside a block"):
+            parse_module(text)
+
+    def test_bad_operand(self):
+        text = "module m\n\nfunc main() {\nentry:\n  %x = mov banana\n  ret\n}"
+        with pytest.raises(ParseError, match="bad operand"):
+            parse_module(text)

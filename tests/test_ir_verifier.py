@@ -1,0 +1,121 @@
+"""Verifier tests: each structural error class is detected."""
+
+import pytest
+
+from repro.ir import (
+    Branch,
+    Constant,
+    IRBuilder,
+    Load,
+    MemRef,
+    MemoryObject,
+    Module,
+    Store,
+    Type,
+    VerificationError,
+    VirtualRegister,
+    verify_function,
+    verify_module,
+)
+from helpers import build_call_program, build_counted_loop, build_figure4_region
+
+
+def _simple_module():
+    module = Module()
+    func = module.add_function("f")
+    return module, func
+
+
+class TestVerifier:
+    def test_clean_modules_verify(self):
+        for build in (build_counted_loop, build_call_program, build_figure4_region):
+            module = build()[0]
+            verify_module(module)  # should not raise
+
+    def test_missing_terminator(self):
+        module, func = _simple_module()
+        b = IRBuilder(func)
+        b.block("entry")
+        b.mov(1)
+        errors = verify_function(func, module)
+        assert any("missing terminator" in e for e in errors)
+
+    def test_branch_to_unknown_label(self):
+        module, func = _simple_module()
+        block = func.add_block("entry")
+        block.append(Branch(Constant(1), "nowhere", "alsonowhere"))
+        errors = verify_function(func, module)
+        assert any("unknown label" in e for e in errors)
+
+    def test_use_of_undefined_register(self):
+        module, func = _simple_module()
+        b = IRBuilder(func)
+        b.block("entry")
+        ghost = VirtualRegister("ghost")
+        b.add(ghost, 1)
+        b.ret(0)
+        errors = verify_function(func, module)
+        assert any("undefined register" in e for e in errors)
+
+    def test_params_count_as_defined(self):
+        module = Module()
+        func = module.add_function("f", params=[VirtualRegister("x")])
+        b = IRBuilder(func)
+        b.block("entry")
+        b.add(func.params[0], 1)
+        b.ret(0)
+        assert verify_function(func, module) == []
+
+    def test_undeclared_memory_object(self):
+        module, func = _simple_module()
+        rogue = MemoryObject("rogue", 4)
+        block = func.add_block("entry")
+        block.append(Store(MemRef(rogue, Constant(0)), Constant(1)))
+        from repro.ir import Ret
+
+        block.append(Ret(Constant(0)))
+        errors = verify_function(func, module)
+        assert any("undeclared memory object" in e for e in errors)
+
+    def test_indirect_access_through_non_pointer(self):
+        module, func = _simple_module()
+        b = IRBuilder(func)
+        b.block("entry")
+        notptr = b.mov(5)  # i64 register
+        block = func.blocks["entry"]
+        block.append(Load(VirtualRegister("d"), MemRef(notptr, Constant(0))))
+        from repro.ir import Ret
+
+        block.append(Ret(Constant(0)))
+        errors = verify_function(func, module)
+        assert any("non-pointer" in e for e in errors)
+
+    def test_call_to_undeclared_target(self):
+        module, func = _simple_module()
+        b = IRBuilder(func)
+        b.block("entry")
+        b.call("mystery", [])
+        b.ret(0)
+        errors = verify_function(func, module)
+        assert any("undeclared target" in e for e in errors)
+        module.declare_external("mystery")
+        assert verify_function(func, module) == []
+
+    def test_verify_module_raises_aggregate(self):
+        module, func = _simple_module()
+        func.add_block("entry")  # no terminator
+        with pytest.raises(VerificationError) as info:
+            verify_module(module)
+        assert info.value.errors
+
+    def test_terminator_not_last_detected(self):
+        module, func = _simple_module()
+        block = func.add_block("entry")
+        from repro.ir import Jump, Move
+
+        func.add_block("next").append(Jump("next"))
+        block.instructions.append(Jump("next"))
+        block.instructions.append(Move(VirtualRegister("x"), Constant(1)))
+        block.instructions.append(Jump("next"))
+        errors = verify_function(func, module)
+        assert any("not last" in e for e in errors)

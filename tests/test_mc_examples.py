@@ -1,0 +1,118 @@
+"""The shipped MC example programs compile, run, protect, and recover."""
+
+import copy
+import glob
+import os
+
+import pytest
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.frontend import compile_source
+from repro.opt import optimize_module
+from repro.runtime import Interpreter, run_symptom_campaign
+
+MC_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "mc")
+MC_FILES = sorted(glob.glob(os.path.join(MC_DIR, "*.mc")))
+
+OUTPUTS = {
+    "adpcm.mc": ("audio",),
+    "crc32.mc": ("table",),
+    "fir.mc": ("filtered",),
+    "sort.mc": ("keys",),
+    "matmul.mc": ("C",),
+    "quicksort.mc": ("data", "checksum"),
+}
+
+
+def _load(path):
+    with open(path) as handle:
+        return compile_source(handle.read(), name=os.path.basename(path))
+
+
+class TestMCPrograms:
+    def test_examples_exist(self):
+        assert len(MC_FILES) >= 6
+
+    @pytest.mark.parametrize(
+        "path", MC_FILES, ids=[os.path.basename(p) for p in MC_FILES]
+    )
+    def test_compiles_and_runs(self, path):
+        module = _load(path)
+        outputs = OUTPUTS.get(os.path.basename(path), ())
+        result = Interpreter(module).run("main", output_objects=outputs)
+        assert result.events > 100
+
+    @pytest.mark.parametrize(
+        "path", MC_FILES, ids=[os.path.basename(p) for p in MC_FILES]
+    )
+    def test_optimizer_preserves_output(self, path):
+        module = _load(path)
+        outputs = OUTPUTS.get(os.path.basename(path), ())
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=outputs
+        )
+        optimize_module(module)
+        result = Interpreter(module).run("main", output_objects=outputs)
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+    @pytest.mark.parametrize(
+        "path", MC_FILES, ids=[os.path.basename(p) for p in MC_FILES]
+    )
+    def test_protected_output_identical(self, path):
+        module = _load(path)
+        optimize_module(module)
+        outputs = OUTPUTS.get(os.path.basename(path), ())
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=outputs
+        )
+        report = compile_for_encore(module, EncoreConfig(), clone=True)
+        result = Interpreter(report.module).run("main", output_objects=outputs)
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+    def test_sort_is_non_idempotent_but_protected(self):
+        from repro.encore import RegionStatus
+
+        module = _load(os.path.join(MC_DIR, "sort.mc"))
+        optimize_module(module)
+        report = compile_for_encore(
+            module, EncoreConfig(overhead_budget=0.5), clone=True
+        )
+        hot = max(report.candidate_regions, key=lambda r: r.dyn_instructions)
+        assert hot.status is RegionStatus.NON_IDEMPOTENT
+        assert hot.selected
+        assert hot.checkpoint_sites
+
+    def test_sorted_result_survives_faults(self):
+        module = _load(os.path.join(MC_DIR, "sort.mc"))
+        optimize_module(module)
+        report = compile_for_encore(
+            module, EncoreConfig(overhead_budget=0.5), clone=True
+        )
+        campaign = run_symptom_campaign(
+            report.module, output_objects=("keys",), trials=40, seed=6,
+            slack=0.25,
+        )
+        assert campaign.fraction("recovered") > 0.2
+
+
+    def test_quicksort_actually_sorts(self):
+        module = _load(os.path.join(MC_DIR, "quicksort.mc"))
+        result = Interpreter(module).run("main", output_objects=("data",))
+        assert result.output["data"] == sorted(result.output["data"])
+
+    def test_matmul_identityish_product(self):
+        module = _load(os.path.join(MC_DIR, "matmul.mc"))
+        result = Interpreter(module).run("main", output_objects=("C",))
+        # Row 0 of B is mostly identity-like; spot-check one entry:
+        # C[0][0] = sum_k A[0][k] * B[k][0] = A[0][0] + A[0][4] + A[0][6].
+        assert result.output["C"][0] == 1 + 5 + 7
+
+    def test_quicksort_recursive_core_is_unknown(self):
+        from repro.encore import RegionStatus
+
+        module = _load(os.path.join(MC_DIR, "quicksort.mc"))
+        report = compile_for_encore(module, EncoreConfig(), clone=True)
+        statuses = {r.func: r.status for r in report.candidate_regions}
+        assert statuses.get("qsort_range") is RegionStatus.UNKNOWN

@@ -1,0 +1,240 @@
+"""Tests for the optimizer passes: semantics preservation is the law."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.opt import (
+    eliminate_dead_code,
+    fold_binop,
+    fold_compare,
+    fold_function,
+    fold_unop,
+    optimize_function,
+    optimize_module,
+    propagate_function,
+    simplify_cfg,
+)
+from repro.runtime import Interpreter
+from helpers import build_counted_loop, build_figure4_region, build_nested_loops
+
+
+def run_value(module, args=(), outputs=()):
+    return Interpreter(copy.deepcopy(module)).run(
+        "main", args, output_objects=outputs
+    )
+
+
+class TestFoldPrimitives:
+    def test_fold_matches_interpreter_semantics(self):
+        assert fold_binop("sdiv", -7, 2) == -3
+        assert fold_binop("srem", -7, 2) == -1
+        assert fold_binop("mul", 2**62, 4) == 0
+        assert fold_binop("lshr", -1, 60) == 15
+
+    def test_division_by_zero_not_folded(self):
+        assert fold_binop("sdiv", 1, 0) is None
+        assert fold_binop("srem", 1, 0) is None
+        assert fold_binop("fdiv", 1.0, 0.0) is None
+
+    def test_fold_compare(self):
+        assert fold_compare("slt", 1, 2) == 1
+        assert fold_compare("eq", 2.0, 2.0) == 1
+        assert fold_compare("sge", 1, 2) == 0
+
+    def test_fold_unop(self):
+        assert fold_unop("neg", 5) == -5
+        assert fold_unop("fsqrt", 9.0) == 3.0
+        assert fold_unop("fsqrt", -1.0) is None
+        assert fold_unop("fptosi", 2.9) == 2
+
+    @given(
+        op=st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "shl"]),
+        a=st.integers(-(2**32), 2**32),
+        b_=st.integers(-(2**32), 2**32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fold_agrees_with_interpreter(self, op, a, b_):
+        module = Module()
+        func = module.add_function("main")
+        ib = IRBuilder(func)
+        ib.block("entry")
+        r = ib.binop(op, a, b_)
+        ib.ret(r)
+        expected = Interpreter(module).run("main").value
+        assert fold_binop(op, a, b_) == expected
+
+
+class TestPassesPreserveSemantics:
+    def _check(self, module, args=(), outputs=()):
+        before = run_value(module, args, outputs)
+        count_before = module.instruction_count()
+        optimize_module(module)
+        verify_module(module)
+        after = run_value(module, args, outputs)
+        assert after.value == before.value
+        assert after.output == before.output
+        assert module.instruction_count() <= count_before
+        return before, after
+
+    def test_counted_loop(self):
+        module, _ = build_counted_loop(12)
+        self._check(module, outputs=["arr"])
+
+    def test_nested_loops(self):
+        module, _ = build_nested_loops()
+        self._check(module, outputs=["mat"])
+
+    def test_figure4(self):
+        module, _ = build_figure4_region()
+        self._check(module, args=[5], outputs=["mem"])
+
+    def test_all_workloads_optimize_cleanly(self):
+        from repro.workloads import all_workloads
+
+        for spec in all_workloads()[:8]:  # a representative subset
+            built = spec.build()
+            before = Interpreter(copy.deepcopy(built.module)).run(
+                built.entry, built.args, output_objects=built.output_objects
+            )
+            optimize_module(built.module)
+            verify_module(built.module)
+            after = Interpreter(built.module).run(
+                built.entry, built.args, output_objects=built.output_objects
+            )
+            assert after.value == before.value, spec.name
+            assert after.output == before.output, spec.name
+
+
+class TestIndividualPasses:
+    def test_constant_chain_folds_to_move(self):
+        module = Module()
+        out = module.add_global("out", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        x = b.add(2, 3)
+        y = b.mul(x, 4)
+        b.store(out, 0, y)
+        b.ret(y)
+        optimize_function(func)
+        # After fold+copyprop+DCE only the store and ret remain.
+        opcodes = [inst.opcode for inst in func.blocks["entry"]]
+        assert "binop" not in opcodes
+        result = Interpreter(module).run("main")
+        assert result.value == 20
+
+    def test_algebraic_identities(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        x = b.mov(7)
+        y = b.add(x, 0)
+        z = b.mul(y, 1)
+        w = b.or_(z, 0)
+        b.ret(w)
+        optimize_function(func)
+        assert Interpreter(module).run("main").value == 7
+        assert func.instruction_count() <= 3
+
+    def test_dce_keeps_loads(self):
+        # A dead load may trap; it must survive DCE.
+        module = Module()
+        arr = module.add_global("arr", 2)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.load(arr, 0)  # dead but kept
+        b.ret(0)
+        assert eliminate_dead_code(func) == 0
+        assert func.blocks["entry"].instructions[0].opcode == "load"
+
+    def test_dce_removes_dead_arithmetic(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.add(1, 2)  # dead
+        keep = b.mov(9)
+        b.ret(keep)
+        removed = eliminate_dead_code(func)
+        assert removed >= 1
+        assert Interpreter(module).run("main").value == 9
+
+    def test_constant_branch_threading(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.br(1, "taken", "dead")
+        b.block("taken")
+        b.ret(1)
+        b.block("dead")
+        b.ret(0)
+        changed = simplify_cfg(func)
+        assert changed >= 2  # threaded + unreachable removal
+        assert "dead" not in func.blocks
+        assert Interpreter(module).run("main").value == 1
+
+    def test_straightline_merging(self):
+        module = Module()
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.jmp("middle")
+        b.block("middle")
+        x = b.mov(5)
+        b.jmp("end")
+        b.block("end")
+        b.ret(x)
+        simplify_cfg(func)
+        assert len(func.blocks) == 1
+        assert Interpreter(module).run("main").value == 5
+
+    def test_copyprop_through_moves(self):
+        module = Module()
+        out = module.add_global("out", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        x = b.mov(3)
+        y = b.mov(x)
+        z = b.mov(y)
+        b.store(out, 0, z)
+        b.ret(z)
+        propagate_function(func)
+        store = next(i for i in func.blocks["entry"] if i.opcode == "store")
+        from repro.ir import Constant
+
+        assert store.value == Constant(3)
+
+    def test_simplify_refuses_instrumented_functions(self):
+        from repro.encore import EncoreConfig, compile_for_encore
+
+        module, _ = build_counted_loop(10)
+        report = compile_for_encore(module, EncoreConfig(), clone=True)
+        func = report.module.function("main")
+        blocks_before = set(func.blocks)
+        assert simplify_cfg(func) == 0
+        assert set(func.blocks) == blocks_before
+
+
+class TestEncoreAfterOptimization:
+    def test_optimized_workload_still_protectable(self):
+        from repro.encore import EncoreConfig, compile_for_encore
+        from repro.workloads import build_workload
+
+        built = build_workload("g721decode")
+        optimize_module(built.module)
+        golden = Interpreter(copy.deepcopy(built.module)).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        report = compile_for_encore(built.module, EncoreConfig(), clone=True)
+        assert report.selected_regions
+        result = Interpreter(report.module).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        assert result.output == golden.output

@@ -1,0 +1,178 @@
+"""Tests for dynamic memory profiling and the profiled alias mode."""
+
+import copy
+
+import pytest
+
+from repro.analysis import AliasAnalysis
+from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.ir import Constant, IRBuilder, MemRef, Module, Type, VirtualRegister
+from repro.profiling import MemoryAccessProfile, collect_memory_profile
+from repro.runtime import Interpreter
+from repro.workloads import build_workload
+
+
+def _indirect_war_module():
+    """Load from arr[i], store through a memory-loaded pointer to out.
+
+    Statically the pointer is TOP (may alias the load -> spurious WAR);
+    dynamically it only ever touches ``out``.
+    """
+    module = Module()
+    arr = module.add_global("arr", 8, init=list(range(8)))
+    out = module.add_global("out", 8)
+    desc = module.add_global("desc", 1)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    i = b.fresh("i")
+    b.block("entry")
+    p = b.addrof(out, 0)
+    b.store(desc, 0, p)
+    handle = b.load(desc, 0, dest=b.fresh("h", Type.PTR))
+    b.mov(0, i)
+    b.jmp("head")
+    b.block("head")
+    c = b.cmp("slt", i, 8)
+    b.br(c, "body", "exit")
+    b.block("body")
+    v = b.load(arr, i)
+    b.store(handle, i, v)
+    b.add(i, 1, i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(0)
+    return module
+
+
+class TestMemoryAccessProfile:
+    def test_collection_normalizes_names(self):
+        module = _indirect_war_module()
+        profile = collect_memory_profile(module)
+        assert len(profile) > 0
+        # The pointer store site observed only the `out` object.
+        store_sites = [
+            site for site in profile._sites
+            if profile.observed_objects(site) == frozenset(["out"])
+        ]
+        assert store_sites
+
+    def test_overflow_to_top(self):
+        profile = MemoryAccessProfile(max_objects=2, max_addresses=3)
+        site = ("f", "bb", 0)
+        for k in range(5):
+            profile.record(site, (f"obj{k}", k))
+        assert profile.observed_objects(site) is None
+        assert profile.observed_addresses(site) is None
+
+    def test_unknown_site_returns_none(self):
+        profile = MemoryAccessProfile()
+        assert profile.observed_objects(("f", "bb", 0)) is None
+
+    def test_heap_and_stack_normalization(self):
+        module = Module()
+        callee = module.add_function("leaf")
+        buf = callee.add_stack_object("buf", 2)
+        cb = IRBuilder(callee)
+        cb.block("entry")
+        cb.store(buf, 0, 1)
+        cb.ret(0)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.call("leaf", [])
+        b.call("leaf", [])
+        p = b.alloc(4)
+        b.store(p, 0, 2)
+        b.ret(0)
+        profile = collect_memory_profile(module)
+        names = set()
+        for site in profile._sites:
+            objs = profile.observed_objects(site)
+            if objs:
+                names |= set(objs)
+        assert "buf" in names  # not buf@f2 / buf@f3
+        assert any(n.startswith("heap:main:") and "#" not in n for n in names)
+
+
+class TestProfiledAliasMode:
+    def test_requires_profile(self):
+        module = _indirect_war_module()
+        with pytest.raises(ValueError):
+            AliasAnalysis(module, mode="profiled")
+
+    def test_refines_top_pointer(self):
+        module = _indirect_war_module()
+        memprof = collect_memory_profile(module)
+        alias = AliasAnalysis(module, mode="profiled", memory_profile=memprof)
+        analyzer = IdempotenceAnalyzer(module, alias=alias)
+        func = module.function("main")
+        result = analyzer.analyze_region(
+            "main", frozenset(func.reachable_labels()), "entry"
+        )
+        # Statically this is a WAR (TOP store vs arr load); the profile
+        # proves the store only touches `out`.
+        assert result.status is RegionStatus.IDEMPOTENT
+
+    def test_static_mode_flags_the_same_region(self):
+        module = _indirect_war_module()
+        analyzer = IdempotenceAnalyzer(module)  # static
+        func = module.function("main")
+        result = analyzer.analyze_region(
+            "main", frozenset(func.reachable_labels()), "entry"
+        )
+        assert result.status is RegionStatus.NON_IDEMPOTENT
+
+    def test_observed_singleton_guards(self):
+        # A store whose site always hits one address must-aliases a load
+        # of that address: the load is guarded, no WAR.
+        module = Module()
+        cell = module.add_global("cell", 4)
+        desc = module.add_global("desc", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        p = b.addrof(cell, 2)
+        b.store(desc, 0, p)
+        h = b.load(desc, 0, dest=b.fresh("h", Type.PTR))
+        b.store(h, 0, 5)      # always writes cell[2]
+        v = b.load(cell, 2)   # guarded by the profiled store
+        b.store(cell, 2, b.add(v, 1))
+        b.ret(v)
+        memprof = collect_memory_profile(module)
+        alias = AliasAnalysis(module, mode="profiled", memory_profile=memprof)
+        analyzer = IdempotenceAnalyzer(module, alias=alias)
+        func_obj = module.function("main")
+        result = analyzer.analyze_region(
+            "main", frozenset(func_obj.reachable_labels()), "entry"
+        )
+        assert result.status is RegionStatus.IDEMPOTENT
+
+
+class TestPipelineProfiledMode:
+    def test_profiled_overhead_between_static_and_optimistic(self):
+        name = "g721decode"
+        overheads = {}
+        for mode in ("static", "profiled", "optimistic"):
+            built = build_workload(name)
+            report = compile_for_encore(
+                built.module, EncoreConfig(alias_mode=mode), args=built.args
+            )
+            overheads[mode] = report.estimated_overhead()
+        assert overheads["profiled"] <= overheads["static"] + 1e-9
+        # Profiled cannot beat the perfect disambiguator by much (same
+        # selection pressure, statistical refinement only).
+        assert overheads["profiled"] >= overheads["optimistic"] - 0.05
+
+    def test_profiled_instrumentation_preserves_output(self):
+        built = build_workload("rawdaudio")
+        golden = Interpreter(copy.deepcopy(built.module)).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        report = compile_for_encore(
+            built.module, EncoreConfig(alias_mode="profiled"), args=built.args
+        )
+        result = Interpreter(report.module).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        assert result.output == golden.output

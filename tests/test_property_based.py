@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Covers the soundness-critical properties:
+
+* the path-insensitive idempotence analysis is conservative with respect
+  to brute-force dynamic WAR detection on random acyclic programs;
+* interval partitioning always yields single-entry partitions;
+* instrumentation never changes program semantics;
+* checkpoint/rollback restores exact pre-region state under random
+  fault injection;
+* the closed-form alpha matches numeric integration;
+* bitflip is an involution on integers.
+"""
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import CFGView, DominatorTree, partition_into_intervals
+from repro.encore import EncoreConfig, RegionStatus, alpha, alpha_numeric, compile_for_encore
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.ir import IRBuilder, Module, verify_module
+from repro.runtime import Interpreter, bitflip
+from repro.runtime.traces import capture_trace, window_war_addresses
+
+# ---------------------------------------------------------------------------
+# random straight-line / branchy program generation
+# ---------------------------------------------------------------------------
+
+MEM_SIZE = 4
+
+op_strategy = st.sampled_from(["load", "store", "nop"])
+addr_strategy = st.integers(min_value=0, max_value=MEM_SIZE - 1)
+block_ops = st.lists(st.tuples(op_strategy, addr_strategy), min_size=0, max_size=4)
+
+
+def build_branchy(module_ops):
+    """Build a diamond-chain program from per-block op lists.
+
+    ``module_ops`` is a list of (then_ops, else_ops) levels; each level is
+    an if/else diamond, so every combination of arms is a feasible path.
+    """
+    module = Module("prop")
+    mem = module.add_global("mem", MEM_SIZE, init=list(range(MEM_SIZE)))
+    sel = module.add_global("sel", max(len(module_ops), 1))
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    acc = b.mov(0)
+
+    def emit_ops(ops):
+        nonlocal acc
+        for op, addr in ops:
+            if op == "load":
+                v = b.load(mem, addr)
+                b.add(acc, v, acc)
+            elif op == "store":
+                b.store(mem, addr, b.add(acc, addr))
+            else:
+                b.add(acc, 1, acc)
+
+    for level, (then_ops, else_ops) in enumerate(module_ops):
+        cond = b.load(sel, level)
+        then_l, else_l, join_l = f"t{level}", f"e{level}", f"j{level}"
+        b.br(cond, then_l, else_l)
+        b.block(then_l)
+        emit_ops(then_ops)
+        b.jmp(join_l)
+        b.block(else_l)
+        emit_ops(else_ops)
+        b.jmp(join_l)
+        b.block(join_l)
+    b.ret(acc)
+    return module, mem
+
+
+levels_strategy = st.lists(
+    st.tuples(block_ops, block_ops), min_size=1, max_size=4
+)
+
+
+class TestAnalysisConservatism:
+    @given(levels=levels_strategy, selector=st.integers(0, 2**4 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_verdict_implies_no_dynamic_war(self, levels, selector):
+        """If the static analysis says IDEMPOTENT, no execution of the
+        region may exhibit a dynamic WAR on memory."""
+        module, mem = build_branchy(levels)
+        # Drive one concrete path via the selector bits.
+        for i in range(len(levels)):
+            module.globals["sel"].init = module.globals["sel"].init or [0] * len(levels)
+        module.globals["sel"].init = [
+            (selector >> i) & 1 for i in range(len(levels))
+        ]
+        verify_module(module)
+        analyzer = IdempotenceAnalyzer(module)
+        func = module.function("main")
+        result = analyzer.analyze_region(
+            "main", frozenset(func.reachable_labels()), "entry"
+        )
+        if result.status is RegionStatus.IDEMPOTENT:
+            trace = capture_trace(module)
+            wars = window_war_addresses(trace.records, 0, len(trace.records))
+            assert not wars, (
+                "static analysis called region idempotent but a dynamic "
+                f"WAR exists: {wars}"
+            )
+
+    @given(levels=levels_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_instrumentation_preserves_semantics(self, levels):
+        module, _ = build_branchy(levels)
+        module.globals["sel"].init = [i % 2 for i in range(len(levels))]
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["mem"]
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(auto_tune=False, gamma=0.0), clone=True
+        )
+        verify_module(report.module)
+        result = Interpreter(report.module).run("main", output_objects=["mem"])
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+
+class TestRollbackProperty:
+    @given(
+        levels=levels_strategy,
+        site=st.integers(0, 40),
+        bit=st.integers(0, 31),
+        latency=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovery_restores_golden_output_for_value_faults(
+        self, levels, site, bit, latency
+    ):
+        """For acyclic single-region programs, a value fault detected
+        within the region always rolls back to the golden output."""
+        module, _ = build_branchy(levels)
+        module.globals["sel"].init = [1] * len(levels)
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["mem"]
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(auto_tune=False, gamma=0.0), clone=True
+        )
+        if not report.selected_regions:
+            return
+        state = {"injected": False, "recovered": False, "site": None}
+
+        def hook(interp, event):
+            if (
+                not state["injected"]
+                and event.index >= site
+                and event.inst.opcode in ("binop", "mov")
+                and event.inst.defs()
+            ):
+                dest = event.inst.defs()[0]
+                frame = interp.current_frame
+                value = frame.regs.get(dest, 0)
+                if isinstance(value, int):
+                    frame.regs[dest] = bitflip(value, bit)
+                    state["injected"] = True
+                    state["site"] = event.index
+            elif (
+                state["injected"]
+                and not state["recovered"]
+                and event.index >= state["site"] + latency
+            ):
+                state["recovered"] = interp.trigger_recovery()
+
+        interp = Interpreter(report.module, post_step=hook, max_steps=100_000)
+        result = interp.run("main", output_objects=["mem"])
+        if state["recovered"]:
+            assert result.output == golden.output
+            assert result.value == golden.value
+
+
+class TestStructuralProperties:
+    @given(levels=levels_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_intervals_partition_and_single_entry(self, levels):
+        module, _ = build_branchy(levels)
+        cfg = CFGView(module.function("main"))
+        intervals = partition_into_intervals(cfg.succs, cfg.preds, cfg.entry)
+        seen = [n for iv in intervals for n in iv]
+        assert sorted(seen) == sorted(cfg.labels)
+        for members in intervals:
+            header, inside = members[0], set(members)
+            for node in members:
+                if node == header:
+                    continue
+                assert all(p in inside for p in cfg.preds[node])
+
+    @given(levels=levels_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_dominator_tree_sound(self, levels):
+        module, _ = build_branchy(levels)
+        cfg = CFGView(module.function("main"))
+        dom = DominatorTree(cfg)
+        # Entry dominates everything; idom is a strict dominator.
+        for label in cfg.labels:
+            assert dom.dominates(cfg.entry, label)
+            idom = dom.idom[label]
+            if label != cfg.entry:
+                assert idom is not None
+                assert dom.strictly_dominates(idom, label)
+
+
+class TestModelAndBitflip:
+    @given(
+        n=st.floats(min_value=1.0, max_value=1e5),
+        dmax=st.floats(min_value=1.0, max_value=1e4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_alpha_in_unit_interval_and_monotone(self, n, dmax):
+        a = alpha(n, dmax)
+        assert 0.0 <= a <= 1.0
+        assert alpha(n * 2, dmax) >= a - 1e-12
+        assert alpha(n, dmax * 2) <= a + 1e-12
+
+    @given(
+        n=st.floats(min_value=10.0, max_value=5000.0),
+        dmax=st.floats(min_value=10.0, max_value=2000.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_alpha_closed_form_matches_numeric(self, n, dmax):
+        assert abs(alpha(n, dmax) - alpha_numeric(n, dmax)) < 0.03
+
+    @given(value=st.integers(-(2**62), 2**62), bit=st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_bitflip_involution(self, value, bit):
+        assert bitflip(bitflip(value, bit), bit) == value
+        assert bitflip(value, bit) != value

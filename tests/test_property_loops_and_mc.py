@@ -1,0 +1,213 @@
+"""Property-based testing, round two: loop-carrying programs and MC fuzz.
+
+The first property suite (test_property_based.py) covers acyclic
+programs; here hypothesis drives randomly-built *loop nests* with
+random memory access patterns through the whole stack — analysis
+conservatism, optimizer semantics, instrumentation semantics — plus a
+generator of small MC programs exercising frontend + optimizer
+equivalence.
+"""
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.frontend import compile_source
+from repro.ir import IRBuilder, Module, verify_module
+from repro.opt import optimize_module
+from repro.runtime import Interpreter
+from repro.runtime.traces import capture_trace, window_war_addresses
+from repro.workloads.synth import Kit
+
+MEM = 6
+
+# One loop level: (trip count, [ops]) where an op is (kind, address).
+op_st = st.tuples(
+    st.sampled_from(["load", "store", "addmem", "nop"]),
+    st.integers(0, MEM - 1),
+)
+level_st = st.tuples(st.integers(1, 4), st.lists(op_st, min_size=0, max_size=3))
+nest_st = st.lists(level_st, min_size=1, max_size=3)
+
+
+def build_loop_nest(levels):
+    """Nested counted loops; each level runs its ops inside the nest."""
+    module = Module("loopnest")
+    mem = module.add_global("mem", MEM, init=list(range(1, MEM + 1)))
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    kit = Kit(b)
+    b.block("entry")
+    acc = b.mov(0)
+
+    def emit_ops(ops):
+        for kind, addr in ops:
+            if kind == "load":
+                b.add(acc, b.load(mem, addr), acc)
+            elif kind == "store":
+                b.store(mem, addr, b.add(acc, addr))
+            elif kind == "addmem":
+                v = b.load(mem, addr)            # WAR when paired below
+                b.store(mem, addr, b.add(v, 1))
+            else:
+                b.add(acc, 1, acc)
+
+    def nest(depth):
+        trip, ops = levels[depth]
+
+        def body(_i):
+            emit_ops(ops)
+            if depth + 1 < len(levels):
+                nest(depth + 1)
+
+        kit.counted(trip, body, f"lvl{depth}")
+
+    nest(0)
+    b.ret(acc)
+    verify_module(module)
+    return module
+
+
+class TestLoopNestProperties:
+    @given(levels=nest_st)
+    @settings(max_examples=50, deadline=None)
+    def test_analysis_conservative_on_loop_nests(self, levels):
+        module = build_loop_nest(levels)
+        analyzer = IdempotenceAnalyzer(module)
+        func = module.function("main")
+        result = analyzer.analyze_region(
+            "main", frozenset(func.reachable_labels()), "entry"
+        )
+        if result.status is RegionStatus.IDEMPOTENT:
+            trace = capture_trace(module)
+            wars = window_war_addresses(trace.records, 0, len(trace.records))
+            assert not wars, wars
+
+    @given(levels=nest_st)
+    @settings(max_examples=30, deadline=None)
+    def test_instrumented_loop_nest_output_identical(self, levels):
+        module = build_loop_nest(levels)
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["mem"]
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(auto_tune=False, gamma=0.0), clone=True
+        )
+        verify_module(report.module)
+        result = Interpreter(report.module).run("main", output_objects=["mem"])
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+    @given(levels=nest_st)
+    @settings(max_examples=30, deadline=None)
+    def test_optimizer_preserves_loop_nests(self, levels):
+        module = build_loop_nest(levels)
+        golden = Interpreter(copy.deepcopy(module)).run(
+            "main", output_objects=["mem"]
+        )
+        optimize_module(module)
+        verify_module(module)
+        result = Interpreter(module).run("main", output_objects=["mem"])
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+
+# ---------------------------------------------------------------------------
+# MC source fuzzing: generate small-but-valid programs as text.
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c"])
+_literals = st.integers(-50, 50)
+
+
+@st.composite
+def mc_expr(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(_literals))
+        if choice == 1:
+            return draw(_names)
+        return f"g[{draw(st.integers(0, 7))}]"
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    lhs = draw(mc_expr(depth=depth + 1))
+    rhs = draw(mc_expr(depth=depth + 1))
+    return f"({lhs} {op} {rhs})"
+
+
+@st.composite
+def mc_stmt(draw, depth=0):
+    kind = draw(st.integers(0, 3 if depth < 2 else 1))
+    if kind == 0:
+        return f"{draw(_names)} = {draw(mc_expr())};"
+    if kind == 1:
+        return f"g[{draw(st.integers(0, 7))}] = {draw(mc_expr())};"
+    if kind == 2:
+        body = " ".join(draw(st.lists(mc_stmt(depth=depth + 1), max_size=2)))
+        return f"if ({draw(mc_expr())}) {{ {body} }}"
+    body = " ".join(draw(st.lists(mc_stmt(depth=depth + 1), max_size=2)))
+    # One induction variable per nesting depth: sharing one across
+    # nested loops is valid C that never terminates.
+    var = ["i", "j", "k"][depth]
+    return (
+        f"for ({var} = 0; {var} < {draw(st.integers(1, 5))}; "
+        f"{var} = {var} + 1) {{ {body} }}"
+    )
+
+
+@st.composite
+def mc_program(draw):
+    stmts = " ".join(draw(st.lists(mc_stmt(), min_size=1, max_size=5)))
+    return (
+        "global int g[8] = {3, 1, 4, 1, 5, 9, 2, 6};\n"
+        "int main() {\n"
+        "  int a = 1; int b = 2; int c = 3;\n"
+        "  int i = 0; int j = 0; int k = 0;\n"
+        f"  {stmts}\n"
+        "  return a + b + c + g[0];\n"
+        "}\n"
+    )
+
+
+class TestMCFuzz:
+    @given(source=mc_program())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_programs_compile_and_run(self, source):
+        module = compile_source(source)
+        result = Interpreter(module, max_steps=200_000).run(
+            "main", output_objects=["g"]
+        )
+        assert isinstance(result.value, int)
+
+    @given(source=mc_program())
+    @settings(max_examples=40, deadline=None)
+    def test_optimizer_equivalence_on_generated_mc(self, source):
+        module = compile_source(source)
+        golden = Interpreter(copy.deepcopy(module), max_steps=200_000).run(
+            "main", output_objects=["g"]
+        )
+        optimize_module(module)
+        verify_module(module)
+        result = Interpreter(module, max_steps=200_000).run(
+            "main", output_objects=["g"]
+        )
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+    @given(source=mc_program())
+    @settings(max_examples=25, deadline=None)
+    def test_encore_equivalence_on_generated_mc(self, source):
+        module = compile_source(source)
+        golden = Interpreter(copy.deepcopy(module), max_steps=200_000).run(
+            "main", output_objects=["g"]
+        )
+        report = compile_for_encore(
+            module, EncoreConfig(auto_tune=False, gamma=0.0), clone=True
+        )
+        result = Interpreter(report.module, max_steps=400_000).run(
+            "main", output_objects=["g"]
+        )
+        assert result.value == golden.value
+        assert result.output == golden.output

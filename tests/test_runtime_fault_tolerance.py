@@ -1,0 +1,246 @@
+"""Tests for detection models, masking, traces, and SFI campaigns."""
+
+import random
+
+import pytest
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.runtime import (
+    DetectionModel,
+    MaskingModel,
+    capture_trace,
+    golden_run,
+    run_campaign,
+    run_trial,
+    trace_idempotence_profile,
+    window_is_idempotent,
+    window_war_addresses,
+)
+from helpers import build_counted_loop, build_figure4_region
+
+
+class TestDetectionModel:
+    def test_uniform_latency_within_bounds(self):
+        model = DetectionModel(dmax=100, kind="uniform")
+        rng = random.Random(0)
+        samples = [model.sample_latency(rng) for _ in range(500)]
+        assert all(0 <= s <= 100 for s in samples)
+        # Mean of U[0,100] is 50.
+        assert 40 < sum(samples) / len(samples) < 60
+
+    def test_fixed_latency(self):
+        model = DetectionModel(dmax=42, kind="fixed")
+        rng = random.Random(0)
+        assert all(model.sample_latency(rng) == 42 for _ in range(10))
+
+    def test_geometric_latency_truncated(self):
+        model = DetectionModel(dmax=100, kind="geometric")
+        rng = random.Random(0)
+        samples = [model.sample_latency(rng) for _ in range(500)]
+        assert all(0 <= s <= 100 for s in samples)
+
+    def test_partial_coverage_yields_none(self):
+        model = DetectionModel(dmax=10, coverage=0.0)
+        rng = random.Random(0)
+        assert model.sample_latency(rng) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectionModel(kind="psychic")
+        with pytest.raises(ValueError):
+            DetectionModel(dmax=-1)
+        with pytest.raises(ValueError):
+            DetectionModel(coverage=1.5)
+
+    def test_uniform_pdf_normalizes(self):
+        model = DetectionModel(dmax=100, kind="uniform")
+        total = sum(model.pdf(l) for l in range(101))
+        assert total == pytest.approx(1.0, rel=0.02)
+
+
+class TestMaskingModel:
+    def test_base_rate_near_paper_value(self):
+        model = MaskingModel()
+        assert 0.89 <= model.base_rate() <= 0.93
+
+    def test_per_benchmark_rates_deterministic(self):
+        model = MaskingModel()
+        assert model.rate_for("164.gzip") == model.rate_for("164.gzip")
+        rates = model.rates(["164.gzip", "175.vpr", "cjpeg"])
+        assert len(set(rates.values())) > 1  # workload jitter differs
+
+    def test_monte_carlo_converges_to_rate(self):
+        model = MaskingModel()
+        name = "181.mcf"
+        estimate = model.monte_carlo_rate(name, trials=20_000)
+        assert estimate == pytest.approx(model.rate_for(name), abs=0.01)
+
+    def test_rates_bounded(self):
+        model = MaskingModel()
+        for name in ["a", "b", "c", "d", "e"]:
+            assert 0.0 <= model.rate_for(name) <= 1.0
+
+
+class TestTraces:
+    def test_capture_counts_memory_events(self):
+        module, _ = build_counted_loop(5)
+        trace = capture_trace(module)
+        stores = sum(len(s) for _, s in trace.records)
+        assert stores == 5
+
+    def test_window_war_detection(self):
+        records = [
+            ((("m", 0),), ()),       # load m[0]
+            ((), (("m", 0),)),       # store m[0]  -> WAR
+        ]
+        assert window_war_addresses(records, 0, 2) == {("m", 0)}
+        assert not window_is_idempotent(records, 0, 2)
+
+    def test_store_before_load_not_war(self):
+        records = [
+            ((), (("m", 0),)),
+            ((("m", 0),), ()),
+        ]
+        assert window_is_idempotent(records, 0, 2)
+
+    def test_window_bounds_respected(self):
+        records = [
+            ((("m", 0),), ()),
+            ((), ()),
+            ((), (("m", 0),)),
+        ]
+        # Window of 2 starting at 0 excludes the store.
+        assert window_is_idempotent(records, 0, 2)
+        assert not window_is_idempotent(records, 0, 3)
+
+    def test_profile_shapes(self):
+        module, _ = build_counted_loop(50)
+        trace = capture_trace(module)
+        stats = trace_idempotence_profile(
+            trace, window_sizes=(5, 50), samples_per_size=50
+        )
+        assert len(stats) == 2
+        for s in stats:
+            assert 0.0 <= s.fully_idempotent <= s.nearly_idempotent <= 1.0
+
+    def test_small_windows_more_idempotent(self):
+        # An accumulator loop has dense WARs; tiny windows dodge them.
+        from repro.ir import IRBuilder, Module
+
+        module = Module()
+        acc = module.add_global("acc", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(0, i)
+        b.jmp("header")
+        b.block("header")
+        c = b.cmp("slt", i, 40)
+        b.br(c, "body", "exit")
+        b.block("body")
+        v = b.load(acc, 0)
+        b.store(acc, 0, b.add(v, 1))
+        b.add(i, 1, i)
+        b.jmp("header")
+        b.block("exit")
+        b.ret(0)
+        trace = capture_trace(module)
+        stats = trace_idempotence_profile(
+            trace, window_sizes=(2, 200), samples_per_size=100
+        )
+        assert stats[0].fully_idempotent > stats[1].fully_idempotent
+
+
+class TestSFI:
+    def _instrumented_loop(self, n=40):
+        module, _ = build_counted_loop(n)
+        report = compile_for_encore(module, clone=True)
+        return report.module
+
+    def test_golden_run_reproducible(self):
+        module = self._instrumented_loop()
+        g1 = golden_run(module, output_objects=["arr"])
+        g2 = golden_run(module, output_objects=["arr"])
+        assert g1.output == g2.output and g1.value == g2.value
+
+    def test_trial_with_zero_latency_recovers(self):
+        module = self._instrumented_loop()
+        golden = golden_run(module, output_objects=["arr"])
+        # Inject near the middle of the loop; detect immediately.
+        trial = run_trial(
+            module, golden, site=golden.events // 2, bit=4, latency=1,
+            output_objects=["arr"],
+        )
+        assert trial.outcome in ("recovered", "masked")
+
+    def test_campaign_outcome_fractions_sum_to_one(self):
+        module = self._instrumented_loop()
+        campaign = run_campaign(
+            module, output_objects=["arr"], trials=40, seed=1,
+            detector=DetectionModel(dmax=10),
+        )
+        assert sum(campaign.summary().values()) == pytest.approx(1.0)
+        assert len(campaign.trials) == 40
+
+    def test_instrumentation_improves_coverage(self):
+        module, _ = build_counted_loop(40)
+        detector = DetectionModel(dmax=10)
+        plain = run_campaign(
+            module, output_objects=["arr"], trials=60, seed=7, detector=detector
+        )
+        instrumented = self._instrumented_loop(40)
+        hardened = run_campaign(
+            instrumented, output_objects=["arr"], trials=60, seed=7,
+            detector=detector,
+        )
+        assert hardened.covered_fraction >= plain.covered_fraction
+
+    def test_short_latency_beats_long_latency(self):
+        module = self._instrumented_loop(60)
+        fast = run_campaign(
+            module, output_objects=["arr"], trials=60, seed=3,
+            detector=DetectionModel(dmax=5),
+        )
+        slow = run_campaign(
+            module, output_objects=["arr"], trials=60, seed=3,
+            detector=DetectionModel(dmax=2000),
+        )
+        assert fast.covered_fraction >= slow.covered_fraction
+
+    def test_figure4_campaign_runs(self):
+        module, _ = build_figure4_region()
+        report = compile_for_encore(
+            module, EncoreConfig(auto_tune=False, gamma=0.0), args=[5], clone=True
+        )
+        campaign = run_campaign(
+            report.module, args=[5], output_objects=["mem"], trials=30, seed=2,
+            detector=DetectionModel(dmax=3),
+        )
+        assert campaign.covered_fraction > 0.5
+
+
+class TestDetectorPresets:
+    def test_presets_match_paper_regimes(self):
+        from repro.runtime import FUTURE_DETECTOR, SHOESTRING_LIKE, SPECULATIVE_HW
+
+        # Figure 8's three columns: 1000 / 100 / 10 instructions.
+        assert SPECULATIVE_HW.dmax == 1000
+        assert SHOESTRING_LIKE.dmax == 100
+        assert FUTURE_DETECTOR.dmax == 10
+        for preset in (SPECULATIVE_HW, SHOESTRING_LIKE, FUTURE_DETECTOR):
+            assert preset.kind == "uniform"
+            assert preset.coverage == 1.0
+
+    def test_presets_usable_in_campaigns(self):
+        from repro.runtime import FUTURE_DETECTOR
+        from helpers import build_counted_loop
+        from repro.encore import compile_for_encore
+
+        module, _ = build_counted_loop(20)
+        report = compile_for_encore(module, clone=True)
+        campaign = run_campaign(
+            report.module, output_objects=["arr"], trials=10, seed=1,
+            detector=FUTURE_DETECTOR,
+        )
+        assert len(campaign.trials) == 10

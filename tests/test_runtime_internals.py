@@ -1,0 +1,262 @@
+"""Unit tests for runtime internals: memory model, coverage model math,
+profiling counters, and interpreter edge cases."""
+
+import pytest
+
+from repro.encore import RegionStatus, alpha, full_system_coverage, region_coverage
+from repro.encore.coverage_model import CoverageBreakdown
+from repro.encore.regions import Region
+from repro.ir import IRBuilder, MemoryObject, Module, Type, VirtualRegister
+from repro.profiling import ProfileData, profile_and_result, profile_module
+from repro.runtime import Interpreter, MachineMemory, MemoryError_, Pointer, Trap
+from helpers import build_call_program, build_counted_loop, build_diamond
+
+
+class TestMachineMemory:
+    def test_materialize_and_access(self):
+        memory = MachineMemory()
+        obj = MemoryObject("buf", 4, init=[1, 2])
+        memory.materialize(obj)
+        assert memory.read("buf", 0) == 1
+        assert memory.read("buf", 3) == 0
+        memory.write("buf", 3, 9)
+        assert memory.read("buf", 3) == 9
+
+    def test_bounds_checks(self):
+        memory = MachineMemory()
+        memory.materialize(MemoryObject("buf", 2))
+        with pytest.raises(MemoryError_):
+            memory.read("buf", 2)
+        with pytest.raises(MemoryError_):
+            memory.write("buf", -1, 0)
+
+    def test_release_and_dead_access(self):
+        memory = MachineMemory()
+        memory.materialize(MemoryObject("buf", 2))
+        memory.release("buf")
+        assert not memory.exists("buf")
+        with pytest.raises(MemoryError_):
+            memory.read("buf", 0)
+
+    def test_heap_allocation_unique_names(self):
+        memory = MachineMemory()
+        a = memory.allocate_heap(4, "site")
+        c = memory.allocate_heap(4, "site")
+        assert a != c
+        with pytest.raises(MemoryError_):
+            memory.allocate_heap(0, "site")
+
+    def test_snapshot_skips_missing(self):
+        memory = MachineMemory()
+        memory.materialize(MemoryObject("a", 1, init=[5]))
+        snap = memory.snapshot(["a", "ghost"])
+        assert snap == {"a": [5]}
+
+    def test_pointer_value(self):
+        p = Pointer("obj", 3)
+        assert p.advanced(2) == Pointer("obj", 5)
+        assert str(p) == "&obj+3"
+
+
+class TestCoverageModelPieces:
+    def _region(self, dyn, entries, status, selected=True):
+        region = Region(
+            id=0, func="f", header="h", blocks=frozenset({"h"}), level=1
+        )
+        region.dyn_instructions = dyn
+        region.entries = entries
+        region.selected = selected
+
+        class _FakeIdem:
+            pass
+
+        fake = _FakeIdem()
+        fake.status = status
+        fake.checkpoint_sites = []
+        fake.checkpoint_stores = []
+        fake.checkpointable = True
+        region.idem = fake
+        return region
+
+    def test_region_coverage_partition(self):
+        regions = [
+            self._region(600, 1, RegionStatus.IDEMPOTENT),
+            self._region(300, 1, RegionStatus.NON_IDEMPOTENT),
+        ]
+        breakdown = region_coverage(regions, 1000, dmax=0)
+        # dmax=0: alpha == 1, so fractions are exact.
+        assert breakdown.recoverable_idempotent == pytest.approx(0.6)
+        assert breakdown.recoverable_checkpointed == pytest.approx(0.3)
+        assert breakdown.not_recoverable == pytest.approx(0.1)
+
+    def test_unselected_regions_do_not_count(self):
+        regions = [self._region(600, 1, RegionStatus.IDEMPOTENT, selected=False)]
+        breakdown = region_coverage(regions, 1000, dmax=0)
+        assert breakdown.recoverable == 0.0
+        assert breakdown.not_recoverable == 1.0
+
+    def test_alpha_scaling_applied(self):
+        regions = [self._region(1000, 1, RegionStatus.IDEMPOTENT)]
+        breakdown = region_coverage(regions, 1000, dmax=1000)
+        assert breakdown.recoverable_idempotent == pytest.approx(alpha(1000, 1000))
+
+    def test_full_system_composition_math(self):
+        breakdown = CoverageBreakdown(
+            dmax=100,
+            recoverable_idempotent=0.5,
+            recoverable_checkpointed=0.3,
+            not_recoverable=0.2,
+        )
+        fs = full_system_coverage(breakdown, masking_rate=0.9)
+        assert fs.masked == 0.9
+        assert fs.recoverable_idempotent == pytest.approx(0.05)
+        assert fs.recoverable_checkpointed == pytest.approx(0.03)
+        assert fs.not_recoverable == pytest.approx(0.02)
+        assert fs.total_covered == pytest.approx(0.98)
+
+
+class TestProfileData:
+    def test_merge(self):
+        a = ProfileData()
+        a.record_block("f", "bb", 3)
+        a.record_edge("f", "bb", "cc", 2)
+        a.record_call("f")
+        a.total_instructions = 10
+        c = ProfileData()
+        c.record_block("f", "bb", 1)
+        c.record_call("f", 2)
+        c.total_instructions = 5
+        a.merge(c)
+        assert a.block_count("f", "bb") == 4
+        assert a.function_entries("f") == 3
+        assert a.total_instructions == 15
+
+    def test_probabilities(self):
+        profile = ProfileData()
+        profile.record_call("f", 10)
+        profile.record_block("f", "hot", 10)
+        profile.record_block("f", "cold", 1)
+        profile.record_block("f", "loopy", 100)
+        assert profile.block_probability("f", "hot") == 1.0
+        assert profile.block_probability("f", "cold") == pytest.approx(0.1)
+        assert profile.block_probability("f", "loopy") == 1.0  # clamped
+        assert profile.block_probability("f", "never") == 0.0
+
+    def test_pruning_semantics(self):
+        profile = ProfileData()
+        profile.record_call("f", 10)
+        profile.record_block("f", "cold", 1)
+        assert profile.is_pruned("f", "never", 0.0)
+        assert not profile.is_pruned("f", "cold", 0.0)
+        assert profile.is_pruned("f", "cold", 0.1)
+        assert not profile.is_pruned("f", "cold", None)
+
+    def test_edge_probability_and_hottest(self):
+        profile = ProfileData()
+        profile.record_block("f", "src", 10)
+        profile.record_edge("f", "src", "a", 7)
+        profile.record_edge("f", "src", "c", 3)
+        assert profile.edge_probability("f", "src", "a") == pytest.approx(0.7)
+        assert profile.hottest_successor("f", "src", ["a", "c"]) == "a"
+        assert profile.edge_probability("f", "ghost", "a") == 0.0
+
+    def test_profiler_counts_against_interpreter(self):
+        module, _ = build_counted_loop(7)
+        profile, result = profile_and_result(module, output_objects=["arr"])
+        assert profile.block_count("main", "body") == 7
+        assert profile.block_count("main", "header") == 8
+        assert profile.function_entries("main") == 1
+        assert profile.total_instructions == result.events
+
+    def test_profiler_counts_calls(self):
+        module, _ = build_call_program()
+        profile = profile_module(module)
+        assert profile.function_entries("square") == 2
+
+    def test_multiple_runs_accumulate(self):
+        module, _ = build_diamond()
+        profile = profile_module(module, runs=3)
+        assert profile.function_entries("main") == 3
+
+
+class TestInterpreterEdges:
+    def test_fell_off_block_traps(self):
+        module = Module()
+        func = module.add_function("main")
+        block = func.add_block("entry")
+        from repro.ir import Constant, Move
+
+        block.instructions.append(Move(VirtualRegister("x"), Constant(1)))
+        # No terminator.
+        with pytest.raises(Trap, match="fell off"):
+            Interpreter(module).run("main")
+
+    def test_pointer_compare_and_truthiness(self):
+        module = Module()
+        arr = module.add_global("arr", 4)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        p = b.addrof(arr, 0)
+        q = b.addrof(arr, 0)
+        r = b.addrof(arr, 1)
+        eq = b.cmp("eq", p, q)
+        ne = b.cmp("ne", p, r)
+        b.ret(b.add(eq, ne))
+        assert Interpreter(module).run("main").value == 2
+
+    def test_pointer_difference(self):
+        module = Module()
+        arr = module.add_global("arr", 8)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        p = b.addrof(arr, 6)
+        q = b.addrof(arr, 2)
+        b.ret(b.sub(p, q))
+        assert Interpreter(module).run("main").value == 4
+
+    def test_invalid_pointer_arith_traps(self):
+        module = Module()
+        arr = module.add_global("arr", 4)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        p = b.addrof(arr, 0)
+        b.mul(p, 2)
+        b.ret(0)
+        with pytest.raises(Trap, match="pointer"):
+            Interpreter(module).run("main")
+
+    def test_instrumentation_cost_accounting(self):
+        from repro.encore import EncoreConfig, compile_for_encore
+
+        module, _ = build_counted_loop(5)
+        report = compile_for_encore(module, EncoreConfig(), clone=True)
+        result = Interpreter(report.module).run("main")
+        assert result.cost == result.app_cost + result.instrumentation_cost
+        assert result.events <= result.cost
+
+
+class TestProfileSerialization:
+    def test_round_trip(self):
+        from repro.profiling import ProfileData
+
+        module, _ = build_counted_loop(9)
+        profile = profile_module(module)
+        clone = ProfileData.from_json(profile.to_json())
+        assert clone.block_counts == profile.block_counts
+        assert clone.edge_counts == profile.edge_counts
+        assert clone.call_counts == profile.call_counts
+        assert clone.total_instructions == profile.total_instructions
+
+    def test_serialized_profile_drives_pipeline(self):
+        from repro.encore import EncoreConfig
+        from repro.encore.pipeline import EncoreCompiler
+        from repro.profiling import ProfileData
+
+        module, _ = build_counted_loop(20)
+        profile = profile_module(module)
+        revived = ProfileData.from_json(profile.to_json())
+        report = EncoreCompiler(module, EncoreConfig()).compile(profile=revived)
+        assert report.selected_regions

@@ -1,0 +1,203 @@
+"""Focused tests for region formation details and the selection heuristics."""
+
+import pytest
+
+from repro.analysis.alias import AliasAnalysis
+from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.encore.regions import RegionBuilder
+from repro.encore.selection import RegionSelector, SelectionConfig
+from repro.ir import IRBuilder, Module
+from repro.profiling import profile_module
+from helpers import build_counted_loop, build_figure4_region, build_nested_loops
+
+
+def make_selector(module, profile=None, config=None):
+    profile = profile if profile is not None else profile_module(module)
+    analyzer = IdempotenceAnalyzer(module, profile=profile, pmin=0.0)
+    builder = RegionBuilder(module, profile)
+    return RegionSelector(module, analyzer, builder, profile, config), builder
+
+
+class TestExternalEntries:
+    def test_function_entry_counts_once(self):
+        module, _ = build_counted_loop(10)
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        entry_region = next(
+            r for r in builder.base_regions("main") if r.header == "entry"
+        )
+        assert entry_region.entries == 1
+
+    def test_loop_region_entered_once_from_outside(self):
+        module, _ = build_counted_loop(10)
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        loop_region = next(
+            r for r in builder.base_regions("main") if r.header == "header"
+        )
+        assert loop_region.entries == 1
+        # And its activation covers all iterations.
+        assert loop_region.activation_length > 10
+
+    def test_callee_entered_per_call(self):
+        module = Module()
+        out = module.add_global("out", 1)
+        callee = module.add_function("leaf")
+        cb = IRBuilder(callee)
+        cb.block("entry")
+        cb.store(out, 0, 7)
+        cb.ret(0)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(0, i)
+        b.jmp("head")
+        b.block("head")
+        c = b.cmp("slt", i, 5)
+        b.br(c, "body", "exit")
+        b.block("body")
+        b.call("leaf", [])
+        b.add(i, 1, i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(0)
+        profile = profile_module(module)
+        builder = RegionBuilder(module, profile)
+        leaf_region = builder.base_regions("leaf")[0]
+        assert leaf_region.entries == 5
+
+
+class TestCostModel:
+    def test_idempotent_region_cost_is_entry_only(self):
+        module, _ = build_counted_loop(50)
+        selector, builder = make_selector(module)
+        region = next(
+            r for r in builder.base_regions("main") if r.header == "header"
+        )
+        selector.analyze(region)
+        assert region.status is RegionStatus.IDEMPOTENT
+        cost = selector.cost(region)
+        # (1 ptr update + register checkpoints) amortized over the whole
+        # loop execution: tiny.
+        assert cost < 0.05
+
+    def test_war_loop_cost_reflects_per_iteration_checkpoints(self):
+        module = Module()
+        acc = module.add_global("acc", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        i = b.fresh("i")
+        b.block("entry")
+        b.mov(0, i)
+        b.jmp("head")
+        b.block("head")
+        c = b.cmp("slt", i, 20)
+        b.br(c, "body", "exit")
+        b.block("body")
+        v = b.load(acc, 0)
+        b.store(acc, 0, b.add(v, i))
+        b.add(i, 1, i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(0)
+        selector, builder = make_selector(module)
+        region = next(r for r in builder.base_regions("main") if r.header == "head")
+        selector.analyze(region)
+        assert region.status is RegionStatus.NON_IDEMPOTENT
+        # ~2 checkpoint instructions per ~8-instruction iteration.
+        assert selector.cost(region) > 0.15
+
+    def test_estimated_overhead_scales_with_total(self):
+        module, _ = build_counted_loop(50)
+        selector, builder = make_selector(module)
+        region = next(r for r in builder.base_regions("main") if r.header == "header")
+        a = selector.estimated_overhead(region, 1_000)
+        c = selector.estimated_overhead(region, 10_000)
+        assert a == pytest.approx(10 * c)
+
+
+class TestSelectionBehaviour:
+    def test_gamma_filters_low_value_regions(self):
+        module, _ = build_figure4_region()
+        profile = profile_module(module, args=[5])
+        selector, builder = make_selector(
+            module, profile, SelectionConfig(gamma=1e9, auto_tune=False)
+        )
+        regions = builder.base_regions("main")
+        assert selector.select(regions, 10_000) == []
+
+    def test_auto_tune_respects_budget(self):
+        module, _ = build_figure4_region()
+        profile = profile_module(module, args=[5])
+        config = SelectionConfig(overhead_budget=0.0, auto_tune=True)
+        selector, builder = make_selector(module, profile, config)
+        regions = builder.base_regions("main")
+        chosen = selector.select(regions, 10_000)
+        # Zero budget: only free (never-executed) regions may be chosen.
+        assert all(r.dyn_instructions == 0 for r in chosen)
+
+    def test_unknown_regions_never_selected(self):
+        module = Module()
+        module.declare_external("io")
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        b.call("io", [])
+        b.ret(0)
+        selector, builder = make_selector(module)
+        regions = builder.base_regions("main")
+        chosen = selector.select(regions, 100)
+        assert chosen == []
+
+    def test_merging_is_gated_by_eta(self):
+        module, _ = build_nested_loops(6, 5)
+        profile = profile_module(module)
+        eager, builder_a = make_selector(
+            module, profile, SelectionConfig(eta=1e-9)
+        )
+        reluctant, builder_b = make_selector(
+            module, profile, SelectionConfig(eta=1e12)
+        )
+        merged = eager.merge_candidates("main")
+        unmerged = reluctant.merge_candidates("main")
+        assert len(merged) <= len(unmerged)
+
+    def test_merge_cap_prevents_oversized_regions(self):
+        module, _ = build_nested_loops(8, 8)
+        profile = profile_module(module)
+        capped, _ = make_selector(
+            module, profile, SelectionConfig(eta=1e-9, max_region_length=10.0)
+        )
+        regions = capped.merge_candidates("main")
+        for region in regions:
+            if region.entries > 0 and region.level > 1:
+                assert region.activation_length <= 10.0
+
+
+class TestReportAccessors:
+    def test_region_status_counts_cover_all_base_regions(self):
+        module, _ = build_figure4_region()
+        report = compile_for_encore(module, args=[5])
+        counts = report.region_status_counts()
+        assert sum(counts.values()) == len(report.base_regions)
+
+    def test_selected_regions_are_disjoint_per_function(self):
+        module, _ = build_nested_loops()
+        report = compile_for_encore(module)
+        seen = {}
+        for region in report.selected_regions:
+            for label in region.blocks:
+                key = (region.func, label)
+                assert key not in seen, f"{key} in two selected regions"
+                seen[key] = region.id
+
+    def test_coverage_breakdown_fields(self):
+        module, _ = build_counted_loop(40)
+        report = compile_for_encore(module)
+        cov = report.coverage(100)
+        assert cov.recoverable == pytest.approx(
+            cov.recoverable_idempotent + cov.recoverable_checkpointed
+        )
+        assert 0.0 <= cov.not_recoverable <= 1.0

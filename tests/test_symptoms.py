@@ -1,0 +1,141 @@
+"""Tests for the likely-invariant symptom detector."""
+
+import copy
+
+import pytest
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.ir import IRBuilder, Module
+from repro.runtime import (
+    InvariantProfile,
+    Interpreter,
+    run_symptom_campaign,
+    run_symptom_trial,
+    train_invariants,
+)
+from repro.runtime.symptoms import ValueRange
+from repro.workloads import build_workload
+from helpers import build_counted_loop
+
+
+class TestValueRange:
+    def test_contains_and_widen(self):
+        rng = ValueRange(10.0, 20.0)
+        assert rng.contains(15.0)
+        assert not rng.contains(25.0)
+        wide = rng.widen(0.5)
+        assert wide.contains(25.0)
+        assert wide.lo == 5.0 and wide.hi == 25.0
+
+    def test_degenerate_range_gets_unit_span(self):
+        rng = ValueRange(7.0, 7.0).widen(1.0)
+        assert rng.contains(6.5) and rng.contains(7.5)
+        assert not rng.contains(100.0)
+
+
+class TestInvariantProfile:
+    def test_observation_and_violation(self):
+        profile = InvariantProfile(slack=0.0)
+        site = ("f", "bb", 0)
+        for v in (3, 5, 9):
+            profile.observe(site, v)
+        profile.finalize()
+        assert not profile.violates(site, 4)
+        assert profile.violates(site, 100)
+        assert profile.violates(site, -50)
+
+    def test_untrained_site_never_violates(self):
+        profile = InvariantProfile()
+        profile.finalize()
+        assert not profile.violates(("f", "bb", 0), 10**9)
+
+    def test_pointers_and_bools_ignored(self):
+        from repro.runtime import Pointer
+
+        profile = InvariantProfile()
+        site = ("f", "bb", 0)
+        profile.observe(site, Pointer("obj", 3))
+        profile.observe(site, True)
+        profile.finalize()
+        assert len(profile) == 0
+
+    def test_training_covers_clean_run(self):
+        # A clean run must raise no symptoms against its own training.
+        module, _ = build_counted_loop(20)
+        invariants = train_invariants(module, slack=0.0)
+        assert len(invariants) > 0
+        violations = []
+
+        def hook(interp, event):
+            defs = event.inst.defs()
+            if defs:
+                site = (event.func, event.block, event.inst_index)
+                value = interp.current_frame.regs.get(defs[0])
+                if invariants.violates(site, value):
+                    violations.append(site)
+
+        Interpreter(module, post_step=hook).run("main")
+        assert violations == []
+
+
+class TestSymptomTrials:
+    def _protected(self, name="rawdaudio"):
+        built = build_workload(name)
+        report = compile_for_encore(built.module, EncoreConfig(), args=built.args)
+        return built, report.module
+
+    def test_out_of_range_fault_detected_and_recovered(self):
+        built, module = self._protected()
+        invariants = train_invariants(module, args=built.args)
+        golden = Interpreter(module).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        # Flip a high bit mid-run: a wildly out-of-range value.
+        trial = run_symptom_trial(
+            module, invariants, golden, site=golden.events // 2, bit=28,
+            args=built.args, output_objects=built.output_objects,
+        )
+        assert trial.outcome in ("recovered", "masked")
+        if trial.outcome == "recovered":
+            assert trial.detection_latency is not None
+            assert trial.detection_latency >= 0
+
+    def test_campaign_statistics(self):
+        built, module = self._protected()
+        campaign = run_symptom_campaign(
+            module, args=built.args, output_objects=built.output_objects,
+            trials=40, seed=9,
+        )
+        fractions = [
+            campaign.fraction(o)
+            for o in ("masked", "recovered", "detected_unrecoverable", "sdc")
+        ]
+        assert sum(fractions) == pytest.approx(1.0)
+        assert campaign.covered_fraction > 0.5
+        # Some faults produce observable symptoms with finite latency.
+        assert campaign.observed_latencies()
+        assert campaign.detection_rate > 0.3
+
+    def test_tighter_slack_detects_faster(self):
+        built, module = self._protected("g721decode")
+        tight = run_symptom_campaign(
+            module, args=built.args, output_objects=built.output_objects,
+            trials=40, seed=4, slack=0.1,
+        )
+        loose = run_symptom_campaign(
+            module, args=built.args, output_objects=built.output_objects,
+            trials=40, seed=4, slack=8.0,
+        )
+        # A tighter detector sees at least as many symptoms.
+        assert tight.detection_rate >= loose.detection_rate - 0.05
+
+    def test_unprotected_module_gives_up(self):
+        # Without Encore, a detected symptom has nowhere to roll back.
+        built = build_workload("rawdaudio")
+        module = built.module
+        campaign = run_symptom_campaign(
+            module, args=built.args, output_objects=built.output_objects,
+            trials=30, seed=2,
+        )
+        assert campaign.fraction("recovered") == 0.0
+        assert campaign.fraction("detected_unrecoverable") > 0.0

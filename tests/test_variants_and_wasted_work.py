@@ -1,0 +1,113 @@
+"""Tests for input variants (train/ref) and wasted-work accounting."""
+
+import pytest
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.runtime import DetectionModel, Interpreter, golden_run, run_campaign
+from repro.workloads import all_workloads, build_workload
+
+
+class TestInputVariants:
+    def test_variants_are_deterministic(self):
+        a = build_workload("256.bzip2", "ref")
+        c = build_workload("256.bzip2", "ref")
+        ra = Interpreter(a.module).run("main", output_objects=a.output_objects)
+        rc = Interpreter(c.module).run("main", output_objects=c.output_objects)
+        assert ra.output == rc.output
+
+    def test_ref_differs_from_train(self):
+        train = build_workload("256.bzip2", "train")
+        ref = build_workload("256.bzip2", "ref")
+        rt = Interpreter(train.module).run(
+            "main", output_objects=train.output_objects
+        )
+        rr = Interpreter(ref.module).run(
+            "main", output_objects=ref.output_objects
+        )
+        assert rt.output != rr.output
+
+    def test_default_is_train(self):
+        default = build_workload("172.mgrid")
+        train = build_workload("172.mgrid", "train")
+        rd = Interpreter(default.module).run(
+            "main", output_objects=default.output_objects
+        )
+        rt = Interpreter(train.module).run(
+            "main", output_objects=train.output_objects
+        )
+        assert rd.output == rt.output
+
+    def test_variant_restored_after_build(self):
+        from repro.workloads.synth import _DATA_VARIANT, set_data_variant
+
+        build_workload("epic", "ref")
+        import repro.workloads.synth as synth
+
+        assert synth._DATA_VARIANT == "train"
+
+    def test_ref_variants_run_for_every_workload(self):
+        for spec in all_workloads()[:6]:
+            built = spec.build("ref")
+            result = Interpreter(built.module).run(
+                built.entry, built.args, output_objects=built.output_objects
+            )
+            assert result.events > 1000, spec.name
+
+
+class TestWastedWork:
+    def test_recovered_trials_record_wasted_work(self):
+        built = build_workload("g721decode")
+        report = compile_for_encore(built.module, EncoreConfig(), args=built.args)
+        campaign = run_campaign(
+            report.module,
+            args=built.args,
+            output_objects=built.output_objects,
+            detector=DetectionModel(dmax=10),
+            trials=40,
+            seed=21,
+        )
+        recovered = [t for t in campaign.trials if t.outcome == "recovered"
+                     and t.recovery_attempts > 0]
+        assert recovered, "campaign produced no recoveries"
+        # Re-execution costs extra instructions, bounded by the region's
+        # activation length (plus the recovery block itself).
+        golden = golden_run(report.module, args=built.args)
+        for trial in recovered:
+            assert trial.wasted_work >= 0
+            assert trial.wasted_work < golden.events
+        assert campaign.mean_wasted_work > 0
+
+    def test_wasted_work_scales_with_region_size(self):
+        # Coarse regions re-execute more on rollback than fine ones.
+        wasted = {}
+        for cap in (50.0, 5000.0):
+            built = build_workload("g721decode")
+            report = compile_for_encore(
+                built.module,
+                EncoreConfig(max_region_length=cap),
+                args=built.args,
+            )
+            campaign = run_campaign(
+                report.module,
+                args=built.args,
+                output_objects=built.output_objects,
+                detector=DetectionModel(dmax=5),
+                trials=40,
+                seed=8,
+            )
+            wasted[cap] = campaign.mean_wasted_work
+        if wasted[50.0] and wasted[5000.0]:
+            assert wasted[5000.0] >= wasted[50.0] * 0.5  # not dramatically less
+
+    def test_masked_trials_waste_nothing_substantial(self):
+        built = build_workload("epic")
+        module = built.module  # unprotected: no recovery, no wasted work
+        campaign = run_campaign(
+            module,
+            args=built.args,
+            output_objects=built.output_objects,
+            detector=DetectionModel(dmax=10, coverage=0.0),  # never detects
+            trials=20,
+            seed=3,
+        )
+        assert campaign.mean_wasted_work == 0.0

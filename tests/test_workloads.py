@@ -1,0 +1,98 @@
+"""Workload suite tests: every benchmark builds, verifies, runs, and is
+deterministic; instrumented runs preserve outputs."""
+
+import copy
+
+import pytest
+
+from repro.encore import compile_for_encore
+from repro.ir import verify_module
+from repro.runtime import Interpreter
+from repro.workloads import (
+    SUITE_MEDIABENCH,
+    SUITE_SPEC_FP,
+    SUITE_SPEC_INT,
+    all_workloads,
+    build_workload,
+    get_workload,
+    suites,
+    workloads_in_suite,
+)
+
+ALL_NAMES = [spec.name for spec in all_workloads()]
+
+
+class TestRegistry:
+    def test_twenty_three_workloads(self):
+        assert len(all_workloads()) == 23
+
+    def test_suite_sizes_match_paper(self):
+        assert len(workloads_in_suite(SUITE_SPEC_INT)) == 6
+        assert len(workloads_in_suite(SUITE_SPEC_FP)) == 5
+        assert len(workloads_in_suite(SUITE_MEDIABENCH)) == 12
+
+    def test_suites_order(self):
+        assert suites() == [SUITE_SPEC_INT, SUITE_SPEC_FP, SUITE_MEDIABENCH]
+
+    def test_get_workload_roundtrip(self):
+        spec = get_workload("175.vpr")
+        assert spec.suite == SUITE_SPEC_INT
+        assert spec.build().name == "175.vpr"
+
+    def test_builds_are_independent(self):
+        a = build_workload("164.gzip")
+        c = build_workload("164.gzip")
+        assert a.module is not c.module
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_verifies(self, name):
+        built = build_workload(name)
+        verify_module(built.module)
+
+    def test_runs_and_is_deterministic(self, name):
+        built = build_workload(name)
+        r1 = Interpreter(built.module, externals=built.externals).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        built2 = build_workload(name)
+        r2 = Interpreter(built2.module, externals=built2.externals).run(
+            built2.entry, built2.args, output_objects=built2.output_objects
+        )
+        assert r1.value == r2.value
+        assert r1.output == r2.output
+        assert r1.events == r2.events
+
+    def test_nontrivial_dynamic_length(self, name):
+        built = build_workload(name)
+        result = Interpreter(built.module).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        assert result.events > 1_000, f"{name} too small ({result.events})"
+        assert result.events < 2_000_000, f"{name} too large ({result.events})"
+
+    def test_instrumented_output_matches(self, name):
+        built = build_workload(name)
+        golden = Interpreter(copy.deepcopy(built.module)).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        report = compile_for_encore(
+            built.module, args=built.args, function=built.entry, clone=True
+        )
+        verify_module(report.module)
+        result = Interpreter(report.module).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        assert result.value == golden.value
+        assert result.output == golden.output
+
+    def test_produces_memory_output(self, name):
+        built = build_workload(name)
+        assert built.output_objects, f"{name} declares no outputs"
+        result = Interpreter(built.module).run(
+            built.entry, built.args, output_objects=built.output_objects
+        )
+        assert any(any(v != 0 for v in cells) for cells in result.output.values()), (
+            f"{name} produced all-zero outputs"
+        )
