@@ -1,0 +1,99 @@
+"""Wall-clock benchmark: serial vs parallel SFI campaign execution.
+
+Runs the same campaign through ``jobs=1`` and ``jobs=N``, verifies the
+trial sequences are bit-identical (the serial-equivalence guarantee),
+and reports the speedup.  On a machine with >= ``--jobs`` free cores a
+>= 2x speedup at ``--jobs 4`` on a 400-trial campaign is the
+acceptance bar; ``--check`` enforces it (and is skipped automatically
+when the host has fewer cores than workers).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sfi.py \
+        [--trials 400] [--jobs 4] [--module examples/mc/crc32.mc] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.encore import compile_for_encore  # noqa: E402
+from repro.frontend import compile_source  # noqa: E402
+from repro.runtime import DetectionModel, run_campaign  # noqa: E402
+
+
+def time_campaign(module, trials, seed, jobs, dmax):
+    start = time.perf_counter()
+    campaign = run_campaign(
+        module,
+        trials=trials,
+        seed=seed,
+        detector=DetectionModel(dmax=dmax),
+        jobs=jobs,
+    )
+    return campaign, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--module", default=str(REPO_ROOT / "examples/mc/crc32.mc"))
+    parser.add_argument("--trials", type=int, default=400)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--dmax", type=int, default=50)
+    parser.add_argument("--protect", action="store_true",
+                        help="run the Encore pipeline before injecting")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless parallel speedup >= 2x (needs "
+                             ">= --jobs cores)")
+    args = parser.parse_args(argv)
+
+    module = compile_source(Path(args.module).read_text())
+    if args.protect:
+        module = compile_for_encore(module, clone=False).module
+
+    cores = os.cpu_count() or 1
+    print(f"module={args.module} trials={args.trials} jobs={args.jobs} "
+          f"cores={cores}")
+
+    serial, serial_s = time_campaign(
+        module, args.trials, args.seed, 1, args.dmax
+    )
+    print(f"serial:   {serial_s:7.2f}s  {serial.throughput:7.1f} trials/sec")
+
+    parallel, parallel_s = time_campaign(
+        module, args.trials, args.seed, args.jobs, args.dmax
+    )
+    print(f"parallel: {parallel_s:7.2f}s  {parallel.throughput:7.1f} trials/sec "
+          f"({parallel.worker_trials})")
+
+    if serial.trials != parallel.trials:
+        print("FAIL: parallel campaign diverged from serial", file=sys.stderr)
+        return 1
+    print("equivalence: serial and parallel trial sequences identical")
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"speedup: {speedup:.2f}x at jobs={args.jobs}")
+    for outcome, fraction in serial.summary().items():
+        print(f"  {outcome:<24} {fraction:.1%}")
+
+    if args.check:
+        if cores < args.jobs:
+            print(f"check skipped: host has {cores} cores < jobs={args.jobs}")
+        elif speedup < 2.0:
+            print(f"FAIL: speedup {speedup:.2f}x < 2x", file=sys.stderr)
+            return 1
+        else:
+            print("check passed: >= 2x speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

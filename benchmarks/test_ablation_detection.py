@@ -10,7 +10,8 @@ coverage.
 import copy
 
 from repro.encore import EncoreConfig, alpha, alpha_numeric, compile_for_encore
-from repro.runtime import DetectionModel, run_campaign
+from repro.experiments import run_sfi
+from repro.runtime import DetectionModel
 from repro.workloads import build_workload
 
 DMAX = 100
@@ -65,7 +66,7 @@ def empirical_vs_model():
     module = report.module
     results = {}
     for kind in ("uniform", "fixed", "geometric"):
-        campaign = run_campaign(
+        campaign = run_sfi(
             module,
             function=built.entry,
             args=built.args,

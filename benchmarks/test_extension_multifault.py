@@ -9,7 +9,8 @@ survival — rather than collapse.
 """
 
 from repro.encore import EncoreConfig, compile_for_encore
-from repro.runtime import DetectionModel, run_campaign
+from repro.experiments import run_sfi
+from repro.runtime import DetectionModel
 from repro.workloads import build_workload
 
 WORKLOAD = "g721decode"
@@ -22,7 +23,7 @@ def run_multifault_study():
     report = compile_for_encore(built.module, EncoreConfig(), args=built.args)
     rows = {}
     for count in FAULT_COUNTS:
-        campaign = run_campaign(
+        campaign = run_sfi(
             report.module,
             args=built.args,
             output_objects=built.output_objects,

@@ -16,7 +16,8 @@ live are exposed, so the effect is a rate shift, not a cliff).
 from repro.encore import EncoreConfig
 from repro.encore.pipeline import EncoreCompiler
 from repro.profiling import profile_module
-from repro.runtime import DetectionModel, Interpreter, run_campaign
+from repro.experiments import run_sfi
+from repro.runtime import DetectionModel, Interpreter
 from repro.workloads import build_workload
 
 WORKLOADS = ["164.gzip", "197.parser", "300.twolf"]
@@ -52,7 +53,7 @@ def run_risk_study():
                     built.entry, built.args,
                     output_objects=built.output_objects,
                 )
-                campaign = run_campaign(
+                campaign = run_sfi(
                     report.module,
                     args=built.args,
                     output_objects=built.output_objects,

@@ -11,7 +11,8 @@ with instrumentation and with shorter detection latency.
 import copy
 
 from repro.encore import EncoreConfig, compile_for_encore
-from repro.runtime import DetectionModel, run_campaign
+from repro.experiments import run_sfi
+from repro.runtime import DetectionModel
 from repro.workloads import build_workload
 
 WORKLOADS = ["172.mgrid", "g721decode", "256.bzip2"]
@@ -19,7 +20,7 @@ TRIALS = 120
 
 
 def _campaign(module, built, detector, seed=11):
-    return run_campaign(
+    return run_sfi(
         module,
         function=built.entry,
         args=built.args,

@@ -13,7 +13,8 @@ orders of magnitude.
 
 from repro.encore import EncoreConfig, RegionStatus, compile_for_encore
 from repro.ir.types import WORD_BYTES
-from repro.runtime import DetectionModel, Interpreter, run_campaign
+from repro.experiments import run_sfi
+from repro.runtime import DetectionModel, Interpreter
 from repro.runtime.baselines import run_baseline_campaign
 from repro.workloads import build_workload
 
@@ -31,7 +32,7 @@ def _measure(name):
     interp = Interpreter(report.module)
     interp.run(built.entry, built.args)
     peak = max(interp.peak_ckpt_words.values()) if interp.peak_ckpt_words else 0
-    campaign = run_campaign(
+    campaign = run_sfi(
         report.module, args=built.args, output_objects=built.output_objects,
         detector=DetectionModel(dmax=LATENCY), trials=TRIALS, seed=19,
     )

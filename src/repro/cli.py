@@ -121,6 +121,10 @@ def cmd_run(args) -> int:
 
 def cmd_inject(args) -> int:
     module = _load(args.module)
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} trials", end="", file=sys.stderr, flush=True)
     campaign = run_campaign(
         module,
         function=args.function,
@@ -129,13 +133,26 @@ def cmd_inject(args) -> int:
         detector=DetectionModel(dmax=args.dmax),
         trials=args.trials,
         seed=args.seed,
+        faults_per_trial=args.faults_per_trial,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        progress=progress,
     )
+    if args.progress:
+        print(file=sys.stderr)
     for outcome, fraction in campaign.summary().items():
         print(f"{outcome:<24} {fraction:.1%}")
     print(f"{'TOTAL covered':<24} {campaign.covered_fraction:.1%}")
     if campaign.mean_wasted_work:
         print(f"mean wasted work per recovery: "
               f"{campaign.mean_wasted_work:.0f} instructions")
+    # Wall-clock statistics go after the deterministic outcome table
+    # (and are easy to filter out when diffing campaign summaries).
+    print(f"# throughput: {campaign.throughput:.1f} trials/sec "
+          f"({len(campaign.trials)} trials, {campaign.elapsed:.2f}s, "
+          f"jobs={campaign.jobs})")
+    for worker, count in sorted(campaign.worker_trials.items()):
+        print(f"# {worker}: {count} trials")
     return 0
 
 
@@ -195,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--trials", type=int, default=100)
     inject.add_argument("--dmax", type=int, default=100)
     inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument("--faults-per-trial", type=int, default=1,
+                        help="transients per execution (default 1, the "
+                             "paper's single-event-upset model)")
+    inject.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes; results are identical to "
+                             "--jobs 1 for any value (default 1)")
+    inject.add_argument("--chunk-size", type=int, default=None,
+                        help="trials per worker task (default: auto)")
+    inject.add_argument("--progress", action="store_true",
+                        help="report completed-trial counts on stderr")
     inject.set_defaults(handler=cmd_inject)
     return parser
 

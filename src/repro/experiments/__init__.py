@@ -14,7 +14,12 @@ from repro.experiments import (
     fig8_coverage,
     table1,
 )
-from repro.experiments.harness import PipelineCache, default_config
+from repro.experiments.harness import (
+    PipelineCache,
+    campaign_jobs,
+    default_config,
+    run_sfi,
+)
 
 EXPERIMENTS = {
     "fig1": fig1_traces,
@@ -28,7 +33,9 @@ EXPERIMENTS = {
 __all__ = [
     "EXPERIMENTS",
     "PipelineCache",
+    "campaign_jobs",
     "default_config",
+    "run_sfi",
     "fig1_traces",
     "fig5_idempotence",
     "fig6_breakdown",

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.encore import EncoreConfig, EncoreReport, compile_for_encore
+from repro.ir.module import Module
+from repro.runtime import CampaignResult, DetectionModel, run_campaign
 from repro.workloads import WorkloadSpec, all_workloads
 from repro.workloads.synth import BuiltWorkload
 
@@ -74,3 +77,56 @@ class PipelineCache:
 def default_config(**overrides) -> EncoreConfig:
     """The paper's evaluation configuration: Pmin=0.0, ~20% budget."""
     return EncoreConfig(**overrides)
+
+
+def campaign_jobs(default: Optional[int] = None) -> int:
+    """Worker-process count for SFI campaigns.
+
+    ``ENCORE_SFI_JOBS`` overrides everything (``0``/``all`` meaning
+    every core), so figure/table reproductions exploit all cores with
+    no code change; otherwise ``default`` applies, and the fallback is
+    the serial path.  Campaign results are identical for any value.
+    """
+    env = os.environ.get("ENCORE_SFI_JOBS", "").strip()
+    if env:
+        if env.lower() in ("0", "all"):
+            return os.cpu_count() or 1
+        return max(1, int(env))
+    if default is not None:
+        return max(1, default)
+    return 1
+
+
+def run_sfi(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    detector: Optional[DetectionModel] = None,
+    trials: int = 200,
+    seed: int = 0,
+    faults_per_trial: int = 1,
+    externals=None,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> CampaignResult:
+    """SFI campaign entry point for experiments and benchmarks.
+
+    Identical to :func:`repro.runtime.run_campaign` except that
+    ``jobs=None`` resolves through :func:`campaign_jobs`, so one
+    environment variable parallelises every campaign an experiment
+    runs.
+    """
+    return run_campaign(
+        module,
+        function=function,
+        args=args,
+        output_objects=output_objects,
+        detector=detector,
+        trials=trials,
+        seed=seed,
+        faults_per_trial=faults_per_trial,
+        externals=externals,
+        jobs=campaign_jobs() if jobs is None else jobs,
+        chunk_size=chunk_size,
+    )

@@ -23,11 +23,21 @@ from repro.runtime.interpreter import (
 )
 from repro.runtime.masking import ARM926_STRUCTURES, MaskingModel
 from repro.runtime.memory import MachineMemory, MemoryError_, Pointer
+from repro.runtime.parallel import (
+    ParallelUnavailable,
+    default_chunk_size,
+    run_parallel_campaign,
+)
 from repro.runtime.sfi import (
     CampaignResult,
+    FaultPlan,
     TrialResult,
+    derive_trial_seed,
     golden_run,
+    plan_campaign,
+    plan_trial,
     run_campaign,
+    run_planned_trial,
     run_trial,
 )
 from repro.runtime.symptoms import (
@@ -57,6 +67,7 @@ __all__ = [
     "ExecResult",
     "ExecutionLimit",
     "FUTURE_DETECTOR",
+    "FaultPlan",
     "FullCheckpointRecovery",
     "Interpreter",
     "InvariantProfile",
@@ -64,6 +75,7 @@ __all__ = [
     "MachineMemory",
     "MaskingModel",
     "MemoryError_",
+    "ParallelUnavailable",
     "Pointer",
     "SHOESTRING_LIKE",
     "SPECULATIVE_HW",
@@ -75,9 +87,15 @@ __all__ = [
     "TrialResult",
     "bitflip",
     "capture_trace",
+    "default_chunk_size",
+    "derive_trial_seed",
     "golden_run",
+    "plan_campaign",
+    "plan_trial",
     "run_baseline_campaign",
     "run_campaign",
+    "run_parallel_campaign",
+    "run_planned_trial",
     "run_symptom_campaign",
     "run_symptom_trial",
     "run_trial",

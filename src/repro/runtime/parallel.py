@@ -1,0 +1,157 @@
+"""Process-parallel execution of SFI campaigns.
+
+SFI campaigns are embarrassingly parallel Monte-Carlo experiments:
+every trial is an independent re-execution of the same module with a
+pre-derived fault plan.  Because :func:`repro.runtime.sfi.plan_trial`
+keys each trial's randomness off ``(seed, trial_index)`` rather than a
+shared sequential RNG, trials can be partitioned across worker
+processes in any chunking whatsoever and still reproduce the serial
+campaign bit for bit — the merge below only has to reorder results by
+trial index.
+
+Each worker is initialised once per process: it unpickles the module
+payload, replays the golden run locally (cheaper and simpler than
+shipping interpreter state), and then serves trial chunks until the
+pool drains.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.module import Module
+from repro.runtime.sfi import FaultPlan, ProgressHook, TrialResult
+
+
+class ParallelUnavailable(RuntimeError):
+    """The campaign cannot cross a process boundary (e.g. closure
+    externals that don't pickle); callers fall back to the serial path."""
+
+
+#: Per-process campaign state installed by :func:`_init_worker`.
+_WORKER: dict = {}
+
+
+def _init_worker(payload: bytes) -> None:
+    from repro.runtime.sfi import golden_run
+
+    state = pickle.loads(payload)
+    state["golden"] = golden_run(
+        state["module"],
+        state["function"],
+        state["args"],
+        state["output_objects"],
+        externals=state["externals"],
+    )
+    _WORKER.clear()
+    _WORKER.update(state)
+
+
+def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialResult]]]:
+    from repro.runtime.sfi import run_planned_trial
+
+    state = _WORKER
+    results = [
+        (
+            plan.trial_index,
+            run_planned_trial(
+                state["module"],
+                state["golden"],
+                plan,
+                function=state["function"],
+                args=state["args"],
+                output_objects=state["output_objects"],
+                externals=state["externals"],
+            ),
+        )
+        for plan in plans
+    ]
+    return os.getpid(), results
+
+
+def default_chunk_size(trials: int, jobs: int) -> int:
+    """Roughly four chunks per worker: large enough to amortise task
+    dispatch, small enough to keep the pool load-balanced."""
+    return max(1, math.ceil(trials / (jobs * 4)))
+
+
+def _chunked(plans: Sequence[FaultPlan], size: int) -> List[List[FaultPlan]]:
+    return [list(plans[i:i + size]) for i in range(0, len(plans), size)]
+
+
+def _pool_context():
+    # fork shares the parent's imports and is dramatically cheaper to
+    # start; fall back to the platform default (spawn) elsewhere.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_parallel_campaign(
+    module: Module,
+    plans: Sequence[FaultPlan],
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    externals=None,
+    jobs: int = 2,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+) -> Tuple[List[TrialResult], Dict[str, int]]:
+    """Fan ``plans`` out over ``jobs`` worker processes.
+
+    Returns the trial results in trial-index order plus a per-worker
+    trial tally (keyed ``worker-0`` … ``worker-n``, ordered by pid).
+    Raises :class:`ParallelUnavailable` when the campaign payload
+    cannot be pickled across the process boundary.
+    """
+    try:
+        payload = pickle.dumps(
+            {
+                "module": module,
+                "function": function,
+                "args": tuple(args),
+                "output_objects": tuple(output_objects),
+                "externals": externals,
+            }
+        )
+    except Exception as exc:
+        raise ParallelUnavailable(str(exc)) from exc
+
+    size = chunk_size if chunk_size and chunk_size > 0 else default_chunk_size(
+        len(plans), jobs
+    )
+    chunks = _chunked(plans, size)
+    workers = max(1, min(jobs, len(chunks)))
+    total = len(plans)
+    by_index: Dict[int, TrialResult] = {}
+    pid_counts: Dict[int, int] = {}
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                pid, chunk_results = future.result()
+                for index, trial in chunk_results:
+                    by_index[index] = trial
+                pid_counts[pid] = pid_counts.get(pid, 0) + len(chunk_results)
+                if progress is not None:
+                    progress(len(by_index), total)
+    if len(by_index) != total:
+        missing = sorted(set(range(total)) - set(by_index))
+        raise RuntimeError(f"parallel campaign lost trials {missing[:8]}")
+    worker_trials = {
+        f"worker-{slot}": count
+        for slot, (_pid, count) in enumerate(sorted(pid_counts.items()))
+    }
+    return [by_index[i] for i in range(total)], worker_trials

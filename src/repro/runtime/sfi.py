@@ -23,8 +23,10 @@ Section 4.2 (see ``benchmarks/test_sfi_validation.py``).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import random
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.module import Module
 from repro.runtime.detection import DetectionModel
@@ -38,6 +40,74 @@ from repro.runtime.interpreter import (
 )
 
 OUTCOMES = ("masked", "recovered", "detected_unrecoverable", "sdc")
+
+ProgressHook = Callable[[int, int], None]
+
+
+def derive_trial_seed(seed: int, trial_index: int) -> int:
+    """Key an independent RNG substream for one trial.
+
+    Hashing ``(seed, trial_index)`` through SHA-256 decorrelates the
+    substreams and — unlike ``hash()`` — is stable across processes,
+    interpreter versions, and ``PYTHONHASHSEED``, so a trial's fault
+    plan is a pure function of the campaign seed and its index.  This
+    is what makes parallel campaigns bit-identical to serial ones: any
+    worker, handed any chunk, derives exactly the faults the serial
+    loop would have.
+    """
+    digest = hashlib.sha256(f"sfi:{seed}:{trial_index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """The complete randomness of one trial, fixed before execution.
+
+    ``sites``/``bits``/``latencies`` are equal-length tuples; length 1
+    is the paper's single-event-upset model, longer is the multi-fault
+    extension.  Plans are immutable and picklable so they can be
+    chunked across worker processes.
+    """
+
+    trial_index: int
+    sites: Tuple[int, ...]
+    bits: Tuple[int, ...]
+    latencies: Tuple[Optional[int], ...]
+
+    @property
+    def single(self) -> bool:
+        return len(self.sites) == 1
+
+
+def plan_trial(
+    seed: int,
+    trial_index: int,
+    golden_events: int,
+    detector: DetectionModel,
+    faults_per_trial: int = 1,
+) -> FaultPlan:
+    """Derive one trial's fault plan from its own RNG substream."""
+    rng = random.Random(derive_trial_seed(seed, trial_index))
+    sites = sorted(
+        rng.randrange(max(golden_events, 1)) for _ in range(faults_per_trial)
+    )
+    bits = [rng.randrange(0, 32) for _ in range(faults_per_trial)]
+    latencies = [detector.sample_latency(rng) for _ in range(faults_per_trial)]
+    return FaultPlan(trial_index, tuple(sites), tuple(bits), tuple(latencies))
+
+
+def plan_campaign(
+    seed: int,
+    trials: int,
+    golden_events: int,
+    detector: DetectionModel,
+    faults_per_trial: int = 1,
+) -> List[FaultPlan]:
+    """All fault plans of a campaign, in trial order."""
+    return [
+        plan_trial(seed, index, golden_events, detector, faults_per_trial)
+        for index in range(trials)
+    ]
 
 
 @dataclasses.dataclass
@@ -57,12 +127,26 @@ class TrialResult:
 
 @dataclasses.dataclass
 class CampaignResult:
-    """Aggregated SFI campaign statistics."""
+    """Aggregated SFI campaign statistics.
+
+    ``elapsed``/``jobs``/``worker_trials`` describe how the campaign
+    was executed (wall-clock seconds, worker count, trials per worker);
+    they are reporting metadata only — the trial list itself is a pure
+    function of ``(module, seed, trials, detector, faults_per_trial)``
+    regardless of parallelism.
+    """
 
     trials: List[TrialResult]
+    elapsed: float = 0.0
+    jobs: int = 1
+    worker_trials: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def count(self, outcome: str) -> int:
         return sum(1 for t in self.trials if t.outcome == outcome)
+
+    def counts(self) -> Dict[str, int]:
+        """Outcome tallies (all four classes, zero-filled)."""
+        return {outcome: self.count(outcome) for outcome in OUTCOMES}
 
     def fraction(self, outcome: str) -> float:
         if not self.trials:
@@ -75,6 +159,13 @@ class CampaignResult:
         return self.fraction("masked") + self.fraction("recovered")
 
     @property
+    def throughput(self) -> float:
+        """Completed trials per wall-clock second (0.0 if untimed)."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return len(self.trials) / self.elapsed
+
+    @property
     def mean_wasted_work(self) -> float:
         """Mean re-executed instructions across recovered trials."""
         recovered = [t for t in self.trials if t.outcome == "recovered"
@@ -83,8 +174,24 @@ class CampaignResult:
             return 0.0
         return sum(t.wasted_work for t in recovered) / len(recovered)
 
-    def summary(self) -> Dict[str, float]:
-        return {outcome: self.fraction(outcome) for outcome in OUTCOMES}
+    def summary(self, extended: bool = False) -> Dict[str, float]:
+        """Outcome fractions; ``extended`` adds execution statistics.
+
+        The default (outcome fractions only, summing to 1.0 on a
+        non-empty campaign) is deterministic for a given seed; the
+        extended block adds wall-clock figures that are not.
+        """
+        base: Dict[str, float] = {
+            outcome: self.fraction(outcome) for outcome in OUTCOMES
+        }
+        if extended:
+            base["trials"] = float(len(self.trials))
+            base["jobs"] = float(self.jobs)
+            base["elapsed_s"] = self.elapsed
+            base["trials_per_sec"] = self.throughput
+            for worker, count in sorted(self.worker_trials.items()):
+                base[f"trials[{worker}]"] = float(count)
+        return base
 
 
 class _FaultInjector:
@@ -179,7 +286,6 @@ def run_trial(
     except Trap:
         # A symptom the detector sees immediately: try to roll back.
         trapped = True
-        injector.detected = True
         injector.recovery_attempts += 1
         if interp.trigger_recovery(immediate=True):
             try:
@@ -222,6 +328,39 @@ def run_trial(
     )
 
 
+def run_planned_trial(
+    module: Module,
+    golden: ExecResult,
+    plan: FaultPlan,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    max_steps_factor: int = 4,
+    externals=None,
+) -> TrialResult:
+    """Execute one trial from a pre-derived :class:`FaultPlan`.
+
+    Single-fault plans unpack to the scalar :func:`run_trial` form so
+    ``TrialResult.detect_latency`` keeps its historical scalar shape.
+    """
+    if plan.single:
+        site, bit, latency = plan.sites[0], plan.bits[0], plan.latencies[0]
+    else:
+        site, bit, latency = list(plan.sites), list(plan.bits), list(plan.latencies)
+    return run_trial(
+        module,
+        golden,
+        site,
+        bit,
+        latency,
+        function=function,
+        args=args,
+        output_objects=output_objects,
+        max_steps_factor=max_steps_factor,
+        externals=externals,
+    )
+
+
 def run_campaign(
     module: Module,
     function: str = "main",
@@ -232,40 +371,74 @@ def run_campaign(
     seed: int = 0,
     faults_per_trial: int = 1,
     externals=None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
 ) -> CampaignResult:
     """A full SFI campaign with uniformly-distributed fault sites.
 
     ``faults_per_trial > 1`` leaves the paper's single-event-upset model
     for the multi-fault extension study: several independent transients
     strike one execution, each with its own detection latency.
+
+    Every trial's randomness comes from its own seed-keyed substream
+    (:func:`plan_trial`), so ``jobs > 1`` fans trials out across worker
+    processes (see :mod:`repro.runtime.parallel`) and returns the exact
+    ``TrialResult`` sequence of the serial path — merged back in trial
+    order — by construction.  ``chunk_size`` tunes how many trials each
+    worker task claims; ``progress`` is called as ``progress(done,
+    total)`` whenever completed-trial counts advance.  Workloads whose
+    ``externals`` cannot cross a process boundary fall back to the
+    serial path silently.
     """
     detector = detector or DetectionModel()
-    rng = random.Random(seed)
+    start = time.monotonic()
     golden = golden_run(
         module, function, args, output_objects, externals=externals
     )
-    results: List[TrialResult] = []
-    for _ in range(trials):
-        sites = sorted(
-            rng.randrange(max(golden.events, 1)) for _ in range(faults_per_trial)
-        )
-        bits = [rng.randrange(0, 32) for _ in range(faults_per_trial)]
-        latencies = [detector.sample_latency(rng) for _ in range(faults_per_trial)]
-        if faults_per_trial == 1:
-            site, bit, latency = sites[0], bits[0], latencies[0]
+    plans = plan_campaign(seed, trials, golden.events, detector, faults_per_trial)
+    if jobs > 1 and trials > 1:
+        from repro.runtime.parallel import ParallelUnavailable, run_parallel_campaign
+
+        try:
+            results, worker_trials = run_parallel_campaign(
+                module,
+                plans,
+                function=function,
+                args=args,
+                output_objects=output_objects,
+                externals=externals,
+                jobs=jobs,
+                chunk_size=chunk_size,
+                progress=progress,
+            )
+        except ParallelUnavailable:
+            pass
         else:
-            site, bit, latency = sites, bits, latencies
+            return CampaignResult(
+                results,
+                elapsed=time.monotonic() - start,
+                jobs=jobs,
+                worker_trials=worker_trials,
+            )
+    results = []
+    for index, plan in enumerate(plans):
         results.append(
-            run_trial(
+            run_planned_trial(
                 module,
                 golden,
-                site,
-                bit,
-                latency,
+                plan,
                 function=function,
                 args=args,
                 output_objects=output_objects,
                 externals=externals,
             )
         )
-    return CampaignResult(results)
+        if progress is not None:
+            progress(index + 1, trials)
+    return CampaignResult(
+        results,
+        elapsed=time.monotonic() - start,
+        jobs=1,
+        worker_trials={"worker-0": len(results)},
+    )

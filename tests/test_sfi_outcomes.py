@@ -1,0 +1,315 @@
+"""Focused SFI unit tests: outcome classification, the trap path, and
+multi-fault deadline arming — each on a hand-built module small enough
+to reason about every dynamic instruction."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module
+from repro.ir.instructions import BinOp, Jump, RestoreCheckpoints, SetRecoveryPtr
+from repro.ir.values import Constant, VirtualRegister
+from repro.runtime import (
+    CampaignResult,
+    DetectionModel,
+    TrialResult,
+    golden_run,
+    run_trial,
+)
+from repro.runtime.interpreter import StepEvent
+from repro.runtime.sfi import _FaultInjector
+
+
+def build_single_block():
+    """out[0] = 3*7 + 5; returns (module, events-per-instruction map).
+
+    Dynamic schedule: 0 mul, 1 add, 2 store, 3 ret.
+    """
+    module = Module("single")
+    out = module.add_global("out", 2)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    product = b.mul(3, 7)        # event 0, defines product
+    total = b.add(product, 5)    # event 1, defines total
+    b.store(out, 0, total)       # event 2
+    b.ret(total)                 # event 3
+    return module
+
+
+def build_small_loop(n=12):
+    """arr[i] = i for i < n (uninstrumented: no recovery pointer)."""
+    module = Module("tinyloop")
+    arr = module.add_global("arr", n)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    i = b.fresh("i")
+    b.block("entry")
+    b.mov(0, i)
+    b.jmp("header")
+    b.block("header")
+    cond = b.cmp("slt", i, n)
+    b.br(cond, "body", "exit")
+    b.block("body")
+    b.store(arr, i, i)
+    b.add(i, 1, i)
+    b.jmp("header")
+    b.block("exit")
+    b.ret(0)
+    return module
+
+
+def build_recoverable_trap_module():
+    """A hand-instrumented region whose faulted index traps, then recovers.
+
+    Dynamic schedule: 0 set_recovery_ptr, 1 jmp, 2 add (defines the
+    index), 3 load, 4 store, 5 ret.  Flipping bit 4 of the index (2 ->
+    18) makes event 3 an out-of-bounds read — a Trap the recovery
+    pointer can roll back: the recovery block re-enters ``work``, the
+    index is recomputed cleanly, and the output matches the golden run.
+    """
+    module = Module("traprec")
+    arr = module.add_global("arr", 4)
+    out = module.add_global("out", 1)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    entry = b.block("entry")
+    entry.instructions.append(SetRecoveryPtr(0, "recover"))
+    b.jmp("work")
+    b.block("work")
+    t = b.add(2, 0)
+    u = b.load(arr, t)
+    b.store(out, 0, u)
+    b.ret(u)
+    recover = b.block("recover")
+    recover.instructions.append(RestoreCheckpoints(0))
+    recover.instructions.append(Jump("work"))
+    return module
+
+
+class TestOutcomeClassification:
+    """One deterministic trial per outcome class, hand-checked."""
+
+    def test_masked_dead_register(self):
+        # Inject past the end of the useful dataflow: event 3 (`ret`)
+        # has no register defs, so the fault lands on dead time and
+        # the run completes untouched — architectural masking.
+        module = build_single_block()
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=3, bit=7, latency=None,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "masked"
+        assert trial.recovery_attempts == 0
+        assert not trial.trapped and not trial.hang
+        assert trial.wasted_work == 0
+
+    def test_sdc_corrupted_output(self):
+        # Flip bit 3 of `total` right after event 1 computes it: the
+        # store at event 2 writes the corrupted value and nothing
+        # detects it (latency None = the detector missed the fault).
+        module = build_single_block()
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=1, bit=3, latency=None,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "sdc"
+        assert trial.fault_event == 1
+        assert trial.recovery_attempts == 0
+
+    def test_detected_unrecoverable_without_instrumentation(self):
+        # The detector fires two events after a mid-loop fault, but the
+        # module publishes no recovery pointer: Encore cannot roll back.
+        module = build_small_loop()
+        golden = golden_run(module, output_objects=["arr"])
+        trial = run_trial(
+            module, golden, site=golden.events // 2, bit=2, latency=2,
+            output_objects=["arr"],
+        )
+        assert trial.outcome == "detected_unrecoverable"
+        assert trial.recovery_attempts == 1
+        assert trial.detect_latency == 2
+
+    def test_recovered_via_recovery_block(self):
+        module = build_recoverable_trap_module()
+        golden = golden_run(module, output_objects=["out"])
+        assert golden.events == 6
+        trial = run_trial(
+            module, golden, site=2, bit=4, latency=None,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "recovered"
+        assert trial.trapped
+        assert trial.recovery_attempts == 1
+        assert trial.wasted_work > 0
+
+
+class TestTrapPathRegression:
+    """Pins the trap-handler path after removing the dead
+    ``injector.detected`` assignment: the injector API carries no
+    ``detected`` attribute, and trap outcomes classify the same."""
+
+    def test_injector_has_no_detected_attribute(self):
+        injector = _FaultInjector([(0, 4, None)])
+        assert not hasattr(injector, "detected")
+
+    def test_trap_without_recovery_pointer_is_unrecoverable(self):
+        # Same OOB-index fault as the recoverable case, but with no
+        # instrumentation: the trap is a visible symptom with nowhere
+        # to roll back to.
+        module = Module("trapbare")
+        arr = module.add_global("arr", 4)
+        out = module.add_global("out", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        t = b.add(2, 0)      # event 0: the corrupted index
+        u = b.load(arr, t)   # event 1: traps when t = 18
+        b.store(out, 0, u)
+        b.ret(u)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=0, bit=4, latency=None,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "detected_unrecoverable"
+        assert trial.trapped
+        assert trial.recovery_attempts == 1
+        assert not trial.hang
+
+    def test_trap_with_recovery_pointer_recovers(self):
+        module = build_recoverable_trap_module()
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=2, bit=4, latency=None,
+            output_objects=["out"],
+        )
+        assert (trial.outcome, trial.trapped) == ("recovered", True)
+
+
+class _StubFrame:
+    def __init__(self):
+        self.regs = {}
+
+
+class _StubInterp:
+    """Just enough Interpreter surface for _FaultInjector."""
+
+    def __init__(self, recoverable=True):
+        self.frame = _StubFrame()
+        self.recoverable = recoverable
+        self.recovery_calls = 0
+
+    @property
+    def current_frame(self):
+        return self.frame
+
+    def trigger_recovery(self, immediate=False):
+        self.recovery_calls += 1
+        return self.recoverable
+
+
+def _event(index):
+    inst = BinOp("add", VirtualRegister("t"), Constant(1), Constant(2))
+    return StepEvent(
+        index=index, func="main", block="entry", inst_index=0,
+        inst=inst, frame_id=1, loads=[], stores=[],
+    )
+
+
+class TestMultiFaultInjector:
+    def test_independent_deadlines_armed_per_fault(self):
+        injector = _FaultInjector([(2, 0, 5), (6, 1, 3)])
+        interp = _StubInterp()
+        for index in range(2, 7):
+            injector(interp, _event(index))
+        # Both faults injected, each arming its own absolute deadline.
+        assert injector.fault_events == [2, 6]
+        assert injector.deadlines == [7, 9]
+        assert injector.recovery_attempts == 0
+
+    def test_each_deadline_fires_one_recovery(self):
+        injector = _FaultInjector([(1, 0, 2), (4, 1, 2)])
+        interp = _StubInterp()
+        for index in range(1, 8):
+            injector(interp, _event(index))
+        assert injector.recovery_attempts == 2
+        assert interp.recovery_calls == 2
+        assert injector.deadlines == []
+        assert not injector.recovery_failed
+
+    def test_undetected_fault_arms_no_deadline(self):
+        injector = _FaultInjector([(1, 0, None), (3, 1, 4)])
+        interp = _StubInterp()
+        for index in range(1, 9):
+            injector(interp, _event(index))
+        assert injector.fault_events == [1, 3]
+        assert injector.recovery_attempts == 1  # only the second fault
+
+    def test_failed_recovery_aborts_trial(self):
+        from repro.runtime.sfi import _AbortTrial
+
+        injector = _FaultInjector([(1, 0, 1)])
+        interp = _StubInterp(recoverable=False)
+        injector(interp, _event(1))
+        with pytest.raises(_AbortTrial):
+            injector(interp, _event(2))
+        assert injector.recovery_failed
+
+    def test_multifault_trial_counts_each_detection(self):
+        # Integration: two short-latency faults in one instrumented
+        # execution, each detection firing its own rollback.
+        from repro.encore import compile_for_encore
+        from helpers import build_counted_loop
+
+        module, _ = build_counted_loop(30)
+        report = compile_for_encore(module, clone=True)
+        module = report.module
+        golden = golden_run(module, output_objects=["arr"])
+        mid = golden.events // 2
+        trial = run_trial(
+            module, golden,
+            site=[mid, mid + 8], bit=[3, 5], latency=[2, 2],
+            output_objects=["arr"],
+        )
+        assert trial.recovery_attempts == 2
+        assert trial.outcome in ("recovered", "masked")
+
+
+class TestCampaignResultEdges:
+    def test_empty_campaign_statistics(self):
+        empty = CampaignResult([])
+        assert empty.fraction("sdc") == 0.0
+        assert empty.covered_fraction == 0.0
+        assert empty.mean_wasted_work == 0.0
+        assert empty.throughput == 0.0
+        assert sum(empty.summary().values()) == 0.0
+        assert empty.counts() == {
+            "masked": 0, "recovered": 0,
+            "detected_unrecoverable": 0, "sdc": 0,
+        }
+
+    def test_mean_wasted_work_ignores_non_recovered(self):
+        trials = [
+            TrialResult("sdc", 1, None, 0, wasted_work=500),
+            TrialResult("recovered", 2, 3, 1, wasted_work=40),
+            TrialResult("recovered", 2, 3, 2, wasted_work=60),
+            TrialResult("masked", -1, None, 0, wasted_work=0),
+        ]
+        campaign = CampaignResult(trials)
+        assert campaign.mean_wasted_work == pytest.approx(50.0)
+
+    def test_extended_summary_reports_execution_stats(self):
+        campaign = CampaignResult(
+            [TrialResult("masked", -1, None, 0)],
+            elapsed=0.5, jobs=2, worker_trials={"worker-0": 1},
+        )
+        extended = campaign.summary(extended=True)
+        assert extended["trials"] == 1.0
+        assert extended["jobs"] == 2.0
+        assert extended["trials_per_sec"] == pytest.approx(2.0)
+        assert extended["trials[worker-0]"] == 1.0
+        # The default summary stays pure outcome fractions.
+        assert set(campaign.summary()) == {
+            "masked", "recovered", "detected_unrecoverable", "sdc",
+        }
