@@ -1,0 +1,136 @@
+"""Overhead benchmark: recovery supervision and the campaign journal.
+
+Three questions, answered on the same campaign:
+
+1. What does supervision cost?  Every trial already runs a per-step
+   hook for fault injection; the supervisor adds progress tracking on
+   top, and the optional watchdog adds a budget comparison per step.
+   The bench times the default policy against a watchdog-armed policy,
+   with a raw golden-replay loop as the floor (what a trial would cost
+   with no injection machinery at all).
+2. What does journaling cost per trial?  Buffered appends (the
+   default: flush per record) versus ``fsync=True`` (survives power
+   loss, not just process death).
+3. Sanity: identical trial sequences across all variants — overhead
+   knobs must never change results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_supervisor.py \
+        [--trials 300] [--module examples/mc/crc32.mc] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.encore import compile_for_encore  # noqa: E402
+from repro.frontend import compile_source  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    CampaignJournal,
+    DetectionModel,
+    Interpreter,
+    SupervisorPolicy,
+    campaign_metadata,
+    run_campaign,
+)
+
+
+def time_campaign(module, trials, seed, dmax, policy=None, on_result=None):
+    start = time.perf_counter()
+    campaign = run_campaign(
+        module,
+        trials=trials,
+        seed=seed,
+        detector=DetectionModel(dmax=dmax),
+        policy=policy,
+        on_result=on_result,
+    )
+    return campaign, time.perf_counter() - start
+
+
+def time_golden_replays(module, count):
+    """The floor: the same executions with no hooks, no injection."""
+    start = time.perf_counter()
+    for _ in range(count):
+        Interpreter(copy.deepcopy(module)).run("main")
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--module", default=str(REPO_ROOT / "examples/mc/crc32.mc"))
+    parser.add_argument("--trials", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--dmax", type=int, default=50)
+    parser.add_argument("--replays", type=int, default=30,
+                        help="golden replays for the no-hooks floor")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if any variant changes trial results "
+                             "or supervision costs more than 2x")
+    args = parser.parse_args(argv)
+
+    module = compile_for_encore(
+        compile_source(Path(args.module).read_text()), clone=False
+    ).module
+    print(f"module={args.module} trials={args.trials} dmax={args.dmax}")
+
+    floor_s = time_golden_replays(module, args.replays)
+    per_replay = floor_s / args.replays * 1e3
+    print(f"golden replay (no hooks):      {per_replay:8.2f} ms/run")
+
+    base, base_s = time_campaign(module, args.trials, args.seed, args.dmax)
+    print(f"supervised trial (default):    "
+          f"{base_s / args.trials * 1e3:8.2f} ms/trial "
+          f"({base.throughput:.1f} trials/sec)")
+
+    watchdog = SupervisorPolicy(max_attempts=3, attempt_step_budget=10_000)
+    dog, dog_s = time_campaign(
+        module, args.trials, args.seed, args.dmax, policy=watchdog
+    )
+    print(f"supervised trial (watchdog):   "
+          f"{dog_s / args.trials * 1e3:8.2f} ms/trial "
+          f"(x{dog_s / base_s:.2f} vs default)")
+
+    journal_times = {}
+    for label, fsync in (("buffered", False), ("fsync", True)):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = str(Path(tmp) / "bench.jsonl")
+            with CampaignJournal(path, fsync=fsync) as journal:
+                journal.write_header(
+                    campaign_metadata(module, args.seed,
+                                      DetectionModel(dmax=args.dmax))
+                )
+                journaled, journaled_s = time_campaign(
+                    module, args.trials, args.seed, args.dmax,
+                    on_result=journal.record,
+                )
+            journal_times[label] = (journaled, journaled_s)
+            extra_us = (journaled_s - base_s) / args.trials * 1e6
+            print(f"journal append ({label:>8}):  {extra_us:8.1f} us/trial extra")
+
+    variants = [dog] + [c for c, _ in journal_times.values()]
+    if any(v.trials != base.trials for v in variants):
+        print("FAIL: an overhead knob changed trial results", file=sys.stderr)
+        return 1
+    print("equivalence: all variants produced identical trial sequences")
+
+    if args.check:
+        if dog_s > 2.0 * base_s:
+            print(f"FAIL: watchdog overhead x{dog_s / base_s:.2f} > 2x",
+                  file=sys.stderr)
+            return 1
+        print("check passed: supervision overhead within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

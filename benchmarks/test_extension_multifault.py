@@ -10,7 +10,7 @@ survival — rather than collapse.
 
 from repro.encore import EncoreConfig, compile_for_encore
 from repro.experiments import run_sfi
-from repro.runtime import DetectionModel
+from repro.runtime import DetectionModel, SupervisorPolicy
 from repro.workloads import build_workload
 
 WORKLOAD = "g721decode"
@@ -23,6 +23,11 @@ def run_multifault_study():
     report = compile_for_encore(built.module, EncoreConfig(), args=built.args)
     rows = {}
     for count in FAULT_COUNTS:
+        # N independent faults can legitimately fire N back-to-back
+        # rollbacks into one region before it commits, so the livelock
+        # bound (tuned for the single-event-upset model) scales with
+        # the fault count here.
+        policy = SupervisorPolicy(max_attempts=max(3, 2 * count))
         campaign = run_sfi(
             report.module,
             args=built.args,
@@ -31,6 +36,7 @@ def run_multifault_study():
             trials=TRIALS,
             seed=31,
             faults_per_trial=count,
+            policy=policy,
         )
         rows[count] = campaign
     return rows

@@ -22,7 +22,18 @@ from repro.encore import EncoreConfig, compile_for_encore
 from repro.frontend import compile_source
 from repro.ir import module_to_text, parse_module, verify_module
 from repro.opt import optimize_module
-from repro.runtime import DetectionModel, Interpreter, run_campaign
+from repro.runtime import (
+    CampaignJournal,
+    DetectionModel,
+    Interpreter,
+    JournalError,
+    SupervisorPolicy,
+    campaign_metadata,
+    default_journal_path,
+    load_journal,
+    run_campaign,
+    validate_resume,
+)
 
 
 def _load(path: str):
@@ -125,19 +136,69 @@ def cmd_inject(args) -> int:
     if args.progress:
         def progress(done: int, total: int) -> None:
             print(f"\r{done}/{total} trials", end="", file=sys.stderr, flush=True)
-    campaign = run_campaign(
+    detector = DetectionModel(dmax=args.dmax)
+    policy = SupervisorPolicy(
+        max_attempts=args.max_attempts,
+        attempt_step_budget=args.step_budget,
+    )
+    metadata = campaign_metadata(
         module,
+        args.seed,
+        detector,
         function=args.function,
         args=_int_args(args.args),
-        output_objects=args.outputs or (),
-        detector=DetectionModel(dmax=args.dmax),
-        trials=args.trials,
-        seed=args.seed,
         faults_per_trial=args.faults_per_trial,
-        jobs=args.jobs,
-        chunk_size=args.chunk_size,
-        progress=progress,
+        recovery_faults_per_trial=args.recovery_faults_per_trial,
     )
+
+    completed = None
+    journal_path = None
+    resuming = False
+    if args.resume is not None:
+        try:
+            journal_meta, completed = load_journal(args.resume)
+            validate_resume(journal_meta, metadata)
+        except (OSError, JournalError) as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 1
+        journal_path = args.resume
+        resuming = True
+        print(f"# resuming {len(completed)} journaled trials from "
+              f"{args.resume}", file=sys.stderr)
+    elif args.journal is not None:
+        journal_path = (
+            default_journal_path(module.name, args.seed)
+            if args.journal == "auto" else args.journal
+        )
+
+    journal = CampaignJournal(journal_path) if journal_path else None
+    on_result = None
+    if journal is not None:
+        if not resuming:
+            journal.write_header(metadata)
+        on_result = journal.record
+    try:
+        campaign = run_campaign(
+            module,
+            function=args.function,
+            args=_int_args(args.args),
+            output_objects=args.outputs or (),
+            detector=detector,
+            trials=args.trials,
+            seed=args.seed,
+            faults_per_trial=args.faults_per_trial,
+            recovery_faults_per_trial=args.recovery_faults_per_trial,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            progress=progress,
+            policy=policy,
+            trial_timeout=args.trial_timeout,
+            completed=completed,
+            on_result=on_result,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     if args.progress:
         print(file=sys.stderr)
     for outcome, fraction in campaign.summary().items():
@@ -153,6 +214,12 @@ def cmd_inject(args) -> int:
           f"jobs={campaign.jobs})")
     for worker, count in sorted(campaign.worker_trials.items()):
         print(f"# {worker}: {count} trials")
+    if campaign.pool_restarts:
+        print(f"# pool restarts after worker crashes: {campaign.pool_restarts}")
+    if campaign.resumed_trials:
+        print(f"# trials replayed from journal: {campaign.resumed_trials}")
+    if journal_path:
+        print(f"# journal: {journal_path}")
     return 0
 
 
@@ -222,6 +289,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trials per worker task (default: auto)")
     inject.add_argument("--progress", action="store_true",
                         help="report completed-trial counts on stderr")
+    inject.add_argument("--recovery-faults-per-trial", type=int, default=0,
+                        help="double-fault model: faults armed inside "
+                             "recovery windows (default 0)")
+    inject.add_argument("--max-attempts", type=int, default=3,
+                        help="consecutive rollbacks into one region before "
+                             "the supervisor declares livelock (default 3)")
+    inject.add_argument("--step-budget", type=int, default=None,
+                        help="dynamic-instruction watchdog per recovery "
+                             "attempt (default: none)")
+    inject.add_argument("--trial-timeout", type=float, default=None,
+                        help="per-trial wall-clock limit in seconds; "
+                             "overruns classify as infra_error")
+    inject.add_argument("--journal", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="append per-trial results to a crash-tolerant "
+                             "JSONL journal (default path under results/)")
+    inject.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume a crashed campaign from its journal; "
+                             "journaled trials are replayed verbatim")
     inject.set_defaults(handler=cmd_inject)
     return parser
 

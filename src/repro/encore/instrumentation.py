@@ -7,10 +7,16 @@ For every selected region this pass:
 2. prepends to the header a ``SetRecoveryPtr`` (the paper's "simple
    store that updates a dedicated memory location with the address of
    the corresponding recovery block") followed by one ``CheckpointReg``
-   per overwritten live-in register; and
+   per overwritten live-in register;
 3. inserts a ``CheckpointMem`` (data + address, two stores' worth of
    dynamic cost) immediately before every offending store in the
-   region's checkpoint set CP.
+   region's checkpoint set CP; and
+4. invalidates the recovery pointer on every edge *leaving* the region
+   (``ClearRecoveryPtr``), so a detection that fires after control has
+   left the region classifies as an escape instead of rolling back
+   into stale recovery state.  Exit clears are inserted in a second
+   pass, after every region's entry edges have been retargeted, so the
+   final CFG decides what counts as an exit edge.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.encore.regions import Region
 from repro.ir.instructions import (
     CheckpointMem,
     CheckpointReg,
+    ClearRecoveryPtr,
     Jump,
     RestoreCheckpoints,
     SetRecoveryPtr,
@@ -52,6 +59,8 @@ class InstrumentationReport:
     recovery_blocks: List[str] = dataclasses.field(default_factory=list)
     checkpoint_mem_sites: int = 0
     checkpoint_reg_sites: int = 0
+    #: Region-exit ``ClearRecoveryPtr`` insertion points.
+    clear_sites: int = 0
     storage: List[RegionStorage] = dataclasses.field(default_factory=list)
 
     @property
@@ -102,6 +111,7 @@ def instrument_module(
     storage accounting.
     """
     report = InstrumentationReport()
+    instrumented: List[Region] = []
     for region in regions:
         if not region.selected:
             continue
@@ -167,6 +177,28 @@ def instrument_module(
             )
         )
         report.instrumented_regions += 1
+        instrumented.append(region)
+
+    # 4. Second pass: region-exit pointer invalidation.  Runs after all
+    # entry-edge retargeting so successors reflect the final CFG (a
+    # region exiting into a later-instrumented region's header must
+    # clear at that region's trampoline, not the stale header label).
+    for region in instrumented:
+        func = module.function(region.func)
+        own_blocks = set(region.blocks) | {
+            recovery_label(region), entry_label(region)
+        }
+        cleared = set()
+        for label in region.blocks:
+            block = func.blocks.get(label)
+            if block is None or block.terminator is None:
+                continue
+            for successor in block.successor_labels():
+                if successor in own_blocks or successor in cleared:
+                    continue
+                cleared.add(successor)
+                func.blocks[successor].insert(0, ClearRecoveryPtr(region.id))
+                report.clear_sites += 1
     return report
 
 

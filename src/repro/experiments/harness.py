@@ -15,7 +15,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.encore import EncoreConfig, EncoreReport, compile_for_encore
 from repro.ir.module import Module
-from repro.runtime import CampaignResult, DetectionModel, run_campaign
+from repro.runtime import (
+    CampaignResult,
+    DetectionModel,
+    SupervisorPolicy,
+    run_campaign,
+)
 from repro.workloads import WorkloadSpec, all_workloads
 from repro.workloads.synth import BuiltWorkload
 
@@ -97,6 +102,22 @@ def campaign_jobs(default: Optional[int] = None) -> int:
     return 1
 
 
+def campaign_trial_timeout() -> Optional[float]:
+    """Per-trial wall-clock guard for experiment campaigns.
+
+    ``ENCORE_SFI_TRIAL_TIMEOUT`` (seconds) arms the guard fleet-wide —
+    useful on shared CI machines where one wedged trial should become
+    an ``infra_error`` row instead of a job timeout.  Unset means no
+    guard, preserving fully deterministic experiment output.
+    """
+    env = os.environ.get("ENCORE_SFI_TRIAL_TIMEOUT", "").strip()
+    if env:
+        value = float(env)
+        if value > 0:
+            return value
+    return None
+
+
 def run_sfi(
     module: Module,
     function: str = "main",
@@ -106,16 +127,20 @@ def run_sfi(
     trials: int = 200,
     seed: int = 0,
     faults_per_trial: int = 1,
+    recovery_faults_per_trial: int = 0,
     externals=None,
     jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    trial_timeout: Optional[float] = None,
 ) -> CampaignResult:
     """SFI campaign entry point for experiments and benchmarks.
 
     Identical to :func:`repro.runtime.run_campaign` except that
-    ``jobs=None`` resolves through :func:`campaign_jobs`, so one
-    environment variable parallelises every campaign an experiment
-    runs.
+    ``jobs=None`` resolves through :func:`campaign_jobs` and
+    ``trial_timeout=None`` through :func:`campaign_trial_timeout`, so
+    environment variables parallelise and wall-clock-guard every
+    campaign an experiment runs.
     """
     return run_campaign(
         module,
@@ -126,7 +151,12 @@ def run_sfi(
         trials=trials,
         seed=seed,
         faults_per_trial=faults_per_trial,
+        recovery_faults_per_trial=recovery_faults_per_trial,
         externals=externals,
         jobs=campaign_jobs() if jobs is None else jobs,
         chunk_size=chunk_size,
+        policy=policy,
+        trial_timeout=(
+            campaign_trial_timeout() if trial_timeout is None else trial_timeout
+        ),
     )

@@ -18,6 +18,7 @@ from repro.ir.instructions import (
     Call,
     CheckpointMem,
     CheckpointReg,
+    ClearRecoveryPtr,
     Compare,
     Instruction,
     Jump,
@@ -46,6 +47,7 @@ __all__ = [
     "Call",
     "CheckpointMem",
     "CheckpointReg",
+    "ClearRecoveryPtr",
     "Compare",
     "Constant",
     "Function",

@@ -386,6 +386,29 @@ class SetRecoveryPtr(Instruction):
         return f"set_recovery_ptr r{self.region_id}, {self.recovery_label}"
 
 
+class ClearRecoveryPtr(Instruction):
+    """Region-exit hook: invalidate region ``region_id``'s recovery pointer.
+
+    Inserted on every edge leaving a protected region so a detection
+    that fires after control has left the region cannot roll back into
+    stale recovery state — the fault has *escaped* and is unrecoverable
+    by Encore (the latency/region-length tradeoff of the alpha model).
+    Clearing is conditional on the region id, so a block reachable from
+    several regions only clears the pointer its own exit published;
+    cost is one store, like publishing the pointer.
+    """
+
+    opcode = "clear_recovery_ptr"
+    is_instrumentation = True
+    dynamic_cost = 1
+
+    def __init__(self, region_id: int) -> None:
+        self.region_id = region_id
+
+    def __str__(self) -> str:
+        return f"clear_recovery_ptr r{self.region_id}"
+
+
 class CheckpointReg(Instruction):
     """Save a live-in register at region entry (one store)."""
 

@@ -22,6 +22,7 @@ from repro.ir.instructions import (
     Call,
     CheckpointMem,
     CheckpointReg,
+    ClearRecoveryPtr,
     Compare,
     Jump,
     Load,
@@ -197,6 +198,8 @@ class _FunctionParser:
         if head == "set_recovery_ptr":
             rid, label = self._split_args(tail)
             return SetRecoveryPtr(int(rid[1:]), label)
+        if head == "clear_recovery_ptr":
+            return ClearRecoveryPtr(int(tail.strip()[1:]))
         if head == "ckpt_reg":
             rid, reg_token = self._split_args(tail)
             return CheckpointReg(int(rid[1:]), self.reg(reg_token[1:]))

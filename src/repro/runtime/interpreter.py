@@ -541,6 +541,16 @@ class Interpreter:
         frame.region_ckpts[inst.region_id] = []
         self._advance(frame)
 
+    def _do_clear_recovery_ptr(self, frame: _Frame, inst, event) -> None:
+        # Conditional on the region id: a join block reachable from
+        # several regions only invalidates the pointer its own exit
+        # published.  The undo log is dropped with it — nothing can
+        # roll back into the region any more.
+        if frame.recovery_ptr is not None and frame.recovery_ptr[0] == inst.region_id:
+            frame.recovery_ptr = None
+            frame.region_ckpts[inst.region_id] = []
+        self._advance(frame)
+
     def _do_ckpt_reg(self, frame: _Frame, inst, event) -> None:
         frame.region_ckpts.setdefault(inst.region_id, []).append(
             ("reg", inst.reg, frame.regs.get(inst.reg, 0))
@@ -609,6 +619,7 @@ _DISPATCH = {
     "call": Interpreter._do_call,
     "ret": Interpreter._do_ret,
     "set_recovery_ptr": Interpreter._do_set_recovery_ptr,
+    "clear_recovery_ptr": Interpreter._do_clear_recovery_ptr,
     "ckpt_reg": Interpreter._do_ckpt_reg,
     "ckpt_mem": Interpreter._do_ckpt_mem,
     "restore": Interpreter._do_restore,

@@ -1,0 +1,197 @@
+"""Crash-tolerant campaign journals: append-only JSONL under ``results/``.
+
+A campaign journal records one line per completed trial — ``(seed,
+trial_index, outcome, ...)`` — plus a header line fingerprinting the
+campaign configuration.  Because every trial is a pure function of
+``(seed, trial_index)`` (see :func:`repro.runtime.sfi.derive_trial_seed`),
+a campaign that crashed — worker death, power loss, ctrl-C — can be
+resumed from its journal and produce results bit-identical to an
+uninterrupted serial run: journaled trials are replayed verbatim, the
+rest re-derive exactly the plans the lost run would have executed.
+
+The format is deliberately dumb:
+
+* line 1: ``{"kind": "campaign", "version": 1, ...metadata}``
+* then:   ``{"kind": "trial", "index": i, "outcome": ..., ...}``
+
+Appends are flushed per record; a line torn by a crash mid-write is
+ignored on load (it will simply be re-run).  Records may appear in any
+order (parallel chunks complete out of order) and may be duplicated
+(a chunk retried after a pool crash); the last record for an index
+wins, which is safe because records for the same index are identical
+by determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+from repro.runtime.detection import DetectionModel
+from repro.runtime.sfi import TrialResult
+
+JOURNAL_VERSION = 1
+
+#: Default directory for campaign journals.
+DEFAULT_JOURNAL_DIR = "results"
+
+
+class JournalError(ValueError):
+    """The journal is unreadable or does not match the campaign."""
+
+
+def module_fingerprint(module) -> str:
+    """A stable digest of the module under test, for resume validation."""
+    from repro.ir.printer import module_to_text
+
+    return hashlib.sha256(module_to_text(module).encode()).hexdigest()[:16]
+
+
+def campaign_metadata(
+    module,
+    seed: int,
+    detector: DetectionModel,
+    function: str = "main",
+    args=(),
+    faults_per_trial: int = 1,
+    recovery_faults_per_trial: int = 0,
+) -> Dict[str, Any]:
+    """The identity of a campaign: everything that determines its plans."""
+    return {
+        "seed": seed,
+        "function": function,
+        "args": list(args),
+        "faults_per_trial": faults_per_trial,
+        "recovery_faults_per_trial": recovery_faults_per_trial,
+        "detector": {
+            "dmax": detector.dmax,
+            "kind": detector.kind,
+            "coverage": detector.coverage,
+        },
+        "module": module_fingerprint(module),
+    }
+
+
+class CampaignJournal:
+    """Append-side handle: write the header once, then stream records.
+
+    ``fsync=True`` makes every append durable against power loss at a
+    measurable throughput cost (see ``benchmarks/bench_supervisor.py``);
+    the default flushes to the OS, which already survives process
+    crashes — the campaign's own failure mode.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._handle: Optional[TextIO] = None
+
+    def _open(self) -> TextIO:
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        handle = self._open()
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def write_header(self, metadata: Dict[str, Any]) -> None:
+        self._write(
+            {"kind": "campaign", "version": JOURNAL_VERSION, **metadata}
+        )
+
+    def record(self, index: int, trial: TrialResult) -> None:
+        self._write(
+            {"kind": "trial", "index": index, **dataclasses.asdict(trial)}
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_journal(path: str) -> Tuple[Dict[str, Any], Dict[int, TrialResult]]:
+    """Read a journal back: ``(metadata, {index: TrialResult})``.
+
+    Tolerates a torn final line (crash mid-append) and duplicate
+    records (chunks retried after a pool crash).  Raises
+    :class:`JournalError` when the file has no valid header.
+    """
+    metadata: Optional[Dict[str, Any]] = None
+    completed: Dict[int, TrialResult] = {}
+    fields = {f.name for f in dataclasses.fields(TrialResult)}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-write
+            kind = record.get("kind")
+            if kind == "campaign":
+                if record.get("version") != JOURNAL_VERSION:
+                    raise JournalError(
+                        f"journal version {record.get('version')} != "
+                        f"{JOURNAL_VERSION}"
+                    )
+                metadata = {
+                    k: v for k, v in record.items()
+                    if k not in ("kind", "version")
+                }
+            elif kind == "trial" and metadata is not None:
+                index = record.get("index")
+                payload = {k: v for k, v in record.items()
+                           if k in fields}
+                if isinstance(index, int) and "outcome" in payload:
+                    completed[index] = TrialResult(**payload)
+    if metadata is None:
+        raise JournalError(f"{path} has no campaign header")
+    return metadata, completed
+
+
+def validate_resume(
+    journal_meta: Dict[str, Any], current_meta: Dict[str, Any]
+) -> None:
+    """Refuse to resume a journal written by a different campaign.
+
+    Everything in the header must match — the journaled results are
+    only valid verbatim if the plans they came from are the plans this
+    campaign would derive.  (Trial *count* is deliberately absent from
+    the metadata: per-trial seeding is prefix-stable, so a journal may
+    be resumed into a longer or shorter campaign.)
+    """
+    mismatched = [
+        key for key in current_meta
+        if journal_meta.get(key) != current_meta[key]
+    ]
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: journal={journal_meta.get(key)!r} != "
+            f"campaign={current_meta[key]!r}"
+            for key in mismatched
+        )
+        raise JournalError(f"journal does not match this campaign ({detail})")
+
+
+def default_journal_path(module_name: str, seed: int) -> str:
+    """The conventional journal location: ``results/sfi_<module>_s<seed>.jsonl``."""
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in module_name)
+    return os.path.join(DEFAULT_JOURNAL_DIR, f"sfi_{safe}_s{seed}.jsonl")

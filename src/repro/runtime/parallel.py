@@ -1,4 +1,5 @@
-"""Process-parallel execution of SFI campaigns.
+"""Process-parallel execution of SFI campaigns, hardened against the
+failures a long campaign actually meets.
 
 SFI campaigns are embarrassingly parallel Monte-Carlo experiments:
 every trial is an independent re-execution of the same module with a
@@ -13,6 +14,24 @@ Each worker is initialised once per process: it unpickles the module
 payload, replays the golden run locally (cheaper and simpler than
 shipping interpreter state), and then serves trial chunks until the
 pool drains.
+
+Resilience (the campaign must outlive its own infrastructure):
+
+* **per-trial wall-clock timeouts** — enforced *inside* the worker via
+  ``SIGALRM`` (see :func:`repro.runtime.sfi.call_with_timeout`), so a
+  stuck trial yields an ``infra_error`` verdict without poisoning its
+  chunk or its worker;
+* **worker-crash containment** — a worker dying (OOM kill, segfault,
+  deliberate ``SIGKILL``) breaks the whole ``ProcessPoolExecutor``;
+  instead of propagating, the engine re-plans the unfinished trials
+  and retries them on a fresh pool, up to ``max_pool_retries`` times,
+  after which the survivors are marked ``infra_error`` — determinism
+  is unaffected because retried chunks re-derive exactly the same
+  plans;
+* **result streaming** — every merged ``(index, result)`` pair is
+  forwarded to ``on_result`` as it arrives, which is how the campaign
+  journal (:mod:`repro.runtime.journal`) sees trials the moment they
+  complete rather than at campaign end.
 """
 
 from __future__ import annotations
@@ -22,10 +41,17 @@ import multiprocessing
 import os
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.module import Module
-from repro.runtime.sfi import FaultPlan, ProgressHook, TrialResult
+from repro.runtime.sfi import (
+    FaultPlan,
+    ProgressHook,
+    TrialResult,
+    infra_error_trial,
+)
+from repro.runtime.supervisor import SupervisorPolicy
 
 
 class ParallelUnavailable(RuntimeError):
@@ -67,6 +93,8 @@ def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialRe
                 args=state["args"],
                 output_objects=state["output_objects"],
                 externals=state["externals"],
+                policy=state["policy"],
+                trial_timeout=state["trial_timeout"],
             ),
         )
         for plan in plans
@@ -102,13 +130,23 @@ def run_parallel_campaign(
     jobs: int = 2,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
-) -> Tuple[List[TrialResult], Dict[str, int]]:
+    policy: Optional[SupervisorPolicy] = None,
+    trial_timeout: Optional[float] = None,
+    max_pool_retries: int = 2,
+    on_result: Optional[Callable[[int, TrialResult], None]] = None,
+    done_offset: int = 0,
+    total: Optional[int] = None,
+) -> Tuple[List[TrialResult], Dict[str, int], int]:
     """Fan ``plans`` out over ``jobs`` worker processes.
 
-    Returns the trial results in trial-index order plus a per-worker
-    trial tally (keyed ``worker-0`` … ``worker-n``, ordered by pid).
-    Raises :class:`ParallelUnavailable` when the campaign payload
-    cannot be pickled across the process boundary.
+    Returns ``(results, worker_trials, pool_restarts)``: the trial
+    results in ``plans`` order, a per-worker trial tally (keyed
+    ``worker-0`` … ``worker-n``, ordered by pid), and the number of
+    worker pools rebuilt after a crash.  ``done_offset``/``total``
+    calibrate the ``progress`` callback when this call covers only the
+    un-journaled tail of a resumed campaign.  Raises
+    :class:`ParallelUnavailable` when the campaign payload cannot be
+    pickled across the process boundary.
     """
     try:
         payload = pickle.dumps(
@@ -118,6 +156,8 @@ def run_parallel_campaign(
                 "args": tuple(args),
                 "output_objects": tuple(output_objects),
                 "externals": externals,
+                "policy": policy,
+                "trial_timeout": trial_timeout,
             }
         )
     except Exception as exc:
@@ -126,32 +166,70 @@ def run_parallel_campaign(
     size = chunk_size if chunk_size and chunk_size > 0 else default_chunk_size(
         len(plans), jobs
     )
-    chunks = _chunked(plans, size)
-    workers = max(1, min(jobs, len(chunks)))
-    total = len(plans)
+    report_total = total if total is not None else len(plans)
     by_index: Dict[int, TrialResult] = {}
     pid_counts: Dict[int, int] = {}
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(payload,),
-    ) as pool:
-        pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                pid, chunk_results = future.result()
-                for index, trial in chunk_results:
-                    by_index[index] = trial
-                pid_counts[pid] = pid_counts.get(pid, 0) + len(chunk_results)
-                if progress is not None:
-                    progress(len(by_index), total)
-    if len(by_index) != total:
-        missing = sorted(set(range(total)) - set(by_index))
-        raise RuntimeError(f"parallel campaign lost trials {missing[:8]}")
+    pool_restarts = 0
+
+    def merge(pid: int, chunk_results: List[Tuple[int, TrialResult]]) -> None:
+        fresh = 0
+        for index, trial in chunk_results:
+            if index not in by_index:
+                fresh += 1
+                if on_result is not None:
+                    on_result(index, trial)
+            by_index[index] = trial
+        pid_counts[pid] = pid_counts.get(pid, 0) + len(chunk_results)
+        if progress is not None and fresh:
+            progress(done_offset + len(by_index), report_total)
+
+    remaining = list(plans)
+    for attempt in range(max_pool_retries + 1):
+        chunks = _chunked(remaining, size)
+        if not chunks:
+            break
+        workers = max(1, min(jobs, len(chunks)))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        pid, chunk_results = future.result()
+                        merge(pid, chunk_results)
+        except BrokenProcessPool:
+            # A worker died mid-campaign (OOM kill, segfault, ...).
+            # Everything already merged stays; the unfinished trials are
+            # re-planned onto a fresh pool.  Chunks are pure functions
+            # of their plans, so a retry cannot diverge from the serial
+            # result — it can only finish it.
+            pool_restarts += 1
+            remaining = [p for p in remaining if p.trial_index not in by_index]
+            continue
+        remaining = [p for p in remaining if p.trial_index not in by_index]
+        if not remaining:
+            break
+    # Pool retries exhausted (or trials silently lost): the survivors
+    # get an explicit infra_error verdict instead of poisoning the
+    # campaign with an exception after hours of completed work.
+    for plan in remaining:
+        trial = infra_error_trial()
+        by_index[plan.trial_index] = trial
+        if on_result is not None:
+            on_result(plan.trial_index, trial)
+    if progress is not None and remaining:
+        progress(done_offset + len(by_index), report_total)
     worker_trials = {
         f"worker-{slot}": count
         for slot, (_pid, count) in enumerate(sorted(pid_counts.items()))
     }
-    return [by_index[i] for i in range(total)], worker_trials
+    return (
+        [by_index[plan.trial_index] for plan in plans],
+        worker_trials,
+        pool_restarts,
+    )

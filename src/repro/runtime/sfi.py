@@ -4,17 +4,34 @@ Each trial injects one transient fault — a bit flip in the destination
 register of a uniformly-chosen dynamic instruction — into an execution
 of the (Encore-instrumented) program, samples a detection latency from
 the configured detector model, performs the Encore rollback when the
-detector fires, and classifies the final outcome against a golden run:
+detector fires, and classifies the final outcome against a golden run.
+
+Rollback is mediated by a :class:`~repro.runtime.supervisor.
+RecoverySupervisor`: every attempt is charged per region, livelocked
+recoveries (K rollbacks into the same region with no committed
+progress) are bounded, an optional per-attempt step watchdog re-rolls
+silently-stuck recoveries, and faults can be planned to strike *inside*
+the recovery window (the double-fault model).  Outcomes form a
+reason-coded escalation ladder:
 
 * ``masked``       — the fault never affected the output (architectural
   masking) and no recovery was needed;
 * ``recovered``    — the detector fired, rollback re-executed the
   region, and the output matches the golden run;
-* ``detected_unrecoverable`` — the detector fired but no recovery
-  pointer was live for the faulting context (control had left the
-  region), or execution trapped/hung without a usable recovery block;
+* ``recovered_after_retry`` — as ``recovered``, but one region needed
+  more than one consecutive rollback attempt;
+* ``detected_unrecoverable`` — execution trapped or hung without a
+  usable recovery block;
+* ``escape_unrecoverable`` — the detector fired after control had left
+  the faulting region (no recovery pointer was live);
+* ``livelock``     — recovery kept re-triggering its own fault; the
+  supervisor stopped it after K attempts;
+* ``double_fault_unrecoverable`` — a second fault striking during
+  recovery defeated it;
 * ``sdc``          — silent data corruption: the run completed with a
-  wrong result.
+  wrong result;
+* ``infra_error``  — the trial never produced a verdict (worker crash
+  or wall-clock timeout in the campaign engine).
 
 These empirical outcomes validate the analytical coverage model of
 Section 4.2 (see ``benchmarks/test_sfi_validation.py``).
@@ -22,9 +39,11 @@ Section 4.2 (see ``benchmarks/test_sfi_validation.py``).
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import hashlib
 import random
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -38,10 +57,32 @@ from repro.runtime.interpreter import (
     Trap,
     bitflip,
 )
+from repro.runtime.supervisor import (
+    EscalateTrial,
+    RecoverySupervisor,
+    SupervisorPolicy,
+)
 
-OUTCOMES = ("masked", "recovered", "detected_unrecoverable", "sdc")
+OUTCOMES = (
+    "masked",
+    "recovered",
+    "recovered_after_retry",
+    "detected_unrecoverable",
+    "escape_unrecoverable",
+    "livelock",
+    "double_fault_unrecoverable",
+    "sdc",
+    "infra_error",
+)
+
+#: Outcomes in which the program ended with the correct result.
+COVERED_OUTCOMES = ("masked", "recovered", "recovered_after_retry")
 
 ProgressHook = Callable[[int, int], None]
+
+
+class TrialTimeout(Exception):
+    """A trial exceeded its wall-clock budget (campaign-engine guard)."""
 
 
 def derive_trial_seed(seed: int, trial_index: int) -> int:
@@ -65,18 +106,32 @@ class FaultPlan:
 
     ``sites``/``bits``/``latencies`` are equal-length tuples; length 1
     is the paper's single-event-upset model, longer is the multi-fault
-    extension.  Plans are immutable and picklable so they can be
-    chunked across worker processes.
+    extension.  ``recovery_sites``/``recovery_bits``/
+    ``recovery_latencies`` describe the double-fault model: each entry
+    is a fault armed *relative to a rollback* — it strikes that many
+    dynamic instructions after the n-th recovery attempt begins.  Plans
+    are immutable and picklable so they can be chunked across worker
+    processes.
     """
 
     trial_index: int
     sites: Tuple[int, ...]
     bits: Tuple[int, ...]
     latencies: Tuple[Optional[int], ...]
+    recovery_sites: Tuple[int, ...] = ()
+    recovery_bits: Tuple[int, ...] = ()
+    recovery_latencies: Tuple[Optional[int], ...] = ()
 
     @property
     def single(self) -> bool:
         return len(self.sites) == 1
+
+    @property
+    def recovery_faults(self) -> Tuple[Tuple[int, int, Optional[int]], ...]:
+        """The planned recovery-window faults as (offset, bit, latency)."""
+        return tuple(
+            zip(self.recovery_sites, self.recovery_bits, self.recovery_latencies)
+        )
 
 
 def plan_trial(
@@ -85,15 +140,34 @@ def plan_trial(
     golden_events: int,
     detector: DetectionModel,
     faults_per_trial: int = 1,
+    recovery_faults_per_trial: int = 0,
 ) -> FaultPlan:
-    """Derive one trial's fault plan from its own RNG substream."""
+    """Derive one trial's fault plan from its own RNG substream.
+
+    The recovery-window draws happen *after* the primary draws, so a
+    campaign with ``recovery_faults_per_trial=0`` produces bit-identical
+    plans to one planned before the double-fault model existed.
+    """
     rng = random.Random(derive_trial_seed(seed, trial_index))
     sites = sorted(
         rng.randrange(max(golden_events, 1)) for _ in range(faults_per_trial)
     )
     bits = [rng.randrange(0, 32) for _ in range(faults_per_trial)]
     latencies = [detector.sample_latency(rng) for _ in range(faults_per_trial)]
-    return FaultPlan(trial_index, tuple(sites), tuple(bits), tuple(latencies))
+    rec_sites = [rng.randrange(1, 33) for _ in range(recovery_faults_per_trial)]
+    rec_bits = [rng.randrange(0, 32) for _ in range(recovery_faults_per_trial)]
+    rec_latencies = [
+        detector.sample_latency(rng) for _ in range(recovery_faults_per_trial)
+    ]
+    return FaultPlan(
+        trial_index,
+        tuple(sites),
+        tuple(bits),
+        tuple(latencies),
+        tuple(rec_sites),
+        tuple(rec_bits),
+        tuple(rec_latencies),
+    )
 
 
 def plan_campaign(
@@ -102,10 +176,14 @@ def plan_campaign(
     golden_events: int,
     detector: DetectionModel,
     faults_per_trial: int = 1,
+    recovery_faults_per_trial: int = 0,
 ) -> List[FaultPlan]:
     """All fault plans of a campaign, in trial order."""
     return [
-        plan_trial(seed, index, golden_events, detector, faults_per_trial)
+        plan_trial(
+            seed, index, golden_events, detector,
+            faults_per_trial, recovery_faults_per_trial,
+        )
         for index in range(trials)
     ]
 
@@ -123,6 +201,20 @@ class TrialResult:
     #: Extra dynamic instructions executed relative to the golden run —
     #: the re-execution "wasted work" of rollback recovery (paper §2.1).
     wasted_work: int = 0
+    #: Consecutive rollbacks the worst region needed beyond the first
+    #: (0 = every recovery committed on its first attempt).
+    retries: int = 0
+    #: Faults injected inside the recovery window (double-fault model).
+    double_faults: int = 0
+
+
+def infra_error_trial() -> TrialResult:
+    """The placeholder verdict for a trial the engine could not finish
+    (worker crash after all pool retries, or wall-clock timeout)."""
+    return TrialResult(
+        outcome="infra_error", fault_event=-1, detect_latency=None,
+        recovery_attempts=0,
+    )
 
 
 @dataclasses.dataclass
@@ -132,20 +224,25 @@ class CampaignResult:
     ``elapsed``/``jobs``/``worker_trials`` describe how the campaign
     was executed (wall-clock seconds, worker count, trials per worker);
     they are reporting metadata only — the trial list itself is a pure
-    function of ``(module, seed, trials, detector, faults_per_trial)``
-    regardless of parallelism.
+    function of ``(module, seed, trials, detector, faults_per_trial,
+    recovery_faults_per_trial, policy)`` regardless of parallelism.
+    ``pool_restarts`` counts worker pools rebuilt after a crash; any
+    non-zero value (or any ``infra_error`` trial) marks a campaign that
+    needed the resilience machinery.
     """
 
     trials: List[TrialResult]
     elapsed: float = 0.0
     jobs: int = 1
     worker_trials: Dict[str, int] = dataclasses.field(default_factory=dict)
+    pool_restarts: int = 0
+    resumed_trials: int = 0
 
     def count(self, outcome: str) -> int:
         return sum(1 for t in self.trials if t.outcome == outcome)
 
     def counts(self) -> Dict[str, int]:
-        """Outcome tallies (all four classes, zero-filled)."""
+        """Outcome tallies (all classes, zero-filled)."""
         return {outcome: self.count(outcome) for outcome in OUTCOMES}
 
     def fraction(self, outcome: str) -> float:
@@ -155,8 +252,14 @@ class CampaignResult:
 
     @property
     def covered_fraction(self) -> float:
-        """Masked plus recovered: the faults the system tolerates."""
-        return self.fraction("masked") + self.fraction("recovered")
+        """Masked plus recovered (with or without retries): the faults
+        the system tolerates."""
+        return sum(self.fraction(outcome) for outcome in COVERED_OUTCOMES)
+
+    @property
+    def infra_errors(self) -> int:
+        """Trials that never produced a verdict (crash/timeout)."""
+        return self.count("infra_error")
 
     @property
     def throughput(self) -> float:
@@ -168,8 +271,11 @@ class CampaignResult:
     @property
     def mean_wasted_work(self) -> float:
         """Mean re-executed instructions across recovered trials."""
-        recovered = [t for t in self.trials if t.outcome == "recovered"
-                     and t.recovery_attempts > 0]
+        recovered = [
+            t for t in self.trials
+            if t.outcome in ("recovered", "recovered_after_retry")
+            and t.recovery_attempts > 0
+        ]
         if not recovered:
             return 0.0
         return sum(t.wasted_work for t in recovered) / len(recovered)
@@ -189,6 +295,8 @@ class CampaignResult:
             base["jobs"] = float(self.jobs)
             base["elapsed_s"] = self.elapsed
             base["trials_per_sec"] = self.throughput
+            base["pool_restarts"] = float(self.pool_restarts)
+            base["resumed_trials"] = float(self.resumed_trials)
             for worker, count in sorted(self.worker_trials.items()):
                 base[f"trials[{worker}]"] = float(count)
         return base
@@ -200,19 +308,32 @@ class _FaultInjector:
     ``faults`` is a list of ``(site, bit, latency)`` triples; the paper's
     single-event-upset model uses one, and the multi-fault extension
     study injects several.  Each fault arms its own detection deadline;
-    detection rolls back through the current recovery pointer.
+    when a deadline passes, the rollback decision is delegated to the
+    trial's :class:`RecoverySupervisor`, which also gets a per-step
+    callback for progress tracking, its watchdog, and the recovery-window
+    (double-fault) injections.
     """
 
-    def __init__(self, faults) -> None:
+    def __init__(self, faults, supervisor: RecoverySupervisor) -> None:
         self.pending = sorted(faults, key=lambda f: f[0])
-        self.fault_events: list = []
-        self.deadlines: list = []  # (detect_at, handled?)
-        self.recovery_attempts = 0
-        self.recovery_failed = False
+        self.supervisor = supervisor
+        self.fault_events: List[int] = []
+        #: Faults that actually struck: (site, bit, latency, event index).
+        self.injected: List[Tuple[int, int, Optional[int], int]] = []
+        self.deadlines: List[int] = []
 
     @property
     def fault_event(self) -> Optional[int]:
         return self.fault_events[0] if self.fault_events else None
+
+    @property
+    def detect_latency(self) -> Optional[int]:
+        """The latency of the first fault that actually struck.
+
+        ``None`` when no planned fault was reached (the injection hit
+        dead time) or the detector missed the first one that was.
+        """
+        return self.injected[0][2] if self.injected else None
 
     def __call__(self, interp: Interpreter, event: StepEvent) -> None:
         if self.pending and event.index >= self.pending[0][0]:
@@ -222,19 +343,18 @@ class _FaultInjector:
                 frame = interp.current_frame
                 frame.regs[dest] = bitflip(frame.regs.get(dest, 0), bit)
                 self.fault_events.append(event.index)
+                self.injected.append((site, bit, latency, event.index))
                 if latency is not None:
-                    self.deadlines.append(event.index + latency)
+                    bisect.insort(self.deadlines, event.index + latency)
+                # Detection never fires on the injection step itself —
+                # even a zero-latency detector sees the corruption one
+                # dynamic instruction later.
+                self.supervisor.on_step(interp, event)
                 return
         while self.deadlines and event.index >= self.deadlines[0]:
             self.deadlines.pop(0)
-            self.recovery_attempts += 1
-            if not interp.trigger_recovery():
-                self.recovery_failed = True
-                raise _AbortTrial()
-
-
-class _AbortTrial(Exception):
-    """Detection fired with no live recovery pointer: restart required."""
+            self.supervisor.on_detection(interp, event.index)
+        self.supervisor.on_step(interp, event)
 
 
 def golden_run(
@@ -261,71 +381,132 @@ def run_trial(
     output_objects: Sequence[str] = (),
     max_steps_factor: int = 4,
     externals=None,
+    policy: Optional[SupervisorPolicy] = None,
+    recovery_faults: Sequence[Tuple[int, int, Optional[int]]] = (),
 ) -> TrialResult:
     """Execute one fault-injection trial and classify its outcome.
 
     ``site``/``bit``/``latency`` may be scalars (one fault, the paper's
     model) or equal-length lists for the multi-fault extension.
+    ``policy`` bounds the recovery escalation ladder (default:
+    :class:`SupervisorPolicy`), and ``recovery_faults`` are the
+    double-fault model's recovery-window strikes.
     """
     if isinstance(site, int):
         faults = [(site, bit, latency)]
     else:
         faults = list(zip(site, bit, latency))
-    injector = _FaultInjector(faults)
+    supervisor = RecoverySupervisor(policy, tuple(recovery_faults))
+    injector = _FaultInjector(faults, supervisor)
     max_steps = max(golden.events * max_steps_factor, 10_000)
     interp = Interpreter(
         module, max_steps=max_steps, post_step=injector, externals=externals
     )
     trapped = False
     hang = False
+    escalation: Optional[str] = None
     result: Optional[ExecResult] = None
     try:
         result = interp.run(function, args, output_objects=output_objects)
-    except _AbortTrial:
-        pass
+    except EscalateTrial as esc:
+        escalation = esc.reason
     except Trap:
-        # A symptom the detector sees immediately: try to roll back.
+        # A symptom the detector sees immediately: roll back under
+        # supervision, and keep retrying while the supervisor allows —
+        # a recovery that re-traps is exactly the livelock shape the
+        # attempt bound exists for.
         trapped = True
-        injector.recovery_attempts += 1
-        if interp.trigger_recovery(immediate=True):
-            try:
-                result = interp.resume(output_objects=output_objects)
-            except (Trap, ExecutionLimit, _AbortTrial):
-                result = None
-        else:
-            injector.recovery_failed = True
+        try:
+            while True:
+                if not supervisor.on_trap(interp, interp.events):
+                    break  # no live recovery pointer: restart required
+                try:
+                    result = interp.resume(output_objects=output_objects)
+                    break
+                except Trap:
+                    continue
+                except ExecutionLimit:
+                    hang = True
+                    break
+        except EscalateTrial as esc:
+            escalation = esc.reason
     except ExecutionLimit:
         hang = True
 
     fault_event = injector.fault_event if injector.fault_event is not None else -1
+    retries = max(0, supervisor.max_streak - 1)
+    common = dict(
+        fault_event=fault_event,
+        detect_latency=injector.detect_latency,
+        recovery_attempts=supervisor.attempts,
+        trapped=trapped,
+        hang=hang,
+        retries=retries,
+        double_faults=supervisor.double_faults,
+    )
+    if escalation is not None:
+        outcome = escalation
+        if supervisor.double_faults and escalation != "livelock":
+            outcome = "double_fault_unrecoverable"
+        return TrialResult(outcome=outcome, **common)
     if result is None:
-        return TrialResult(
-            outcome="detected_unrecoverable",
-            fault_event=fault_event,
-            detect_latency=latency,
-            recovery_attempts=injector.recovery_attempts,
-            trapped=trapped,
-            hang=hang,
+        outcome = (
+            "double_fault_unrecoverable"
+            if supervisor.double_faults
+            else "detected_unrecoverable"
         )
+        return TrialResult(outcome=outcome, **common)
     wasted = max(0, result.events - golden.events)
     correct = result.output == golden.output and result.value == golden.value
     if correct:
-        outcome = "recovered" if injector.recovery_attempts else "masked"
+        if supervisor.attempts == 0:
+            outcome = "masked"
+        elif retries:
+            outcome = "recovered_after_retry"
+        else:
+            outcome = "recovered"
     elif not injector.fault_events:
         # The fault site was never reached (shorter dynamic path): the
         # "injection" hit dead time — architecturally masked.
         outcome = "masked" if result.output == golden.output else "sdc"
     else:
         outcome = "sdc"
-    return TrialResult(
-        outcome=outcome,
-        fault_event=fault_event,
-        detect_latency=latency,
-        recovery_attempts=injector.recovery_attempts,
-        trapped=trapped,
-        hang=hang,
-        wasted_work=wasted,
+    return TrialResult(outcome=outcome, wasted_work=wasted, **common)
+
+
+def _alarm_available() -> bool:
+    import signal
+
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
     )
+
+
+def call_with_timeout(fn: Callable[[], TrialResult],
+                      seconds: Optional[float]):
+    """Run ``fn`` under a wall-clock alarm; raise :class:`TrialTimeout`
+    when it overruns.
+
+    The guard uses ``SIGALRM`` so it can interrupt a trial stuck inside
+    the interpreter loop; where alarms are unavailable (non-main thread,
+    platforms without ``SIGALRM``) the call runs unguarded — the
+    deterministic step budget still bounds runaway trials.
+    """
+    if not seconds or seconds <= 0 or not _alarm_available():
+        return fn()
+    import signal
+
+    def _on_alarm(signum, frame):
+        raise TrialTimeout(f"trial exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def run_planned_trial(
@@ -337,28 +518,42 @@ def run_planned_trial(
     output_objects: Sequence[str] = (),
     max_steps_factor: int = 4,
     externals=None,
+    policy: Optional[SupervisorPolicy] = None,
+    trial_timeout: Optional[float] = None,
 ) -> TrialResult:
     """Execute one trial from a pre-derived :class:`FaultPlan`.
 
     Single-fault plans unpack to the scalar :func:`run_trial` form so
     ``TrialResult.detect_latency`` keeps its historical scalar shape.
+    ``trial_timeout`` (seconds) is the campaign engine's wall-clock
+    guard: an overrunning trial yields ``infra_error`` instead of
+    stalling the whole campaign.
     """
     if plan.single:
         site, bit, latency = plan.sites[0], plan.bits[0], plan.latencies[0]
     else:
         site, bit, latency = list(plan.sites), list(plan.bits), list(plan.latencies)
-    return run_trial(
-        module,
-        golden,
-        site,
-        bit,
-        latency,
-        function=function,
-        args=args,
-        output_objects=output_objects,
-        max_steps_factor=max_steps_factor,
-        externals=externals,
-    )
+
+    def _execute() -> TrialResult:
+        return run_trial(
+            module,
+            golden,
+            site,
+            bit,
+            latency,
+            function=function,
+            args=args,
+            output_objects=output_objects,
+            max_steps_factor=max_steps_factor,
+            externals=externals,
+            policy=policy,
+            recovery_faults=plan.recovery_faults,
+        )
+
+    try:
+        return call_with_timeout(_execute, trial_timeout)
+    except TrialTimeout:
+        return infra_error_trial()
 
 
 def run_campaign(
@@ -370,16 +565,24 @@ def run_campaign(
     trials: int = 200,
     seed: int = 0,
     faults_per_trial: int = 1,
+    recovery_faults_per_trial: int = 0,
     externals=None,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    trial_timeout: Optional[float] = None,
+    max_pool_retries: int = 2,
+    completed: Optional[Dict[int, TrialResult]] = None,
+    on_result: Optional[Callable[[int, TrialResult], None]] = None,
 ) -> CampaignResult:
     """A full SFI campaign with uniformly-distributed fault sites.
 
     ``faults_per_trial > 1`` leaves the paper's single-event-upset model
     for the multi-fault extension study: several independent transients
     strike one execution, each with its own detection latency.
+    ``recovery_faults_per_trial > 0`` additionally plans faults that
+    strike *inside* recovery windows (the double-fault model).
 
     Every trial's randomness comes from its own seed-keyed substream
     (:func:`plan_trial`), so ``jobs > 1`` fans trials out across worker
@@ -390,20 +593,42 @@ def run_campaign(
     total)`` whenever completed-trial counts advance.  Workloads whose
     ``externals`` cannot cross a process boundary fall back to the
     serial path silently.
+
+    Resilience: ``trial_timeout`` bounds each trial's wall clock,
+    ``max_pool_retries`` bounds worker-pool rebuilds after a crash
+    (surviving trials then classify ``infra_error``), ``completed``
+    seeds the campaign with journaled results to skip (resume), and
+    ``on_result`` streams each newly-executed ``(index, result)`` pair
+    — the campaign journal's append hook — in completion order.
     """
     detector = detector or DetectionModel()
     start = time.monotonic()
     golden = golden_run(
         module, function, args, output_objects, externals=externals
     )
-    plans = plan_campaign(seed, trials, golden.events, detector, faults_per_trial)
-    if jobs > 1 and trials > 1:
+    plans = plan_campaign(
+        seed, trials, golden.events, detector,
+        faults_per_trial, recovery_faults_per_trial,
+    )
+    completed = dict(completed or {})
+    completed = {
+        index: trial for index, trial in completed.items() if index < trials
+    }
+    todo = [plan for plan in plans if plan.trial_index not in completed]
+    resumed = len(plans) - len(todo)
+    pool_restarts = 0
+
+    def emit(index: int, trial: TrialResult) -> None:
+        if on_result is not None:
+            on_result(index, trial)
+
+    if jobs > 1 and len(todo) > 1:
         from repro.runtime.parallel import ParallelUnavailable, run_parallel_campaign
 
         try:
-            results, worker_trials = run_parallel_campaign(
+            results, worker_trials, pool_restarts = run_parallel_campaign(
                 module,
-                plans,
+                todo,
                 function=function,
                 args=args,
                 output_objects=output_objects,
@@ -411,20 +636,36 @@ def run_campaign(
                 jobs=jobs,
                 chunk_size=chunk_size,
                 progress=progress,
+                policy=policy,
+                trial_timeout=trial_timeout,
+                max_pool_retries=max_pool_retries,
+                on_result=emit,
+                done_offset=resumed,
+                total=trials,
             )
         except ParallelUnavailable:
             pass
         else:
+            by_index = dict(completed)
+            by_index.update(
+                (plan.trial_index, trial)
+                for plan, trial in zip(todo, results)
+            )
             return CampaignResult(
-                results,
+                [by_index[i] for i in range(trials)],
                 elapsed=time.monotonic() - start,
                 jobs=jobs,
                 worker_trials=worker_trials,
+                pool_restarts=pool_restarts,
+                resumed_trials=resumed,
             )
     results = []
-    for index, plan in enumerate(plans):
-        results.append(
-            run_planned_trial(
+    done = 0
+    for plan in plans:
+        if plan.trial_index in completed:
+            results.append(completed[plan.trial_index])
+        else:
+            trial = run_planned_trial(
                 module,
                 golden,
                 plan,
@@ -432,13 +673,18 @@ def run_campaign(
                 args=args,
                 output_objects=output_objects,
                 externals=externals,
+                policy=policy,
+                trial_timeout=trial_timeout,
             )
-        )
+            emit(plan.trial_index, trial)
+            results.append(trial)
+        done += 1
         if progress is not None:
-            progress(index + 1, trials)
+            progress(done, trials)
     return CampaignResult(
         results,
         elapsed=time.monotonic() - start,
         jobs=1,
-        worker_trials={"worker-0": len(results)},
+        worker_trials={"worker-0": len(results) - resumed},
+        resumed_trials=resumed,
     )

@@ -2,7 +2,68 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 from repro.ir import IRBuilder, Module
+
+#: Env vars steering :func:`crash_worker_once` (see
+#: tests/test_campaign_resilience.py).  Module-level so the external
+#: pickles by reference into campaign worker processes.
+CRASH_SENTINEL_ENV = "REPRO_TEST_CRASH_SENTINEL"
+CRASH_SPARE_PID_ENV = "REPRO_TEST_CRASH_SPARE_PID"
+
+
+def crash_worker_once(args):
+    """External that SIGKILLs the first worker process to call it.
+
+    Arms only when ``CRASH_SENTINEL_ENV`` points at a path; the sentinel
+    file makes the crash one-shot (retried pools survive), and the
+    process whose pid is in ``CRASH_SPARE_PID_ENV`` — the campaign
+    parent, which runs the golden run and any serial trials — is never
+    killed.
+    """
+    sentinel = os.environ.get(CRASH_SENTINEL_ENV)
+    if sentinel and str(os.getpid()) != os.environ.get(CRASH_SPARE_PID_ENV):
+        if sentinel == "always":
+            # Every worker dies: the campaign must exhaust its pool
+            # retries and classify the survivors infra_error.
+            os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return args[0] if args else 0
+
+
+def build_external_call_loop(n=6):
+    """Loop calling the ``maybe_crash`` external once per iteration."""
+    module = Module("crashy")
+    out = module.add_global("out", max(n, 1))
+    module.externals.add("maybe_crash")
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    i = b.fresh("i")
+    total = b.fresh("sum")
+    b.block("entry")
+    b.mov(0, i)
+    b.mov(0, total)
+    b.jmp("header")
+    b.block("header")
+    cond = b.cmp("slt", i, n)
+    b.br(cond, "body", "exit")
+    b.block("body")
+    val = b.call("maybe_crash", [i])
+    b.store(out, i, val)
+    b.add(total, val, total)
+    b.add(i, 1, i)
+    b.jmp("header")
+    b.block("exit")
+    b.ret(total)
+    return module, out
 
 
 def build_linear_sum():

@@ -84,3 +84,80 @@ class TestRunAndInject:
         out = capsys.readouterr().out
         assert "TOTAL covered" in out
         assert "recovered" in out
+
+class TestInjectJournal:
+    def _summary_lines(self, text):
+        return [line for line in text.splitlines() if not line.startswith("#")]
+
+    def test_journal_then_resume_matches_uninterrupted(
+        self, loop_ir, tmp_path, capsys, monkeypatch
+    ):
+        journal = tmp_path / "campaign.jsonl"
+        # Uninterrupted 30-trial reference.
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "30", "--dmax", "10", "--seed", "9",
+        ]) == 0
+        reference = self._summary_lines(capsys.readouterr().out)
+        # "Crashed" run: journal only the first 12 trials…
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "12", "--dmax", "10", "--seed", "9",
+            "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        # …then resume to the full 30.
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "30", "--dmax", "10", "--seed", "9",
+            "--resume", str(journal),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert self._summary_lines(captured.out) == reference
+        assert "trials replayed from journal: 12" in captured.out
+        # The resumed tail was appended to the same journal.
+        from repro.runtime import load_journal
+
+        _meta, completed = load_journal(str(journal))
+        assert sorted(completed) == list(range(30))
+
+    def test_resume_rejects_mismatched_campaign(
+        self, loop_ir, tmp_path, capsys
+    ):
+        journal = tmp_path / "campaign.jsonl"
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "10",
+            "--resume", str(journal),
+        ]) == 1
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_journal_auto_path_lands_under_results(
+        self, loop_ir, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "4", "--dmax", "10", "--journal",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# journal:" in out
+        journals = list((tmp_path / "results").glob("sfi_*.jsonl"))
+        assert len(journals) == 1
+
+    def test_supervisor_flags_accepted(self, loop_ir, capsys):
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "10", "--dmax", "10",
+            "--max-attempts", "2", "--step-budget", "500",
+            "--recovery-faults-per-trial", "1", "--trial-timeout", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "livelock" in out
+        assert "double_fault_unrecoverable" in out

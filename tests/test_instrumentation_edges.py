@@ -90,6 +90,95 @@ class TestTrampolineEdges:
             assert entry_label(region).startswith("__encore_entry_")
 
 
+def _region_with_tail_module():
+    """A single-block region followed by code outside it."""
+    module = Module()
+    out = module.add_global("out", 4)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    b.jmp("mid")
+    b.block("mid")
+    v = b.add(2, 3)
+    b.store(out, 0, v)
+    b.jmp("tail")
+    b.block("tail")
+    w = b.load(out, 0)
+    b.store(out, 1, b.add(w, 10))
+    b.ret(w)
+    return module
+
+
+def _instrument_single_region(module, header, blocks):
+    from repro.encore.selection import RegionSelector
+
+    profile = profile_module(module)
+    analyzer = IdempotenceAnalyzer(module, profile=profile, pmin=0.0)
+    builder = RegionBuilder(module, profile)
+    region = builder.make_region("main", frozenset(blocks), header)
+    selector = RegionSelector(module, analyzer, builder, profile)
+    selector.analyze(region)
+    region.selected = True
+    report = instrument_module(module, [region])
+    verify_module(module)
+    return region, report
+
+
+class TestRegionExitClearing:
+    def test_exit_successor_gets_clear_instruction(self):
+        module = _region_with_tail_module()
+        region, report = _instrument_single_region(module, "mid", {"mid"})
+        assert report.clear_sites == 1
+        tail = module.function("main").blocks["tail"]
+        first = tail.instructions[0]
+        assert first.opcode == "clear_recovery_ptr"
+        assert first.region_id == region.id
+
+    def test_pointer_dead_after_region_exit(self):
+        # Execute to completion while snooping the frame's pointer: it
+        # must be live inside the region and cleared in the tail.
+        module = _region_with_tail_module()
+        _region, _report = _instrument_single_region(module, "mid", {"mid"})
+        observed = {}
+
+        def hook(interp, event):
+            if not interp.frames:
+                return  # the final ret already popped the frame
+            observed[(event.block, event.inst_index)] = (
+                interp.current_frame.recovery_ptr
+            )
+
+        result = Interpreter(copy.deepcopy(module), post_step=hook).run(
+            "main", output_objects=["out"]
+        )
+        assert result.value == 5
+        in_region = [v for (blk, _), v in observed.items() if blk == "mid"]
+        assert in_region and all(v is not None for v in in_region)
+        in_tail = [
+            v for (blk, i), v in sorted(observed.items()) if blk == "tail"
+        ]
+        assert in_tail and all(v is None for v in in_tail)
+
+    def test_instrumented_text_round_trips(self):
+        from repro.ir import module_to_text, parse_module
+
+        module = _region_with_tail_module()
+        _instrument_single_region(module, "mid", {"mid"})
+        text = module_to_text(module)
+        assert "clear_recovery_ptr" in text
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert Interpreter(reparsed).run("main").value == 5
+
+    def test_clear_counts_as_instrumentation_cost(self):
+        module = _region_with_tail_module()
+        _instrument_single_region(module, "mid", {"mid"})
+        result = Interpreter(copy.deepcopy(module)).run("main")
+        # set_recovery_ptr + clear_recovery_ptr both bill the
+        # instrumentation budget, not the application.
+        assert result.instrumentation_cost >= 2
+
+
 class TestRepeatedActivations:
     def test_checkpoint_buffer_resets_per_activation(self):
         """Two sequential activations of the same region: a rollback in

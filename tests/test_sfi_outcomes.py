@@ -10,12 +10,14 @@ from repro.ir.values import Constant, VirtualRegister
 from repro.runtime import (
     CampaignResult,
     DetectionModel,
+    EscalateTrial,
+    RecoverySupervisor,
     TrialResult,
     golden_run,
     run_trial,
 )
 from repro.runtime.interpreter import StepEvent
-from repro.runtime.sfi import _FaultInjector
+from repro.runtime.sfi import OUTCOMES, _FaultInjector
 
 
 def build_single_block():
@@ -117,16 +119,17 @@ class TestOutcomeClassification:
         assert trial.fault_event == 1
         assert trial.recovery_attempts == 0
 
-    def test_detected_unrecoverable_without_instrumentation(self):
+    def test_escape_unrecoverable_without_instrumentation(self):
         # The detector fires two events after a mid-loop fault, but the
-        # module publishes no recovery pointer: Encore cannot roll back.
+        # module publishes no recovery pointer: from the supervisor's
+        # view the fault escaped any recoverable region.
         module = build_small_loop()
         golden = golden_run(module, output_objects=["arr"])
         trial = run_trial(
             module, golden, site=golden.events // 2, bit=2, latency=2,
             output_objects=["arr"],
         )
-        assert trial.outcome == "detected_unrecoverable"
+        assert trial.outcome == "escape_unrecoverable"
         assert trial.recovery_attempts == 1
         assert trial.detect_latency == 2
 
@@ -145,13 +148,15 @@ class TestOutcomeClassification:
 
 
 class TestTrapPathRegression:
-    """Pins the trap-handler path after removing the dead
-    ``injector.detected`` assignment: the injector API carries no
-    ``detected`` attribute, and trap outcomes classify the same."""
+    """Pins the trap-handler path: rollback decisions live in the
+    :class:`RecoverySupervisor`, not the injector, and trap outcomes
+    classify through the same escalation ladder."""
 
-    def test_injector_has_no_detected_attribute(self):
-        injector = _FaultInjector([(0, 4, None)])
+    def test_injector_delegates_rollback_to_supervisor(self):
+        injector = _FaultInjector([(0, 4, None)], RecoverySupervisor())
         assert not hasattr(injector, "detected")
+        assert not hasattr(injector, "recovery_attempts")
+        assert injector.supervisor.attempts == 0
 
     def test_trap_without_recovery_pointer_is_unrecoverable(self):
         # Same OOB-index fault as the recoverable case, but with no
@@ -188,15 +193,18 @@ class TestTrapPathRegression:
 
 
 class _StubFrame:
-    def __init__(self):
+    def __init__(self, frame_id=1, recovery_ptr=(0, "recover")):
         self.regs = {}
+        self.id = frame_id
+        self.recovery_ptr = recovery_ptr
 
 
 class _StubInterp:
-    """Just enough Interpreter surface for _FaultInjector."""
+    """Just enough Interpreter surface for _FaultInjector + supervisor."""
 
-    def __init__(self, recoverable=True):
-        self.frame = _StubFrame()
+    def __init__(self, recoverable=True, recovery_ptr=(0, "recover")):
+        self.frame = _StubFrame(recovery_ptr=recovery_ptr)
+        self.frames = [self.frame]
         self.recoverable = recoverable
         self.recovery_calls = 0
 
@@ -217,44 +225,61 @@ def _event(index):
     )
 
 
+def _supervised_injector(faults):
+    supervisor = RecoverySupervisor()
+    return _FaultInjector(faults, supervisor), supervisor
+
+
 class TestMultiFaultInjector:
     def test_independent_deadlines_armed_per_fault(self):
-        injector = _FaultInjector([(2, 0, 5), (6, 1, 3)])
+        injector, supervisor = _supervised_injector([(2, 0, 5), (6, 1, 3)])
         interp = _StubInterp()
         for index in range(2, 7):
             injector(interp, _event(index))
         # Both faults injected, each arming its own absolute deadline.
         assert injector.fault_events == [2, 6]
         assert injector.deadlines == [7, 9]
-        assert injector.recovery_attempts == 0
+        assert supervisor.attempts == 0
 
     def test_each_deadline_fires_one_recovery(self):
-        injector = _FaultInjector([(1, 0, 2), (4, 1, 2)])
+        injector, supervisor = _supervised_injector([(1, 0, 2), (4, 1, 2)])
         interp = _StubInterp()
         for index in range(1, 8):
             injector(interp, _event(index))
-        assert injector.recovery_attempts == 2
+        assert supervisor.attempts == 2
         assert interp.recovery_calls == 2
         assert injector.deadlines == []
-        assert not injector.recovery_failed
+        assert not supervisor.recovery_failed
 
     def test_undetected_fault_arms_no_deadline(self):
-        injector = _FaultInjector([(1, 0, None), (3, 1, 4)])
+        injector, supervisor = _supervised_injector([(1, 0, None), (3, 1, 4)])
         interp = _StubInterp()
         for index in range(1, 9):
             injector(interp, _event(index))
         assert injector.fault_events == [1, 3]
-        assert injector.recovery_attempts == 1  # only the second fault
+        assert supervisor.attempts == 1  # only the second fault
 
-    def test_failed_recovery_aborts_trial(self):
-        from repro.runtime.sfi import _AbortTrial
+    def test_failed_recovery_escalates_as_escape(self):
+        # No live recovery pointer when the deadline fires: the fault
+        # escaped its region and the supervisor ends the trial.
+        injector, supervisor = _supervised_injector([(1, 0, 1)])
+        interp = _StubInterp(recovery_ptr=None)
+        injector(interp, _event(1))
+        with pytest.raises(EscalateTrial) as exc:
+            injector(interp, _event(2))
+        assert exc.value.reason == "escape_unrecoverable"
+        assert supervisor.recovery_failed
 
-        injector = _FaultInjector([(1, 0, 1)])
+    def test_broken_recovery_redirect_escalates(self):
+        # A pointer is live but the interpreter cannot redirect to the
+        # recovery block (stale label): same escape escalation.
+        injector, supervisor = _supervised_injector([(1, 0, 1)])
         interp = _StubInterp(recoverable=False)
         injector(interp, _event(1))
-        with pytest.raises(_AbortTrial):
+        with pytest.raises(EscalateTrial) as exc:
             injector(interp, _event(2))
-        assert injector.recovery_failed
+        assert exc.value.reason == "escape_unrecoverable"
+        assert supervisor.recovery_failed
 
     def test_multifault_trial_counts_each_detection(self):
         # Integration: two short-latency faults in one instrumented
@@ -273,7 +298,10 @@ class TestMultiFaultInjector:
             output_objects=["arr"],
         )
         assert trial.recovery_attempts == 2
-        assert trial.outcome in ("recovered", "masked")
+        # The second strike can land inside the first region's retry
+        # window, which legitimately classifies as a multi-attempt
+        # recovery under the supervisor.
+        assert trial.outcome in ("recovered", "recovered_after_retry", "masked")
 
 
 class TestCampaignResultEdges:
@@ -284,10 +312,7 @@ class TestCampaignResultEdges:
         assert empty.mean_wasted_work == 0.0
         assert empty.throughput == 0.0
         assert sum(empty.summary().values()) == 0.0
-        assert empty.counts() == {
-            "masked": 0, "recovered": 0,
-            "detected_unrecoverable": 0, "sdc": 0,
-        }
+        assert empty.counts() == {outcome: 0 for outcome in OUTCOMES}
 
     def test_mean_wasted_work_ignores_non_recovered(self):
         trials = [
@@ -309,7 +334,7 @@ class TestCampaignResultEdges:
         assert extended["jobs"] == 2.0
         assert extended["trials_per_sec"] == pytest.approx(2.0)
         assert extended["trials[worker-0]"] == 1.0
+        assert extended["pool_restarts"] == 0.0
+        assert extended["resumed_trials"] == 0.0
         # The default summary stays pure outcome fractions.
-        assert set(campaign.summary()) == {
-            "masked", "recovered", "detected_unrecoverable", "sdc",
-        }
+        assert set(campaign.summary()) == set(OUTCOMES)

@@ -85,6 +85,23 @@ class TestSerialParallelEquivalence:
         parallel = _campaign(module, jobs=2, faults_per_trial=faults, trials=15)
         assert serial.trials == parallel.trials
 
+    def test_double_fault_model_equivalence(self):
+        # Recovery-window faults ride the same seed-keyed substreams, so
+        # the supervised double-fault campaign parallelises identically.
+        module = _instrumented_loop()
+        serial = _campaign(module, jobs=1, recovery_faults_per_trial=1)
+        parallel = _campaign(module, jobs=3, recovery_faults_per_trial=1)
+        assert serial.trials == parallel.trials
+
+    def test_supervisor_policy_equivalence(self):
+        from repro.runtime import SupervisorPolicy
+
+        module = _instrumented_loop()
+        policy = SupervisorPolicy(max_attempts=2, attempt_step_budget=200)
+        serial = _campaign(module, jobs=1, policy=policy)
+        parallel = _campaign(module, jobs=2, policy=policy)
+        assert serial.trials == parallel.trials
+
     @pytest.mark.parametrize("chunk_size", [1, 3, 7, 100])
     def test_chunk_size_never_changes_results(self, chunk_size):
         module = _instrumented_loop()
@@ -196,6 +213,28 @@ class TestSeedKeyedPlans:
         assert all(
             latency is None or 0 <= latency <= 12 for latency in plan.latencies
         )
+
+    @given(seed=st.integers(0, 2**16), index=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_recovery_draws_do_not_disturb_primary_plan(self, seed, index):
+        # The double-fault fields draw after the primary fields, so
+        # enabling them never changes a campaign's primary fault plans —
+        # old journals and old results stay comparable.
+        detector = DetectionModel(dmax=12)
+        plain = plan_trial(seed, index, 300, detector, faults_per_trial=2)
+        extended = plan_trial(
+            seed, index, 300, detector, faults_per_trial=2,
+            recovery_faults_per_trial=2,
+        )
+        assert extended.sites == plain.sites
+        assert extended.bits == plain.bits
+        assert extended.latencies == plain.latencies
+        assert plain.recovery_faults == ()
+        assert len(extended.recovery_faults) == 2
+        for offset, bit, latency in extended.recovery_faults:
+            assert 1 <= offset <= 32
+            assert 0 <= bit < 32
+            assert latency is None or 0 <= latency <= 12
 
     def test_neighbouring_streams_are_decorrelated(self):
         # Consecutive trial indices must not produce shifted copies of

@@ -1,0 +1,426 @@
+"""Recovery-supervisor tests: bounded livelock, the escalation ladder,
+the per-attempt watchdog, and the double-fault model — each on a
+hand-built module whose dynamic schedule is small enough to reason
+about every rollback."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module
+from repro.ir.instructions import (
+    ClearRecoveryPtr,
+    Jump,
+    RestoreCheckpoints,
+    SetRecoveryPtr,
+)
+from repro.runtime import (
+    RecoverySupervisor,
+    SupervisorPolicy,
+    golden_run,
+    run_trial,
+)
+
+
+def build_livein_trap_module(filler=0):
+    """A region whose index is computed *before* region entry.
+
+    Dynamic schedule: 0 ``t = add 2, 0``; 1 jmp; 2 set_recovery_ptr;
+    3 load arr[t]; 4 store; then ``filler`` adds; ret.  Corrupting
+    ``t`` (a live-in the hand instrumentation deliberately does not
+    checkpoint) makes the load trap — and rollback re-enters the region
+    with ``t`` still corrupt, so every retry traps again: the canonical
+    recovery livelock.
+    """
+    module = Module("livein")
+    arr = module.add_global("arr", 4)
+    out = module.add_global("out", 1)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    t = b.add(2, 0)
+    b.jmp("region")
+    region = b.block("region")
+    region.instructions.append(SetRecoveryPtr(0, "rec"))
+    u = b.load(arr, t)
+    b.store(out, 0, u)
+    for _ in range(filler):
+        b.add(0, 0)
+    b.ret(u)
+    rec = b.block("rec")
+    rec.instructions.append(RestoreCheckpoints(0))
+    rec.instructions.append(Jump("region"))
+    return module
+
+
+def build_livein_spin_module():
+    """Like :func:`build_livein_trap_module`, but the corruption causes
+    a silent spin instead of a trap: the region loops until ``t == 2``,
+    which a corrupted live-in never satisfies — and rollback cannot fix.
+    """
+    module = Module("spin")
+    out = module.add_global("out", 1)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    t = b.add(2, 0)
+    b.jmp("region")
+    region = b.block("region")
+    region.instructions.append(SetRecoveryPtr(0, "rec"))
+    b.jmp("header")
+    b.block("header")
+    cond = b.cmp("eq", t, 2)
+    b.br(cond, "done", "spin")
+    b.block("spin")
+    b.jmp("header")
+    b.block("done")
+    b.store(out, 0, t)
+    b.ret(t)
+    rec = b.block("rec")
+    rec.instructions.append(RestoreCheckpoints(0))
+    rec.instructions.append(Jump("region"))
+    return module
+
+
+def build_exit_cleared_module(filler=8):
+    """A region followed by a ``clear_recovery_ptr`` exit edge and a
+    tail of ``filler`` dead adds before the result is stored.
+
+    Dynamic schedule: 0 ``t = add 2, 0``; 1 jmp; 2 set_recovery_ptr;
+    3 ``u = load arr[t]``; 4 jmp; 5 clear_recovery_ptr; 6.. filler
+    adds; store; ret.
+    """
+    module = Module("exitclear")
+    arr = module.add_global("arr", 4)
+    out = module.add_global("out", 1)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    t = b.add(2, 0)
+    b.jmp("region")
+    region = b.block("region")
+    region.instructions.append(SetRecoveryPtr(0, "rec"))
+    u = b.load(arr, t)
+    b.jmp("tail")
+    tail = b.block("tail")
+    tail.instructions.append(ClearRecoveryPtr(0))
+    for _ in range(filler):
+        b.add(0, 0)
+    b.store(out, 0, u)
+    b.ret(u)
+    rec = b.block("rec")
+    rec.instructions.append(RestoreCheckpoints(0))
+    rec.instructions.append(Jump("region"))
+    return module
+
+
+class _FlakyIndex:
+    """Stateful external: returns a trapping index for the first
+    ``bad_calls`` invocations, then the golden index."""
+
+    def __init__(self, bad_calls):
+        self.calls = 0
+        self.bad_calls = bad_calls
+
+    def __call__(self, args):
+        self.calls += 1
+        return 18 if self.calls <= self.bad_calls else 2
+
+
+def build_flaky_call_module():
+    """Region whose index comes from the ``flaky`` external."""
+    module = Module("flaky")
+    arr = module.add_global("arr", 4)
+    out = module.add_global("out", 1)
+    module.externals.add("flaky")
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    b.jmp("region")
+    region = b.block("region")
+    region.instructions.append(SetRecoveryPtr(0, "rec"))
+    t = b.call("flaky", [])
+    u = b.load(arr, t)
+    b.store(out, 0, u)
+    b.ret(u)
+    rec = b.block("rec")
+    rec.instructions.append(RestoreCheckpoints(0))
+    rec.instructions.append(Jump("region"))
+    return module
+
+
+class TestPolicyValidation:
+    def test_rejects_non_positive_attempts(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(max_attempts=0)
+
+    def test_rejects_non_positive_step_budget(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(attempt_step_budget=0)
+
+    def test_defaults(self):
+        policy = SupervisorPolicy()
+        assert policy.max_attempts == 3
+        assert policy.attempt_step_budget is None
+
+
+class TestLivelockBound:
+    def test_trap_livelock_terminates_within_k_attempts(self):
+        # The corrupted live-in re-traps on every retry; the supervisor
+        # must stop after exactly max_attempts consecutive rollbacks
+        # plus the escalating one — never the interpreter step limit.
+        module = build_livein_trap_module()
+        golden = golden_run(module, output_objects=["out"])
+        for k in (1, 2, 5):
+            trial = run_trial(
+                module, golden, site=0, bit=4, latency=None,
+                output_objects=["out"],
+                policy=SupervisorPolicy(max_attempts=k),
+            )
+            assert trial.outcome == "livelock"
+            assert trial.recovery_attempts == k + 1
+            assert trial.trapped
+
+    def test_trap_livelock_with_default_policy(self):
+        module = build_livein_trap_module()
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=0, bit=4, latency=None,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "livelock"
+        assert trial.recovery_attempts == SupervisorPolicy().max_attempts + 1
+
+    def test_flaky_region_recovers_after_retry(self):
+        # Two consecutive re-traps, then the external heals: the trial
+        # ends correct, marked as a multi-attempt recovery.
+        module = build_flaky_call_module()
+        golden = golden_run(
+            module, output_objects=["out"], externals={"flaky": _FlakyIndex(0)}
+        )
+        trial = run_trial(
+            module, golden, site=10_000, bit=0, latency=None,
+            output_objects=["out"], externals={"flaky": _FlakyIndex(2)},
+        )
+        assert trial.outcome == "recovered_after_retry"
+        assert trial.recovery_attempts == 2
+        assert trial.retries == 1
+
+    def test_flaky_region_beyond_bound_livelocks(self):
+        module = build_flaky_call_module()
+        golden = golden_run(
+            module, output_objects=["out"], externals={"flaky": _FlakyIndex(0)}
+        )
+        trial = run_trial(
+            module, golden, site=10_000, bit=0, latency=None,
+            output_objects=["out"], externals={"flaky": _FlakyIndex(50)},
+            policy=SupervisorPolicy(max_attempts=3),
+        )
+        assert trial.outcome == "livelock"
+        assert trial.recovery_attempts == 4
+
+
+class TestWatchdog:
+    def test_spin_without_watchdog_hangs_to_step_limit(self):
+        module = build_livein_spin_module()
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=0, bit=4, latency=3,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "detected_unrecoverable"
+        assert trial.hang
+
+    def test_watchdog_rerolls_and_bounds_the_spin(self):
+        # With a per-attempt step budget the silent spin is re-rolled
+        # (charging attempts) until the livelock bound fires — in
+        # deterministic dynamic-instruction units.
+        module = build_livein_spin_module()
+        golden = golden_run(module, output_objects=["out"])
+        policy = SupervisorPolicy(max_attempts=3, attempt_step_budget=40)
+        trial = run_trial(
+            module, golden, site=0, bit=4, latency=3,
+            output_objects=["out"], policy=policy,
+        )
+        assert trial.outcome == "livelock"
+        assert trial.recovery_attempts == 4
+        assert not trial.hang
+
+    def test_watchdog_determinism(self):
+        module = build_livein_spin_module()
+        golden = golden_run(module, output_objects=["out"])
+        policy = SupervisorPolicy(max_attempts=2, attempt_step_budget=25)
+        trials = [
+            run_trial(module, golden, site=0, bit=4, latency=3,
+                      output_objects=["out"], policy=policy)
+            for _ in range(3)
+        ]
+        assert all(t == trials[0] for t in trials)
+
+
+class TestRegionExitClearing:
+    def test_detection_after_region_exit_is_escape(self):
+        # The primary fault corrupts u harmlessly-late: its deadline
+        # fires after the clear_recovery_ptr exit edge, where no
+        # rollback target is live any more.
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        # Fault on the load result (event 3), detected 6 events later —
+        # two events after the exit clear at event 5.
+        trial = run_trial(
+            module, golden, site=3, bit=1, latency=6,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "escape_unrecoverable"
+        assert trial.recovery_attempts == 1
+        assert not trial.trapped
+
+    def test_detection_before_region_exit_recovers(self):
+        # Same fault, but the deadline fires while the pointer is live.
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=3, bit=1, latency=1,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "recovered"
+        assert trial.recovery_attempts == 1
+
+    def test_trap_after_region_exit_is_detected_unrecoverable(self):
+        # A second fault corrupts the store index after the clear: the
+        # trap finds no live pointer — restart territory, reported as
+        # detected_unrecoverable (a symptom fired but nothing was live).
+        module = Module("latetrap")
+        arr = module.add_global("arr", 4)
+        out = module.add_global("out", 1)
+        func = module.add_function("main")
+        b = IRBuilder(func)
+        b.block("entry")
+        t = b.add(2, 0)
+        b.jmp("region")
+        region = b.block("region")
+        region.instructions.append(SetRecoveryPtr(0, "rec"))
+        u = b.load(arr, t)
+        b.jmp("tail")
+        tail = b.block("tail")
+        tail.instructions.append(ClearRecoveryPtr(0))
+        v = b.add(u, 0)          # event 6: second fault target
+        b.store(out, v, 1)       # traps when v is corrupted OOB
+        b.ret(v)
+        rec = b.block("rec")
+        rec.instructions.append(RestoreCheckpoints(0))
+        rec.instructions.append(Jump("region"))
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=[6], bit=[4], latency=[None],
+            output_objects=["out"],
+        )
+        assert trial.outcome == "detected_unrecoverable"
+        assert trial.trapped
+        assert trial.recovery_attempts == 1
+
+
+def build_flaky_exit_cleared_module(filler=8):
+    """Region indexed by the ``flaky`` external, with a cleared exit
+    edge and a dead-add tail (the recovery-window strike target)."""
+    module = Module("flakyclear")
+    arr = module.add_global("arr", 4)
+    out = module.add_global("out", 1)
+    module.externals.add("flaky")
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    b.jmp("region")
+    region = b.block("region")
+    region.instructions.append(SetRecoveryPtr(0, "rec"))
+    t = b.call("flaky", [])
+    u = b.load(arr, t)
+    b.jmp("tail")
+    tail = b.block("tail")
+    tail.instructions.append(ClearRecoveryPtr(0))
+    for _ in range(filler):
+        b.add(0, 0)
+    b.store(out, 0, u)
+    b.ret(u)
+    rec = b.block("rec")
+    rec.instructions.append(RestoreCheckpoints(0))
+    rec.instructions.append(Jump("region"))
+    return module
+
+
+class TestDoubleFaultModel:
+    def test_recovery_window_fault_defeats_recovery(self):
+        # The external traps once, recovery re-executes it cleanly —
+        # but the planned recovery-window fault strikes the re-computed
+        # index, and its deadline fires after the region's exit clear:
+        # nothing is live to roll back to.
+        module = build_flaky_exit_cleared_module(filler=8)
+        golden = golden_run(
+            module, output_objects=["out"], externals={"flaky": _FlakyIndex(0)}
+        )
+        trial = run_trial(
+            module, golden, site=10_000, bit=0, latency=None,
+            output_objects=["out"], externals={"flaky": _FlakyIndex(1)},
+            recovery_faults=[(1, 0, 8)],
+        )
+        assert trial.double_faults == 1
+        assert trial.outcome == "double_fault_unrecoverable"
+        assert trial.recovery_attempts == 2
+
+    def test_recovery_window_fault_detected_in_region_retries(self):
+        # The recovery-window strike is harmless to the output (bit 0
+        # of a zero-initialised load) and its deadline fires while the
+        # pointer is still live: one extra rollback, then success.
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=3, bit=1, latency=1,
+            output_objects=["out"],
+            recovery_faults=[(1, 0, 1)],
+        )
+        assert trial.double_faults == 1
+        assert trial.outcome in ("recovered", "recovered_after_retry")
+        assert trial.recovery_attempts >= 2
+
+    def test_no_recovery_means_no_double_faults(self):
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=10_000, bit=0, latency=None,
+            output_objects=["out"],
+            recovery_faults=[(1, 7, 2)],
+        )
+        assert trial.outcome == "masked"
+        assert trial.double_faults == 0
+
+    def test_supervisor_arms_one_recovery_fault_per_rollback(self):
+        supervisor = RecoverySupervisor(
+            recovery_faults=((2, 3, None), (4, 5, None)),
+        )
+        assert len(supervisor.pending_recovery_faults) == 2
+
+
+class TestDetectLatencyNormalization:
+    def test_multifault_latency_reports_first_struck_fault(self):
+        # Two planned faults with distinct latencies; only the second
+        # site is reachable (the first lands past the end of the run's
+        # dynamic schedule, i.e. dead time).  detect_latency must be
+        # the latency of the fault that actually fired — not a verbatim
+        # copy of the plan's latency list.
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden,
+            site=[3, 10_000], bit=[1, 2], latency=[1, 9],
+            output_objects=["out"],
+        )
+        assert trial.detect_latency == 1
+
+    def test_dead_time_multifault_reports_none(self):
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden,
+            site=[10_000, 20_000], bit=[1, 2], latency=[3, 9],
+            output_objects=["out"],
+        )
+        assert trial.detect_latency is None
+        assert trial.outcome == "masked"
