@@ -1,0 +1,121 @@
+"""Wall-clock benchmark: cold vs cached configuration sweep.
+
+Runs a Figure-5-style Pmin sweep (four configurations, one workload)
+twice: **cold** (a fresh :class:`AnalysisCache` per configuration, so
+every compilation re-profiles and re-derives every verdict) and
+**cached** (one shared cache across the sweep, the way
+``experiments.harness.PipelineCache`` runs it).  Verifies the two
+sweeps produce identical reports, that the cached sweep executed
+profiling exactly once, and reports the speedup; ``--check`` enforces
+the >= 1.5x acceptance bar.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py \
+        [--workload 164.gzip] [--repeat 3] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.encore import EncoreConfig, compile_for_encore  # noqa: E402
+from repro.pipeline import AnalysisCache, PipelineStats  # noqa: E402
+from repro.workloads import build_workload  # noqa: E402
+
+PMIN_SWEEP = (None, 0.0, 0.1, 0.25)
+
+
+def sweep_facts(report):
+    return (
+        tuple(sorted(
+            (r.func, r.header, tuple(sorted(r.blocks)), r.status.name)
+            for r in report.selected_regions
+        )),
+        report.instrumentation.instrumented_regions,
+        round(report.estimated_overhead(), 9),
+    )
+
+
+def run_sweep(workload, shared_cache):
+    """One full sweep; returns (facts per config, stats, seconds)."""
+    cache = AnalysisCache() if shared_cache else None
+    stats = PipelineStats()
+    facts = []
+    start = time.perf_counter()
+    for pmin in PMIN_SWEEP:
+        built = build_workload(workload)
+        report = compile_for_encore(
+            built.module,
+            EncoreConfig(pmin=pmin),
+            clone=False,
+            cache=cache if shared_cache else AnalysisCache(),
+            function=built.entry,
+            args=built.args,
+            externals=built.externals,
+            stats=stats,
+        )
+        facts.append(sweep_facts(report))
+    return facts, stats, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="164.gzip")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions; best-of is reported")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless cached speedup >= 1.5x and "
+                             "profiling ran exactly once")
+    args = parser.parse_args(argv)
+
+    cold_best = cached_best = float("inf")
+    cold_facts = cached_facts = None
+    cached_stats = None
+    for _ in range(max(1, args.repeat)):
+        facts, _, seconds = run_sweep(args.workload, shared_cache=False)
+        cold_facts, cold_best = facts, min(cold_best, seconds)
+        facts, stats, seconds = run_sweep(args.workload, shared_cache=True)
+        cached_facts, cached_stats = facts, stats
+        cached_best = min(cached_best, seconds)
+
+    speedup = cold_best / cached_best if cached_best > 0 else float("inf")
+    profile_runs = cached_stats.executed("profile")
+    identical = cold_facts == cached_facts
+
+    print(f"workload:            {args.workload}")
+    print(f"sweep:               Pmin in {PMIN_SWEEP}")
+    print(f"cold sweep:          {cold_best:.4f}s "
+          f"(fresh cache per configuration)")
+    print(f"cached sweep:        {cached_best:.4f}s (one shared cache)")
+    print(f"speedup:             {speedup:.2f}x")
+    print(f"profile executions:  {profile_runs} "
+          f"({cached_stats.stat('profile').cache_hits} served from cache)")
+    print(f"reports identical:   {identical}")
+    print()
+    print(cached_stats.render_timing())
+
+    if not identical:
+        print("FAIL: cached sweep diverged from cold sweep", file=sys.stderr)
+        return 1
+    if args.check:
+        if profile_runs != 1:
+            print(f"FAIL: profiling executed {profile_runs}x (expected 1)",
+                  file=sys.stderr)
+            return 1
+        if speedup < 1.5:
+            print(f"FAIL: speedup {speedup:.2f}x < 1.5x", file=sys.stderr)
+            return 1
+        print("CHECK PASSED: identical reports, single profile execution, "
+              f"{speedup:.2f}x >= 1.5x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,23 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eta", type=float, default=0.25)
 
 
+def _add_stats_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--time-passes", action="store_true",
+                        help="print per-pass wall-time report to stderr")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-pass counters to stderr")
+
+
+def _print_stats(stats, args) -> None:
+    """Emit the requested observability reports (LLVM style: stderr)."""
+    if stats is None:
+        return
+    if getattr(args, "time_passes", False):
+        print(stats.render_timing(), file=sys.stderr)
+    if getattr(args, "stats", False):
+        print(stats.render_counters(), file=sys.stderr)
+
+
 def _config_from(args) -> EncoreConfig:
     return EncoreConfig(
         pmin=None if args.no_pruning else args.pmin,
@@ -93,6 +110,7 @@ def cmd_analyze(args) -> int:
               f"{len(region.live_in_checkpoints):>5}")
     print(f"\nestimated overhead: {report.estimated_overhead():.2%}")
     print(f"recoverable at Dmax=100: {report.coverage(100).recoverable:.2%}")
+    _print_stats(report.stats, args)
     return 0
 
 
@@ -111,6 +129,7 @@ def cmd_protect(args) -> int:
           f"({inst.checkpoint_mem_sites} memory checkpoint sites, "
           f"{inst.checkpoint_reg_sites} register checkpoints)")
     print(f"estimated overhead: {report.estimated_overhead():.2%}")
+    _print_stats(report.stats, args)
     return 0
 
 
@@ -224,10 +243,14 @@ def cmd_inject(args) -> int:
 
 
 def cmd_compile(args) -> int:
+    from repro.pipeline import PipelineStats
+
     module = compile_source(open(args.source).read())
+    stats = PipelineStats()
     if args.optimize:
-        optimize_module(module)
+        optimize_module(module, stats=stats)
     verify_module(module)
+    _print_stats(stats, args)
     output = args.output or args.source.rsplit(".", 1)[0] + ".ir"
     with open(output, "w") as handle:
         handle.write(module_to_text(module))
@@ -249,12 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("-o", "--output", default=None)
     compile_p.add_argument("--optimize", action="store_true",
                            help="run the optimizer pass mix")
+    _add_stats_flags(compile_p)
     compile_p.set_defaults(handler=cmd_compile)
 
     analyze = sub.add_parser("analyze", help="print the region table")
     analyze.add_argument("module", help="textual IR file")
     analyze.add_argument("--args", nargs="*", default=[], help="main() args")
     _add_config_flags(analyze)
+    _add_stats_flags(analyze)
     analyze.set_defaults(handler=cmd_analyze)
 
     protect = sub.add_parser("protect", help="instrument a module")
@@ -262,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     protect.add_argument("-o", "--output", default=None)
     protect.add_argument("--args", nargs="*", default=[])
     _add_config_flags(protect)
+    _add_stats_flags(protect)
     protect.set_defaults(handler=cmd_protect)
 
     run = sub.add_parser("run", help="execute a module")

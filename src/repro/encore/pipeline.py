@@ -1,12 +1,20 @@
 """The end-to-end Encore compiler pipeline (paper Figure 3).
 
-``EncoreCompiler`` strings together the passes exactly as the paper's
-high-level vision describes: profile the application, partition each
-function's CFG into SEME interval regions, analyze (and re-analyze
+``EncoreCompiler`` drives the staged pass pipeline of
+:mod:`repro.pipeline.encore_passes` through a
+:class:`repro.pipeline.PassManager`: profile the application, partition
+each function's CFG into SEME interval regions, analyze (and re-analyze
 after merging) their idempotence under the configured ``Pmin``, select
 regions under the gamma/eta/budget heuristics, and instrument the
 module with checkpoints and recovery blocks.  The resulting
-:class:`EncoreReport` carries everything the evaluation figures need.
+:class:`EncoreReport` carries everything the evaluation figures need,
+plus per-pass timing and counters (``report.stats``).
+
+Passing an :class:`repro.pipeline.AnalysisCache` shares
+config-independent products — the training profile, the memory-access
+profile, per-region idempotence verdicts for a fixed
+``(pmin, alias_mode)`` — across the per-configuration compilations of a
+sweep (see :class:`repro.experiments.harness.PipelineCache`).
 """
 
 from __future__ import annotations
@@ -15,20 +23,23 @@ import copy
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.alias import AliasAnalysis
 from repro.encore.coverage_model import (
     CoverageBreakdown,
     FullSystemCoverage,
     full_system_coverage,
     region_coverage,
 )
-from repro.encore.idempotence import IdempotenceAnalyzer, RegionStatus
-from repro.encore.instrumentation import InstrumentationReport, instrument_module
-from repro.encore.regions import Region, RegionBuilder
-from repro.encore.selection import RegionSelector, SelectionConfig
+from repro.encore.idempotence import RegionStatus
+from repro.encore.instrumentation import InstrumentationReport
+from repro.encore.regions import Region
+from repro.encore.selection import SelectionConfig
 from repro.ir.module import Module
+from repro.pipeline.manager import AnalysisCache, PassManager, PipelineStats
 from repro.profiling.profile_data import ProfileData
-from repro.profiling.profiler import profile_module
+
+#: Legal values for the string-typed configuration knobs.
+GRANULARITIES = ("interval", "function")
+ALIAS_MODES = ("static", "optimistic", "profiled")
 
 
 @dataclasses.dataclass
@@ -47,6 +58,18 @@ class EncoreConfig:
     #: the whole-function granularity of prior work (Section 2.2's
     #: comparison with Relax), exposed for the baseline ablation.
     granularity: str = "interval"
+
+    def __post_init__(self) -> None:
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {self.granularity!r} "
+                f"(expected one of {', '.join(GRANULARITIES)})"
+            )
+        if self.alias_mode not in ALIAS_MODES:
+            raise ValueError(
+                f"unknown alias_mode {self.alias_mode!r} "
+                f"(expected one of {', '.join(ALIAS_MODES)})"
+            )
 
     def selection(self) -> SelectionConfig:
         return SelectionConfig(
@@ -70,6 +93,8 @@ class EncoreReport:
     selected_regions: List[Region]
     instrumentation: InstrumentationReport
     total_app_instructions: int
+    #: Per-pass wall time and counters for this compilation.
+    stats: Optional[PipelineStats] = dataclasses.field(default=None, repr=False)
 
     # -- region statistics (Figure 5) -----------------------------------
 
@@ -105,13 +130,13 @@ class EncoreReport:
     # -- overheads (Figure 7) ---------------------------------------------------
 
     def estimated_overhead(self) -> float:
-        """Dynamic instrumentation instructions / application instructions."""
-        total = max(self.total_app_instructions, 1)
-        selector = self._selector
-        return sum(
-            selector.estimated_overhead(region, total)
-            for region in self.selected_regions
-        )
+        """Dynamic instrumentation instructions / application instructions.
+
+        Summed from the per-region estimates the selection pass froze
+        onto each winner (``Region.est_overhead``) — the report needs no
+        live selector.
+        """
+        return sum(region.est_overhead for region in self.selected_regions)
 
     # -- coverage (Figure 8) --------------------------------------------------------
 
@@ -123,16 +148,24 @@ class EncoreReport:
     def full_system(self, dmax: float, masking_rate: float) -> FullSystemCoverage:
         return full_system_coverage(self.coverage(dmax), masking_rate)
 
-    # Populated by the compiler; not part of the dataclass signature.
-    _selector: RegionSelector = dataclasses.field(default=None, repr=False)
-
 
 class EncoreCompiler:
-    """Runs the full Encore pipeline over one module."""
+    """Runs the full Encore pipeline over one module.
 
-    def __init__(self, module: Module, config: Optional[EncoreConfig] = None) -> None:
+    ``cache`` (optional) is a shared :class:`AnalysisCache`; sweeps pass
+    one cache across many compilations so portable products are
+    computed once per workload rather than once per configuration.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        config: Optional[EncoreConfig] = None,
+        cache: Optional[AnalysisCache] = None,
+    ) -> None:
         self.module = module
         self.config = config or EncoreConfig()
+        self.cache = cache
 
     def compile(
         self,
@@ -141,96 +174,67 @@ class EncoreCompiler:
         args: Sequence = (),
         instrument: bool = True,
         externals=None,
+        jobs: Optional[int] = None,
+        stats: Optional[PipelineStats] = None,
     ) -> EncoreReport:
-        """Profile (if needed), analyze, select, and instrument in place."""
-        config = self.config
-        if profile is None:
-            profile = profile_module(
-                self.module, function=function, args=args, externals=externals
-            )
-        memory_profile = None
-        if config.alias_mode == "profiled":
-            from repro.profiling.memprofile import collect_memory_profile
+        """Profile (if needed), analyze, select, and instrument in place.
 
-            memory_profile = collect_memory_profile(
-                self.module, function=function, args=args, externals=externals
-            )
-        alias = AliasAnalysis(
-            self.module, mode=config.alias_mode, memory_profile=memory_profile
+        ``jobs`` controls the per-function analysis fan-out (``None``
+        resolves through ``ENCORE_ANALYSIS_JOBS``, defaulting to
+        serial); results are identical for any value.
+        """
+        # Imported lazily: repro.pipeline.encore_passes imports the
+        # sibling encore modules, which re-enter this package's
+        # __init__ if resolved during its own import.
+        from repro.pipeline.encore_passes import encore_passes
+        from repro.pipeline.parallel import analysis_jobs
+
+        manager = PassManager(
+            self.module,
+            config=self.config,
+            passes=encore_passes(),
+            cache=self.cache,
+            stats=stats,
+            function=function,
+            args=args,
+            externals=externals,
+            jobs=analysis_jobs() if jobs is None else max(1, jobs),
         )
-        analyzer = IdempotenceAnalyzer(
-            self.module, alias=alias, profile=profile, pmin=config.pmin
-        )
-        builder = RegionBuilder(self.module, profile)
-        selector = RegionSelector(
-            self.module, analyzer, builder, profile, config.selection()
-        )
+        if profile is not None:
+            manager.seed("profile", profile)
 
-        if config.granularity == "function":
-            base_regions = builder.function_regions()
-        else:
-            base_regions = builder.base_regions()
-        for region in base_regions:
-            selector.analyze(region)
-
-        total_app = self._total_app_instructions(profile)
-
-        if config.granularity == "function":
-            candidates = [
-                builder.make_region(r.func, r.blocks, r.header, r.level)
-                for r in base_regions
-            ]
-        elif config.merge_regions:
-            candidates: List[Region] = []
-            for func_name in self.module.functions:
-                if not self.module.function(func_name).blocks:
-                    continue
-                candidates.extend(selector.merge_candidates(func_name))
-        else:
-            candidates = [
-                builder.make_region(r.func, r.blocks, r.header, r.level)
-                for r in base_regions
-            ]
-        for region in candidates:
-            selector.analyze(region)
-
-        selected = selector.select(candidates, total_app)
+        selection = manager.run("selection")
+        # Snapshot analysis products before instrumentation invalidates
+        # them (the transform dirties every non-preserved analysis).
+        profile = manager.run("profile")
+        base_regions = manager.run("regions")["base"]
+        candidates = manager.run("merge")["candidates"]
+        selected = selection["selected"]
+        total_app = selection["total_app"]
 
         if instrument:
-            report_inst = instrument_module(self.module, selected)
+            report_inst = manager.run("instrument")
         else:
             report_inst = InstrumentationReport()
 
-        report = EncoreReport(
+        return EncoreReport(
             module=self.module,
-            config=config,
+            config=self.config,
             profile=profile,
             base_regions=base_regions,
             candidate_regions=candidates,
             selected_regions=selected,
             instrumentation=report_inst,
             total_app_instructions=total_app,
+            stats=manager.stats,
         )
-        report._selector = selector
-        return report
-
-    def _total_app_instructions(self, profile: ProfileData) -> int:
-        total = 0
-        for (func_name, label), count in profile.block_counts.items():
-            func = self.module.get_function(func_name)
-            if func is None or label not in func.blocks:
-                continue
-            length = sum(
-                1 for inst in func.blocks[label] if not inst.is_instrumentation
-            )
-            total += count * length
-        return total
 
 
 def compile_for_encore(
     module: Module,
     config: Optional[EncoreConfig] = None,
     clone: bool = True,
+    cache: Optional[AnalysisCache] = None,
     **kwargs,
 ) -> EncoreReport:
     """Convenience wrapper: optionally deep-copy, then run the pipeline.
@@ -239,4 +243,4 @@ def compile_for_encore(
     and the instrumented copy is returned inside the report.
     """
     target = copy.deepcopy(module) if clone else module
-    return EncoreCompiler(target, config).compile(**kwargs)
+    return EncoreCompiler(target, config, cache=cache).compile(**kwargs)

@@ -41,6 +41,9 @@ class Region:
     hot_path: List[str] = dataclasses.field(default_factory=list)
     hot_path_length: int = 0
     selected: bool = False
+    #: Frozen by the selection pass for winners: this region's share of
+    #: the estimated dynamic instrumentation overhead.
+    est_overhead: float = 0.0
 
     @property
     def status(self) -> RegionStatus:

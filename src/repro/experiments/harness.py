@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.encore import EncoreConfig, EncoreReport, compile_for_encore
 from repro.ir.module import Module
+from repro.pipeline import AnalysisCache, PipelineStats
 from repro.runtime import (
     CampaignResult,
     DetectionModel,
@@ -26,16 +27,15 @@ from repro.workloads.synth import BuiltWorkload
 
 
 def config_key(config: EncoreConfig) -> tuple:
-    return (
-        config.pmin,
-        config.gamma,
-        config.eta,
-        config.overhead_budget,
-        config.auto_tune,
-        config.alias_mode,
-        config.merge_regions,
-        config.max_region_length,
-        config.granularity,
+    """Hashable identity of a configuration, derived from its fields.
+
+    Enumerating ``dataclasses.fields`` means a new :class:`EncoreConfig`
+    knob can never be silently missing from the key (the old
+    hand-maintained tuple could go stale).
+    """
+    return tuple(
+        getattr(config, field.name)
+        for field in dataclasses.fields(EncoreConfig)
     )
 
 
@@ -47,10 +47,23 @@ class PipelineResult:
 
 
 class PipelineCache:
-    """Memoized (workload, config) -> pipeline report."""
+    """Memoized (workload, config) -> pipeline report.
+
+    Two layers: an identity memo on ``(workload, config_key)`` so
+    repeated requests return the same :class:`PipelineResult`, and a
+    shared :class:`repro.pipeline.AnalysisCache` underneath so even
+    *distinct* configurations of the same workload reuse
+    config-independent products — the training profile is executed once
+    per workload, not once per sweep point, and idempotence verdicts
+    are shared between configurations that agree on ``(pmin,
+    alias_mode)``.  ``stats`` aggregates per-pass timing across every
+    compilation this cache has run.
+    """
 
     def __init__(self) -> None:
         self._cache: Dict[Tuple[str, tuple], PipelineResult] = {}
+        self._analysis = AnalysisCache()
+        self.stats = PipelineStats()
 
     def run(self, spec: WorkloadSpec, config: EncoreConfig) -> PipelineResult:
         key = (spec.name, config_key(config))
@@ -60,9 +73,11 @@ class PipelineCache:
                 built.module,
                 copy.deepcopy(config),
                 clone=False,
+                cache=self._analysis,
                 function=built.entry,
                 args=built.args,
                 externals=built.externals,
+                stats=self.stats,
             )
             self._cache[key] = PipelineResult(spec, built, report)
         return self._cache[key]

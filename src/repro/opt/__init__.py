@@ -33,20 +33,22 @@ def optimize_function(func, max_rounds: int = 10) -> int:
 
 
 def optimize_module(
-    module: Module, max_rounds: int = 10, inline: bool = True
+    module: Module, max_rounds: int = 10, inline: bool = True, stats=None
 ) -> Dict[str, int]:
     """Optimize every function; returns per-function rewrite counts.
 
     With ``inline=True`` small leaf functions are inlined first, then
-    the per-function pass mix cleans up the spliced code.
+    the per-function pass mix cleans up the spliced code.  Runs through
+    the shared pass manager (:mod:`repro.pipeline.optpasses`); pass a
+    :class:`repro.pipeline.PipelineStats` to collect per-pass timing.
     """
-    counts: Dict[str, int] = {}
-    if inline:
-        counts["<inline>"] = inline_functions(module)
-    for name, func in module.functions.items():
-        if func.blocks:
-            counts[name] = optimize_function(func, max_rounds)
-    return counts
+    # Lazy import: repro.pipeline.optpasses imports back into repro.opt
+    # submodules for the rewrites themselves.
+    from repro.pipeline.optpasses import run_opt_pipeline
+
+    return run_opt_pipeline(
+        module, max_rounds=max_rounds, inline=inline, stats=stats
+    )
 
 
 __all__ = [

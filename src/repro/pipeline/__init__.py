@@ -1,0 +1,33 @@
+"""Pass-manager compiler infrastructure.
+
+``manager`` holds the generic machinery (passes, scheduling, the
+cross-compilation :class:`AnalysisCache`, per-pass observability);
+``encore_passes`` the staged Encore pipeline of paper Figure 3;
+``optpasses`` the ``opt/`` clean-up mix under the same manager;
+``portable`` the coordinate-based encodings that let region verdicts
+survive across a sweep's module copies; ``parallel`` the per-function
+analysis fan-out.
+"""
+
+from repro.pipeline.manager import (
+    AnalysisCache,
+    Pass,
+    PassManager,
+    PassStats,
+    PipelineContext,
+    PipelineStats,
+    module_fingerprint,
+)
+from repro.pipeline.parallel import analysis_jobs, map_over_functions
+
+__all__ = [
+    "AnalysisCache",
+    "Pass",
+    "PassManager",
+    "PassStats",
+    "PipelineContext",
+    "PipelineStats",
+    "analysis_jobs",
+    "map_over_functions",
+    "module_fingerprint",
+]

@@ -1,0 +1,333 @@
+"""The Encore compiler pipeline as named passes (paper Figure 3).
+
+Dependency graph (``a -> b`` = *b requires a*)::
+
+    profile ----> regions ----> idempotence --> merge --> selection --> instrument
+    memprofile -> alias ------/
+                 (profiled alias mode only)
+
+Cacheability of each product across a configuration sweep:
+
+============  ========  ===========================  =====================
+pass          portable  config slice                 shared across
+============  ========  ===========================  =====================
+profile       yes       (none)                       every configuration
+memprofile    yes       (none)                       every configuration
+alias         no        alias_mode                   one compilation
+regions       no        granularity                  one compilation
+idempotence   verdicts  pmin, alias_mode             sweep (via verdict
+                                                     store, see
+                                                     :mod:`..portable`)
+merge         no        eta, max_region_length, ...  one compilation
+selection     no        gamma, budget, auto_tune...  one compilation
+instrument    transform (mutates the module)         never
+============  ========  ===========================  =====================
+
+``alias``/``regions``/``merge``/``selection`` hold live IR references
+and are memoized only within a compilation; the heavy work they perform
+(region verdicts) flows through the portable verdict store, which *is*
+shared.  Independent functions' regions are analyzed in parallel
+(:mod:`repro.pipeline.parallel`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.alias import AliasAnalysis
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.encore.instrumentation import instrument_module
+from repro.encore.regions import Region, RegionBuilder
+from repro.pipeline.manager import Pass, PipelineContext
+from repro.pipeline.parallel import map_over_functions
+from repro.pipeline.portable import CachedRegionSelector, RegionAnalysis
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import profile_module
+
+
+def total_app_instructions(module, profile: ProfileData) -> int:
+    """Dynamic application (non-instrumentation) instruction count."""
+    total = 0
+    for (func_name, label), count in profile.block_counts.items():
+        func = module.get_function(func_name)
+        if func is None or label not in func.blocks:
+            continue
+        length = sum(
+            1 for inst in func.blocks[label] if not inst.is_instrumentation
+        )
+        total += count * length
+    return total
+
+
+class ProfilePass(Pass):
+    """Execute the training input and collect block/edge/call counts."""
+
+    name = "profile"
+    portable = True  # ProfileData is keyed by (function, label) names
+
+    def cache_token(self, ctx: PipelineContext) -> tuple:
+        return (ctx.function, tuple(ctx.args))
+
+    def run(self, ctx: PipelineContext) -> ProfileData:
+        profile = profile_module(
+            ctx.module,
+            function=ctx.function,
+            args=ctx.args,
+            externals=ctx.externals,
+        )
+        ctx.bump(self.name, "training_instructions", profile.total_instructions)
+        ctx.bump(self.name, "blocks_counted", len(profile.block_counts))
+        return profile
+
+
+class MemProfilePass(Pass):
+    """Dynamic memory-access profile for the ``profiled`` alias mode."""
+
+    name = "memprofile"
+    portable = True  # sites are (function, block, index) coordinates
+
+    def cache_token(self, ctx: PipelineContext) -> tuple:
+        return (ctx.function, tuple(ctx.args))
+
+    def run(self, ctx: PipelineContext):
+        from repro.profiling.memprofile import collect_memory_profile
+
+        memory_profile = collect_memory_profile(
+            ctx.module,
+            function=ctx.function,
+            args=ctx.args,
+            externals=ctx.externals,
+        )
+        ctx.bump(self.name, "sites_observed", len(memory_profile))
+        return memory_profile
+
+
+class AliasPass(Pass):
+    """Points-to solve + may/must alias oracle for the configured mode."""
+
+    name = "alias"
+    config_keys = ("alias_mode",)
+
+    def run(self, ctx: PipelineContext) -> AliasAnalysis:
+        memory_profile = None
+        if ctx.config.alias_mode == "profiled":
+            memory_profile = ctx.require("memprofile")
+        return AliasAnalysis(
+            ctx.module, mode=ctx.config.alias_mode, memory_profile=memory_profile
+        )
+
+
+class RegionPartitionPass(Pass):
+    """Partition every function into base SEME candidate regions."""
+
+    name = "regions"
+    requires = ("profile",)
+    config_keys = ("granularity",)
+
+    def run(self, ctx: PipelineContext) -> Dict[str, object]:
+        profile = ctx.require("profile")
+        builder = RegionBuilder(ctx.module, profile)
+        if ctx.config.granularity == "function":
+            base = builder.function_regions()
+        else:
+            base = builder.base_regions()
+        ctx.bump(self.name, "base_regions", len(base))
+        ctx.bump(
+            self.name,
+            "functions",
+            sum(1 for f in ctx.module if f.blocks),
+        )
+        return {"builder": builder, "base": base}
+
+
+class IdempotencePass(Pass):
+    """Equations 1–4 over every base region, parallel per function.
+
+    The product is the shared :class:`RegionAnalysis` used by every
+    later pass that needs verdicts; base regions come back analyzed in
+    place.  When the manager carries an :class:`AnalysisCache`, verdicts
+    additionally flow through the portable per-region store for this
+    module fingerprint and ``(pmin, alias_mode)`` slice, so a sweep
+    never re-derives RS/GA/EA for a region shape it has seen.
+    """
+
+    name = "idempotence"
+    requires = ("regions", "alias")
+    config_keys = ("pmin", "alias_mode")
+
+    def run(self, ctx: PipelineContext) -> RegionAnalysis:
+        alias = ctx.require("alias")
+        partition = ctx.require("regions")
+        profile = ctx.require("profile")
+        analyzer = IdempotenceAnalyzer(
+            ctx.module, alias=alias, profile=profile, pmin=ctx.config.pmin
+        )
+        store = None
+        manager = ctx.manager
+        if manager.cache is not None:
+            store = manager.cache.get_or_create(
+                (
+                    manager.fingerprint(),
+                    "idempotence.store",
+                    manager.config_slice(self),
+                ),
+                dict,
+            )
+        analysis = RegionAnalysis(
+            ctx.module,
+            analyzer,
+            store=store,
+            stats=manager.stats,
+            stats_pass=self.name,
+        )
+
+        base: List[Region] = partition["base"]
+        by_func: Dict[str, List[Region]] = {}
+        for region in base:
+            by_func.setdefault(region.func, []).append(region)
+
+        if ctx.jobs > 1:
+            # Call summaries recurse through the call graph behind a
+            # shared in-progress guard; warm them serially so worker
+            # threads only ever read completed summaries.
+            for func in ctx.module:
+                if func.blocks:
+                    analyzer.summaries.function_summary(func.name)
+
+        def worker(func_name: str, regions) -> None:
+            for region in regions:
+                analysis.analyze(region)
+
+        map_over_functions(by_func, worker, ctx.jobs)
+        manager.stats.set_counter(self.name, "analysis_jobs", ctx.jobs)
+        return analysis
+
+
+class MergePass(Pass):
+    """Equation 5: fuse adjacent regions while dCoverage/dCost > η."""
+
+    name = "merge"
+    requires = ("idempotence",)
+    config_keys = (
+        "pmin",
+        "alias_mode",
+        "granularity",
+        "merge_regions",
+        "eta",
+        "max_region_length",
+        "gamma",
+        "overhead_budget",
+        "auto_tune",
+    )
+
+    def run(self, ctx: PipelineContext) -> Dict[str, object]:
+        partition = ctx.require("regions")
+        analysis: RegionAnalysis = ctx.require("idempotence")
+        profile = ctx.require("profile")
+        builder: RegionBuilder = partition["builder"]
+        base: List[Region] = partition["base"]
+        selector = CachedRegionSelector(
+            ctx.module,
+            analysis.analyzer,
+            builder,
+            profile,
+            ctx.config.selection(),
+            region_analysis=analysis,
+        )
+
+        if ctx.config.granularity == "function":
+            candidates = [
+                builder.make_region(r.func, r.blocks, r.header, r.level)
+                for r in base
+            ]
+        elif ctx.config.merge_regions:
+            candidates = []
+            for func_name in ctx.module.functions:
+                if not ctx.module.function(func_name).blocks:
+                    continue
+                candidates.extend(selector.merge_candidates(func_name))
+        else:
+            candidates = [
+                builder.make_region(r.func, r.blocks, r.header, r.level)
+                for r in base
+            ]
+        for region in candidates:
+            selector.analyze(region)
+        ctx.bump(self.name, "candidate_regions", len(candidates))
+        ctx.bump(
+            self.name, "regions_fused", max(0, len(base) - len(candidates))
+        )
+        return {"selector": selector, "candidates": candidates}
+
+
+class SelectionPass(Pass):
+    """γ threshold + overhead-budget auto-tuning over the candidates."""
+
+    name = "selection"
+    requires = ("merge",)
+    config_keys = (
+        "pmin",
+        "alias_mode",
+        "granularity",
+        "merge_regions",
+        "eta",
+        "max_region_length",
+        "gamma",
+        "overhead_budget",
+        "auto_tune",
+    )
+
+    def run(self, ctx: PipelineContext) -> Dict[str, object]:
+        merged = ctx.require("merge")
+        profile = ctx.require("profile")
+        selector: CachedRegionSelector = merged["selector"]
+        candidates: List[Region] = merged["candidates"]
+        total_app = total_app_instructions(ctx.module, profile)
+        selected = selector.select(candidates, total_app)
+        # Freeze each winner's overhead estimate onto the region so the
+        # report can answer overhead queries without a live selector.
+        for region in selected:
+            region.est_overhead = selector.estimated_overhead(region, total_app)
+        ctx.bump(self.name, "regions_selected", len(selected))
+        ctx.bump(
+            self.name,
+            "stores_checkpointed",
+            sum(len(s.refs) for r in selected for s in r.checkpoint_sites),
+        )
+        ctx.bump(
+            self.name,
+            "register_checkpoints",
+            sum(len(r.live_in_checkpoints) for r in selected),
+        )
+        return {"selected": selected, "total_app": total_app}
+
+
+class InstrumentationPass(Pass):
+    """Insert recovery blocks, entry trampolines, and checkpoints."""
+
+    name = "instrument"
+    requires = ("selection",)
+    is_transform = True
+
+    def run(self, ctx: PipelineContext):
+        selection = ctx.require("selection")
+        report = instrument_module(ctx.module, selection["selected"])
+        ctx.bump(self.name, "regions_instrumented", report.instrumented_regions)
+        ctx.bump(self.name, "checkpoint_mem_sites", report.checkpoint_mem_sites)
+        ctx.bump(self.name, "checkpoint_reg_sites", report.checkpoint_reg_sites)
+        ctx.bump(self.name, "clear_sites", report.clear_sites)
+        return report
+
+
+def encore_passes() -> List[Pass]:
+    """A fresh pass set for one :class:`~repro.pipeline.manager.PassManager`."""
+    return [
+        ProfilePass(),
+        MemProfilePass(),
+        AliasPass(),
+        RegionPartitionPass(),
+        IdempotencePass(),
+        MergePass(),
+        SelectionPass(),
+        InstrumentationPass(),
+    ]

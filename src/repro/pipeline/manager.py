@@ -1,0 +1,401 @@
+"""The pass-manager core: passes, scheduling, caching, observability.
+
+The Encore compiler (and the ``opt/`` clean-up mix) is structured as a
+set of named *passes* run by a :class:`PassManager`, LLVM-style:
+
+* **analysis passes** compute a product (profile, alias facts, region
+  partition, idempotence verdicts ...) that later passes consume.  Each
+  declares ``requires`` (passes that must run first) and
+  ``config_keys`` — the slice of the pipeline configuration its product
+  actually depends on.  Products are memoized per compilation and, when
+  the pass marks itself ``portable``, shared *across* compilations
+  through an :class:`AnalysisCache` keyed by
+  ``(module fingerprint, pass name, config slice, context token)``;
+* **transform passes** mutate the module.  Running one invalidates every
+  in-flight analysis product it does not explicitly ``preserve`` and
+  dirties the module fingerprint, so stale products can never leak into
+  a later compilation.
+
+Every pass execution records wall time and named counters into a
+:class:`PipelineStats`, surfaced on :class:`repro.encore.EncoreReport`
+and via the ``--time-passes`` / ``--stats`` CLI flags.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.module import Module
+
+#: Sentinel distinguishing "cached None" from "absent".
+_MISSING = object()
+
+
+def module_fingerprint(module: Module) -> str:
+    """Content hash of a module: equal text IR ⇒ equal fingerprint.
+
+    Deterministic workload builders produce byte-identical textual IR on
+    every build, so portable analysis products computed against one
+    build instance are safely reusable against any other.
+    """
+    from repro.ir.printer import module_to_text
+
+    return hashlib.sha256(module_to_text(module).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class PassStats:
+    """Wall time and counters accumulated by one pass."""
+
+    name: str
+    seconds: float = 0.0
+    runs: int = 0
+    #: How many of ``runs`` were satisfied from the AnalysisCache.
+    cache_hits: int = 0
+    counters: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def executed(self) -> int:
+        """Runs that actually computed (not served from cache)."""
+        return self.runs - self.cache_hits
+
+
+class PipelineStats:
+    """Per-pass timing and counters for one (or several) compilations."""
+
+    def __init__(self) -> None:
+        self._passes: Dict[str, PassStats] = {}
+        self._order: List[str] = []
+
+    def stat(self, name: str) -> PassStats:
+        if name not in self._passes:
+            self._passes[name] = PassStats(name)
+            self._order.append(name)
+        return self._passes[name]
+
+    def bump(self, pass_name: str, counter: str, value: float = 1) -> None:
+        counters = self.stat(pass_name).counters
+        counters[counter] = counters.get(counter, 0) + value
+
+    def set_counter(self, pass_name: str, counter: str, value: float) -> None:
+        self.stat(pass_name).counters[counter] = value
+
+    def counter(self, pass_name: str, counter: str, default: float = 0) -> float:
+        return self.stat(pass_name).counters.get(counter, default)
+
+    def executed(self, pass_name: str) -> int:
+        return self.stat(pass_name).executed
+
+    @property
+    def passes(self) -> List[PassStats]:
+        return [self._passes[name] for name in self._order]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.passes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(stat.cache_hits for stat in self.passes)
+
+    def merge(self, other: "PipelineStats") -> None:
+        for stat in other.passes:
+            mine = self.stat(stat.name)
+            mine.seconds += stat.seconds
+            mine.runs += stat.runs
+            mine.cache_hits += stat.cache_hits
+            for counter, value in stat.counters.items():
+                mine.counters[counter] = mine.counters.get(counter, 0) + value
+
+    # -- rendering (the --time-passes / --stats output format) ----------
+
+    def render_timing(self) -> str:
+        """LLVM-style pass execution timing report."""
+        total = self.total_seconds
+        lines = [
+            "===" + "-" * 60 + "===",
+            "   ... Pass execution timing report ...",
+            "===" + "-" * 60 + "===",
+            f"  Total Execution Time: {total:.4f} seconds",
+            "",
+            f"  {'---Wall Time---':>17}  {'---Runs---':>12}  --Pass Name--",
+        ]
+        for stat in sorted(self.passes, key=lambda s: -s.seconds):
+            if stat.runs == 0:  # counter-only entries (e.g. "opt")
+                continue
+            share = (stat.seconds / total * 100.0) if total > 0 else 0.0
+            runs = f"{stat.runs}"
+            if stat.cache_hits:
+                runs += f" ({stat.cache_hits} cached)"
+            lines.append(
+                f"  {stat.seconds:9.4f}s ({share:5.1f}%)  {runs:>12}  {stat.name}"
+            )
+        return "\n".join(lines)
+
+    def render_counters(self) -> str:
+        """Per-pass statistics, LLVM ``-stats`` style."""
+        lines = [
+            "===" + "-" * 60 + "===",
+            "   ... Pass statistics ...",
+            "===" + "-" * 60 + "===",
+        ]
+        for stat in self.passes:
+            for counter in sorted(stat.counters):
+                value = stat.counters[counter]
+                text = f"{value:g}"
+                lines.append(f"  {text:>10}  {stat.name}.{counter}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Cross-compilation analysis cache
+# ---------------------------------------------------------------------------
+
+
+class AnalysisCache:
+    """Cross-compilation store of *portable* analysis products.
+
+    Entries are keyed ``(module fingerprint, pass name, config slice,
+    context token)``.  Only coordinate-based products (no references to
+    live IR objects) may be stored: a profile keyed by block labels, an
+    idempotence verdict keyed by (block label, instruction index), and
+    so on.  Because the fingerprint is a content hash, a transform pass
+    mutating a module automatically orphans (never corrupts) entries
+    computed against the pristine text — explicit invalidation exists to
+    reclaim the memory.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> Any:
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return _MISSING
+        self.hits += 1
+        return value
+
+    def store(self, key: tuple, value: Any) -> Any:
+        self._entries[key] = value
+        return value
+
+    def get_or_create(self, key: tuple, factory: Callable[[], Any]) -> Any:
+        """Fetch a mutable accumulator (e.g. a per-region verdict table),
+        creating it on first use.  Does not count as a hit or miss —
+        the accumulator's own consumers do their own accounting."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            value = self._entries[key] = factory()
+        return value
+
+    def invalidate(self, fingerprint: Optional[str] = None) -> int:
+        """Drop entries for one fingerprint (or everything)."""
+        if fingerprint is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        stale = [k for k in self._entries if k and k[0] == fingerprint]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+
+class Pass:
+    """Base class for analysis and transform passes."""
+
+    #: Unique pass name (also the stats/report key).
+    name: str = "?"
+    #: Pass names that must have produced results before this one runs.
+    requires: Tuple[str, ...] = ()
+    #: Configuration attribute names this pass's product depends on.
+    #: Two configurations agreeing on this slice share cache entries.
+    config_keys: Tuple[str, ...] = ()
+    #: True when the product holds no live IR references and may be
+    #: shared across module instances with equal fingerprints.
+    portable: bool = False
+    #: Transform passes mutate the module instead of computing a product.
+    is_transform: bool = False
+    #: Analysis pass names a transform leaves valid.
+    preserves: Tuple[str, ...] = ()
+
+    def cache_token(self, ctx: "PipelineContext") -> tuple:
+        """Extra context the cache key must include (e.g. entry + args)."""
+        return ()
+
+    def run(self, ctx: "PipelineContext") -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "transform" if self.is_transform else "analysis"
+        return f"<{kind} pass {self.name}>"
+
+
+@dataclasses.dataclass
+class PipelineContext:
+    """Everything a pass may read while running."""
+
+    module: Module
+    config: Any
+    manager: "PassManager"
+    function: str = "main"
+    args: Sequence = ()
+    externals: Any = None
+    jobs: int = 1
+    results: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def require(self, name: str) -> Any:
+        """Fetch another pass's product, running it if necessary."""
+        return self.manager.run(name)
+
+    def bump(self, pass_name: str, counter: str, value: float = 1) -> None:
+        self.manager.stats.bump(pass_name, counter, value)
+
+
+class PassManager:
+    """Schedules passes over one module, with caching and accounting."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: Any = None,
+        passes: Sequence[Pass] = (),
+        cache: Optional[AnalysisCache] = None,
+        stats: Optional[PipelineStats] = None,
+        function: str = "main",
+        args: Sequence = (),
+        externals: Any = None,
+        jobs: int = 1,
+    ) -> None:
+        self.passes: Dict[str, Pass] = {}
+        for pass_ in passes:
+            self.register(pass_)
+        self.cache = cache
+        self.stats = stats if stats is not None else PipelineStats()
+        self.ctx = PipelineContext(
+            module=module,
+            config=config,
+            manager=self,
+            function=function,
+            args=tuple(args),
+            externals=externals,
+            jobs=max(1, jobs),
+        )
+        self._fingerprint: Optional[str] = None
+        self._running: List[str] = []
+
+    # -- registration and bookkeeping ------------------------------------
+
+    def register(self, pass_: Pass) -> None:
+        if pass_.name in self.passes:
+            raise ValueError(f"duplicate pass {pass_.name!r}")
+        self.passes[pass_.name] = pass_
+
+    def seed(self, name: str, value: Any) -> None:
+        """Install an externally-provided product (e.g. a saved profile)."""
+        self.ctx.results[name] = value
+        self.stats.bump(name, "seeded")
+
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = module_fingerprint(self.ctx.module)
+        return self._fingerprint
+
+    def config_slice(self, pass_: Pass) -> tuple:
+        config = self.ctx.config
+        return tuple(
+            (key, getattr(config, key)) for key in pass_.config_keys
+        )
+
+    def cache_key(self, pass_: Pass) -> tuple:
+        return (
+            self.fingerprint(),
+            pass_.name,
+            self.config_slice(pass_),
+            pass_.cache_token(self.ctx),
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, name: str) -> Any:
+        """Run pass ``name`` (and, first, anything it requires).
+
+        Analysis products are memoized for the compilation; portable
+        products additionally go through the shared
+        :class:`AnalysisCache`.  Transform passes always execute and
+        invalidate whatever they do not preserve.
+        """
+        if name not in self.passes:
+            raise KeyError(f"unknown pass {name!r}")
+        pass_ = self.passes[name]
+        if not pass_.is_transform and name in self.ctx.results:
+            return self.ctx.results[name]
+        if name in self._running:
+            chain = " -> ".join(self._running + [name])
+            raise RuntimeError(f"pass dependency cycle: {chain}")
+
+        self._running.append(name)
+        try:
+            for dep in pass_.requires:
+                self.run(dep)
+
+            stat = self.stats.stat(name)
+            start = time.perf_counter()
+            try:
+                cached = _MISSING
+                key = None
+                if (
+                    pass_.portable
+                    and not pass_.is_transform
+                    and self.cache is not None
+                ):
+                    key = self.cache_key(pass_)
+                    cached = self.cache.lookup(key)
+                if cached is not _MISSING:
+                    result = cached
+                    stat.cache_hits += 1
+                else:
+                    result = pass_.run(self.ctx)
+                    if key is not None:
+                        self.cache.store(key, result)
+            finally:
+                stat.seconds += time.perf_counter() - start
+                stat.runs += 1
+
+            self.ctx.results[name] = result
+            if pass_.is_transform:
+                self._invalidate_after(pass_)
+            return result
+        finally:
+            self._running.pop()
+
+    def _invalidate_after(self, transform: Pass) -> None:
+        """A transform ran: drop non-preserved products, dirty the hash."""
+        preserved = set(transform.preserves) | {transform.name}
+        for name in list(self.ctx.results):
+            registered = self.passes.get(name)
+            if registered is None or registered.is_transform:
+                continue  # transform results and scratch entries persist
+            if name in preserved:
+                continue
+            del self.ctx.results[name]
+            self.stats.bump(transform.name, "invalidated_products")
+        self._fingerprint = None

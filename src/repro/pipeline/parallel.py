@@ -1,0 +1,63 @@
+"""Parallel per-function analysis fan-out.
+
+Mirrors the executor pattern of :mod:`repro.runtime.parallel` — work is
+chunked per independent unit (here: one function, there: one trial
+chunk), fanned across an executor, and merged deterministically — but
+uses *threads* rather than processes: analysis products carry live IR
+object references (``id(inst)``-keyed checkpoint sites, region objects)
+that must stay identity-stable with the module being compiled, and a
+process boundary would sever them.  The analyses are pure functions of
+the module, so concurrent duplicated work in shared memo dictionaries
+is benign: every thread computes the same value, and results attach to
+disjoint per-function region objects.
+
+``ENCORE_ANALYSIS_JOBS`` plays the same fleet-wide role as
+``ENCORE_SFI_JOBS`` does for campaigns: ``0``/``all`` means every core,
+unset falls back to the caller's default (serial).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def analysis_jobs(default: Optional[int] = None) -> int:
+    """Worker-thread count for per-function analysis."""
+    env = os.environ.get("ENCORE_ANALYSIS_JOBS", "").strip()
+    if env:
+        if env.lower() in ("0", "all"):
+            return os.cpu_count() or 1
+        return max(1, int(env))
+    if default is not None:
+        return max(1, default)
+    return 1
+
+
+def map_over_functions(
+    items_by_func: Dict[str, Sequence[T]],
+    worker: Callable[[str, Sequence[T]], None],
+    jobs: int = 1,
+) -> List[str]:
+    """Apply ``worker(func_name, items)`` to every function's work list.
+
+    With ``jobs > 1`` functions are processed concurrently; results are
+    identical to the serial path because workers only mutate their own
+    function's items.  Returns the function names processed, in
+    deterministic (input) order.
+    """
+    names = list(items_by_func)
+    if jobs <= 1 or len(names) <= 1:
+        for name in names:
+            worker(name, items_by_func[name])
+        return names
+    with ThreadPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = [
+            pool.submit(worker, name, items_by_func[name]) for name in names
+        ]
+        for future in futures:
+            future.result()  # re-raise worker exceptions deterministically
+    return names

@@ -1,0 +1,221 @@
+"""Portable (coordinate-based) region analysis products.
+
+Idempotence verdicts reference live IR objects — checkpoint sites point
+at ``Instruction`` instances, register checkpoints at
+``VirtualRegister`` values — so the raw :class:`IdempotenceResult`
+cannot cross module instances.  This module encodes a verdict into pure
+coordinates (block label, instruction index, global name, word offset)
+and re-materializes it against any module with the same fingerprint,
+which is what lets a Pmin/γ/η sweep share the expensive per-region
+analysis across its per-configuration module copies.
+
+A verdict depends only on the region's block set and the
+``(pmin, alias_mode)`` slice of the configuration, so the store for one
+slice is shared by every pass that analyzes regions (base partition,
+merge candidates, selection re-analysis) and by every compilation in a
+sweep that agrees on the slice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.liveness import LivenessAnalysis
+from repro.encore.idempotence import (
+    CheckpointSite,
+    IdempotenceAnalyzer,
+    IdempotenceResult,
+    RegionStatus,
+)
+from repro.encore.regions import Region
+from repro.encore.selection import RegionSelector
+from repro.ir.module import Module
+from repro.ir.types import Type
+from repro.ir.values import Constant, MemRef, VirtualRegister
+
+RegionKey = Tuple[str, str, Tuple[str, ...]]  # (func, header, sorted blocks)
+
+#: Site kinds in the portable encoding.
+_OWN_REF = "own-ref"  # a store: checkpoint its own address operand
+_NAMED_REFS = "named-refs"  # a call: checkpoint concrete (global, index) words
+_OPAQUE = "opaque"  # non-checkpointable offender
+
+
+def region_key(region: Region) -> RegionKey:
+    return (region.func, region.header, tuple(sorted(region.blocks)))
+
+
+def _instruction_coords(module: Module, func_name: str) -> Dict[int, Tuple[str, int]]:
+    coords: Dict[int, Tuple[str, int]] = {}
+    func = module.function(func_name)
+    for block in func:
+        for index, inst in enumerate(block.instructions):
+            coords[id(inst)] = (block.label, index)
+    return coords
+
+
+def encode_result(
+    module: Module,
+    func_name: str,
+    result: IdempotenceResult,
+    live_ins: List[VirtualRegister],
+    coords: Optional[Dict[int, Tuple[str, int]]] = None,
+) -> dict:
+    """Strip a verdict down to coordinates (raises KeyError for
+    instructions not present in ``module`` — callers encode against the
+    same module instance the analysis ran on)."""
+    if coords is None:
+        coords = _instruction_coords(module, func_name)
+    sites = []
+    for site in result.checkpoint_sites:
+        label, index = coords[id(site.inst)]
+        if not site.checkpointable:
+            sites.append((label, index, _OPAQUE, ()))
+        elif site.inst.opcode == "store":
+            sites.append((label, index, _OWN_REF, ()))
+        else:
+            refs = tuple((ref.base.name, ref.index.value) for ref in site.refs)
+            sites.append((label, index, _NAMED_REFS, refs))
+    return {
+        "status": result.status.value,
+        "checkpointable": result.checkpointable,
+        "sites": tuple(sites),
+        "live_ins": tuple((reg.name, reg.type.value) for reg in live_ins),
+    }
+
+
+def materialize_result(
+    module: Module, func_name: str, record: dict
+) -> Tuple[IdempotenceResult, List[VirtualRegister]]:
+    """Rebuild a verdict against ``module``'s own IR objects.
+
+    The per-node RS/GA/EA tables are not part of the portable encoding
+    (nothing downstream of the analyzer consumes them); a materialized
+    result carries empty tables.
+    """
+    func = module.function(func_name)
+    sites: List[CheckpointSite] = []
+    for label, index, kind, refs in record["sites"]:
+        inst = func.blocks[label].instructions[index]
+        if kind == _OWN_REF:
+            sites.append(CheckpointSite(inst, [inst.ref], True))
+        elif kind == _NAMED_REFS:
+            mem_refs = [
+                MemRef(module.globals[name], Constant(offset))
+                for name, offset in refs
+            ]
+            sites.append(CheckpointSite(inst, mem_refs, True))
+        else:
+            sites.append(CheckpointSite(inst, [], False))
+    result = IdempotenceResult(
+        RegionStatus(record["status"]),
+        sites,
+        record["checkpointable"],
+        {},
+        {},
+        {},
+    )
+    live_ins = [
+        VirtualRegister(name, Type(type_value))
+        for name, type_value in record["live_ins"]
+    ]
+    return result, live_ins
+
+
+class RegionAnalysis:
+    """Cache-aware region analysis: verdicts + live-in checkpoints.
+
+    Three tiers, consulted in order:
+
+    1. the region object itself (``region.idem`` already filled);
+    2. an in-compilation memo keyed by :func:`region_key` — identical
+       region shapes (a base region re-materialized as a candidate, a
+       re-analyzed merge product) share one live result object;
+    3. the optional cross-compilation *portable store* (a dict obtained
+       from :class:`repro.pipeline.manager.AnalysisCache` for this
+       module fingerprint and ``(pmin, alias_mode)`` slice), hit counts
+       reported through ``stats``.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        analyzer: IdempotenceAnalyzer,
+        store: Optional[dict] = None,
+        stats=None,
+        stats_pass: str = "idempotence",
+    ) -> None:
+        self.module = module
+        self.analyzer = analyzer
+        self.store = store
+        self.stats = stats
+        self.stats_pass = stats_pass
+        self._liveness: Dict[str, LivenessAnalysis] = {}
+        self._local: Dict[RegionKey, Tuple[IdempotenceResult, List[VirtualRegister]]] = {}
+        self._coords: Dict[str, Dict[int, Tuple[str, int]]] = {}
+
+    def _bump(self, counter: str) -> None:
+        if self.stats is not None:
+            self.stats.bump(self.stats_pass, counter)
+
+    def liveness(self, func_name: str) -> LivenessAnalysis:
+        if func_name not in self._liveness:
+            func = self.module.function(func_name)
+            self._liveness[func_name] = LivenessAnalysis(
+                func, self.analyzer.cfg(func_name)
+            )
+        return self._liveness[func_name]
+
+    def coords(self, func_name: str) -> Dict[int, Tuple[str, int]]:
+        if func_name not in self._coords:
+            self._coords[func_name] = _instruction_coords(self.module, func_name)
+        return self._coords[func_name]
+
+    def analyze(self, region: Region) -> Region:
+        if region.idem is not None:
+            return region
+        key = region_key(region)
+        memo = self._local.get(key)
+        if memo is not None:
+            region.idem, live_ins = memo
+            region.live_in_checkpoints = list(live_ins)
+            self._bump("memo_hits")
+            return region
+        if self.store is not None and key in self.store:
+            result, live_ins = materialize_result(
+                self.module, region.func, self.store[key]
+            )
+            self._bump("cache_hits")
+        else:
+            result = self.analyzer.analyze_region(
+                region.func, region.blocks, region.header
+            )
+            live_ins = self.liveness(region.func).region_live_in_overwritten(
+                region.blocks, region.header
+            )
+            self._bump("regions_analyzed")
+            if self.store is not None:
+                self.store[key] = encode_result(
+                    self.module,
+                    region.func,
+                    result,
+                    live_ins,
+                    self.coords(region.func),
+                )
+        self._local[key] = (result, live_ins)
+        region.idem = result
+        region.live_in_checkpoints = list(live_ins)
+        return region
+
+
+class CachedRegionSelector(RegionSelector):
+    """A :class:`RegionSelector` whose ``analyze`` routes through a
+    shared :class:`RegionAnalysis`, so merging and selection reuse
+    verdicts across passes and across a sweep's compilations."""
+
+    def __init__(self, *args, region_analysis: RegionAnalysis, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.region_analysis = region_analysis
+
+    def analyze(self, region: Region) -> Region:
+        return self.region_analysis.analyze(region)

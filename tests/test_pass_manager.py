@@ -1,0 +1,275 @@
+"""Tests for the pass-manager core: scheduling, caching, observability."""
+
+import dataclasses
+
+import pytest
+
+from repro.encore import EncoreConfig
+from repro.experiments.harness import config_key
+from repro.pipeline import (
+    AnalysisCache,
+    Pass,
+    PassManager,
+    PipelineStats,
+    module_fingerprint,
+)
+from helpers import build_counted_loop
+
+
+@dataclasses.dataclass
+class ToyConfig:
+    pmin: float = 0.0
+    gamma: float = 1.0
+
+
+class RecordingPass(Pass):
+    """Analysis pass that logs its executions into a shared trace."""
+
+    def __init__(self, name, trace, requires=(), config_keys=(),
+                 portable=False, result=None):
+        self.name = name
+        self.requires = tuple(requires)
+        self.config_keys = tuple(config_keys)
+        self.portable = portable
+        self.trace = trace
+        self.result = result if result is not None else name + "-product"
+
+    def run(self, ctx):
+        self.trace.append(self.name)
+        return self.result
+
+
+class ToyTransform(Pass):
+    is_transform = True
+
+    def __init__(self, name="mutate", preserves=()):
+        self.name = name
+        self.preserves = tuple(preserves)
+
+    def run(self, ctx):
+        ctx.module.add_global(f"mutated{len(ctx.module.globals)}", 1)
+        return "mutated"
+
+
+def make_manager(trace, config=None, cache=None, stats=None, passes=None):
+    module, _ = build_counted_loop(4)
+    if passes is None:
+        passes = [
+            RecordingPass("a", trace, portable=True, config_keys=("pmin",)),
+            RecordingPass("b", trace, requires=("a",)),
+            RecordingPass("c", trace, requires=("b",)),
+        ]
+    return PassManager(
+        module,
+        config=config or ToyConfig(),
+        passes=passes,
+        cache=cache,
+        stats=stats,
+    )
+
+
+class TestScheduling:
+    def test_requires_run_in_dependency_order(self):
+        trace = []
+        manager = make_manager(trace)
+        assert manager.run("c") == "c-product"
+        assert trace == ["a", "b", "c"]
+
+    def test_analysis_products_memoized_within_compilation(self):
+        trace = []
+        manager = make_manager(trace)
+        first = manager.run("c")
+        second = manager.run("c")
+        assert first is second
+        assert trace == ["a", "b", "c"]  # no re-execution
+
+    def test_unknown_pass_raises(self):
+        manager = make_manager([])
+        with pytest.raises(KeyError):
+            manager.run("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        trace = []
+        with pytest.raises(ValueError):
+            make_manager(trace, passes=[
+                RecordingPass("a", trace), RecordingPass("a", trace),
+            ])
+
+    def test_dependency_cycle_detected(self):
+        trace = []
+        manager = make_manager(trace, passes=[
+            RecordingPass("x", trace, requires=("y",)),
+            RecordingPass("y", trace, requires=("x",)),
+        ])
+        with pytest.raises(RuntimeError, match="cycle"):
+            manager.run("x")
+
+    def test_seeded_product_skips_execution(self):
+        trace = []
+        manager = make_manager(trace)
+        manager.seed("a", "external-profile")
+        assert manager.run("c") == "c-product"
+        assert "a" not in trace  # seeded, never executed
+
+
+class TestAnalysisCache:
+    def test_portable_product_shared_across_compilations(self):
+        cache = AnalysisCache()
+        trace = []
+        first = make_manager(trace, cache=cache)
+        second = make_manager(trace, cache=cache)  # fresh module, same text
+        first.run("a")
+        second.run("a")
+        assert trace == ["a"]  # second compilation served from cache
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_non_portable_product_not_shared(self):
+        cache = AnalysisCache()
+        trace = []
+        make_manager(trace, cache=cache).run("b")
+        make_manager(trace, cache=cache).run("b")
+        assert trace.count("b") == 2
+
+    def test_config_slice_controls_sharing(self):
+        # "a" reads only pmin: a gamma change must share, a pmin change
+        # must not.
+        cache = AnalysisCache()
+        trace = []
+        make_manager(trace, config=ToyConfig(pmin=0.0, gamma=1.0),
+                     cache=cache).run("a")
+        make_manager(trace, config=ToyConfig(pmin=0.0, gamma=9.0),
+                     cache=cache).run("a")
+        assert trace == ["a"]
+        make_manager(trace, config=ToyConfig(pmin=0.5, gamma=1.0),
+                     cache=cache).run("a")
+        assert trace == ["a", "a"]
+
+    def test_fingerprint_tracks_module_content(self):
+        module, _ = build_counted_loop(4)
+        other, _ = build_counted_loop(5)
+        same, _ = build_counted_loop(4)
+        assert module_fingerprint(module) == module_fingerprint(same)
+        assert module_fingerprint(module) != module_fingerprint(other)
+
+    def test_invalidate_by_fingerprint(self):
+        cache = AnalysisCache()
+        cache.store(("fp1", "a", (), ()), 1)
+        cache.store(("fp1", "b", (), ()), 2)
+        cache.store(("fp2", "a", (), ()), 3)
+        assert cache.invalidate("fp1") == 2
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_get_or_create_returns_same_accumulator(self):
+        cache = AnalysisCache()
+        store = cache.get_or_create(("fp", "verdicts", ()), dict)
+        store["k"] = "v"
+        again = cache.get_or_create(("fp", "verdicts", ()), dict)
+        assert again is store and again["k"] == "v"
+        assert cache.hits == 0 and cache.misses == 0  # no accounting
+
+
+class TestTransformInvalidation:
+    def test_transform_drops_non_preserved_products(self):
+        trace = []
+        manager = make_manager(trace, passes=[
+            RecordingPass("a", trace),
+            RecordingPass("b", trace),
+            ToyTransform(preserves=("a",)),
+        ])
+        manager.run("a")
+        manager.run("b")
+        manager.run("mutate")
+        assert "a" in manager.ctx.results  # preserved
+        assert "b" not in manager.ctx.results  # invalidated
+        manager.run("b")
+        assert trace == ["a", "b", "b"]  # b recomputed after the transform
+
+    def test_transform_dirties_fingerprint(self):
+        trace = []
+        manager = make_manager(trace, passes=[ToyTransform()])
+        before = manager.fingerprint()
+        manager.run("mutate")
+        assert manager.fingerprint() != before
+
+    def test_transform_always_reexecutes(self):
+        trace = []
+        transform = ToyTransform()
+        manager = make_manager(trace, passes=[transform])
+        manager.run("mutate")
+        manager.run("mutate")
+        assert manager.stats.stat("mutate").runs == 2
+
+    def test_scratch_entries_survive_invalidation(self):
+        trace = []
+        manager = make_manager(trace, passes=[ToyTransform()])
+        manager.ctx.results["opt.counts"] = {"main": 3}
+        manager.run("mutate")
+        assert manager.ctx.results["opt.counts"] == {"main": 3}
+
+
+class TestStats:
+    def test_runs_and_cache_hits_accounted(self):
+        cache = AnalysisCache()
+        stats = PipelineStats()
+        trace = []
+        make_manager(trace, cache=cache, stats=stats).run("a")
+        make_manager(trace, cache=cache, stats=stats).run("a")
+        stat = stats.stat("a")
+        assert stat.runs == 2
+        assert stat.cache_hits == 1
+        assert stat.executed == 1
+
+    def test_render_timing_lists_executed_passes(self):
+        trace = []
+        manager = make_manager(trace)
+        manager.run("c")
+        report = manager.stats.render_timing()
+        assert "Pass execution timing report" in report
+        for name in ("a", "b", "c"):
+            assert name in report
+
+    def test_render_counters_lists_bumped_counters(self):
+        stats = PipelineStats()
+        stats.bump("profile", "blocks_counted", 17)
+        text = stats.render_counters()
+        assert "profile.blocks_counted" in text
+        assert "17" in text
+
+    def test_merge_accumulates(self):
+        a, b = PipelineStats(), PipelineStats()
+        a.stat("p").runs = 1
+        a.bump("p", "widgets", 2)
+        b.stat("p").runs = 3
+        b.bump("p", "widgets", 5)
+        a.merge(b)
+        assert a.stat("p").runs == 4
+        assert a.counter("p", "widgets") == 7
+
+
+class TestConfigKey:
+    def test_covers_every_encore_config_field(self):
+        key = config_key(EncoreConfig())
+        assert len(key) == len(dataclasses.fields(EncoreConfig))
+
+    def test_distinguishes_and_equates(self):
+        assert config_key(EncoreConfig(pmin=0.1)) != config_key(EncoreConfig())
+        assert config_key(EncoreConfig(pmin=0.1)) == config_key(
+            EncoreConfig(pmin=0.1)
+        )
+
+
+class TestConfigValidation:
+    def test_granularity_typo_rejected(self):
+        with pytest.raises(ValueError, match="granularity"):
+            EncoreConfig(granularity="intervals")
+
+    def test_alias_mode_typo_rejected(self):
+        with pytest.raises(ValueError, match="alias_mode"):
+            EncoreConfig(alias_mode="profile")
+
+    def test_valid_values_accepted(self):
+        for granularity in ("interval", "function"):
+            for alias_mode in ("static", "optimistic", "profiled"):
+                EncoreConfig(granularity=granularity, alias_mode=alias_mode)

@@ -1,0 +1,200 @@
+"""Golden-workload equivalence: pass pipeline == the seed monolith.
+
+``reference_compile`` re-implements the pre-refactor ``EncoreCompiler``
+flow directly from the public primitives (profiler, alias analysis,
+idempotence analyzer, region builder/selector, instrumenter), exactly
+in the seed's order.  The staged pass pipeline must produce identical
+reports on every golden workload — same selected regions, same
+instrumentation counts, same coverage — both cold and when served from
+a shared :class:`AnalysisCache`.
+"""
+
+import pytest
+
+from repro.analysis.alias import AliasAnalysis
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.encore.coverage_model import region_coverage
+from repro.encore.idempotence import IdempotenceAnalyzer
+from repro.encore.instrumentation import instrument_module
+from repro.encore.regions import RegionBuilder
+from repro.encore.selection import RegionSelector
+from repro.pipeline import AnalysisCache, PipelineStats
+from repro.profiling.profiler import profile_module
+from repro.workloads import all_workloads, build_workload
+
+WORKLOADS = [spec.name for spec in all_workloads()]
+
+VARIANT_CONFIGS = [
+    EncoreConfig(pmin=None),
+    EncoreConfig(pmin=0.25),
+    EncoreConfig(merge_regions=False),
+    EncoreConfig(granularity="function"),
+    EncoreConfig(alias_mode="optimistic"),
+    EncoreConfig(gamma=2.0, eta=0.1),
+]
+
+
+def region_key(region):
+    return (region.func, region.header, tuple(sorted(region.blocks)),
+            region.status.name)
+
+
+def reference_compile(built, config):
+    """The seed monolith's compile(), stage by stage, on ``built``."""
+    module = built.module
+    profile = profile_module(
+        module, function=built.entry, args=built.args,
+        externals=built.externals,
+    )
+    memory_profile = None
+    if config.alias_mode == "profiled":
+        from repro.profiling.memprofile import collect_memory_profile
+
+        memory_profile = collect_memory_profile(
+            module, function=built.entry, args=built.args,
+            externals=built.externals,
+        )
+    alias = AliasAnalysis(
+        module, mode=config.alias_mode, memory_profile=memory_profile
+    )
+    analyzer = IdempotenceAnalyzer(
+        module, alias=alias, profile=profile, pmin=config.pmin
+    )
+    builder = RegionBuilder(module, profile)
+    selector = RegionSelector(
+        module, analyzer, builder, profile, config.selection()
+    )
+
+    if config.granularity == "function":
+        base = builder.function_regions()
+    else:
+        base = builder.base_regions()
+    for region in base:
+        selector.analyze(region)
+
+    total_app = 0
+    for (func_name, label), count in profile.block_counts.items():
+        func = module.get_function(func_name)
+        if func is None or label not in func.blocks:
+            continue
+        total_app += count * sum(
+            1 for inst in func.blocks[label] if not inst.is_instrumentation
+        )
+
+    if config.granularity == "function":
+        candidates = [
+            builder.make_region(r.func, r.blocks, r.header, r.level)
+            for r in base
+        ]
+    elif config.merge_regions:
+        candidates = []
+        for func_name in module.functions:
+            if not module.function(func_name).blocks:
+                continue
+            candidates.extend(selector.merge_candidates(func_name))
+    else:
+        candidates = [
+            builder.make_region(r.func, r.blocks, r.header, r.level)
+            for r in base
+        ]
+    for region in candidates:
+        selector.analyze(region)
+
+    selected = selector.select(candidates, total_app)
+    inst = instrument_module(module, selected)
+    return {
+        "base": sorted(region_key(r) for r in base),
+        "candidates": sorted(region_key(r) for r in candidates),
+        "selected": sorted(region_key(r) for r in selected),
+        "instrumented_regions": inst.instrumented_regions,
+        "checkpoint_mem_sites": inst.checkpoint_mem_sites,
+        "checkpoint_reg_sites": inst.checkpoint_reg_sites,
+        "clear_sites": inst.clear_sites,
+        "overhead": sum(
+            selector.estimated_overhead(r, total_app) for r in selected
+        ),
+        "recoverable": region_coverage(selected, total_app, 100.0).recoverable,
+    }
+
+
+def report_facts(report):
+    return {
+        "base": sorted(region_key(r) for r in report.base_regions),
+        "candidates": sorted(region_key(r) for r in report.candidate_regions),
+        "selected": sorted(region_key(r) for r in report.selected_regions),
+        "instrumented_regions": report.instrumentation.instrumented_regions,
+        "checkpoint_mem_sites": report.instrumentation.checkpoint_mem_sites,
+        "checkpoint_reg_sites": report.instrumentation.checkpoint_reg_sites,
+        "clear_sites": report.instrumentation.clear_sites,
+        "overhead": report.estimated_overhead(),
+        "recoverable": report.coverage(100).recoverable,
+    }
+
+
+def assert_equivalent(reference, facts, label):
+    for key in reference:
+        if key in ("overhead", "recoverable"):
+            assert facts[key] == pytest.approx(reference[key]), (label, key)
+        else:
+            assert facts[key] == reference[key], (label, key)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_default_config_matches_reference(self, name):
+        reference = reference_compile(build_workload(name), EncoreConfig())
+        report = compile_for_encore(
+            build_workload(name).module, EncoreConfig(), clone=False,
+            function=build_workload(name).entry,
+            args=build_workload(name).args,
+            externals=build_workload(name).externals,
+        )
+        assert_equivalent(reference, report_facts(report), name)
+
+    @pytest.mark.parametrize("config", VARIANT_CONFIGS,
+                             ids=lambda c: repr(c)[:40])
+    def test_variant_configs_match_reference(self, config):
+        for name in ("164.gzip", "181.mcf", "epic"):
+            built = build_workload(name)
+            reference = reference_compile(built, config)
+            fresh = build_workload(name)
+            report = compile_for_encore(
+                fresh.module, config, clone=False, function=fresh.entry,
+                args=fresh.args, externals=fresh.externals,
+            )
+            assert_equivalent(reference, report_facts(report), name)
+
+    def test_cached_sweep_matches_cold_and_profiles_once(self):
+        # A Pmin sweep through one shared AnalysisCache must (a) agree
+        # with cold compilations and (b) execute profiling exactly once.
+        cache = AnalysisCache()
+        stats = PipelineStats()
+        configs = [EncoreConfig(pmin=p) for p in (None, 0.0, 0.1, 0.25)]
+        for config in configs:
+            built = build_workload("164.gzip")
+            cached = compile_for_encore(
+                built.module, config, clone=False, cache=cache,
+                function=built.entry, args=built.args,
+                externals=built.externals, stats=stats,
+            )
+            cold = build_workload("164.gzip")
+            cold_report = compile_for_encore(
+                cold.module, config, clone=False, function=cold.entry,
+                args=cold.args, externals=cold.externals,
+            )
+            assert_equivalent(
+                report_facts(cold_report), report_facts(cached), config.pmin
+            )
+        assert stats.executed("profile") == 1
+        assert stats.stat("profile").cache_hits == len(configs) - 1
+
+    def test_profiled_alias_mode_matches_reference(self):
+        config = EncoreConfig(alias_mode="profiled")
+        built = build_workload("181.mcf")
+        reference = reference_compile(built, config)
+        fresh = build_workload("181.mcf")
+        report = compile_for_encore(
+            fresh.module, config, clone=False, function=fresh.entry,
+            args=fresh.args, externals=fresh.externals,
+        )
+        assert_equivalent(reference, report_facts(report), "profiled")
