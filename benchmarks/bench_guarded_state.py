@@ -1,0 +1,147 @@
+"""Overhead benchmark: the metadata guard's seal/verify/repair cost.
+
+Four questions, answered on the same instrumented module:
+
+1. What does each guard level cost in wall-clock per trial?  ``off``
+   is the floor (the guard's hooks are near-no-ops), ``checksum``
+   seals every pushed record and published pointer, ``dup`` adds the
+   shadow copies and repair path.
+2. What does each level cost in the paper's dynamic-instruction
+   currency?  A fault-free supervised run reports its instrumentation
+   cost; the delta over ``off`` is the modelled seal overhead.
+3. What does the protection buy?  With metadata faults enabled,
+   ``off`` leaks ``metadata_corrupt_silent`` trials, ``checksum``
+   converts them to deterministic detections, and ``dup`` repairs
+   them back into covered recoveries.
+4. Sanity: without metadata faults every guard level must produce the
+   identical trial sequence — the guard never changes the event
+   stream, only the cost accounting.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_guarded_state.py \
+        [--trials 200] [--module examples/mc/crc32.mc] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.encore import compile_for_encore  # noqa: E402
+from repro.frontend import compile_source  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    GUARD_LEVELS,
+    DetectionModel,
+    Interpreter,
+    run_campaign,
+)
+
+
+def time_campaign(module, trials, seed, dmax, guard, metadata_faults=0):
+    start = time.perf_counter()
+    campaign = run_campaign(
+        module,
+        trials=trials,
+        seed=seed,
+        detector=DetectionModel(dmax=dmax),
+        metadata_faults_per_trial=metadata_faults,
+        metadata_guard=guard,
+    )
+    return campaign, time.perf_counter() - start
+
+
+def fault_free_instrumentation_cost(module, guard):
+    """Dynamic instrumentation instructions of one clean run."""
+    interp = Interpreter(module, metadata_guard=guard)
+    interp.run("main")
+    return interp.instrumentation_cost
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--module", default=str(REPO_ROOT / "examples/mc/crc32.mc"))
+    parser.add_argument("--trials", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--dmax", type=int, default=50)
+    parser.add_argument("--metadata-faults", type=int, default=1)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on guard-neutrality violations, on a "
+                             "silent-corruption leak at checksum/dup, or "
+                             "on wall-clock overhead beyond 2x")
+    args = parser.parse_args(argv)
+
+    module = compile_for_encore(
+        compile_source(Path(args.module).read_text()), clone=False
+    ).module
+    print(f"module={args.module} trials={args.trials} dmax={args.dmax} "
+          f"metadata_faults={args.metadata_faults}")
+
+    # -- cost: wall clock and modelled dynamic instructions --------------
+    clean = {}
+    times = {}
+    print("\nfault-free cost per guard level:")
+    for level in GUARD_LEVELS:
+        cost = fault_free_instrumentation_cost(module, level)
+        campaign, elapsed = time_campaign(
+            module, args.trials, args.seed, args.dmax, level
+        )
+        clean[level] = campaign
+        times[level] = elapsed
+        print(f"  {level:>8}: {elapsed / args.trials * 1e3:8.2f} ms/trial   "
+              f"instrumentation {cost:6d} dyn instrs "
+              f"(+{cost - fault_free_instrumentation_cost(module, 'off')} "
+              f"over off)")
+
+    neutral = clean["off"].trials == clean["checksum"].trials == \
+        clean["dup"].trials
+    print(f"guard neutrality (no metadata faults): "
+          f"{'identical trials' if neutral else 'VIOLATED'}")
+
+    # -- protection: what each level buys under metadata faults ----------
+    print("\nunder metadata faults:")
+    faulted = {}
+    for level in GUARD_LEVELS:
+        campaign, _ = time_campaign(
+            module, args.trials, args.seed, args.dmax, level,
+            metadata_faults=args.metadata_faults,
+        )
+        faulted[level] = campaign
+        print(f"  {level:>8}: covered {campaign.covered_fraction:6.1%}   "
+              f"silent {campaign.count('metadata_corrupt_silent'):3d}   "
+              f"detected {campaign.count('metadata_corrupt_detected'):3d}   "
+              f"repairs {sum(t.metadata_repairs for t in campaign.trials):3d}")
+
+    if args.check:
+        failures = []
+        if not neutral:
+            failures.append("guard level changed fault-free trial results")
+        for level in ("checksum", "dup"):
+            leaked = faulted[level].count("metadata_corrupt_silent")
+            if leaked:
+                failures.append(
+                    f"{level} leaked {leaked} silent metadata corruptions"
+                )
+        if faulted["dup"].covered_fraction < faulted["off"].covered_fraction:
+            failures.append("dup guard lost coverage versus off")
+        if times["dup"] > 2.0 * times["off"]:
+            failures.append(
+                f"dup wall-clock overhead x{times['dup'] / times['off']:.2f}"
+                " > 2x"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("\ncheck passed: guard neutral when idle, no silent leaks, "
+              "overhead within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

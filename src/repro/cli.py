@@ -58,6 +58,10 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                         default="static")
     parser.add_argument("--gamma", type=float, default=1.0)
     parser.add_argument("--eta", type=float, default=0.25)
+    parser.add_argument("--guard", choices=["off", "checksum", "dup"],
+                        default="off",
+                        help="self-protection level for the recovery "
+                             "metadata (default off)")
 
 
 def _add_stats_flags(parser: argparse.ArgumentParser) -> None:
@@ -84,6 +88,7 @@ def _config_from(args) -> EncoreConfig:
         alias_mode=args.alias,
         gamma=args.gamma,
         eta=args.eta,
+        metadata_guard=getattr(args, "guard", "off"),
     )
 
 
@@ -168,6 +173,8 @@ def cmd_inject(args) -> int:
         args=_int_args(args.args),
         faults_per_trial=args.faults_per_trial,
         recovery_faults_per_trial=args.recovery_faults_per_trial,
+        metadata_faults_per_trial=args.metadata_faults,
+        metadata_guard=args.guard,
     )
 
     completed = None
@@ -207,6 +214,8 @@ def cmd_inject(args) -> int:
             seed=args.seed,
             faults_per_trial=args.faults_per_trial,
             recovery_faults_per_trial=args.recovery_faults_per_trial,
+            metadata_faults_per_trial=args.metadata_faults,
+            metadata_guard=args.guard,
             jobs=args.jobs,
             chunk_size=args.chunk_size,
             progress=progress,
@@ -318,6 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--recovery-faults-per-trial", type=int, default=0,
                         help="double-fault model: faults armed inside "
                              "recovery windows (default 0)")
+    inject.add_argument("--metadata-faults", type=int, default=0,
+                        help="faults per trial striking Encore's own "
+                             "recovery metadata: checkpoint log, register "
+                             "checkpoints, recovery pointer (default 0)")
+    inject.add_argument("--guard", choices=["off", "checksum", "dup"],
+                        default="off",
+                        help="metadata self-protection level: checksum "
+                             "detects corrupted rollback state, dup also "
+                             "repairs it from a shadow copy (default off)")
     inject.add_argument("--max-attempts", type=int, default=3,
                         help="consecutive rollbacks into one region before "
                              "the supervisor declares livelock (default 3)")

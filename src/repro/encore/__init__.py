@@ -14,8 +14,10 @@ from repro.encore.address_sets import (
 from repro.encore.coverage_model import (
     CoverageBreakdown,
     FullSystemCoverage,
+    GuardedCoverage,
     alpha,
     alpha_numeric,
+    apply_guard,
     full_system_coverage,
     region_coverage,
 )
@@ -29,6 +31,7 @@ from repro.encore.instrumentation import (
     InstrumentationReport,
     RegionStorage,
     entry_label,
+    guard_overhead_factor,
     instrument_module,
     recovery_label,
 )
@@ -50,6 +53,7 @@ __all__ = [
     "EncoreReport",
     "FullSystemCoverage",
     "FunctionSummary",
+    "GuardedCoverage",
     "IdempotenceAnalyzer",
     "IdempotenceResult",
     "InstrumentationReport",
@@ -62,9 +66,11 @@ __all__ = [
     "SelectionConfig",
     "alpha",
     "alpha_numeric",
+    "apply_guard",
     "compile_for_encore",
     "entry_label",
     "full_system_coverage",
+    "guard_overhead_factor",
     "instrument_module",
     "recovery_label",
     "region_coverage",

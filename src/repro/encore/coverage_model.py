@@ -123,6 +123,81 @@ def region_coverage(
 
 
 @dataclasses.dataclass
+class GuardedCoverage:
+    """Coverage after accounting for faults in the recovery metadata.
+
+    The paper's model (Eq. 6/7) assumes the checkpoint log and recovery
+    pointer are fault-free.  ``metadata_exposure`` is the probability
+    that a would-be-recovered checkpointed fault *also* finds its
+    region's recovery metadata corrupted; what happens to that slice
+    depends on the guard level (:func:`apply_guard`).
+    """
+
+    dmax: float
+    guard_level: str
+    metadata_exposure: float
+    recoverable_idempotent: float
+    recoverable_checkpointed: float
+    not_recoverable: float
+    #: Corrupted-metadata rollbacks the guard detected: graceful
+    #: restart-required degradation, no longer silently wrong.
+    metadata_detected: float
+    #: Corrupted-metadata rollbacks that restored garbage undetected.
+    metadata_silent: float
+    #: Corrupted-metadata rollbacks repaired from a shadow copy
+    #: (recovery still succeeds; counted inside recoverable_checkpointed).
+    metadata_repaired: float
+
+    @property
+    def recoverable(self) -> float:
+        return self.recoverable_idempotent + self.recoverable_checkpointed
+
+
+def apply_guard(
+    breakdown: CoverageBreakdown,
+    metadata_exposure: float,
+    guard_level: str = "off",
+) -> GuardedCoverage:
+    """Degrade (or defend) a :class:`CoverageBreakdown` under metadata
+    faults.
+
+    Idempotent regions carry no checkpoint log — re-execution needs no
+    restore — so only the *checkpointed* recoverable fraction is at
+    risk.  With the guard ``off`` the exposed slice silently corrupts;
+    with ``checksum`` it is detected and escalates (no longer counted
+    recoverable, but never silent); with ``dup`` the shadow copy
+    repairs it and recovery proceeds.
+    """
+    from repro.runtime.guarded_state import GUARD_LEVELS
+
+    if guard_level not in GUARD_LEVELS:
+        raise ValueError(f"unknown guard level {guard_level!r}")
+    exposure = min(max(metadata_exposure, 0.0), 1.0)
+    exposed = breakdown.recoverable_checkpointed * exposure
+    ckpt = breakdown.recoverable_checkpointed
+    detected = silent = repaired = 0.0
+    if guard_level == "off":
+        silent = exposed
+        ckpt -= exposed
+    elif guard_level == "checksum":
+        detected = exposed
+        ckpt -= exposed
+    else:  # dup: repaired in place, still recoverable
+        repaired = exposed
+    return GuardedCoverage(
+        dmax=breakdown.dmax,
+        guard_level=guard_level,
+        metadata_exposure=exposure,
+        recoverable_idempotent=breakdown.recoverable_idempotent,
+        recoverable_checkpointed=ckpt,
+        not_recoverable=breakdown.not_recoverable + detected,
+        metadata_detected=detected,
+        metadata_silent=silent,
+        metadata_repaired=repaired,
+    )
+
+
+@dataclasses.dataclass
 class FullSystemCoverage:
     """Figure 8 stack for one benchmark and one detection latency."""
 

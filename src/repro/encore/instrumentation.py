@@ -36,6 +36,20 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Module
 from repro.ir.types import WORD_BYTES
+from repro.runtime.guarded_state import GUARD_LEVELS, SEAL_COST
+
+
+def guard_overhead_factor(level: str) -> float:
+    """Dynamic-cost multiplier of a metadata-guard level.
+
+    Sealing work rides on every checkpoint instruction (average dynamic
+    cost ~2: ``ckpt_mem`` charges 2, ``ckpt_reg``/``set_recovery_ptr``
+    1), so a level adding :data:`SEAL_COST` extra instructions per
+    record inflates instrumentation overhead by ``1 + SEAL_COST / 2``.
+    """
+    if level not in GUARD_LEVELS:
+        raise ValueError(f"unknown guard level {level!r}")
+    return 1.0 + SEAL_COST[level] / 2.0
 
 
 @dataclasses.dataclass
@@ -45,10 +59,13 @@ class RegionStorage:
     region_id: int
     memory_bytes: int
     register_bytes: int
+    #: Seal/shadow storage added by the metadata guard (checksum words,
+    #: plus full duplicates at level "dup").
+    guard_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
-        return self.memory_bytes + self.register_bytes
+        return self.memory_bytes + self.register_bytes + self.guard_bytes
 
 
 @dataclasses.dataclass
@@ -61,6 +78,8 @@ class InstrumentationReport:
     checkpoint_reg_sites: int = 0
     #: Region-exit ``ClearRecoveryPtr`` insertion points.
     clear_sites: int = 0
+    #: Metadata self-protection level the storage was sized for.
+    guard_level: str = "off"
     storage: List[RegionStorage] = dataclasses.field(default_factory=list)
 
     @property
@@ -68,6 +87,12 @@ class InstrumentationReport:
         if not self.storage:
             return 0.0
         return sum(s.total_bytes for s in self.storage) / len(self.storage)
+
+    @property
+    def mean_guard_bytes(self) -> float:
+        if not self.storage:
+            return 0.0
+        return sum(s.guard_bytes for s in self.storage) / len(self.storage)
 
     @property
     def mean_memory_bytes(self) -> float:
@@ -102,15 +127,19 @@ def _retarget(term, old: str, new: str) -> None:
 
 
 def instrument_module(
-    module: Module, regions: Iterable[Region]
+    module: Module, regions: Iterable[Region], guard_level: str = "off"
 ) -> InstrumentationReport:
     """Instrument ``module`` in place for the selected ``regions``.
 
     Regions must be disjoint per function (guaranteed by the selector,
     which partitions each function's CFG).  Returns a report with static
-    storage accounting.
+    storage accounting.  ``guard_level`` sizes the metadata guard's
+    seal/shadow storage into each region's footprint; the run-time
+    protection itself is armed on the interpreter (``metadata_guard``).
     """
-    report = InstrumentationReport()
+    if guard_level not in GUARD_LEVELS:
+        raise ValueError(f"unknown guard level {guard_level!r}")
+    report = InstrumentationReport(guard_level=guard_level)
     instrumented: List[Region] = []
     for region in regions:
         if not region.selected:
@@ -169,11 +198,27 @@ def instrument_module(
             mem_sites += len(site.refs)
         report.checkpoint_mem_sites += mem_sites
 
+        memory_bytes = 2 * WORD_BYTES * mem_sites
+        register_bytes = WORD_BYTES * len(region.live_in_checkpoints)
+        # Guard storage: one checksum word per sealed record plus one
+        # for the recovery pointer; "dup" additionally shadows the full
+        # checkpoint buffer and the pointer word.
+        records = mem_sites + len(region.live_in_checkpoints)
+        if guard_level == "checksum":
+            guard_bytes = WORD_BYTES * (records + 1)
+        elif guard_level == "dup":
+            guard_bytes = (
+                WORD_BYTES * (records + 1)
+                + memory_bytes + register_bytes + WORD_BYTES
+            )
+        else:
+            guard_bytes = 0
         report.storage.append(
             RegionStorage(
                 region_id=region.id,
-                memory_bytes=2 * WORD_BYTES * mem_sites,
-                register_bytes=WORD_BYTES * len(region.live_in_checkpoints),
+                memory_bytes=memory_bytes,
+                register_bytes=register_bytes,
+                guard_bytes=guard_bytes,
             )
         )
         report.instrumented_regions += 1

@@ -58,8 +58,16 @@ class EncoreConfig:
     #: the whole-function granularity of prior work (Section 2.2's
     #: comparison with Relax), exposed for the baseline ablation.
     granularity: str = "interval"
+    #: Self-protection level for the recovery metadata itself
+    #: (checkpoint log + recovery pointer): "off" reproduces the paper's
+    #: implicit fault-free-metadata assumption, "checksum" seals every
+    #: record and verifies at rollback, "dup" additionally keeps a
+    #: shadow copy for repair.  See :mod:`repro.runtime.guarded_state`.
+    metadata_guard: str = "off"
 
     def __post_init__(self) -> None:
+        from repro.runtime.guarded_state import GUARD_LEVELS
+
         if self.granularity not in GRANULARITIES:
             raise ValueError(
                 f"unknown granularity {self.granularity!r} "
@@ -69,6 +77,11 @@ class EncoreConfig:
             raise ValueError(
                 f"unknown alias_mode {self.alias_mode!r} "
                 f"(expected one of {', '.join(ALIAS_MODES)})"
+            )
+        if self.metadata_guard not in GUARD_LEVELS:
+            raise ValueError(
+                f"unknown metadata_guard {self.metadata_guard!r} "
+                f"(expected one of {', '.join(GUARD_LEVELS)})"
             )
 
     def selection(self) -> SelectionConfig:
@@ -134,9 +147,13 @@ class EncoreReport:
 
         Summed from the per-region estimates the selection pass froze
         onto each winner (``Region.est_overhead``) — the report needs no
-        live selector.
+        live selector — then scaled by the metadata-guard cost factor
+        (sealing work rides on every checkpoint instruction).
         """
-        return sum(region.est_overhead for region in self.selected_regions)
+        from repro.encore.instrumentation import guard_overhead_factor
+
+        base = sum(region.est_overhead for region in self.selected_regions)
+        return base * guard_overhead_factor(self.config.metadata_guard)
 
     # -- coverage (Figure 8) --------------------------------------------------------
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Sequence
 
-from repro.encore import EncoreConfig
+from repro.encore import EncoreConfig, apply_guard
 from repro.experiments.harness import PipelineCache
 from repro.experiments.reporting import Table, fmt_pct, suite_order_with_means
 from repro.runtime.masking import MaskingModel
@@ -29,29 +29,59 @@ class Fig8Data:
     # benchmark -> dmax -> {"masked", "idem", "ckpt", "not_recoverable", "total"}
     coverage: Dict[str, Dict[int, Dict[str, float]]]
     latencies: Sequence[int]
+    #: Metadata self-protection the coverage was modelled under.
+    guard: str = "off"
+    metadata_exposure: float = 0.0
 
 
 def run(
     names: Optional[Sequence[str]] = None,
     latencies: Sequence[int] = DETECTION_LATENCIES,
+    guard: str = "off",
+    metadata_exposure: float = 0.0,
 ) -> Fig8Data:
+    """Figure 8 coverage stacks, optionally under the metadata-fault
+    model: ``metadata_exposure > 0`` degrades the checkpointed-
+    recoverable slice through :func:`repro.encore.apply_guard` at the
+    given ``guard`` level, adding ``meta_detected``/``meta_silent``
+    keys to each cell.  The defaults reproduce the paper's figure
+    (fault-free-metadata assumption) exactly.
+    """
     cache = PipelineCache()
     masking = MaskingModel()
+    config = EncoreConfig(metadata_guard=guard)
     coverage: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for result in cache.run_all(EncoreConfig(), names):
+    for result in cache.run_all(config, names):
         name = result.spec.name
         rate = masking.rate_for(name)
         coverage[name] = {}
         for dmax in latencies:
-            fs = result.report.full_system(dmax, rate)
-            coverage[name][dmax] = {
-                "masked": fs.masked,
-                "idem": fs.recoverable_idempotent,
-                "ckpt": fs.recoverable_checkpointed,
-                "not_recoverable": fs.not_recoverable,
-                "total": fs.total_covered,
-            }
-    return Fig8Data(coverage, latencies)
+            if metadata_exposure > 0.0:
+                guarded = apply_guard(
+                    result.report.coverage(dmax), metadata_exposure, guard
+                )
+                live = 1.0 - rate
+                cell = {
+                    "masked": rate,
+                    "idem": live * guarded.recoverable_idempotent,
+                    "ckpt": live * guarded.recoverable_checkpointed,
+                    "not_recoverable": live * guarded.not_recoverable,
+                    "meta_detected": live * guarded.metadata_detected,
+                    "meta_silent": live * guarded.metadata_silent,
+                }
+                cell["total"] = rate + cell["idem"] + cell["ckpt"]
+            else:
+                fs = result.report.full_system(dmax, rate)
+                cell = {
+                    "masked": fs.masked,
+                    "idem": fs.recoverable_idempotent,
+                    "ckpt": fs.recoverable_checkpointed,
+                    "not_recoverable": fs.not_recoverable,
+                    "total": fs.total_covered,
+                }
+            coverage[name][dmax] = cell
+    return Fig8Data(coverage, latencies, guard=guard,
+                    metadata_exposure=metadata_exposure)
 
 
 def render(data: Fig8Data) -> str:
@@ -101,11 +131,13 @@ def to_csv(data: Fig8Data) -> str:
         for dmax, row in by_dmax.items():
             rows.append(
                 (name, dmax, row["masked"], row["idem"], row["ckpt"],
-                 row["not_recoverable"], row["total"])
+                 row["not_recoverable"], row["total"],
+                 row.get("meta_detected", 0.0), row.get("meta_silent", 0.0))
             )
     return rows_to_csv(
         ["benchmark", "dmax", "masked", "recoverable_idempotent",
-         "recoverable_checkpointed", "not_recoverable", "total_covered"],
+         "recoverable_checkpointed", "not_recoverable", "total_covered",
+         "metadata_corrupt_detected", "metadata_corrupt_silent"],
         rows,
     )
 

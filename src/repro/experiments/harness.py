@@ -143,6 +143,8 @@ def run_sfi(
     seed: int = 0,
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
+    metadata_faults_per_trial: int = 0,
+    metadata_guard: str = "off",
     externals=None,
     jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
@@ -167,6 +169,8 @@ def run_sfi(
         seed=seed,
         faults_per_trial=faults_per_trial,
         recovery_faults_per_trial=recovery_faults_per_trial,
+        metadata_faults_per_trial=metadata_faults_per_trial,
+        metadata_guard=metadata_guard,
         externals=externals,
         jobs=campaign_jobs() if jobs is None else jobs,
         chunk_size=chunk_size,

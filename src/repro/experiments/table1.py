@@ -28,11 +28,21 @@ class Table1Data:
     storage_mean: float
 
 
-def run(names: Optional[Sequence[str]] = None) -> Table1Data:
+def run(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[EncoreConfig] = None,
+) -> Table1Data:
+    """Measure interval lengths and checkpoint storage.
+
+    Passing ``config=EncoreConfig(metadata_guard="checksum")`` (or
+    ``"dup"``) sizes the metadata guard's seal/shadow storage into the
+    per-region footprint, quantifying the self-protection storage cost
+    against the paper's 10-100 B envelope.
+    """
     cache = PipelineCache()
     lengths: List[float] = []
     storages: List[float] = []
-    for result in cache.run_all(EncoreConfig(), names):
+    for result in cache.run_all(config or EncoreConfig(), names):
         for region in result.report.selected_regions:
             if region.dyn_instructions > 0:
                 lengths.append(region.activation_length)

@@ -308,10 +308,14 @@ class InstrumentationPass(Pass):
     name = "instrument"
     requires = ("selection",)
     is_transform = True
+    config_keys = ("metadata_guard",)
 
     def run(self, ctx: PipelineContext):
         selection = ctx.require("selection")
-        report = instrument_module(ctx.module, selection["selected"])
+        report = instrument_module(
+            ctx.module, selection["selected"],
+            guard_level=ctx.config.metadata_guard,
+        )
         ctx.bump(self.name, "regions_instrumented", report.instrumented_regions)
         ctx.bump(self.name, "checkpoint_mem_sites", report.checkpoint_mem_sites)
         ctx.bump(self.name, "checkpoint_reg_sites", report.checkpoint_reg_sites)

@@ -33,6 +33,7 @@ from repro.ir.instructions import Instruction
 from repro.ir.module import Module
 from repro.ir.types import wrap_int
 from repro.ir.values import Constant, MemoryObject, MemRef, VirtualRegister
+from repro.runtime.guarded_state import RecoveryStateGuard
 from repro.runtime.memory import MachineMemory, MemoryError_, Pointer, Word
 
 
@@ -123,12 +124,17 @@ class Interpreter:
         pre_step: Optional[Hook] = None,
         post_step: Optional[Hook] = None,
         externals: Optional[Dict[str, ExternalFn]] = None,
+        metadata_guard: str = "off",
     ) -> None:
         self.module = module
         self.max_steps = max_steps
         self.pre_step = pre_step
         self.post_step = post_step
         self.externals: Dict[str, ExternalFn] = dict(externals or {})
+        # Self-protection of the recovery metadata itself: seals every
+        # checkpoint record and recovery pointer on write and verifies
+        # them before any rollback consumes them (guarded_state.py).
+        self.guard = RecoveryStateGuard(metadata_guard)
         self.memory = MachineMemory()
         for obj in module.globals.values():
             self.memory.materialize(obj)
@@ -203,7 +209,14 @@ class Interpreter:
         frame = self.frames[-1]
         if frame.recovery_ptr is None:
             return False
-        _region_id, label = frame.recovery_ptr
+        # Verify the pointer before following it: a corrupted pointer is
+        # a wild branch target.  May raise MetadataCorruption (detected,
+        # graceful escalation) or repair from the shadow copy.
+        ptr, guard_cost = self.guard.verify_pointer(frame)
+        self._charge_guard(guard_cost)
+        if ptr is None:
+            return False
+        _region_id, label = ptr
         if label not in frame.func.blocks:
             return False
         if immediate:
@@ -332,6 +345,18 @@ class Interpreter:
 
     def _advance(self, frame: _Frame) -> None:
         frame.ip += 1
+
+    def _charge_guard(self, guard_cost: int) -> None:
+        """Charge metadata-guard work as instrumentation cost.
+
+        Seal/verify/repair work rides on the instrumentation
+        instruction that caused it, in the same dynamic-instruction
+        currency as the checkpoints themselves, so ``--guard`` levels
+        change measured overhead but never the event stream.
+        """
+        if guard_cost:
+            self.cost += guard_cost
+            self.instrumentation_cost += guard_cost
 
     # -- arithmetic -----------------------------------------------------
 
@@ -539,6 +564,7 @@ class Interpreter:
     def _do_set_recovery_ptr(self, frame: _Frame, inst, event) -> None:
         frame.recovery_ptr = (inst.region_id, inst.recovery_label)
         frame.region_ckpts[inst.region_id] = []
+        self._charge_guard(self.guard.on_publish(frame))
         self._advance(frame)
 
     def _do_clear_recovery_ptr(self, frame: _Frame, inst, event) -> None:
@@ -549,12 +575,13 @@ class Interpreter:
         if frame.recovery_ptr is not None and frame.recovery_ptr[0] == inst.region_id:
             frame.recovery_ptr = None
             frame.region_ckpts[inst.region_id] = []
+            self._charge_guard(self.guard.on_clear(frame, inst.region_id))
         self._advance(frame)
 
     def _do_ckpt_reg(self, frame: _Frame, inst, event) -> None:
-        frame.region_ckpts.setdefault(inst.region_id, []).append(
-            ("reg", inst.reg, frame.regs.get(inst.reg, 0))
-        )
+        record = ("reg", inst.reg, frame.regs.get(inst.reg, 0))
+        frame.region_ckpts.setdefault(inst.region_id, []).append(record)
+        self._charge_guard(self.guard.on_push(frame, inst.region_id, record))
         self._track_ckpt(frame, inst.region_id)
         self._advance(frame)
 
@@ -565,9 +592,9 @@ class Interpreter:
         except MemoryError_ as exc:
             raise Trap(str(exc), self.events) from None
         event.loads.append((name, index))
-        frame.region_ckpts.setdefault(inst.region_id, []).append(
-            ("mem", name, index, value)
-        )
+        record = ("mem", name, index, value)
+        frame.region_ckpts.setdefault(inst.region_id, []).append(record)
+        self._charge_guard(self.guard.on_push(frame, inst.region_id, record))
         self._track_ckpt(frame, inst.region_id)
         self._advance(frame)
 
@@ -580,7 +607,11 @@ class Interpreter:
             self.peak_ckpt_words[region_id] = words
 
     def _do_restore(self, frame: _Frame, inst, event) -> None:
-        records = frame.region_ckpts.get(inst.region_id, [])
+        # Verify the undo log before consuming it: corrupted records are
+        # repaired (dup) or escalate (checksum) instead of restoring
+        # garbage.  May raise MetadataCorruption.
+        records, guard_cost = self.guard.verify_restore(frame, inst.region_id)
+        self._charge_guard(guard_cost)
         for record in reversed(records):
             if record[0] == "reg":
                 _, reg, value = record
@@ -588,9 +619,16 @@ class Interpreter:
             else:
                 _, name, index, value = record
                 if self.memory.exists(name):
-                    self.memory.write(name, index, value)
+                    try:
+                        self.memory.write(name, index, value)
+                    except MemoryError_ as exc:
+                        # A corrupted saved address can point out of
+                        # bounds; surface it as a visible trap symptom
+                        # rather than an interpreter crash.
+                        raise Trap(str(exc), self.events) from None
                     event.stores.append((name, index))
         frame.region_ckpts[inst.region_id] = []
+        self.guard.on_reset(frame, inst.region_id)
         self._advance(frame)
 
 

@@ -58,9 +58,18 @@ def campaign_metadata(
     args=(),
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
+    metadata_faults_per_trial: int = 0,
+    metadata_guard: str = "off",
 ) -> Dict[str, Any]:
-    """The identity of a campaign: everything that determines its plans."""
-    return {
+    """The identity of a campaign: everything that determines its plans.
+
+    The metadata-fault keys are only emitted when the feature is in use:
+    a campaign with the default ``metadata_faults_per_trial=0`` /
+    ``metadata_guard="off"`` produces a header byte-identical to the
+    pre-metadata format, so old journals resume unchanged and new
+    plain-campaign journals stay readable by old code.
+    """
+    meta: Dict[str, Any] = {
         "seed": seed,
         "function": function,
         "args": list(args),
@@ -73,6 +82,11 @@ def campaign_metadata(
         },
         "module": module_fingerprint(module),
     }
+    if metadata_faults_per_trial:
+        meta["metadata_faults_per_trial"] = metadata_faults_per_trial
+    if metadata_guard != "off":
+        meta["metadata_guard"] = metadata_guard
+    return meta
 
 
 class CampaignJournal:
@@ -176,16 +190,19 @@ def validate_resume(
     only valid verbatim if the plans they came from are the plans this
     campaign would derive.  (Trial *count* is deliberately absent from
     the metadata: per-trial seeding is prefix-stable, so a journal may
-    be resumed into a longer or shorter campaign.)
+    be resumed into a longer or shorter campaign.)  The comparison is
+    symmetric over the union of keys: a journal carrying a key the
+    current campaign lacks (e.g. a metadata-fault campaign resumed as a
+    plain one) mismatches just as loudly as the reverse.
     """
     mismatched = [
-        key for key in current_meta
-        if journal_meta.get(key) != current_meta[key]
+        key for key in sorted(set(journal_meta) | set(current_meta))
+        if journal_meta.get(key) != current_meta.get(key)
     ]
     if mismatched:
         detail = ", ".join(
             f"{key}: journal={journal_meta.get(key)!r} != "
-            f"campaign={current_meta[key]!r}"
+            f"campaign={current_meta.get(key)!r}"
             for key in mismatched
         )
         raise JournalError(f"journal does not match this campaign ({detail})")

@@ -95,6 +95,7 @@ def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialRe
                 externals=state["externals"],
                 policy=state["policy"],
                 trial_timeout=state["trial_timeout"],
+                metadata_guard=state.get("metadata_guard", "off"),
             ),
         )
         for plan in plans
@@ -132,6 +133,7 @@ def run_parallel_campaign(
     progress: Optional[ProgressHook] = None,
     policy: Optional[SupervisorPolicy] = None,
     trial_timeout: Optional[float] = None,
+    metadata_guard: str = "off",
     max_pool_retries: int = 2,
     on_result: Optional[Callable[[int, TrialResult], None]] = None,
     done_offset: int = 0,
@@ -158,6 +160,7 @@ def run_parallel_campaign(
                 "externals": externals,
                 "policy": policy,
                 "trial_timeout": trial_timeout,
+                "metadata_guard": metadata_guard,
             }
         )
     except Exception as exc:

@@ -28,6 +28,14 @@ reason-coded escalation ladder:
   supervisor stopped it after K attempts;
 * ``double_fault_unrecoverable`` — a second fault striking during
   recovery defeated it;
+* ``metadata_corrupt_detected`` — a fault struck Encore's *recovery
+  metadata* (checkpoint log, register checkpoints, or the recovery
+  pointer — see :mod:`repro.runtime.guarded_state`) and the metadata
+  guard caught it at rollback time: graceful restart-required
+  degradation instead of restoring garbage;
+* ``metadata_corrupt_silent`` — corrupted recovery metadata was
+  consumed by a rollback *undetected* and the run finished with a
+  wrong result — the failure mode the guard exists to eliminate;
 * ``sdc``          — silent data corruption: the run completed with a
   wrong result;
 * ``infra_error``  — the trial never produced a verdict (worker crash
@@ -49,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.module import Module
 from repro.runtime.detection import DetectionModel
+from repro.runtime.guarded_state import METADATA_TARGETS
 from repro.runtime.interpreter import (
     ExecResult,
     ExecutionLimit,
@@ -71,6 +80,8 @@ OUTCOMES = (
     "escape_unrecoverable",
     "livelock",
     "double_fault_unrecoverable",
+    "metadata_corrupt_detected",
+    "metadata_corrupt_silent",
     "sdc",
     "infra_error",
 )
@@ -121,6 +132,14 @@ class FaultPlan:
     recovery_sites: Tuple[int, ...] = ()
     recovery_bits: Tuple[int, ...] = ()
     recovery_latencies: Tuple[Optional[int], ...] = ()
+    # Metadata fault surface (recovery-state corruption model): each
+    # fault strikes the structure named by its target (see
+    # guarded_state.METADATA_TARGETS) at a dynamic-instruction site,
+    # picking a live entry with ``selector`` and flipping ``bit``.
+    meta_sites: Tuple[int, ...] = ()
+    meta_targets: Tuple[str, ...] = ()
+    meta_selectors: Tuple[int, ...] = ()
+    meta_bits: Tuple[int, ...] = ()
 
     @property
     def single(self) -> bool:
@@ -133,6 +152,14 @@ class FaultPlan:
             zip(self.recovery_sites, self.recovery_bits, self.recovery_latencies)
         )
 
+    @property
+    def metadata_faults(self) -> Tuple[Tuple[int, str, int, int], ...]:
+        """The planned metadata faults as (site, target, selector, bit)."""
+        return tuple(
+            zip(self.meta_sites, self.meta_targets,
+                self.meta_selectors, self.meta_bits)
+        )
+
 
 def plan_trial(
     seed: int,
@@ -141,12 +168,15 @@ def plan_trial(
     detector: DetectionModel,
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
+    metadata_faults_per_trial: int = 0,
 ) -> FaultPlan:
     """Derive one trial's fault plan from its own RNG substream.
 
-    The recovery-window draws happen *after* the primary draws, so a
-    campaign with ``recovery_faults_per_trial=0`` produces bit-identical
-    plans to one planned before the double-fault model existed.
+    The recovery-window draws happen *after* the primary draws, and the
+    metadata draws after those, so a campaign with
+    ``recovery_faults_per_trial=0`` and ``metadata_faults_per_trial=0``
+    produces bit-identical plans to one planned before either extension
+    existed.
     """
     rng = random.Random(derive_trial_seed(seed, trial_index))
     sites = sorted(
@@ -159,6 +189,18 @@ def plan_trial(
     rec_latencies = [
         detector.sample_latency(rng) for _ in range(recovery_faults_per_trial)
     ]
+    meta_sites = sorted(
+        rng.randrange(max(golden_events, 1))
+        for _ in range(metadata_faults_per_trial)
+    )
+    meta_targets = [
+        METADATA_TARGETS[rng.randrange(len(METADATA_TARGETS))]
+        for _ in range(metadata_faults_per_trial)
+    ]
+    meta_selectors = [
+        rng.randrange(64) for _ in range(metadata_faults_per_trial)
+    ]
+    meta_bits = [rng.randrange(0, 64) for _ in range(metadata_faults_per_trial)]
     return FaultPlan(
         trial_index,
         tuple(sites),
@@ -167,6 +209,10 @@ def plan_trial(
         tuple(rec_sites),
         tuple(rec_bits),
         tuple(rec_latencies),
+        tuple(meta_sites),
+        tuple(meta_targets),
+        tuple(meta_selectors),
+        tuple(meta_bits),
     )
 
 
@@ -177,12 +223,14 @@ def plan_campaign(
     detector: DetectionModel,
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
+    metadata_faults_per_trial: int = 0,
 ) -> List[FaultPlan]:
     """All fault plans of a campaign, in trial order."""
     return [
         plan_trial(
             seed, index, golden_events, detector,
             faults_per_trial, recovery_faults_per_trial,
+            metadata_faults_per_trial,
         )
         for index in range(trials)
     ]
@@ -206,6 +254,12 @@ class TrialResult:
     retries: int = 0
     #: Faults injected inside the recovery window (double-fault model).
     double_faults: int = 0
+    #: Faults that landed in live recovery metadata (checkpoint log,
+    #: register checkpoints, or the recovery pointer).
+    metadata_faults: int = 0
+    #: Corrupted metadata entries repaired from a shadow copy
+    #: (``--guard dup`` only).
+    metadata_repairs: int = 0
 
 
 def infra_error_trial() -> TrialResult:
@@ -314,13 +368,23 @@ class _FaultInjector:
     (double-fault) injections.
     """
 
-    def __init__(self, faults, supervisor: RecoverySupervisor) -> None:
+    def __init__(
+        self,
+        faults,
+        supervisor: RecoverySupervisor,
+        metadata_faults: Sequence[Tuple[int, str, int, int]] = (),
+    ) -> None:
         self.pending = sorted(faults, key=lambda f: f[0])
         self.supervisor = supervisor
         self.fault_events: List[int] = []
         #: Faults that actually struck: (site, bit, latency, event index).
         self.injected: List[Tuple[int, int, Optional[int], int]] = []
         self.deadlines: List[int] = []
+        #: Planned metadata strikes as (site, target, selector, bit).
+        self.meta_pending = sorted(metadata_faults, key=lambda f: f[0])
+        #: Metadata faults that found no live structure (dead metadata
+        #: time — architecturally masked, like a dead-register strike).
+        self.meta_masked = 0
 
     @property
     def fault_event(self) -> Optional[int]:
@@ -336,6 +400,13 @@ class _FaultInjector:
         return self.injected[0][2] if self.injected else None
 
     def __call__(self, interp: Interpreter, event: StepEvent) -> None:
+        while self.meta_pending and event.index >= self.meta_pending[0][0]:
+            # Metadata faults strike storage, not a destination
+            # register: they fire at their planned site regardless of
+            # what instruction executed there.
+            _site, target, selector, bit = self.meta_pending.pop(0)
+            if not interp.guard.inject_fault(interp, target, selector, bit):
+                self.meta_masked += 1
         if self.pending and event.index >= self.pending[0][0]:
             if event.inst.defs():
                 site, bit, latency = self.pending.pop(0)
@@ -383,24 +454,30 @@ def run_trial(
     externals=None,
     policy: Optional[SupervisorPolicy] = None,
     recovery_faults: Sequence[Tuple[int, int, Optional[int]]] = (),
+    metadata_faults: Sequence[Tuple[int, str, int, int]] = (),
+    metadata_guard: str = "off",
 ) -> TrialResult:
     """Execute one fault-injection trial and classify its outcome.
 
     ``site``/``bit``/``latency`` may be scalars (one fault, the paper's
     model) or equal-length lists for the multi-fault extension.
     ``policy`` bounds the recovery escalation ladder (default:
-    :class:`SupervisorPolicy`), and ``recovery_faults`` are the
-    double-fault model's recovery-window strikes.
+    :class:`SupervisorPolicy`), ``recovery_faults`` are the
+    double-fault model's recovery-window strikes, and
+    ``metadata_faults`` strike Encore's own recovery state —
+    ``metadata_guard`` selects the protection level
+    (:data:`repro.runtime.guarded_state.GUARD_LEVELS`) defending it.
     """
     if isinstance(site, int):
         faults = [(site, bit, latency)]
     else:
         faults = list(zip(site, bit, latency))
     supervisor = RecoverySupervisor(policy, tuple(recovery_faults))
-    injector = _FaultInjector(faults, supervisor)
+    injector = _FaultInjector(faults, supervisor, metadata_faults)
     max_steps = max(golden.events * max_steps_factor, 10_000)
     interp = Interpreter(
-        module, max_steps=max_steps, post_step=injector, externals=externals
+        module, max_steps=max_steps, post_step=injector, externals=externals,
+        metadata_guard=metadata_guard,
     )
     trapped = False
     hang = False
@@ -443,10 +520,15 @@ def run_trial(
         hang=hang,
         retries=retries,
         double_faults=supervisor.double_faults,
+        metadata_faults=interp.guard.metadata_faults,
+        metadata_repairs=interp.guard.repairs,
     )
     if escalation is not None:
         outcome = escalation
-        if supervisor.double_faults and escalation != "livelock":
+        if (
+            supervisor.double_faults
+            and escalation not in ("livelock", "metadata_corrupt_detected")
+        ):
             outcome = "double_fault_unrecoverable"
         return TrialResult(outcome=outcome, **common)
     if result is None:
@@ -465,6 +547,12 @@ def run_trial(
             outcome = "recovered_after_retry"
         else:
             outcome = "recovered"
+    elif interp.guard.tainted_consumed:
+        # A rollback consumed corrupted recovery metadata without
+        # detection and the result is wrong: the restore itself wrote
+        # garbage.  Distinguished from generic sdc because this is the
+        # class the metadata guard exists to eliminate.
+        outcome = "metadata_corrupt_silent"
     elif not injector.fault_events:
         # The fault site was never reached (shorter dynamic path): the
         # "injection" hit dead time — architecturally masked.
@@ -520,6 +608,7 @@ def run_planned_trial(
     externals=None,
     policy: Optional[SupervisorPolicy] = None,
     trial_timeout: Optional[float] = None,
+    metadata_guard: str = "off",
 ) -> TrialResult:
     """Execute one trial from a pre-derived :class:`FaultPlan`.
 
@@ -548,6 +637,8 @@ def run_planned_trial(
             externals=externals,
             policy=policy,
             recovery_faults=plan.recovery_faults,
+            metadata_faults=plan.metadata_faults,
+            metadata_guard=metadata_guard,
         )
 
     try:
@@ -566,6 +657,8 @@ def run_campaign(
     seed: int = 0,
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
+    metadata_faults_per_trial: int = 0,
+    metadata_guard: str = "off",
     externals=None,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
@@ -582,7 +675,9 @@ def run_campaign(
     for the multi-fault extension study: several independent transients
     strike one execution, each with its own detection latency.
     ``recovery_faults_per_trial > 0`` additionally plans faults that
-    strike *inside* recovery windows (the double-fault model).
+    strike *inside* recovery windows (the double-fault model), and
+    ``metadata_faults_per_trial > 0`` plans faults that strike Encore's
+    own recovery metadata, defended at level ``metadata_guard``.
 
     Every trial's randomness comes from its own seed-keyed substream
     (:func:`plan_trial`), so ``jobs > 1`` fans trials out across worker
@@ -609,6 +704,7 @@ def run_campaign(
     plans = plan_campaign(
         seed, trials, golden.events, detector,
         faults_per_trial, recovery_faults_per_trial,
+        metadata_faults_per_trial,
     )
     completed = dict(completed or {})
     completed = {
@@ -638,6 +734,7 @@ def run_campaign(
                 progress=progress,
                 policy=policy,
                 trial_timeout=trial_timeout,
+                metadata_guard=metadata_guard,
                 max_pool_retries=max_pool_retries,
                 on_result=emit,
                 done_offset=resumed,
@@ -675,6 +772,7 @@ def run_campaign(
                 externals=externals,
                 policy=policy,
                 trial_timeout=trial_timeout,
+                metadata_guard=metadata_guard,
             )
             emit(plan.trial_index, trial)
             results.append(trial)

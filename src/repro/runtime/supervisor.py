@@ -36,8 +36,15 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
-#: Reason codes the supervisor can escalate with.
-ESCALATIONS = ("livelock", "escape_unrecoverable")
+#: Reason codes an escalation can carry.  The supervisor itself raises
+#: the first two; ``metadata_corrupt_detected`` is raised through the
+#: same ladder by the metadata guard (``guarded_state.py``) when a
+#: rollback's own state fails verification.
+ESCALATIONS = (
+    "livelock",
+    "escape_unrecoverable",
+    "metadata_corrupt_detected",
+)
 
 
 class EscalateTrial(Exception):

@@ -153,6 +153,51 @@ class TestResumeValidation:
         with pytest.raises(JournalError, match="detector"):
             validate_resume(meta, other)
 
+    def test_torn_tail_plus_fingerprint_mismatch_fails_loudly(self, tmp_path):
+        # The torn last line is tolerated by the *loader*, but it must
+        # never mask a header mismatch: resuming a journal written for a
+        # different module still raises, with the fingerprint named —
+        # not a silent restart that would merge two campaigns' trials.
+        path = str(tmp_path / "torn_mismatch.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.write_header(campaign_metadata(_module(), 5, _detector()))
+            journal.record(0, infra_error_trial())
+        with open(path, "a") as handle:
+            handle.write('{"kind": "trial", "index": 1, "outc')
+        loaded_meta, completed = load_journal(path)
+        assert sorted(completed) == [0]  # torn tail dropped, not fatal
+        other_module, _ = build_counted_loop(26)
+        current = campaign_metadata(other_module, 5, _detector())
+        with pytest.raises(JournalError, match="module"):
+            validate_resume(loaded_meta, current)
+
+    def test_metadata_fault_journal_cannot_resume_as_plain(self):
+        # Symmetric validation: the journal carries a key the current
+        # campaign lacks entirely (metadata faults were on when it was
+        # written).  An asymmetric current-keys-only comparison would
+        # silently accept this and replay trials from a different fault
+        # model.
+        module = _module()
+        meta_campaign = campaign_metadata(
+            module, 5, _detector(), metadata_faults_per_trial=1,
+            metadata_guard="checksum",
+        )
+        plain = campaign_metadata(module, 5, _detector())
+        with pytest.raises(JournalError, match="metadata_faults_per_trial"):
+            validate_resume(meta_campaign, plain)
+        with pytest.raises(JournalError, match="metadata_faults_per_trial"):
+            validate_resume(plain, meta_campaign)
+
+    def test_plain_metadata_header_is_byte_stable(self):
+        # Default metadata-fault knobs must not change the header at
+        # all, so pre-existing journals keep resuming bit-identically.
+        module = _module()
+        assert campaign_metadata(module, 5, _detector()) == \
+            campaign_metadata(
+                module, 5, _detector(),
+                metadata_faults_per_trial=0, metadata_guard="off",
+            )
+
 
 class TestResumeEquivalence:
     def test_resumed_campaign_is_bit_identical_to_serial(self, tmp_path):

@@ -138,6 +138,32 @@ class TestInjectJournal:
         ]) == 1
         assert "cannot resume" in capsys.readouterr().err
 
+    def test_resume_torn_journal_still_rejects_mismatch(
+        self, loop_ir, tmp_path, capsys
+    ):
+        # A crash can tear the journal's last line AND the operator can
+        # point --resume at the wrong campaign at the same time.  The
+        # torn tail must not downgrade the fingerprint mismatch into a
+        # silent restart: exit 1, loud stderr.
+        journal = tmp_path / "campaign.jsonl"
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        with open(journal, "a") as handle:
+            handle.write('{"kind": "trial", "index": 5, "outc')
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--metadata-faults", "1", "--guard", "checksum",
+            "--resume", str(journal),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "metadata_faults_per_trial" in err
+
     def test_journal_auto_path_lands_under_results(
         self, loop_ir, tmp_path, capsys, monkeypatch
     ):

@@ -1,0 +1,418 @@
+"""Self-protecting recovery state: the metadata fault surface and the
+:class:`RecoveryStateGuard` defending it.
+
+Three layers of tests: pure guard unit tests on fake frames, a
+hand-built read-modify-write region whose schedule makes every
+metadata-corruption outcome deterministic, and campaign-level
+properties on a pipeline-instrumented module (plan bit-compatibility,
+guard-level neutrality without metadata faults, serial/parallel
+equivalence, journal round-trip of the new ``TrialResult`` fields).
+"""
+
+import pytest
+
+from helpers import build_counted_loop
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.ir import IRBuilder, Module
+from repro.ir.instructions import (
+    CheckpointMem,
+    ClearRecoveryPtr,
+    Jump,
+    MemRef,
+    RestoreCheckpoints,
+    SetRecoveryPtr,
+)
+from repro.ir.values import Constant
+from repro.runtime import (
+    DetectionModel,
+    GUARD_LEVELS,
+    METADATA_TARGETS,
+    MetadataCorruption,
+    RecoveryStateGuard,
+    golden_run,
+    load_journal,
+    plan_trial,
+    run_campaign,
+    run_trial,
+)
+from repro.runtime.guarded_state import REPAIR_COST, SEAL_COST, VERIFY_COST
+from repro.runtime.journal import CampaignJournal, campaign_metadata
+
+
+# ---------------------------------------------------------------------------
+# guard unit tests on fake frames
+# ---------------------------------------------------------------------------
+
+
+class _FakeFunc:
+    def __init__(self):
+        self.blocks = {"entry": None, "region": None, "rec": None}
+
+
+class _FakeFrame:
+    _next_id = 0
+
+    def __init__(self):
+        self.id = _FakeFrame._next_id
+        _FakeFrame._next_id += 1
+        self.recovery_ptr = None
+        self.region_ckpts = {}
+        self.func = _FakeFunc()
+        self.regs = {}
+
+
+class _FakeInterp:
+    def __init__(self, *frames):
+        self.frames = list(frames)
+
+
+class TestGuardUnit:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="guard level"):
+            RecoveryStateGuard("paranoid")
+
+    def test_unknown_target_rejected(self):
+        guard = RecoveryStateGuard("off")
+        with pytest.raises(ValueError, match="target"):
+            guard.inject_fault(_FakeInterp(_FakeFrame()), "tlb", 0, 0)
+
+    def test_levels_and_targets_are_closed_sets(self):
+        assert GUARD_LEVELS == ("off", "checksum", "dup")
+        assert METADATA_TARGETS == ("ckpt_mem", "ckpt_reg", "recovery_ptr")
+
+    def test_off_level_charges_nothing(self):
+        guard = RecoveryStateGuard("off")
+        frame = _FakeFrame()
+        frame.recovery_ptr = (0, "rec")
+        assert guard.on_publish(frame) == 0
+        assert guard.on_push(frame, 0, ("reg", "v0", 7)) == 0
+        frame.region_ckpts[0] = [("reg", "v0", 7)]
+        records, cost = guard.verify_restore(frame, 0)
+        assert records == [("reg", "v0", 7)] and cost == 0
+
+    def test_checksum_seal_verify_roundtrip(self):
+        guard = RecoveryStateGuard("checksum")
+        frame = _FakeFrame()
+        frame.recovery_ptr = (0, "rec")
+        assert guard.on_publish(frame) == SEAL_COST["checksum"]
+        record = ("mem", "out", 0, 42)
+        frame.region_ckpts[0] = [record]
+        assert guard.on_push(frame, 0, record) == SEAL_COST["checksum"]
+        records, cost = guard.verify_restore(frame, 0)
+        assert records == [record]
+        assert cost == VERIFY_COST["checksum"]
+        ptr, cost = guard.verify_pointer(frame)
+        assert ptr == (0, "rec") and cost == VERIFY_COST["checksum"]
+        assert guard.detections == 0
+
+    def test_checksum_detects_corrupted_record(self):
+        guard = RecoveryStateGuard("checksum")
+        frame = _FakeFrame()
+        frame.recovery_ptr = (0, "rec")
+        guard.on_publish(frame)
+        record = ("mem", "out", 0, 42)
+        frame.region_ckpts[0] = [record]
+        guard.on_push(frame, 0, record)
+        frame.region_ckpts[0][0] = ("mem", "out", 0, 43)
+        with pytest.raises(MetadataCorruption) as exc:
+            guard.verify_restore(frame, 0)
+        assert exc.value.structure == "checkpoint_log"
+        assert exc.value.reason == "metadata_corrupt_detected"
+        assert guard.detections == 1
+
+    def test_checksum_detects_corrupted_pointer(self):
+        guard = RecoveryStateGuard("checksum")
+        frame = _FakeFrame()
+        frame.recovery_ptr = (0, "rec")
+        guard.on_publish(frame)
+        frame.recovery_ptr = (0, "entry")
+        with pytest.raises(MetadataCorruption) as exc:
+            guard.verify_pointer(frame)
+        assert exc.value.structure == "recovery_ptr"
+
+    def test_dup_repairs_record_and_pointer_in_place(self):
+        guard = RecoveryStateGuard("dup")
+        frame = _FakeFrame()
+        frame.recovery_ptr = (0, "rec")
+        guard.on_publish(frame)
+        record = ("mem", "out", 0, 42)
+        frame.region_ckpts[0] = [record]
+        guard.on_push(frame, 0, record)
+        frame.region_ckpts[0][0] = ("mem", "out", 0, 99)
+        records, cost = guard.verify_restore(frame, 0)
+        assert records == [record]
+        assert frame.region_ckpts[0][0] == record  # primary healed
+        assert cost == VERIFY_COST["dup"] + REPAIR_COST
+        frame.recovery_ptr = (0, "entry")
+        ptr, _cost = guard.verify_pointer(frame)
+        assert ptr == (0, "rec")
+        assert frame.recovery_ptr == (0, "rec")
+        assert guard.repairs == 2 and guard.detections == 0
+
+    def test_off_counts_tainted_consumption(self):
+        guard = RecoveryStateGuard("off")
+        frame = _FakeFrame()
+        frame.recovery_ptr = (0, "rec")
+        frame.region_ckpts[0] = [("mem", "out", 0, 0)]
+        interp = _FakeInterp(frame)
+        assert guard.inject_fault(interp, "ckpt_mem", 0, 3)
+        assert guard.metadata_faults == 1
+        records, _ = guard.verify_restore(frame, 0)
+        assert records[0] == ("mem", "out", 0, 8)  # bit 3 flipped, consumed
+        assert guard.tainted_consumed == 1
+
+    def test_inject_fault_dead_metadata_returns_false(self):
+        guard = RecoveryStateGuard("off")
+        interp = _FakeInterp(_FakeFrame())
+        for target in METADATA_TARGETS:
+            assert not guard.inject_fault(interp, target, 0, 0)
+        assert guard.metadata_faults == 0
+
+    def test_inject_fault_prefers_innermost_frame(self):
+        guard = RecoveryStateGuard("off")
+        outer, inner = _FakeFrame(), _FakeFrame()
+        outer.recovery_ptr = (0, "rec")
+        inner.recovery_ptr = (1, "rec")
+        interp = _FakeInterp(outer, inner)
+        assert guard.inject_fault(interp, "recovery_ptr", 0, 0)
+        assert inner.recovery_ptr == (1, "entry")  # wild but valid label
+        assert outer.recovery_ptr == (0, "rec")
+
+    def test_high_bit_mem_fault_strikes_saved_address(self):
+        guard = RecoveryStateGuard("off")
+        frame = _FakeFrame()
+        frame.region_ckpts[0] = [("mem", "out", 2, 5)]
+        assert guard.inject_fault(_FakeInterp(frame), "ckpt_mem", 0, 48)
+        kind, name, addr, value = frame.region_ckpts[0][0]
+        assert (addr, value) == (2 ^ 1, 5)  # address word, value intact
+
+    def test_clear_drops_seals_and_taints(self):
+        guard = RecoveryStateGuard("checksum")
+        frame = _FakeFrame()
+        frame.recovery_ptr = (0, "rec")
+        guard.on_publish(frame)
+        record = ("reg", "v0", 1)
+        frame.region_ckpts[0] = [record]
+        guard.on_push(frame, 0, record)
+        guard.inject_fault(_FakeInterp(frame), "ckpt_reg", 0, 0)
+        guard.on_clear(frame, 0)
+        assert not guard._entry_sums and not guard._ptr_sums
+        assert not guard._tainted_entries and not guard._tainted_ptrs
+
+
+# ---------------------------------------------------------------------------
+# deterministic end-to-end outcomes on a hand-built region
+# ---------------------------------------------------------------------------
+
+
+def build_rmw_region_module(filler=6):
+    """A read-modify-write region where checkpoint corruption is visible.
+
+    Dynamic schedule: 0 jmp; 1 set_recovery_ptr; 2 ckpt_mem out[0];
+    3 v = load out[0]; 4 w = v + 5; 5 store out[0], w; 6.. ``filler``
+    adds; clear; load; ret.  Because the region *increments* out[0],
+    a restore that writes garbage is never overwritten by re-execution
+    — the silent-corruption shape metadata faults are meant to expose.
+    """
+    module = Module("rmw")
+    out = module.add_global("out", 2)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    b.jmp("region")
+    region = b.block("region")
+    region.instructions.append(SetRecoveryPtr(0, "rec"))
+    region.instructions.append(CheckpointMem(0, MemRef(out, Constant(0))))
+    v = b.load(out, 0)
+    w = b.add(v, 5)
+    b.store(out, 0, w)
+    for _ in range(filler):
+        b.add(0, 0)
+    region.instructions.append(ClearRecoveryPtr(0))
+    r = b.load(out, 0)
+    b.ret(r)
+    rec = b.block("rec")
+    rec.instructions.append(RestoreCheckpoints(0))
+    rec.instructions.append(Jump("region"))
+    return module
+
+
+class TestDeterministicOutcomes:
+    # Primary fault at event 3 (the load's dest register), latency 2:
+    # the deadline lands at event 5, inside the region, forcing one
+    # rollback through the (possibly corrupted) checkpoint log.
+    PRIMARY = dict(site=3, bit=1, latency=2)
+
+    def _run(self, metadata_faults=(), guard="off"):
+        module = build_rmw_region_module()
+        golden = golden_run(module, output_objects=["out"])
+        assert golden.value == 5
+        return run_trial(
+            module, golden, output_objects=["out"],
+            metadata_faults=metadata_faults, metadata_guard=guard,
+            **self.PRIMARY,
+        )
+
+    def test_baseline_rollback_recovers(self):
+        for guard in GUARD_LEVELS:
+            result = self._run(guard=guard)
+            assert result.outcome == "recovered"
+            assert result.recovery_attempts == 1
+            assert result.metadata_faults == 0
+
+    # One metadata fault at event 3 corrupting the just-pushed
+    # ckpt_mem record's value word (bit 3): the rollback then restores
+    # 8 instead of 0 and the re-executed increment lands on 13.
+    CKPT_FAULT = ((3, "ckpt_mem", 0, 3),)
+
+    def test_guard_off_silent_corruption(self):
+        result = self._run(self.CKPT_FAULT, guard="off")
+        assert result.outcome == "metadata_corrupt_silent"
+        assert result.metadata_faults == 1
+        assert result.metadata_repairs == 0
+
+    def test_guard_checksum_detects(self):
+        result = self._run(self.CKPT_FAULT, guard="checksum")
+        assert result.outcome == "metadata_corrupt_detected"
+        assert result.metadata_faults == 1
+        assert result.metadata_repairs == 0
+
+    def test_guard_dup_repairs_and_recovers(self):
+        result = self._run(self.CKPT_FAULT, guard="dup")
+        assert result.outcome == "recovered"
+        assert result.metadata_faults == 1
+        assert result.metadata_repairs == 1
+
+    # Pointer strike: bit 0 redirects the recovery pointer to block 0
+    # ("entry") — a wild-but-valid branch target that skips the restore.
+    PTR_FAULT = ((3, "recovery_ptr", 0, 0),)
+
+    def test_pointer_fault_off_is_silent(self):
+        result = self._run(self.PTR_FAULT, guard="off")
+        assert result.outcome == "metadata_corrupt_silent"
+
+    def test_pointer_fault_checksum_detects(self):
+        result = self._run(self.PTR_FAULT, guard="checksum")
+        assert result.outcome == "metadata_corrupt_detected"
+
+    def test_pointer_fault_dup_repairs(self):
+        result = self._run(self.PTR_FAULT, guard="dup")
+        assert result.outcome == "recovered"
+        assert result.metadata_repairs == 1
+
+    def test_dead_metadata_time_is_masked(self):
+        # ckpt_reg metadata never exists in this module: the strike
+        # finds nothing live and the trial behaves as if unplanned.
+        result = self._run(((0, "ckpt_reg", 0, 0),), guard="off")
+        assert result.outcome == "recovered"
+        assert result.metadata_faults == 0
+
+
+# ---------------------------------------------------------------------------
+# plan derivation: draw-order bit-compatibility
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCompatibility:
+    def test_metadata_draws_do_not_disturb_prior_draws(self):
+        detector = DetectionModel(dmax=40)
+        base = plan_trial(11, 4, 500, detector, 2, 2, 0)
+        extended = plan_trial(11, 4, 500, detector, 2, 2, 3)
+        assert extended.sites == base.sites
+        assert extended.bits == base.bits
+        assert extended.latencies == base.latencies
+        assert extended.recovery_sites == base.recovery_sites
+        assert extended.recovery_bits == base.recovery_bits
+        assert extended.recovery_latencies == base.recovery_latencies
+        assert base.meta_sites == ()
+        assert len(extended.meta_sites) == 3
+        assert len(extended.metadata_faults) == 3
+        for site, target, selector, bit in extended.metadata_faults:
+            assert target in METADATA_TARGETS
+            assert 0 <= selector < 64 and 0 <= bit < 64
+
+    def test_metadata_draws_are_deterministic(self):
+        detector = DetectionModel(dmax=40)
+        assert plan_trial(11, 4, 500, detector, 1, 0, 2) == \
+            plan_trial(11, 4, 500, detector, 1, 0, 2)
+
+
+# ---------------------------------------------------------------------------
+# campaign-level properties on an instrumented module
+# ---------------------------------------------------------------------------
+
+
+def _protected_loop(n=25):
+    module, _arr = build_counted_loop(n)
+    return compile_for_encore(module, EncoreConfig(), clone=False).module
+
+
+class TestCampaignProperties:
+    def _campaign(self, module, **kwargs):
+        kwargs.setdefault("output_objects", ["arr"])
+        kwargs.setdefault("detector", DetectionModel(dmax=25))
+        kwargs.setdefault("trials", 40)
+        kwargs.setdefault("seed", 13)
+        return run_campaign(module, **kwargs)
+
+    def test_guard_level_neutral_without_metadata_faults(self):
+        module = _protected_loop()
+        results = {
+            level: self._campaign(module, metadata_guard=level).trials
+            for level in GUARD_LEVELS
+        }
+        assert results["off"] == results["checksum"] == results["dup"]
+
+    def test_metadata_faults_only_add_new_outcome_classes(self):
+        module = _protected_loop()
+        off = self._campaign(module, metadata_faults_per_trial=1,
+                             metadata_guard="off")
+        checksum = self._campaign(module, metadata_faults_per_trial=1,
+                                  metadata_guard="checksum")
+        assert checksum.count("metadata_corrupt_silent") == 0
+        assert off.count("metadata_corrupt_detected") == 0
+        struck = sum(t.metadata_faults for t in off.trials)
+        assert struck > 0  # the surface is actually exercised
+        # Whatever the unguarded campaign loses to silent metadata
+        # corruption, the checksummed one converts to detections.
+        assert checksum.count("metadata_corrupt_detected") >= \
+            off.count("metadata_corrupt_silent")
+
+    def test_dup_guard_repairs_keep_coverage(self):
+        module = _protected_loop()
+        off = self._campaign(module, metadata_faults_per_trial=1,
+                             metadata_guard="off")
+        dup = self._campaign(module, metadata_faults_per_trial=1,
+                             metadata_guard="dup")
+        assert dup.count("metadata_corrupt_silent") == 0
+        assert sum(t.metadata_repairs for t in dup.trials) > 0
+        assert dup.covered_fraction >= off.covered_fraction
+
+    def test_serial_parallel_equivalence_with_metadata_faults(self):
+        module = _protected_loop()
+        serial = self._campaign(module, metadata_faults_per_trial=1,
+                                metadata_guard="checksum")
+        parallel = self._campaign(module, metadata_faults_per_trial=1,
+                                  metadata_guard="checksum", jobs=2)
+        assert parallel.trials == serial.trials
+
+    def test_journal_roundtrips_metadata_fields(self, tmp_path):
+        module = _protected_loop()
+        detector = DetectionModel(dmax=25)
+        path = str(tmp_path / "meta.jsonl")
+        meta = campaign_metadata(
+            module, 13, detector, metadata_faults_per_trial=1,
+            metadata_guard="dup",
+        )
+        assert meta["metadata_faults_per_trial"] == 1
+        assert meta["metadata_guard"] == "dup"
+        campaign = self._campaign(
+            module, trials=10, metadata_faults_per_trial=1,
+            metadata_guard="dup",
+        )
+        with CampaignJournal(path) as journal:
+            journal.write_header(meta)
+            for index, trial in enumerate(campaign.trials):
+                journal.record(index, trial)
+        _loaded_meta, completed = load_journal(path)
+        assert [completed[i] for i in range(10)] == campaign.trials

@@ -314,6 +314,41 @@ class TestCampaignResultEdges:
         assert sum(empty.summary().values()) == 0.0
         assert empty.counts() == {outcome: 0 for outcome in OUTCOMES}
 
+    def test_zero_elapsed_campaign_throughput_is_zero(self):
+        # A journaled-resume campaign can complete with every trial
+        # replayed in (effectively) zero wall-clock time; throughput
+        # must degrade to 0.0, never divide by zero.
+        campaign = CampaignResult(
+            [TrialResult("masked", -1, None, 0)], elapsed=0.0
+        )
+        assert campaign.throughput == 0.0
+        campaign.elapsed = -1.0  # clock skew on a suspended machine
+        assert campaign.throughput == 0.0
+
+    def test_empty_campaign_extended_summary(self):
+        extended = CampaignResult([]).summary(extended=True)
+        assert extended["trials"] == 0.0
+        assert extended["trials_per_sec"] == 0.0
+
+    def test_mean_wasted_work_requires_recovery_attempts(self):
+        # A "recovered" trial with zero recovery attempts (defensive
+        # shape: journal hand-edits, future outcome reclassification)
+        # must not drag the mean toward its meaningless wasted_work.
+        trials = [
+            TrialResult("recovered", 2, 3, 0, wasted_work=999),
+            TrialResult("recovered", 2, 3, 1, wasted_work=40),
+        ]
+        assert CampaignResult(trials).mean_wasted_work == pytest.approx(40.0)
+
+    def test_covered_fraction_empty_and_all_covered(self):
+        assert CampaignResult([]).covered_fraction == 0.0
+        trials = [
+            TrialResult("masked", -1, None, 0),
+            TrialResult("recovered", 1, 2, 1),
+            TrialResult("recovered_after_retry", 1, 2, 2),
+        ]
+        assert CampaignResult(trials).covered_fraction == pytest.approx(1.0)
+
     def test_mean_wasted_work_ignores_non_recovered(self):
         trials = [
             TrialResult("sdc", 1, None, 0, wasted_work=500),

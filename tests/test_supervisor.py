@@ -284,6 +284,37 @@ class TestRegionExitClearing:
         assert trial.outcome == "recovered"
         assert trial.recovery_attempts == 1
 
+    def test_detection_on_the_exit_edge_itself_is_escape(self):
+        # The deadline lands exactly on the clear_recovery_ptr event
+        # (site 3 + latency 2 = event 5).  Detection is a post-step
+        # hook, so the clear has already executed when the deadline
+        # fires: the exit edge wins the race and the trial pins as
+        # escape_unrecoverable — never a stale-pointer rollback into a
+        # region whose undo log was just dropped.
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=3, bit=1, latency=2,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "escape_unrecoverable"
+        assert trial.recovery_attempts == 1
+        assert not trial.trapped
+
+    def test_detection_one_event_before_the_exit_edge_recovers(self):
+        # One dynamic instruction earlier (deadline = event 4, the jmp
+        # onto the exit edge) the pointer is still live: the same fault
+        # rolls back and recovers.  Together with the test above this
+        # pins the exit-edge boundary to exactly one event.
+        module = build_exit_cleared_module(filler=8)
+        golden = golden_run(module, output_objects=["out"])
+        trial = run_trial(
+            module, golden, site=3, bit=1, latency=1,
+            output_objects=["out"],
+        )
+        assert trial.outcome == "recovered"
+        assert trial.recovery_attempts == 1
+
     def test_trap_after_region_exit_is_detected_unrecoverable(self):
         # A second fault corrupts the store index after the clear: the
         # trap finds no live pointer — restart territory, reported as
