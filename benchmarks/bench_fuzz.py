@@ -1,0 +1,121 @@
+"""Wall-clock benchmark: generator + oracle throughput, serial vs
+parallel.
+
+Measures the fuzzing subsystem the way campaigns actually run it —
+generate a program, run the per-program oracle suite — and reports
+programs/sec for ``--jobs 1`` against ``--jobs N``, plus the
+generator's own raw synthesis rate.  ``--check`` enforces the
+determinism invariant that makes parallel fuzzing trustworthy at all:
+the serial and parallel campaigns must produce the identical record
+stream and campaign fingerprint, and the run must report zero oracle
+failures.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fuzz.py \
+        [--budget 60] [--jobs 4] [--profile small] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fuzz import (  # noqa: E402
+    PROFILES,
+    FuzzSettings,
+    generate_program,
+    derive_program_seed,
+    run_fuzz_campaign,
+)
+
+ORACLES = ("semantic", "conservative", "opt", "rollback")
+
+
+def bench_generator(settings: FuzzSettings, budget: int) -> float:
+    start = time.perf_counter()
+    for index in range(budget):
+        generate_program(
+            derive_program_seed(settings.seed, index),
+            PROFILES[settings.profile],
+        )
+    return time.perf_counter() - start
+
+
+def bench_campaign(settings: FuzzSettings, budget: int, jobs: int):
+    start = time.perf_counter()
+    result = run_fuzz_campaign(
+        settings, budget=budget, jobs=jobs, reduce=False
+    )
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=60,
+                        help="programs per measurement (default 60)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count (default 4)")
+    parser.add_argument("--profile", default="small",
+                        choices=sorted(PROFILES))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless serial == parallel and zero "
+                             "oracle failures")
+    args = parser.parse_args()
+
+    settings = FuzzSettings(
+        seed=args.seed, profile=args.profile,
+        oracles=ORACLES, campaign_every=0,
+    )
+
+    gen_elapsed = bench_generator(settings, args.budget)
+    serial, serial_elapsed = bench_campaign(settings, args.budget, 1)
+    parallel, parallel_elapsed = bench_campaign(
+        settings, args.budget, args.jobs
+    )
+
+    identical = (
+        serial.records == parallel.records
+        and serial.fingerprint() == parallel.fingerprint()
+    )
+    failures = len(serial.failures)
+    speedup = serial_elapsed / max(parallel_elapsed, 1e-9)
+
+    print(f"profile:               {args.profile}")
+    print(f"programs:              {args.budget}")
+    print(f"oracles:               {', '.join(ORACLES)}")
+    print(f"generator only:        "
+          f"{args.budget / max(gen_elapsed, 1e-9):.1f} programs/sec")
+    print(f"serial campaign:       "
+          f"{args.budget / max(serial_elapsed, 1e-9):.1f} programs/sec "
+          f"({serial_elapsed:.2f}s)")
+    print(f"parallel campaign:     "
+          f"{args.budget / max(parallel_elapsed, 1e-9):.1f} programs/sec "
+          f"({parallel_elapsed:.2f}s, jobs={args.jobs})")
+    print(f"speedup:               {speedup:.2f}x")
+    print(f"oracle failures:       {failures}")
+    print(f"serial == parallel:    {identical}")
+    print(f"fingerprint:           {serial.fingerprint()}")
+
+    if not identical:
+        print("FAIL: parallel campaign diverged from serial",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        if failures:
+            print(f"FAIL: {failures} oracle failures on a clean "
+                  f"toolchain", file=sys.stderr)
+            return 1
+        print("CHECK PASSED: bit-identical serial/parallel campaigns, "
+              "zero oracle failures")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

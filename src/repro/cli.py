@@ -7,7 +7,9 @@ so a downstream user can protect a program without writing Python:
 * ``protect``  — run the full Encore pipeline and write the
   instrumented module (plus a report) out;
 * ``run``      — execute a module and print its result;
-* ``inject``   — run an SFI campaign against a module.
+* ``inject``   — run an SFI campaign against a module;
+* ``fuzz``     — run a differential-fuzzing campaign (or replay one
+  generated program by seed) against the whole toolchain.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -251,6 +253,93 @@ def cmd_inject(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    # Deferred import: the fuzz subsystem pulls in the whole pipeline
+    # and every other subcommand should not pay for it.
+    from repro import fuzz
+
+    try:
+        oracle_names = tuple(args.oracles.split(","))
+        settings = fuzz.FuzzSettings(
+            seed=args.seed,
+            profile=args.profile,
+            oracles=oracle_names,
+            campaign_every=args.campaign_every,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        program = fuzz.generate_program(
+            args.replay, fuzz.PROFILES[args.profile]
+        )
+        failures = fuzz.run_oracles(
+            program, fuzz.make_oracles(oracle_names)
+        )
+        print(f"program {program.name} "
+              f"({fuzz.count_instructions(program.module)} instructions)")
+        for failure in failures:
+            print(f"{failure.oracle}:{failure.kind}  "
+                  f"fingerprint {failure.fingerprint}")
+            if failure.detail:
+                print(f"  {failure.detail}")
+        if not failures:
+            print("all oracles passed")
+        return 1 if failures else 0
+
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} programs", end="",
+                  file=sys.stderr, flush=True)
+
+    completed = None
+    journal_path = args.journal
+    if args.resume is not None:
+        try:
+            header, completed = fuzz.load_fuzz_journal(args.resume)
+            fuzz.validate_fuzz_resume(header, settings)
+        except (OSError, ValueError) as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 1
+        journal_path = args.resume
+        print(f"# resuming {len(completed)} journaled programs from "
+              f"{args.resume}", file=sys.stderr)
+
+    journal = (
+        fuzz.FuzzJournal(journal_path, settings) if journal_path else None
+    )
+    try:
+        result = fuzz.run_fuzz_campaign(
+            settings,
+            budget=args.budget,
+            start=args.start,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            journal=journal,
+            completed=completed,
+            corpus_dir=args.corpus,
+            reduce=not args.no_reduce,
+            max_reduce_checks=args.max_reduce_checks,
+            progress=progress,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.progress:
+        print(file=sys.stderr)
+    print(result.summary())
+    print(f"# throughput: "
+          f"{len(result.records) / max(result.elapsed, 1e-9):.1f} "
+          f"programs/sec ({result.elapsed:.2f}s, jobs={result.jobs})")
+    if result.resumed:
+        print(f"# programs replayed from journal: {result.resumed}")
+    if journal_path:
+        print(f"# journal: {journal_path}")
+    return 1 if result.failures else 0
+
+
 def cmd_compile(args) -> int:
     from repro.pipeline import PipelineStats
 
@@ -353,6 +442,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume a crashed campaign from its journal; "
                              "journaled trials are replayed verbatim")
     inject.set_defaults(handler=cmd_inject)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential-fuzzing campaign over the toolchain"
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--budget", type=int, default=200,
+                        help="number of generated programs (default 200)")
+    fuzz_p.add_argument("--start", type=int, default=0,
+                        help="first program index (default 0)")
+    fuzz_p.add_argument("--profile", default="default",
+                        choices=["default", "small"],
+                        help="generator size profile (default 'default')")
+    fuzz_p.add_argument("--oracles",
+                        default=",".join(
+                            ("semantic", "conservative", "opt",
+                             "rollback", "campaign")),
+                        help="comma-separated oracle list (default: all)")
+    fuzz_p.add_argument("--campaign-every", type=int, default=25,
+                        help="run the pool-spawning campaign-equivalence "
+                             "oracle on every Nth program (default 25; "
+                             "0 disables it)")
+    fuzz_p.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes; journals and corpora are "
+                             "identical to --jobs 1 for any value")
+    fuzz_p.add_argument("--chunk-size", type=int, default=None,
+                        help="programs per worker task (default: auto)")
+    fuzz_p.add_argument("--journal", default=None, metavar="PATH",
+                        help="append per-program results to a JSONL "
+                             "journal (its SHA-256 is the campaign "
+                             "fingerprint)")
+    fuzz_p.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume a fuzz campaign from its journal")
+    fuzz_p.add_argument("--corpus", default=None, metavar="DIR",
+                        help="write reduced repros of unique failures "
+                             "into this directory")
+    fuzz_p.add_argument("--no-reduce", action="store_true",
+                        help="report findings without delta-debugging "
+                             "them")
+    fuzz_p.add_argument("--max-reduce-checks", type=int, default=2000,
+                        help="predicate-evaluation budget per reduction "
+                             "(default 2000)")
+    fuzz_p.add_argument("--progress", action="store_true",
+                        help="report completed-program counts on stderr")
+    fuzz_p.add_argument("--replay", type=int, default=None,
+                        metavar="PROGRAM_SEED",
+                        help="regenerate one program from its per-program "
+                             "seed and run the oracles on it (exit 1 on "
+                             "failure); ignores budget/journal options")
+    fuzz_p.set_defaults(handler=cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,82 @@
+"""Deterministic differential fuzzing for the Encore reproduction.
+
+Four parts, one pipeline: :mod:`~repro.fuzz.generator` synthesizes
+verified, trap-free, terminating programs from ``(seed, config)``
+alone; :mod:`~repro.fuzz.oracles` checks each program against the
+stack's core correctness properties differentially; :mod:`~repro.fuzz.
+reduce` delta-debugs any failure into a minimal repro that preserves
+the failure fingerprint; and :mod:`~repro.fuzz.campaign` runs budgeted,
+journaled, resumable, process-parallel campaigns with crash dedup and
+a corpus of reduced repros.  ``repro fuzz`` is the CLI entry point;
+see ``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.generator import (
+    EXTERNALS,
+    PROFILES,
+    SMALL,
+    FuzzProgram,
+    GeneratorConfig,
+    derive_program_seed,
+    generate_program,
+    program_strategy,
+)
+from repro.fuzz.oracles import (
+    DEFAULT_ORACLES,
+    DEFECT_ENV,
+    ORACLE_REGISTRY,
+    Oracle,
+    OracleFailure,
+    make_oracles,
+    planted_defect,
+    run_oracles,
+)
+from repro.fuzz.reduce import (
+    ReductionResult,
+    count_instructions,
+    reduce_program,
+)
+from repro.fuzz.campaign import (
+    DEFAULT_CAMPAIGN_EVERY,
+    FuzzJournal,
+    FuzzRecord,
+    FuzzResult,
+    FuzzSettings,
+    load_fuzz_journal,
+    reduce_findings,
+    run_fuzz_campaign,
+    run_program,
+    validate_fuzz_resume,
+)
+
+__all__ = [
+    "DEFAULT_CAMPAIGN_EVERY",
+    "DEFAULT_ORACLES",
+    "DEFECT_ENV",
+    "EXTERNALS",
+    "FuzzJournal",
+    "FuzzProgram",
+    "FuzzRecord",
+    "FuzzResult",
+    "FuzzSettings",
+    "GeneratorConfig",
+    "ORACLE_REGISTRY",
+    "Oracle",
+    "OracleFailure",
+    "PROFILES",
+    "ReductionResult",
+    "SMALL",
+    "count_instructions",
+    "derive_program_seed",
+    "generate_program",
+    "load_fuzz_journal",
+    "make_oracles",
+    "planted_defect",
+    "program_strategy",
+    "reduce_findings",
+    "reduce_program",
+    "run_fuzz_campaign",
+    "run_oracles",
+    "run_program",
+    "validate_fuzz_resume",
+]

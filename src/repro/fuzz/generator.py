@@ -1,0 +1,458 @@
+"""Seeded random program synthesis for the differential fuzzer.
+
+Every program is a pure function of ``(seed, GeneratorConfig)``: the
+generator drives a SHA-256-keyed :class:`random.Random` substream
+through the :class:`repro.workloads.synth.Kit` combinators, so the same
+seed reproduces the same module on any machine, in any process, under
+any ``PYTHONHASHSEED``.  The emitted program space is deliberately much
+richer than the old diamond-chain of ``tests/test_property_based.py``:
+nested counted/while loops, if/else ladders, helper-function calls,
+aliased pointer accesses through descriptor cells (the
+``indirect_handle`` idiom), opaque external calls, and mixed int/float
+arithmetic — while staying inside three hard safety envelopes:
+
+* **trap-free** — memory indices are masked to power-of-two object
+  sizes, divisors are non-zero constants, square roots go through
+  ``fabs``, and float magnitudes are clamped after every operation so
+  no ``inf``/``nan`` can enter the output comparison;
+* **terminating** — every loop has a bounded trip count (counted loops
+  by construction, while loops via a strictly decreasing counter);
+* **well-formed** — registers defined inside conditional arms never
+  escape their arm (the interpreter would fault on an undefined read),
+  and :func:`repro.ir.verify_module` runs on every emitted module.
+
+The WAR idioms (:meth:`Kit.lcg`, :meth:`Kit.checksum_into`) are woven
+in so the programs exercise Encore's non-idempotent instrumentation
+paths, not just trivially idempotent straight-line code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import Module, Type, verify_module
+from repro.ir.values import Constant, VirtualRegister
+from repro.workloads.synth import Kit, new_workload
+
+
+def derive_program_seed(seed: int, index: int) -> int:
+    """Key program ``index`` of a campaign off its own RNG substream.
+
+    The same SHA-256 construction as
+    :func:`repro.runtime.sfi.derive_trial_seed`: stable across
+    processes and Python versions, which is what makes parallel fuzz
+    campaigns bit-identical to serial ones.
+    """
+    digest = hashlib.sha256(f"fuzz:{seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the program space; part of every program's identity."""
+
+    #: Top-level statements emitted into ``main``.
+    max_stmts: int = 7
+    #: Maximum nesting depth of loops/conditionals.
+    max_depth: int = 3
+    #: Loop trip counts are drawn from ``1..max_trip``.
+    max_trip: int = 5
+    #: Number of integer global arrays (power-of-two ``global_size``).
+    int_globals: int = 2
+    #: Number of float global arrays.
+    float_globals: int = 1
+    #: Size of every global array; must be a power of two (indices are
+    #: masked, which is what keeps generated programs trap-free).
+    global_size: int = 8
+    #: Helper functions ``main`` may call (0 disables calls).
+    helpers: int = 2
+    #: Emit float arithmetic (clamped, nan/inf-free).
+    float_ops: bool = True
+    #: Emit aliased pointer accesses through descriptor cells.
+    pointers: bool = True
+    #: Emit opaque external calls (classified *unknown* by analysis).
+    externals: bool = True
+
+    def __post_init__(self) -> None:
+        if self.global_size & (self.global_size - 1):
+            raise ValueError("global_size must be a power of two")
+
+    def key(self) -> str:
+        """Canonical identity string (journal headers, fingerprints)."""
+        return json.dumps(dataclasses.asdict(self), sort_keys=True,
+                          separators=(",", ":"))
+
+
+#: Small program space for property-based tests: cheap to compile and
+#: execute under hypothesis' example budget, same statement grammar.
+SMALL = GeneratorConfig(max_stmts=4, max_depth=2, max_trip=4,
+                        int_globals=2, float_globals=1, helpers=1)
+
+#: Named generator profiles, addressable from the CLI and journals.
+PROFILES = {
+    "default": GeneratorConfig(),
+    "small": SMALL,
+}
+
+
+@dataclasses.dataclass
+class FuzzProgram:
+    """One generated program plus everything needed to execute it."""
+
+    name: str
+    module: Module
+    output_objects: Tuple[str, ...]
+    seed: int
+    config: Optional[GeneratorConfig] = None
+    args: Tuple = ()
+    entry: str = "main"
+
+
+def _ext_sink(args: Sequence) -> int:
+    """The opaque library call generated programs may invoke."""
+    return 0
+
+
+#: Externals mapping for generated programs (picklable by reference,
+#: so fuzz campaigns can cross process boundaries).
+EXTERNALS: Dict[str, object] = {"fuzz_sink": _ext_sink}
+
+_INT_OPS = ("add", "sub", "mul", "and", "or", "xor", "min", "max")
+_FLOAT_OPS = ("fadd", "fsub", "fmul", "fmin", "fmax")
+_INT_PREDS = ("eq", "ne", "slt", "sle", "sgt", "sge")
+_FLOAT_CLAMP = 1.0e6
+
+
+class _ProgramBuilder:
+    """One generation run: owns the RNG, the value pools, the module."""
+
+    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+        self.seed = seed
+        self.config = config
+        self.rng = random.Random(derive_program_seed(seed, 0))
+        self.module, self.kit = new_workload(f"fuzz_{seed}")
+        self.b = self.kit.b
+        self.mask = config.global_size - 1
+        self.int_pool: List[object] = []
+        self.float_pool: List[object] = []
+        self.helper_names: List[str] = []
+
+    # -- value plumbing -------------------------------------------------
+
+    def pick_int(self):
+        """An int operand: usually from the pool, sometimes a literal."""
+        if self.int_pool and self.rng.random() < 0.8:
+            return self.rng.choice(self.int_pool)
+        return self.rng.randint(-64, 255)
+
+    def pick_float(self):
+        if self.float_pool and self.rng.random() < 0.8:
+            return self.rng.choice(self.float_pool)
+        return round(self.rng.uniform(-4.0, 4.0), 3)
+
+    def masked_index(self, mask: Optional[int] = None):
+        """An in-bounds index register: ``value & (size - 1)``."""
+        return self.b.and_(self.pick_int(), self.mask if mask is None else mask)
+
+    def clamped(self, reg):
+        """Bound a float register's magnitude so chains can't reach inf."""
+        bounded = self.b.binop("fmax", reg, -_FLOAT_CLAMP)
+        return self.b.binop("fmin", bounded, _FLOAT_CLAMP)
+
+    def int_global(self):
+        return self.rng.choice(self.int_objs)
+
+    # -- statement grammar ----------------------------------------------
+
+    def stmt_arith(self, depth: int) -> None:
+        for _ in range(self.rng.randint(1, 3)):
+            op = self.rng.choice(_INT_OPS)
+            dest = self.b.binop(op, self.pick_int(), self.pick_int())
+            self.int_pool.append(dest)
+        if self.rng.random() < 0.3:
+            # Division by a non-zero literal stays trap-free.
+            divisor = self.rng.choice([2, 3, 5, 7, -3])
+            op = self.rng.choice(["sdiv", "srem"])
+            self.int_pool.append(self.b.binop(op, self.pick_int(), divisor))
+        if self.rng.random() < 0.3:
+            shift = self.rng.randint(0, 7)
+            op = self.rng.choice(["shl", "lshr", "ashr"])
+            self.int_pool.append(self.b.binop(op, self.pick_int(), shift))
+
+    def stmt_memory(self, depth: int) -> None:
+        obj = self.int_global()
+        if self.rng.random() < 0.5:
+            self.int_pool.append(self.b.load(obj, self.masked_index()))
+        else:
+            self.b.store(obj, self.masked_index(), self.pick_int())
+
+    def stmt_rmw(self, depth: int) -> None:
+        """A deliberate WAR site: load-modify-store on one cell."""
+        if self.rng.random() < 0.5:
+            self.int_pool.append(
+                self.kit.lcg(self.int_global(), self.rng.randrange(
+                    self.config.global_size))
+            )
+        else:
+            self.kit.checksum_into(
+                self.int_global(),
+                self.rng.randrange(self.config.global_size),
+                self.pick_int(),
+            )
+
+    def stmt_float(self, depth: int) -> None:
+        if not self.float_pool:
+            seeded = self.b.unop("sitofp", self.b.and_(self.pick_int(), 255))
+            self.float_pool.append(seeded)
+        for _ in range(self.rng.randint(1, 2)):
+            roll = self.rng.random()
+            if roll < 0.6:
+                dest = self.b.binop(self.rng.choice(_FLOAT_OPS),
+                                    self.pick_float(), self.pick_float())
+            elif roll < 0.8:
+                dest = self.b.unop(self.rng.choice(["fneg", "fabs"]),
+                                   self.pick_float())
+            else:
+                dest = self.b.unop(
+                    "fsqrt", self.b.unop("fabs", self.pick_float()))
+            self.float_pool.append(self.clamped(dest))
+        if self.float_objs and self.rng.random() < 0.5:
+            obj = self.rng.choice(self.float_objs)
+            if self.rng.random() < 0.5:
+                self.float_pool.append(self.b.load(obj, self.masked_index()))
+            else:
+                self.b.store(obj, self.masked_index(), self.pick_float())
+
+    def stmt_pointer(self, depth: int) -> None:
+        """Aliased access through a descriptor cell (+ pointer math).
+
+        The pointer round-trips through memory, so its points-to set is
+        TOP under static alias analysis — the idiom behind the paper's
+        Static-vs-Optimistic overhead gap.  Offsets are arranged so
+        ``base_offset + step + masked_index < global_size``.
+        """
+        quarter = max(self.config.global_size // 4, 1)
+        obj = self.int_global()
+        base = self.rng.randrange(quarter)
+        ptr = self.b.addrof(obj, base)
+        self.b.store(self.desc_obj, self.desc_slot, ptr)
+        handle = self.b.load(self.desc_obj, self.desc_slot,
+                             dest=self.b.fresh("hp", Type.PTR))
+        if self.rng.random() < 0.5:
+            step = self.rng.randrange(quarter)
+            handle = self.b.binop("add", handle, step,
+                                  dest=self.b.fresh("hp", Type.PTR))
+        index = self.masked_index(quarter * 2 - 1)
+        if self.rng.random() < 0.5:
+            self.int_pool.append(self.b.load(handle, index))
+        else:
+            self.b.store(handle, index, self.pick_int())
+
+    def stmt_call(self, depth: int) -> None:
+        callee = self.rng.choice(self.helper_names)
+        self.int_pool.append(self.b.call(callee, [self.pick_int()]))
+
+    def stmt_external(self, depth: int) -> None:
+        self.b.call("fuzz_sink", [self.pick_int()], returns=False)
+
+    def stmt_if(self, depth: int) -> None:
+        cond = self.b.cmp(self.rng.choice(_INT_PREDS),
+                          self.pick_int(), self.pick_int())
+        if self.rng.random() < 0.5:
+            self.kit.if_then(cond, self.scoped_body(depth + 1), "fz_if")
+        else:
+            self.kit.if_else(cond, self.scoped_body(depth + 1),
+                             self.scoped_body(depth + 1), "fz_if")
+
+    def stmt_for(self, depth: int) -> None:
+        trip = self.rng.randint(1, self.config.max_trip)
+
+        def body(i) -> None:
+            # The induction register is defined before the loop and on
+            # every path through it, so it may join the pool for good.
+            self.int_pool.append(i)
+            self.emit_block(depth + 1)
+
+        self.kit.counted(trip, body, "fz_for")
+
+    def stmt_while(self, depth: int) -> None:
+        """A while loop with a strictly decreasing memory counter.
+
+        The counter lives in ``loopctl``, a control object the statement
+        grammar never stores to: a random store into the counter cell
+        could re-arm the loop every iteration and lose termination.
+        Nested loops may share a slot — an inner loop always leaves its
+        slot at zero, so the outer loop's next decrement-and-test still
+        exits.
+        """
+        obj = self.ctl_obj
+        cell = self.while_count % obj.size
+        self.while_count += 1
+        self.b.store(obj, cell, self.rng.randint(1, self.config.max_trip))
+
+        def cond():
+            return self.b.cmp("sgt", self.b.load(obj, cell), 0)
+
+        def body() -> None:
+            self.emit_block(depth + 1)
+            # Re-load inside the body: the decrement is itself a WAR.
+            self.b.store(obj, cell, self.b.sub(self.b.load(obj, cell), 1))
+
+        self.kit.while_loop(cond, body, "fz_while")
+
+    # -- block / program assembly ---------------------------------------
+
+    def scoped_body(self, depth: int):
+        """A body callback whose definitions do not escape the arm.
+
+        Registers defined inside a conditional arm are only assigned on
+        that arm's path; letting them escape into the operand pool would
+        generate reads of never-written registers on the other path.
+        """
+
+        def body() -> None:
+            int_mark = len(self.int_pool)
+            float_mark = len(self.float_pool)
+            self.emit_block(depth)
+            del self.int_pool[int_mark:]
+            del self.float_pool[float_mark:]
+
+        return body
+
+    def emit_block(self, depth: int) -> None:
+        kinds: List = [self.stmt_arith, self.stmt_memory, self.stmt_rmw]
+        weights = [3, 3, 2]
+        if self.config.float_ops:
+            kinds.append(self.stmt_float)
+            weights.append(2)
+        if self.config.pointers:
+            kinds.append(self.stmt_pointer)
+            weights.append(1)
+        if self.helper_names:
+            kinds.append(self.stmt_call)
+            weights.append(1)
+        if self.config.externals and self.rng.random() < 0.15:
+            kinds.append(self.stmt_external)
+            weights.append(1)
+        if depth < self.config.max_depth:
+            kinds.extend([self.stmt_if, self.stmt_for, self.stmt_while])
+            weights.extend([2, 2, 1])
+        count = self.rng.randint(1, max(1, self.config.max_stmts - depth))
+        for _ in range(count):
+            self.rng.choices(kinds, weights=weights, k=1)[0](depth)
+
+    def build_helper(self, index: int) -> None:
+        """A small callee: params, a WAR on its own stats, a result."""
+        from repro.ir import IRBuilder
+
+        name = f"helper{index}"
+        stats = self.module.add_global(f"{name}_stats",
+                                       self.config.global_size)
+        fn = self.module.add_function(
+            name, params=[VirtualRegister(f"arg{index}")])
+        b = IRBuilder(fn)
+        kit = Kit(b)
+        b.block("entry")
+        arg = fn.params[0]
+        acc = b.and_(arg, 255)
+        if self.rng.random() < 0.5:
+            trip = self.rng.randint(1, self.config.max_trip)
+
+            def body(i):
+                cur = b.load(stats, b.and_(i, self.mask))
+                b.store(stats, b.and_(i, self.mask), b.add(cur, acc))
+
+            kit.counted(trip, body, "hl")
+        else:
+            cur = b.load(stats, 0)
+            b.store(stats, 0, b.add(cur, acc))
+        b.ret(b.add(acc, index + 1))
+
+    def build(self) -> FuzzProgram:
+        config = self.config
+        self.int_objs = [
+            self.module.add_global(f"gi{i}", config.global_size,
+                                   init=self._int_init(i))
+            for i in range(max(config.int_globals, 1))
+        ]
+        self.float_objs = [
+            self.module.add_global(f"gf{i}", config.global_size,
+                                   init=self._float_init(i))
+            for i in range(config.float_globals if config.float_ops else 0)
+        ]
+        self.out_obj = self.module.add_global("out", config.global_size)
+        self.ctl_obj = self.module.add_global("loopctl", 8)
+        self.while_count = 0
+        if config.pointers:
+            self.desc_obj = self.module.add_global("desc", 2)
+            self.desc_slot = 0
+        if config.externals:
+            self.module.declare_external("fuzz_sink")
+        for i in range(self.rng.randint(0, config.helpers)):
+            self.build_helper(i)
+            self.helper_names.append(f"helper{i}")
+
+        self.b.block("entry")
+        self.int_pool.append(self.b.mov(self.seed & 0xFF))
+        self.int_pool.append(self.b.load(self.int_objs[0], 0))
+        self.emit_block(0)
+
+        # Fold the live pools into the output object so every program
+        # has observable, deterministic memory output.
+        for slot in range(min(4, config.global_size)):
+            self.kit.checksum_into(self.out_obj, slot, self.pick_int())
+        if self.float_objs:
+            total = self.b.mov(0.0)
+            for _ in range(2):
+                total = self.clamped(
+                    self.b.binop("fadd", total, self.pick_float()))
+            self.b.store(self.float_objs[0], 0, total)
+        self.b.ret(self.b.and_(self.pick_int(), (1 << 31) - 1))
+
+        verify_module(self.module)
+        outputs = ["out"] + [obj.name for obj in self.float_objs[:1]]
+        return FuzzProgram(
+            name=self.module.name,
+            module=self.module,
+            output_objects=tuple(outputs),
+            seed=self.seed,
+            config=config,
+        )
+
+    def _int_init(self, which: int) -> List[int]:
+        return [self.rng.randint(0, 255)
+                for _ in range(self.config.global_size)]
+
+    def _float_init(self, which: int) -> List[float]:
+        return [round(self.rng.uniform(-1.0, 1.0), 4)
+                for _ in range(self.config.global_size)]
+
+
+def generate_program(
+    seed: int, config: Optional[GeneratorConfig] = None
+) -> FuzzProgram:
+    """Synthesize one verified, trap-free, terminating program.
+
+    Reproducible from ``(seed, config)`` alone; the returned module has
+    already passed :func:`repro.ir.verify_module`.
+    """
+    return _ProgramBuilder(seed, config or GeneratorConfig()).build()
+
+
+def program_strategy(config: Optional[GeneratorConfig] = None):
+    """A hypothesis strategy over the generator's program space.
+
+    Lazily imports hypothesis so the fuzzer itself carries no test-only
+    dependency; property tests and the campaign driver share exactly
+    one program space through this function.
+    """
+    from hypothesis import strategies as st
+
+    cfg = config or SMALL
+    return st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda seed: generate_program(seed, cfg)
+    )

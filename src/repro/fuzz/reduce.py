@@ -1,0 +1,395 @@
+"""Delta-debugging test-case reduction for fuzzer findings.
+
+Given a program that fails an oracle, shrink it while preserving the
+failure's *fingerprint* (the coarse ``oracle:kind`` digest — see
+:mod:`repro.fuzz.oracles`), so the minimized repro still demonstrates
+the same class of defect even though its concrete values differ.
+
+The reducer is greedy and fully deterministic: each round applies a
+fixed sequence of shrinking passes in a fixed order, keeping any edit
+that still reproduces the fingerprint, and repeats until a whole round
+makes no progress (or the check budget runs out):
+
+1. **branch collapsing** — rewrite ``br`` to ``jmp`` toward either arm,
+   then drop the blocks that became unreachable (this is how whole
+   loops and conditional arms disappear);
+2. **instruction deletion** — chunked delta debugging over every
+   block's body, largest chunks first;
+3. **def stubbing** — replace an instruction with ``dest = 0`` so
+   downstream uses stay verifiable while the computation vanishes;
+4. **constant shrinking** — pull immediate operands toward 0/1, which
+   shrinks loop trip counts and simplifies arithmetic;
+5. **dead-function / dead-global sweeping**.
+
+Candidate edits are validated in three stages, cheapest first: the
+module must still pass :func:`verify_module`; a bare (uninstrumented)
+run must finish trap-free within a step budget derived from the
+original program (so an edit that creates an infinite loop is rejected
+in milliseconds, not after the interpreter's global limit); and only
+then does the failing oracle re-run to confirm the fingerprint.
+
+Semantics need *not* be preserved — only the fingerprint.  That is the
+usual delta-debugging contract: the shrunk program is a different
+program that fails the same way.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.fuzz.generator import EXTERNALS, FuzzProgram
+from repro.fuzz.oracles import Oracle, run_oracles
+from repro.ir import (
+    Branch,
+    Constant,
+    Jump,
+    Module,
+    Move,
+    Type,
+    VerificationError,
+    module_to_text,
+    verify_module,
+)
+from repro.runtime import Interpreter
+
+
+def count_instructions(module: Module) -> int:
+    return sum(
+        len(block.instructions) for func in module for block in func
+    )
+
+
+@dataclasses.dataclass
+class ReductionResult:
+    """A minimized repro plus the bookkeeping of how it was reached."""
+
+    program: FuzzProgram
+    oracle: str
+    fingerprint: str
+    initial_instructions: int
+    final_instructions: int
+    rounds: int
+    checks: int
+    profile: str = "default"
+
+    def replay_command(self) -> str:
+        """Regenerate the *original* program and re-run its oracle."""
+        return (
+            f"PYTHONPATH=src python -m repro fuzz "
+            f"--replay {self.program.seed} --profile {self.profile} "
+            f"--oracles {self.oracle}"
+        )
+
+    def render(self) -> str:
+        """The corpus artifact: provenance header plus the shrunk IR."""
+        lines = [
+            f"# fuzz repro: oracle={self.oracle} "
+            f"fingerprint={self.fingerprint}",
+            f"# seed={self.program.seed} program={self.program.name}",
+            f"# shrunk {self.initial_instructions} -> "
+            f"{self.final_instructions} instructions "
+            f"({self.rounds} rounds, {self.checks} checks)",
+            f"# replay: {self.replay_command()}",
+            "",
+            module_to_text(self.program.module),
+        ]
+        return "\n".join(lines)
+
+
+class _Reducer:
+    def __init__(
+        self,
+        program: FuzzProgram,
+        oracle: Oracle,
+        fingerprint: str,
+        max_checks: int,
+    ) -> None:
+        self.program = program
+        self.oracle = oracle
+        self.fingerprint = fingerprint
+        self.max_checks = max_checks
+        self.checks = 0
+        baseline = Interpreter(
+            copy.deepcopy(program.module), externals=EXTERNALS
+        ).run(program.entry, program.args,
+              output_objects=program.output_objects)
+        # Headroom over the original execution: an edit can lengthen a
+        # loop a little (a shrunk trip-count store lands differently)
+        # but never legitimately by 8x, so anything past this budget
+        # introduced a runaway loop — reject it cheaply here rather
+        # than letting the oracle grind to its own much larger limit.
+        self.step_budget = min(400_000, max(20_000, baseline.events * 8))
+
+    # -- the predicate ------------------------------------------------
+
+    def holds(self, module: Module) -> bool:
+        if self.checks >= self.max_checks:
+            return False
+        self.checks += 1
+        try:
+            verify_module(module)
+        except VerificationError:
+            return False
+        try:
+            Interpreter(
+                module, externals=EXTERNALS, max_steps=self.step_budget
+            ).run(self.program.entry, self.program.args,
+                  output_objects=self.program.output_objects)
+        except Exception:
+            return False
+        candidate = dataclasses.replace(self.program, module=module)
+        failures = run_oracles(candidate, [self.oracle])
+        return any(f.fingerprint == self.fingerprint for f in failures)
+
+    # -- shrinking passes ---------------------------------------------
+
+    def collapse_branches(self, module: Module) -> Tuple[Module, bool]:
+        changed = False
+        # Branches proven load-bearing stay frozen for this pass; each
+        # accepted collapse restarts the scan because dropping the dead
+        # arm may have deleted other branches wholesale.
+        frozen = set()
+        while True:
+            target = None
+            for func in module:
+                for label, block in func.blocks.items():
+                    if (func.name, label) in frozen:
+                        continue
+                    if isinstance(block.terminator, Branch):
+                        target = (func.name, label, block.terminator)
+                        break
+                if target:
+                    break
+            if target is None:
+                return module, changed
+            fname, label, term = target
+            for arm in (term.if_true, term.if_false):
+                candidate = copy.deepcopy(module)
+                block = candidate.get_function(fname).blocks[label]
+                block.instructions[-1] = Jump(arm)
+                _drop_unreachable(candidate)
+                if self.holds(candidate):
+                    module, changed = candidate, True
+                    break
+            else:
+                frozen.add((fname, label))
+
+    def thread_jumps(self, module: Module) -> Tuple[Module, bool]:
+        """Bypass empty ``jmp``-only blocks so they become unreachable."""
+        changed = False
+        # Threading is semantics-preserving, but the fingerprint can
+        # still depend on a block's mere existence (region shapes), so
+        # each block gets one chance per pass.
+        frozen = set()
+        while True:
+            trivial = None
+            for func in module:
+                for label, block in func.blocks.items():
+                    if (
+                        label != func.entry_label
+                        and (func.name, label) not in frozen
+                        and len(block.instructions) == 1
+                        and isinstance(block.terminator, Jump)
+                        and block.terminator.target != label
+                    ):
+                        trivial = (func.name, label, block.terminator.target)
+                        break
+                if trivial:
+                    break
+            if trivial is None:
+                return module, changed
+            fname, label, target = trivial
+            candidate = copy.deepcopy(module)
+            _redirect_label(candidate.get_function(fname), label, target)
+            _drop_unreachable(candidate)
+            if self.holds(candidate):
+                module, changed = candidate, True
+            else:
+                frozen.add((fname, label))
+
+    def delete_instructions(self, module: Module) -> Tuple[Module, bool]:
+        changed = False
+        chunk = 8
+        while chunk >= 1:
+            sites = _body_sites(module)
+            progressed = False
+            # Delete from the tail so surviving site indices stay valid.
+            for start in range(
+                (len(sites) - 1) // chunk * chunk, -1, -chunk
+            ):
+                group = sites[start:start + chunk]
+                if not group:
+                    continue
+                candidate = copy.deepcopy(module)
+                _delete_sites(candidate, group)
+                if self.holds(candidate):
+                    module, changed, progressed = candidate, True, True
+            if not progressed:
+                chunk //= 2
+        return module, changed
+
+    def stub_defs(self, module: Module) -> Tuple[Module, bool]:
+        changed = False
+        for fname, label, idx in reversed(_body_sites(module)):
+            block = module.get_function(fname).blocks[label]
+            inst = block.instructions[idx]
+            defs = inst.defs()
+            if len(defs) != 1:
+                continue
+            dest = defs[0]
+            if isinstance(inst, Move) and isinstance(inst.src, Constant):
+                continue
+            zero = Constant(0.0, Type.F64) if dest.type is Type.F64 \
+                else Constant(0, dest.type)
+            candidate = copy.deepcopy(module)
+            candidate.get_function(fname).blocks[label] \
+                .instructions[idx] = Move(dest, zero)
+            if self.holds(candidate):
+                module, changed = candidate, True
+        return module, changed
+
+    def shrink_constants(self, module: Module) -> Tuple[Module, bool]:
+        changed = False
+        for fname, label, idx in _body_sites(module):
+            inst = module.get_function(fname) \
+                .blocks[label].instructions[idx]
+            for attr in ("lhs", "rhs", "src", "value", "cond", "size"):
+                operand = getattr(inst, attr, None)
+                if not isinstance(operand, Constant):
+                    continue
+                for small in _smaller_values(operand):
+                    candidate = copy.deepcopy(module)
+                    setattr(
+                        candidate.get_function(fname)
+                        .blocks[label].instructions[idx],
+                        attr, Constant(small, operand.type),
+                    )
+                    if self.holds(candidate):
+                        module, changed = candidate, True
+                        break
+        return module, changed
+
+    def sweep_dead(self, module: Module) -> Tuple[Module, bool]:
+        changed = False
+        for func in list(module):
+            if func.name == self.program.entry:
+                continue
+            candidate = copy.deepcopy(module)
+            candidate.functions.pop(func.name, None)
+            if self.holds(candidate):
+                module, changed = candidate, True
+        keep = set(self.program.output_objects)
+        for name in list(module.globals):
+            if name in keep:
+                continue
+            candidate = copy.deepcopy(module)
+            candidate.globals.pop(name, None)
+            if self.holds(candidate):
+                module, changed = candidate, True
+        return module, changed
+
+    # -- driver -------------------------------------------------------
+
+    def run(self) -> ReductionResult:
+        module = copy.deepcopy(self.program.module)
+        initial = count_instructions(module)
+        rounds = 0
+        while self.checks < self.max_checks:
+            rounds += 1
+            any_change = False
+            for shrink in (
+                self.collapse_branches,
+                self.thread_jumps,
+                self.delete_instructions,
+                self.stub_defs,
+                self.shrink_constants,
+                self.sweep_dead,
+            ):
+                module, changed = shrink(module)
+                any_change = any_change or changed
+            if not any_change:
+                break
+        reduced = dataclasses.replace(self.program, module=module)
+        return ReductionResult(
+            program=reduced,
+            oracle=self.oracle.name,
+            fingerprint=self.fingerprint,
+            initial_instructions=initial,
+            final_instructions=count_instructions(module),
+            rounds=rounds,
+            checks=self.checks,
+        )
+
+
+def reduce_program(
+    program: FuzzProgram,
+    oracle: Oracle,
+    fingerprint: str,
+    max_checks: int = 5000,
+) -> ReductionResult:
+    """Shrink ``program`` while ``oracle`` keeps failing with
+    ``fingerprint``.
+
+    The original failure must reproduce up front; otherwise the finding
+    is flaky (it should not be — everything here is deterministic) and
+    reduction refuses to start.
+    """
+    reducer = _Reducer(program, oracle, fingerprint, max_checks)
+    if not reducer.holds(copy.deepcopy(program.module)):
+        raise ValueError(
+            f"failure {fingerprint} does not reproduce on the original "
+            f"program {program.name}; refusing to reduce"
+        )
+    return reducer.run()
+
+
+# -- module surgery helpers -------------------------------------------
+
+
+def _body_sites(module: Module) -> List[Tuple[str, str, int]]:
+    """Every non-terminator instruction as a stable (fn, label, idx)."""
+    sites = []
+    for func in module:
+        for label, block in func.blocks.items():
+            for idx, inst in enumerate(block.instructions):
+                if not inst.is_terminator:
+                    sites.append((func.name, label, idx))
+    return sites
+
+
+def _delete_sites(
+    module: Module, sites: Iterable[Tuple[str, str, int]]
+) -> None:
+    for fname, label, idx in sorted(sites, reverse=True):
+        del module.get_function(fname).blocks[label].instructions[idx]
+
+
+def _redirect_label(func, label: str, target: str) -> None:
+    """Point every terminator reference to ``label`` at ``target``."""
+    for block in func:
+        term = block.terminator
+        if isinstance(term, Jump) and term.target == label:
+            term.target = target
+        elif isinstance(term, Branch):
+            if term.if_true == label:
+                term.if_true = target
+            if term.if_false == label:
+                term.if_false = target
+
+
+def _smaller_values(operand: Constant) -> Tuple:
+    """Candidate replacements for an immediate, simplest first."""
+    if operand.type is Type.F64:
+        return () if operand.value in (0.0, 1.0) else (0.0, 1.0)
+    if operand.value in (0, 1):
+        return ()
+    return (0, 1) if operand.value > 1 or operand.value < 0 else ()
+
+
+def _drop_unreachable(module: Module) -> None:
+    for func in module:
+        reachable = func.reachable_labels()
+        for label in [l for l in func.blocks if l not in reachable]:
+            del func.blocks[label]

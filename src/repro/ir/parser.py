@@ -242,11 +242,18 @@ def parse_module(text: str) -> Module:
         obj_match = _OBJECT_RE.match(line)
         if obj_match:
             kind, name, size, init_text = obj_match.groups()
-            init = (
-                [_parse_number(tok.strip()) for tok in init_text.split(",")]
-                if init_text
-                else None
-            )
+            # ``= []`` is an empty-but-present initializer — distinct
+            # from no initializer at all (``init_text is None``), which
+            # the printer would otherwise fail to round-trip.
+            if init_text is None:
+                init = None
+            elif not init_text.strip():
+                init = []
+            else:
+                init = [
+                    _parse_number(tok.strip())
+                    for tok in init_text.split(",")
+                ]
             if kind == "global":
                 module.add_global(name, int(size), init=init)
             else:

@@ -27,6 +27,7 @@ class WorkloadSpec:
     builder: Callable[[], BuiltWorkload]
 
     def build(self, variant: str = "train") -> BuiltWorkload:
+        from repro.ir import verify_module
         from repro.workloads.synth import set_data_variant
 
         previous = set_data_variant(variant)
@@ -35,6 +36,9 @@ class WorkloadSpec:
         finally:
             set_data_variant(previous)
         assert built.name == self.name, (built.name, self.name)
+        # A malformed CFG must fail here, at construction, not trials
+        # deep into an SFI or fuzz campaign that happens to execute it.
+        verify_module(built.module)
         return built
 
 

@@ -187,3 +187,84 @@ class TestInjectJournal:
         out = capsys.readouterr().out
         assert "livelock" in out
         assert "double_fault_unrecoverable" in out
+
+
+class TestFuzz:
+    ARGS = ["fuzz", "--profile", "small", "--seed", "7",
+            "--oracles", "opt,conservative", "--campaign-every", "0"]
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(self.ARGS + ["--budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "programs          6" in out
+        assert "failures          0" in out
+        assert "fingerprint" in out
+
+    def test_run_twice_prints_identical_summary(self, capsys):
+        assert main(self.ARGS + ["--budget", "6"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--budget", "6", "--jobs", "2"]) == 0
+        second = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        assert strip(first) == strip(second)
+
+    def test_journal_resume_matches_uninterrupted(self, tmp_path, capsys):
+        full = tmp_path / "full.jsonl"
+        part = tmp_path / "part.jsonl"
+        assert main(self.ARGS + ["--budget", "8",
+                                 "--journal", str(full)]) == 0
+        assert main(self.ARGS + ["--budget", "3",
+                                 "--journal", str(part)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--budget", "8",
+                                 "--resume", str(part)]) == 0
+        assert part.read_bytes() == full.read_bytes()
+
+    def test_resume_mismatch_fails_loudly(self, tmp_path, capsys):
+        part = tmp_path / "part.jsonl"
+        assert main(self.ARGS + ["--budget", "2",
+                                 "--journal", str(part)]) == 0
+        capsys.readouterr()
+        assert main(["fuzz", "--profile", "small", "--seed", "8",
+                     "--oracles", "opt,conservative",
+                     "--campaign-every", "0", "--budget", "2",
+                     "--resume", str(part)]) == 1
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_planted_defect_found_reduced_and_replayable(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.fuzz import DEFECT_ENV
+
+        monkeypatch.setenv(DEFECT_ENV, "opt-swap-add")
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--profile", "small", "--seed", "7",
+                     "--oracles", "opt", "--campaign-every", "0",
+                     "--budget", "6", "--corpus", str(corpus),
+                     "--max-reduce-checks", "500"]) == 1
+        out = capsys.readouterr().out
+        assert "unique failures   1" in out
+        assert "reduced opt:" in out
+        artifacts = list(corpus.glob("opt-*.ir"))
+        assert len(artifacts) == 1
+        # The artifact's replay command names a seed that reproduces.
+        replay_line = next(
+            line for line in artifacts[0].read_text().splitlines()
+            if "--replay" in line
+        )
+        seed = replay_line.split("--replay ")[1].split()[0]
+        assert main(["fuzz", "--replay", seed, "--profile", "small",
+                     "--oracles", "opt"]) == 1
+        assert "opt:mismatch" in capsys.readouterr().out
+
+    def test_replay_clean_program_exits_zero(self, capsys):
+        assert main(["fuzz", "--replay", "3", "--profile", "small",
+                     "--oracles", "opt"]) == 0
+        assert "all oracles passed" in capsys.readouterr().out
+
+    def test_bad_oracle_list_is_usage_error(self, capsys):
+        assert main(["fuzz", "--oracles", "bogus", "--budget", "1"]) == 2
+        assert "unknown oracle" in capsys.readouterr().err

@@ -59,6 +59,51 @@ class TestRoundTrip:
             )
             assert again.output == original.output, name
 
+    def test_every_shipped_workload_roundtrips(self):
+        """Printer ↔ parser is the identity over the whole corpus.
+
+        Property: for every registered workload (spec_int, spec_fp,
+        mediabench), print → parse → print is a fixpoint, the reparsed
+        module verifies, and it executes identically to the original.
+        """
+        from repro.workloads import all_workloads
+
+        for spec in all_workloads():
+            built = spec.build()
+            reparsed = roundtrip(built.module)
+            original = Interpreter(built.module).run(
+                built.entry, built.args,
+                output_objects=built.output_objects,
+            )
+            again = Interpreter(reparsed).run(
+                built.entry, built.args,
+                output_objects=built.output_objects,
+            )
+            assert again.value == original.value, spec.name
+            assert again.output == original.output, spec.name
+            assert again.events == original.events, spec.name
+
+    def test_every_shipped_workload_roundtrips_instrumented(self):
+        from repro.encore import EncoreConfig, compile_for_encore
+        from repro.workloads import all_workloads
+
+        config = EncoreConfig()
+        for spec in all_workloads():
+            built = spec.build()
+            report = compile_for_encore(built.module, config, clone=True)
+            roundtrip(report.module)
+
+    def test_empty_initializer_roundtrips(self):
+        """Regression: ``= []`` used to reparse as *no* initializer."""
+        from repro.ir import Module
+
+        module = Module("empties")
+        module.add_global("empty", 2, init=[])
+        module.add_global("bare", 2)
+        reparsed = roundtrip(module)
+        assert reparsed.globals["empty"].init == []
+        assert reparsed.globals["bare"].init is None
+
     def test_instrumented_module_roundtrips(self):
         from repro.encore import EncoreConfig, compile_for_encore
 

@@ -44,6 +44,23 @@ class TestRegistry:
         c = build_workload("164.gzip")
         assert a.module is not c.module
 
+    def test_malformed_kit_build_fails_at_construction(self):
+        """A builder emitting a bad CFG dies in ``WorkloadSpec.build``,
+        not hundreds of trials into a campaign that executes it."""
+        from repro.ir import VerificationError
+        from repro.workloads import WorkloadSpec
+        from repro.workloads.synth import BuiltWorkload, new_workload
+
+        def broken():
+            module, kit = new_workload("broken")
+            kit.b.block("entry")
+            kit.b.jmp("nowhere")  # dangling successor label
+            return BuiltWorkload(name="broken", module=module)
+
+        spec = WorkloadSpec("broken", SUITE_SPEC_INT, broken)
+        with pytest.raises(VerificationError):
+            spec.build()
+
 
 @pytest.mark.parametrize("name", ALL_NAMES)
 class TestEveryWorkload:
