@@ -27,12 +27,13 @@ from repro.opt import optimize_module
 from repro.runtime import (
     CampaignJournal,
     DetectionModel,
-    Interpreter,
+    ENGINES,
     JournalError,
     SupervisorPolicy,
     campaign_metadata,
     default_journal_path,
     load_journal,
+    make_interpreter,
     run_campaign,
     validate_resume,
 )
@@ -142,7 +143,7 @@ def cmd_protect(args) -> int:
 
 def cmd_run(args) -> int:
     module = _load(args.module)
-    result = Interpreter(module).run(
+    result = make_interpreter(module, engine=args.engine).run(
         args.function, _int_args(args.args), output_objects=args.outputs or ()
     )
     print(f"result: {result.value}")
@@ -225,6 +226,7 @@ def cmd_inject(args) -> int:
             trial_timeout=args.trial_timeout,
             completed=completed,
             on_result=on_result,
+            engine=args.engine,
         )
     finally:
         if journal is not None:
@@ -393,6 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--function", default="main")
     run.add_argument("--args", nargs="*", default=[])
     run.add_argument("--outputs", nargs="*", default=[])
+    run.add_argument("--engine", choices=sorted(ENGINES), default=None,
+                     help="interpreter engine (default: $ENCORE_ENGINE "
+                          "or 'fast'; both are bit-identical)")
     run.set_defaults(handler=cmd_run)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
@@ -441,6 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--resume", default=None, metavar="PATH",
                         help="resume a crashed campaign from its journal; "
                              "journaled trials are replayed verbatim")
+    inject.add_argument("--engine", choices=sorted(ENGINES), default=None,
+                        help="interpreter engine; campaigns and journals "
+                             "are bit-identical across engines, so a "
+                             "journal written under one engine resumes "
+                             "under the other")
     inject.set_defaults(handler=cmd_inject)
 
     fuzz_p = sub.add_parser(

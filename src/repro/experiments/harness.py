@@ -150,6 +150,7 @@ def run_sfi(
     chunk_size: Optional[int] = None,
     policy: Optional[SupervisorPolicy] = None,
     trial_timeout: Optional[float] = None,
+    engine: Optional[str] = None,
 ) -> CampaignResult:
     """SFI campaign entry point for experiments and benchmarks.
 
@@ -157,7 +158,8 @@ def run_sfi(
     ``jobs=None`` resolves through :func:`campaign_jobs` and
     ``trial_timeout=None`` through :func:`campaign_trial_timeout`, so
     environment variables parallelise and wall-clock-guard every
-    campaign an experiment runs.
+    campaign an experiment runs.  ``engine=None`` defers to the session
+    default (``ENCORE_ENGINE`` or the fast engine).
     """
     return run_campaign(
         module,
@@ -178,4 +180,5 @@ def run_sfi(
         trial_timeout=(
             campaign_trial_timeout() if trial_timeout is None else trial_timeout
         ),
+        engine=engine,
     )

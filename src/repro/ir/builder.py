@@ -70,11 +70,13 @@ class IRBuilder:
     def _coerce_ref(self, ref: MemRefLike, index: OperandLike = 0) -> MemRef:
         if isinstance(ref, MemRef):
             return ref
+        # VirtualRegister subclasses tuple, so the register check must
+        # come before the (base, index) pair unpacking.
+        if isinstance(ref, (MemoryObject, VirtualRegister)):
+            return MemRef(ref, self._coerce(index))
         if isinstance(ref, tuple):
             base, index = ref
             return self._coerce_ref(base, index)
-        if isinstance(ref, (MemoryObject, VirtualRegister)):
-            return MemRef(ref, self._coerce(index))
         raise TypeError(f"cannot use {ref!r} as a memory reference")
 
     def fresh(self, prefix: str = "t", type: Type = Type.I64) -> VirtualRegister:

@@ -17,15 +17,46 @@ from typing import Optional, Union
 from repro.ir.types import Type
 
 
-@dataclasses.dataclass(frozen=True)
-class VirtualRegister:
-    """A virtual register.  The IR is not SSA: registers may be reassigned."""
+_TYPE_BY_VALUE = {t.value: t for t in Type}
 
-    name: str
-    type: Type = Type.I64
+
+class VirtualRegister(tuple):
+    """A virtual register.  The IR is not SSA: registers may be reassigned.
+
+    Register objects key every frame's register file, so their hash and
+    equality sit on the interpreter's hottest path.  Subclassing ``tuple``
+    over ``(name, type.value)`` — both built-in types with C-level,
+    cached hashes — keeps every register-file dict probe out of Python
+    entirely; a frozen dataclass would re-enter a Python ``__hash__``
+    (and, on collisions, ``__eq__``) per probe.  Identity semantics are
+    unchanged: two registers are equal iff name and type agree.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, name: str, type: Type = Type.I64) -> "VirtualRegister":
+        value = type.value if isinstance(type, Type) else Type(type).value
+        return tuple.__new__(cls, (name, value))
+
+    @property
+    def name(self) -> str:
+        return self[0]
+
+    @property
+    def type(self) -> Type:
+        return _TYPE_BY_VALUE[self[1]]
+
+    def __getnewargs__(self) -> tuple:
+        return (self[0], _TYPE_BY_VALUE[self[1]])
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualRegister(name={self[0]!r}, "
+            f"type={_TYPE_BY_VALUE[self[1]]!r})"
+        )
 
     def __str__(self) -> str:
-        return f"%{self.name}"
+        return f"%{self[0]}"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -399,3 +399,11 @@ class PassManager:
             del self.ctx.results[name]
             self.stats.bump(transform.name, "invalidated_products")
         self._fingerprint = None
+        # Transforms may rewrite instruction fields in place (copyprop's
+        # ``inst.ref = ...``), which the decode cache's structural
+        # signature cannot see — drop its per-object memo explicitly.
+        # Imported lazily: the runtime is a client of the pipeline, not
+        # a dependency.
+        from repro.runtime.predecode import DECODE_CACHE
+
+        DECODE_CACHE.invalidate(self.ctx.module)

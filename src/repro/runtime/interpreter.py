@@ -1,4 +1,4 @@
-"""An interpreter for the repro IR.
+"""The reference interpreter for the repro IR.
 
 Executes modules instruction by instruction, exposing exactly the hooks
 the reproduction needs:
@@ -19,6 +19,15 @@ the reproduction needs:
 * traps (out-of-bounds accesses, division by zero) surface as
   :class:`Trap` outcomes — the "highly visible symptoms" that low-cost
   detectors key on.
+
+This module defines the **reference engine**: the simple decode-as-you-go
+loop every other engine is measured against.  The pre-decoded fast
+engine lives in :mod:`repro.runtime.predecode`; engine selection (and
+the ``Interpreter`` name itself, which resolves to the session's default
+engine) goes through :mod:`repro.runtime.engine`.  Whatever the engine,
+observable behaviour — events, costs, traps, recovery state, hook
+streams — must be bit-identical; ``tests/test_engine_equivalence.py``
+enforces that contract.
 """
 
 from __future__ import annotations
@@ -110,12 +119,29 @@ class _Frame:
         self.recovery_ptr: Optional[Tuple[int, str]] = None
 
 
-Hook = Callable[["Interpreter", StepEvent], None]
+Hook = Callable[["ReferenceInterpreter", StepEvent], None]
 ExternalFn = Callable[[Sequence[Word]], Word]
 
 
-class Interpreter:
-    """Executes one module.  Create a fresh instance per run."""
+class ReferenceInterpreter:
+    """Executes one module.
+
+    Instances are **single-run**: each carries the mutable state of one
+    execution (frames, machine memory, undo logs, recovery pointers,
+    cost counters), so ``run()`` may be called at most once — a second
+    call raises ``RuntimeError``.  ``resume()`` after an
+    externally-handled :class:`Trap` continues the *same* run and is
+    always allowed.
+
+    The run's **inputs** are a different story: the ``Module``, a golden
+    ``ExecResult``, and a pristine ``memory_image`` are never mutated by
+    execution, so sharing them across any number of interpreter
+    instances (and across campaign worker processes, the way
+    ``runtime/parallel.py`` does) is safe and encouraged.  A fresh
+    instance per run is exactly what guarantees that no ``_Frame``
+    state — ``recovery_ptr``, ``region_ckpts``, register files — leaks
+    from one trial into the next.
+    """
 
     def __init__(
         self,
@@ -125,6 +151,7 @@ class Interpreter:
         post_step: Optional[Hook] = None,
         externals: Optional[Dict[str, ExternalFn]] = None,
         metadata_guard: str = "off",
+        memory_image: Optional[MachineMemory] = None,
     ) -> None:
         self.module = module
         self.max_steps = max_steps
@@ -135,10 +162,15 @@ class Interpreter:
         # checkpoint record and recovery pointer on write and verifies
         # them before any rollback consumes them (guarded_state.py).
         self.guard = RecoveryStateGuard(metadata_guard)
-        self.memory = MachineMemory()
-        for obj in module.globals.values():
-            self.memory.materialize(obj)
+        # A campaign runs the same module thousands of times; cloning a
+        # pristine image is much cheaper than re-materializing every
+        # global, and bit-identical to it by construction.
+        if memory_image is not None:
+            self.memory = memory_image.clone()
+        else:
+            self.memory = MachineMemory.pristine(module)
         self.frames: List[_Frame] = []
+        self._started = False
         self.events = 0
         self.cost = 0
         self.app_cost = 0
@@ -163,6 +195,13 @@ class Interpreter:
         output_objects: Sequence[str] = (),
     ) -> ExecResult:
         """Execute ``function`` to completion and snapshot ``output_objects``."""
+        if self._started:
+            raise RuntimeError(
+                "interpreter instances are single-run: build a fresh "
+                "instance per execution (sharing the module, golden "
+                "result, and memory image across runs is fine)"
+            )
+        self._started = True
         self._push_frame(self.module.function(function), args, ret_dest=None)
         return self.resume(output_objects)
 
@@ -643,25 +682,37 @@ def _default_external(args: Sequence[Word]) -> Word:
 
 
 _DISPATCH = {
-    "binop": Interpreter._do_binop,
-    "unop": Interpreter._do_unop,
-    "cmp": Interpreter._do_cmp,
-    "select": Interpreter._do_select,
-    "mov": Interpreter._do_mov,
-    "addrof": Interpreter._do_addrof,
-    "load": Interpreter._do_load,
-    "store": Interpreter._do_store,
-    "alloc": Interpreter._do_alloc,
-    "br": Interpreter._do_br,
-    "jmp": Interpreter._do_jmp,
-    "call": Interpreter._do_call,
-    "ret": Interpreter._do_ret,
-    "set_recovery_ptr": Interpreter._do_set_recovery_ptr,
-    "clear_recovery_ptr": Interpreter._do_clear_recovery_ptr,
-    "ckpt_reg": Interpreter._do_ckpt_reg,
-    "ckpt_mem": Interpreter._do_ckpt_mem,
-    "restore": Interpreter._do_restore,
+    "binop": ReferenceInterpreter._do_binop,
+    "unop": ReferenceInterpreter._do_unop,
+    "cmp": ReferenceInterpreter._do_cmp,
+    "select": ReferenceInterpreter._do_select,
+    "mov": ReferenceInterpreter._do_mov,
+    "addrof": ReferenceInterpreter._do_addrof,
+    "load": ReferenceInterpreter._do_load,
+    "store": ReferenceInterpreter._do_store,
+    "alloc": ReferenceInterpreter._do_alloc,
+    "br": ReferenceInterpreter._do_br,
+    "jmp": ReferenceInterpreter._do_jmp,
+    "call": ReferenceInterpreter._do_call,
+    "ret": ReferenceInterpreter._do_ret,
+    "set_recovery_ptr": ReferenceInterpreter._do_set_recovery_ptr,
+    "clear_recovery_ptr": ReferenceInterpreter._do_clear_recovery_ptr,
+    "ckpt_reg": ReferenceInterpreter._do_ckpt_reg,
+    "ckpt_mem": ReferenceInterpreter._do_ckpt_mem,
+    "restore": ReferenceInterpreter._do_restore,
 }
+
+
+def __getattr__(name: str):
+    # ``Interpreter`` stays importable from here for the whole repo, but
+    # resolves to the session's default engine (PEP 562).  The lazy
+    # import breaks the cycle interpreter -> engine -> predecode ->
+    # interpreter.
+    if name == "Interpreter":
+        from repro.runtime.engine import engine_class
+
+        return engine_class()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def bitflip(value: Word, bit: int) -> Word:

@@ -42,6 +42,27 @@ class MachineMemory:
         self._sizes: Dict[str, int] = {}
         self._heap_counter = 0
 
+    @classmethod
+    def pristine(cls, module) -> "MachineMemory":
+        """The start-of-run image: every module global, materialized."""
+        memory = cls()
+        for obj in module.globals.values():
+            memory.materialize(obj)
+        return memory
+
+    def clone(self) -> "MachineMemory":
+        """An independent deep copy (cells are one level deep by design).
+
+        Campaign workers clone one pristine image per trial instead of
+        re-materializing every global; the copy shares nothing mutable
+        with its source.
+        """
+        twin = MachineMemory()
+        twin._cells = {name: list(cells) for name, cells in self._cells.items()}
+        twin._sizes = dict(self._sizes)
+        twin._heap_counter = self._heap_counter
+        return twin
+
     # -- lifecycle ------------------------------------------------------
 
     def materialize(self, obj: MemoryObject, instance_name: Optional[str] = None) -> str:

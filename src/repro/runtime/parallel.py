@@ -64,15 +64,21 @@ _WORKER: dict = {}
 
 
 def _init_worker(payload: bytes) -> None:
+    from repro.runtime.memory import MachineMemory
     from repro.runtime.sfi import golden_run
 
     state = pickle.loads(payload)
+    # Materialize the module's globals exactly once per worker; every
+    # trial in every chunk clones this image instead of rebuilding it.
+    state["memory_image"] = MachineMemory.pristine(state["module"])
     state["golden"] = golden_run(
         state["module"],
         state["function"],
         state["args"],
         state["output_objects"],
         externals=state["externals"],
+        engine=state.get("engine"),
+        memory_image=state["memory_image"],
     )
     _WORKER.clear()
     _WORKER.update(state)
@@ -96,6 +102,8 @@ def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialRe
                 policy=state["policy"],
                 trial_timeout=state["trial_timeout"],
                 metadata_guard=state.get("metadata_guard", "off"),
+                engine=state.get("engine"),
+                memory_image=state["memory_image"],
             ),
         )
         for plan in plans
@@ -138,6 +146,7 @@ def run_parallel_campaign(
     on_result: Optional[Callable[[int, TrialResult], None]] = None,
     done_offset: int = 0,
     total: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[List[TrialResult], Dict[str, int], int]:
     """Fan ``plans`` out over ``jobs`` worker processes.
 
@@ -161,6 +170,7 @@ def run_parallel_campaign(
                 "policy": policy,
                 "trial_timeout": trial_timeout,
                 "metadata_guard": metadata_guard,
+                "engine": engine,
             }
         )
     except Exception as exc:

@@ -57,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.module import Module
 from repro.runtime.detection import DetectionModel
+from repro.runtime.engine import make_interpreter
 from repro.runtime.guarded_state import METADATA_TARGETS
 from repro.runtime.interpreter import (
     ExecResult,
@@ -66,6 +67,7 @@ from repro.runtime.interpreter import (
     Trap,
     bitflip,
 )
+from repro.runtime.memory import MachineMemory
 from repro.runtime.supervisor import (
     EscalateTrial,
     RecoverySupervisor,
@@ -435,10 +437,22 @@ def golden_run(
     output_objects: Sequence[str] = (),
     max_steps: int = 5_000_000,
     externals=None,
+    engine: Optional[str] = None,
+    memory_image: Optional[MachineMemory] = None,
 ) -> ExecResult:
-    return Interpreter(module, max_steps=max_steps, externals=externals).run(
-        function, args, output_objects=output_objects
+    """The fault-free reference execution trials are classified against.
+
+    ``engine`` selects the interpreter (see
+    :mod:`repro.runtime.engine`); both engines produce bit-identical
+    results, so trial verdicts never depend on the choice.
+    ``memory_image`` shares a pristine memory snapshot the run clones
+    instead of re-materializing every global.
+    """
+    interp = make_interpreter(
+        module, engine=engine, max_steps=max_steps, externals=externals,
+        memory_image=memory_image,
     )
+    return interp.run(function, args, output_objects=output_objects)
 
 
 def run_trial(
@@ -456,6 +470,8 @@ def run_trial(
     recovery_faults: Sequence[Tuple[int, int, Optional[int]]] = (),
     metadata_faults: Sequence[Tuple[int, str, int, int]] = (),
     metadata_guard: str = "off",
+    engine: Optional[str] = None,
+    memory_image: Optional[MachineMemory] = None,
 ) -> TrialResult:
     """Execute one fault-injection trial and classify its outcome.
 
@@ -467,6 +483,8 @@ def run_trial(
     ``metadata_faults`` strike Encore's own recovery state —
     ``metadata_guard`` selects the protection level
     (:data:`repro.runtime.guarded_state.GUARD_LEVELS`) defending it.
+    ``engine`` picks the interpreter; ``memory_image`` shares a
+    pristine memory snapshot across trials of one campaign.
     """
     if isinstance(site, int):
         faults = [(site, bit, latency)]
@@ -475,9 +493,10 @@ def run_trial(
     supervisor = RecoverySupervisor(policy, tuple(recovery_faults))
     injector = _FaultInjector(faults, supervisor, metadata_faults)
     max_steps = max(golden.events * max_steps_factor, 10_000)
-    interp = Interpreter(
-        module, max_steps=max_steps, post_step=injector, externals=externals,
-        metadata_guard=metadata_guard,
+    interp = make_interpreter(
+        module, engine=engine, max_steps=max_steps, post_step=injector,
+        externals=externals, metadata_guard=metadata_guard,
+        memory_image=memory_image,
     )
     trapped = False
     hang = False
@@ -609,6 +628,8 @@ def run_planned_trial(
     policy: Optional[SupervisorPolicy] = None,
     trial_timeout: Optional[float] = None,
     metadata_guard: str = "off",
+    engine: Optional[str] = None,
+    memory_image: Optional[MachineMemory] = None,
 ) -> TrialResult:
     """Execute one trial from a pre-derived :class:`FaultPlan`.
 
@@ -639,6 +660,8 @@ def run_planned_trial(
             recovery_faults=plan.recovery_faults,
             metadata_faults=plan.metadata_faults,
             metadata_guard=metadata_guard,
+            engine=engine,
+            memory_image=memory_image,
         )
 
     try:
@@ -668,6 +691,7 @@ def run_campaign(
     max_pool_retries: int = 2,
     completed: Optional[Dict[int, TrialResult]] = None,
     on_result: Optional[Callable[[int, TrialResult], None]] = None,
+    engine: Optional[str] = None,
 ) -> CampaignResult:
     """A full SFI campaign with uniformly-distributed fault sites.
 
@@ -695,11 +719,21 @@ def run_campaign(
     seeds the campaign with journaled results to skip (resume), and
     ``on_result`` streams each newly-executed ``(index, result)`` pair
     — the campaign journal's append hook — in completion order.
+
+    ``engine`` selects the interpreter for the golden run and every
+    trial.  Both engines are bit-identical (the equivalence contract),
+    so campaign results — and journals, which deliberately do not
+    record the engine — are valid across engines: a campaign journaled
+    under one engine can resume under the other.
     """
     detector = detector or DetectionModel()
     start = time.monotonic()
+    # One pristine memory image per campaign: every golden run and
+    # trial clones it instead of re-materializing all globals.
+    memory_image = MachineMemory.pristine(module)
     golden = golden_run(
-        module, function, args, output_objects, externals=externals
+        module, function, args, output_objects, externals=externals,
+        engine=engine, memory_image=memory_image,
     )
     plans = plan_campaign(
         seed, trials, golden.events, detector,
@@ -739,6 +773,7 @@ def run_campaign(
                 on_result=emit,
                 done_offset=resumed,
                 total=trials,
+                engine=engine,
             )
         except ParallelUnavailable:
             pass
@@ -773,6 +808,8 @@ def run_campaign(
                 policy=policy,
                 trial_timeout=trial_timeout,
                 metadata_guard=metadata_guard,
+                engine=engine,
+                memory_image=memory_image,
             )
             emit(plan.trial_index, trial)
             results.append(trial)

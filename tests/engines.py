@@ -1,0 +1,158 @@
+"""Shared helpers for the engine-equivalence harness.
+
+The repo's correctness story for the fast engine is *differential*:
+every observable of an execution — result, counters, output snapshots,
+trap identity, recovery state, step streams — must be bit-identical
+between :class:`~repro.runtime.predecode.FastInterpreter` and
+:class:`~repro.runtime.interpreter.ReferenceInterpreter`.
+:func:`observe` runs one module on one engine and flattens everything
+observable into a comparable :class:`Observation`;
+``tests/test_engine_equivalence.py`` asserts the two engines' curves
+coincide everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.runtime import (
+    ENGINES,
+    ExecutionLimit,
+    Trap,
+    make_interpreter,
+)
+
+ENGINE_NAMES = tuple(sorted(ENGINES))
+
+
+@dataclasses.dataclass
+class Observation:
+    """Everything observable about one execution, engine-agnostic.
+
+    ``status`` is ``"finished"``, ``"trap"``, ``"limit"`` or
+    ``"error:<ExcType>"``; the counter fields always reflect the state
+    at exit, however the run ended.
+    """
+
+    status: str
+    value: object = None
+    events: int = 0
+    cost: int = 0
+    app_cost: int = 0
+    instrumentation_cost: int = 0
+    output: Optional[Dict] = None
+    trap_reason: Optional[str] = None
+    trap_event: Optional[int] = None
+    error: Optional[str] = None
+    peak_ckpt_words: Optional[Dict] = None
+    frame_state: Optional[Tuple] = None
+    steps: Optional[Tuple] = None
+
+
+def _frame_state(interp) -> Tuple:
+    """The live frame stack, flattened for comparison (post-trap)."""
+    return tuple(
+        (
+            frame.func.name,
+            frame.block,
+            frame.ip,
+            frame.recovery_ptr,
+            dict(frame.regs),
+            {rid: list(recs) for rid, recs in frame.region_ckpts.items()},
+        )
+        for frame in interp.frames
+    )
+
+
+def observe(
+    engine: str,
+    module,
+    entry: str = "main",
+    args=(),
+    output_objects=(),
+    externals=None,
+    max_steps: int = 5_000_000,
+    metadata_guard: str = "off",
+    record_steps: bool = False,
+    resume_after_trap: bool = False,
+) -> Observation:
+    """Run ``module`` on ``engine`` and capture every observable.
+
+    ``record_steps`` installs a post-step hook that journals the step
+    stream (this also exercises the fast engine's slow hook tier).
+    ``resume_after_trap`` additionally triggers an immediate Encore
+    rollback after a trap and resumes, capturing the recovered result —
+    the differential check for the recovery path itself.
+    """
+    steps = [] if record_steps else None
+    post_step = None
+    if record_steps:
+        def post_step(interp, event):
+            steps.append(
+                (
+                    event.index,
+                    event.func,
+                    event.block,
+                    event.inst_index,
+                    event.inst.opcode,
+                    event.frame_id,
+                    tuple(event.loads),
+                    tuple(event.stores),
+                )
+            )
+
+    interp = make_interpreter(
+        module,
+        engine=engine,
+        max_steps=max_steps,
+        post_step=post_step,
+        externals=externals,
+        metadata_guard=metadata_guard,
+    )
+    obs = Observation(status="finished")
+    try:
+        result = interp.run(entry, args, output_objects=output_objects)
+    except Trap as trap:
+        obs.status = "trap"
+        obs.trap_reason = trap.reason
+        obs.trap_event = trap.event_index
+        obs.frame_state = _frame_state(interp)
+        if resume_after_trap and interp.trigger_recovery(immediate=True):
+            try:
+                result = interp.resume(output_objects=output_objects)
+            except Trap as again:
+                obs.status = "trap+retrap"
+                obs.trap_reason = (trap.reason, again.reason)
+                obs.trap_event = (trap.event_index, again.event_index)
+            else:
+                obs.status = "trap+recovered"
+                obs.value = result.value
+                obs.output = result.output
+    except ExecutionLimit:
+        obs.status = "limit"
+        obs.frame_state = _frame_state(interp)
+    except (KeyError, OverflowError) as exc:
+        # Malformed-module failure modes (wild labels, huge float->int
+        # conversions) must be the same exception on both engines.
+        obs.status = f"error:{type(exc).__name__}"
+        obs.error = repr(exc)
+    else:
+        obs.value = result.value
+        obs.output = result.output
+    obs.events = interp.events
+    obs.cost = interp.cost
+    obs.app_cost = interp.app_cost
+    obs.instrumentation_cost = interp.instrumentation_cost
+    obs.peak_ckpt_words = dict(interp.peak_ckpt_words)
+    if record_steps:
+        obs.steps = tuple(steps)
+    return obs
+
+
+def observe_both(module, **kwargs) -> Tuple[Observation, Observation]:
+    """(fast, reference) observations of the same module and inputs."""
+    return (
+        observe("fast", module, **kwargs),
+        observe("reference", module, **kwargs),
+    )

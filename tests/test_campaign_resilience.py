@@ -278,6 +278,57 @@ class TestResumeEquivalence:
         assert extended.trials == long.trials
 
 
+class TestCrossEngineResume:
+    """Journals deliberately do not record the engine: because both
+    engines are bit-identical, a campaign journaled under one must
+    resume under the other without a single diverging trial."""
+
+    def test_journal_written_by_reference_resumes_under_fast(self, tmp_path):
+        module = _module()
+        detector = _detector()
+        serial = run_campaign(
+            module, trials=30, seed=11, detector=detector,
+            output_objects=["arr"], engine="reference",
+        )
+        path = str(tmp_path / "cross.jsonl")
+        meta = campaign_metadata(module, 11, detector)
+        with CampaignJournal(path) as journal:
+            journal.write_header(meta)
+            run_campaign(
+                module, trials=10, seed=11, detector=detector,
+                output_objects=["arr"], on_result=journal.record,
+                engine="reference",
+            )
+        loaded_meta, completed = load_journal(path)
+        validate_resume(loaded_meta, meta)  # engine-free headers match
+        resumed = run_campaign(
+            module, trials=30, seed=11, detector=detector,
+            output_objects=["arr"], completed=completed, engine="fast",
+        )
+        assert resumed.trials == serial.trials
+        assert resumed.resumed_trials == 10
+
+    @pytest.mark.skipif(not _HAS_FORK, reason="needs fork start method")
+    def test_fast_parallel_resume_of_reference_journal(self, tmp_path):
+        # The resumed tail runs on the fast engine across workers, each
+        # cloning its per-worker cached golden memory image — still
+        # bit-identical to the serial reference campaign.
+        module = _module()
+        detector = _detector()
+        serial = run_campaign(
+            module, trials=24, seed=3, detector=detector,
+            output_objects=["arr"], engine="reference",
+        )
+        completed = {i: serial.trials[i] for i in (0, 5, 6, 7, 20, 23)}
+        resumed = run_campaign(
+            module, trials=24, seed=3, detector=detector,
+            output_objects=["arr"], completed=completed, jobs=2,
+            engine="fast",
+        )
+        assert resumed.trials == serial.trials
+        assert resumed.resumed_trials == 6
+
+
 @pytest.mark.skipif(not _HAS_FORK, reason="needs fork start method")
 class TestWorkerCrashContainment:
     def _env(self, monkeypatch, sentinel):

@@ -1,0 +1,314 @@
+"""Differential equivalence: the fast engine IS the reference engine.
+
+The pre-decoded template-dispatch engine
+(:class:`repro.runtime.predecode.FastInterpreter`) is only allowed to
+exist because nothing observable distinguishes it from
+:class:`repro.runtime.interpreter.ReferenceInterpreter`.  This harness
+pins that contract from every direction:
+
+* every golden workload, plain and Encore-instrumented, produces a
+  bit-identical :class:`Observation` on both engines (results, all
+  four counters, output snapshots, peak checkpoint footprints);
+* step-event streams (the hook tier) coincide event for event;
+* trap identity coincides: reason string, trap event index, and the
+  full post-trap frame state (registers, undo logs, recovery
+  pointers), plus the recovered result after an Encore rollback;
+* malformed modules fail identically (fell-off blocks, wild labels);
+* step budgets exhaust identically;
+* a hypothesis sweep and a ≥200-seed batch of fuzzer-generated
+  programs (nested loops, calls, aliased pointers, externals) agree,
+  plain and instrumented.
+
+If this file fails, the fast engine is wrong — the reference
+interpreter is the specification.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from engines import observe, observe_both
+from repro.encore import compile_for_encore
+from repro.fuzz import EXTERNALS, SMALL, generate_program, program_strategy
+from repro.ir import IRBuilder, Module
+from repro.ir.instructions import (
+    CheckpointMem,
+    CheckpointReg,
+    ClearRecoveryPtr,
+    Jump,
+    RestoreCheckpoints,
+    SetRecoveryPtr,
+)
+from repro.ir.values import MemRef
+from repro.workloads import all_workloads
+
+WORKLOADS = {spec.name: spec for spec in all_workloads()}
+
+
+def _assert_equivalent(module, **kwargs):
+    fast, ref = observe_both(module, **kwargs)
+    assert fast == ref, f"engines diverged: fast={fast!r} ref={ref!r}"
+    return fast
+
+
+# ---------------------------------------------------------------------------
+# Golden workloads: plain and instrumented, both engines
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def test_workload_plain_equivalence(name):
+    built = WORKLOADS[name].build()
+    obs = _assert_equivalent(
+        built.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        externals=built.externals,
+    )
+    assert obs.status == "finished"
+    assert obs.instrumentation_cost == 0
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def test_workload_instrumented_equivalence(name):
+    built = WORKLOADS[name].build()
+    report = compile_for_encore(
+        built.module,
+        function=built.entry,
+        args=built.args,
+        externals=built.externals,
+    )
+    obs = _assert_equivalent(
+        report.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        externals=built.externals,
+    )
+    assert obs.status == "finished"
+    if report.instrumentation.instrumented_regions:
+        assert obs.instrumentation_cost > 0
+
+
+@pytest.mark.parametrize("name", ["unepic", "cjpeg"])
+def test_workload_step_streams_identical(name):
+    """The hook tier replays the exact reference step stream."""
+    built = WORKLOADS[name].build()
+    obs = _assert_equivalent(
+        built.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        externals=built.externals,
+        record_steps=True,
+    )
+    assert obs.steps, "hook tier recorded no events"
+    assert len(obs.steps) == obs.events
+
+
+# ---------------------------------------------------------------------------
+# Trap identity: reason, event index, post-trap machine state
+# ---------------------------------------------------------------------------
+
+
+def _div_zero_module(by_register: bool) -> Module:
+    module = Module("divzero")
+    out = module.add_global("out", 4)
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    num = b.mov(7)
+    den = b.mov(0) if by_register else 0
+    q = b.sdiv(num, den)
+    b.store((out, 0), q)
+    b.ret(q)
+    return module
+
+
+@pytest.mark.parametrize("by_register", [True, False],
+                         ids=["reg-divisor", "const-divisor"])
+def test_division_by_zero_identical(by_register):
+    obs = _assert_equivalent(
+        _div_zero_module(by_register), output_objects=("out",)
+    )
+    assert obs.status == "trap"
+    assert "division by zero" in obs.trap_reason
+
+
+def test_remainder_by_zero_identical():
+    module = Module("remzero")
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    r = b.srem(b.mov(7), b.mov(0))
+    b.ret(r)
+    obs = _assert_equivalent(module)
+    assert obs.status == "trap"
+    assert "remainder by zero" in obs.trap_reason
+
+
+@pytest.mark.parametrize("index", [-1, 64], ids=["negative", "past-end"])
+def test_out_of_bounds_access_identical(index):
+    module = Module("oob")
+    buf = module.add_global("buf", 8)
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    i = b.mov(index)
+    v = b.load((buf, i))
+    b.ret(v)
+    obs = _assert_equivalent(module)
+    assert obs.status == "trap"
+
+
+def test_fell_off_block_identical():
+    module = Module("felloff")
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    b.mov(1)  # no terminator: execution falls off the block end
+    obs = _assert_equivalent(module)
+    assert obs.status == "trap"
+    assert "fell off end of block entry" in obs.trap_reason
+
+
+def test_wild_branch_label_identical():
+    module = Module("wild")
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    b.jmp("nowhere")
+    obs = _assert_equivalent(module)
+    assert obs.status == "error:KeyError"
+
+
+def test_unknown_callee_identical():
+    """Calls to undeclared functions hit the default external handler
+    on both engines (the fast engine's external-call closure)."""
+    module = Module("nocallee")
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    r = b.call("ghost", [])
+    b.ret(r)
+    obs = _assert_equivalent(module)
+    assert obs.status == "finished"
+
+
+def test_step_budget_exhausts_identically():
+    module = Module("spin")
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    b.jmp("entry")
+    obs = _assert_equivalent(module, max_steps=1000)
+    assert obs.status == "limit"
+    assert obs.events == 1000
+
+
+# ---------------------------------------------------------------------------
+# Encore instrumentation ops and the recovery path
+# ---------------------------------------------------------------------------
+
+
+def _protected_trap_module() -> Module:
+    """A hand-instrumented region whose body traps on first entry.
+
+    ``flag`` starts 0 and the region divides by it; the recovery block
+    restores the checkpoints and sets ``flag`` to 1, so a rollback
+    re-executes the region successfully.  Differentially checks
+    set/clear recovery pointer, register and memory checkpoints,
+    restore, and post-rollback control flow on both engines.
+    """
+    module = Module("protected")
+    flag = module.add_global("flag", 1)
+    out = module.add_global("out", 2)
+    func = module.add_function("main")
+    b = IRBuilder(func)
+    b.block("entry")
+    x = b.mov(40, dest=b.fresh("x"))
+    b.jmp("region")
+
+    b.block("region")
+    b.current_block.append(SetRecoveryPtr(1, "region.recover"))
+    b.current_block.append(CheckpointReg(1, x))
+    b.current_block.append(CheckpointMem(1, MemRef(out, b._coerce(0))))
+    d = b.load((flag, 0))
+    b.store((out, 0), b.mov(9))
+    q = b.sdiv(x, d)
+    b.store((out, 1), q)
+    b.current_block.append(ClearRecoveryPtr(1))
+    b.jmp("exit")
+
+    b.block("region.recover")
+    b.current_block.append(RestoreCheckpoints(1))
+    b.store((flag, 0), 1)
+    b.current_block.append(Jump("region"))
+
+    b.block("exit")
+    v = b.load((out, 1))
+    b.ret(v)
+    return module
+
+
+def test_encore_ops_and_rollback_identical():
+    obs = _assert_equivalent(
+        _protected_trap_module(),
+        output_objects=("out", "flag"),
+        resume_after_trap=True,
+    )
+    assert obs.status == "trap+recovered"
+    assert obs.value == 40
+    assert obs.output == {"out": [9, 40], "flag": [1]}
+    assert obs.instrumentation_cost > 0
+    assert obs.peak_ckpt_words  # the undo log was actually exercised
+
+
+def test_unrecovered_trap_frame_state_identical():
+    """Without a rollback, post-trap frames must still match exactly."""
+    obs = _assert_equivalent(
+        _protected_trap_module(), output_objects=("out",)
+    )
+    assert obs.status == "trap"
+    assert obs.frame_state is not None
+    assert obs.frame_state[0][3] == (1, "region.recover")  # live recovery ptr
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer-generated programs: hypothesis sweep plus a ≥200-seed batch
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_equivalent(program, instrumented: bool) -> None:
+    module = program.module
+    if instrumented:
+        module = compile_for_encore(
+            module,
+            function=program.entry,
+            args=program.args,
+            externals=EXTERNALS,
+        ).module
+    _assert_equivalent(
+        module,
+        entry=program.entry,
+        args=program.args,
+        output_objects=program.output_objects,
+        externals=EXTERNALS,
+    )
+
+
+@given(program=program_strategy(SMALL))
+@settings(max_examples=30, deadline=None)
+def test_generated_programs_equivalent(program):
+    _fuzz_equivalent(program, instrumented=False)
+
+
+@given(program=program_strategy(SMALL))
+@settings(max_examples=10, deadline=None)
+def test_generated_programs_equivalent_instrumented(program):
+    _fuzz_equivalent(program, instrumented=True)
+
+
+@pytest.mark.parametrize("bank", range(8))
+def test_seed_batch_equivalent(bank):
+    """Deterministic 200-seed sweep (25 per bank), instrumenting every
+    eighth program so the Encore ops get fuzz coverage too."""
+    for offset in range(25):
+        seed = bank * 25 + offset
+        program = generate_program(seed, SMALL)
+        _fuzz_equivalent(program, instrumented=(seed % 8 == 0))

@@ -1,0 +1,288 @@
+"""Unit tests for the pre-decode layer itself: cache, fusion, tiers.
+
+``tests/test_engine_equivalence.py`` proves the fast engine *behaves*
+like the reference; this file pins the machinery underneath — the
+decode cache's hit/invalidation contract, superinstruction fusion, the
+fast/slow tier switch, and the single-run interpreter contract.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.ir import IRBuilder, Module
+from repro.runtime import (
+    DecodeCache,
+    ExecutionLimit,
+    FastInterpreter,
+    MachineMemory,
+    ReferenceInterpreter,
+    decode_module,
+    invalidate_decode,
+)
+from repro.runtime.predecode import DECODE_CACHE
+
+
+def _loop_module(trips: int = 10) -> Module:
+    """A counted loop whose header is a fusible cmp+br pair and whose
+    body is a fusible ckpt-free store."""
+    module = Module("loop")
+    out = module.add_global("out", 16)
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    i = b.fresh("i")
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    c = b.cmp("slt", i, trips)
+    b.br(c, "body", "exit")
+    b.block("body")
+    b.store((out, b.binop("and", i, 15)), i)
+    b.mov(b.add(i, 1), dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(i)
+    return module
+
+
+def _run(cls, module, **kwargs):
+    interp = cls(module, **kwargs)
+    return interp, interp.run("main", output_objects=("out",))
+
+
+# ---------------------------------------------------------------------------
+# Decode cache
+# ---------------------------------------------------------------------------
+
+
+class TestDecodeCache:
+    def test_module_hit(self):
+        cache = DecodeCache()
+        module = _loop_module()
+        first = cache.program_for(module)
+        second = cache.program_for(module)
+        assert first is second
+        assert cache.stats["module_hits"] == 1
+        assert cache.stats["decodes"] == 1
+
+    def test_fingerprint_hit_shares_across_copies(self):
+        """Content-equal module copies (deepcopies, forked workers)
+        share one decoded program through the fingerprint level."""
+        cache = DecodeCache()
+        module = _loop_module()
+        program = cache.program_for(module)
+        twin = cache.program_for(copy.deepcopy(module))
+        assert twin is program
+        assert cache.stats["fingerprint_hits"] == 1
+        assert cache.stats["decodes"] == 1
+
+    def test_structural_change_invalidates(self):
+        """Swapping a block's instruction list is caught by the
+        structural signature — no explicit invalidation needed."""
+        cache = DecodeCache()
+        module = _loop_module()
+        stale = cache.program_for(module)
+        b = IRBuilder(module.functions["main"])
+        b.position_at("exit")
+        ret = b.current_block.instructions.pop()
+        b.mov(99)
+        b.current_block.append(ret)
+        fresh = cache.program_for(module)
+        assert fresh is not stale
+        assert fresh.fingerprint != stale.fingerprint
+
+    def test_field_mutation_needs_invalidate(self):
+        """In-place *field* rewrites are invisible to the signature —
+        exactly the hazard :func:`invalidate_decode` exists for."""
+        module = _loop_module()
+        DECODE_CACHE.program_for(module)
+        stale = DECODE_CACHE.program_for(module)
+        add = next(
+            inst
+            for inst in module.functions["main"].blocks["body"].instructions
+            if inst.opcode == "binop" and inst.op == "add"
+        )
+        add.op = "sub"
+        assert DECODE_CACHE.program_for(module) is stale  # hazard
+        invalidate_decode(module)
+        fresh = DECODE_CACHE.program_for(module)
+        assert fresh is not stale
+        assert fresh.fingerprint != stale.fingerprint
+
+    def test_pass_manager_invalidates_after_transforms(self):
+        """The optimizer's transform passes mutate modules; running the
+        pipeline must leave no stale decode behind."""
+        from repro.ir import module_to_text
+        from repro.opt import optimize_module
+
+        module = Module("foldable")
+        out = module.add_global("out", 4)
+        b = IRBuilder(module.add_function("main"))
+        b.block("entry")
+        t = b.add(2, 3)  # constant-foldable: the optimizer rewrites it
+        b.store((out, 0), t)
+        b.ret(t)
+        before = module_to_text(module)
+        stale = DECODE_CACHE.program_for(module)
+        optimize_module(module)
+        assert module_to_text(module) != before, "optimizer did nothing"
+        fresh = DECODE_CACHE.program_for(module)
+        assert fresh is not stale
+        ref = ReferenceInterpreter(module).run("main", output_objects=("out",))
+        fast = FastInterpreter(module).run("main", output_objects=("out",))
+        assert ref == fast
+
+    def test_lru_bound(self):
+        cache = DecodeCache(max_programs=2)
+        modules = [_loop_module(trips) for trips in (3, 4, 5)]
+        for module in modules:
+            cache.program_for(module)
+        assert cache.stats["programs"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Superinstruction fusion
+# ---------------------------------------------------------------------------
+
+
+class TestFusion:
+    def test_cmp_br_pairs_fuse(self):
+        program = decode_module(_loop_module())
+        assert program.fused["cmp_br"] >= 1
+
+    def test_fused_pair_charges_like_reference(self):
+        """Fusion must not change any counter: the pair still counts
+        two events and two cost units per execution."""
+        module = _loop_module(trips=7)
+        _, ref = _run(ReferenceInterpreter, module)
+        _, fast = _run(FastInterpreter, module)
+        assert ref == fast
+
+    def test_limit_mid_fused_pair_identical(self):
+        """A step budget that expires *between* the halves of a fused
+        pair must park the same (block, ip) as the reference engine."""
+        module = _loop_module(trips=1000)
+        program = decode_module(module)
+        assert program.fused["cmp_br"] >= 1
+        for budget in range(3, 12):
+            pair = []
+            for cls in (FastInterpreter, ReferenceInterpreter):
+                interp = cls(module, max_steps=budget)
+                with pytest.raises(ExecutionLimit):
+                    interp.run("main")
+                frame = interp.frames[-1]
+                pair.append(
+                    (interp.events, interp.cost, frame.block, frame.ip,
+                     dict(frame.regs))
+                )
+            assert pair[0] == pair[1], f"diverged at budget {budget}"
+
+
+# ---------------------------------------------------------------------------
+# Tier switching: hooks installed and removed mid-run
+# ---------------------------------------------------------------------------
+
+
+def _external_call_module() -> Module:
+    module = Module("tiers")
+    out = module.add_global("out", 8)
+    module.externals.add("toggle")
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    i = b.fresh("i")
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    c = b.cmp("slt", i, 6)
+    b.br(c, "body", "exit")
+    b.block("body")
+    b.call("toggle", [i])
+    b.store((out, b.binop("and", i, 7)), b.mul(i, i))
+    b.mov(b.add(i, 1), dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(i)
+    return module
+
+
+class TestTierSwitching:
+    def test_hook_install_and_removal_mid_run(self):
+        """An external call installs a post-step hook (fast → slow
+        tier), a later one removes it (slow → fast tier); the recorded
+        window and the final result must match the reference engine."""
+        module = _external_call_module()
+        results = {}
+        windows = {}
+        for cls in (FastInterpreter, ReferenceInterpreter):
+            seen = []
+            holder = {}
+
+            def hook(interp, event):
+                seen.append((event.index, event.inst.opcode))
+
+            def toggle(args):
+                interp = holder["interp"]
+                if args[0] == 1:
+                    interp.post_step = hook
+                elif args[0] == 4:
+                    interp.post_step = None
+                return 0
+
+            interp = cls(module, externals={"toggle": toggle})
+            holder["interp"] = interp
+            results[cls] = interp.run("main", output_objects=("out",))
+            windows[cls] = tuple(seen)
+        assert results[FastInterpreter] == results[ReferenceInterpreter]
+        assert windows[FastInterpreter] == windows[ReferenceInterpreter]
+        assert windows[FastInterpreter], "hook never observed a step"
+
+    def test_fast_tier_resumes_after_hook_removal(self):
+        """After the hook is gone the fast engine decodes again — the
+        cache sees exactly one decode for the whole run."""
+        module = _external_call_module()
+        DECODE_CACHE.invalidate(module)
+        before = DECODE_CACHE.decodes
+        holder = {}
+
+        def toggle(args):
+            interp = holder["interp"]
+            interp.post_step = (lambda i, e: None) if args[0] == 1 else None
+            return 0
+
+        interp = FastInterpreter(module, externals={"toggle": toggle})
+        holder["interp"] = interp
+        interp.run("main")
+        assert DECODE_CACHE.decodes - before <= 1
+
+
+# ---------------------------------------------------------------------------
+# Single-run contract (and what may be shared between runs)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [FastInterpreter, ReferenceInterpreter])
+class TestSingleRunContract:
+    def test_second_run_raises(self, cls):
+        interp = cls(_loop_module())
+        interp.run("main")
+        with pytest.raises(RuntimeError, match="single-run"):
+            interp.run("main")
+
+    def test_shared_memory_image_not_mutated(self, cls):
+        """A pristine ``memory_image`` may be shared across runs: each
+        interpreter clones it, so the stores of one run never leak into
+        the next (the stale-``_Frame``/``region_ckpts`` class of bug)."""
+        module = _loop_module()
+        image = MachineMemory.pristine(module)
+        baseline = image.snapshot(("out",))
+        first = cls(module, memory_image=image).run(
+            "main", output_objects=("out",)
+        )
+        assert first.output != baseline  # the run really did store
+        assert image.snapshot(("out",)) == baseline
+        second = cls(module, memory_image=image).run(
+            "main", output_objects=("out",)
+        )
+        assert second == first

@@ -149,6 +149,44 @@ class TestSerialParallelEquivalence:
         assert dones == sorted(dones)
 
 
+class TestEngineEquivalence:
+    """Campaigns are engine-independent: the fast engine's trials —
+    serial or fanned out over workers (which cache one golden memory
+    image per process) — are bit-identical to the reference engine's."""
+
+    def test_serial_campaign_identical_across_engines(self):
+        module = _instrumented_loop()
+        fast = _campaign(module, jobs=1, engine="fast")
+        reference = _campaign(module, jobs=1, engine="reference")
+        for left, right in zip(fast.trials, reference.trials):
+            assert dataclasses.asdict(left) == dataclasses.asdict(right)
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_parallel_campaign_matches_other_engine_serial(self, engine):
+        # Crosses both axes at once: jobs=2 on one engine against the
+        # serial path of the *other* engine, exercising the per-worker
+        # cached golden memory image on the parallel leg.
+        module = _instrumented_loop()
+        other = "reference" if engine == "fast" else "fast"
+        parallel = _campaign(module, jobs=2, engine=engine)
+        serial = _campaign(module, jobs=1, engine=other)
+        assert parallel.trials == serial.trials
+
+    def test_default_engine_matches_explicit(self):
+        module = _instrumented_loop()
+        assert _campaign(module, jobs=1).trials == \
+            _campaign(module, jobs=1, engine="fast").trials
+
+    def test_double_fault_and_metadata_models_across_engines(self):
+        module = _instrumented_loop()
+        kwargs = dict(recovery_faults_per_trial=1,
+                      metadata_faults_per_trial=1,
+                      metadata_guard="checksum", trials=12)
+        fast = _campaign(module, jobs=1, engine="fast", **kwargs)
+        reference = _campaign(module, jobs=1, engine="reference", **kwargs)
+        assert fast.trials == reference.trials
+
+
 class TestSeedKeyedPlans:
     @given(seed=st.integers(0, 2**32), index=st.integers(0, 10_000))
     @settings(max_examples=60, deadline=None)
