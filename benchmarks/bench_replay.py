@@ -1,0 +1,146 @@
+"""Replay-detection benchmark: measured latency vs the alpha model.
+
+Runs matched model/replay SFI campaigns on three workloads (shared
+fault plans, only the detector differs) and reports, per workload, the
+*measured* replay detection-latency distribution (mean/p50/p90/max),
+the covered fractions under both detectors alongside the analytical
+alpha-model prediction at ``Dmax = chunk``, and the two overheads the
+model assumes away: record cost on the critical path and replayed
+instructions off it.
+
+``--check`` enforces the replay backend's contract:
+
+* record overhead stays bounded (<= ``--record-bound``, default 35%);
+* every measured latency fits in one chunk;
+* every struck trial's divergence is actually detected;
+* serial and ``--jobs N`` campaigns are bit-identical under both the
+  fast and the reference engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py \
+        [--trials 40] [--chunk 64] [--jobs 2] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.encore import EncoreConfig  # noqa: E402
+from repro.experiments.fig8_coverage import (  # noqa: E402
+    REPLAY_WORKLOADS,
+    render_replay,
+    run_replay_headtohead,
+)
+from repro.experiments.harness import PipelineCache, run_sfi  # noqa: E402
+
+
+def check_bit_equality(name, trials, chunk, seed, jobs):
+    """Serial == parallel, fast == reference, down to the last field."""
+    result = PipelineCache().run_all(EncoreConfig(), [name])[0]
+    built = result.built
+    runs = {}
+    for engine in ("fast", "reference"):
+        for n_jobs in (1, jobs):
+            campaign = run_sfi(
+                result.report.module,
+                function=built.entry,
+                args=built.args,
+                output_objects=built.output_objects,
+                externals=built.externals,
+                detector_backend="replay",
+                replay_chunk_size=chunk,
+                trials=trials,
+                seed=seed,
+                jobs=n_jobs,
+            )
+            runs[(engine, n_jobs)] = [
+                dataclasses.astuple(t) for t in campaign.trials
+            ]
+    baseline = runs[("fast", 1)]
+    return all(trial_seq == baseline for trial_seq in runs.values())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=",".join(REPLAY_WORKLOADS),
+                        help="comma-separated workload names")
+    parser.add_argument("--trials", type=int, default=40)
+    parser.add_argument("--chunk", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--record-bound", type=float, default=0.35,
+                        help="max acceptable record overhead fraction")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on unbounded overhead, out-of-chunk "
+                             "latency, missed divergence, or serial/"
+                             "parallel mismatch")
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    start = time.perf_counter()
+    data = run_replay_headtohead(
+        names, chunk_size=args.chunk, trials=args.trials, seed=args.seed
+    )
+    print(render_replay(data))
+    print()
+    for name in sorted(data.rows):
+        row = data.rows[name]
+        print(f"{name}: latency mean={row['measured_mean_latency']:.1f} "
+              f"p50={row['measured_p50_latency']:.0f} "
+              f"p90={row['measured_p90_latency']:.0f} "
+              f"max={row['measured_max_latency']:.0f} "
+              f"(chunk {data.chunk_size}); "
+              f"divergence detected in {row['divergence_rate']:.0%} "
+              f"of symptom-free struck trials")
+    print(f"# head-to-head wall clock: {time.perf_counter() - start:.2f}s")
+
+    equal = check_bit_equality(
+        names[0], args.trials, args.chunk, args.seed, args.jobs
+    )
+    verdict = "identical" if equal else "DIVERGED"
+    print(f"equivalence ({names[0]}): serial/jobs={args.jobs} x "
+          f"fast/reference trial sequences {verdict}")
+
+    if not args.check:
+        return 0
+
+    failures = []
+    for name in sorted(data.rows):
+        row = data.rows[name]
+        if row["record_overhead"] > args.record_bound:
+            failures.append(
+                f"{name}: record overhead {row['record_overhead']:.1%} "
+                f"> bound {args.record_bound:.0%}"
+            )
+        if row["measured_max_latency"] > args.chunk:
+            failures.append(
+                f"{name}: measured latency {row['measured_max_latency']:.0f} "
+                f"exceeds chunk {args.chunk}"
+            )
+        if row["divergence_rate"] < 1.0:
+            failures.append(
+                f"{name}: only {row['divergence_rate']:.0%} of "
+                f"symptom-free struck trials flagged a divergence"
+            )
+    if not equal:
+        failures.append("serial/parallel or fast/reference trials diverged")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"check passed: record overhead <= {args.record_bound:.0%}, "
+          f"latency <= chunk, all divergences detected, campaigns "
+          f"bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

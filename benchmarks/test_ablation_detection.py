@@ -9,13 +9,21 @@ coverage.
 
 import copy
 
-from repro.encore import EncoreConfig, alpha, alpha_numeric, compile_for_encore
+from repro.encore import (
+    EncoreConfig,
+    alpha,
+    alpha_geometric,
+    alpha_numeric,
+    compile_for_encore,
+)
 from repro.experiments import run_sfi
+from repro.experiments.fig8_coverage import run_replay_headtohead
 from repro.runtime import DetectionModel
 from repro.workloads import build_workload
 
 DMAX = 100
 LENGTHS = (50, 100, 200, 500, 2000)
+DMAX_SWEEP = (10, 100, 1000)
 
 
 def numeric_alphas():
@@ -58,6 +66,82 @@ def test_detection_distribution_alpha(once):
     for key in ("uniform", "fixed", "geometric"):
         values = [rows[n][key] for n in LENGTHS]
         assert values == sorted(values), key
+
+
+def test_pdf_normalization():
+    """Every detection pdf must integrate to ~1 over [0, Dmax].
+
+    A mis-normalised density silently rescales every alpha the
+    numerical integration produces, so this is the audit the whole
+    ablation rests on.  Midpoint quadrature at 20k steps resolves even
+    the fixed kind's narrow Dirac box (width Dmax/100).
+    """
+    steps = 20_000
+    for kind in ("uniform", "fixed", "geometric"):
+        for dmax in DMAX_SWEEP:
+            pdf = DetectionModel(dmax, kind).pdf
+            dl = dmax / steps
+            total = sum(pdf((i + 0.5) * dl) * dl for i in range(steps))
+            assert abs(total - 1.0) < 0.02, (kind, dmax, total)
+
+
+def test_alpha_geometric_closed_form():
+    """Pin the geometric closed form against Equation 6 by quadrature.
+
+    ``alpha_geometric`` integrates the truncated-exponential latency
+    density analytically; ``alpha_numeric`` with the model's own pdf
+    must land on the same value for every (n, Dmax) — the geometric
+    analogue of the Equation 7 closed-form/uniform pin above.
+    """
+    for dmax in DMAX_SWEEP:
+        pdf = DetectionModel(dmax, "geometric").pdf
+        for n in LENGTHS:
+            closed = alpha_geometric(n, dmax)
+            numeric = alpha_numeric(n, dmax, latency_pdf=pdf, steps=600)
+            assert abs(closed - numeric) < 5e-3, (n, dmax, closed, numeric)
+        # Geometric detection is front-loaded: never worse than the
+        # uniform closed form, and both degenerate together at n >> Dmax.
+        assert alpha_geometric(2000, dmax) >= alpha(2000, dmax) - 1e-9
+    assert alpha_geometric(0, DMAX) == 0.0
+    assert alpha_geometric(100, 0) == 1.0
+
+
+def replay_headtohead():
+    return run_replay_headtohead(trials=30, chunk_size=64, seed=11)
+
+
+def test_replay_vs_model_headtohead(once):
+    """Measured replay latencies vs the alpha model's assumed uniform.
+
+    The replay backend must (a) measure every latency within one chunk,
+    (b) flag a divergence in every symptom-free struck trial, (c) cover
+    at least as much as the matched uniform model predicts minus noise,
+    and (d) report both overheads the analytical model assumes away.
+    """
+    data = once(replay_headtohead)
+    print()
+    for name in sorted(data.rows):
+        row = data.rows[name]
+        print(
+            f"  {name:<12} lat mean={row['measured_mean_latency']:5.1f} "
+            f"max={row['measured_max_latency']:3.0f} "
+            f"cov replay={row['replay_covered']:.2%} "
+            f"model={row['model_covered']:.2%} "
+            f"alpha={row['alpha_predicted']:.2%} "
+            f"rec-ovh={row['record_overhead']:.1%}"
+        )
+    assert set(data.rows) == {"epic", "g721decode", "rawdaudio"}
+    for name, row in data.rows.items():
+        assert 0 < row["measured_max_latency"] <= data.chunk_size, name
+        assert row["measured_mean_latency"] <= data.chunk_size, name
+        assert row["divergence_rate"] == 1.0, (name, row["divergence_rate"])
+        # Replay detects within the faulting chunk, so it can only beat
+        # the uniform-[0, Dmax] model at matched Dmax (minus noise).
+        assert row["replay_covered"] >= row["model_covered"] - 0.10, name
+        assert row["replay_covered"] >= row["alpha_predicted"] - 0.10, name
+        # The overheads the model assumes away must be real but bounded.
+        assert 0.0 < row["record_overhead"] <= 0.35, name
+        assert row["replay_overhead"] > 0.0, name
 
 
 def empirical_vs_model():

@@ -29,6 +29,7 @@ from repro.runtime import (
     DetectionModel,
     ENGINES,
     JournalError,
+    REPLAY_CHUNK_DEFAULT,
     SupervisorPolicy,
     campaign_metadata,
     default_journal_path,
@@ -178,6 +179,8 @@ def cmd_inject(args) -> int:
         recovery_faults_per_trial=args.recovery_faults_per_trial,
         metadata_faults_per_trial=args.metadata_faults,
         metadata_guard=args.guard,
+        detector_backend=args.detector,
+        replay_chunk_size=args.replay_chunk,
     )
 
     completed = None
@@ -227,6 +230,8 @@ def cmd_inject(args) -> int:
             completed=completed,
             on_result=on_result,
             engine=args.engine,
+            detector_backend=args.detector,
+            replay_chunk_size=args.replay_chunk,
         )
     finally:
         if journal is not None:
@@ -239,6 +244,20 @@ def cmd_inject(args) -> int:
     if campaign.mean_wasted_work:
         print(f"mean wasted work per recovery: "
               f"{campaign.mean_wasted_work:.0f} instructions")
+    if args.detector == "replay":
+        # Measured (not sampled) latencies: journaled per trial, so
+        # these lines are deterministic and resume-stable.
+        latencies = sorted(
+            t.detect_latency for t in campaign.trials
+            if t.detect_latency is not None
+        )
+        if latencies:
+            mean = sum(latencies) / len(latencies)
+            print(f"replay detection latency: mean {mean:.1f}, "
+                  f"max {latencies[-1]}, n={len(latencies)} "
+                  f"(chunk {args.replay_chunk or REPLAY_CHUNK_DEFAULT})")
+        replayed = sum(t.replay_overhead for t in campaign.trials)
+        print(f"replay re-executed instructions: {replayed}")
     # Wall-clock statistics go after the deterministic outcome table
     # (and are easy to filter out when diffing campaign summaries).
     print(f"# throughput: {campaign.throughput:.1f} trials/sec "
@@ -416,6 +435,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "--jobs 1 for any value (default 1)")
     inject.add_argument("--chunk-size", type=int, default=None,
                         help="trials per worker task (default: auto)")
+    inject.add_argument("--detector", choices=["model", "replay"],
+                        default="model",
+                        help="detection source: 'model' samples latencies "
+                             "from the analytical DetectionModel, 'replay' "
+                             "measures them with chunked record + replay "
+                             "(default model)")
+    inject.add_argument("--replay-chunk", type=int, default=None,
+                        metavar="N",
+                        help="replay chunk length in dynamic instructions "
+                             f"(default {REPLAY_CHUNK_DEFAULT}; --detector "
+                             "replay only)")
     inject.add_argument("--progress", action="store_true",
                         help="report completed-trial counts on stderr")
     inject.add_argument("--recovery-faults-per-trial", type=int, default=0,
@@ -467,7 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--oracles",
                         default=",".join(
                             ("semantic", "conservative", "opt",
-                             "rollback", "campaign")),
+                             "rollback", "replay", "campaign")),
                         help="comma-separated oracle list (default: all)")
     fuzz_p.add_argument("--campaign-every", type=int, default=25,
                         help="run the pool-spawning campaign-equivalence "

@@ -16,6 +16,7 @@ from repro.encore.coverage_model import (
     FullSystemCoverage,
     GuardedCoverage,
     alpha,
+    alpha_geometric,
     alpha_numeric,
     apply_guard,
     full_system_coverage,
@@ -65,6 +66,7 @@ __all__ = [
     "RegionStorage",
     "SelectionConfig",
     "alpha",
+    "alpha_geometric",
     "alpha_numeric",
     "apply_guard",
     "compile_for_encore",

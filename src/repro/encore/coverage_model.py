@@ -17,6 +17,7 @@ detection-distribution ablation.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.encore.idempotence import RegionStatus
@@ -32,6 +33,31 @@ def alpha(n: float, dmax: float) -> float:
     if n >= dmax:
         return 1.0 - dmax / (2.0 * n)
     return n / (2.0 * dmax)
+
+
+def alpha_geometric(n: float, dmax: float) -> float:
+    """Closed-form alpha for the *geometric* detector kind.
+
+    ``DetectionModel(kind="geometric")`` draws latencies from a
+    truncated exponential with rate ``lam = 1 / max(dmax/2, 1)`` on
+    ``[0, dmax]`` (normalisation ``Z = 1 - exp(-lam*dmax)``); with
+    uniform fault sites on ``[0, n]``, Equation 6 integrates to
+
+        alpha = (n - (1 - e^{-lam n}) / lam) / (Z n)        n <= Dmax
+        alpha = (Dmax/Z - 1/lam + n - Dmax) / n             n >  Dmax
+
+    which :func:`alpha_numeric` with the model's pdf must reproduce —
+    the geometric analogue of pinning Equation 7 for the uniform kind.
+    """
+    if n <= 0:
+        return 0.0
+    if dmax <= 0:
+        return 1.0
+    lam = 1.0 / max(dmax / 2.0, 1.0)
+    norm = 1.0 - math.exp(-lam * dmax)
+    if n <= dmax:
+        return (n - (1.0 - math.exp(-lam * n)) / lam) / (norm * n)
+    return (dmax / norm - 1.0 / lam + n - dmax) / n
 
 
 def alpha_numeric(

@@ -17,11 +17,17 @@ import dataclasses
 from typing import Dict, Optional, Sequence
 
 from repro.encore import EncoreConfig, apply_guard
-from repro.experiments.harness import PipelineCache
+from repro.experiments.harness import PipelineCache, run_sfi
 from repro.experiments.reporting import Table, fmt_pct, suite_order_with_means
+from repro.runtime.detection import DetectionModel
 from repro.runtime.masking import MaskingModel
 
 DETECTION_LATENCIES = (1000, 100, 10)
+
+#: Default workload trio for the replay-vs-model head-to-head: small
+#: enough to re-execute thousands of chunks in a test budget, and
+#: covering both a codec pair and a bit-twiddling kernel.
+REPLAY_WORKLOADS = ("g721decode", "rawdaudio", "epic")
 
 
 @dataclasses.dataclass
@@ -82,6 +88,154 @@ def run(
             coverage[name][dmax] = cell
     return Fig8Data(coverage, latencies, guard=guard,
                     metadata_exposure=metadata_exposure)
+
+
+@dataclasses.dataclass
+class ReplayHeadToHead:
+    """Measured replay detection vs the analytical alpha model.
+
+    Per benchmark: the replay campaign's *measured* detection-latency
+    distribution and covered fraction, side by side with a model
+    campaign at the matched ``DetectionModel(dmax=chunk_size)`` and the
+    alpha-model prediction — plus both overheads the model assumes away
+    (record cost on the critical path, replayed instructions off it).
+    """
+
+    # benchmark -> {"measured_mean_latency", "measured_p50_latency",
+    #   "measured_p90_latency", "measured_max_latency",
+    #   "model_mean_latency", "replay_covered", "model_covered",
+    #   "alpha_predicted", "record_overhead", "replay_overhead",
+    #   "divergence_rate"}
+    rows: Dict[str, Dict[str, float]]
+    chunk_size: int
+    trials: int
+    seed: int
+
+
+def run_replay_headtohead(
+    names: Optional[Sequence[str]] = None,
+    chunk_size: int = 64,
+    trials: int = 80,
+    seed: int = 11,
+) -> ReplayHeadToHead:
+    """Run matched model/replay campaigns and collect the comparison.
+
+    Both campaigns share the seed, so their fault plans are
+    draw-for-draw identical (sites and bits; replay discards the
+    latency draws) — any coverage difference is purely the detector.
+    The model campaign runs at ``DetectionModel(dmax=chunk_size)``:
+    uniform latencies on ``[0, chunk]``, mean ``chunk/2``, the exact
+    analytical stand-in for a replay check every ``chunk`` instructions.
+    """
+    from repro.runtime.replay import record_chunk_log
+
+    cache = PipelineCache()
+    detector = DetectionModel(dmax=chunk_size)
+    rows: Dict[str, Dict[str, float]] = {}
+    for result in cache.run_all(EncoreConfig(), names or REPLAY_WORKLOADS):
+        built = result.built
+        module = result.report.module
+        kwargs = dict(
+            function=built.entry,
+            args=built.args,
+            output_objects=built.output_objects,
+            externals=built.externals,
+            detector=detector,
+            trials=trials,
+            seed=seed,
+        )
+        model = run_sfi(module, **kwargs)
+        replay = run_sfi(
+            module, detector_backend="replay", replay_chunk_size=chunk_size,
+            **kwargs,
+        )
+        latencies = sorted(
+            t.detect_latency for t in replay.trials
+            if t.detect_latency is not None
+        )
+        # Record-side overhead, measured on a fault-free run.
+        recorded, recorder = record_chunk_log(
+            module, built.entry, built.args, built.output_objects,
+            chunk_size=chunk_size, externals=built.externals,
+        )
+        # Trapped/hung trials are detected by the symptom path before
+        # any replay check runs (the recorder resyncs); the divergence
+        # rate is the replay detector's hit rate on the trials it
+        # actually had to catch.
+        struck = [
+            t for t in replay.trials
+            if t.fault_event >= 0 and not t.trapped and not t.hang
+        ]
+        rows[result.spec.name] = {
+            "measured_mean_latency": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "measured_p50_latency": (
+                float(latencies[len(latencies) // 2]) if latencies else 0.0
+            ),
+            "measured_p90_latency": (
+                float(latencies[(len(latencies) * 9) // 10])
+                if latencies else 0.0
+            ),
+            "measured_max_latency": float(latencies[-1]) if latencies else 0.0,
+            # The uniform-[0, Dmax] model's expectation at matched Dmax.
+            "model_mean_latency": chunk_size / 2.0,
+            "replay_covered": replay.covered_fraction,
+            "model_covered": model.covered_fraction,
+            "alpha_predicted": result.report.coverage(chunk_size).recoverable,
+            "record_overhead": (
+                recorder.record_cost / recorded.cost if recorded.cost else 0.0
+            ),
+            "replay_overhead": (
+                sum(t.replay_overhead for t in replay.trials)
+                / (len(replay.trials) * max(recorded.events, 1))
+            ),
+            "divergence_rate": (
+                sum(1 for t in struck if t.replay_divergences) / len(struck)
+                if struck else 0.0
+            ),
+        }
+    return ReplayHeadToHead(rows, chunk_size, trials, seed)
+
+
+def render_replay(data: ReplayHeadToHead) -> str:
+    table = Table(
+        f"Replay detection vs alpha model "
+        f"(chunk={data.chunk_size}, {data.trials} trials/benchmark)",
+        ["Benchmark", "MeasLat(mean)", "MeasLat(max)", "ModelLat(mean)",
+         "Cov(replay)", "Cov(model)", "Cov(alpha)", "RecordOvh", "ReplayOvh"],
+    )
+    for name in sorted(data.rows):
+        row = data.rows[name]
+        table.add_row(
+            name,
+            f"{row['measured_mean_latency']:.1f}",
+            f"{row['measured_max_latency']:.0f}",
+            f"{row['model_mean_latency']:.1f}",
+            fmt_pct(row["replay_covered"], 2),
+            fmt_pct(row["model_covered"], 2),
+            fmt_pct(row["alpha_predicted"], 2),
+            fmt_pct(row["record_overhead"], 2),
+            fmt_pct(row["replay_overhead"], 2),
+        )
+    return table.render()
+
+
+def replay_to_csv(data: ReplayHeadToHead) -> str:
+    from repro.experiments.reporting import rows_to_csv
+
+    keys = ["measured_mean_latency", "measured_p50_latency",
+            "measured_p90_latency", "measured_max_latency",
+            "model_mean_latency", "replay_covered", "model_covered",
+            "alpha_predicted", "record_overhead", "replay_overhead",
+            "divergence_rate"]
+    return rows_to_csv(
+        ["benchmark"] + keys,
+        [
+            tuple([name] + [data.rows[name][k] for k in keys])
+            for name in sorted(data.rows)
+        ],
+    )
 
 
 def render(data: Fig8Data) -> str:

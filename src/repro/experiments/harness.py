@@ -151,6 +151,8 @@ def run_sfi(
     policy: Optional[SupervisorPolicy] = None,
     trial_timeout: Optional[float] = None,
     engine: Optional[str] = None,
+    detector_backend: str = "model",
+    replay_chunk_size: Optional[int] = None,
 ) -> CampaignResult:
     """SFI campaign entry point for experiments and benchmarks.
 
@@ -181,4 +183,6 @@ def run_sfi(
             campaign_trial_timeout() if trial_timeout is None else trial_timeout
         ),
         engine=engine,
+        detector_backend=detector_backend,
+        replay_chunk_size=replay_chunk_size,
     )

@@ -333,6 +333,84 @@ class RollbackExactnessOracle(Oracle):
         return failures
 
 
+class ReplayDeterminismOracle(Oracle):
+    """The replay detector's ground truth: execution is deterministic.
+
+    Three properties of :mod:`repro.runtime.replay` on a fault-free
+    program: (1) recording the chunk log twice yields byte-identical
+    digests (the log is a pure function of the program); (2) replaying
+    every chunk of the raw program from its entry snapshot reproduces
+    the recorded digest — a divergence with no fault injected is a bug
+    in the recorder, the snapshot, or the interpreter; (3) the same
+    holds on the Encore-instrumented module, which exercises the
+    region-boundary chunk seals and checkpoint/restore replay.
+    """
+
+    name = "replay"
+
+    CHUNK_SIZE = 32
+
+    def check(self, program: FuzzProgram) -> List[OracleFailure]:
+        from repro.runtime.replay import record_chunk_log
+
+        failures: List[OracleFailure] = []
+        golden = _golden(program)
+        try:
+            _, first = record_chunk_log(
+                copy.deepcopy(program.module), program.entry, program.args,
+                program.output_objects, chunk_size=self.CHUNK_SIZE,
+                externals=EXTERNALS, max_steps=_bound(golden.events),
+            )
+            _, second = record_chunk_log(
+                copy.deepcopy(program.module), program.entry, program.args,
+                program.output_objects, chunk_size=self.CHUNK_SIZE,
+                externals=EXTERNALS, max_steps=_bound(golden.events),
+            )
+        except Exception as exc:
+            return [self.fail("crash", f"{type(exc).__name__}: {exc}")]
+        if [(r.start_event, r.length, r.digest) for r in first.chunk_log] != [
+            (r.start_event, r.length, r.digest) for r in second.chunk_log
+        ]:
+            failures.append(self.fail(
+                "unstable-digest",
+                f"chunk logs differ across identical recordings "
+                f"({len(first.chunk_log)} vs {len(second.chunk_log)} chunks)",
+            ))
+
+        variants = [("raw", copy.deepcopy(program.module))]
+        try:
+            report = compile_for_encore(
+                program.module,
+                EncoreConfig(auto_tune=False, gamma=0.0,
+                             overhead_budget=10.0),
+                clone=True, function=program.entry, args=program.args,
+                externals=EXTERNALS,
+            )
+            variants.append(("instrumented", report.module))
+        except Exception as exc:
+            failures.append(self.fail(
+                "crash", f"instrument: {type(exc).__name__}: {exc}"))
+        for label, module in variants:
+            try:
+                _, recorder = record_chunk_log(
+                    module, program.entry, program.args,
+                    program.output_objects, chunk_size=self.CHUNK_SIZE,
+                    externals=EXTERNALS, max_steps=_bound(golden.events),
+                    check=True,
+                )
+            except Exception as exc:
+                failures.append(self.fail(
+                    f"crash:{label}", f"{type(exc).__name__}: {exc}"))
+                continue
+            if recorder.divergences or recorder.end_divergence:
+                failures.append(self.fail(
+                    f"spurious-divergence:{label}",
+                    f"fault-free replay diverged at chunk ends "
+                    f"{[end for end, _ in recorder.divergences][:4]}",
+                ))
+        return failures
+
+
 class CampaignEquivalenceOracle(Oracle):
     """Serial vs ``jobs=2`` SFI campaigns must be bit-identical."""
 
@@ -405,12 +483,15 @@ ORACLE_REGISTRY = {
     "conservative": IdempotenceConservativenessOracle,
     "opt": OptEquivalenceOracle,
     "rollback": RollbackExactnessOracle,
+    "replay": ReplayDeterminismOracle,
     "campaign": CampaignEquivalenceOracle,
 }
 
 #: The default per-program suite; ``campaign`` is sampled separately by
 #: the driver (it spins up worker pools, so it runs every Nth program).
-DEFAULT_ORACLES = ("semantic", "conservative", "opt", "rollback", "campaign")
+DEFAULT_ORACLES = (
+    "semantic", "conservative", "opt", "rollback", "replay", "campaign"
+)
 
 
 def make_oracles(names: Sequence[str]) -> List[Oracle]:

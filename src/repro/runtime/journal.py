@@ -60,6 +60,8 @@ def campaign_metadata(
     recovery_faults_per_trial: int = 0,
     metadata_faults_per_trial: int = 0,
     metadata_guard: str = "off",
+    detector_backend: str = "model",
+    replay_chunk_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """The identity of a campaign: everything that determines its plans.
 
@@ -67,7 +69,12 @@ def campaign_metadata(
     a campaign with the default ``metadata_faults_per_trial=0`` /
     ``metadata_guard="off"`` produces a header byte-identical to the
     pre-metadata format, so old journals resume unchanged and new
-    plain-campaign journals stay readable by old code.
+    plain-campaign journals stay readable by old code.  The detector
+    backend follows the same rule: only a replay campaign emits
+    ``detector_backend``/``replay_chunk_size``, and because
+    :func:`validate_resume` compares the *union* of header keys, a
+    journal written under one backend refuses to resume under the
+    other.
     """
     meta: Dict[str, Any] = {
         "seed": seed,
@@ -86,6 +93,13 @@ def campaign_metadata(
         meta["metadata_faults_per_trial"] = metadata_faults_per_trial
     if metadata_guard != "off":
         meta["metadata_guard"] = metadata_guard
+    if detector_backend != "model":
+        from repro.runtime.replay import REPLAY_CHUNK_DEFAULT
+
+        meta["detector_backend"] = detector_backend
+        meta["replay_chunk_size"] = int(
+            replay_chunk_size or REPLAY_CHUNK_DEFAULT
+        )
     return meta
 
 

@@ -104,6 +104,8 @@ def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialRe
                 metadata_guard=state.get("metadata_guard", "off"),
                 engine=state.get("engine"),
                 memory_image=state["memory_image"],
+                detector_backend=state.get("detector_backend", "model"),
+                replay_chunk_size=state.get("replay_chunk_size"),
             ),
         )
         for plan in plans
@@ -147,6 +149,8 @@ def run_parallel_campaign(
     done_offset: int = 0,
     total: Optional[int] = None,
     engine: Optional[str] = None,
+    detector_backend: str = "model",
+    replay_chunk_size: Optional[int] = None,
 ) -> Tuple[List[TrialResult], Dict[str, int], int]:
     """Fan ``plans`` out over ``jobs`` worker processes.
 
@@ -171,6 +175,8 @@ def run_parallel_campaign(
                 "trial_timeout": trial_timeout,
                 "metadata_guard": metadata_guard,
                 "engine": engine,
+                "detector_backend": detector_backend,
+                "replay_chunk_size": replay_chunk_size,
             }
         )
     except Exception as exc:

@@ -68,6 +68,11 @@ from repro.runtime.interpreter import (
     bitflip,
 )
 from repro.runtime.memory import MachineMemory
+from repro.runtime.replay import (
+    REPLAY_CHUNK_DEFAULT,
+    ChunkRecorder,
+    ReplayDetector,
+)
 from repro.runtime.supervisor import (
     EscalateTrial,
     RecoverySupervisor,
@@ -90,6 +95,12 @@ OUTCOMES = (
 
 #: Outcomes in which the program ended with the correct result.
 COVERED_OUTCOMES = ("masked", "recovered", "recovered_after_retry")
+
+#: Where a trial's detection events come from.  ``model`` samples a
+#: latency from the analytical :class:`DetectionModel` (the paper's
+#: assumption); ``replay`` measures it with chunked record + replay
+#: (:mod:`repro.runtime.replay`) — same outcome taxonomy either way.
+DETECTOR_BACKENDS = ("model", "replay")
 
 ProgressHook = Callable[[int, int], None]
 
@@ -262,6 +273,13 @@ class TrialResult:
     #: Corrupted metadata entries repaired from a shadow copy
     #: (``--guard dup`` only).
     metadata_repairs: int = 0
+    #: Divergent chunks the replay detector flagged (replay backend
+    #: only; ``detect_latency`` is then the *measured* latency of the
+    #: first divergence, not a sampled one).
+    replay_divergences: int = 0
+    #: Dynamic instructions re-executed by replay checks (replay
+    #: backend only) — the detector-side overhead of this trial.
+    replay_overhead: int = 0
 
 
 def infra_error_trial() -> TrialResult:
@@ -472,6 +490,8 @@ def run_trial(
     metadata_guard: str = "off",
     engine: Optional[str] = None,
     memory_image: Optional[MachineMemory] = None,
+    detector_backend: str = "model",
+    replay_chunk_size: Optional[int] = None,
 ) -> TrialResult:
     """Execute one fault-injection trial and classify its outcome.
 
@@ -485,18 +505,55 @@ def run_trial(
     (:data:`repro.runtime.guarded_state.GUARD_LEVELS`) defending it.
     ``engine`` picks the interpreter; ``memory_image`` shares a
     pristine memory snapshot across trials of one campaign.
+
+    ``detector_backend="replay"`` swaps the sampled-latency model for
+    chunked record + replay (:mod:`repro.runtime.replay`): planned
+    latencies are ignored (the fault sites and bits stay identical, so
+    the two backends are head-to-head comparable at the same seed) and
+    detection fires when a chunk's replay digest diverges, with the
+    *measured* latency landing in ``detect_latency``.
     """
+    if detector_backend not in DETECTOR_BACKENDS:
+        raise ValueError(
+            f"unknown detector backend {detector_backend!r}; "
+            f"expected one of {DETECTOR_BACKENDS}"
+        )
     if isinstance(site, int):
         faults = [(site, bit, latency)]
     else:
         faults = list(zip(site, bit, latency))
-    supervisor = RecoverySupervisor(policy, tuple(recovery_faults))
+    recovery_faults = tuple(recovery_faults)
+    if detector_backend == "replay":
+        # Replay detects by divergence, never by deadline: drop every
+        # sampled latency but keep the sites/bits draws untouched.
+        faults = [(s, b, None) for s, b, _ in faults]
+        recovery_faults = tuple((o, b, None) for o, b, _ in recovery_faults)
+    supervisor = RecoverySupervisor(policy, recovery_faults)
     injector = _FaultInjector(faults, supervisor, metadata_faults)
+    recorder: Optional[ChunkRecorder] = None
+    pre_step = None
+    post_step = injector
+    if detector_backend == "replay":
+        recorder = ChunkRecorder(
+            replay_chunk_size or REPLAY_CHUNK_DEFAULT,
+            detector=ReplayDetector(module, externals=externals),
+            supervisor=supervisor,
+            injector=injector,
+        )
+        pre_step = recorder.on_pre_step
+
+        def post_step(interp, event, _inj=injector, _rec=recorder):
+            # Injection first, so a corrupted destination register is
+            # digested on its own step — guaranteeing the divergence
+            # lands in the faulting chunk (latency <= chunk size).
+            _inj(interp, event)
+            _rec.on_post_step(interp, event)
+
     max_steps = max(golden.events * max_steps_factor, 10_000)
     interp = make_interpreter(
-        module, engine=engine, max_steps=max_steps, post_step=injector,
-        externals=externals, metadata_guard=metadata_guard,
-        memory_image=memory_image,
+        module, engine=engine, max_steps=max_steps, pre_step=pre_step,
+        post_step=post_step, externals=externals,
+        metadata_guard=metadata_guard, memory_image=memory_image,
     )
     trapped = False
     hang = False
@@ -514,6 +571,10 @@ def run_trial(
         trapped = True
         try:
             while True:
+                if recorder is not None:
+                    # The trap redirected control outside any step; the
+                    # open chunk can never replay — drop it.
+                    recorder.resync()
                 if not supervisor.on_trap(interp, interp.events):
                     break  # no live recovery pointer: restart required
                 try:
@@ -529,11 +590,23 @@ def run_trial(
     except ExecutionLimit:
         hang = True
 
+    if recorder is not None and result is not None:
+        # Check the final partial chunk: a divergence here is detection
+        # after the program already finished.
+        recorder.finalize(interp)
     fault_event = injector.fault_event if injector.fault_event is not None else -1
     retries = max(0, supervisor.max_streak - 1)
+    if recorder is not None:
+        detect_latency = recorder.first_latency
+        replay_divergences = len(recorder.divergences)
+        replay_overhead = recorder.detector.replayed_events
+    else:
+        detect_latency = injector.detect_latency
+        replay_divergences = 0
+        replay_overhead = 0
     common = dict(
         fault_event=fault_event,
-        detect_latency=injector.detect_latency,
+        detect_latency=detect_latency,
         recovery_attempts=supervisor.attempts,
         trapped=trapped,
         hang=hang,
@@ -541,6 +614,8 @@ def run_trial(
         double_faults=supervisor.double_faults,
         metadata_faults=interp.guard.metadata_faults,
         metadata_repairs=interp.guard.repairs,
+        replay_divergences=replay_divergences,
+        replay_overhead=replay_overhead,
     )
     if escalation is not None:
         outcome = escalation
@@ -576,6 +651,11 @@ def run_trial(
         # The fault site was never reached (shorter dynamic path): the
         # "injection" hit dead time — architecturally masked.
         outcome = "masked" if result.output == golden.output else "sdc"
+    elif recorder is not None and recorder.end_divergence:
+        # The replay check on the final partial chunk caught the
+        # corruption, but the run had already completed wrong: detected
+        # too late to recover — not silent.
+        outcome = "detected_unrecoverable"
     else:
         outcome = "sdc"
     return TrialResult(outcome=outcome, wasted_work=wasted, **common)
@@ -630,6 +710,8 @@ def run_planned_trial(
     metadata_guard: str = "off",
     engine: Optional[str] = None,
     memory_image: Optional[MachineMemory] = None,
+    detector_backend: str = "model",
+    replay_chunk_size: Optional[int] = None,
 ) -> TrialResult:
     """Execute one trial from a pre-derived :class:`FaultPlan`.
 
@@ -662,6 +744,8 @@ def run_planned_trial(
             metadata_guard=metadata_guard,
             engine=engine,
             memory_image=memory_image,
+            detector_backend=detector_backend,
+            replay_chunk_size=replay_chunk_size,
         )
 
     try:
@@ -692,6 +776,8 @@ def run_campaign(
     completed: Optional[Dict[int, TrialResult]] = None,
     on_result: Optional[Callable[[int, TrialResult], None]] = None,
     engine: Optional[str] = None,
+    detector_backend: str = "model",
+    replay_chunk_size: Optional[int] = None,
 ) -> CampaignResult:
     """A full SFI campaign with uniformly-distributed fault sites.
 
@@ -725,7 +811,19 @@ def run_campaign(
     so campaign results — and journals, which deliberately do not
     record the engine — are valid across engines: a campaign journaled
     under one engine can resume under the other.
+
+    ``detector_backend="replay"`` measures detection with chunked
+    record + replay instead of sampling latencies from ``detector``
+    (``replay_chunk_size`` tunes the chunk length); the fault plans
+    stay draw-for-draw identical, so replay campaigns are comparable
+    to model campaigns at the same seed and remain jobs-independent
+    and resumable like any other.
     """
+    if detector_backend not in DETECTOR_BACKENDS:
+        raise ValueError(
+            f"unknown detector backend {detector_backend!r}; "
+            f"expected one of {DETECTOR_BACKENDS}"
+        )
     detector = detector or DetectionModel()
     start = time.monotonic()
     # One pristine memory image per campaign: every golden run and
@@ -774,6 +872,8 @@ def run_campaign(
                 done_offset=resumed,
                 total=trials,
                 engine=engine,
+                detector_backend=detector_backend,
+                replay_chunk_size=replay_chunk_size,
             )
         except ParallelUnavailable:
             pass
@@ -810,6 +910,8 @@ def run_campaign(
                 metadata_guard=metadata_guard,
                 engine=engine,
                 memory_image=memory_image,
+                detector_backend=detector_backend,
+                replay_chunk_size=replay_chunk_size,
             )
             emit(plan.trial_index, trial)
             results.append(trial)

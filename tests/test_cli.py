@@ -268,3 +268,99 @@ class TestFuzz:
     def test_bad_oracle_list_is_usage_error(self, capsys):
         assert main(["fuzz", "--oracles", "bogus", "--budget", "1"]) == 2
         assert "unknown oracle" in capsys.readouterr().err
+
+
+class TestInjectReplay:
+    def _summary_lines(self, text):
+        return [line for line in text.splitlines() if not line.startswith("#")]
+
+    def _protected(self, figure4_ir, tmp_path, capsys):
+        out_path = tmp_path / "fig4.encore.ir"
+        assert main([
+            "protect", str(figure4_ir), "--args", "5", "-o", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        return out_path
+
+    def test_replay_smoke_serial_parallel_identical(
+        self, figure4_ir, tmp_path, capsys
+    ):
+        protected = self._protected(figure4_ir, tmp_path, capsys)
+        argv = [
+            "inject", str(protected), "--args", "5", "--outputs", "mem",
+            "--trials", "16", "--seed", "7",
+            "--detector", "replay", "--replay-chunk", "8",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert self._summary_lines(serial) == self._summary_lines(parallel)
+        # The measured-latency report is part of the summary contract.
+        assert "replay detection latency" in serial
+        assert "replay re-executed instructions" in serial
+        assert "(chunk 8)" in serial
+
+    def test_model_campaign_prints_no_replay_lines(self, loop_ir, capsys):
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replay detection latency" not in out
+
+    def test_resume_under_different_detector_rejected(
+        self, figure4_ir, tmp_path, capsys
+    ):
+        protected = self._protected(figure4_ir, tmp_path, capsys)
+        base = [
+            "inject", str(protected), "--args", "5", "--outputs", "mem",
+            "--trials", "8", "--seed", "7",
+        ]
+        replay_flags = ["--detector", "replay", "--replay-chunk", "8"]
+
+        # Replay journal resumed as a model campaign: refused.
+        replay_journal = tmp_path / "replay.jsonl"
+        assert main(base + replay_flags + ["--journal", str(replay_journal)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume", str(replay_journal)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "detector_backend" in err
+
+        # Model journal resumed as a replay campaign: refused too.
+        model_journal = tmp_path / "model.jsonl"
+        assert main(base + ["--journal", str(model_journal)]) == 0
+        capsys.readouterr()
+        assert main(
+            base + replay_flags + ["--resume", str(model_journal)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "detector_backend" in err
+
+        # Same backend but a different chunk size: a different campaign.
+        assert main(
+            base + ["--detector", "replay", "--replay-chunk", "16",
+                    "--resume", str(replay_journal)]
+        ) == 1
+        assert "replay_chunk_size" in capsys.readouterr().err
+
+    def test_replay_journal_resume_round_trip(
+        self, figure4_ir, tmp_path, capsys
+    ):
+        protected = self._protected(figure4_ir, tmp_path, capsys)
+        base = [
+            "inject", str(protected), "--args", "5", "--outputs", "mem",
+            "--seed", "7", "--detector", "replay", "--replay-chunk", "8",
+        ]
+        assert main(base + ["--trials", "16"]) == 0
+        reference = self._summary_lines(capsys.readouterr().out)
+
+        journal = tmp_path / "replay.jsonl"
+        assert main(base + ["--trials", "6", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--trials", "16", "--resume", str(journal)]) == 0
+        captured = capsys.readouterr()
+        assert self._summary_lines(captured.out) == reference
+        assert "trials replayed from journal: 6" in captured.out

@@ -117,6 +117,32 @@ class TestOracles:
         program = generate_program(3, SMALL)
         assert run_oracles(program, make_oracles(["campaign"])) == []
 
+    def test_replay_oracle_clean_on_generated_programs(self):
+        oracles = make_oracles(["replay"])
+        for seed in range(8):
+            program = generate_program(seed, SMALL)
+            assert run_oracles(program, oracles) == [], seed
+
+    def test_replay_oracle_in_registry_and_defaults(self):
+        from repro.fuzz.oracles import DEFAULT_ORACLES, ORACLE_REGISTRY
+
+        assert "replay" in ORACLE_REGISTRY
+        assert "replay" in DEFAULT_ORACLES
+        (oracle,) = make_oracles(["replay"])
+        assert oracle.name == "replay"
+
+    def test_replay_oracle_fingerprint_reduction_stable(self):
+        # Coarse kinds survive delta-debugging: the same oracle+kind
+        # fingerprints identically regardless of the detail text.
+        a = OracleFailure("replay", "spurious-divergence:raw",
+                          "chunk 3 of 40 diverged")
+        b = OracleFailure("replay", "spurious-divergence:raw",
+                          "chunk 1 of 2 diverged")
+        c = OracleFailure("replay", "spurious-divergence:instrumented",
+                          "chunk 3 of 40 diverged")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+
     def test_fingerprint_is_coarse_and_stable(self):
         a = OracleFailure("opt", "mismatch", "value 1->2")
         b = OracleFailure("opt", "mismatch", "completely different detail")

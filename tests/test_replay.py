@@ -1,0 +1,233 @@
+"""Tests for the replay detection backend (record + deterministic replay)."""
+
+import dataclasses
+
+import pytest
+
+from repro.encore import EncoreConfig, compile_for_encore
+from repro.runtime import (
+    REPLAY_CHUNK_DEFAULT,
+    ChunkRecorder,
+    DetectionModel,
+    golden_run,
+    record_chunk_log,
+    run_campaign,
+    run_trial,
+)
+from repro.runtime.journal import (
+    CampaignJournal,
+    JournalError,
+    campaign_metadata,
+    load_journal,
+    validate_resume,
+)
+from helpers import build_counted_loop, build_figure4_region
+
+
+def _protected_figure4():
+    module, _obj = build_figure4_region()
+    return compile_for_encore(module, EncoreConfig(), args=(5,)).module
+
+
+class TestChunkRecorder:
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            ChunkRecorder(0)
+
+    def test_record_twice_identical(self):
+        """Digest logs are a pure function of the execution."""
+        module, _arr = build_counted_loop(12)
+        logs = []
+        for _ in range(2):
+            _result, recorder = record_chunk_log(module, chunk_size=8)
+            logs.append(
+                [(r.start_event, r.length, r.digest) for r in recorder.chunk_log]
+            )
+        assert logs[0] == logs[1]
+        assert logs[0], "recorder produced no chunks"
+
+    def test_chunks_cover_every_event(self):
+        """Chunks tile the execution: contiguous, no gaps, no overlap."""
+        module, _arr = build_counted_loop(12)
+        result, recorder = record_chunk_log(module, chunk_size=8)
+        expected_start = 0
+        for record in recorder.chunk_log:
+            assert record.start_event == expected_start
+            assert 1 <= record.length <= 8
+            expected_start = record.start_event + record.length
+        assert expected_start == result.events
+
+    def test_record_cost_charged_and_bounded(self):
+        module, _arr = build_counted_loop(12)
+        result, recorder = record_chunk_log(module, chunk_size=8)
+        assert recorder.record_cost > 0
+        # SNAPSHOT_COST per chunk + one instruction per RECORD_STRIDE
+        # steps keeps the critical-path overhead well under 100%.
+        assert recorder.record_cost < result.events
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_no_spurious_divergence(self, engine):
+        """Fault-free replay must agree with the recording, both engines."""
+        cases = [
+            (build_counted_loop(12)[0], ()),
+            (_protected_figure4(), (5,)),
+        ]
+        for module, args in cases:
+            _result, recorder = record_chunk_log(
+                module, args=args, chunk_size=8, check=True, engine=engine
+            )
+            assert recorder.divergences == []
+            assert not recorder.end_divergence
+            assert recorder.detector.checks == len(recorder.chunk_log)
+            assert recorder.detector.divergences == 0
+
+
+class TestReplayTrials:
+    def test_detection_with_measured_latency(self):
+        """A struck replay trial measures its latency within one chunk."""
+        module = _protected_figure4()
+        golden = golden_run(module, args=(5,))
+        chunk = 8
+        seen_divergence = False
+        for site in range(0, golden.events, max(golden.events // 24, 1)):
+            result = run_trial(
+                module,
+                golden,
+                site,
+                bit=3,
+                latency=None,
+                args=(5,),
+                detector_backend="replay",
+                replay_chunk_size=chunk,
+            )
+            assert result.outcome in (
+                "recovered", "masked", "recovered_after_retry"
+            ), (site, result.outcome)
+            if result.replay_divergences:
+                seen_divergence = True
+                assert result.detect_latency is not None
+                assert 0 <= result.detect_latency <= chunk
+                assert result.replay_overhead > 0
+        assert seen_divergence
+
+    def test_replay_discards_sampled_latency(self):
+        """The replay backend never uses the model's latency draw."""
+        module = _protected_figure4()
+        golden = golden_run(module, args=(5,))
+        results = [
+            run_trial(
+                module, golden, 10, bit=3, latency=latency, args=(5,),
+                detector_backend="replay", replay_chunk_size=8,
+            )
+            for latency in (0, 1000)
+        ]
+        assert dataclasses.astuple(results[0]) == dataclasses.astuple(results[1])
+
+    def test_unknown_backend_rejected(self):
+        module = _protected_figure4()
+        golden = golden_run(module, args=(5,))
+        with pytest.raises(ValueError, match="unknown detector backend"):
+            run_trial(
+                module, golden, 10, 3, None, args=(5,),
+                detector_backend="oracle",
+            )
+        with pytest.raises(ValueError, match="unknown detector backend"):
+            run_campaign(module, args=(5,), trials=1, detector_backend="oracle")
+
+    def test_campaign_bit_equality_serial_parallel_engines(self):
+        """Replay campaigns are bit-identical across jobs and engines."""
+        module = _protected_figure4()
+        runs = {}
+        for engine in ("fast", "reference"):
+            for jobs in (1, 2):
+                campaign = run_campaign(
+                    module,
+                    function="main",
+                    args=(5,),
+                    trials=12,
+                    seed=7,
+                    detector_backend="replay",
+                    replay_chunk_size=8,
+                    jobs=jobs,
+                    engine=engine,
+                )
+                runs[(engine, jobs)] = [
+                    dataclasses.astuple(t) for t in campaign.trials
+                ]
+        baseline = runs[("fast", 1)]
+        assert all(trials == baseline for trials in runs.values())
+
+
+class TestReplayJournal:
+    def _metadata(self, module, **overrides):
+        kwargs = dict(
+            seed=7,
+            detector=DetectionModel(),
+            function="main",
+            args=(5,),
+        )
+        kwargs.update(overrides)
+        return campaign_metadata(module, **kwargs)
+
+    def test_header_records_backend_and_chunk(self):
+        module = _protected_figure4()
+        meta = self._metadata(
+            module, detector_backend="replay", replay_chunk_size=32
+        )
+        assert meta["detector_backend"] == "replay"
+        assert meta["replay_chunk_size"] == 32
+        # Default chunk size is materialised, not left implicit.
+        defaulted = self._metadata(module, detector_backend="replay")
+        assert defaulted["replay_chunk_size"] == REPLAY_CHUNK_DEFAULT
+        # A model campaign's header is byte-identical to the old format.
+        assert "detector_backend" not in self._metadata(module)
+
+    def test_cross_detector_resume_refused(self):
+        """Resume under a different detector fails loudly, both ways."""
+        module = _protected_figure4()
+        model_meta = self._metadata(module)
+        replay_meta = self._metadata(
+            module, detector_backend="replay", replay_chunk_size=32
+        )
+        with pytest.raises(JournalError, match="detector_backend"):
+            validate_resume(replay_meta, model_meta)
+        with pytest.raises(JournalError, match="detector_backend"):
+            validate_resume(model_meta, replay_meta)
+        # Same backend, different chunk size: also a different campaign.
+        other_chunk = self._metadata(
+            module, detector_backend="replay", replay_chunk_size=16
+        )
+        with pytest.raises(JournalError, match="replay_chunk_size"):
+            validate_resume(replay_meta, other_chunk)
+        validate_resume(replay_meta, dict(replay_meta))
+
+    def test_resume_round_trip(self, tmp_path):
+        """A half-journaled replay campaign resumes to the full result."""
+        module = _protected_figure4()
+        kwargs = dict(
+            function="main",
+            args=(5,),
+            trials=12,
+            seed=7,
+            detector_backend="replay",
+            replay_chunk_size=8,
+        )
+        straight = run_campaign(module, **kwargs)
+
+        path = str(tmp_path / "replay.jsonl")
+        journal = CampaignJournal(path)
+        meta = self._metadata(
+            module, detector_backend="replay", replay_chunk_size=8
+        )
+        journal.write_header(meta)
+        half = dict(kwargs, trials=6)
+        run_campaign(module, on_result=journal.record, **half)
+        journal.close()
+
+        loaded_meta, completed = load_journal(path)
+        validate_resume(loaded_meta, meta)
+        assert len(completed) == 6
+        resumed = run_campaign(module, completed=completed, **kwargs)
+        assert [dataclasses.astuple(t) for t in resumed.trials] == [
+            dataclasses.astuple(t) for t in straight.trials
+        ]

@@ -13,7 +13,11 @@ from repro.runtime import (
     run_symptom_trial,
     train_invariants,
 )
-from repro.runtime.symptoms import ValueRange
+from repro.runtime.symptoms import (
+    SymptomCampaignResult,
+    SymptomTrial,
+    ValueRange,
+)
 from repro.workloads import build_workload
 from helpers import build_counted_loop
 
@@ -139,3 +143,60 @@ class TestSymptomTrials:
         )
         assert campaign.fraction("recovered") == 0.0
         assert campaign.fraction("detected_unrecoverable") > 0.0
+
+
+class TestCampaignAggregateEdges:
+    """SymptomCampaignResult must stay well-defined on degenerate inputs."""
+
+    def test_empty_campaign(self):
+        campaign = SymptomCampaignResult(trials=[])
+        assert campaign.fraction("recovered") == 0.0
+        assert campaign.covered_fraction == 0.0
+        assert campaign.observed_latencies() == []
+        assert campaign.mean_latency == 0.0
+        assert campaign.detection_rate == 0.0
+
+    def test_all_masked_campaign(self):
+        trials = [
+            SymptomTrial(
+                outcome="masked", fault_event=i, detection_latency=None,
+                recoveries=0,
+            )
+            for i in range(5)
+        ]
+        campaign = SymptomCampaignResult(trials=trials)
+        assert campaign.covered_fraction == 1.0
+        # No non-masked faults: a detection rate over zero trials is 0,
+        # not a ZeroDivisionError.
+        assert campaign.detection_rate == 0.0
+        assert campaign.mean_latency == 0.0
+
+    def test_trapped_without_latency_counts_as_noticed(self):
+        trials = [
+            SymptomTrial(
+                outcome="detected_unrecoverable", fault_event=3,
+                detection_latency=None, recoveries=0, trapped=True,
+            ),
+            SymptomTrial(
+                outcome="sdc", fault_event=4, detection_latency=None,
+                recoveries=0,
+            ),
+        ]
+        campaign = SymptomCampaignResult(trials=trials)
+        # The trap is a detection even though no invariant latency was
+        # observed; the silent corruption is the miss.
+        assert campaign.detection_rate == pytest.approx(0.5)
+        assert campaign.observed_latencies() == []
+        assert campaign.mean_latency == 0.0
+
+    def test_mixed_latency_aggregation(self):
+        trials = [
+            SymptomTrial("recovered", 1, 10, 1),
+            SymptomTrial("recovered", 2, 30, 1),
+            SymptomTrial("masked", 3, None, 0),
+        ]
+        campaign = SymptomCampaignResult(trials=trials)
+        assert campaign.observed_latencies() == [10, 30]
+        assert campaign.mean_latency == pytest.approx(20.0)
+        assert campaign.covered_fraction == pytest.approx(1.0)
+        assert campaign.detection_rate == pytest.approx(1.0)
