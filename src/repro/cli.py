@@ -144,7 +144,10 @@ def cmd_protect(args) -> int:
 
 def cmd_run(args) -> int:
     module = _load(args.module)
-    result = make_interpreter(module, engine=args.engine).run(
+    result = make_interpreter(
+        module, engine=args.engine, max_threads=args.threads,
+        quantum=args.quantum,
+    ).run(
         args.function, _int_args(args.args), output_objects=args.outputs or ()
     )
     print(f"result: {result.value}")
@@ -181,6 +184,10 @@ def cmd_inject(args) -> int:
         metadata_guard=args.guard,
         detector_backend=args.detector,
         replay_chunk_size=args.replay_chunk,
+        cf_faults_per_trial=args.cf_faults_per_trial,
+        cfe_detector=args.cfe_detector,
+        threads=args.threads,
+        quantum=args.quantum,
     )
 
     completed = None
@@ -232,7 +239,15 @@ def cmd_inject(args) -> int:
             engine=args.engine,
             detector_backend=args.detector,
             replay_chunk_size=args.replay_chunk,
+            cf_faults_per_trial=args.cf_faults_per_trial,
+            cfe_detector=args.cfe_detector,
+            threads=args.threads,
+            quantum=args.quantum,
         )
+    except ValueError as exc:
+        # e.g. replay backend requested for a multithreaded campaign
+        print(str(exc), file=sys.stderr)
+        return 2
     finally:
         if journal is not None:
             journal.close()
@@ -417,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=sorted(ENGINES), default=None,
                      help="interpreter engine (default: $ENCORE_ENGINE "
                           "or 'fast'; both are bit-identical)")
+    run.add_argument("--threads", type=int, default=None,
+                     help="max concurrently-live threads including main "
+                          "(default: unlimited; 1 makes spawn trap)")
+    run.add_argument("--quantum", type=int, default=None,
+                     help="cooperative scheduler time slice in dynamic "
+                          "instructions (default 50)")
     run.set_defaults(handler=cmd_run)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
@@ -460,6 +481,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metadata self-protection level: checksum "
                              "detects corrupted rollback state, dup also "
                              "repairs it from a shadow copy (default off)")
+    inject.add_argument("--cf-faults-per-trial", type=int, default=0,
+                        help="control-flow faults per trial: corrupted "
+                             "branch targets and wrong-way branches "
+                             "(default 0; draws append after all others, "
+                             "so plans at 0 are unchanged)")
+    inject.add_argument("--cfe-detector", choices=["off", "signature"],
+                        default="signature",
+                        help="control-flow error detector: 'signature' "
+                             "checks every executed branch edge against "
+                             "the static CFG (default signature; only "
+                             "meaningful with --cf-faults-per-trial > 0)")
+    inject.add_argument("--threads", type=int, default=1,
+                        help="max concurrently-live threads including "
+                             "main (default 1: spawn traps, campaigns "
+                             "stay strictly single-threaded)")
+    inject.add_argument("--quantum", type=int, default=None,
+                        help="cooperative scheduler time slice in dynamic "
+                             "instructions (default 50; --threads > 1 "
+                             "only)")
     inject.add_argument("--max-attempts", type=int, default=3,
                         help="consecutive rollbacks into one region before "
                              "the supervisor declares livelock (default 3)")
@@ -492,7 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--start", type=int, default=0,
                         help="first program index (default 0)")
     fuzz_p.add_argument("--profile", default="default",
-                        choices=["default", "small"],
+                        choices=["default", "small", "threads"],
                         help="generator size profile (default 'default')")
     fuzz_p.add_argument("--oracles",
                         default=",".join(

@@ -158,6 +158,11 @@ class AccessSummaryBuilder:
                     local_must.append(key)
             elif inst.opcode == "call":
                 self._fold_call(func, inst, info, local_must)
+            elif inst.opcode in ("spawn", "join"):
+                # Another thread runs between a spawn and its join; its
+                # writes are invisible to this analysis, so no region
+                # containing a thread op can prove idempotence.
+                info.unknown = True
             # Alloc creates a fresh object: no WAR hazard by construction.
         return info
 

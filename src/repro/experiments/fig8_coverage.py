@@ -29,6 +29,10 @@ DETECTION_LATENCIES = (1000, 100, 10)
 #: covering both a codec pair and a bit-twiddling kernel.
 REPLAY_WORKLOADS = ("g721decode", "rawdaudio", "epic")
 
+#: Default trio for the control-flow fault coverage study (same size
+#: rationale as the replay trio).
+CFE_WORKLOADS = ("g721decode", "rawdaudio", "epic")
+
 
 @dataclasses.dataclass
 class Fig8Data:
@@ -229,6 +233,113 @@ def replay_to_csv(data: ReplayHeadToHead) -> str:
             "model_mean_latency", "replay_covered", "model_covered",
             "alpha_predicted", "record_overhead", "replay_overhead",
             "divergence_rate"]
+    return rows_to_csv(
+        ["benchmark"] + keys,
+        [
+            tuple([name] + [data.rows[name][k] for k in keys])
+            for name in sorted(data.rows)
+        ],
+    )
+
+
+@dataclasses.dataclass
+class CfeCoverage:
+    """Empirical coverage of the control-flow fault surface.
+
+    Per benchmark, an SFI campaign injecting one control-flow fault per
+    trial (corrupted branch targets and wrong-way branches, no register
+    faults) is run twice: with the branch-signature monitor armed and
+    with CFE detection left to traps alone.  The delta between the two
+    ``covered`` columns is the signature monitor's contribution; the
+    ``silent`` columns bound what it structurally cannot see (wrong-way
+    branches follow legal CFG edges).
+    """
+
+    # benchmark -> {"covered_signature", "covered_off",
+    #   "detected_recovered_signature", "detected_recovered_off",
+    #   "silent_signature", "silent_off", "wild_trap_signature",
+    #   "detections_per_trial"}
+    rows: Dict[str, Dict[str, float]]
+    trials: int
+    seed: int
+
+
+def run_cfe_coverage(
+    names: Optional[Sequence[str]] = None,
+    trials: int = 120,
+    seed: int = 11,
+) -> CfeCoverage:
+    """Matched signature-on/signature-off control-flow fault campaigns.
+
+    Both campaigns share the seed, so their fault plans are
+    draw-for-draw identical — any coverage difference is purely the
+    detector.
+    """
+    cache = PipelineCache()
+    rows: Dict[str, Dict[str, float]] = {}
+    for result in cache.run_all(EncoreConfig(), names or CFE_WORKLOADS):
+        built = result.built
+        module = result.report.module
+        kwargs = dict(
+            function=built.entry,
+            args=built.args,
+            output_objects=built.output_objects,
+            externals=built.externals,
+            trials=trials,
+            seed=seed,
+            faults_per_trial=0,
+            cf_faults_per_trial=1,
+        )
+        signature = run_sfi(module, cfe_detector="signature", **kwargs)
+        off = run_sfi(module, cfe_detector="off", **kwargs)
+        rows[result.spec.name] = {
+            "covered_signature": signature.covered_fraction,
+            "covered_off": off.covered_fraction,
+            "detected_recovered_signature": signature.fraction(
+                "cfe_detected_recovered"
+            ),
+            "detected_recovered_off": off.fraction("cfe_detected_recovered"),
+            "silent_signature": signature.fraction("cfe_silent"),
+            "silent_off": off.fraction("cfe_silent"),
+            "wild_trap_signature": signature.fraction("cfe_wild_trap"),
+            "detections_per_trial": (
+                sum(t.cfe_detections for t in signature.trials)
+                / max(len(signature.trials), 1)
+            ),
+        }
+    return CfeCoverage(rows, trials, seed)
+
+
+def render_cfe(data: CfeCoverage) -> str:
+    table = Table(
+        f"Control-flow fault coverage: signature monitor vs traps only "
+        f"({data.trials} trials/benchmark)",
+        ["Benchmark", "Cov(sig)", "Cov(off)", "Rec(sig)", "Rec(off)",
+         "Silent(sig)", "Silent(off)", "Wild", "Det/trial"],
+    )
+    for name in sorted(data.rows):
+        row = data.rows[name]
+        table.add_row(
+            name,
+            fmt_pct(row["covered_signature"], 2),
+            fmt_pct(row["covered_off"], 2),
+            fmt_pct(row["detected_recovered_signature"], 2),
+            fmt_pct(row["detected_recovered_off"], 2),
+            fmt_pct(row["silent_signature"], 2),
+            fmt_pct(row["silent_off"], 2),
+            fmt_pct(row["wild_trap_signature"], 2),
+            f"{row['detections_per_trial']:.2f}",
+        )
+    return table.render()
+
+
+def cfe_to_csv(data: CfeCoverage) -> str:
+    from repro.experiments.reporting import rows_to_csv
+
+    keys = ["covered_signature", "covered_off",
+            "detected_recovered_signature", "detected_recovered_off",
+            "silent_signature", "silent_off", "wild_trap_signature",
+            "detections_per_trial"]
     return rows_to_csv(
         ["benchmark"] + keys,
         [

@@ -153,6 +153,10 @@ def run_sfi(
     engine: Optional[str] = None,
     detector_backend: str = "model",
     replay_chunk_size: Optional[int] = None,
+    cf_faults_per_trial: int = 0,
+    cfe_detector: str = "signature",
+    threads: int = 1,
+    quantum: Optional[int] = None,
 ) -> CampaignResult:
     """SFI campaign entry point for experiments and benchmarks.
 
@@ -185,4 +189,8 @@ def run_sfi(
         engine=engine,
         detector_backend=detector_backend,
         replay_chunk_size=replay_chunk_size,
+        cf_faults_per_trial=cf_faults_per_trial,
+        cfe_detector=cfe_detector,
+        threads=threads,
+        quantum=quantum,
     )

@@ -15,6 +15,7 @@ from repro.fuzz.generator import (
     EXTERNALS,
     PROFILES,
     SMALL,
+    THREADS,
     FuzzProgram,
     GeneratorConfig,
     derive_program_seed,
@@ -66,6 +67,7 @@ __all__ = [
     "PROFILES",
     "ReductionResult",
     "SMALL",
+    "THREADS",
     "count_instructions",
     "derive_program_seed",
     "generate_program",

@@ -76,15 +76,28 @@ class GeneratorConfig:
     pointers: bool = True
     #: Emit opaque external calls (classified *unknown* by analysis).
     externals: bool = True
+    #: Worker threads ``main`` spawns and joins (0 disables the thread
+    #: grammar entirely — no spawn/join, no extra RNG draws, so profiles
+    #: without threads generate byte-identical programs to before the
+    #: knob existed).
+    threads: int = 0
 
     def __post_init__(self) -> None:
         if self.global_size & (self.global_size - 1):
             raise ValueError("global_size must be a power of two")
+        if self.threads < 0:
+            raise ValueError("threads must be >= 0")
 
     def key(self) -> str:
-        """Canonical identity string (journal headers, fingerprints)."""
-        return json.dumps(dataclasses.asdict(self), sort_keys=True,
-                          separators=(",", ":"))
+        """Canonical identity string (journal headers, fingerprints).
+
+        ``threads`` is omitted at its default so every pre-existing
+        journal header and campaign fingerprint is preserved verbatim.
+        """
+        fields = dataclasses.asdict(self)
+        if not fields["threads"]:
+            del fields["threads"]
+        return json.dumps(fields, sort_keys=True, separators=(",", ":"))
 
 
 #: Small program space for property-based tests: cheap to compile and
@@ -92,10 +105,18 @@ class GeneratorConfig:
 SMALL = GeneratorConfig(max_stmts=4, max_depth=2, max_trip=4,
                         int_globals=2, float_globals=1, helpers=1)
 
+#: Multithreaded program space: the default grammar plus two spawned
+#: worker threads.  Workers are pure compute over private state, so
+#: every generated program stays trap-free, terminating, and
+#: schedule-invariant — the oracles' golden-vs-variant comparisons
+#: remain sound even though instrumentation shifts the interleaving.
+THREADS = GeneratorConfig(max_stmts=5, threads=2)
+
 #: Named generator profiles, addressable from the CLI and journals.
 PROFILES = {
     "default": GeneratorConfig(),
     "small": SMALL,
+    "threads": THREADS,
 }
 
 
@@ -110,6 +131,9 @@ class FuzzProgram:
     config: Optional[GeneratorConfig] = None
     args: Tuple = ()
     entry: str = "main"
+    #: Thread budget an execution needs (main + spawned workers).
+    #: Oracles forward this wherever a campaign pins ``threads``.
+    threads: int = 1
 
 
 def _ext_sink(args: Sequence) -> int:
@@ -372,6 +396,43 @@ class _ProgramBuilder:
             b.store(stats, 0, b.add(cur, acc))
         b.ret(b.add(acc, index + 1))
 
+    def build_worker(self, index: int) -> str:
+        """A spawnable worker: pure compute over its own private buffer.
+
+        The safety envelope for threads is *schedule-invariance*: a
+        worker reads only its argument and its private global (which
+        nothing else touches), so its join result — the only thing main
+        observes — is the same under every interleaving.  That keeps
+        golden-vs-instrumented comparisons sound even though the
+        instrumented run switches threads at different event indices.
+        Indices are masked and the loop is counted, so workers inherit
+        the trap-free/terminating envelope too.
+        """
+        from repro.ir import IRBuilder
+
+        name = f"tworker{index}"
+        buf = self.module.add_global(f"{name}_buf", self.config.global_size,
+                                     init=self._int_init(index))
+        fn = self.module.add_function(
+            name, params=[VirtualRegister(f"tw{index}")])
+        b = IRBuilder(fn)
+        kit = Kit(b)
+        b.block("entry")
+        acc = b.fresh("acc")
+        b.mov(b.and_(fn.params[0], 255), acc)
+        trip = self.rng.randint(2, self.config.max_trip + 2)
+
+        def body(i):
+            idx = b.and_(b.add(i, acc), self.mask)
+            cur = b.load(buf, idx)
+            b.store(buf, idx, b.and_(b.add(cur, b.xor(acc, i)), 255))
+            b.add(acc, cur, acc)
+            b.and_(acc, (1 << 31) - 1, acc)
+
+        kit.counted(trip, body, "tw")
+        b.ret(acc)
+        return name
+
     def build(self) -> FuzzProgram:
         config = self.config
         self.int_objs = [
@@ -395,11 +456,19 @@ class _ProgramBuilder:
         for i in range(self.rng.randint(0, config.helpers)):
             self.build_helper(i)
             self.helper_names.append(f"helper{i}")
+        worker_names = [self.build_worker(i) for i in range(config.threads)]
 
         self.b.block("entry")
         self.int_pool.append(self.b.mov(self.seed & 0xFF))
         self.int_pool.append(self.b.load(self.int_objs[0], 0))
+        # Spawn every worker up front and join after the random body, so
+        # workers run interleaved with main's statements but their
+        # results are only observed post-join (schedule-invariant).
+        tids = [self.b.spawn(name, [self.pick_int()])
+                for name in worker_names]
         self.emit_block(0)
+        for tid in tids:
+            self.int_pool.append(self.b.join(tid))
 
         # Fold the live pools into the output object so every program
         # has observable, deterministic memory output.
@@ -421,6 +490,7 @@ class _ProgramBuilder:
             output_objects=tuple(outputs),
             seed=self.seed,
             config=config,
+            threads=config.threads + 1,
         )
 
     def _int_init(self, which: int) -> List[int]:

@@ -311,6 +311,7 @@ class RollbackExactnessOracle(Oracle):
         instrumented_golden = golden_run(
             report.module, program.entry, program.args,
             program.output_objects, externals=EXTERNALS,
+            threads=program.threads,
         )
         for index in range(self.SFI_TRIALS):
             plan = plan_trial(program.seed, index,
@@ -319,11 +320,13 @@ class RollbackExactnessOracle(Oracle):
                 report.module, instrumented_golden, plan,
                 function=program.entry, args=program.args,
                 output_objects=program.output_objects, externals=EXTERNALS,
+                threads=program.threads,
             )
             second = run_planned_trial(
                 report.module, instrumented_golden, plan,
                 function=program.entry, args=program.args,
                 output_objects=program.output_objects, externals=EXTERNALS,
+                threads=program.threads,
             )
             if first != second:
                 failures.append(self.fail(
@@ -352,6 +355,13 @@ class ReplayDeterminismOracle(Oracle):
 
     def check(self, program: FuzzProgram) -> List[OracleFailure]:
         from repro.runtime.replay import record_chunk_log
+
+        if program.threads > 1:
+            # Chunked replay cannot reconstruct scheduler state (the
+            # campaign layer refuses the replay backend for threads > 1
+            # for the same reason), so the property does not apply to
+            # spawn-containing programs.
+            return []
 
         failures: List[OracleFailure] = []
         golden = _golden(program)
@@ -440,6 +450,7 @@ class CampaignEquivalenceOracle(Oracle):
             trials=self.trials,
             seed=program.seed,
             externals=EXTERNALS,
+            threads=program.threads,
         )
         serial = run_campaign(report.module, jobs=1, **kwargs)
         parallel = run_campaign(report.module, jobs=self.jobs, **kwargs)

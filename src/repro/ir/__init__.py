@@ -21,6 +21,7 @@ from repro.ir.instructions import (
     ClearRecoveryPtr,
     Compare,
     Instruction,
+    Join,
     Jump,
     Load,
     Move,
@@ -28,6 +29,7 @@ from repro.ir.instructions import (
     Ret,
     Select,
     SetRecoveryPtr,
+    Spawn,
     Store,
     UnaryOp,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "Function",
     "IRBuilder",
     "Instruction",
+    "Join",
     "Jump",
     "Load",
     "MemRef",
@@ -65,6 +68,7 @@ __all__ = [
     "Ret",
     "Select",
     "SetRecoveryPtr",
+    "Spawn",
     "Store",
     "Type",
     "UnaryOp",

@@ -31,11 +31,13 @@ from repro.ir.instructions import (
     Branch,
     Call,
     Compare,
+    Join,
     Jump,
     Load,
     Move,
     Ret,
     Select,
+    Spawn,
     Store,
     UnaryOp,
 )
@@ -235,3 +237,22 @@ class IRBuilder:
 
     def ret(self, value: Optional[OperandLike] = None) -> None:
         self._emit(Ret(self._coerce(value) if value is not None else None))
+
+    # -- threads -----------------------------------------------------------
+
+    def spawn(
+        self,
+        callee: str,
+        args: Sequence[OperandLike] = (),
+        dest: Optional[VirtualRegister] = None,
+    ) -> VirtualRegister:
+        dest = dest or self.fresh("tid")
+        self._emit(Spawn(dest, callee, [self._coerce(a) for a in args]))
+        return dest
+
+    def join(
+        self, thread: OperandLike, dest: Optional[VirtualRegister] = None
+    ) -> VirtualRegister:
+        dest = dest or self.fresh("r")
+        self._emit(Join(dest, self._coerce(thread)))
+        return dest

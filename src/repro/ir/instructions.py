@@ -343,6 +343,70 @@ class Call(Instruction):
         return f"call {self.callee}({args})"
 
 
+class Spawn(Instruction):
+    """``dest = spawn callee(args...)`` — start a cooperative thread.
+
+    The callee must be a function of the enclosing module (spawning an
+    opaque external is a verification error: there is nothing to
+    schedule).  ``dest`` receives the new thread's id, the token a
+    later ``join`` consumes.  Scheduling is deterministic cooperative
+    round-robin (:mod:`repro.runtime.scheduler`); like ``call``, the
+    callee's memory effects make the enclosing region unanalyzable for
+    idempotence, and unlike ``call`` they can interleave with the
+    spawner, so regions containing a ``spawn`` are never protected.
+    """
+
+    opcode = "spawn"
+
+    def __init__(
+        self,
+        dest: VirtualRegister,
+        callee: str,
+        args: Sequence[Operand] = (),
+    ) -> None:
+        self.dest = dest
+        self.callee = callee
+        self.args = list(args)
+
+    def uses(self):
+        regs: List[VirtualRegister] = []
+        for arg in self.args:
+            regs.extend(operand_registers(arg))
+        return tuple(regs)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.dest} = spawn {self.callee}({args})"
+
+
+class Join(Instruction):
+    """``dest = join thread`` — wait for a spawned thread, take its result.
+
+    Blocks the issuing thread until ``thread`` (a thread id produced by
+    ``spawn``) finishes, then writes that thread's return value to
+    ``dest``.  Joining an id that never came from a live ``spawn``
+    traps — a wild join is a visible symptom, not undefined behaviour.
+    """
+
+    opcode = "join"
+
+    def __init__(self, dest: VirtualRegister, thread: Operand) -> None:
+        self.dest = dest
+        self.thread = thread
+
+    def uses(self):
+        return operand_registers(self.thread)
+
+    def defs(self):
+        return (self.dest,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = join {self.thread}"
+
+
 class Ret(Instruction):
     """``ret [value]``."""
 

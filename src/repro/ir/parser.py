@@ -24,6 +24,7 @@ from repro.ir.instructions import (
     CheckpointReg,
     ClearRecoveryPtr,
     Compare,
+    Join,
     Jump,
     Load,
     Move,
@@ -31,6 +32,7 @@ from repro.ir.instructions import (
     Ret,
     Select,
     SetRecoveryPtr,
+    Spawn,
     Store,
     UNARY_OPS,
     UnaryOp,
@@ -56,6 +58,7 @@ _FUNC_RE = re.compile(r"^func\s+(\w+)\(([^)]*)\)\s*\{$")
 _LABEL_RE = re.compile(r"^([\w.]+):$")
 _REF_RE = re.compile(r"^([@%])(\w+)\[(.+)\]$")
 _CALL_RE = re.compile(r"^call\s+(\w+)\((.*)\)$")
+_SPAWN_RE = re.compile(r"^spawn\s+(\w+)\((.*)\)$")
 
 
 def _parse_number(token: str) -> Union[int, float]:
@@ -167,6 +170,16 @@ class _FunctionParser:
             )
         if head in UNARY_OPS:
             return UnaryOp(head, dest, self.operand(tail, line_no, line))
+        if head == "join":
+            return Join(dest, self.operand(tail, line_no, line))
+        spawn = _SPAWN_RE.match(rhs)
+        if spawn:
+            callee, args = spawn.groups()
+            return Spawn(
+                dest,
+                callee,
+                [self.operand(a, line_no, line) for a in self._split_args(args)],
+            )
         call = _CALL_RE.match(rhs)
         if call:
             callee, args = call.groups()
@@ -230,6 +243,11 @@ def parse_module(text: str) -> Module:
     for line_no, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line:
+            continue
+        if line.startswith("#"):
+            # Comment lines: provenance headers on checked-in examples
+            # and fuzz-corpus repros.  The printer never emits them, so
+            # print -> parse -> print stays a fixpoint.
             continue
         if line.startswith("module "):
             module = Module(line[len("module "):].strip())

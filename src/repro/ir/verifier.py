@@ -86,6 +86,14 @@ def verify_function(func: Function, module: Module) -> List[str]:
                         f"{func.name}/{block.label}: call to undeclared target "
                         f"{callee!r}"
                     )
+            if inst.opcode == "spawn":
+                # Externals cannot be scheduled: a spawn target must be
+                # a function of this module.
+                if inst.callee not in module.functions:
+                    errors.append(
+                        f"{func.name}/{block.label}: spawn of non-module "
+                        f"function {inst.callee!r}"
+                    )
     return errors
 
 

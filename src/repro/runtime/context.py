@@ -1,0 +1,76 @@
+"""Per-thread execution state: the :class:`ExecutionContext`.
+
+Everything mutable that belongs to *one thread of control* — the frame
+stack, the pending recovery redirect, the finished flag and return
+value, the cooperative-scheduling state — lives here, extracted from
+the interpreter so both engines (:class:`~repro.runtime.interpreter.
+ReferenceInterpreter` and :class:`~repro.runtime.predecode.
+FastInterpreter`) execute instructions against a context instead of
+owning the state themselves.
+
+The interpreter *binds* one context at a time: binding aliases the
+context's frame list into the interpreter's hot-loop attributes and
+copies the few scalars in; suspending copies the scalars back.  A
+single-threaded run binds the main context once and never suspends it,
+so the refactor costs the hot loop nothing — the bound attributes are
+exactly the fields the pre-refactor interpreter carried.  At every
+scheduler switch point the context is the source of truth.
+
+Machine-global state deliberately stays on the interpreter: memory,
+the metadata guard, the step/cost counters (``events`` indexes fault
+sites across *all* threads), the frame-id counter (frame ids are
+unique machine-wide), and the replay chunk recorder's open chunk —
+chunks seal at every thread switch, so an open chunk always belongs to
+the currently bound context (see :mod:`repro.runtime.scheduler`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: Context states for cooperative scheduling.
+RUNNABLE = "runnable"
+BLOCKED = "blocked"
+DONE = "done"
+
+
+class ExecutionContext:
+    """The mutable state of one cooperative thread.
+
+    ``tid`` 0 is the main thread; spawned threads get consecutive ids
+    in spawn order, which (together with round-robin scheduling) is
+    what makes multithreaded executions bit-replayable.
+    """
+
+    __slots__ = (
+        "tid",
+        "frames",
+        "pending_redirect",
+        "finished",
+        "return_value",
+        "state",
+        "waiting_on",
+        "steps",
+    )
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.frames: List = []
+        #: Label of a recovery block to enter after the current step
+        #: (the detector-initiated redirect), or None.
+        self.pending_redirect: Optional[str] = None
+        self.finished = False
+        self.return_value = None
+        self.state = RUNNABLE
+        #: Thread id this context is blocked joining, when state is
+        #: BLOCKED.
+        self.waiting_on: Optional[int] = None
+        #: Dynamic instructions executed by this thread while the
+        #: scheduler was active (settled at switch points).
+        self.steps = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ExecutionContext tid={self.tid} state={self.state} "
+            f"frames={len(self.frames)} steps={self.steps}>"
+        )

@@ -42,6 +42,7 @@ from repro.ir.instructions import Instruction
 from repro.ir.module import Module
 from repro.ir.types import wrap_int
 from repro.ir.values import Constant, MemoryObject, MemRef, VirtualRegister
+from repro.runtime.context import BLOCKED, ExecutionContext
 from repro.runtime.guarded_state import RecoveryStateGuard
 from repro.runtime.memory import MachineMemory, MemoryError_, Pointer, Word
 
@@ -152,9 +153,20 @@ class ReferenceInterpreter:
         externals: Optional[Dict[str, ExternalFn]] = None,
         metadata_guard: str = "off",
         memory_image: Optional[MachineMemory] = None,
+        max_threads: Optional[int] = None,
+        quantum: Optional[int] = None,
     ) -> None:
         self.module = module
         self.max_steps = max_steps
+        # Cooperative threading: max concurrently-live threads counting
+        # main (None = unlimited; 1 = spawn traps), and the scheduling
+        # quantum in dynamic instructions (None = scheduler default).
+        # The scheduler itself is created lazily by the first spawn, so
+        # single-threaded runs carry none of its machinery.
+        self.max_threads = max_threads
+        self.quantum = quantum
+        self.scheduler = None
+        self.context: Optional[ExecutionContext] = None
         self.pre_step = pre_step
         self.post_step = post_step
         self.externals: Dict[str, ExternalFn] = dict(externals or {})
@@ -202,6 +214,7 @@ class ReferenceInterpreter:
                 "result, and memory image across runs is fine)"
             )
         self._started = True
+        self._bind(ExecutionContext(0))
         self._push_frame(self.module.function(function), args, ret_dest=None)
         return self.resume(output_objects)
 
@@ -222,13 +235,50 @@ class ReferenceInterpreter:
     def current_frame(self) -> _Frame:
         return self.frames[-1]
 
-    def corrupt_register(self, frame_id: int, reg: VirtualRegister, value: Word) -> None:
-        """Overwrite a register (fault-injection entry point)."""
+    # -- execution contexts ---------------------------------------------
+
+    def _bind(self, ctx: ExecutionContext) -> None:
+        """Make ``ctx`` the running thread.
+
+        Binding aliases the context's frame list into ``self.frames``
+        (so the hot loop mutates the context's own stack directly) and
+        copies the per-thread scalars in.  The inverse, :meth:`_suspend`,
+        copies the scalars back; both run only at scheduler switch
+        points, never per step.
+        """
+        self.context = ctx
+        self.frames = ctx.frames
+        self._pending_redirect = ctx.pending_redirect
+        self._finished = ctx.finished
+        self._return_value = ctx.return_value
+
+    def _suspend(self) -> None:
+        """Write the bound scalars back into the current context."""
+        ctx = self.context
+        ctx.pending_redirect = self._pending_redirect
+        ctx.finished = self._finished
+        ctx.return_value = self._return_value
+
+    def find_frame(self, frame_id: int) -> Optional[_Frame]:
+        """Find a live frame by id across every thread's stack."""
         for frame in self.frames:
             if frame.id == frame_id:
-                frame.regs[reg] = value
-                return
-        raise KeyError(f"no live frame {frame_id}")
+                return frame
+        if self.scheduler is not None:
+            for ctx in self.scheduler.contexts.values():
+                if ctx is self.context:
+                    continue
+                for frame in ctx.frames:
+                    if frame.id == frame_id:
+                        return frame
+        return None
+
+    def corrupt_register(self, frame_id: int, reg: VirtualRegister, value: Word) -> None:
+        """Overwrite a register (fault-injection entry point)."""
+        frame = self.find_frame(frame_id)
+        if frame is None:
+            raise KeyError(f"no live frame {frame_id}")
+        frame.regs[reg] = value
 
     def trigger_recovery(self, immediate: bool = False) -> bool:
         """Detector hook: redirect control to the active recovery block.
@@ -370,6 +420,9 @@ class ReferenceInterpreter:
             self.frames[-1].block = self._pending_redirect
             self.frames[-1].ip = 0
             self._pending_redirect = None
+
+        if self.scheduler is not None:
+            self.scheduler.after_step(self, inst.opcode)
 
     # ------------------------------------------------------------------
     # instruction semantics
@@ -598,6 +651,71 @@ class ReferenceInterpreter:
         value = self._eval(frame, inst.value) if inst.value is not None else None
         self._pop_frame(value)
 
+    # -- threads -------------------------------------------------------------
+
+    def _do_spawn(self, frame: _Frame, inst, event) -> None:
+        callee = self.module.get_function(inst.callee)
+        if callee is None:
+            raise Trap(f"spawn of unknown function {inst.callee}", self.events)
+        args = [self._eval(frame, a) for a in inst.args]
+        if len(args) != len(callee.params):
+            raise TypeError(
+                f"{callee.name} expects {len(callee.params)} args, got {len(args)}"
+            )
+        if self.scheduler is None:
+            # First spawn of the run: bring up the scheduler around the
+            # already-running main context.  (A replayed chunk executes
+            # without run() having built a context — synthesize one.)
+            from repro.runtime.scheduler import CooperativeScheduler
+
+            if self.context is None:
+                ctx = ExecutionContext(0)
+                ctx.frames = self.frames
+                self.context = ctx
+            self.scheduler = CooperativeScheduler(quantum=self.quantum)
+            self.scheduler.adopt(self.context, self.events)
+        if (
+            self.max_threads is not None
+            and self.scheduler.live_count() + 1 > self.max_threads
+        ):
+            raise Trap(
+                f"spawn exceeds thread limit of {self.max_threads}", self.events
+            )
+        ctx = self.scheduler.create_context()
+        self._frame_counter += 1
+        root = _Frame(self._frame_counter, callee)
+        for param, arg in zip(callee.params, args):
+            root.regs[param] = arg
+        for name, obj in callee.stack_objects.items():
+            instance = self.memory.materialize(obj, f"{name}@f{root.id}")
+            root.stack_instances[name] = instance
+        ctx.frames.append(root)
+        frame.regs[inst.dest] = ctx.tid
+        self._advance(frame)
+
+    def _do_join(self, frame: _Frame, inst, event) -> None:
+        tid = self._eval(frame, inst.thread)
+        if isinstance(tid, float):
+            tid = int(tid)
+        sched = self.scheduler
+        target = (
+            sched.contexts.get(tid)
+            if sched is not None and isinstance(tid, int)
+            else None
+        )
+        if target is None:
+            raise Trap(f"join of unknown thread {tid}", self.events)
+        if target.state == "done":
+            value = target.return_value
+            frame.regs[inst.dest] = value if value is not None else 0
+            self._advance(frame)
+            return
+        # Target still live: charge this attempt, leave ip untouched so
+        # the join re-executes when this thread is scheduled again, and
+        # let the scheduler switch us out at the end of the step.
+        self.context.state = BLOCKED
+        self.context.waiting_on = tid
+
     # -- Encore instrumentation ----------------------------------------------
 
     def _do_set_recovery_ptr(self, frame: _Frame, inst, event) -> None:
@@ -695,6 +813,8 @@ _DISPATCH = {
     "jmp": ReferenceInterpreter._do_jmp,
     "call": ReferenceInterpreter._do_call,
     "ret": ReferenceInterpreter._do_ret,
+    "spawn": ReferenceInterpreter._do_spawn,
+    "join": ReferenceInterpreter._do_join,
     "set_recovery_ptr": ReferenceInterpreter._do_set_recovery_ptr,
     "clear_recovery_ptr": ReferenceInterpreter._do_clear_recovery_ptr,
     "ckpt_reg": ReferenceInterpreter._do_ckpt_reg,

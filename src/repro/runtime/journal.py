@@ -62,6 +62,10 @@ def campaign_metadata(
     metadata_guard: str = "off",
     detector_backend: str = "model",
     replay_chunk_size: Optional[int] = None,
+    cf_faults_per_trial: int = 0,
+    cfe_detector: str = "signature",
+    threads: int = 1,
+    quantum: Optional[int] = None,
 ) -> Dict[str, Any]:
     """The identity of a campaign: everything that determines its plans.
 
@@ -74,7 +78,13 @@ def campaign_metadata(
     ``detector_backend``/``replay_chunk_size``, and because
     :func:`validate_resume` compares the *union* of header keys, a
     journal written under one backend refuses to resume under the
-    other.
+    other.  The control-flow surface (``cf_faults_per_trial``,
+    ``cfe_detector``) and the scheduler settings (``threads``,
+    ``quantum``) follow the same conditional-emission rule: a
+    single-threaded, register-fault-only campaign's header is
+    byte-identical to the pre-thread format, and any cross-config
+    resume (different thread count, quantum, CFE count, or detector)
+    is refused loudly.
     """
     meta: Dict[str, Any] = {
         "seed": seed,
@@ -100,6 +110,16 @@ def campaign_metadata(
         meta["replay_chunk_size"] = int(
             replay_chunk_size or REPLAY_CHUNK_DEFAULT
         )
+    if cf_faults_per_trial:
+        meta["cf_faults_per_trial"] = cf_faults_per_trial
+        # The detector changes outcomes, not plans, but resumed trials
+        # are replayed verbatim — so it is part of the campaign identity
+        # whenever the surface is open.
+        meta["cfe_detector"] = cfe_detector
+    if threads != 1:
+        meta["threads"] = threads
+    if quantum is not None:
+        meta["quantum"] = int(quantum)
     return meta
 
 

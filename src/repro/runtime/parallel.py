@@ -79,6 +79,8 @@ def _init_worker(payload: bytes) -> None:
         externals=state["externals"],
         engine=state.get("engine"),
         memory_image=state["memory_image"],
+        threads=state.get("threads", 1),
+        quantum=state.get("quantum"),
     )
     _WORKER.clear()
     _WORKER.update(state)
@@ -106,6 +108,9 @@ def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialRe
                 memory_image=state["memory_image"],
                 detector_backend=state.get("detector_backend", "model"),
                 replay_chunk_size=state.get("replay_chunk_size"),
+                cfe_detector=state.get("cfe_detector", "signature"),
+                threads=state.get("threads", 1),
+                quantum=state.get("quantum"),
             ),
         )
         for plan in plans
@@ -151,6 +156,9 @@ def run_parallel_campaign(
     engine: Optional[str] = None,
     detector_backend: str = "model",
     replay_chunk_size: Optional[int] = None,
+    cfe_detector: str = "signature",
+    threads: int = 1,
+    quantum: Optional[int] = None,
 ) -> Tuple[List[TrialResult], Dict[str, int], int]:
     """Fan ``plans`` out over ``jobs`` worker processes.
 
@@ -177,6 +185,9 @@ def run_parallel_campaign(
                 "engine": engine,
                 "detector_backend": detector_backend,
                 "replay_chunk_size": replay_chunk_size,
+                "cfe_detector": cfe_detector,
+                "threads": threads,
+                "quantum": quantum,
             }
         )
     except Exception as exc:

@@ -1537,6 +1537,20 @@ def _decode_one(inst: Instruction, idx: int, nxt: int, module: Module,
         return _t_ckpt_mem(inst, idx, nxt)
     if op == "restore":
         return _t_restore(inst, idx, nxt)
+    if op in ("spawn", "join"):
+        # Thread ops put the run into scheduler mode, where every step
+        # must go through the reference tier (bind/suspend, switch
+        # points, blocking joins).  The closure executes *nothing*: it
+        # parks ``frame.ip`` on the instruction, flips the engine to
+        # the slow tier permanently, and leaves the fast loop so the
+        # reference ``_step`` re-executes this very instruction with
+        # full semantics.
+        def step(interp, frame, _idx=idx):
+            frame.ip = _idx
+            interp._force_slow = True
+            return -1
+
+        return step
     unknown = f"unknown opcode {op}"
 
     def step(interp, frame):
@@ -1773,6 +1787,8 @@ class FastInterpreter(ReferenceInterpreter):
         externals=None,
         metadata_guard: str = "off",
         memory_image: Optional[MachineMemory] = None,
+        max_threads: Optional[int] = None,
+        quantum: Optional[int] = None,
     ) -> None:
         super().__init__(
             module,
@@ -1782,8 +1798,14 @@ class FastInterpreter(ReferenceInterpreter):
             externals=externals,
             metadata_guard=metadata_guard,
             memory_image=memory_image,
+            max_threads=max_threads,
+            quantum=quantum,
         )
         self._program: Optional[DecodedProgram] = None
+        # Set by the first spawn/join the decoded code reaches: from
+        # then on every step takes the reference tier, so scheduler
+        # behaviour is reference behaviour by construction.
+        self._force_slow = False
         # Incremental peak_ckpt_words bookkeeping: (frame id, region id)
         # -> words currently logged.  Invalidated whenever a slow-path
         # step (hook code, guard injection) may have touched a log.
@@ -1802,6 +1824,7 @@ class FastInterpreter(ReferenceInterpreter):
                     self.pre_step is not None
                     or self.post_step is not None
                     or self._pending_redirect is not None
+                    or self._force_slow
                 ):
                     self._ckpt_words_ok = False
                     self._step()

@@ -36,6 +36,16 @@ reason-coded escalation ladder:
 * ``metadata_corrupt_silent`` — corrupted recovery metadata was
   consumed by a rollback *undetected* and the run finished with a
   wrong result — the failure mode the guard exists to eliminate;
+* ``cfe_detected_recovered`` — a control-flow fault (corrupted branch
+  target or wrong-way branch) was detected — by the branch-signature
+  monitor or by the wild-target trap — and rollback restored the
+  correct result;
+* ``cfe_wild_trap`` — a corrupted branch target left the legal label
+  space and trapped, but no recovery pointer was live: restart
+  required;
+* ``cfe_silent``   — a control-flow fault (typically a wrong-way
+  branch, whose edge is *legal* and therefore invisible to the
+  signature monitor) completed with a wrong result undetected;
 * ``sdc``          — silent data corruption: the run completed with a
   wrong result;
 * ``infra_error``  — the trial never produced a verdict (worker crash
@@ -89,12 +99,30 @@ OUTCOMES = (
     "double_fault_unrecoverable",
     "metadata_corrupt_detected",
     "metadata_corrupt_silent",
+    "cfe_detected_recovered",
+    "cfe_wild_trap",
+    "cfe_silent",
     "sdc",
     "infra_error",
 )
 
 #: Outcomes in which the program ended with the correct result.
-COVERED_OUTCOMES = ("masked", "recovered", "recovered_after_retry")
+COVERED_OUTCOMES = (
+    "masked", "recovered", "recovered_after_retry", "cfe_detected_recovered",
+)
+
+#: Control-flow fault kinds: ``target`` re-aims a branch at an
+#: arbitrary block of the executing function (one extra selector slot
+#: models a target outside the legal label space entirely — an
+#: immediate wild-branch trap); ``wrong`` inverts a conditional
+#: branch's decision, which follows a *legal* CFG edge and is therefore
+#: invisible to signature-based detection by construction.
+CF_KINDS = ("target", "wrong")
+
+#: Control-flow error detectors: ``signature`` checks every executed
+#: branch edge against the static CFG (the classic basic-block
+#: signature monitor); ``off`` leaves CFE detection to traps alone.
+CFE_DETECTORS = ("off", "signature")
 
 #: Where a trial's detection events come from.  ``model`` samples a
 #: latency from the analytical :class:`DetectionModel` (the paper's
@@ -153,6 +181,13 @@ class FaultPlan:
     meta_targets: Tuple[str, ...] = ()
     meta_selectors: Tuple[int, ...] = ()
     meta_bits: Tuple[int, ...] = ()
+    # Control-flow fault surface: each fault arms at dynamic site
+    # ``cf_sites[i]`` and strikes the next branch executed at or after
+    # it, corrupting it per ``cf_kinds[i]`` (see CF_KINDS);
+    # ``cf_selectors[i]`` picks the bogus target for ``target`` kinds.
+    cf_sites: Tuple[int, ...] = ()
+    cf_kinds: Tuple[str, ...] = ()
+    cf_selectors: Tuple[int, ...] = ()
 
     @property
     def single(self) -> bool:
@@ -173,6 +208,11 @@ class FaultPlan:
                 self.meta_selectors, self.meta_bits)
         )
 
+    @property
+    def control_faults(self) -> Tuple[Tuple[int, str, int], ...]:
+        """The planned control-flow faults as (site, kind, selector)."""
+        return tuple(zip(self.cf_sites, self.cf_kinds, self.cf_selectors))
+
 
 def plan_trial(
     seed: int,
@@ -182,14 +222,14 @@ def plan_trial(
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
     metadata_faults_per_trial: int = 0,
+    cf_faults_per_trial: int = 0,
 ) -> FaultPlan:
     """Derive one trial's fault plan from its own RNG substream.
 
-    The recovery-window draws happen *after* the primary draws, and the
-    metadata draws after those, so a campaign with
-    ``recovery_faults_per_trial=0`` and ``metadata_faults_per_trial=0``
-    produces bit-identical plans to one planned before either extension
-    existed.
+    The recovery-window draws happen *after* the primary draws, the
+    metadata draws after those, and the control-flow draws last, so a
+    campaign with every extension count at 0 produces bit-identical
+    plans to one planned before any extension existed.
     """
     rng = random.Random(derive_trial_seed(seed, trial_index))
     sites = sorted(
@@ -214,6 +254,13 @@ def plan_trial(
         rng.randrange(64) for _ in range(metadata_faults_per_trial)
     ]
     meta_bits = [rng.randrange(0, 64) for _ in range(metadata_faults_per_trial)]
+    cf_sites = sorted(
+        rng.randrange(max(golden_events, 1)) for _ in range(cf_faults_per_trial)
+    )
+    cf_kinds = [
+        CF_KINDS[rng.randrange(len(CF_KINDS))] for _ in range(cf_faults_per_trial)
+    ]
+    cf_selectors = [rng.randrange(64) for _ in range(cf_faults_per_trial)]
     return FaultPlan(
         trial_index,
         tuple(sites),
@@ -226,6 +273,9 @@ def plan_trial(
         tuple(meta_targets),
         tuple(meta_selectors),
         tuple(meta_bits),
+        tuple(cf_sites),
+        tuple(cf_kinds),
+        tuple(cf_selectors),
     )
 
 
@@ -237,13 +287,14 @@ def plan_campaign(
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
     metadata_faults_per_trial: int = 0,
+    cf_faults_per_trial: int = 0,
 ) -> List[FaultPlan]:
     """All fault plans of a campaign, in trial order."""
     return [
         plan_trial(
             seed, index, golden_events, detector,
             faults_per_trial, recovery_faults_per_trial,
-            metadata_faults_per_trial,
+            metadata_faults_per_trial, cf_faults_per_trial,
         )
         for index in range(trials)
     ]
@@ -280,6 +331,11 @@ class TrialResult:
     #: Dynamic instructions re-executed by replay checks (replay
     #: backend only) — the detector-side overhead of this trial.
     replay_overhead: int = 0
+    #: Control-flow faults that actually struck a branch (a planned
+    #: strike past the end of the dynamic path is dead time).
+    control_faults: int = 0
+    #: Illegal branch edges flagged by the signature monitor.
+    cfe_detections: int = 0
 
 
 def infra_error_trial() -> TrialResult:
@@ -448,6 +504,86 @@ class _FaultInjector:
         self.supervisor.on_step(interp, event)
 
 
+class _ControlFlowInjector:
+    """Post-step hook for the control-flow fault surface.
+
+    Each planned fault arms at its dynamic site and strikes the next
+    branch executed at or after it — ``wrong`` kinds wait for a
+    conditional ``br`` (an unconditional ``jmp`` has no wrong way),
+    ``target`` kinds strike any branch.  Corruption happens *after* the
+    branch committed its legal transfer, mirroring a transient in the
+    branch-target path: the frame's current block is overwritten with
+    the bogus label (or, for the wild selector slot, execution traps
+    immediately — the fetch from a garbage address).
+
+    When ``detector="signature"`` the hook doubles as the classic
+    basic-block signature monitor: after every branch it checks the
+    realized edge against the instruction's static successors and
+    reports an illegal edge to the supervisor at once (latency 0).
+    A wrong-way branch follows a legal edge and sails through — the
+    honesty gap the ``cfe_silent`` outcome measures.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[Tuple[int, str, int]],
+        detector: str,
+        supervisor: RecoverySupervisor,
+    ) -> None:
+        if detector not in CFE_DETECTORS:
+            raise ValueError(
+                f"unknown cfe detector {detector!r}; "
+                f"expected one of {CFE_DETECTORS}"
+            )
+        for _site, kind, _sel in faults:
+            if kind not in CF_KINDS:
+                raise ValueError(
+                    f"unknown control-fault kind {kind!r}; "
+                    f"expected one of {CF_KINDS}"
+                )
+        self.pending = sorted(faults, key=lambda f: f[0])
+        self.detector = detector
+        self.supervisor = supervisor
+        #: Faults that struck: (event index, kind).
+        self.injected: List[Tuple[int, str]] = []
+        self.detections = 0
+        self.wild = False
+
+    def __call__(self, interp: Interpreter, event: StepEvent) -> None:
+        inst = event.inst
+        if inst.opcode not in ("br", "jmp"):
+            return
+        frames = interp.frames
+        if not frames or frames[-1].id != event.frame_id:
+            return
+        frame = frames[-1]
+        if self.pending and event.index >= self.pending[0][0]:
+            kind = self.pending[0][1]
+            if kind == "target" or inst.opcode == "br":
+                _site, kind, selector = self.pending.pop(0)
+                self._strike(interp, frame, event, kind, selector)
+        if self.detector == "signature" and frame.block not in inst.successors():
+            self.detections += 1
+            self.supervisor.on_detection(interp, event.index)
+
+    def _strike(self, interp, frame, event, kind: str, selector: int) -> None:
+        self.injected.append((event.index, kind))
+        if kind == "wrong":
+            inst = event.inst
+            frame.block = (
+                inst.if_false if frame.block == inst.if_true else inst.if_true
+            )
+            return
+        labels = sorted(frame.func.blocks)
+        choice = selector % (len(labels) + 1)
+        if choice == len(labels):
+            # The extra selector slot: a target outside the function's
+            # label space entirely — an immediately-trapping wild branch.
+            self.wild = True
+            raise Trap("cfe: wild branch target", interp.events)
+        frame.block = labels[choice]
+
+
 def golden_run(
     module: Module,
     function: str = "main",
@@ -457,6 +593,8 @@ def golden_run(
     externals=None,
     engine: Optional[str] = None,
     memory_image: Optional[MachineMemory] = None,
+    threads: int = 1,
+    quantum: Optional[int] = None,
 ) -> ExecResult:
     """The fault-free reference execution trials are classified against.
 
@@ -464,11 +602,13 @@ def golden_run(
     :mod:`repro.runtime.engine`); both engines produce bit-identical
     results, so trial verdicts never depend on the choice.
     ``memory_image`` shares a pristine memory snapshot the run clones
-    instead of re-materializing every global.
+    instead of re-materializing every global.  ``threads``/``quantum``
+    configure the cooperative scheduler for multithreaded workloads
+    (``threads=1``, the default, traps on any ``spawn``).
     """
     interp = make_interpreter(
         module, engine=engine, max_steps=max_steps, externals=externals,
-        memory_image=memory_image,
+        memory_image=memory_image, max_threads=threads, quantum=quantum,
     )
     return interp.run(function, args, output_objects=output_objects)
 
@@ -492,6 +632,10 @@ def run_trial(
     memory_image: Optional[MachineMemory] = None,
     detector_backend: str = "model",
     replay_chunk_size: Optional[int] = None,
+    control_faults: Sequence[Tuple[int, str, int]] = (),
+    cfe_detector: str = "signature",
+    threads: int = 1,
+    quantum: Optional[int] = None,
 ) -> TrialResult:
     """Execute one fault-injection trial and classify its outcome.
 
@@ -512,6 +656,13 @@ def run_trial(
     the two backends are head-to-head comparable at the same seed) and
     detection fires when a chunk's replay digest diverges, with the
     *measured* latency landing in ``detect_latency``.
+
+    ``control_faults`` are planned control-flow strikes as ``(site,
+    kind, selector)`` triples (see :data:`CF_KINDS`); ``cfe_detector``
+    arms the branch-signature monitor against them.  ``threads`` bounds
+    concurrently-live threads (1 = any ``spawn`` traps) and ``quantum``
+    sets the cooperative scheduler's time slice — both must match the
+    golden run's settings or verdicts are meaningless.
     """
     if detector_backend not in DETECTOR_BACKENDS:
         raise ValueError(
@@ -530,9 +681,21 @@ def run_trial(
         recovery_faults = tuple((o, b, None) for o, b, _ in recovery_faults)
     supervisor = RecoverySupervisor(policy, recovery_faults)
     injector = _FaultInjector(faults, supervisor, metadata_faults)
+    cf_injector: Optional[_ControlFlowInjector] = None
     recorder: Optional[ChunkRecorder] = None
     pre_step = None
     post_step = injector
+    if control_faults:
+        cf_injector = _ControlFlowInjector(control_faults, cfe_detector,
+                                           supervisor)
+
+        def post_step(interp, event, _inj=injector, _cf=cf_injector):
+            # Register/metadata surface first, then the control surface
+            # — a branch's destination register is corrupted before its
+            # realized edge is corrupted or checked.
+            _inj(interp, event)
+            _cf(interp, event)
+
     if detector_backend == "replay":
         recorder = ChunkRecorder(
             replay_chunk_size or REPLAY_CHUNK_DEFAULT,
@@ -542,7 +705,7 @@ def run_trial(
         )
         pre_step = recorder.on_pre_step
 
-        def post_step(interp, event, _inj=injector, _rec=recorder):
+        def post_step(interp, event, _inj=post_step, _rec=recorder):
             # Injection first, so a corrupted destination register is
             # digested on its own step — guaranteeing the divergence
             # lands in the faulting chunk (latency <= chunk size).
@@ -554,6 +717,7 @@ def run_trial(
         module, engine=engine, max_steps=max_steps, pre_step=pre_step,
         post_step=post_step, externals=externals,
         metadata_guard=metadata_guard, memory_image=memory_image,
+        max_threads=threads, quantum=quantum,
     )
     trapped = False
     hang = False
@@ -604,6 +768,7 @@ def run_trial(
         detect_latency = injector.detect_latency
         replay_divergences = 0
         replay_overhead = 0
+    cf_struck = len(cf_injector.injected) if cf_injector is not None else 0
     common = dict(
         fault_event=fault_event,
         detect_latency=detect_latency,
@@ -616,7 +781,25 @@ def run_trial(
         metadata_repairs=interp.guard.repairs,
         replay_divergences=replay_divergences,
         replay_overhead=replay_overhead,
+        control_faults=cf_struck,
+        cfe_detections=cf_injector.detections if cf_injector is not None else 0,
     )
+
+    def classify_cfe(outcome: str) -> str:
+        """Re-attribute an outcome to the control-flow surface when a
+        control-flow fault actually struck this trial.  Escalation
+        outcomes (livelock, escape, metadata) keep their reason codes —
+        they describe the *recovery* failure, not the fault surface."""
+        if not cf_struck:
+            return outcome
+        if outcome in ("recovered", "recovered_after_retry"):
+            return "cfe_detected_recovered"
+        if outcome == "detected_unrecoverable" and cf_injector.wild:
+            return "cfe_wild_trap"
+        if outcome == "sdc":
+            return "cfe_silent"
+        return outcome
+
     if escalation is not None:
         outcome = escalation
         if (
@@ -631,7 +814,7 @@ def run_trial(
             if supervisor.double_faults
             else "detected_unrecoverable"
         )
-        return TrialResult(outcome=outcome, **common)
+        return TrialResult(outcome=classify_cfe(outcome), **common)
     wasted = max(0, result.events - golden.events)
     correct = result.output == golden.output and result.value == golden.value
     if correct:
@@ -658,7 +841,8 @@ def run_trial(
         outcome = "detected_unrecoverable"
     else:
         outcome = "sdc"
-    return TrialResult(outcome=outcome, wasted_work=wasted, **common)
+    return TrialResult(outcome=classify_cfe(outcome), wasted_work=wasted,
+                       **common)
 
 
 def _alarm_available() -> bool:
@@ -712,6 +896,9 @@ def run_planned_trial(
     memory_image: Optional[MachineMemory] = None,
     detector_backend: str = "model",
     replay_chunk_size: Optional[int] = None,
+    cfe_detector: str = "signature",
+    threads: int = 1,
+    quantum: Optional[int] = None,
 ) -> TrialResult:
     """Execute one trial from a pre-derived :class:`FaultPlan`.
 
@@ -746,6 +933,10 @@ def run_planned_trial(
             memory_image=memory_image,
             detector_backend=detector_backend,
             replay_chunk_size=replay_chunk_size,
+            control_faults=plan.control_faults,
+            cfe_detector=cfe_detector,
+            threads=threads,
+            quantum=quantum,
         )
 
     try:
@@ -765,6 +956,8 @@ def run_campaign(
     faults_per_trial: int = 1,
     recovery_faults_per_trial: int = 0,
     metadata_faults_per_trial: int = 0,
+    cf_faults_per_trial: int = 0,
+    cfe_detector: str = "signature",
     metadata_guard: str = "off",
     externals=None,
     jobs: int = 1,
@@ -778,6 +971,8 @@ def run_campaign(
     engine: Optional[str] = None,
     detector_backend: str = "model",
     replay_chunk_size: Optional[int] = None,
+    threads: int = 1,
+    quantum: Optional[int] = None,
 ) -> CampaignResult:
     """A full SFI campaign with uniformly-distributed fault sites.
 
@@ -818,11 +1013,30 @@ def run_campaign(
     stay draw-for-draw identical, so replay campaigns are comparable
     to model campaigns at the same seed and remain jobs-independent
     and resumable like any other.
+
+    ``cf_faults_per_trial > 0`` opens the control-flow fault surface
+    (corrupted branch targets, wrong-way branches), its draws appended
+    strictly after every existing draw so all other plans stay
+    bit-identical; ``cfe_detector`` arms the branch-signature monitor.
+    ``threads`` and ``quantum`` configure the cooperative scheduler
+    for multithreaded workloads (``threads=1``, the default, keeps
+    campaigns strictly single-threaded — a ``spawn`` traps).  The
+    replay backend is refused for ``threads > 1``: replayed chunks
+    cannot reconstruct scheduler state, so divergence verdicts would
+    be meaningless.
     """
     if detector_backend not in DETECTOR_BACKENDS:
         raise ValueError(
             f"unknown detector backend {detector_backend!r}; "
             f"expected one of {DETECTOR_BACKENDS}"
+        )
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    if threads > 1 and detector_backend == "replay":
+        raise ValueError(
+            "the replay detection backend does not support multithreaded "
+            "scheduling (threads > 1): replayed chunks cannot reconstruct "
+            "scheduler state"
         )
     detector = detector or DetectionModel()
     start = time.monotonic()
@@ -831,12 +1045,13 @@ def run_campaign(
     memory_image = MachineMemory.pristine(module)
     golden = golden_run(
         module, function, args, output_objects, externals=externals,
-        engine=engine, memory_image=memory_image,
+        engine=engine, memory_image=memory_image, threads=threads,
+        quantum=quantum,
     )
     plans = plan_campaign(
         seed, trials, golden.events, detector,
         faults_per_trial, recovery_faults_per_trial,
-        metadata_faults_per_trial,
+        metadata_faults_per_trial, cf_faults_per_trial,
     )
     completed = dict(completed or {})
     completed = {
@@ -874,6 +1089,9 @@ def run_campaign(
                 engine=engine,
                 detector_backend=detector_backend,
                 replay_chunk_size=replay_chunk_size,
+                cfe_detector=cfe_detector,
+                threads=threads,
+                quantum=quantum,
             )
         except ParallelUnavailable:
             pass
@@ -912,6 +1130,9 @@ def run_campaign(
                 memory_image=memory_image,
                 detector_backend=detector_backend,
                 replay_chunk_size=replay_chunk_size,
+                cfe_detector=cfe_detector,
+                threads=threads,
+                quantum=quantum,
             )
             emit(plan.trial_index, trial)
             results.append(trial)

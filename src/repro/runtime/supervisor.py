@@ -134,12 +134,16 @@ class RecoverySupervisor:
         frame_id, region_id = self._active
         # Judge progress on the frame that owns the rollback (a callee
         # frame on top of it is not progress — the region has not
-        # committed until its own pointer moves or clears).
-        owner = None
-        for candidate in interp.frames:
-            if candidate.id == frame_id:
-                owner = candidate
-                break
+        # committed until its own pointer moves or clears).  The lookup
+        # spans every thread's stack: a suspended owner frame parked in
+        # another execution context has not committed anything.
+        finder = getattr(interp, "find_frame", None)
+        if finder is not None:
+            owner = finder(frame_id)
+        else:
+            owner = next(
+                (c for c in interp.frames if c.id == frame_id), None
+            )
         if (
             owner is None
             or owner.recovery_ptr is None

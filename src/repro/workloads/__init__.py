@@ -10,12 +10,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional
 
-from repro.workloads import mediabench, spec_fp, spec_int
+from repro.workloads import mediabench, spec_fp, spec_int, threads
 from repro.workloads.synth import BuiltWorkload, Kit, float_data, int_data, new_workload
 
 SUITE_SPEC_INT = "SPEC2K-INT"
 SUITE_SPEC_FP = "SPEC2K-FP"
 SUITE_MEDIABENCH = "MEDIABENCH"
+SUITE_THREADS = "THREADS"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,12 +69,28 @@ _REGISTRY: List[WorkloadSpec] = [
     WorkloadSpec("rawdaudio", SUITE_MEDIABENCH, mediabench.rawdaudio),
 ]
 
-_BY_NAME: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _REGISTRY}
+#: Multithreaded workloads live in their own registry: the paper's
+#: single-threaded evaluation set (goldens, figure pipelines, profiles)
+#: must not grow entries, and campaigns opt into threads explicitly.
+_THREADED: List[WorkloadSpec] = [
+    WorkloadSpec("pc_codec", SUITE_THREADS, threads.pc_codec),
+    WorkloadSpec("stencil3", SUITE_THREADS, threads.stencil3),
+    WorkloadSpec("serial_stencil", SUITE_THREADS, threads.serial_stencil),
+]
+
+_BY_NAME: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in _REGISTRY + _THREADED
+}
 
 
 def all_workloads() -> List[WorkloadSpec]:
     """Every benchmark, in the paper's presentation order."""
     return list(_REGISTRY)
+
+
+def threaded_workloads() -> List[WorkloadSpec]:
+    """The multithreaded (spawn/join) workloads — a separate suite."""
+    return list(_THREADED)
 
 
 def workloads_in_suite(suite: str) -> List[WorkloadSpec]:
@@ -100,6 +117,7 @@ __all__ = [
     "SUITE_MEDIABENCH",
     "SUITE_SPEC_FP",
     "SUITE_SPEC_INT",
+    "SUITE_THREADS",
     "WorkloadSpec",
     "all_workloads",
     "build_workload",
@@ -108,5 +126,6 @@ __all__ = [
     "int_data",
     "new_workload",
     "suites",
+    "threaded_workloads",
     "workloads_in_suite",
 ]

@@ -1,0 +1,187 @@
+"""Shared-memory multithreaded workloads.
+
+Two programs exercise the cooperative scheduler's fault surface:
+
+* ``pc_codec`` — a producer/consumer codec.  Main spawns a consumer
+  thread, then encodes a byte stream into a shared buffer, publishing a
+  progress counter after every item; the consumer busy-waits on the
+  counter (bounded: the producer makes progress every quantum), decodes
+  each item and folds it into a checksum.  The handshake cells are the
+  interesting fault targets — a corrupted counter or buffer index is
+  visible *across* threads.
+* ``stencil3`` — a data-parallel 3-point stencil.  Main spawns two
+  workers over disjoint halves of the grid, joins both, and checksums
+  the output.  ``stencil_row`` is also run serially over the full range
+  by ``serial_stencil`` (same module), which lets the benchmark harness
+  assert serial/parallel result equality.
+
+Both are pure shared-memory programs (no externals) and deterministic
+under the cooperative round-robin scheduler for any quantum — which is
+exactly the property the campaign machinery relies on.
+"""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder, VirtualRegister
+from repro.workloads.synth import BuiltWorkload, Kit, int_data, new_workload
+
+PC_ITEMS = 96
+STENCIL_N = 128
+
+
+def pc_codec() -> BuiltWorkload:
+    module, kit = new_workload("pc_codec")
+    b = kit.b
+    data = module.add_global("data", PC_ITEMS, init=int_data("pc_codec", PC_ITEMS))
+    shared = module.add_global("shared", PC_ITEMS)
+    # state[0] = items produced so far, state[1] = consumer checksum.
+    state = module.add_global("state", 2)
+
+    # -- consumer thread ------------------------------------------------
+    consumer = module.add_function("consumer", params=[VirtualRegister("limit")])
+    cb = IRBuilder(consumer)
+    ckit = Kit(cb)
+    cb.block("entry")
+    limit = consumer.params[0]
+    done = cb.fresh("done")
+    cb.mov(0, done)
+
+    def consume_one():
+        def spin_cond():
+            produced = cb.load(state, 0)
+            return cb.cmp("sle", produced, done)
+
+        # Busy-wait until the producer has published item ``done``.
+        # Bounded: the producer runs every quantum and publishes one
+        # item per handful of steps.
+        ckit.while_loop(spin_cond, lambda: None, "spin")
+        enc = cb.load(shared, done)
+        # Decode: undo the producer's xor/shift mix.
+        dec = cb.xor(cb.lshr(enc, 1), 21)
+        ckit.checksum_into(state, 1, dec)
+        cb.add(done, 1, done)
+
+    def not_done():
+        return cb.cmp("slt", done, limit)
+
+    ckit.while_loop(not_done, consume_one, "drain")
+    cb.ret(cb.load(state, 1))
+
+    # -- main: spawn consumer, produce, join ----------------------------
+    b.block("entry")
+    tid = b.spawn("consumer", [PC_ITEMS])
+
+    def produce(i):
+        raw = b.load(data, i)
+        enc = b.shl(b.xor(raw, 21), 1)
+        b.store(shared, i, enc)
+        count = b.add(i, 1)
+        b.store(state, 0, count)
+
+    kit.counted(PC_ITEMS, produce, "produce")
+    consumed = b.join(tid)
+    b.ret(consumed)
+
+    return BuiltWorkload(
+        name="pc_codec",
+        module=module,
+        output_objects=("shared", "state"),
+    )
+
+
+def _add_stencil_row(module) -> None:
+    """``stencil_row(start, end)``: out[i] = g[i-1] + 2*g[i] + g[i+1]."""
+    fn = module.add_function(
+        "stencil_row", params=[VirtualRegister("start"), VirtualRegister("end")]
+    )
+    b = IRBuilder(fn)
+    kit = Kit(b)
+    b.block("entry")
+    start, end = fn.params
+    grid = module.globals["grid"]
+    out = module.globals["out"]
+    acc = b.fresh("acc")
+    b.mov(0, acc)
+
+    def body(i):
+        left = b.load(grid, b.sub(i, 1))
+        mid = b.load(grid, i)
+        right = b.load(grid, b.add(i, 1))
+        v = b.add(b.add(left, b.mul(mid, 2)), right)
+        v = b.and_(v, (1 << 31) - 1)
+        b.store(out, i, v)
+        b.add(acc, v, acc)
+        b.and_(acc, (1 << 31) - 1, acc)
+
+    i = b.fresh("i")
+    b.mov(start, i)
+
+    def cond():
+        return b.cmp("slt", i, end)
+
+    def step():
+        body(i)
+        b.add(i, 1, i)
+
+    kit.while_loop(cond, step, "row")
+    b.ret(acc)
+
+
+def stencil3() -> BuiltWorkload:
+    module, kit = new_workload("stencil3")
+    b = kit.b
+    module.add_global("grid", STENCIL_N, init=int_data("stencil3", STENCIL_N))
+    out = module.add_global("out", STENCIL_N)
+    _add_stencil_row(module)
+
+    half = STENCIL_N // 2
+    b.block("entry")
+    t1 = b.spawn("stencil_row", [1, half])
+    t2 = b.spawn("stencil_row", [half, STENCIL_N - 1])
+    r1 = b.join(t1)
+    r2 = b.join(t2)
+    total = b.add(r1, r2)
+    total = b.and_(total, (1 << 31) - 1, dest=total)
+    # Fold the output array too, so a fault that lands in either
+    # worker's slice is visible in the return value.
+    def fold(i):
+        kit.checksum_into(out, 0, b.load(out, i))
+
+    kit.counted(STENCIL_N - 1, fold, "fold", start=1)
+    b.ret(b.add(total, b.load(out, 0)))
+
+    return BuiltWorkload(
+        name="stencil3",
+        module=module,
+        output_objects=("out",),
+    )
+
+
+def serial_stencil() -> BuiltWorkload:
+    """The same stencil with ``stencil_row`` called, not spawned.
+
+    Built from the same row routine over the full range, so (up to the
+    spawn/join handshake) its ``out`` array must equal ``stencil3``'s —
+    the serial/parallel equality check in ``benchmarks/bench_threads.py``.
+    """
+    module, kit = new_workload("serial_stencil")
+    b = kit.b
+    module.add_global("grid", STENCIL_N, init=int_data("stencil3", STENCIL_N))
+    out = module.add_global("out", STENCIL_N)
+    _add_stencil_row(module)
+
+    b.block("entry")
+    total = b.call("stencil_row", [1, STENCIL_N - 1])
+    total = b.and_(total, (1 << 31) - 1, dest=total)
+
+    def fold(i):
+        kit.checksum_into(out, 0, b.load(out, i))
+
+    kit.counted(STENCIL_N - 1, fold, "fold", start=1)
+    b.ret(b.add(total, b.load(out, 0)))
+
+    return BuiltWorkload(
+        name="serial_stencil",
+        module=module,
+        output_objects=("out",),
+    )

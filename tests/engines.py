@@ -48,6 +48,11 @@ class Observation:
     peak_ckpt_words: Optional[Dict] = None
     frame_state: Optional[Tuple] = None
     steps: Optional[Tuple] = None
+    #: Scheduler switch points: (event index, from tid, to tid) tuples,
+    #: None when no scheduler was engaged (single-threaded run).
+    switch_log: Optional[Tuple] = None
+    #: Per-thread dynamic-instruction tallies {tid: steps}.
+    thread_steps: Optional[Dict] = None
 
 
 def _frame_state(interp) -> Tuple:
@@ -76,6 +81,8 @@ def observe(
     metadata_guard: str = "off",
     record_steps: bool = False,
     resume_after_trap: bool = False,
+    threads=None,
+    quantum=None,
 ) -> Observation:
     """Run ``module`` on ``engine`` and capture every observable.
 
@@ -84,6 +91,10 @@ def observe(
     ``resume_after_trap`` additionally triggers an immediate Encore
     rollback after a trap and resumes, capturing the recovered result —
     the differential check for the recovery path itself.
+    ``threads``/``quantum`` forward to the interpreter's cooperative
+    scheduler; when a scheduler engages, its switch log and per-thread
+    step tallies become part of the observation (the differential check
+    for scheduling decisions themselves).
     """
     steps = [] if record_steps else None
     post_step = None
@@ -109,6 +120,8 @@ def observe(
         post_step=post_step,
         externals=externals,
         metadata_guard=metadata_guard,
+        max_threads=threads,
+        quantum=quantum,
     )
     obs = Observation(status="finished")
     try:
@@ -147,6 +160,12 @@ def observe(
     obs.peak_ckpt_words = dict(interp.peak_ckpt_words)
     if record_steps:
         obs.steps = tuple(steps)
+    sched = getattr(interp, "scheduler", None)
+    if sched is not None:
+        obs.switch_log = tuple(sched.switch_log)
+        obs.thread_steps = {
+            tid: ctx.steps for tid, ctx in sorted(sched.contexts.items())
+        }
     return obs
 
 

@@ -188,6 +188,54 @@ class TestResumeValidation:
         with pytest.raises(JournalError, match="metadata_faults_per_trial"):
             validate_resume(plain, meta_campaign)
 
+    def test_cf_fault_journal_cannot_resume_as_plain(self):
+        # Same symmetric discipline for the control-flow fault surface:
+        # a journal with CFE faults armed refuses to resume a plain
+        # campaign and vice versa.
+        module = _module()
+        cf_campaign = campaign_metadata(
+            module, 5, _detector(), cf_faults_per_trial=1,
+        )
+        plain = campaign_metadata(module, 5, _detector())
+        with pytest.raises(JournalError, match="cf_faults_per_trial"):
+            validate_resume(cf_campaign, plain)
+        with pytest.raises(JournalError, match="cf_faults_per_trial"):
+            validate_resume(plain, cf_campaign)
+
+    def test_cfe_detector_mismatch_raises(self):
+        module = _module()
+        signature = campaign_metadata(
+            module, 5, _detector(), cf_faults_per_trial=1,
+            cfe_detector="signature",
+        )
+        off = campaign_metadata(
+            module, 5, _detector(), cf_faults_per_trial=1,
+            cfe_detector="off",
+        )
+        with pytest.raises(JournalError, match="cfe_detector"):
+            validate_resume(signature, off)
+
+    def test_threads_mismatch_raises(self):
+        module = _module()
+        threaded = campaign_metadata(module, 5, _detector(), threads=3)
+        plain = campaign_metadata(module, 5, _detector())
+        with pytest.raises(JournalError, match="threads"):
+            validate_resume(threaded, plain)
+        with pytest.raises(JournalError, match="threads"):
+            validate_resume(plain, threaded)
+        other = campaign_metadata(module, 5, _detector(), threads=2)
+        with pytest.raises(JournalError, match="threads"):
+            validate_resume(threaded, other)
+
+    def test_quantum_mismatch_raises(self):
+        module = _module()
+        q10 = campaign_metadata(module, 5, _detector(), threads=2, quantum=10)
+        default_q = campaign_metadata(module, 5, _detector(), threads=2)
+        with pytest.raises(JournalError, match="quantum"):
+            validate_resume(q10, default_q)
+        with pytest.raises(JournalError, match="quantum"):
+            validate_resume(default_q, q10)
+
     def test_plain_metadata_header_is_byte_stable(self):
         # Default metadata-fault knobs must not change the header at
         # all, so pre-existing journals keep resuming bit-identically.
@@ -196,6 +244,13 @@ class TestResumeValidation:
             campaign_metadata(
                 module, 5, _detector(),
                 metadata_faults_per_trial=0, metadata_guard="off",
+            )
+        # Same guarantee for the threading and control-flow knobs.
+        assert campaign_metadata(module, 5, _detector()) == \
+            campaign_metadata(
+                module, 5, _detector(),
+                cf_faults_per_trial=0, cfe_detector="signature",
+                threads=1, quantum=None,
             )
 
 

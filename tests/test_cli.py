@@ -164,6 +164,94 @@ class TestInjectJournal:
         assert "cannot resume" in err
         assert "metadata_faults_per_trial" in err
 
+    def test_resume_under_different_threads_rejected(
+        self, loop_ir, tmp_path, capsys
+    ):
+        # A journal written at --threads 2 pins the thread budget; any
+        # other budget (including the default 1) changes scheduling and
+        # must refuse to resume, in both directions.
+        journal = tmp_path / "threads.jsonl"
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--threads", "2", "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--resume", str(journal),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "threads" in err
+        plain = tmp_path / "plain.jsonl"
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--journal", str(plain),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--threads", "2", "--resume", str(plain),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "threads" in err
+
+    def test_resume_under_different_cf_faults_rejected(
+        self, loop_ir, tmp_path, capsys
+    ):
+        journal = tmp_path / "cfe.jsonl"
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--cf-faults-per-trial", "1", "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--resume", str(journal),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "cf_faults_per_trial" in err
+        # Same fault count but the CFE monitor off: also a different
+        # campaign (detection physics changed).
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "5", "--dmax", "10", "--seed", "9",
+            "--cf-faults-per-trial", "1", "--cfe-detector", "off",
+            "--resume", str(journal),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "cfe_detector" in err
+
+    def test_threaded_cf_journal_resumes_cleanly(
+        self, loop_ir, tmp_path, capsys
+    ):
+        # The positive leg: a threaded CFE campaign journaled halfway
+        # resumes to the exact uninterrupted summary.
+        base = [
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "14", "--dmax", "10", "--seed", "9",
+            "--threads", "2", "--cf-faults-per-trial", "1",
+        ]
+        assert main(base) == 0
+        reference = self._summary_lines(capsys.readouterr().out)
+        journal = tmp_path / "tcfe.jsonl"
+        assert main([
+            "inject", str(loop_ir), "--outputs", "arr",
+            "--trials", "6", "--dmax", "10", "--seed", "9",
+            "--threads", "2", "--cf-faults-per-trial", "1",
+            "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume", str(journal)]) == 0
+        captured = capsys.readouterr()
+        assert self._summary_lines(captured.out) == reference
+        assert "trials replayed from journal: 6" in captured.out
+
     def test_journal_auto_path_lands_under_results(
         self, loop_ir, tmp_path, capsys, monkeypatch
     ):

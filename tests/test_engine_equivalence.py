@@ -41,9 +41,10 @@ from repro.ir.instructions import (
     SetRecoveryPtr,
 )
 from repro.ir.values import MemRef
-from repro.workloads import all_workloads
+from repro.workloads import all_workloads, threaded_workloads
 
 WORKLOADS = {spec.name: spec for spec in all_workloads()}
+THREADED = {spec.name: spec for spec in threaded_workloads()}
 
 
 def _assert_equivalent(module, **kwargs):
@@ -267,6 +268,169 @@ def test_unrecovered_trap_frame_state_identical():
     assert obs.status == "trap"
     assert obs.frame_state is not None
     assert obs.frame_state[0][3] == (1, "region.recover")  # live recovery ptr
+
+
+# ---------------------------------------------------------------------------
+# Multithreaded executions: scheduler decisions are observables too
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(THREADED), ids=sorted(THREADED))
+def test_threaded_workload_plain_equivalence(name):
+    built = THREADED[name].build()
+    obs = _assert_equivalent(
+        built.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        externals=built.externals,
+    )
+    assert obs.status == "finished"
+    if name != "serial_stencil":
+        # The scheduler engaged: its switch log and per-thread step
+        # tallies were part of the equality assertion above.
+        assert obs.switch_log, "scheduler never switched"
+        assert set(obs.thread_steps) > {0}
+    else:
+        assert obs.switch_log is None  # no spawn, no scheduler
+
+
+@pytest.mark.parametrize("name", sorted(THREADED), ids=sorted(THREADED))
+def test_threaded_workload_instrumented_equivalence(name):
+    built = THREADED[name].build()
+    report = compile_for_encore(
+        built.module,
+        function=built.entry,
+        args=built.args,
+        externals=built.externals,
+    )
+    obs = _assert_equivalent(
+        report.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        externals=built.externals,
+    )
+    assert obs.status == "finished"
+
+
+def test_threaded_step_streams_identical():
+    """The hook tier replays the interleaved stream, switches included."""
+    built = THREADED["pc_codec"].build()
+    obs = _assert_equivalent(
+        built.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        record_steps=True,
+    )
+    assert obs.steps and len(obs.steps) == obs.events
+    assert obs.switch_log
+    # More than one frame id appears in the stream: the recorded steps
+    # really interleave threads rather than serializing them.
+    assert len({step[5] for step in obs.steps}) > 1
+
+
+@pytest.mark.parametrize("quantum", [1, 7, 500], ids=lambda q: f"q{q}")
+def test_quantum_changes_schedule_not_result(quantum):
+    """Any quantum gives the same result on both engines — and the same
+    result *across* quanta (the schedule-invariance the campaign
+    machinery relies on)."""
+    built = THREADED["stencil3"].build()
+    obs = _assert_equivalent(
+        built.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        quantum=quantum,
+    )
+    assert obs.status == "finished"
+    baseline = observe(
+        "reference",
+        THREADED["stencil3"].build().module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+    )
+    assert obs.value == baseline.value
+    assert obs.output == baseline.output
+
+
+def test_spawn_over_thread_cap_traps_identically():
+    built = THREADED["pc_codec"].build()
+    obs = _assert_equivalent(
+        built.module,
+        entry=built.entry,
+        args=built.args,
+        output_objects=built.output_objects,
+        threads=1,
+    )
+    assert obs.status == "trap"
+    assert "thread limit" in obs.trap_reason
+
+
+def _threaded_protected_module() -> Module:
+    """Spawn/join plus a hand-instrumented trapping region in main.
+
+    Main spawns a worker, joins it (so a scheduler is live with a
+    finished sibling context), then enters a protected region that
+    traps on first entry and recovers — the differential check that
+    Encore rollback works identically under an engaged scheduler.
+    """
+    module = Module("tprotected")
+    flag = module.add_global("flag", 1)
+    out = module.add_global("out", 2)
+    scratch = module.add_global("scratch", 1)
+
+    wb = IRBuilder(module.add_function("worker"))
+    wb.block("entry")
+    wb.jmp("loop")
+    wb.block("loop")
+    i = wb.load((scratch, 0))
+    wb.store((scratch, 0), wb.add(i, 1))
+    wb.br(wb.cmp("slt", i, 120), "loop", "done")
+    wb.block("done")
+    wb.ret(wb.load((scratch, 0)))
+
+    b = IRBuilder(module.add_function("main"))
+    b.block("entry")
+    tid = b.spawn("worker", [])
+    b.join(tid)
+    x = b.mov(40, dest=b.fresh("x"))
+    b.jmp("region")
+
+    b.block("region")
+    b.current_block.append(SetRecoveryPtr(1, "region.recover"))
+    b.current_block.append(CheckpointReg(1, x))
+    b.current_block.append(CheckpointMem(1, MemRef(out, b._coerce(0))))
+    d = b.load((flag, 0))
+    b.store((out, 0), b.mov(9))
+    q = b.sdiv(x, d)
+    b.store((out, 1), q)
+    b.current_block.append(ClearRecoveryPtr(1))
+    b.jmp("exit")
+
+    b.block("region.recover")
+    b.current_block.append(RestoreCheckpoints(1))
+    b.store((flag, 0), 1)
+    b.current_block.append(Jump("region"))
+
+    b.block("exit")
+    b.ret(b.load((out, 1)))
+    return module
+
+
+def test_threaded_rollback_identical():
+    obs = _assert_equivalent(
+        _threaded_protected_module(),
+        output_objects=("out", "flag", "scratch"),
+        resume_after_trap=True,
+        quantum=10,
+    )
+    assert obs.status == "trap+recovered"
+    assert obs.value == 40
+    assert obs.output["out"] == [9, 40]
+    assert obs.switch_log  # the worker really ran interleaved
 
 
 # ---------------------------------------------------------------------------

@@ -86,6 +86,82 @@ class TestGenerator:
 
     def test_profiles_registered(self):
         assert "default" in PROFILES and "small" in PROFILES
+        assert "threads" in PROFILES
+
+    def test_default_profile_identity_unchanged_by_threads_knob(self):
+        """The ``threads`` knob must not perturb pre-existing journals:
+        at its default it is absent from the config key (campaign
+        fingerprints hash it), and the default/small grammars draw the
+        same RNG stream as before the knob existed."""
+        key = GeneratorConfig().key()
+        assert "threads" not in key
+        assert key == (
+            '{"externals":true,"float_globals":1,"float_ops":true,'
+            '"global_size":8,"helpers":2,"int_globals":2,"max_depth":3,'
+            '"max_stmts":7,"max_trip":5,"pointers":true}'
+        )
+        assert '"threads":2' in PROFILES["threads"].key()
+        for seed in range(10):
+            module = generate_program(seed, GeneratorConfig()).module
+            opcodes = {inst.opcode for func in module
+                       for block in func for inst in block}
+            assert not opcodes & {"spawn", "join"}
+
+    def test_threads_profile_spawns_and_stays_in_envelope(self):
+        """Threaded programs keep every generator guarantee: verified,
+        trap-free, terminating, reproducible — plus a real multithreaded
+        interleaving and a schedule-invariant result."""
+        from repro.runtime import make_interpreter
+
+        for seed in range(12):
+            program = generate_program(seed, PROFILES["threads"])
+            assert program.threads == 3
+            verify_module(program.module)
+            opcodes = {inst.opcode for func in program.module
+                       for block in func for inst in block}
+            assert {"spawn", "join"} <= opcodes
+
+            def run(quantum=None):
+                interp = make_interpreter(
+                    copy.deepcopy(program.module), externals=EXTERNALS,
+                    max_steps=2_000_000, quantum=quantum,
+                )
+                result = interp.run(
+                    program.entry, program.args,
+                    output_objects=program.output_objects,
+                )
+                return result, interp.scheduler
+
+            first, sched = run()
+            assert sched is not None and sched.switch_log
+            second, _ = run()
+            assert (first.value, first.output, first.events) == (
+                second.value, second.output, second.events)
+            # Schedule-invariance: a different quantum changes the
+            # interleaving but not the observable result — the property
+            # that keeps the differential oracles sound on this profile.
+            skewed, skewed_sched = run(quantum=7)
+            assert skewed_sched.switch_log != tuple(sched.switch_log) or (
+                len(skewed_sched.switch_log) == len(sched.switch_log))
+            assert skewed.value == first.value
+            assert skewed.output == first.output
+
+    def test_threads_profile_oracles_clean(self):
+        """The full oracle suite holds on spawn-containing programs
+        (the replay oracle self-gates — chunked replay has no scheduler
+        state)."""
+        from repro.fuzz import DEFAULT_ORACLES
+
+        for seed in (3, 4):
+            program = generate_program(seed, PROFILES["threads"])
+            failures = run_oracles(program, make_oracles(DEFAULT_ORACLES))
+            assert failures == [], [f"{f.oracle}:{f.kind}" for f in failures]
+
+    def test_replay_oracle_gates_off_for_threaded_programs(self):
+        from repro.fuzz.oracles import ReplayDeterminismOracle
+
+        program = generate_program(5, PROFILES["threads"])
+        assert ReplayDeterminismOracle().check(program) == []
 
     def test_richness_covers_grammar(self):
         """The corpus actually exercises loops, calls, pointers, and

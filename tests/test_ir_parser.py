@@ -93,6 +93,69 @@ class TestRoundTrip:
             report = compile_for_encore(built.module, config, clone=True)
             roundtrip(report.module)
 
+    def test_every_threaded_workload_roundtrips(self):
+        """spawn/join survive the printer ↔ parser round trip.
+
+        Same property as the single-threaded corpus test, but over the
+        multithreaded suite and executed through the full scheduler:
+        the reparsed module must reproduce the value, outputs, event
+        count *and* every scheduler switch decision.
+        """
+        from repro.runtime import make_interpreter
+        from repro.workloads import threaded_workloads
+
+        for spec in threaded_workloads():
+            built = spec.build()
+            text = module_to_text(built.module)
+            assert spec.name == "serial_stencil" or "spawn" in text
+            reparsed = roundtrip(built.module)
+
+            def run(module):
+                interp = make_interpreter(module)
+                result = interp.run(
+                    built.entry, built.args,
+                    output_objects=built.output_objects,
+                )
+                sched = interp.scheduler
+                switches = None if sched is None else tuple(sched.switch_log)
+                return result, switches
+
+            original, switches = run(built.module)
+            again, switches_again = run(reparsed)
+            assert again.value == original.value, spec.name
+            assert again.output == original.output, spec.name
+            assert again.events == original.events, spec.name
+            assert switches_again == switches, spec.name
+
+    def test_every_threaded_workload_roundtrips_instrumented(self):
+        from repro.encore import EncoreConfig, compile_for_encore
+        from repro.workloads import threaded_workloads
+
+        config = EncoreConfig()
+        for spec in threaded_workloads():
+            built = spec.build()
+            report = compile_for_encore(
+                built.module, config, clone=True,
+                function=built.entry, args=built.args,
+            )
+            roundtrip(report.module)
+
+    def test_comment_lines_skipped(self):
+        """``#`` lines (example/corpus provenance headers) parse away."""
+        text = (
+            "# provenance: checked-in example\n"
+            "module commented\n"
+            "# mid-file comment\n"
+            "func main() {\n"
+            "entry:\n"
+            "  # indented comment\n"
+            "  %x = mov 5\n"
+            "  ret %x\n"
+            "}\n"
+        )
+        module = parse_module(text)
+        assert Interpreter(module).run("main").value == 5
+
     def test_empty_initializer_roundtrips(self):
         """Regression: ``= []`` used to reparse as *no* initializer."""
         from repro.ir import Module

@@ -274,6 +274,32 @@ class TestSeedKeyedPlans:
             assert 0 <= bit < 32
             assert latency is None or 0 <= latency <= 12
 
+    @given(seed=st.integers(0, 2**16), index=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_cf_draws_come_strictly_last(self, seed, index):
+        # Control-flow draws append after every older surface's draws,
+        # so arming the fourth surface never disturbs the primary,
+        # recovery-window, or metadata plans of an existing campaign.
+        detector = DetectionModel(dmax=12)
+        plain = plan_trial(
+            seed, index, 300, detector, faults_per_trial=2,
+            recovery_faults_per_trial=1, metadata_faults_per_trial=1,
+        )
+        extended = plan_trial(
+            seed, index, 300, detector, faults_per_trial=2,
+            recovery_faults_per_trial=1, metadata_faults_per_trial=1,
+            cf_faults_per_trial=2,
+        )
+        assert plain.control_faults == ()
+        assert dataclasses.replace(
+            extended, cf_sites=(), cf_kinds=(), cf_selectors=(),
+        ) == plain
+        assert len(extended.control_faults) == 2
+        for site, kind, selector in extended.control_faults:
+            assert 0 <= site < 300
+            assert kind in ("target", "wrong")
+            assert 0 <= selector < 64
+
     def test_neighbouring_streams_are_decorrelated(self):
         # Consecutive trial indices must not produce shifted copies of
         # the same stream (the classic seed+i failure mode).
