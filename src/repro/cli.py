@@ -25,7 +25,9 @@ from repro.frontend import compile_source
 from repro.ir import module_to_text, parse_module, verify_module
 from repro.opt import optimize_module
 from repro.runtime import (
+    CampaignInterrupted,
     CampaignJournal,
+    CampaignResult,
     DetectionModel,
     ENGINES,
     JournalError,
@@ -248,6 +250,35 @@ def cmd_inject(args) -> int:
         # e.g. replay backend requested for a multithreaded campaign
         print(str(exc), file=sys.stderr)
         return 2
+    except CampaignInterrupted as exc:
+        # Ctrl-C mid-campaign: the journal already holds every finished
+        # trial (streamed via on_result), so report the partial outcome
+        # mix and how to pick the campaign back up.
+        if args.progress:
+            print(file=sys.stderr)
+        print(f"# interrupted: {exc.done}/{exc.total} trials completed",
+              file=sys.stderr)
+        if exc.results:
+            partial = CampaignResult(
+                [exc.results[i] for i in sorted(exc.results)]
+            )
+            for outcome, fraction in partial.summary().items():
+                if fraction:
+                    print(f"{outcome:<24} {fraction:.1%} (partial)")
+        if journal_path:
+            print(f"# resume with: inject ... --resume {journal_path}",
+                  file=sys.stderr)
+        else:
+            print("# no journal was armed; re-run with --journal to make "
+                  "interruptions resumable", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        # Ctrl-C before the campaign proper (golden run, planning).
+        print("\n# interrupted before any trial completed", file=sys.stderr)
+        if journal_path:
+            print(f"# resume with: inject ... --resume {journal_path}",
+                  file=sys.stderr)
+        return 130
     finally:
         if journal is not None:
             journal.close()
@@ -376,6 +407,161 @@ def cmd_fuzz(args) -> int:
     return 1 if result.failures else 0
 
 
+def cmd_serve(args) -> int:
+    # Deferred import: only the service verbs pay for asyncio plumbing.
+    import asyncio
+
+    from repro.service import CampaignServer, ExponentialBackoff, run_server
+
+    server = CampaignServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        journal_dir=args.journal_dir,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.max_retries,
+        backoff=ExponentialBackoff(
+            base=args.backoff_base, cap=args.backoff_cap
+        ),
+        max_active=args.max_active,
+        chaos_kill_after=args.chaos_kill_after,
+    )
+
+    async def main() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        print(f"# repro serve listening on http://{server.host}:"
+              f"{server.port} (workers={server.workers}, "
+              f"journals under {server.journal_dir})", flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; double Ctrl-C lands here
+    print("# repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _spec_from_submit_args(args) -> dict:
+    module = _load(args.module)
+    spec = {
+        "kind": "sfi",
+        "module_text": module_to_text(module) + "\n",
+        "function": args.function,
+        "args": _int_args(args.args),
+        "output_objects": args.outputs or [],
+        "trials": args.trials,
+        "seed": args.seed,
+        "dmax": args.dmax,
+        "faults_per_trial": args.faults_per_trial,
+        "recovery_faults_per_trial": args.recovery_faults_per_trial,
+        "metadata_faults_per_trial": args.metadata_faults,
+        "metadata_guard": args.guard,
+        "detector_backend": args.detector,
+        "replay_chunk_size": args.replay_chunk,
+        "cf_faults_per_trial": args.cf_faults_per_trial,
+        "cfe_detector": args.cfe_detector,
+        "threads": args.threads,
+        "quantum": args.quantum,
+        "max_attempts": args.max_attempts,
+        "step_budget": args.step_budget,
+        "trial_timeout": args.trial_timeout,
+        "engine": args.engine,
+        "batch_size": args.batch_size,
+    }
+    return spec
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        spec = _spec_from_submit_args(args)
+        accepted = client.submit(spec)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    campaign_id = accepted["id"]
+    print(f"# campaign {campaign_id} accepted "
+          f"(server journal: {accepted.get('journal')})")
+    if not args.wait:
+        print(f"# follow with: python -m repro status {campaign_id} "
+              f"--server {client.url}")
+        return 0
+
+    last = [0]
+
+    def poll(status: dict) -> None:
+        aggregates = status.get("aggregates", {})
+        done = aggregates.get("trials_done", 0)
+        if args.progress and done != last[0]:
+            last[0] = done
+            print(f"\r{done}/{aggregates.get('trials_total', '?')} trials",
+                  end="", file=sys.stderr, flush=True)
+
+    try:
+        status = client.wait(campaign_id, timeout=args.timeout, poll=poll)
+    except ServiceError as exc:
+        print(f"\nwait failed: {exc}", file=sys.stderr)
+        return 1
+    if args.progress:
+        print(file=sys.stderr)
+    if args.journal_out:
+        try:
+            data = client.fetch_journal(campaign_id, follow=False)
+        except ServiceError as exc:
+            print(f"journal fetch failed: {exc}", file=sys.stderr)
+            return 1
+        with open(args.journal_out, "wb") as handle:
+            handle.write(data)
+        print(f"# journal saved to {args.journal_out} "
+              f"({len(data)} bytes)")
+    state = status.get("state")
+    aggregates = status.get("aggregates", {})
+    done = aggregates.get("trials_done", 0)
+    outcomes = aggregates.get("outcomes", {})
+    # Zero-filled, in canonical order: line-for-line comparable with
+    # the summary the one-shot ``inject`` run prints.
+    from repro.runtime.sfi import OUTCOMES
+
+    for outcome in OUTCOMES:
+        print(f"{outcome:<24} {outcomes.get(outcome, 0) / max(done, 1):.1%}")
+    print(f"{'TOTAL covered':<24} "
+          f"{aggregates.get('covered_fraction', 0.0):.1%}")
+    print(f"# state: {state}; "
+          f"{done}/{aggregates.get('trials_total', '?')} trials, "
+          f"{aggregates.get('throughput_trials_per_s', 0.0)} trials/sec")
+    if status.get("worker_restarts"):
+        print(f"# worker restarts: {status['worker_restarts']}")
+    if status.get("quarantined_batches"):
+        print(f"# quarantined batches: {status['quarantined_batches']} "
+              f"({aggregates.get('infra_errors', 0)} trials infra_error)")
+    return 0 if state == "completed" else 1
+
+
+def cmd_status(args) -> int:
+    import json as json_module
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.id:
+            payload = client.status(args.id)
+        else:
+            payload = {
+                "health": client.health(),
+                "campaigns": client.campaigns().get("campaigns", []),
+            }
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    print(json_module.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_compile(args) -> int:
     from repro.pipeline import PipelineStats
 
@@ -440,75 +626,95 @@ def build_parser() -> argparse.ArgumentParser:
                           "instructions (default 50)")
     run.set_defaults(handler=cmd_run)
 
+    def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+        """The fault-model knobs shared verbatim between the one-shot
+        ``inject`` run and a ``submit`` to the campaign server — the
+        byte-identical-journal contract requires the two surfaces to
+        accept exactly the same campaign identity."""
+        parser.add_argument("--function", default="main")
+        parser.add_argument("--args", nargs="*", default=[])
+        parser.add_argument("--outputs", nargs="*", default=[])
+        parser.add_argument("--trials", type=int, default=100)
+        parser.add_argument("--dmax", type=int, default=100)
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--faults-per-trial", type=int, default=1,
+                            help="transients per execution (default 1, the "
+                                 "paper's single-event-upset model)")
+        parser.add_argument("--detector", choices=["model", "replay"],
+                            default="model",
+                            help="detection source: 'model' samples "
+                                 "latencies from the analytical "
+                                 "DetectionModel, 'replay' measures them "
+                                 "with chunked record + replay "
+                                 "(default model)")
+        parser.add_argument("--replay-chunk", type=int, default=None,
+                            metavar="N",
+                            help="replay chunk length in dynamic "
+                                 "instructions (default "
+                                 f"{REPLAY_CHUNK_DEFAULT}; --detector "
+                                 "replay only)")
+        parser.add_argument("--recovery-faults-per-trial", type=int,
+                            default=0,
+                            help="double-fault model: faults armed inside "
+                                 "recovery windows (default 0)")
+        parser.add_argument("--metadata-faults", type=int, default=0,
+                            help="faults per trial striking Encore's own "
+                                 "recovery metadata: checkpoint log, "
+                                 "register checkpoints, recovery pointer "
+                                 "(default 0)")
+        parser.add_argument("--guard", choices=["off", "checksum", "dup"],
+                            default="off",
+                            help="metadata self-protection level: checksum "
+                                 "detects corrupted rollback state, dup "
+                                 "also repairs it from a shadow copy "
+                                 "(default off)")
+        parser.add_argument("--cf-faults-per-trial", type=int, default=0,
+                            help="control-flow faults per trial: corrupted "
+                                 "branch targets and wrong-way branches "
+                                 "(default 0; draws append after all "
+                                 "others, so plans at 0 are unchanged)")
+        parser.add_argument("--cfe-detector", choices=["off", "signature"],
+                            default="signature",
+                            help="control-flow error detector: 'signature' "
+                                 "checks every executed branch edge "
+                                 "against the static CFG (default "
+                                 "signature; only meaningful with "
+                                 "--cf-faults-per-trial > 0)")
+        parser.add_argument("--threads", type=int, default=1,
+                            help="max concurrently-live threads including "
+                                 "main (default 1: spawn traps, campaigns "
+                                 "stay strictly single-threaded)")
+        parser.add_argument("--quantum", type=int, default=None,
+                            help="cooperative scheduler time slice in "
+                                 "dynamic instructions (default 50; "
+                                 "--threads > 1 only)")
+        parser.add_argument("--max-attempts", type=int, default=3,
+                            help="consecutive rollbacks into one region "
+                                 "before the supervisor declares livelock "
+                                 "(default 3)")
+        parser.add_argument("--step-budget", type=int, default=None,
+                            help="dynamic-instruction watchdog per "
+                                 "recovery attempt (default: none)")
+        parser.add_argument("--trial-timeout", type=float, default=None,
+                            help="per-trial wall-clock limit in seconds; "
+                                 "overruns classify as infra_error")
+        parser.add_argument("--engine", choices=sorted(ENGINES),
+                            default=None,
+                            help="interpreter engine; campaigns and "
+                                 "journals are bit-identical across "
+                                 "engines, so a journal written under one "
+                                 "engine resumes under the other")
+
     inject = sub.add_parser("inject", help="fault-injection campaign")
     inject.add_argument("module")
-    inject.add_argument("--function", default="main")
-    inject.add_argument("--args", nargs="*", default=[])
-    inject.add_argument("--outputs", nargs="*", default=[])
-    inject.add_argument("--trials", type=int, default=100)
-    inject.add_argument("--dmax", type=int, default=100)
-    inject.add_argument("--seed", type=int, default=0)
-    inject.add_argument("--faults-per-trial", type=int, default=1,
-                        help="transients per execution (default 1, the "
-                             "paper's single-event-upset model)")
+    _add_campaign_flags(inject)
     inject.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes; results are identical to "
                              "--jobs 1 for any value (default 1)")
     inject.add_argument("--chunk-size", type=int, default=None,
                         help="trials per worker task (default: auto)")
-    inject.add_argument("--detector", choices=["model", "replay"],
-                        default="model",
-                        help="detection source: 'model' samples latencies "
-                             "from the analytical DetectionModel, 'replay' "
-                             "measures them with chunked record + replay "
-                             "(default model)")
-    inject.add_argument("--replay-chunk", type=int, default=None,
-                        metavar="N",
-                        help="replay chunk length in dynamic instructions "
-                             f"(default {REPLAY_CHUNK_DEFAULT}; --detector "
-                             "replay only)")
     inject.add_argument("--progress", action="store_true",
                         help="report completed-trial counts on stderr")
-    inject.add_argument("--recovery-faults-per-trial", type=int, default=0,
-                        help="double-fault model: faults armed inside "
-                             "recovery windows (default 0)")
-    inject.add_argument("--metadata-faults", type=int, default=0,
-                        help="faults per trial striking Encore's own "
-                             "recovery metadata: checkpoint log, register "
-                             "checkpoints, recovery pointer (default 0)")
-    inject.add_argument("--guard", choices=["off", "checksum", "dup"],
-                        default="off",
-                        help="metadata self-protection level: checksum "
-                             "detects corrupted rollback state, dup also "
-                             "repairs it from a shadow copy (default off)")
-    inject.add_argument("--cf-faults-per-trial", type=int, default=0,
-                        help="control-flow faults per trial: corrupted "
-                             "branch targets and wrong-way branches "
-                             "(default 0; draws append after all others, "
-                             "so plans at 0 are unchanged)")
-    inject.add_argument("--cfe-detector", choices=["off", "signature"],
-                        default="signature",
-                        help="control-flow error detector: 'signature' "
-                             "checks every executed branch edge against "
-                             "the static CFG (default signature; only "
-                             "meaningful with --cf-faults-per-trial > 0)")
-    inject.add_argument("--threads", type=int, default=1,
-                        help="max concurrently-live threads including "
-                             "main (default 1: spawn traps, campaigns "
-                             "stay strictly single-threaded)")
-    inject.add_argument("--quantum", type=int, default=None,
-                        help="cooperative scheduler time slice in dynamic "
-                             "instructions (default 50; --threads > 1 "
-                             "only)")
-    inject.add_argument("--max-attempts", type=int, default=3,
-                        help="consecutive rollbacks into one region before "
-                             "the supervisor declares livelock (default 3)")
-    inject.add_argument("--step-budget", type=int, default=None,
-                        help="dynamic-instruction watchdog per recovery "
-                             "attempt (default: none)")
-    inject.add_argument("--trial-timeout", type=float, default=None,
-                        help="per-trial wall-clock limit in seconds; "
-                             "overruns classify as infra_error")
     inject.add_argument("--journal", nargs="?", const="auto", default=None,
                         metavar="PATH",
                         help="append per-trial results to a crash-tolerant "
@@ -516,12 +722,77 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--resume", default=None, metavar="PATH",
                         help="resume a crashed campaign from its journal; "
                              "journaled trials are replayed verbatim")
-    inject.add_argument("--engine", choices=sorted(ENGINES), default=None,
-                        help="interpreter engine; campaigns and journals "
-                             "are bit-identical across engines, so a "
-                             "journal written under one engine resumes "
-                             "under the other")
     inject.set_defaults(handler=cmd_inject)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign server: accept campaign specs over HTTP, "
+             "shard them across a supervised worker pool",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8344,
+                       help="listen port (0 picks a free one; default 8344)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes per campaign (default 2)")
+    serve.add_argument("--journal-dir", default="results/service",
+                       help="where campaign journals are written "
+                            "(default results/service)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       help="seconds of worker silence before the "
+                            "watchdog presumes it hung and kills it "
+                            "(default 30)")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       help="re-dispatch attempts per batch before it "
+                            "quarantines (default 3)")
+    serve.add_argument("--backoff-base", type=float, default=0.25,
+                       help="first retry delay in seconds; doubles per "
+                            "attempt (default 0.25)")
+    serve.add_argument("--backoff-cap", type=float, default=10.0,
+                       help="retry delay ceiling in seconds (default 10)")
+    serve.add_argument("--max-active", type=int, default=2,
+                       help="campaigns running concurrently; the rest "
+                            "queue FIFO (default 2)")
+    serve.add_argument("--chaos-kill-after", type=int, default=None,
+                       metavar="N",
+                       help="chaos testing: SIGKILL a worker after N "
+                            "streamed trials, once per campaign — the "
+                            "retry path must converge to the identical "
+                            "journal (CI uses this)")
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a fault-injection campaign to a running server",
+    )
+    submit.add_argument("module")
+    _add_campaign_flags(submit)
+    submit.add_argument("--server", default="http://127.0.0.1:8344",
+                        help="campaign server URL "
+                             "(default http://127.0.0.1:8344)")
+    submit.add_argument("--batch-size", type=int, default=None,
+                        help="trials per dispatched batch "
+                             "(default: auto, eight per worker)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the campaign finishes and print "
+                             "its outcome summary")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait limit in seconds (default 600)")
+    submit.add_argument("--progress", action="store_true",
+                        help="report completed-trial counts on stderr "
+                             "while waiting")
+    submit.add_argument("--journal-out", default=None, metavar="PATH",
+                        help="after completion, download the campaign "
+                             "journal to this local path (bytes identical "
+                             "to a one-shot inject --journal run)")
+    submit.set_defaults(handler=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="query a running campaign server",
+    )
+    status.add_argument("id", nargs="?", default=None,
+                        help="campaign id (omit for server overview)")
+    status.add_argument("--server", default="http://127.0.0.1:8344")
+    status.set_defaults(handler=cmd_status)
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential-fuzzing campaign over the toolchain"
@@ -576,7 +847,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream reader (``| head``) closed the pipe; exit quietly
+        # with the conventional 128+SIGPIPE code instead of a traceback.
+        # Point stdout at devnull so the interpreter's shutdown flush of
+        # the half-written buffer doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

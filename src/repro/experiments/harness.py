@@ -11,6 +11,8 @@ from __future__ import annotations
 import copy
 import dataclasses
 import os
+import sys
+import tempfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.encore import EncoreConfig, EncoreReport, compile_for_encore
@@ -133,6 +135,118 @@ def campaign_trial_timeout() -> Optional[float]:
     return None
 
 
+def campaign_server() -> Optional[str]:
+    """URL of a ``repro serve`` instance, or None for local execution.
+
+    ``ENCORE_SFI_SERVER`` routes every experiment campaign through the
+    sharded, health-monitored campaign server — useful when a figure
+    sweep should survive worker crashes, or when campaigns from several
+    experiment processes should share one supervised pool.  Campaign
+    results are bit-identical either way.
+    """
+    env = os.environ.get("ENCORE_SFI_SERVER", "").strip()
+    return env or None
+
+
+def _run_sfi_via_server(
+    server: str,
+    module: Module,
+    *,
+    function: str,
+    args: Sequence,
+    output_objects: Sequence[str],
+    detector: Optional[DetectionModel],
+    trials: int,
+    seed: int,
+    faults_per_trial: int,
+    recovery_faults_per_trial: int,
+    metadata_faults_per_trial: int,
+    metadata_guard: str,
+    policy: Optional[SupervisorPolicy],
+    trial_timeout: Optional[float],
+    engine: Optional[str],
+    detector_backend: str,
+    replay_chunk_size: Optional[int],
+    cf_faults_per_trial: int,
+    cfe_detector: str,
+    threads: int,
+    quantum: Optional[int],
+) -> CampaignResult:
+    """Submit the campaign over HTTP and rebuild a CampaignResult.
+
+    The journal downloaded from the server is byte-identical to a local
+    ``--journal`` run, so loading it back through
+    :func:`repro.runtime.load_journal` reproduces the exact TrialResult
+    list a local campaign would have returned.
+    """
+    from repro.ir.printer import module_to_text
+    from repro.runtime.journal import load_journal
+    from repro.service.client import ServiceClient, ServiceError
+
+    detector = detector or DetectionModel()
+    policy = policy or SupervisorPolicy()
+    spec = {
+        "kind": "sfi",
+        "module_text": module_to_text(module) + "\n",
+        "function": function,
+        "args": [int(a) for a in args],
+        "output_objects": list(output_objects),
+        "trials": trials,
+        "seed": seed,
+        "dmax": detector.dmax,
+        "detector_kind": detector.kind,
+        "detector_coverage": detector.coverage,
+        "faults_per_trial": faults_per_trial,
+        "recovery_faults_per_trial": recovery_faults_per_trial,
+        "metadata_faults_per_trial": metadata_faults_per_trial,
+        "metadata_guard": metadata_guard,
+        "detector_backend": detector_backend,
+        "replay_chunk_size": replay_chunk_size,
+        "cf_faults_per_trial": cf_faults_per_trial,
+        "cfe_detector": cfe_detector,
+        "threads": threads,
+        "quantum": quantum,
+        "max_attempts": policy.max_attempts,
+        "step_budget": policy.attempt_step_budget,
+        "trial_timeout": trial_timeout,
+        "engine": engine,
+    }
+    client = ServiceClient(server)
+    accepted = client.submit(spec)
+    campaign_id = accepted["id"]
+    status = client.wait(campaign_id, timeout=3600.0)
+    if status.get("state") != "completed":
+        raise ServiceError(
+            f"campaign {campaign_id} ended {status.get('state')!r}: "
+            f"{status.get('error')}"
+        )
+    data = client.fetch_journal(campaign_id, follow=False)
+    with tempfile.NamedTemporaryFile(
+        suffix=".jsonl", prefix="encore-served-", delete=False
+    ) as handle:
+        handle.write(data)
+        path = handle.name
+    try:
+        _metadata, completed = load_journal(path)
+    finally:
+        os.unlink(path)
+    if len(completed) != trials:
+        raise ServiceError(
+            f"campaign {campaign_id} journal holds {len(completed)} "
+            f"trials, expected {trials}"
+        )
+    aggregates = status.get("aggregates", {})
+    return CampaignResult(
+        trials=[completed[i] for i in range(trials)],
+        elapsed=float(aggregates.get("elapsed_s", 0.0)),
+        jobs=len(status.get("workers", ())) or 1,
+        worker_trials={
+            f"server-{server}": trials,
+        },
+        pool_restarts=int(status.get("worker_restarts", 0)),
+    )
+
+
 def run_sfi(
     module: Module,
     function: str = "main",
@@ -166,7 +280,57 @@ def run_sfi(
     environment variables parallelise and wall-clock-guard every
     campaign an experiment runs.  ``engine=None`` defers to the session
     default (``ENCORE_ENGINE`` or the fast engine).
+
+    When ``ENCORE_SFI_SERVER`` names a running ``repro serve``
+    instance, the campaign is submitted there instead and the result
+    rebuilt from the downloaded journal — bit-identical to local
+    execution.  Campaigns the server cannot express (host-callable
+    ``externals``) and unreachable servers fall back to local execution
+    with a warning on stderr.
     """
+    server = campaign_server()
+    if server is not None and not externals:
+        from repro.service.client import ServiceError
+
+        try:
+            return _run_sfi_via_server(
+                server,
+                module,
+                function=function,
+                args=args,
+                output_objects=output_objects,
+                detector=detector,
+                trials=trials,
+                seed=seed,
+                faults_per_trial=faults_per_trial,
+                recovery_faults_per_trial=recovery_faults_per_trial,
+                metadata_faults_per_trial=metadata_faults_per_trial,
+                metadata_guard=metadata_guard,
+                policy=policy,
+                trial_timeout=(
+                    campaign_trial_timeout()
+                    if trial_timeout is None else trial_timeout
+                ),
+                engine=engine,
+                detector_backend=detector_backend,
+                replay_chunk_size=replay_chunk_size,
+                cf_faults_per_trial=cf_faults_per_trial,
+                cfe_detector=cfe_detector,
+                threads=threads,
+                quantum=quantum,
+            )
+        except ServiceError as exc:
+            print(
+                f"# ENCORE_SFI_SERVER={server} unusable ({exc}); "
+                "running campaign locally",
+                file=sys.stderr,
+            )
+    elif server is not None and externals:
+        print(
+            f"# ENCORE_SFI_SERVER={server} skipped: campaign uses host "
+            "externals the server cannot transport; running locally",
+            file=sys.stderr,
+        )
     return run_campaign(
         module,
         function=function,

@@ -50,6 +50,14 @@ def module_fingerprint(module) -> str:
     return hashlib.sha256(module_to_text(module).encode()).hexdigest()[:16]
 
 
+def header_fingerprint(metadata: Dict[str, Any]) -> str:
+    """A stable digest of a whole campaign header (canonical JSON), so a
+    resume refusal can name both sides in one line instead of forcing a
+    manual diff of two journal files."""
+    canonical = json.dumps(metadata, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
 def campaign_metadata(
     module,
     seed: int,
@@ -174,6 +182,60 @@ class CampaignJournal:
         self.close()
 
 
+class InOrderJournal:
+    """A hold-back wrapper around :class:`CampaignJournal`.
+
+    Parallel and service campaigns complete trials out of order and may
+    deliver duplicates (a batch retried after a worker crash); this
+    wrapper buffers results and appends them strictly in trial-index
+    order, first delivery wins — so the journal a sharded campaign
+    writes is *byte-identical* to the one a serial ``inject`` run
+    writes (the invariant the campaign server's tests enforce).
+
+    ``flush_out_of_order()`` abandons the in-order guarantee and dumps
+    whatever is buffered beyond the contiguous prefix: the shutdown
+    path uses it so completed work survives a drain — the journal
+    format tolerates out-of-order records, only byte-identity is lost.
+    """
+
+    def __init__(self, journal: CampaignJournal, start_index: int = 0) -> None:
+        self.journal = journal
+        self._held: Dict[int, TrialResult] = {}
+        self._cursor = start_index
+        self._written: set = set()
+
+    @property
+    def cursor(self) -> int:
+        """The next trial index the in-order stream is waiting for."""
+        return self._cursor
+
+    @property
+    def held(self) -> int:
+        """Out-of-order results currently buffered."""
+        return len(self._held)
+
+    def record(self, index: int, trial: TrialResult) -> None:
+        if index in self._written or index in self._held or index < self._cursor:
+            return  # duplicate delivery (retried batch): first wins
+        self._held[index] = trial
+        while self._cursor in self._held:
+            self.journal.record(self._cursor, self._held.pop(self._cursor))
+            self._written.add(self._cursor)
+            self._cursor += 1
+
+    def flush_out_of_order(self) -> int:
+        """Append every held record regardless of order (drain path)."""
+        flushed = 0
+        for index in sorted(self._held):
+            self.journal.record(index, self._held.pop(index))
+            self._written.add(index)
+            flushed += 1
+        return flushed
+
+    def close(self) -> None:
+        self.journal.close()
+
+
 def load_journal(path: str) -> Tuple[Dict[str, Any], Dict[int, TrialResult]]:
     """Read a journal back: ``(metadata, {index: TrialResult})``.
 
@@ -183,6 +245,7 @@ def load_journal(path: str) -> Tuple[Dict[str, Any], Dict[int, TrialResult]]:
     """
     metadata: Optional[Dict[str, Any]] = None
     completed: Dict[int, TrialResult] = {}
+    torn_before_header = 0
     fields = {f.name for f in dataclasses.fields(TrialResult)}
     with open(path, encoding="utf-8") as handle:
         for line in handle:
@@ -192,7 +255,13 @@ def load_journal(path: str) -> Tuple[Dict[str, Any], Dict[int, TrialResult]]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail from a crash mid-write
+                # A torn *tail* (crash mid-append) is re-run harmlessly;
+                # a torn line before any header means the header itself
+                # was torn mid-write — count it so the refusal below can
+                # say so instead of the generic "no header".
+                if metadata is None:
+                    torn_before_header += 1
+                continue
             kind = record.get("kind")
             if kind == "campaign":
                 if record.get("version") != JOURNAL_VERSION:
@@ -211,6 +280,12 @@ def load_journal(path: str) -> Tuple[Dict[str, Any], Dict[int, TrialResult]]:
                 if isinstance(index, int) and "outcome" in payload:
                     completed[index] = TrialResult(**payload)
     if metadata is None:
+        if torn_before_header:
+            raise JournalError(
+                f"{path} has no valid campaign header: its header line "
+                "is torn or corrupt (crash mid-write?); the journal "
+                "cannot be trusted — delete it and restart the campaign"
+            )
         raise JournalError(f"{path} has no campaign header")
     return metadata, completed
 
@@ -239,7 +314,12 @@ def validate_resume(
             f"campaign={current_meta.get(key)!r}"
             for key in mismatched
         )
-        raise JournalError(f"journal does not match this campaign ({detail})")
+        raise JournalError(
+            "journal does not match this campaign: header fingerprints "
+            f"journal={header_fingerprint(journal_meta)} != "
+            f"campaign={header_fingerprint(current_meta)}; "
+            f"differing keys ({detail})"
+        )
 
 
 def default_journal_path(module_name: str, seed: int) -> str:

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.module import Module
 from repro.runtime.sfi import (
+    CampaignInterrupted,
     FaultPlan,
     ProgressHook,
     TrialResult,
@@ -86,36 +87,43 @@ def _init_worker(payload: bytes) -> None:
     _WORKER.update(state)
 
 
-def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialResult]]]:
+def run_worker_plan(plan: FaultPlan) -> TrialResult:
+    """Execute one pre-derived plan from the installed worker state.
+
+    The single unit of worker-side work, shared by the chunk runner
+    below and the campaign service's batch workers
+    (:mod:`repro.service.dispatch`) — both install state with
+    :func:`_init_worker` and then replay plans through here, which is
+    why a served campaign is bit-identical to a pooled one.
+    """
     from repro.runtime.sfi import run_planned_trial
 
     state = _WORKER
-    results = [
-        (
-            plan.trial_index,
-            run_planned_trial(
-                state["module"],
-                state["golden"],
-                plan,
-                function=state["function"],
-                args=state["args"],
-                output_objects=state["output_objects"],
-                externals=state["externals"],
-                policy=state["policy"],
-                trial_timeout=state["trial_timeout"],
-                metadata_guard=state.get("metadata_guard", "off"),
-                engine=state.get("engine"),
-                memory_image=state["memory_image"],
-                detector_backend=state.get("detector_backend", "model"),
-                replay_chunk_size=state.get("replay_chunk_size"),
-                cfe_detector=state.get("cfe_detector", "signature"),
-                threads=state.get("threads", 1),
-                quantum=state.get("quantum"),
-            ),
-        )
-        for plan in plans
+    return run_planned_trial(
+        state["module"],
+        state["golden"],
+        plan,
+        function=state["function"],
+        args=state["args"],
+        output_objects=state["output_objects"],
+        externals=state["externals"],
+        policy=state["policy"],
+        trial_timeout=state["trial_timeout"],
+        metadata_guard=state.get("metadata_guard", "off"),
+        engine=state.get("engine"),
+        memory_image=state["memory_image"],
+        detector_backend=state.get("detector_backend", "model"),
+        replay_chunk_size=state.get("replay_chunk_size"),
+        cfe_detector=state.get("cfe_detector", "signature"),
+        threads=state.get("threads", 1),
+        quantum=state.get("quantum"),
+    )
+
+
+def _run_chunk(plans: Sequence[FaultPlan]) -> Tuple[int, List[Tuple[int, TrialResult]]]:
+    return os.getpid(), [
+        (plan.trial_index, run_worker_plan(plan)) for plan in plans
     ]
-    return os.getpid(), results
 
 
 def default_chunk_size(trials: int, jobs: int) -> int:
@@ -134,6 +142,52 @@ def _pool_context():
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+def worker_payload(
+    module: Module,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    externals=None,
+    policy: Optional[SupervisorPolicy] = None,
+    trial_timeout: Optional[float] = None,
+    metadata_guard: str = "off",
+    engine: Optional[str] = None,
+    detector_backend: str = "model",
+    replay_chunk_size: Optional[int] = None,
+    cfe_detector: str = "signature",
+    threads: int = 1,
+    quantum: Optional[int] = None,
+) -> bytes:
+    """Pickle the per-worker campaign state for :func:`_init_worker`.
+
+    Shared between the pool engine below and the campaign service, so
+    a worker initialised by either executes trials identically.
+    Raises :class:`ParallelUnavailable` when the campaign cannot cross
+    a process boundary.
+    """
+    try:
+        return pickle.dumps(
+            {
+                "module": module,
+                "function": function,
+                "args": tuple(args),
+                "output_objects": tuple(output_objects),
+                "externals": externals,
+                "policy": policy,
+                "trial_timeout": trial_timeout,
+                "metadata_guard": metadata_guard,
+                "engine": engine,
+                "detector_backend": detector_backend,
+                "replay_chunk_size": replay_chunk_size,
+                "cfe_detector": cfe_detector,
+                "threads": threads,
+                "quantum": quantum,
+            }
+        )
+    except Exception as exc:
+        raise ParallelUnavailable(str(exc)) from exc
 
 
 def run_parallel_campaign(
@@ -171,27 +225,22 @@ def run_parallel_campaign(
     :class:`ParallelUnavailable` when the campaign payload cannot be
     pickled across the process boundary.
     """
-    try:
-        payload = pickle.dumps(
-            {
-                "module": module,
-                "function": function,
-                "args": tuple(args),
-                "output_objects": tuple(output_objects),
-                "externals": externals,
-                "policy": policy,
-                "trial_timeout": trial_timeout,
-                "metadata_guard": metadata_guard,
-                "engine": engine,
-                "detector_backend": detector_backend,
-                "replay_chunk_size": replay_chunk_size,
-                "cfe_detector": cfe_detector,
-                "threads": threads,
-                "quantum": quantum,
-            }
-        )
-    except Exception as exc:
-        raise ParallelUnavailable(str(exc)) from exc
+    payload = worker_payload(
+        module,
+        function=function,
+        args=args,
+        output_objects=output_objects,
+        externals=externals,
+        policy=policy,
+        trial_timeout=trial_timeout,
+        metadata_guard=metadata_guard,
+        engine=engine,
+        detector_backend=detector_backend,
+        replay_chunk_size=replay_chunk_size,
+        cfe_detector=cfe_detector,
+        threads=threads,
+        quantum=quantum,
+    )
 
     size = chunk_size if chunk_size and chunk_size > 0 else default_chunk_size(
         len(plans), jobs
@@ -227,11 +276,28 @@ def run_parallel_campaign(
                 initargs=(payload,),
             ) as pool:
                 pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        pid, chunk_results = future.result()
-                        merge(pid, chunk_results)
+                try:
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            pid, chunk_results = future.result()
+                            merge(pid, chunk_results)
+                except KeyboardInterrupt:
+                    # Graceful SIGINT: drop the queue, put the workers
+                    # down hard (their in-flight chunks are re-derivable
+                    # on resume), and surface everything already merged
+                    # — the journal has it on disk via ``on_result``.
+                    for future in pending:
+                        future.cancel()
+                    for proc in getattr(pool, "_processes", {}).values():
+                        try:
+                            proc.terminate()
+                        except (OSError, AttributeError):
+                            pass
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise CampaignInterrupted(
+                        dict(by_index), report_total
+                    ) from None
         except BrokenProcessPool:
             # A worker died mid-campaign (OOM kill, segfault, ...).
             # Everything already merged stays; the unfinished trials are

@@ -347,6 +347,27 @@ def infra_error_trial() -> TrialResult:
     )
 
 
+class CampaignInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed mid-campaign; the completed prefix survives.
+
+    Raised instead of a bare :class:`KeyboardInterrupt` so the CLI can
+    flush the journal, report partial results, and print a resume hint
+    rather than dying with a traceback.  ``results`` holds every trial
+    that finished before the signal (keyed by trial index — already
+    streamed to ``on_result``, so a journal has them on disk), and
+    ``total`` is the trial count the campaign was aiming for.
+    """
+
+    def __init__(self, results: Dict[int, TrialResult], total: int) -> None:
+        super().__init__()
+        self.results = dict(results)
+        self.total = total
+
+    @property
+    def done(self) -> int:
+        return len(self.results)
+
+
 @dataclasses.dataclass
 class CampaignResult:
     """Aggregated SFI campaign statistics.
@@ -1095,6 +1116,13 @@ def run_campaign(
             )
         except ParallelUnavailable:
             pass
+        except CampaignInterrupted as exc:
+            # Journaled (resumed) trials are part of the partial result
+            # the CLI reports, even though this run never re-executed
+            # them.
+            merged = dict(completed)
+            merged.update(exc.results)
+            raise CampaignInterrupted(merged, trials) from None
         else:
             by_index = dict(completed)
             by_index.update(
@@ -1111,34 +1139,42 @@ def run_campaign(
             )
     results = []
     done = 0
-    for plan in plans:
-        if plan.trial_index in completed:
-            results.append(completed[plan.trial_index])
-        else:
-            trial = run_planned_trial(
-                module,
-                golden,
-                plan,
-                function=function,
-                args=args,
-                output_objects=output_objects,
-                externals=externals,
-                policy=policy,
-                trial_timeout=trial_timeout,
-                metadata_guard=metadata_guard,
-                engine=engine,
-                memory_image=memory_image,
-                detector_backend=detector_backend,
-                replay_chunk_size=replay_chunk_size,
-                cfe_detector=cfe_detector,
-                threads=threads,
-                quantum=quantum,
-            )
-            emit(plan.trial_index, trial)
-            results.append(trial)
-        done += 1
-        if progress is not None:
-            progress(done, trials)
+    finished: Dict[int, TrialResult] = dict(completed)
+    try:
+        for plan in plans:
+            if plan.trial_index in completed:
+                results.append(completed[plan.trial_index])
+            else:
+                trial = run_planned_trial(
+                    module,
+                    golden,
+                    plan,
+                    function=function,
+                    args=args,
+                    output_objects=output_objects,
+                    externals=externals,
+                    policy=policy,
+                    trial_timeout=trial_timeout,
+                    metadata_guard=metadata_guard,
+                    engine=engine,
+                    memory_image=memory_image,
+                    detector_backend=detector_backend,
+                    replay_chunk_size=replay_chunk_size,
+                    cfe_detector=cfe_detector,
+                    threads=threads,
+                    quantum=quantum,
+                )
+                emit(plan.trial_index, trial)
+                results.append(trial)
+                finished[plan.trial_index] = trial
+            done += 1
+            if progress is not None:
+                progress(done, trials)
+    except KeyboardInterrupt:
+        # Graceful SIGINT: everything already finished was streamed to
+        # ``on_result`` (so a journal has it on disk); hand the partial
+        # results up instead of an unhandled traceback.
+        raise CampaignInterrupted(finished, trials) from None
     return CampaignResult(
         results,
         elapsed=time.monotonic() - start,
