@@ -1,0 +1,283 @@
+"""Benchmark: incremental injection vs full re-campaign after an edit.
+
+The edit-one-function scenario the subsystem exists for: a dominant
+function ``f`` (most of the fault-site mass) plus a small function
+``g`` whose body changes between campaigns.  A full re-campaign pays
+for every section again; the incremental run composes ``f``'s stored
+distribution and re-injects only ``g``'s sections under bit-level
+pruning with importance-sampled budgets.
+
+Three acceptance properties, enforced by ``--check``:
+
+1. **Trial reduction**: the incremental run executes at least 5x fewer
+   trials than the full campaign *at matched confidence* — its
+   stratified 95% CI half-width must not exceed the full campaign's
+   binomial half-width.
+2. **No-change determinism**: composing from an untouched store is
+   bit-deterministic — identical trial lists across repeated runs and
+   across ``--jobs``, with pooled aggregates exactly equal to the
+   build campaign's and ``composed_fraction == 1.0``.
+3. **Pruning soundness**: flipping a sample of statically-masked bits
+   (no detector armed) leaves the final value and every observed
+   output byte-identical to the fault-free run — zero effectful
+   masked bits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        [--trials 400] [--seed 3] [--sample 40] \
+        [--json BENCH_incremental.json] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+
+from helpers import build_two_function_workload  # noqa: E402
+from repro.encore import compile_for_encore  # noqa: E402
+from repro.incremental import (  # noqa: E402
+    SectionStore,
+    capture_attribution,
+    dead_sites,
+    module_dead_masks,
+    run_incremental_campaign,
+)
+from repro.runtime import DetectionModel, Interpreter, run_campaign  # noqa: E402
+from repro.runtime.interpreter import bitflip  # noqa: E402
+
+OUTPUTS = ("arr",)
+
+
+def build(g_mult):
+    module, _ = build_two_function_workload(g_mult)
+    return compile_for_encore(module, clone=True).module
+
+
+def binomial_half_width(p, n, z=1.96):
+    if n <= 0:
+        return 0.0
+    p = min(max(p, 0.0), 1.0)
+    return z * (p * (1.0 - p) / n) ** 0.5
+
+
+def run_full(module, detector, trials, seed):
+    start = time.perf_counter()
+    campaign = run_campaign(
+        module, output_objects=OUTPUTS, detector=detector,
+        trials=trials, seed=seed,
+    )
+    return campaign, time.perf_counter() - start
+
+
+def run_incremental(module, store, detector, trials, seed, jobs=1):
+    start = time.perf_counter()
+    campaign = run_incremental_campaign(
+        module, store, output_objects=OUTPUTS, detector=detector,
+        trials=trials, seed=seed, jobs=jobs,
+    )
+    return campaign, time.perf_counter() - start
+
+
+def bench_edit_one_function(detector, trials, seed, tmp):
+    """Build on the base module, edit ``g``, compare full vs incremental."""
+    base = build(3)
+    edited = build(5)
+    store = SectionStore.open(str(Path(tmp) / "edit.json"))
+    _build, build_elapsed = run_incremental(base, store, detector,
+                                           trials, seed)
+    full, full_elapsed = run_full(edited, detector, trials, seed)
+    incremental, inc_elapsed = run_incremental(edited, store, detector,
+                                              trials, seed)
+    estimate, inc_half = incremental.coverage_interval()
+    full_half = binomial_half_width(full.covered_fraction, trials)
+    reinjected = sorted(
+        section
+        for section, status in incremental.section_status.items()
+        if status in ("reinjected", "analytic")
+    )
+    return {
+        "trials": trials,
+        "build_elapsed_s": round(build_elapsed, 3),
+        "full_executed": trials,
+        "full_elapsed_s": round(full_elapsed, 3),
+        "full_covered": full.covered_fraction,
+        "full_ci_half": full_half,
+        "incremental_executed": incremental.executed_trials,
+        "incremental_elapsed_s": round(inc_elapsed, 3),
+        "incremental_estimate": estimate,
+        "incremental_ci_half": inc_half,
+        "composed_fraction": incremental.composed_fraction,
+        "reinjected_sections": reinjected,
+        "trial_reduction": (
+            trials / max(incremental.executed_trials, 1)
+        ),
+        "ci_matched": inc_half <= full_half,
+        "only_edited_function": all(
+            section.startswith("g@") or section == "@dead"
+            for section in reinjected
+        ),
+    }
+
+
+def bench_no_change_determinism(detector, trials, seed, tmp):
+    """Compose twice and under --jobs: byte-identical, exact aggregates."""
+    module = build(3)
+    store = SectionStore.open(str(Path(tmp) / "nochange.json"))
+    built, _ = run_incremental(module, store, detector, trials, seed)
+    runs = [
+        run_incremental(module, store, detector, trials, seed, jobs=jobs)[0]
+        for jobs in (1, 2, 1)
+    ]
+    trial_lists = [
+        [dataclasses.asdict(t) for t in run.trials] for run in runs
+    ]
+    deterministic = all(tl == trial_lists[0] for tl in trial_lists[1:])
+    exact = all(
+        abs(run.covered_fraction - built.covered_fraction) < 1e-12
+        and run.composed_fraction == 1.0
+        and run.executed_trials == 0
+        for run in runs
+    )
+    return {
+        "compose_runs": len(runs),
+        "deterministic_across_runs_and_jobs": deterministic,
+        "aggregates_exact": exact,
+    }
+
+
+def bench_pruning_soundness(sample, seed):
+    """Flip statically-masked bits; final state must be unchanged."""
+    module = build(3)
+    profile = capture_attribution(module, output_objects=OUTPUTS)
+    masks = module_dead_masks(module, output_objects=OUTPUTS)
+    pairs = dead_sites(profile, masks)
+    rng = random.Random(seed)
+    chosen = pairs if len(pairs) <= sample else rng.sample(pairs, sample)
+    golden = profile.golden
+    effectful = 0
+    for event, bit in chosen:
+        state = {"done": False}
+
+        def hook(interp, ev, _event=event, _bit=bit, _state=state):
+            if not _state["done"] and ev.index == _event:
+                frame = interp.current_frame
+                dest = ev.inst.defs()[0]
+                frame.regs[dest] = bitflip(frame.regs[dest], _bit)
+                _state["done"] = True
+
+        result = Interpreter(
+            module, post_step=hook, max_steps=golden.events * 4 + 1000,
+        ).run("main", (), output_objects=OUTPUTS)
+        if result.value != golden.value or result.output != golden.output:
+            effectful += 1
+    return {
+        "dead_pairs_total": len(pairs),
+        "dead_pairs_flipped": len(chosen),
+        "effectful_masked_bits": effectful,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=400,
+                        help="campaign budget per leg")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--dmax", type=int, default=20)
+    parser.add_argument("--sample", type=int, default=40,
+                        help="statically-dead bits to flip in the "
+                             "soundness leg")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless reduction >= 5x at matched CI, "
+                             "compose is deterministic and exact, and no "
+                             "masked bit is effectful")
+    args = parser.parse_args(argv)
+
+    detector = DetectionModel(dmax=args.dmax)
+    with tempfile.TemporaryDirectory(prefix="bench-incremental-") as tmp:
+        edit = bench_edit_one_function(detector, args.trials, args.seed, tmp)
+        nochange = bench_no_change_determinism(detector, args.trials,
+                                               args.seed, tmp)
+    soundness = bench_pruning_soundness(args.sample, args.seed)
+
+    print("edit-one-function")
+    print(f"  full campaign      {edit['full_executed']:>5} trials  "
+          f"covered {edit['full_covered']:.2%}  "
+          f"CI +/-{edit['full_ci_half'] * 100:.2f}pp  "
+          f"{edit['full_elapsed_s']:.2f}s")
+    print(f"  incremental        {edit['incremental_executed']:>5} trials  "
+          f"estimate {edit['incremental_estimate']:.2%}  "
+          f"CI +/-{edit['incremental_ci_half'] * 100:.2f}pp  "
+          f"{edit['incremental_elapsed_s']:.2f}s")
+    print(f"  trial reduction    {edit['trial_reduction']:.1f}x  "
+          f"(composed {edit['composed_fraction']:.1%}; re-injected "
+          f"{', '.join(edit['reinjected_sections'])})")
+    print("no-change compose")
+    print(f"  deterministic across runs and jobs: "
+          f"{nochange['deterministic_across_runs_and_jobs']}")
+    print(f"  aggregates exact, zero trials:      "
+          f"{nochange['aggregates_exact']}")
+    print("pruning soundness")
+    print(f"  flipped {soundness['dead_pairs_flipped']} of "
+          f"{soundness['dead_pairs_total']} provably-dead bits: "
+          f"{soundness['effectful_masked_bits']} effectful")
+
+    payload = {
+        "benchmark": "bench_incremental",
+        "edit_one_function": edit,
+        "no_change": nochange,
+        "pruning_soundness": soundness,
+    }
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        failures = []
+        if edit["trial_reduction"] < 5.0:
+            failures.append(
+                f"trial reduction {edit['trial_reduction']:.1f}x < 5x"
+            )
+        if not edit["ci_matched"]:
+            failures.append(
+                f"incremental CI +/-{edit['incremental_ci_half']:.4f} wider "
+                f"than full +/-{edit['full_ci_half']:.4f}"
+            )
+        if not edit["only_edited_function"]:
+            failures.append(
+                f"re-injected beyond the edited function: "
+                f"{edit['reinjected_sections']}"
+            )
+        if not nochange["deterministic_across_runs_and_jobs"]:
+            failures.append("no-change compose not deterministic")
+        if not nochange["aggregates_exact"]:
+            failures.append("no-change compose aggregates not exact")
+        if soundness["effectful_masked_bits"]:
+            failures.append(
+                f"{soundness['effectful_masked_bits']} masked bits were "
+                f"effectful"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"CHECK PASSED: {edit['trial_reduction']:.1f}x >= 5x at "
+              f"matched CI, compose deterministic and exact, "
+              f"0 effectful masked bits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -163,6 +163,163 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _print_section_table(rows) -> None:
+    """The ``--by-section`` breakdown, deterministic for a given seed."""
+    print(f"{'section':<28} {'status':<12} {'est':<10} {'n':>9} "
+          f"{'exec':>6} {'pruned':>7} {'covered':>8}")
+    for row in rows:
+        print(f"{row['section']:<28} {row['status']:<12} "
+              f"{row['estimator']:<10} {row['n']:>9.1f} "
+              f"{row['executed']:>6} {row['pruned']:>7.1%} "
+              f"{row['covered']:>8.1%}")
+
+
+def _plain_section_rows(module, campaign, args, detector):
+    """Per-section outcome rows for a plain (non-incremental) campaign:
+    re-derive the plans, attribute each trial by its primary site."""
+    from repro.incremental import capture_attribution
+    from repro.runtime.sfi import COVERED_OUTCOMES, plan_campaign
+
+    profile = capture_attribution(
+        module, function=args.function, args=_int_args(args.args),
+        output_objects=args.outputs or (), threads=args.threads,
+        quantum=args.quantum,
+    )
+    plans = plan_campaign(
+        args.seed, len(campaign.trials), profile.events, detector,
+        args.faults_per_trial, args.recovery_faults_per_trial,
+        args.metadata_faults, args.cf_faults_per_trial,
+    )
+    tallies = {}
+    for plan, trial in zip(plans, campaign.trials):
+        section = profile.section_of_site(plan.sites[0])
+        row = tallies.setdefault(section, {"n": 0, "covered": 0})
+        row["n"] += 1
+        if trial.outcome in COVERED_OUTCOMES:
+            row["covered"] += 1
+    return [
+        {"section": section, "status": "executed", "estimator": "empirical",
+         "n": float(row["n"]), "executed": row["n"], "pruned": 0.0,
+         "covered": row["covered"] / row["n"]}
+        for section, row in sorted(tallies.items())
+    ]
+
+
+def _cmd_inject_incremental(args, module, detector, policy, metadata,
+                            progress) -> int:
+    import os
+
+    from repro.incremental import (
+        IncrementalError,
+        SectionStore,
+        run_incremental_campaign,
+        validate_incremental_config,
+    )
+
+    if args.resume is not None:
+        print("--incremental campaigns do not resume from journals; the "
+              "section store itself is the persistent state",
+              file=sys.stderr)
+        return 2
+    try:
+        validate_incremental_config(
+            faults_per_trial=args.faults_per_trial,
+            recovery_faults_per_trial=args.recovery_faults_per_trial,
+            metadata_faults_per_trial=args.metadata_faults,
+            cf_faults_per_trial=args.cf_faults_per_trial,
+            metadata_guard=args.guard,
+            detector_backend=args.detector,
+            threads=args.threads,
+            policy=policy,
+        )
+    except IncrementalError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    journal_path = None
+    if args.journal is not None:
+        journal_path = (
+            default_journal_path(module.name, args.seed)
+            if args.journal == "auto" else args.journal
+        )
+        if os.path.exists(journal_path):
+            print(f"refusing to append an incremental campaign to the "
+                  f"existing journal {journal_path}; incremental runs "
+                  f"restart from the store, not a journal — pick a fresh "
+                  f"path", file=sys.stderr)
+            return 2
+    journal = CampaignJournal(journal_path) if journal_path else None
+
+    def on_start(info) -> None:
+        # The incremental header key follows the journal's conditional
+        # emission rule: present exactly for incremental campaigns, so
+        # validate_resume's union comparison refuses any cross-mode mix.
+        if journal is not None:
+            journal.write_header({**metadata, "incremental": info})
+
+    try:
+        store = SectionStore.open(args.incremental)
+        campaign = run_incremental_campaign(
+            module, store,
+            function=args.function,
+            args=_int_args(args.args),
+            output_objects=args.outputs or (),
+            detector=detector,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            progress=progress,
+            policy=policy,
+            trial_timeout=args.trial_timeout,
+            on_result=journal.record if journal else None,
+            on_start=on_start,
+            engine=args.engine,
+            min_section_trials=args.min_section_trials,
+            update_store=not args.no_update_store,
+        )
+    except IncrementalError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except (CampaignInterrupted, KeyboardInterrupt) as exc:
+        if args.progress:
+            print(file=sys.stderr)
+        done = getattr(exc, "done", 0)
+        total = getattr(exc, "total", "?")
+        print(f"# interrupted: {done}/{total} re-injection trials "
+              f"completed; re-run the same command — incremental "
+              f"campaigns restart from the store", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.progress:
+        print(file=sys.stderr)
+    for outcome, fraction in campaign.summary().items():
+        print(f"{outcome:<24} {fraction:.1%}")
+    print(f"{'TOTAL covered':<24} {campaign.covered_fraction:.1%}")
+    estimate, half = campaign.coverage_interval()
+    print(f"{'coverage estimate':<24} {estimate:.1%} +/- {half:.1%} "
+          f"(95% CI)")
+    composed = sum(
+        1 for status in campaign.section_status.values()
+        if status == "composed"
+    )
+    print(f"{'sections':<24} {len(campaign.section_records)} "
+          f"({composed} composed, {campaign.executed_trials} trials "
+          f"executed)")
+    if args.by_section:
+        _print_section_table(campaign.section_table())
+    print(f"# throughput: {campaign.throughput:.1f} trials/sec "
+          f"({campaign.executed_trials} executed, {campaign.elapsed:.2f}s, "
+          f"jobs={campaign.jobs})")
+    print(f"# store: {args.incremental}"
+          + (" (not updated)" if args.no_update_store else ""))
+    if journal_path:
+        print(f"# journal: {journal_path}")
+    return 0
+
+
 def cmd_inject(args) -> int:
     module = _load(args.module)
     progress = None
@@ -191,6 +348,10 @@ def cmd_inject(args) -> int:
         threads=args.threads,
         quantum=args.quantum,
     )
+    if args.incremental is not None:
+        return _cmd_inject_incremental(
+            args, module, detector, policy, metadata, progress
+        )
 
     completed = None
     journal_path = None
@@ -287,6 +448,13 @@ def cmd_inject(args) -> int:
     for outcome, fraction in campaign.summary().items():
         print(f"{outcome:<24} {fraction:.1%}")
     print(f"{'TOTAL covered':<24} {campaign.covered_fraction:.1%}")
+    if args.by_section:
+        try:
+            _print_section_table(
+                _plain_section_rows(module, campaign, args, detector)
+            )
+        except Exception as exc:  # attribution needs a replayable golden
+            print(f"# --by-section unavailable: {exc}", file=sys.stderr)
     if campaign.mean_wasted_work:
         print(f"mean wasted work per recovery: "
               f"{campaign.mean_wasted_work:.0f} instructions")
@@ -541,11 +709,52 @@ def cmd_submit(args) -> int:
     return 0 if state == "completed" else 1
 
 
+def _cmd_status_store(args) -> int:
+    from repro.incremental import IncrementalError, SectionStore
+    from repro.runtime.sfi import COVERED_OUTCOMES
+
+    try:
+        store = SectionStore.open(args.store)
+    except (OSError, ValueError, IncrementalError) as exc:
+        print(f"cannot read store: {exc}", file=sys.stderr)
+        return 1
+    if not store.loaded:
+        print(f"no incremental store at {args.store}", file=sys.stderr)
+        return 1
+    campaign = store.campaign
+    detector = campaign.get("detector", {})
+    print(f"incremental store: {args.store}")
+    print(f"campaign: function={campaign.get('function')} "
+          f"seed={campaign.get('seed')} "
+          f"dmax={detector.get('dmax')} kind={detector.get('kind')}")
+    print(f"basis trials: {store.basis_trials}; "
+          f"sections: {len(store.sections)}")
+    total_n = sum(record.n for record in store.sections.values())
+    covered = sum(
+        sum(record.counts.get(outcome, 0.0) for outcome in COVERED_OUTCOMES)
+        for record in store.sections.values()
+    )
+    if total_n:
+        print(f"{'TOTAL covered':<24} {covered / total_n:.1%}")
+    if args.by_section:
+        _print_section_table([
+            {"section": name, "status": "stored",
+             "estimator": record.estimator, "n": record.n,
+             "executed": record.executed,
+             "pruned": record.pruned_fraction,
+             "covered": record.covered_probability()}
+            for name, record in sorted(store.sections.items())
+        ])
+    return 0
+
+
 def cmd_status(args) -> int:
     import json as json_module
 
     from repro.service import ServiceClient, ServiceError
 
+    if args.store is not None:
+        return _cmd_status_store(args)
     client = ServiceClient(args.server)
     try:
         if args.id:
@@ -722,6 +931,22 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--resume", default=None, metavar="PATH",
                         help="resume a crashed campaign from its journal; "
                              "journaled trials are replayed verbatim")
+    inject.add_argument("--incremental", default=None, metavar="STORE",
+                        help="incremental campaign against a per-section "
+                             "outcome store: the first run executes the "
+                             "full campaign and builds STORE; later runs "
+                             "re-inject only sections whose code changed "
+                             "(with bit-level pruning) and compose the "
+                             "rest (see docs/incremental.md)")
+    inject.add_argument("--min-section-trials", type=int, default=8,
+                        help="re-injection trial floor per changed "
+                             "section (default 8)")
+    inject.add_argument("--no-update-store", action="store_true",
+                        help="compose/re-inject without writing the "
+                             "updated distributions back to the store")
+    inject.add_argument("--by-section", action="store_true",
+                        help="print the per-section outcome breakdown "
+                             "after the summary table")
     inject.set_defaults(handler=cmd_inject)
 
     serve = sub.add_parser(
@@ -792,6 +1017,12 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("id", nargs="?", default=None,
                         help="campaign id (omit for server overview)")
     status.add_argument("--server", default="http://127.0.0.1:8344")
+    status.add_argument("--store", default=None, metavar="PATH",
+                        help="inspect an incremental section store "
+                             "offline instead of querying a server")
+    status.add_argument("--by-section", action="store_true",
+                        help="with --store: print the per-section "
+                             "distribution table")
     status.set_defaults(handler=cmd_status)
 
     fuzz_p = sub.add_parser(
@@ -808,7 +1039,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--oracles",
                         default=",".join(
                             ("semantic", "conservative", "opt",
-                             "rollback", "replay", "campaign")),
+                             "rollback", "replay", "campaign", "prune")),
                         help="comma-separated oracle list (default: all)")
     fuzz_p.add_argument("--campaign-every", type=int, default=25,
                         help="run the pool-spawning campaign-equivalence "

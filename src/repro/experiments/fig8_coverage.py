@@ -349,6 +349,107 @@ def cfe_to_csv(data: CfeCoverage) -> str:
     )
 
 
+@dataclasses.dataclass
+class IncrementalCoverage:
+    """Compositional re-analysis of the Figure 8 fault campaigns.
+
+    Per benchmark: a full campaign builds the per-section store, then a
+    second campaign against the *unchanged* binary composes entirely
+    from it — zero trials executed, ``composed_fraction`` 1.0, and a
+    covered fraction identical to the full campaign's (the no-change
+    identity the incremental subsystem guarantees).  The stratified
+    Horvitz–Thompson coverage estimate and its 95% CI come along so the
+    figure can carry error bars.
+    """
+
+    # benchmark -> {"full_covered", "composed_covered", "estimate",
+    #   "ci_half", "composed_fraction", "executed_trials", "sections"}
+    rows: Dict[str, Dict[str, float]]
+    trials: int
+    seed: int
+
+
+def run_incremental_coverage(
+    names: Optional[Sequence[str]] = None,
+    trials: int = 120,
+    seed: int = 11,
+) -> IncrementalCoverage:
+    """Build each benchmark's section store, then compose from it.
+
+    Both campaigns share the seed; the composed run's pooled outcome
+    fractions must equal the full run's exactly (integer tallies are
+    carried per section, not rounded fractions).
+    """
+    import tempfile
+
+    from repro.experiments.harness import run_sfi_incremental
+
+    cache = PipelineCache()
+    rows: Dict[str, Dict[str, float]] = {}
+    with tempfile.TemporaryDirectory(prefix="encore-inc-") as tmp:
+        for result in cache.run_all(EncoreConfig(), names or REPLAY_WORKLOADS):
+            built = result.built
+            module = result.report.module
+            store = f"{tmp}/{result.spec.name}.store.json"
+            kwargs = dict(
+                function=built.entry,
+                args=built.args,
+                output_objects=built.output_objects,
+                externals=built.externals,
+                trials=trials,
+                seed=seed,
+            )
+            full = run_sfi_incremental(module, store, **kwargs)
+            composed = run_sfi_incremental(module, store, **kwargs)
+            estimate, half = composed.coverage_interval()
+            rows[result.spec.name] = {
+                "full_covered": full.covered_fraction,
+                "composed_covered": composed.covered_fraction,
+                "estimate": estimate,
+                "ci_half": half,
+                "composed_fraction": composed.composed_fraction,
+                "executed_trials": float(composed.executed_trials),
+                "sections": float(len(composed.section_records)),
+            }
+    return IncrementalCoverage(rows, trials, seed)
+
+
+def render_incremental(data: IncrementalCoverage) -> str:
+    table = Table(
+        f"Incremental composition vs full campaign "
+        f"({data.trials} trials/benchmark)",
+        ["Benchmark", "Cov(full)", "Cov(composed)", "HT estimate",
+         "95% CI", "Composed", "Exec", "Sections"],
+    )
+    for name in sorted(data.rows):
+        row = data.rows[name]
+        table.add_row(
+            name,
+            fmt_pct(row["full_covered"], 2),
+            fmt_pct(row["composed_covered"], 2),
+            fmt_pct(row["estimate"], 2),
+            f"+/-{row['ci_half'] * 100.0:.2f}pp",
+            fmt_pct(row["composed_fraction"], 1),
+            f"{row['executed_trials']:.0f}",
+            f"{row['sections']:.0f}",
+        )
+    return table.render()
+
+
+def incremental_to_csv(data: IncrementalCoverage) -> str:
+    from repro.experiments.reporting import rows_to_csv
+
+    keys = ["full_covered", "composed_covered", "estimate", "ci_half",
+            "composed_fraction", "executed_trials", "sections"]
+    return rows_to_csv(
+        ["benchmark"] + keys,
+        [
+            tuple([name] + [data.rows[name][k] for k in keys])
+            for name in sorted(data.rows)
+        ],
+    )
+
+
 def render(data: Fig8Data) -> str:
     columns = ["Benchmark", "Masked"]
     for dmax in data.latencies:

@@ -358,3 +358,51 @@ def run_sfi(
         threads=threads,
         quantum=quantum,
     )
+
+def run_sfi_incremental(
+    module: Module,
+    store,
+    function: str = "main",
+    args: Sequence = (),
+    output_objects: Sequence[str] = (),
+    detector: Optional[DetectionModel] = None,
+    trials: int = 200,
+    seed: int = 0,
+    externals=None,
+    jobs: Optional[int] = None,
+    min_section_trials: int = 8,
+    update_store: bool = True,
+    engine: Optional[str] = None,
+):
+    """Incremental SFI campaign entry point for experiments.
+
+    ``store`` is a path (opened/created in place) or an already-open
+    :class:`repro.incremental.SectionStore`.  Like :func:`run_sfi`,
+    ``jobs=None`` resolves through :func:`campaign_jobs` and the trial
+    timeout through :func:`campaign_trial_timeout`; unlike
+    :func:`run_sfi` there is no server path — the store lives on the
+    local filesystem and composition is cheaper than transport.
+    Returns a :class:`repro.incremental.ComposedCampaign` whose
+    ``composed_fraction``/``executed_trials`` fields quantify the work
+    the store saved.
+    """
+    from repro.incremental import SectionStore, run_incremental_campaign
+
+    if isinstance(store, (str, os.PathLike)):
+        store = SectionStore.open(os.fspath(store))
+    return run_incremental_campaign(
+        module,
+        store,
+        function=function,
+        args=args,
+        output_objects=output_objects,
+        detector=detector,
+        trials=trials,
+        seed=seed,
+        externals=externals,
+        jobs=campaign_jobs() if jobs is None else jobs,
+        trial_timeout=campaign_trial_timeout(),
+        engine=engine,
+        min_section_trials=min_section_trials,
+        update_store=update_store,
+    )

@@ -466,6 +466,102 @@ class CampaignEquivalenceOracle(Oracle):
         return []
 
 
+class PruneSoundnessOracle(Oracle):
+    """Statically-masked bit flips must be invisible end to end.
+
+    The incremental subsystem's bit-liveness analysis
+    (:mod:`repro.incremental.bitmask`) prunes (site, bit) pairs it
+    proves unobservable and classifies their outcomes analytically
+    instead of executing them.  This oracle is the ground truth behind
+    that shortcut: for a sample of statically-dead pairs, inject the
+    flip under the reference interpreter with *no* detector armed and
+    require the final value and every observed output byte-identical
+    to the fault-free run.  Any divergence means the static analysis
+    called a live bit dead — an unsound prune.
+    """
+
+    name = "prune"
+
+    #: Dead (event, bit) pairs exercised per program.
+    SAMPLE = 12
+
+    def check(self, program: FuzzProgram) -> List[OracleFailure]:
+        import random
+
+        from repro.incremental import (
+            capture_attribution,
+            dead_sites,
+            module_dead_masks,
+        )
+        from repro.runtime.interpreter import bitflip
+
+        if getattr(program, "threads", 1) > 1:
+            # The flip hook targets the current frame; under the
+            # cooperative scheduler that is not necessarily the frame
+            # the masks describe.  The campaign engine refuses pruning
+            # for threaded workloads for the same reason.
+            return []
+        config = EncoreConfig(auto_tune=False, gamma=0.0,
+                              overhead_budget=10.0)
+        try:
+            report = compile_for_encore(
+                program.module, config, clone=True,
+                function=program.entry, args=program.args,
+                externals=EXTERNALS,
+            )
+            masks = module_dead_masks(
+                report.module, output_objects=program.output_objects
+            )
+            profile = capture_attribution(
+                report.module, function=program.entry, args=program.args,
+                output_objects=program.output_objects, externals=EXTERNALS,
+                max_steps=MAX_STEPS,
+            )
+        except Exception as exc:
+            return [self.fail("crash", f"{type(exc).__name__}: {exc}")]
+        pairs = dead_sites(profile, masks)
+        if not pairs:
+            return []
+        rng = random.Random(program.seed)
+        sample = (pairs if len(pairs) <= self.SAMPLE
+                  else rng.sample(pairs, self.SAMPLE))
+        golden = profile.golden
+        failures: List[OracleFailure] = []
+        for event, bit in sample:
+            state = {"done": False}
+
+            def hook(interp, ev, _event=event, _bit=bit, _state=state):
+                if not _state["done"] and ev.index == _event:
+                    frame = interp.current_frame
+                    dest = ev.inst.defs()[0]
+                    frame.regs[dest] = bitflip(frame.regs[dest], _bit)
+                    _state["done"] = True
+
+            try:
+                result = Interpreter(
+                    report.module, post_step=hook, externals=EXTERNALS,
+                    max_steps=_bound(golden.events),
+                ).run(
+                    program.entry, program.args,
+                    output_objects=program.output_objects,
+                )
+            except Exception as exc:
+                failures.append(self.fail(
+                    "masked-bit-crash",
+                    f"event {event} bit {bit}: "
+                    f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            if (result.value != golden.value
+                    or result.output != golden.output):
+                failures.append(self.fail(
+                    "masked-bit-effect",
+                    f"event {event} bit {bit}: value "
+                    f"{golden.value} -> {result.value}",
+                ))
+        return failures
+
+
 def _plant_swap_add(module, entry: str) -> None:
     """Test-only miscompile: first ``add`` of the entry becomes ``sub``."""
     func = module.get_function(entry)
@@ -496,12 +592,14 @@ ORACLE_REGISTRY = {
     "rollback": RollbackExactnessOracle,
     "replay": ReplayDeterminismOracle,
     "campaign": CampaignEquivalenceOracle,
+    "prune": PruneSoundnessOracle,
 }
 
 #: The default per-program suite; ``campaign`` is sampled separately by
 #: the driver (it spins up worker pools, so it runs every Nth program).
 DEFAULT_ORACLES = (
-    "semantic", "conservative", "opt", "rollback", "replay", "campaign"
+    "semantic", "conservative", "opt", "rollback", "replay", "campaign",
+    "prune",
 )
 
 

@@ -1,0 +1,69 @@
+"""Incremental SFI: sectioned attribution, bit-level pruning, composition.
+
+See ``docs/incremental.md``.  :mod:`sections` partitions the fault-site
+space into fingerprint-keyed (function, region) sections and persists
+per-section outcome distributions; :mod:`bitmask` statically proves
+(site, bit) pairs masked and importance-samples the rest;
+:mod:`delta` diffs fingerprints, re-injects only changed sections, and
+composes the remainder from the store.
+"""
+
+from repro.incremental.bitmask import (
+    SectionSampler,
+    analytic_outcomes,
+    build_sampler,
+    cached_dead_masks,
+    classify_dead_site,
+    dead_sites,
+    function_dead_masks,
+    latency_distribution,
+    module_dead_masks,
+)
+from repro.incremental.delta import (
+    ComposedCampaign,
+    derive_section_trial_seed,
+    run_incremental_campaign,
+    validate_incremental_config,
+)
+from repro.incremental.sections import (
+    DEAD_SECTION,
+    IncrementalError,
+    SectionProfile,
+    SectionRecord,
+    SectionStore,
+    campaign_identity,
+    capture_attribution,
+    module_fingerprints,
+    normalized_function_text,
+    region_ordinals,
+    section_fingerprint,
+    section_function,
+)
+
+__all__ = [
+    "DEAD_SECTION",
+    "ComposedCampaign",
+    "IncrementalError",
+    "SectionProfile",
+    "SectionRecord",
+    "SectionSampler",
+    "SectionStore",
+    "analytic_outcomes",
+    "build_sampler",
+    "cached_dead_masks",
+    "campaign_identity",
+    "capture_attribution",
+    "classify_dead_site",
+    "dead_sites",
+    "derive_section_trial_seed",
+    "function_dead_masks",
+    "latency_distribution",
+    "module_dead_masks",
+    "module_fingerprints",
+    "normalized_function_text",
+    "region_ordinals",
+    "run_incremental_campaign",
+    "section_fingerprint",
+    "section_function",
+    "validate_incremental_config",
+]

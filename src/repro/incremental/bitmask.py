@@ -1,0 +1,550 @@
+"""Bit-level static pruning of fault sites (BEC-style, PAPERS.md).
+
+A transient flip of bit *b* in the destination register of a dynamic
+instruction is **provably masked** when a backward bit-liveness
+dataflow shows no subsequent use can observe bit *b* of that value:
+it is overwritten before any read, truncated away by a shift or an
+``and`` with a constant, or simply never consumed.  Such (site, bit)
+pairs need no trial — their outcome is a pure function of the detector
+model and the golden run's recovery-pointer liveness, computed
+analytically in :func:`analytic_outcomes`.
+
+The analysis is deliberately conservative:
+
+* comparisons, divisions, min/max, select conditions, branch
+  conditions, call/spawn/join arguments, return values, addresses and
+  allocation sizes demand **all 64 bits** of their register operands
+  (any bit can steer control flow, trap behaviour, or escape the
+  analysis boundary);
+* ``add``/``sub``/``mul``/``neg`` demand every bit up to the highest
+  demanded result bit (carries propagate strictly upward);
+* stored values demand all bits unless the store's abstract address
+  (via the module's alias analysis, ``static`` mode) provably cannot
+  reach any load, any ``ckpt_mem``, or any observed output object;
+* only ``i64`` destinations are prunable — float flips perturb the
+  IEEE encoding and pointer flips the offset, neither of which
+  bit-liveness over two's-complement values describes;
+* register checkpoints (``ckpt_reg``) demand all bits: the checkpoint
+  log is restorable state.
+
+Recovery blocks need no special CFG edges: a rollback re-executes only
+instructions that are statically reachable from the injection point,
+except for the prefix between the region header and the faulting
+instruction — and every register that prefix reads before writing is
+in the region's live-in checkpoint set, restored to its pre-fault
+value before re-execution (see ``docs/incremental.md`` for the full
+argument).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.alias import AliasAnalysis
+from repro.ir.module import Module
+from repro.ir.types import Type
+from repro.ir.values import Constant, VirtualRegister
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+SIGN_BIT = 1 << 63
+
+#: Campaigns flip bits 0..31 (``plan_trial`` draws ``randrange(0, 32)``),
+#: so only the low 32 bits of a dead mask are ever exercised.
+CAMPAIGN_BITS = 32
+
+
+def _smear(mask: int) -> int:
+    """All bits at or below the highest set bit (carry propagation)."""
+    if mask == 0:
+        return 0
+    return (1 << mask.bit_length()) - 1
+
+
+def _const(operand) -> Optional[int]:
+    if isinstance(operand, Constant) and not isinstance(operand.value, float):
+        return int(operand.value) & MASK64
+    return None
+
+
+def _demand_all(live: Dict[VirtualRegister, int], regs) -> None:
+    for reg in regs:
+        live[reg] = MASK64
+
+
+def _demand(live: Dict[VirtualRegister, int], operand, mask: int) -> None:
+    if isinstance(operand, VirtualRegister) and mask:
+        live[operand] = live.get(operand, 0) | mask
+
+
+def _binop_demands(inst, result: int, live: Dict[VirtualRegister, int]) -> None:
+    op = inst.op
+    lhs, rhs = inst.lhs, inst.rhs
+    if op in ("fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"):
+        if result:
+            _demand(live, lhs, MASK64)
+            _demand(live, rhs, MASK64)
+        return
+    if result == 0:
+        return
+    if op == "and":
+        lc, rc = _const(lhs), _const(rhs)
+        _demand(live, lhs, result & rc if rc is not None else result)
+        _demand(live, rhs, result & lc if lc is not None else result)
+    elif op == "or":
+        lc, rc = _const(lhs), _const(rhs)
+        _demand(live, lhs, result & ~rc & MASK64 if rc is not None else result)
+        _demand(live, rhs, result & ~lc & MASK64 if lc is not None else result)
+    elif op == "xor":
+        _demand(live, lhs, result)
+        _demand(live, rhs, result)
+    elif op in ("shl", "lshr", "ashr"):
+        rc = _const(rhs)
+        if rc is None:
+            _demand(live, lhs, MASK64)
+            _demand(live, rhs, MASK64)
+            return
+        k = rc & 63
+        if op == "shl":
+            # result bit i comes from lhs bit i-k (bits above 63 drop).
+            _demand(live, lhs, result >> k)
+        elif op == "lshr":
+            _demand(live, lhs, (result << k) & MASK64)
+        else:  # ashr: high k result bits replicate lhs bit 63
+            mask = (result << k) & MASK64
+            if k and result >> (64 - k):
+                mask |= SIGN_BIT
+            _demand(live, lhs, mask)
+    elif op in ("add", "sub", "mul"):
+        mask = _smear(result)
+        _demand(live, lhs, mask)
+        _demand(live, rhs, mask)
+    else:  # sdiv, srem, min, max: every input bit can matter
+        _demand(live, lhs, MASK64)
+        _demand(live, rhs, MASK64)
+
+
+def _transfer(inst, live: Dict[VirtualRegister, int],
+              dead_store_values: Set[int], inst_id: int) -> int:
+    """Apply one instruction backwards; return the dest's live-after mask.
+
+    ``live`` maps registers to the bits demanded *after* this
+    instruction; on return it holds the demand *before* it.
+    ``dead_store_values`` identifies stores (by ``inst_id``) whose
+    value operand is provably unobservable.
+    """
+    op = inst.opcode
+    defs = inst.defs()
+    result = 0
+    if defs:
+        result = live.pop(defs[0], 0)
+    if op == "binop":
+        _binop_demands(inst, result, live)
+    elif op == "unop":
+        if inst.op == "not":
+            _demand(live, inst.src, result)
+        elif inst.op == "neg":
+            _demand(live, inst.src, _smear(result))
+        else:  # fneg, sitofp, fptosi, fsqrt, fabs
+            if result:
+                _demand(live, inst.src, MASK64)
+    elif op == "mov":
+        _demand(live, inst.src, result)
+    elif op == "select":
+        if result:
+            _demand(live, inst.cond, MASK64)
+            _demand(live, inst.if_true, result)
+            _demand(live, inst.if_false, result)
+    elif op == "cmp":
+        if result:
+            _demand(live, inst.lhs, MASK64)
+            _demand(live, inst.rhs, MASK64)
+    elif op == "load":
+        # Address registers steer which word is read (and whether the
+        # access traps): fully live regardless of the dest's demand.
+        from repro.ir.values import memref_registers
+
+        _demand_all(live, memref_registers(inst.ref))
+    elif op == "addrof":
+        from repro.ir.values import memref_registers
+
+        if result:
+            _demand_all(live, memref_registers(inst.ref))
+    elif op == "store":
+        from repro.ir.values import memref_registers
+
+        _demand_all(live, memref_registers(inst.ref))
+        if inst_id not in dead_store_values:
+            _demand(live, inst.value, MASK64)
+    elif op == "alloc":
+        _demand(live, inst.size, MASK64)
+    elif op == "br":
+        _demand(live, inst.cond, MASK64)
+    elif op in ("call", "spawn"):
+        _demand_all(live, inst.uses())
+    elif op == "join":
+        _demand(live, inst.thread, MASK64)
+    elif op == "ret":
+        if inst.value is not None:
+            _demand(live, inst.value, MASK64)
+    elif op == "ckpt_reg":
+        # The checkpointed value is restorable state: all bits live.
+        live[inst.reg] = MASK64
+    elif op == "ckpt_mem":
+        from repro.ir.values import memref_registers
+
+        _demand_all(live, memref_registers(inst.ref))
+    # set_recovery_ptr / clear_recovery_ptr / restore / jmp: no register
+    # uses.  ``restore`` redefines checkpointed registers from the log,
+    # but treating it as a no-def only *adds* liveness — conservative.
+    return result
+
+
+def _dead_store_values(
+    module: Module,
+    alias: AliasAnalysis,
+    observed_objects: Optional[Set[str]],
+) -> Set[int]:
+    """Ids (``id(inst)``) of stores whose value can never be observed.
+
+    A store value is unobservable when its abstract address provably
+    cannot alias any load or ``ckpt_mem`` in the module and its object
+    set is known and disjoint from every observed output object.  When
+    the output set is unknown every store is observable.
+    """
+    if observed_objects is None:
+        return set()
+    read_keys = []
+    for func in module:
+        for block in func:
+            for inst in block:
+                for ref in inst.loads():
+                    read_keys.append(alias.key(func.name, ref))
+    dead: Set[int] = set()
+    for func in module:
+        for block in func:
+            for inst in block:
+                if inst.opcode != "store":
+                    continue
+                key = alias.key(func.name, inst.ref)
+                if key.objs is None:
+                    continue  # TOP: may touch anything
+                if key.objs & observed_objects:
+                    continue
+                if any(alias.may_alias(key, read) for read in read_keys):
+                    continue
+                dead.add(id(inst))
+    return dead
+
+
+def function_dead_masks(
+    func,
+    dead_store_values: Set[int],
+) -> Dict[Tuple[str, int], int]:
+    """Per-instruction dead-bit masks for one function.
+
+    Returns ``{(block label, instruction index): mask}`` where ``mask``
+    has bit *b* set iff flipping bit *b* of the instruction's
+    destination register immediately after it executes is provably
+    unobservable.  Only ``i64`` destinations get non-zero masks; masks
+    cover the campaign's bit range (0..31).
+    """
+    blocks = list(func)
+    succ: Dict[str, Tuple[str, ...]] = {}
+    for block in blocks:
+        insts = list(block)
+        succ[block.label] = insts[-1].successors() if insts else ()
+    # live-in[label]: register -> demanded bits at block entry.
+    live_in: Dict[str, Dict[VirtualRegister, int]] = {
+        block.label: {} for block in blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            live: Dict[VirtualRegister, int] = {}
+            for target in succ[block.label]:
+                for reg, mask in live_in.get(target, {}).items():
+                    live[reg] = live.get(reg, 0) | mask
+            for inst in reversed(list(block)):
+                _transfer(inst, live, dead_store_values, id(inst))
+            old = live_in[block.label]
+            if live != old:
+                live_in[block.label] = live
+                changed = True
+    # Final forward pass per block: recompute live-after at each def.
+    masks: Dict[Tuple[str, int], int] = {}
+    for block in blocks:
+        live = {}
+        for target in succ[block.label]:
+            for reg, mask in live_in.get(target, {}).items():
+                live[reg] = live.get(reg, 0) | mask
+        insts = list(block)
+        # Walk backwards so ``live`` is the demand after each inst.
+        after: List[Dict[VirtualRegister, int]] = [dict(live)]
+        for inst in reversed(insts):
+            _transfer(inst, live, dead_store_values, id(inst))
+            after.append(dict(live))
+        after.reverse()  # after[i+1] is demand after insts[i]... careful
+        for index, inst in enumerate(insts):
+            defs = inst.defs()
+            if not defs:
+                continue
+            dest = defs[0]
+            if dest.type is not Type.I64:
+                masks[(block.label, index)] = 0
+                continue
+            live_after = after[index + 1].get(dest, 0)
+            masks[(block.label, index)] = (~live_after) & MASK32
+    return masks
+
+
+def module_dead_masks(
+    module: Module,
+    output_objects: Optional[Sequence[str]] = None,
+    alias_mode: str = "static",
+) -> Dict[Tuple[str, str, int], int]:
+    """Dead-bit masks for every instruction of every function, keyed by
+    ``(function, block label, instruction index)`` coordinates (the
+    portable, cache-safe keying)."""
+    alias = AliasAnalysis(module, mode=alias_mode)
+    observed = set(output_objects) if output_objects is not None else None
+    dead_values = _dead_store_values(module, alias, observed)
+    masks: Dict[Tuple[str, str, int], int] = {}
+    for func in module:
+        for (label, index), mask in function_dead_masks(
+            func, dead_values
+        ).items():
+            masks[(func.name, label, index)] = mask
+    return masks
+
+
+def cached_dead_masks(
+    module: Module,
+    cache,
+    output_objects: Optional[Sequence[str]] = None,
+    alias_mode: str = "static",
+) -> Dict[Tuple[str, str, int], int]:
+    """Memoize :func:`module_dead_masks` in an ``AnalysisCache``.
+
+    Keyed by the module's content hash plus the observation set — the
+    same discipline every portable pipeline product uses, so repeated
+    incremental runs in one process re-derive nothing.
+    """
+    from repro.pipeline import module_fingerprint
+
+    key = (
+        module_fingerprint(module),
+        "bit-liveness",
+        tuple(sorted(output_objects)) if output_objects is not None else None,
+        alias_mode,
+    )
+    return cache.get_or_create(
+        key, lambda: module_dead_masks(module, output_objects, alias_mode)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analytic classification of pruned mass
+# ---------------------------------------------------------------------------
+
+
+def latency_distribution(detector) -> Tuple[float, List[Tuple[int, float]]]:
+    """The detector's exact latency pmf: ``(miss probability,
+    [(latency, probability), ...])`` with probabilities summing to 1."""
+    miss = 1.0 - detector.coverage
+    cov = detector.coverage
+    dmax = detector.dmax
+    if cov <= 0.0:
+        return 1.0, []
+    if dmax == 0:
+        return miss, [(0, cov)]
+    if detector.kind == "uniform":
+        p = cov / (dmax + 1)
+        return miss, [(lat, p) for lat in range(dmax + 1)]
+    if detector.kind == "fixed":
+        return miss, [(dmax, cov)]
+    # Geometric with mean dmax/2, truncated at dmax (matches
+    # DetectionModel.sample_latency's loop exactly).
+    mean = max(dmax / 2.0, 1.0)
+    p = min(1.0 / mean, 1.0)
+    pmf = []
+    survive = 1.0
+    for lat in range(dmax):
+        pmf.append((lat, cov * survive * p))
+        survive *= (1.0 - p)
+    pmf.append((dmax, cov * survive))
+    return miss, pmf
+
+
+def analytic_outcomes(event: int, profile, detector) -> Dict[str, float]:
+    """Exact outcome distribution of a provably-dead bit flip at
+    ``event``, integrated over the detector's latency distribution.
+
+    A dead flip never alters data or control flow, so the trial
+    replays the golden event stream; the only question is whether the
+    detection deadline fires inside it and whether a recovery pointer
+    is live at the firing post-step:
+
+    * undetected, or deadline past the end of the run → ``masked``;
+    * deadline fires with a live pointer → rollback re-executes from a
+      clean checkpoint → ``recovered``;
+    * deadline fires with no live pointer → ``escape_unrecoverable``.
+
+    The deadline arms at ``event + latency`` but is evaluated starting
+    with the *next* post-step (injection steps skip deadline checks),
+    so the firing index is ``event + 1`` for latency 0.
+    """
+    miss, pmf = latency_distribution(detector)
+    events = profile.events
+    probs = {"masked": miss, "recovered": 0.0, "escape_unrecoverable": 0.0}
+    for latency, p in pmf:
+        fire = event + 1 if latency == 0 else event + latency
+        if fire >= events:
+            probs["masked"] += p
+        elif profile.live[fire]:
+            probs["recovered"] += p
+        else:
+            probs["escape_unrecoverable"] += p
+    return {k: v for k, v in probs.items() if v > 0.0}
+
+
+def classify_dead_site(site: int, latency: Optional[int], profile) -> str:
+    """The outcome of one concrete dead-bit trial (ground-truth hook for
+    tests and the fuzz oracle)."""
+    event = profile.injection_event(site)
+    if event is None or latency is None:
+        return "masked"
+    fire = event + 1 if latency == 0 else event + latency
+    if fire >= profile.events:
+        return "masked"
+    return "recovered" if profile.live[fire] else "escape_unrecoverable"
+
+
+# ---------------------------------------------------------------------------
+# Per-section importance-sampling distribution
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SectionSampler:
+    """The live (site, bit) mass of one section, for importance sampling.
+
+    ``plan_trial(site_dist=...)`` draws uniformly from the *live* pairs
+    only; the pruned mass (fraction ``pruned_fraction`` of the
+    section's total (site, bit) mass) is folded in analytically via
+    ``analytic_counts``.  ``total_mass``/``live_mass`` count (site,
+    bit) pairs weighted by how many uniform sites roll forward to each
+    register-writing event.
+    """
+
+    section: str
+    events: List[int]
+    weights: List[int]
+    live_bits: List[Tuple[int, ...]]
+    total_mass: int
+    live_mass: int
+    cumulative: List[int]
+    analytic: Dict[str, float]
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.total_mass <= 0:
+            return 0.0
+        return 1.0 - self.live_mass / self.total_mass
+
+    def draw(self, rng) -> Tuple[int, int]:
+        """One (site, bit) pair, uniform over the live mass."""
+        import bisect
+
+        if self.live_mass <= 0:
+            raise IndexError(f"section {self.section} has no live mass")
+        r = rng.randrange(self.live_mass)
+        pos = bisect.bisect_right(self.cumulative, r)
+        offset = r - (self.cumulative[pos - 1] if pos > 0 else 0)
+        bits = self.live_bits[pos]
+        return self.events[pos], bits[offset % len(bits)]
+
+
+def build_sampler(
+    section: str,
+    events: Sequence[int],
+    profile,
+    masks: Dict[Tuple[str, str, int], int],
+    detector,
+) -> SectionSampler:
+    """Assemble one section's sampler from the attribution profile and
+    the static dead masks."""
+    ev: List[int] = []
+    weights: List[int] = []
+    live_bits: List[Tuple[int, ...]] = []
+    cumulative: List[int] = []
+    total_mass = 0
+    live_mass = 0
+    analytic_weight: Dict[str, float] = {}
+    pruned_total = 0
+    for event in events:
+        weight = profile.site_weight(event)
+        if weight <= 0:
+            continue
+        mask = 0
+        if profile.mask_valid[event]:
+            mask = masks.get(profile.keys[profile.event_key[event]], 0)
+        dead = [b for b in range(CAMPAIGN_BITS) if mask >> b & 1]
+        alive = tuple(
+            b for b in range(CAMPAIGN_BITS) if not (mask >> b & 1)
+        )
+        total_mass += weight * CAMPAIGN_BITS
+        if dead:
+            share = weight * len(dead)
+            pruned_total += share
+            for outcome, p in analytic_outcomes(event, profile, detector).items():
+                analytic_weight[outcome] = (
+                    analytic_weight.get(outcome, 0.0) + share * p
+                )
+        if alive:
+            ev.append(event)
+            weights.append(weight)
+            live_bits.append(alive)
+            live_mass += weight * len(alive)
+            cumulative.append(live_mass)
+    if pruned_total:
+        analytic = {
+            outcome: mass / pruned_total
+            for outcome, mass in sorted(analytic_weight.items())
+        }
+    else:
+        analytic = {}
+    return SectionSampler(
+        section=section,
+        events=ev,
+        weights=weights,
+        live_bits=live_bits,
+        total_mass=total_mass,
+        live_mass=live_mass,
+        cumulative=cumulative,
+        analytic=analytic,
+    )
+
+
+def dead_sites(
+    profile,
+    masks: Dict[Tuple[str, str, int], int],
+    limit: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Every provably-dead (event, bit) pair of a profile (optionally
+    truncated), for oracle checks and ground-truth tests."""
+    pairs: List[Tuple[int, int]] = []
+    for event in profile.defs_events:
+        if not profile.mask_valid[event]:
+            continue
+        mask = masks.get(profile.keys[profile.event_key[event]], 0)
+        if not mask:
+            continue
+        for bit in range(CAMPAIGN_BITS):
+            if mask >> bit & 1:
+                pairs.append((event, bit))
+                if limit is not None and len(pairs) >= limit:
+                    return pairs
+    return pairs

@@ -323,6 +323,36 @@ class InstrumentationPass(Pass):
         return report
 
 
+class BitLivenessPass(Pass):
+    """Backward bit-liveness: per-site dead-bit masks for fault pruning.
+
+    On-demand (no pipeline stage requires it): the incremental SFI
+    subsystem requests it *after* instrumentation, so the masks describe
+    the module campaigns actually inject into.  Portable — the product
+    is keyed by ``(function, block, index)`` coordinates and the module
+    fingerprint, so an edit-free re-run composes from cache.  Computed
+    without an output-object set (every store observable): sound for
+    any campaign, merely less aggressive than
+    :func:`repro.incremental.bitmask.module_dead_masks` with the
+    workload's real outputs.
+    """
+
+    name = "bitliveness"
+    portable = True
+
+    def run(self, ctx: PipelineContext):
+        from repro.incremental.bitmask import module_dead_masks
+
+        masks = module_dead_masks(ctx.module)
+        ctx.bump(self.name, "sites", len(masks))
+        ctx.bump(
+            self.name,
+            "dead_bits",
+            sum(bin(mask).count("1") for mask in masks.values()),
+        )
+        return masks
+
+
 def encore_passes() -> List[Pass]:
     """A fresh pass set for one :class:`~repro.pipeline.manager.PassManager`."""
     return [
@@ -334,4 +364,5 @@ def encore_passes() -> List[Pass]:
         MergePass(),
         SelectionPass(),
         InstrumentationPass(),
+        BitLivenessPass(),
     ]

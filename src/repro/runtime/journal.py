@@ -74,6 +74,7 @@ def campaign_metadata(
     cfe_detector: str = "signature",
     threads: int = 1,
     quantum: Optional[int] = None,
+    incremental: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The identity of a campaign: everything that determines its plans.
 
@@ -128,6 +129,11 @@ def campaign_metadata(
         meta["threads"] = threads
     if quantum is not None:
         meta["quantum"] = int(quantum)
+    if incremental is not None:
+        # Same conditional-emission rule: the key exists only for
+        # incremental campaigns, and validate_resume's union comparison
+        # then refuses to resume one as (or from) a plain campaign.
+        meta["incremental"] = incremental
     return meta
 
 
@@ -166,9 +172,13 @@ class CampaignJournal:
         )
 
     def record(self, index: int, trial: TrialResult) -> None:
-        self._write(
-            {"kind": "trial", "index": index, **dataclasses.asdict(trial)}
-        )
+        fields = dataclasses.asdict(trial)
+        if fields.get("section") is None:
+            # Non-incremental campaigns carry no attribution; dropping
+            # the key keeps their records byte-identical to the
+            # pre-incremental format.
+            fields.pop("section", None)
+        self._write({"kind": "trial", "index": index, **fields})
 
     def close(self) -> None:
         if self._handle is not None:

@@ -223,6 +223,8 @@ def plan_trial(
     recovery_faults_per_trial: int = 0,
     metadata_faults_per_trial: int = 0,
     cf_faults_per_trial: int = 0,
+    site_dist=None,
+    rng_seed: Optional[int] = None,
 ) -> FaultPlan:
     """Derive one trial's fault plan from its own RNG substream.
 
@@ -230,8 +232,28 @@ def plan_trial(
     metadata draws after those, and the control-flow draws last, so a
     campaign with every extension count at 0 produces bit-identical
     plans to one planned before any extension existed.
+
+    ``site_dist`` replaces the uniform site/bit draws with a pruned
+    importance-sampling distribution (any object with a
+    ``draw(rng) -> (site, bit)`` method — see
+    :class:`repro.incremental.bitmask.SectionSampler`); it requires the
+    single-event-upset configuration, and ``rng_seed`` then keys the
+    substream directly (per-section discipline) instead of the global
+    ``(seed, trial_index)`` hash.
     """
-    rng = random.Random(derive_trial_seed(seed, trial_index))
+    rng = random.Random(
+        derive_trial_seed(seed, trial_index) if rng_seed is None else rng_seed
+    )
+    if site_dist is not None:
+        if (faults_per_trial != 1 or recovery_faults_per_trial
+                or metadata_faults_per_trial or cf_faults_per_trial):
+            raise ValueError(
+                "site_dist requires the single-event-upset configuration "
+                "(one primary fault, no extension surfaces)"
+            )
+        site, bit = site_dist.draw(rng)
+        latency = detector.sample_latency(rng)
+        return FaultPlan(trial_index, (site,), (bit,), (latency,))
     sites = sorted(
         rng.randrange(max(golden_events, 1)) for _ in range(faults_per_trial)
     )
@@ -336,6 +358,10 @@ class TrialResult:
     control_faults: int = 0
     #: Illegal branch edges flagged by the signature monitor.
     cfe_detections: int = 0
+    #: The (function, region) section the primary fault struck —
+    #: attributed by the incremental subsystem (None outside it, and
+    #: then omitted from journals for byte-stability).
+    section: Optional[str] = None
 
 
 def infra_error_trial() -> TrialResult:
@@ -388,6 +414,9 @@ class CampaignResult:
     worker_trials: Dict[str, int] = dataclasses.field(default_factory=dict)
     pool_restarts: int = 0
     resumed_trials: int = 0
+    #: Share of the fault-site mass composed from a persisted section
+    #: store instead of executed (incremental campaigns; 0.0 otherwise).
+    composed_fraction: float = 0.0
 
     def count(self, outcome: str) -> int:
         return sum(1 for t in self.trials if t.outcome == outcome)
@@ -431,6 +460,16 @@ class CampaignResult:
             return 0.0
         return sum(t.wasted_work for t in recovered) / len(recovered)
 
+    def coverage_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Covered-fraction estimate and normal-approximation CI
+        half-width.  Incremental campaigns override this with the
+        stratified Horvitz–Thompson estimator."""
+        p = self.covered_fraction
+        n = len(self.trials)
+        if n <= 0:
+            return 0.0, 0.0
+        return p, z * (p * (1.0 - p) / n) ** 0.5
+
     def summary(self, extended: bool = False) -> Dict[str, float]:
         """Outcome fractions; ``extended`` adds execution statistics.
 
@@ -441,6 +480,8 @@ class CampaignResult:
         base: Dict[str, float] = {
             outcome: self.fraction(outcome) for outcome in OUTCOMES
         }
+        if self.composed_fraction:
+            base["composed_fraction"] = self.composed_fraction
         if extended:
             base["trials"] = float(len(self.trials))
             base["jobs"] = float(self.jobs)

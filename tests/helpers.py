@@ -256,3 +256,69 @@ def _param(name):
     from repro.ir import VirtualRegister
 
     return VirtualRegister(name)
+
+
+def build_two_function_workload(g_mult=3):
+    """A dominant function ``f`` plus a small, truncating function ``g``.
+
+    ``main`` calls ``f`` (a 40-iteration loop holding most of the
+    fault-site mass) then ``g`` (a 6-iteration loop whose products are
+    truncated with ``and 255``, so bit-liveness proves the multiply's
+    high bits dead).  ``g_mult`` parameterizes only ``g``'s body — the
+    edit-one-function scenario the incremental subsystem and its bench
+    exercise: changing it must invalidate ``g``'s sections and nothing
+    of ``f``'s.
+    """
+    module = Module("twofn")
+    arr = module.add_global("arr", 48)
+
+    f = module.add_function("f")
+    fb = IRBuilder(f)
+    i = fb.fresh("i")
+    total = fb.fresh("sum")
+    fb.block("entry")
+    fb.mov(0, i)
+    fb.mov(0, total)
+    fb.jmp("header")
+    fb.block("header")
+    fcond = fb.cmp("slt", i, 40)
+    fb.br(fcond, "body", "exit")
+    fb.block("body")
+    sq = fb.mul(i, i)
+    fb.store(arr, i, sq)
+    fb.add(total, sq, total)
+    fb.add(i, 1, i)
+    fb.jmp("header")
+    fb.block("exit")
+    fb.ret(total)
+
+    g = module.add_function("g")
+    gb = IRBuilder(g)
+    j = gb.fresh("j")
+    acc = gb.fresh("acc")
+    gb.block("entry")
+    gb.mov(0, j)
+    gb.mov(0, acc)
+    gb.jmp("header")
+    gb.block("header")
+    gcond = gb.cmp("slt", j, 6)
+    gb.br(gcond, "body", "exit")
+    gb.block("body")
+    v = gb.mul(j, g_mult)
+    low = gb.and_(v, 255)
+    idx = gb.add(j, 40)
+    gb.store(arr, idx, low)
+    gb.add(acc, low, acc)
+    gb.add(j, 1, j)
+    gb.jmp("header")
+    gb.block("exit")
+    gb.ret(acc)
+
+    main = module.add_function("main")
+    mb = IRBuilder(main)
+    mb.block("entry")
+    a = mb.call("f", [])
+    c = mb.call("g", [])
+    total = mb.add(a, c)
+    mb.ret(total)
+    return module, arr

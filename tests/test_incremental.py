@@ -1,0 +1,262 @@
+"""Tests for the incremental injection subsystem.
+
+Covers the three layers end to end: section fingerprints (stable across
+print/parse round-trips and ``deepcopy``, sensitive to any instruction
+change), bit-level pruning (statically-dead bits are provably
+outcome-free, and the analytic classifier matches executed ground
+truth), and compositional campaigns (a no-change compose reproduces the
+full campaign's aggregates exactly, is byte-deterministic across
+``--jobs``, and an edit re-injects only the edited function's
+sections) — plus the ``--incremental``/``--by-section`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+import pytest
+
+from helpers import build_counted_loop, build_two_function_workload
+from repro.cli import main
+from repro.encore import compile_for_encore
+from repro.incremental import (
+    DEAD_SECTION,
+    IncrementalError,
+    SectionStore,
+    capture_attribution,
+    classify_dead_site,
+    dead_sites,
+    module_dead_masks,
+    module_fingerprints,
+    run_incremental_campaign,
+    section_function,
+)
+from repro.ir import module_to_text, parse_module
+from repro.runtime import DetectionModel, run_campaign
+from repro.runtime.journal import CampaignJournal, load_journal
+from repro.runtime.sfi import FaultPlan, run_planned_trial
+
+
+@pytest.fixture(scope="module")
+def twofn():
+    module, _ = build_two_function_workload()
+    return compile_for_encore(module, clone=True).module
+
+
+@pytest.fixture(scope="module")
+def twofn_edited():
+    module, _ = build_two_function_workload(g_mult=5)
+    return compile_for_encore(module, clone=True).module
+
+
+class TestFingerprints:
+    def test_round_trip_identical(self, twofn):
+        fps = module_fingerprints(twofn)
+        reparsed = parse_module(module_to_text(twofn))
+        assert module_fingerprints(reparsed) == fps
+
+    def test_deepcopy_identical(self, twofn):
+        assert module_fingerprints(copy.deepcopy(twofn)) == \
+            module_fingerprints(twofn)
+
+    def test_edit_changes_only_edited_function(self, twofn, twofn_edited):
+        before = module_fingerprints(twofn)
+        after = module_fingerprints(twofn_edited)
+        assert set(before) == set(after)
+        assert before["g"] != after["g"]
+        assert before["f"] == after["f"]
+        assert before["main"] == after["main"]
+
+    def test_any_instruction_change_changes_fingerprint(self):
+        module, _ = build_counted_loop(8)
+        before = module_fingerprints(module)["main"]
+        edited, _ = build_counted_loop(9)
+        assert module_fingerprints(edited)["main"] != before
+
+
+class TestBitmask:
+    def test_truncation_kills_high_bits(self, twofn):
+        masks = module_dead_masks(twofn, output_objects=("arr",))
+        # g's products feed only ``and 255``: bits 8..31 of the mul
+        # dest are provably dead at the campaign width.
+        g_masks = [m for (f, _b, _i), m in masks.items() if f == "g"]
+        assert any(mask & 0xFFFFFF00 == 0xFFFFFF00 for mask in g_masks)
+
+    def test_dead_bits_are_outcome_free(self, twofn):
+        """Ground truth: executing a trial on a statically-masked bit
+        produces exactly the outcome the analytic classifier predicts."""
+        profile = capture_attribution(twofn, output_objects=("arr",))
+        masks = module_dead_masks(twofn, output_objects=("arr",))
+        pairs = dead_sites(profile, masks, limit=10)
+        assert pairs, "workload should expose provably-dead bits"
+        for event, bit in pairs:
+            for latency in (None, 0, 5):
+                plan = FaultPlan(
+                    trial_index=0, sites=(event,), bits=(bit,),
+                    latencies=(latency,),
+                )
+                trial = run_planned_trial(
+                    twofn, profile.golden, plan, output_objects=("arr",),
+                )
+                assert trial.outcome == classify_dead_site(
+                    event, latency, profile
+                ), (event, bit, latency)
+
+
+class TestCompose:
+    DETECTOR = DetectionModel(dmax=20)
+
+    def _run(self, module, store, trials=120, **kwargs):
+        return run_incremental_campaign(
+            module, store, output_objects=("arr",),
+            detector=self.DETECTOR, trials=trials, seed=3, **kwargs,
+        )
+
+    def test_no_change_compose_is_exact(self, twofn, tmp_path):
+        store = SectionStore.open(str(tmp_path / "s.json"))
+        full = self._run(twofn, store)
+        composed = self._run(twofn, store)
+        assert composed.executed_trials == 0
+        assert composed.composed_fraction == 1.0
+        for outcome in set(t.outcome for t in full.trials):
+            assert composed.fraction(outcome) == pytest.approx(
+                full.fraction(outcome), abs=1e-12
+            )
+        assert composed.covered_fraction == pytest.approx(
+            full.covered_fraction, abs=1e-12
+        )
+
+    def test_edit_reinjects_only_edited_function(
+        self, twofn, twofn_edited, tmp_path
+    ):
+        store = SectionStore.open(str(tmp_path / "s.json"))
+        full = self._run(twofn, store)
+        incremental = self._run(twofn_edited, store)
+        reinjected = [
+            section
+            for section, status in incremental.section_status.items()
+            if status in ("reinjected", "analytic")
+        ]
+        assert reinjected, "the edit must invalidate g's sections"
+        for section in reinjected:
+            if section == DEAD_SECTION:
+                continue  # keyed by module fingerprint: any edit hits it
+            assert section_function(section) == "g"
+        assert 0.0 < incremental.composed_fraction < 1.0
+        assert incremental.executed_trials < len(full.trials) / 2
+        # The composed estimate stays near the full campaign's.
+        estimate, half = incremental.coverage_interval()
+        assert abs(estimate - full.covered_fraction) < max(2 * half, 0.1)
+
+    def test_jobs_do_not_change_results(self, twofn, twofn_edited, tmp_path):
+        runs = []
+        for jobs in (1, 2):
+            store = SectionStore.open(str(tmp_path / f"s{jobs}.json"))
+            self._run(twofn, store, jobs=jobs)
+            runs.append(self._run(twofn_edited, store, jobs=jobs))
+        first, second = (
+            [dataclasses.asdict(t) for t in run.trials] for run in runs
+        )
+        assert first == second
+
+    def test_store_refuses_different_campaign(self, twofn, tmp_path):
+        store = SectionStore.open(str(tmp_path / "s.json"))
+        self._run(twofn, store)
+        with pytest.raises(IncrementalError):
+            run_incremental_campaign(
+                twofn, store, output_objects=("arr",),
+                detector=self.DETECTOR, trials=120, seed=4,
+            )
+
+    def test_trials_carry_section_attribution(self, twofn, tmp_path):
+        store = SectionStore.open(str(tmp_path / "s.json"))
+        full = self._run(twofn, store, trials=40)
+        assert all(t.section for t in full.trials)
+        sections = set(t.section for t in full.trials)
+        assert any(s.startswith("f@") for s in sections)
+
+    def test_plain_campaign_unchanged_by_section_field(self, twofn):
+        """The ``section`` field defaults to None and plain campaigns
+        journal byte-identically to the pre-incremental format."""
+        campaign = run_campaign(
+            twofn, output_objects=("arr",), detector=self.DETECTOR,
+            trials=10, seed=3,
+        )
+        assert all(t.section is None for t in campaign.trials)
+
+    def test_journal_round_trips_section(self, twofn, tmp_path):
+        store = SectionStore.open(str(tmp_path / "s.json"))
+        path = str(tmp_path / "journal.jsonl")
+        journal = CampaignJournal(path)
+        journal.write_header({"seed": 3, "incremental": {"mode": "build"}})
+        full = self._run(twofn, store, trials=20, on_result=journal.record)
+        journal.close()
+        metadata, completed = load_journal(path)
+        assert metadata["incremental"] == {"mode": "build"}
+        assert len(completed) == 20
+        for index, trial in completed.items():
+            assert trial.section == full.trials[index].section
+
+
+class TestIncrementalCli:
+    @pytest.fixture
+    def twofn_ir(self, tmp_path):
+        module, _ = build_two_function_workload()
+        path = tmp_path / "twofn.ir"
+        path.write_text(module_to_text(module) + "\n")
+        return path
+
+    def test_inject_incremental_build_then_compose(
+        self, twofn_ir, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store.json")
+        argv = ["inject", str(twofn_ir), "--incremental", store,
+                "--trials", "40", "--outputs", "arr", "--seed", "3"]
+        assert main(argv) == 0
+        build_out = capsys.readouterr().out
+        assert "coverage estimate" in build_out
+        assert "sections" in build_out
+        assert main(argv) == 0
+        compose_out = capsys.readouterr().out
+        assert "0 trials executed" in compose_out
+
+    def test_inject_incremental_by_section(self, twofn_ir, tmp_path, capsys):
+        store = str(tmp_path / "store.json")
+        assert main(["inject", str(twofn_ir), "--incremental", store,
+                     "--trials", "40", "--outputs", "arr",
+                     "--by-section"]) == 0
+        out = capsys.readouterr().out
+        assert "section" in out and "status" in out
+        assert "f@" in out
+
+    def test_inject_incremental_rejects_multifault(
+        self, twofn_ir, tmp_path, capsys
+    ):
+        assert main(["inject", str(twofn_ir), "--incremental",
+                     str(tmp_path / "s.json"), "--faults-per-trial",
+                     "2"]) == 2
+        assert "incremental" in capsys.readouterr().err
+
+    def test_plain_inject_by_section(self, twofn_ir, capsys):
+        assert main(["inject", str(twofn_ir), "--trials", "20",
+                     "--outputs", "arr", "--by-section"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL covered" in out
+        assert "executed" in out and "f@" in out
+
+    def test_status_store(self, twofn_ir, tmp_path, capsys):
+        store = str(tmp_path / "store.json")
+        main(["inject", str(twofn_ir), "--incremental", store,
+              "--trials", "40", "--outputs", "arr"])
+        capsys.readouterr()
+        assert main(["status", "--store", store, "--by-section"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental store" in out
+        assert "basis trials: 40" in out
+        assert "f@" in out
+
+    def test_status_store_missing(self, tmp_path, capsys):
+        assert main(["status", "--store",
+                     str(tmp_path / "missing.json")]) == 1
+        assert "no incremental store" in capsys.readouterr().err
